@@ -1,0 +1,134 @@
+// Puddlectl is the control-plane client for a running puddled: it
+// lists pools, inspects daemon state, exports and imports pool
+// containers, and triggers recovery — all over the daemon protocol on
+// the UNIX socket. (Data-plane access — mapping puddles — requires
+// sharing the daemon's device and is in-process only; see DESIGN.md
+// §2 on the fd-passing substitution.)
+//
+// Usage:
+//
+//	puddlectl [-socket /tmp/puddled.sock] <command> [args]
+//
+// Commands:
+//
+//	stat                     daemon counters
+//	pools                    list pools
+//	types                    list registered pointer maps
+//	export <pool> <file>     export a pool container
+//	import <pool> <file>     import a container as a new pool
+//	delete <pool>            delete a pool
+//	recover                  force a recovery pass
+//	shutdown                 cleanly stop the daemon
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"puddles/internal/proto"
+)
+
+func main() {
+	socket := flag.String("socket", "/tmp/puddled.sock", "puddled socket path")
+	uid := flag.Uint("uid", 0, "credential uid")
+	gid := flag.Uint("gid", 0, "credential gid")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: puddlectl [-socket PATH] <stat|pools|types|export|import|delete|recover|shutdown> [args]")
+		os.Exit(2)
+	}
+	nc, err := net.Dial("unix", *socket)
+	if err != nil {
+		fatal("connecting to %s: %v", *socket, err)
+	}
+	c := proto.NewConn(nc)
+	defer c.Close()
+	if *uid != 0 || *gid != 0 {
+		if _, err := c.RoundTrip(&proto.Request{Op: proto.OpHello, UID: uint32(*uid), GID: uint32(*gid)}); err != nil {
+			fatal("hello: %v", err)
+		}
+	}
+
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	switch cmd {
+	case "stat":
+		resp := must(c, &proto.Request{Op: proto.OpStat})
+		s := resp.Stats
+		fmt.Printf("pools            %d\n", s.Pools)
+		fmt.Printf("puddles          %d\n", s.Puddles)
+		fmt.Printf("reserved bytes   %d\n", s.ReservedBytes)
+		fmt.Printf("log spaces       %d\n", s.LogSpaces)
+		fmt.Printf("pointer maps     %d\n", s.Types)
+		fmt.Printf("recovery passes  %d\n", s.Recoveries)
+		fmt.Printf("logs replayed    %d\n", s.LogsReplayed)
+		fmt.Printf("entries applied  %d\n", s.EntriesApplied)
+		fmt.Printf("imports          %d\n", s.Imports)
+	case "pools":
+		resp := must(c, &proto.Request{Op: proto.OpListPools})
+		for _, n := range resp.Names {
+			fmt.Println(n)
+		}
+	case "types":
+		resp := must(c, &proto.Request{Op: proto.OpListTypes})
+		for _, ti := range resp.Types {
+			fmt.Printf("%#016x  %-30s size=%-6d ptrs=%d\n", uint64(ti.ID), ti.Name, ti.Size, len(ti.Ptrs))
+		}
+	case "export":
+		need(args, 2, "export <pool> <file>")
+		resp := must(c, &proto.Request{Op: proto.OpExportPool, Name: args[0]})
+		if err := os.WriteFile(args[1], resp.Blob, 0o644); err != nil {
+			fatal("writing %s: %v", args[1], err)
+		}
+		fmt.Printf("exported %q: %d bytes\n", args[0], len(resp.Blob))
+	case "import":
+		need(args, 2, "import <pool> <file>")
+		blob, err := os.ReadFile(args[1])
+		if err != nil {
+			fatal("reading %s: %v", args[1], err)
+		}
+		resp := must(c, &proto.Request{Op: proto.OpImportPool, Name: args[0], Blob: blob})
+		// Control-plane import: map every puddle eagerly via the
+		// daemon (pointer rewrite needs a data-plane client; the
+		// daemon-side copy still lands content and the session stays
+		// resumable).
+		for _, pi := range resp.Puddles {
+			must(c, &proto.Request{Op: proto.OpImportMap, Session: resp.Session, UUID: pi.UUID})
+		}
+		done := must(c, &proto.Request{Op: proto.OpImportDone, Session: resp.Session})
+		fmt.Printf("imported %q: root at %#x (%d puddles)\n", args[0], done.Addr, len(resp.Puddles))
+	case "delete":
+		need(args, 1, "delete <pool>")
+		must(c, &proto.Request{Op: proto.OpDeletePool, Name: args[0]})
+		fmt.Printf("deleted %q\n", args[0])
+	case "recover":
+		resp := must(c, &proto.Request{Op: proto.OpRecoverNow})
+		fmt.Printf("recovery pass %d complete (%d logs replayed total)\n",
+			resp.Stats.Recoveries, resp.Stats.LogsReplayed)
+	case "shutdown":
+		must(c, &proto.Request{Op: proto.OpShutdown})
+		fmt.Println("daemon shut down cleanly")
+	default:
+		fatal("unknown command %q", cmd)
+	}
+}
+
+func must(c *proto.Conn, req *proto.Request) *proto.Response {
+	resp, err := c.RoundTrip(req)
+	if err != nil {
+		fatal("%v", err)
+	}
+	return resp
+}
+
+func need(args []string, n int, usage string) {
+	if len(args) != n {
+		fatal("usage: puddlectl %s", usage)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "puddlectl: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Puddled is the privileged Puddles daemon (paper Fig. 2): it owns the
+// device image, manages the global puddle space, and replays
+// crash-consistency logs on boot — before any client can connect.
+//
+// Usage:
+//
+//	puddled -socket /tmp/puddled.sock -store /var/lib/puddles/machine.img
+//
+// The image file stands in for the DAX-mounted PM filesystem: it is
+// restored at boot (running recovery if the previous run ended dirty)
+// and saved on clean shutdown and periodically. Control clients
+// (cmd/puddlectl) speak the daemon protocol over the UNIX socket.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"puddles/internal/daemon"
+	"puddles/internal/pmem"
+)
+
+func main() {
+	var (
+		socket   = flag.String("socket", "/tmp/puddled.sock", "UNIX domain socket path")
+		store    = flag.String("store", "puddled.img", "device image file (DAX filesystem stand-in)")
+		syncSecs = flag.Int("sync", 5, "seconds between image syncs (0 disables)")
+		verbose  = flag.Bool("v", false, "log client operations")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "puddled: ", log.LstdFlags)
+
+	dev := pmem.New()
+	if err := dev.RestoreFile(*store); err != nil {
+		logger.Fatalf("restoring %s: %v", *store, err)
+	}
+	opts := []daemon.Option{}
+	if *verbose {
+		opts = append(opts, daemon.WithLogger(logger))
+	}
+	d, err := daemon.New(dev, opts...)
+	if err != nil {
+		logger.Fatalf("boot: %v", err)
+	}
+	st := d.Stats()
+	logger.Printf("booted: %d pools, %d puddles; recovery passes so far: %d",
+		st.Pools, st.Puddles, st.Recoveries)
+
+	os.Remove(*socket)
+	l, err := net.Listen("unix", *socket)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
+	logger.Printf("serving on %s (store %s)", *socket, *store)
+
+	// Periodic image sync: bounds data loss to the sync interval if the
+	// host dies (the simulated medium itself is process memory).
+	stopSync := make(chan struct{})
+	if *syncSecs > 0 {
+		go func() {
+			t := time.NewTicker(time.Duration(*syncSecs) * time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := dev.SaveFile(*store); err != nil {
+						logger.Printf("sync: %v", err)
+					}
+				case <-stopSync:
+					return
+				}
+			}
+		}()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		logger.Printf("shutting down")
+		close(stopSync)
+		d.Shutdown()
+		if err := dev.SaveFile(*store); err != nil {
+			logger.Printf("final save: %v", err)
+		}
+		l.Close()
+	}()
+
+	if err := d.Serve(l); err != nil {
+		logger.Fatalf("serve: %v", err)
+	}
+}

@@ -1,0 +1,131 @@
+// Logreader reproduces the paper's Figure 3 scenario: a database
+// application owns a database pool and an event-log pool, updating
+// both in ONE cross-pool transaction (impossible in PMDK, whose
+// transactions are confined to a single pool). A separate log-reader
+// process, running under different credentials, has read-only access
+// to the event log and none to the database.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"puddles"
+)
+
+// Event is one audit record.
+type Event struct {
+	Seq    uint64
+	Amount uint64
+	Next   puddles.Ptr
+}
+
+// EventLogRoot anchors the event chain.
+type EventLogRoot struct {
+	Head  puddles.Ptr
+	Tail  puddles.Ptr
+	Count uint64
+}
+
+// Account is a database record.
+type Account struct {
+	Balance uint64
+}
+
+func main() {
+	sys, err := puddles.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Shutdown()
+
+	// --- the database application (uid 100) ---
+	app := sys.Connect()
+	defer app.Close()
+	if err := app.Hello(100, 10); err != nil {
+		log.Fatal(err)
+	}
+	eventT, _ := app.RegisterLayout("Event", Event{})
+	evRootT, _ := app.RegisterLayout("EventLogRoot", EventLogRoot{})
+	acctT, _ := app.RegisterLayout("Account", Account{})
+
+	// Database readable only by the owner; the event log readable by
+	// everyone (mode 0644).
+	db, err := app.CreatePool("bank-db", 0o600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	events, err := app.CreatePool("bank-events", 0o644)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acct, err := db.CreateRoot(acctT.ID, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	evRoot, err := events.CreateRoot(evRootT.ID, 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dev := sys.Device()
+	// Deposits: each transaction updates the DATABASE pool and appends
+	// to the EVENT-LOG pool atomically — both pools live in the same
+	// global puddle space, so one log covers both.
+	for i := uint64(1); i <= 5; i++ {
+		amount := i * 100
+		err := app.Run(db, func(tx *puddles.Tx) error {
+			if err := tx.SetU64(acct, dev.LoadU64(acct)+amount); err != nil {
+				return err
+			}
+			ev, err := tx.Alloc(eventT.ID, 24)
+			if err != nil {
+				return err
+			}
+			dev.StoreU64(ev, i)
+			dev.StoreU64(ev+8, amount)
+			dev.StoreU64(ev+16, 0)
+			tail := puddles.Addr(dev.LoadU64(evRoot + 8))
+			if tail == 0 {
+				if err := tx.SetU64(evRoot, uint64(ev)); err != nil {
+					return err
+				}
+			} else if err := tx.SetU64(tail+16, uint64(ev)); err != nil {
+				return err
+			}
+			if err := tx.SetU64(evRoot+8, uint64(ev)); err != nil {
+				return err
+			}
+			return tx.SetU64(evRoot+16, dev.LoadU64(evRoot+16)+1)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("app: balance=%d after %d events\n", dev.LoadU64(acct), dev.LoadU64(evRoot+16))
+
+	// --- the log reader (uid 200, a different user) ---
+	reader := sys.Connect()
+	defer reader.Close()
+	if err := reader.Hello(200, 20); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := reader.OpenPool("bank-db"); err != nil {
+		fmt.Println("reader: bank-db correctly denied:", err)
+	} else {
+		log.Fatal("reader should not see the database")
+	}
+	evPool, err := reader.OpenPool("bank-events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reader: bank-events opened read-only (writable=%v)\n", evPool.Writable)
+	rRoot, err := evPool.Root()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("reader: audit trail:")
+	for p := puddles.Addr(dev.LoadU64(rRoot)); p != 0; p = puddles.Addr(dev.LoadU64(p + 16)) {
+		fmt.Printf("  event %d: amount %d\n", dev.LoadU64(p), dev.LoadU64(p+8))
+	}
+}

@@ -1,0 +1,91 @@
+// Quickstart: boot a Puddles system, create a pool, build a persistent
+// linked list with failure-atomic transactions, and traverse it with
+// plain native pointers — the paper's Figure 4/8 running example.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"puddles"
+)
+
+// Node is a persistent type. Fields of type puddles.Ptr become entries
+// in the registered pointer map, which is what makes the data
+// relocatable later.
+type Node struct {
+	Value uint64
+	Next  puddles.Ptr
+}
+
+// ListRoot anchors the list.
+type ListRoot struct {
+	Head puddles.Ptr
+	Tail puddles.Ptr
+}
+
+func main() {
+	sys, err := puddles.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Shutdown()
+
+	client := sys.Connect()
+	defer client.Close()
+
+	nodeT, err := client.RegisterLayout("Node", Node{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rootT, err := client.RegisterLayout("ListRoot", ListRoot{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pool, err := client.CreatePool("quickstart", 0o600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	root, err := pool.CreateRoot(rootT.ID, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dev := sys.Device()
+	// Append ten nodes, one failure-atomic transaction each: the node
+	// allocation, the tail link (undo-logged) and the tail pointer
+	// (redo-logged) commit or vanish together.
+	for i := uint64(1); i <= 10; i++ {
+		err := client.Run(pool, func(tx *puddles.Tx) error {
+			n, err := tx.Alloc(nodeT.ID, 16)
+			if err != nil {
+				return err
+			}
+			dev.StoreU64(n, i*i) // fresh object: no logging needed
+			dev.StoreU64(n+8, 0)
+			tail := puddles.Addr(dev.LoadU64(root + 8))
+			if tail == 0 {
+				if err := tx.SetU64(root, uint64(n)); err != nil {
+					return err
+				}
+			} else if err := tx.SetU64(tail+8, uint64(n)); err != nil {
+				return err
+			}
+			return tx.RedoSetU64(root+8, uint64(n))
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Traverse with nothing but loads — the pointers are plain
+	// addresses any code can follow.
+	fmt.Println("squares stored in persistent memory:")
+	for p := puddles.Addr(dev.LoadU64(root)); p != 0; p = puddles.Addr(dev.LoadU64(p + 8)) {
+		fmt.Printf("  %d\n", dev.LoadU64(p))
+	}
+	st := sys.Stats()
+	fmt.Printf("daemon: %d pools, %d puddles, %d KiB reserved\n",
+		st.Pools, st.Puddles, st.ReservedBytes/1024)
+}

@@ -1,0 +1,155 @@
+// Sensornet runs a small instance of the paper's §5.3 data-aggregation
+// workload through the public API: a home node distributes a pointer-
+// rich state structure, isolated sensor nodes mutate their copies, and
+// the home node aggregates the uploads — importing every copy into an
+// address space where the original already lives, so every pointer is
+// rewritten on the way in. PMDK refuses this scenario outright
+// (copies share a UUID and cannot even be opened together).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"puddles"
+)
+
+// StateVar is one sensor reading slot.
+type StateVar struct {
+	ID    uint64
+	Value uint64
+	Next  puddles.Ptr
+}
+
+// StateRoot anchors the variable list.
+type StateRoot struct {
+	Head puddles.Ptr
+	Pad  uint64
+}
+
+const (
+	nodes = 5
+	vars  = 64
+)
+
+func buildState(sys *puddles.System, c *puddles.Client) (*puddles.Pool, puddles.Addr, error) {
+	varT, err := c.RegisterLayout("StateVar", StateVar{})
+	if err != nil {
+		return nil, 0, err
+	}
+	rootT, err := c.RegisterLayout("StateRoot", StateRoot{})
+	if err != nil {
+		return nil, 0, err
+	}
+	pool, err := c.CreatePool("state", 0o600)
+	if err != nil {
+		return nil, 0, err
+	}
+	root, err := pool.CreateRoot(rootT.ID, 16)
+	if err != nil {
+		return nil, 0, err
+	}
+	dev := sys.Device()
+	prev := puddles.Addr(0)
+	for i := 0; i < vars; i++ {
+		a, err := pool.Malloc(varT.ID, 24)
+		if err != nil {
+			return nil, 0, err
+		}
+		dev.StoreU64(a, uint64(i))
+		if prev == 0 {
+			dev.StoreU64(root, uint64(a))
+		} else {
+			dev.StoreU64(prev+16, uint64(a))
+		}
+		prev = a
+	}
+	return pool, root, nil
+}
+
+func main() {
+	// Home machine.
+	home, err := puddles.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer home.Shutdown()
+	hc := home.Connect()
+	defer hc.Close()
+	pool, _, err := buildState(home, hc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob, err := pool.Export()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("home: distributed %d state vars (%d-byte container)\n", vars, len(blob))
+
+	// Independent sensor machines: each imports the state into ITS OWN
+	// global puddle space, mutates it transactionally, exports back.
+	uploads := make([][]byte, nodes)
+	for n := 0; n < nodes; n++ {
+		sensor, err := puddles.NewSystem()
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc := sensor.Connect()
+		sp, err := sc.ImportPool("state", blob, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		root, err := sp.Root()
+		if err != nil {
+			log.Fatal(err)
+		}
+		dev := sensor.Device()
+		if err := sc.Run(sp, func(tx *puddles.Tx) error {
+			i := uint64(0)
+			for p := puddles.Addr(dev.LoadU64(root)); p != 0; p = puddles.Addr(dev.LoadU64(p + 16)) {
+				if err := tx.SetU64(p+8, uint64(n+1)*10+i%7); err != nil {
+					return err
+				}
+				i++
+			}
+			return nil
+		}); err != nil {
+			log.Fatal(err)
+		}
+		uploads[n], err = sp.Export()
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc.Close()
+		sensor.Shutdown()
+	}
+	fmt.Printf("sensors: %d nodes uploaded modified copies\n", nodes)
+
+	// Aggregate: import each upload back into the home machine. The
+	// originals still occupy those addresses, so the import path
+	// relocates every puddle and rewrites every pointer.
+	dev := home.Device()
+	sums := make([]uint64, vars)
+	for n, up := range uploads {
+		cp, err := hc.ImportPool(fmt.Sprintf("upload-%d", n), up, true) // lazy: faults map on demand
+		if err != nil {
+			log.Fatal(err)
+		}
+		root, err := cp.ImportedRoot()
+		if err != nil {
+			log.Fatal(err)
+		}
+		i := 0
+		for p := puddles.Addr(dev.LoadU64(root)); p != 0; p = puddles.Addr(dev.LoadU64(p + 16)) {
+			sums[i] += dev.LoadU64(p + 8)
+			i++
+		}
+		stats, _ := cp.ImportStats()
+		if err := cp.FinalizeImport(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("home: upload-%d aggregated (%d puddles, %d on-demand faults, %d pointers rewritten)\n",
+			n, stats.Puddles, stats.Faults, stats.PtrsRewrote)
+	}
+	fmt.Printf("home: aggregate of var[0..4] = %v\n", sums[:5])
+}

@@ -1,0 +1,679 @@
+// Package alloc implements the per-puddle two-level object allocator
+// (paper §4.5).
+//
+// Small allocations (≤ 256 B) are served from per-type slab pages;
+// large allocations come from a per-puddle buddy allocator. Every
+// object carries its type ID in allocator metadata — slabs store one
+// type ID per page, large blocks store an object header — which lets
+// the relocation engine enumerate every (object, type) pair in a
+// puddle and, with the registered pointer maps, find every pointer.
+//
+// Persistent metadata is one byte per 1 KiB heap block in the puddle
+// header (the block map), plus in-heap slab headers. All metadata
+// mutations flow through a Mutator so they are undo-logged inside
+// transactions exactly like application data; volatile free lists and
+// slab indexes are rebuilt by scanning the block map on open.
+package alloc
+
+import (
+	"errors"
+	"fmt"
+
+	"puddles/internal/pmem"
+	"puddles/internal/ptypes"
+	"puddles/internal/puddle"
+)
+
+// Mutator performs crash-consistent writes on behalf of the allocator.
+// Inside a transaction the implementation undo-logs the target range
+// before writing (and persists the log entry first); outside one it
+// writes through and persists immediately.
+type Mutator interface {
+	// Write stores data at addr with undo protection.
+	Write(addr pmem.Addr, data []byte)
+	// WriteU64 stores a little-endian uint64 with undo protection.
+	WriteU64(addr pmem.Addr, v uint64)
+	// RegisterNew notes a freshly allocated payload so the transaction
+	// flushes it at commit. It is not logged: if the transaction
+	// aborts, the allocation itself is rolled back.
+	RegisterNew(addr pmem.Addr, size int)
+}
+
+// Direct is a Mutator for use outside transactions: writes go straight
+// to the device and are persisted immediately.
+type Direct struct{ Dev *pmem.Device }
+
+// Write implements Mutator.
+func (d Direct) Write(addr pmem.Addr, data []byte) {
+	d.Dev.Store(addr, data)
+	d.Dev.Persist(addr, len(data))
+}
+
+// WriteU64 implements Mutator.
+func (d Direct) WriteU64(addr pmem.Addr, v uint64) {
+	d.Dev.StoreU64(addr, v)
+	d.Dev.Persist(addr, 8)
+}
+
+// RegisterNew implements Mutator. Outside a transaction the caller is
+// responsible for persisting payload writes.
+func (d Direct) RegisterNew(addr pmem.Addr, size int) {}
+
+// Block map byte encoding: 0 marks the interior of a block; a start
+// byte carries the block's order in the low nibble plus flag bits.
+const (
+	bmStart  = 0x10
+	bmAlloc  = 0x20
+	bmSlab   = 0x40
+	bmOrder  = 0x0f
+	maxOrder = 15 // 1 KiB << 15 = 32 MiB, far above any puddle heap here
+
+	// SmallMax is the largest allocation served by slabs.
+	SmallMax = 256
+	// slabOrder: slabs are 4 KiB buddy blocks.
+	slabOrder = 2
+	slabSize  = puddle.BlockSize << slabOrder
+
+	// In-slab header layout.
+	slabMagic     = 0x534c4142 // "SLAB"
+	slabHdrSize   = 64
+	sOffMagic     = 0  // u32
+	sOffElemSize  = 4  // u32
+	sOffElemCount = 8  // u32
+	sOffTypeID    = 16 // u64
+	sOffBitmap    = 24 // 40 bytes -> 320 bits, enough for 252 elems
+
+	// Large-object header preceding the payload.
+	ObjHdrSize = 16
+	oOffType   = 0 // u64
+	oOffSize   = 8 // u64
+)
+
+// Size classes for slab allocations.
+var classes = [...]uint32{16, 32, 64, 128, 256}
+
+func classFor(size uint32) (uint32, bool) {
+	for _, c := range classes {
+		if size <= c {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// Errors.
+var (
+	ErrNoSpace  = errors.New("alloc: puddle heap has no room for this allocation")
+	ErrTooLarge = errors.New("alloc: allocation exceeds puddle heap capacity")
+	ErrBadFree  = errors.New("alloc: free of an address that is not an allocated object")
+	ErrBadSize  = errors.New("alloc: allocation size must be positive")
+)
+
+type slabKey struct {
+	typeID ptypes.TypeID
+	class  uint32
+}
+
+// Heap manages one puddle's heap.
+type Heap struct {
+	P   *puddle.Puddle
+	dev *pmem.Device
+
+	blocks   uint64
+	order    [maxOrder + 1][]uint64 // free lists: block indexes
+	slabs    map[slabKey][]pmem.Addr
+	liveObjs uint64
+	freeBlks uint64
+}
+
+// NewHeap opens the heap of a formatted puddle, rebuilding volatile
+// state (free lists, slab indexes) from the persistent block map.
+func NewHeap(p *puddle.Puddle) *Heap {
+	h := &Heap{P: p, dev: p.Dev, blocks: p.Blocks(), slabs: make(map[slabKey][]pmem.Addr)}
+	h.rescan()
+	return h
+}
+
+// Format initialises an empty heap: the block map is carved into the
+// largest aligned buddy blocks that fit, all free.
+func Format(p *puddle.Puddle, m Mutator) *Heap {
+	blocks := p.Blocks()
+	bm := make([]byte, blocks)
+	var i uint64
+	for i < blocks {
+		o := largestOrderAt(i, blocks-i)
+		bm[i] = bmStart | byte(o)
+		i += 1 << o
+	}
+	m.Write(p.BlockMapAddr(), bm)
+	return NewHeap(p)
+}
+
+// largestOrderAt returns the biggest order whose block is aligned at
+// index i and fits within rem blocks.
+func largestOrderAt(i, rem uint64) uint {
+	var o uint = 0
+	for o < maxOrder {
+		n := uint(o + 1)
+		if i%(1<<n) != 0 || (uint64(1)<<n) > rem {
+			break
+		}
+		o = n
+	}
+	return o
+}
+
+func (h *Heap) bmAddr(idx uint64) pmem.Addr { return h.P.BlockMapAddr() + pmem.Addr(idx) }
+
+func (h *Heap) blockAddr(idx uint64) pmem.Addr {
+	return h.P.HeapBase() + pmem.Addr(idx*puddle.BlockSize)
+}
+
+func (h *Heap) blockIdx(addr pmem.Addr) uint64 {
+	return uint64(addr-h.P.HeapBase()) / puddle.BlockSize
+}
+
+// Rescan rebuilds the volatile free lists and slab index from the
+// persistent block map. Transactions call it after an abort rolls the
+// block map back underneath the volatile state.
+func (h *Heap) Rescan() { h.rescan() }
+
+// rescan rebuilds the volatile free lists and slab index from the
+// persistent block map (done on every open, like PMDK).
+func (h *Heap) rescan() {
+	for o := range h.order {
+		h.order[o] = h.order[o][:0]
+	}
+	h.slabs = make(map[slabKey][]pmem.Addr)
+	h.liveObjs = 0
+	h.freeBlks = 0
+	bm := make([]byte, h.blocks)
+	h.dev.Load(h.P.BlockMapAddr(), bm)
+	var i uint64
+	for i < h.blocks {
+		b := bm[i]
+		if b&bmStart == 0 {
+			i++ // torn map byte or interior; skip defensively
+			continue
+		}
+		o := uint(b & bmOrder)
+		switch {
+		case b&bmAlloc == 0:
+			h.order[o] = append(h.order[o], i)
+			h.freeBlks += 1 << o
+		case b&bmSlab != 0:
+			h.scanSlab(h.blockAddr(i))
+		default:
+			h.liveObjs++
+		}
+		i += 1 << o
+	}
+}
+
+func (h *Heap) scanSlab(base pmem.Addr) {
+	if h.dev.LoadU32(base+sOffMagic) != slabMagic {
+		return
+	}
+	class := h.dev.LoadU32(base + sOffElemSize)
+	count := h.dev.LoadU32(base + sOffElemCount)
+	tid := ptypes.TypeID(h.dev.LoadU64(base + sOffTypeID))
+	var buf [40]byte
+	used := 0
+	for i, b := range h.loadBitmap(base, count, &buf) {
+		for j := 0; j < 8; j++ {
+			e := uint32(i*8 + j)
+			if e >= count {
+				break
+			}
+			if b&(1<<j) != 0 {
+				used++
+			}
+		}
+	}
+	h.liveObjs += uint64(used)
+	if used < int(count) {
+		k := slabKey{tid, class}
+		h.slabs[k] = append(h.slabs[k], base)
+	}
+}
+
+func (h *Heap) slabBit(slab pmem.Addr, e uint32) bool {
+	b := h.dev.LoadU8(slab + sOffBitmap + pmem.Addr(e/8))
+	return b&(1<<(e%8)) != 0
+}
+
+// loadBitmap reads a slab's occupancy bitmap in one device access.
+func (h *Heap) loadBitmap(slab pmem.Addr, count uint32, buf *[40]byte) []byte {
+	n := (count + 7) / 8
+	h.dev.Load(slab+sOffBitmap, buf[:n])
+	return buf[:n]
+}
+
+// findFreeSlot returns the first free element index, or -1.
+func (h *Heap) findFreeSlot(slab pmem.Addr, count uint32) int32 {
+	var buf [40]byte
+	bm := h.loadBitmap(slab, count, &buf)
+	for i, b := range bm {
+		if b == 0xff {
+			continue
+		}
+		for j := uint32(0); j < 8; j++ {
+			e := uint32(i)*8 + j
+			if e >= count {
+				return -1
+			}
+			if b&(1<<j) == 0 {
+				return int32(e)
+			}
+		}
+	}
+	return -1
+}
+
+func (h *Heap) setSlabBit(m Mutator, slab pmem.Addr, e uint32, v bool) {
+	a := slab + sOffBitmap + pmem.Addr(e/8)
+	b := h.dev.LoadU8(a)
+	if v {
+		b |= 1 << (e % 8)
+	} else {
+		b &^= 1 << (e % 8)
+	}
+	m.Write(a, []byte{b})
+}
+
+// allocBlock removes a free block of exactly the given order, splitting
+// larger blocks as needed. The block at heap start is preferred while
+// free: the first allocation of a fresh puddle therefore lands at the
+// fixed root offset (paper §4.5: "the object allocator always
+// allocates the first object at a fixed offset"), and growth stays
+// dense at low addresses.
+func (h *Heap) allocBlock(m Mutator, want uint) (uint64, error) {
+	var idx uint64
+	var o uint
+	if b0 := h.dev.LoadU8(h.bmAddr(0)); b0&bmStart != 0 && b0&bmAlloc == 0 && uint(b0&bmOrder) >= want {
+		o = uint(b0 & bmOrder)
+		pos := h.findFree(o, 0)
+		if pos < 0 {
+			return 0, fmt.Errorf("alloc: free list desynchronized at block 0")
+		}
+		h.order[o] = append(h.order[o][:pos], h.order[o][pos+1:]...)
+	} else {
+		o = want
+		for o <= maxOrder && len(h.order[o]) == 0 {
+			o++
+		}
+		if o > maxOrder {
+			return 0, ErrNoSpace
+		}
+		idx = h.order[o][len(h.order[o])-1]
+		h.order[o] = h.order[o][:len(h.order[o])-1]
+	}
+	// Split down to the requested order, keeping the low half.
+	for o > want {
+		o--
+		buddy := idx + (1 << o)
+		m.Write(h.bmAddr(buddy), []byte{bmStart | byte(o)})
+		h.order[o] = append(h.order[o], buddy)
+	}
+	h.freeBlks -= 1 << want
+	return idx, nil
+}
+
+// freeBlock returns a block to the free lists, merging buddies.
+func (h *Heap) freeBlock(m Mutator, idx uint64, o uint) {
+	h.freeBlks += 1 << o
+	for o < maxOrder {
+		buddy := idx ^ (1 << o)
+		if buddy >= h.blocks {
+			break
+		}
+		pos := h.findFree(o, buddy)
+		if pos < 0 {
+			break
+		}
+		// Detach the buddy and merge.
+		h.order[o] = append(h.order[o][:pos], h.order[o][pos+1:]...)
+		lo := idx
+		if buddy < idx {
+			lo = buddy
+		}
+		hi := lo + (1 << o)
+		m.Write(h.bmAddr(hi), []byte{0})
+		idx = lo
+		o++
+	}
+	m.Write(h.bmAddr(idx), []byte{bmStart | byte(o)})
+	h.order[o] = append(h.order[o], idx)
+}
+
+func (h *Heap) findFree(o uint, idx uint64) int {
+	for i, v := range h.order[o] {
+		if v == idx {
+			return i
+		}
+	}
+	return -1
+}
+
+// orderForBytes returns the smallest order whose block holds n bytes.
+func orderForBytes(n uint64) uint {
+	o := uint(0)
+	for uint64(puddle.BlockSize)<<o < n {
+		o++
+	}
+	return o
+}
+
+// Alloc allocates size bytes typed typeID and returns the payload
+// address. The object's contents are undefined (malloc semantics).
+func (h *Heap) Alloc(m Mutator, typeID ptypes.TypeID, size uint32) (pmem.Addr, error) {
+	if size == 0 {
+		return 0, ErrBadSize
+	}
+	if class, ok := classFor(size); ok {
+		return h.allocSmall(m, typeID, class)
+	}
+	return h.AllocLarge(m, typeID, size)
+}
+
+// AllocLarge always uses the buddy path, even for small sizes. The
+// pool root object is allocated this way so it lands at the fixed root
+// offset (paper §4.5).
+func (h *Heap) AllocLarge(m Mutator, typeID ptypes.TypeID, size uint32) (pmem.Addr, error) {
+	need := uint64(size) + ObjHdrSize
+	o := orderForBytes(need)
+	if o > maxOrder || uint64(puddle.BlockSize)<<o > h.P.HeapSize() {
+		return 0, ErrTooLarge
+	}
+	idx, err := h.allocBlock(m, o)
+	if err != nil {
+		return 0, err
+	}
+	base := h.blockAddr(idx)
+	m.Write(h.bmAddr(idx), []byte{bmStart | bmAlloc | byte(o)})
+	m.WriteU64(base+oOffType, uint64(typeID))
+	m.WriteU64(base+oOffSize, uint64(size))
+	h.liveObjs++
+	payload := base + ObjHdrSize
+	m.RegisterNew(payload, int(size))
+	return payload, nil
+}
+
+func (h *Heap) allocSmall(m Mutator, typeID ptypes.TypeID, class uint32) (pmem.Addr, error) {
+	k := slabKey{typeID, class}
+	for _, slab := range h.slabs[k] {
+		count := h.dev.LoadU32(slab + sOffElemCount)
+		e := h.findFreeSlot(slab, count)
+		if e < 0 {
+			h.dropSlab(k, slab) // stale index entry
+			continue
+		}
+		h.setSlabBit(m, slab, uint32(e), true)
+		h.liveObjs++
+		addr := slab + slabHdrSize + pmem.Addr(uint32(e)*class)
+		m.RegisterNew(addr, int(class))
+		if h.findFreeSlot(slab, count) < 0 {
+			h.dropSlab(k, slab)
+		}
+		return addr, nil
+	}
+	// No slab with space: carve a new one.
+	idx, err := h.allocBlock(m, slabOrder)
+	if err != nil {
+		return 0, err
+	}
+	base := h.blockAddr(idx)
+	m.Write(h.bmAddr(idx), []byte{bmStart | bmAlloc | bmSlab | slabOrder})
+	count := uint32((slabSize - slabHdrSize) / class)
+	var hdr [slabHdrSize]byte
+	m.Write(base, hdr[:]) // zero the header (incl. bitmap)
+	m.WriteU64(base+sOffTypeID, uint64(typeID))
+	var w [8]byte
+	putU32(w[:4], slabMagic)
+	putU32(w[4:], class)
+	m.Write(base+sOffMagic, w[:])
+	putU32(w[:4], count)
+	m.Write(base+sOffElemCount, w[:4])
+	h.setSlabBit(m, base, 0, true)
+	h.slabs[k] = append(h.slabs[k], base)
+	h.liveObjs++
+	addr := base + slabHdrSize
+	m.RegisterNew(addr, int(class))
+	return addr, nil
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func (h *Heap) fullSlab(slab pmem.Addr, count uint32) bool {
+	return h.findFreeSlot(slab, count) < 0
+}
+
+func (h *Heap) dropSlab(k slabKey, slab pmem.Addr) {
+	lst := h.slabs[k]
+	for i, s := range lst {
+		if s == slab {
+			h.slabs[k] = append(lst[:i], lst[i+1:]...)
+			return
+		}
+	}
+}
+
+// findStart locates the buddy block containing heap index idx.
+func (h *Heap) findStart(idx uint64) (start uint64, b byte, ok bool) {
+	bmBase := h.P.BlockMapAddr()
+	for o := uint(0); o <= maxOrder; o++ {
+		c := idx &^ ((1 << o) - 1)
+		cb := h.dev.LoadU8(bmBase + pmem.Addr(c))
+		if cb&bmStart == 0 {
+			continue
+		}
+		co := uint(cb & bmOrder)
+		if co >= o && c+(1<<co) > idx {
+			return c, cb, true
+		}
+		return 0, 0, false // found a start that doesn't cover idx
+	}
+	return 0, 0, false
+}
+
+// Free releases the object whose payload starts at addr.
+func (h *Heap) Free(m Mutator, addr pmem.Addr) error {
+	if addr < h.P.HeapBase() || addr >= h.P.Base+pmem.Addr(h.P.Size()) {
+		return ErrBadFree
+	}
+	idx := h.blockIdx(addr)
+	start, b, ok := h.findStart(idx)
+	if !ok || b&bmAlloc == 0 {
+		return ErrBadFree
+	}
+	base := h.blockAddr(start)
+	o := uint(b & bmOrder)
+	if b&bmSlab != 0 {
+		return h.freeSmall(m, base, addr)
+	}
+	if addr != base+ObjHdrSize {
+		return ErrBadFree
+	}
+	m.Write(h.bmAddr(start), []byte{bmStart | byte(o)})
+	h.liveObjs--
+	h.freeBlock(m, start, o)
+	return nil
+}
+
+func (h *Heap) freeSmall(m Mutator, slab, addr pmem.Addr) error {
+	class := h.dev.LoadU32(slab + sOffElemSize)
+	count := h.dev.LoadU32(slab + sOffElemCount)
+	off := uint64(addr - slab - slabHdrSize)
+	if addr < slab+slabHdrSize || off%uint64(class) != 0 || uint32(off/uint64(class)) >= count {
+		return ErrBadFree
+	}
+	e := uint32(off / uint64(class))
+	if !h.slabBit(slab, e) {
+		return ErrBadFree
+	}
+	wasFull := h.fullSlab(slab, count)
+	h.setSlabBit(m, slab, e, false)
+	h.liveObjs--
+	tid := ptypes.TypeID(h.dev.LoadU64(slab + sOffTypeID))
+	k := slabKey{tid, class}
+	// Empty slab: return the page to the buddy allocator.
+	var buf [40]byte
+	empty := true
+	for _, b := range h.loadBitmap(slab, count, &buf) {
+		if b != 0 {
+			empty = false
+			break
+		}
+	}
+	idx := h.blockIdx(slab)
+	if empty {
+		h.dropSlab(k, slab)
+		m.Write(slab+sOffMagic, []byte{0, 0, 0, 0}) // kill the slab magic
+		m.Write(h.bmAddr(idx), []byte{bmStart | slabOrder})
+		h.freeBlock(m, idx, slabOrder)
+		return nil
+	}
+	if wasFull {
+		h.slabs[k] = append(h.slabs[k], slab)
+	}
+	return nil
+}
+
+// Object describes one live allocation.
+type Object struct {
+	Addr   pmem.Addr
+	TypeID ptypes.TypeID
+	Size   uint32
+}
+
+// Objects calls fn for every live object in the heap, in address
+// order. Iteration stops if fn returns false. This is the enumeration
+// the relocation engine uses to find pointers (paper §4.2).
+func (h *Heap) Objects(fn func(Object) bool) {
+	bm := make([]byte, h.blocks)
+	h.dev.Load(h.P.BlockMapAddr(), bm)
+	var i uint64
+	for i < h.blocks {
+		b := bm[i]
+		if b&bmStart == 0 {
+			i++
+			continue
+		}
+		o := uint(b & bmOrder)
+		base := h.blockAddr(i)
+		if b&bmAlloc != 0 {
+			if b&bmSlab != 0 {
+				class := h.dev.LoadU32(base + sOffElemSize)
+				count := h.dev.LoadU32(base + sOffElemCount)
+				tid := ptypes.TypeID(h.dev.LoadU64(base + sOffTypeID))
+				for e := uint32(0); e < count; e++ {
+					if h.slabBit(base, e) {
+						obj := Object{base + slabHdrSize + pmem.Addr(e*class), tid, class}
+						if !fn(obj) {
+							return
+						}
+					}
+				}
+			} else {
+				tid := ptypes.TypeID(h.dev.LoadU64(base + oOffType))
+				size := uint32(h.dev.LoadU64(base + oOffSize))
+				if !fn(Object{base + ObjHdrSize, tid, size}) {
+					return
+				}
+			}
+		}
+		i += 1 << o
+	}
+}
+
+// SizeOf returns the payload size of the object at addr.
+func (h *Heap) SizeOf(addr pmem.Addr) (uint32, error) {
+	idx := h.blockIdx(addr)
+	start, b, ok := h.findStart(idx)
+	if !ok || b&bmAlloc == 0 {
+		return 0, ErrBadFree
+	}
+	base := h.blockAddr(start)
+	if b&bmSlab != 0 {
+		return h.dev.LoadU32(base + sOffElemSize), nil
+	}
+	return uint32(h.dev.LoadU64(base + oOffSize)), nil
+}
+
+// TypeOf returns the type ID of the object at addr.
+func (h *Heap) TypeOf(addr pmem.Addr) (ptypes.TypeID, error) {
+	idx := h.blockIdx(addr)
+	start, b, ok := h.findStart(idx)
+	if !ok || b&bmAlloc == 0 {
+		return 0, ErrBadFree
+	}
+	base := h.blockAddr(start)
+	if b&bmSlab != 0 {
+		return ptypes.TypeID(h.dev.LoadU64(base + sOffTypeID)), nil
+	}
+	return ptypes.TypeID(h.dev.LoadU64(base + oOffType)), nil
+}
+
+// FreeBytes returns a lower bound on allocatable bytes (free buddy
+// blocks; slack inside slabs is not counted).
+func (h *Heap) FreeBytes() uint64 { return h.freeBlks * puddle.BlockSize }
+
+// LiveObjects returns the number of live allocations.
+func (h *Heap) LiveObjects() uint64 { return h.liveObjs }
+
+// Validate checks heap invariants (block map consistency, no
+// overlapping blocks, free-list accuracy) for tests.
+func (h *Heap) Validate() error {
+	bm := make([]byte, h.blocks)
+	h.dev.Load(h.P.BlockMapAddr(), bm)
+	free := make(map[uint64]uint)
+	for o, lst := range h.order {
+		for _, idx := range lst {
+			if _, dup := free[idx]; dup {
+				return fmt.Errorf("block %d on two free lists", idx)
+			}
+			free[idx] = uint(o)
+		}
+	}
+	var i uint64
+	covered := uint64(0)
+	for i < h.blocks {
+		b := bm[i]
+		if b&bmStart == 0 {
+			return fmt.Errorf("block %d: expected a start byte, got %#x", i, b)
+		}
+		o := uint(b & bmOrder)
+		if i%(1<<o) != 0 {
+			return fmt.Errorf("block %d: misaligned for order %d", i, o)
+		}
+		if i+(1<<o) > h.blocks {
+			return fmt.Errorf("block %d: order %d overruns heap", i, o)
+		}
+		for j := i + 1; j < i+(1<<o); j++ {
+			if bm[j] != 0 {
+				return fmt.Errorf("block %d: interior byte %d is %#x", i, j, bm[j])
+			}
+		}
+		if b&bmAlloc == 0 {
+			fo, ok := free[i]
+			if !ok || fo != o {
+				return fmt.Errorf("free block %d (order %d) missing from free list", i, o)
+			}
+			delete(free, i)
+		}
+		covered += 1 << o
+		i += 1 << o
+	}
+	if covered != h.blocks {
+		return fmt.Errorf("coverage %d != %d blocks", covered, h.blocks)
+	}
+	if len(free) != 0 {
+		return fmt.Errorf("%d stale free-list entries", len(free))
+	}
+	return nil
+}

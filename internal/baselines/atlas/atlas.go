@@ -1,0 +1,332 @@
+// Package atlas reimplements the Atlas programming model (Chakrabarti,
+// Boehm, Bhandari — OOPSLA '14): failure-atomic sections delimited by
+// lock acquire/release, made durable with an eagerly persisted
+// undo log.
+//
+// Atlas's distinguishing costs, reproduced here: every logged store
+// persists its undo entry immediately (flush + fence per entry —
+// Atlas publishes log entries synchronously so the FASE can be rolled
+// back from any point), and there is no redo path, so allocator
+// metadata also goes through the undo log. Pointers are native.
+// Recovery, as in the original, runs when the application reopens the
+// region.
+package atlas
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"sync"
+
+	"puddles/internal/pmem"
+	"puddles/internal/pmlib"
+)
+
+const (
+	magic = 0x53414c5441 // "ATLAS"
+
+	hOffMagic  = 0
+	hOffValid  = 8
+	hOffUsed   = 16
+	hOffEpoch  = 24
+	hOffRoot   = 32
+	hOffCursor = 40
+	hOffSize   = 48
+	hdrSize    = pmem.PageSize
+	logSize    = 512 << 10
+
+	eHdr = 24 // ck u64, off u64, size u64
+)
+
+var crcTable = crc64.MakeTable(crc64.ISO)
+
+// Errors.
+var (
+	ErrNoSpace = errors.New("atlas: region out of space")
+	ErrBadHeap = errors.New("atlas: not an atlas region")
+	ErrLogFull = errors.New("atlas: FASE log full")
+)
+
+// Heap is one Atlas persistent region.
+type Heap struct {
+	dev  *pmem.Device
+	base pmem.Addr
+	size uint64
+
+	mu   sync.Mutex // the FASE lock
+	used uint64
+}
+
+// Create formats a region of size bytes (header + log + heap).
+func Create(dev *pmem.Device, base pmem.Addr, size uint64) (*Heap, error) {
+	if size < hdrSize+logSize+pmem.PageSize {
+		return nil, fmt.Errorf("atlas: size %d too small", size)
+	}
+	dev.Zero(base, int(hdrSize))
+	dev.StoreU64(base+hOffSize, size)
+	dev.StoreU64(base+hOffEpoch, 1)
+	dev.StoreU64(base+hOffCursor, hdrSize+logSize)
+	dev.Persist(base, hdrSize)
+	dev.StoreU64(base+hOffMagic, magic)
+	dev.Persist(base+hOffMagic, 8)
+	return &Heap{dev: dev, base: base, size: size}, nil
+}
+
+// Open maps an existing region and rolls back any interrupted FASE.
+func Open(dev *pmem.Device, base pmem.Addr) (*Heap, error) {
+	if dev.LoadU64(base+hOffMagic) != magic {
+		return nil, ErrBadHeap
+	}
+	h := &Heap{dev: dev, base: base, size: dev.LoadU64(base + hOffSize)}
+	h.rollback()
+	return h, nil
+}
+
+// rollback applies valid undo entries in reverse and clears the log.
+func (h *Heap) rollback() {
+	dev := h.dev
+	if dev.LoadU64(h.base+hOffValid) == 0 {
+		return
+	}
+	epoch := dev.LoadU64(h.base + hOffEpoch)
+	used := dev.LoadU64(h.base + hOffUsed)
+	logBase := h.base + hdrSize
+	type entry struct {
+		off  uint64
+		data []byte
+	}
+	var entries []entry
+	var pos uint64
+	for pos+eHdr <= used {
+		at := logBase + pmem.Addr(pos)
+		var hd [eHdr]byte
+		dev.Load(at, hd[:])
+		size := binary.LittleEndian.Uint64(hd[16:])
+		span := uint64(eHdr) + (size+7)&^7
+		if pos+span > used {
+			break
+		}
+		data := make([]byte, size)
+		dev.Load(at+eHdr, data)
+		ck := crc64.Update(epoch, crcTable, hd[8:])
+		ck = crc64.Update(ck, crcTable, data)
+		if ck != binary.LittleEndian.Uint64(hd[:8]) {
+			break
+		}
+		entries = append(entries, entry{binary.LittleEndian.Uint64(hd[8:]), data})
+		pos += span
+	}
+	for i := len(entries) - 1; i >= 0; i-- {
+		dev.Store(h.base+pmem.Addr(entries[i].off), entries[i].data)
+		dev.Flush(h.base+pmem.Addr(entries[i].off), len(entries[i].data))
+	}
+	dev.Fence()
+	h.clearLog()
+}
+
+func (h *Heap) clearLog() {
+	dev := h.dev
+	dev.StoreU64(h.base+hOffEpoch, dev.LoadU64(h.base+hOffEpoch)+1)
+	dev.StoreU64(h.base+hOffValid, 0)
+	dev.StoreU64(h.base+hOffUsed, 0)
+	dev.Persist(h.base+hOffValid, 24)
+	h.used = 0
+}
+
+// Tx is one failure-atomic section (outermost lock scope).
+type Tx struct {
+	h     *Heap
+	flush []pmem.Range
+	done  bool
+}
+
+// Begin acquires the FASE lock.
+func (h *Heap) Begin() *Tx {
+	h.mu.Lock()
+	return &Tx{h: h}
+}
+
+// Run executes fn as a FASE.
+func (h *Heap) Run(fn func(tx *Tx) error) error {
+	tx := h.Begin()
+	defer func() {
+		if r := recover(); r != nil {
+			tx.Abort()
+			panic(r)
+		}
+	}()
+	if err := fn(tx); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// logStore eagerly persists an undo entry for [addr, addr+size).
+func (t *Tx) logStore(addr pmem.Addr, size int) error {
+	h := t.h
+	dev := h.dev
+	if addr < h.base || addr+pmem.Addr(size) > h.base+pmem.Addr(h.size) {
+		return fmt.Errorf("atlas: address %#x outside region", uint64(addr))
+	}
+	span := uint64(eHdr) + (uint64(size)+7)&^7
+	if h.used+span > logSize {
+		return ErrLogFull
+	}
+	at := h.base + hdrSize + pmem.Addr(h.used)
+	old := make([]byte, size)
+	dev.Load(addr, old)
+	var hd [eHdr]byte
+	binary.LittleEndian.PutUint64(hd[8:], uint64(addr-h.base))
+	binary.LittleEndian.PutUint64(hd[16:], uint64(size))
+	epoch := dev.LoadU64(h.base + hOffEpoch)
+	ck := crc64.Update(epoch, crcTable, hd[8:])
+	ck = crc64.Update(ck, crcTable, old)
+	binary.LittleEndian.PutUint64(hd[:8], ck)
+	dev.Store(at, hd[:])
+	dev.Store(at+eHdr, old)
+	// Atlas persists each entry synchronously.
+	dev.Flush(at, int(span))
+	dev.Fence()
+	h.used += span
+	dev.StoreU64(h.base+hOffUsed, h.used)
+	dev.StoreU64(h.base+hOffValid, 1)
+	dev.Flush(h.base+hOffUsed, 16)
+	dev.Fence()
+	t.flush = append(t.flush, pmem.Range{Start: addr, End: addr + pmem.Addr(size)})
+	return nil
+}
+
+// Set logs and writes.
+func (t *Tx) Set(addr pmem.Addr, data []byte) error {
+	if err := t.logStore(addr, len(data)); err != nil {
+		return err
+	}
+	t.h.dev.Store(addr, data)
+	return nil
+}
+
+// SetU64 logs and writes an 8-byte value.
+func (t *Tx) SetU64(addr pmem.Addr, v uint64) error {
+	if err := t.logStore(addr, 8); err != nil {
+		return err
+	}
+	t.h.dev.StoreU64(addr, v)
+	return nil
+}
+
+// SetRef writes a native 8-byte reference.
+func (t *Tx) SetRef(addr pmem.Addr, r pmlib.Ref) error { return t.SetU64(addr, r.W1) }
+
+// Alloc bump-allocates; the cursor update is undo-logged so the
+// allocation rolls back with the FASE.
+func (t *Tx) Alloc(size uint32) (pmlib.Ref, error) {
+	h := t.h
+	need := (uint64(size) + 63) &^ 63
+	cur := h.dev.LoadU64(h.base + hOffCursor)
+	if cur+need > h.size {
+		return pmlib.Null, ErrNoSpace
+	}
+	if err := t.SetU64(h.base+hOffCursor, cur+need); err != nil {
+		return pmlib.Null, err
+	}
+	addr := h.base + pmem.Addr(cur)
+	h.dev.Zero(addr, int(size))
+	t.flush = append(t.flush, pmem.Range{Start: addr, End: addr + pmem.Addr(size)})
+	return pmlib.Ref{W1: uint64(addr)}, nil
+}
+
+// Free is a no-op (Atlas leaves reclamation to its offline GC).
+func (t *Tx) Free(r pmlib.Ref) error { return nil }
+
+// Commit flushes mutated locations and retires the log (lock release).
+func (t *Tx) Commit() error {
+	if t.done {
+		return errors.New("atlas: FASE finished")
+	}
+	t.done = true
+	for _, r := range t.flush {
+		t.h.dev.Flush(r.Start, int(r.Size()))
+	}
+	t.h.dev.Fence()
+	t.h.clearLog()
+	t.h.mu.Unlock()
+	return nil
+}
+
+// Abort rolls the FASE back.
+func (t *Tx) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.h.rollback()
+	t.h.mu.Unlock()
+}
+
+// Root returns the root object, allocating on first use.
+func (h *Heap) Root(size uint32) (pmlib.Ref, error) {
+	if off := h.dev.LoadU64(h.base + hOffRoot); off != 0 {
+		return pmlib.Ref{W1: uint64(h.base + pmem.Addr(off))}, nil
+	}
+	var out pmlib.Ref
+	err := h.Run(func(tx *Tx) error {
+		r, err := tx.Alloc(size)
+		if err != nil {
+			return err
+		}
+		out = r
+		return tx.SetU64(h.base+hOffRoot, uint64(pmem.Addr(r.W1)-h.base))
+	})
+	return out, err
+}
+
+// --- pmlib adapter ---
+
+// Lib adapts an Atlas heap to the common workload interface.
+type Lib struct{ h *Heap }
+
+// NewLib boots an Atlas stack of the given region size.
+func NewLib(size uint64) (*Lib, error) {
+	h, err := Create(pmem.New(), pmem.PageSize, size)
+	if err != nil {
+		return nil, err
+	}
+	return &Lib{h: h}, nil
+}
+
+// Heap exposes the underlying heap.
+func (l *Lib) Heap() *Heap { return l.h }
+
+// Name implements pmlib.Lib.
+func (l *Lib) Name() string { return "atlas" }
+
+// RefSize implements pmlib.Lib.
+func (l *Lib) RefSize() uint32 { return 8 }
+
+// Deref implements pmlib.Lib.
+func (l *Lib) Deref(r pmlib.Ref) pmem.Addr { return pmem.Addr(r.W1) }
+
+// LoadRef implements pmlib.Lib.
+func (l *Lib) LoadRef(addr pmem.Addr) pmlib.Ref { return pmlib.Ref{W1: l.h.dev.LoadU64(addr)} }
+
+// StoreRef implements pmlib.Lib.
+func (l *Lib) StoreRef(addr pmem.Addr, r pmlib.Ref) { l.h.dev.StoreU64(addr, r.W1) }
+
+// Root implements pmlib.Lib.
+func (l *Lib) Root(size uint32) (pmlib.Ref, error) { return l.h.Root(size) }
+
+// Run implements pmlib.Lib.
+func (l *Lib) Run(fn func(tx pmlib.Tx) error) error {
+	return l.h.Run(func(tx *Tx) error { return fn(tx) })
+}
+
+// Device implements pmlib.Lib.
+func (l *Lib) Device() *pmem.Device { return l.h.dev }
+
+// Close implements pmlib.Lib.
+func (l *Lib) Close() error { return nil }
+
+var _ pmlib.Lib = (*Lib)(nil)
+var _ pmlib.Tx = (*Tx)(nil)

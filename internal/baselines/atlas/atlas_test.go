@@ -1,0 +1,109 @@
+package atlas
+
+import (
+	"errors"
+	"testing"
+
+	"puddles/internal/pmem"
+)
+
+const region = 8 << 20
+
+func TestCreateOpenRoot(t *testing.T) {
+	dev := pmem.New()
+	h, err := Create(dev, pmem.PageSize, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := h.Root(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Open(dev, pmem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root2, _ := h2.Root(64)
+	if root != root2 {
+		t.Fatal("root moved across open")
+	}
+}
+
+func TestInterruptedFASERollsBackOnOpen(t *testing.T) {
+	dev := pmem.New()
+	h, _ := Create(dev, pmem.PageSize, region)
+	root, _ := h.Root(64)
+	addr := pmem.Addr(root.W1)
+	h.Run(func(tx *Tx) error { return tx.SetU64(addr, 11) })
+
+	// FASE interrupted mid-flight: log persisted, no commit.
+	tx := h.Begin()
+	if err := tx.SetU64(addr, 22); err != nil {
+		t.Fatal(err)
+	}
+	// Process dies (lock never released, log still valid).
+	h2, err := Open(dev, pmem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := dev.LoadU64(addr); v != 11 {
+		t.Fatalf("FASE not rolled back on open: %d", v)
+	}
+	_ = h2
+}
+
+func TestFASEOrderingMultipleWrites(t *testing.T) {
+	// Two writes to the same address inside one FASE: rollback must
+	// restore the ORIGINAL value (reverse replay).
+	dev := pmem.New()
+	h, _ := Create(dev, pmem.PageSize, region)
+	root, _ := h.Root(64)
+	addr := pmem.Addr(root.W1)
+	h.Run(func(tx *Tx) error { return tx.SetU64(addr, 1) })
+	h.Run(func(tx *Tx) error {
+		tx.SetU64(addr, 2)
+		tx.SetU64(addr, 3)
+		return errors.New("abort")
+	})
+	if v := dev.LoadU64(addr); v != 1 {
+		t.Fatalf("reverse undo broken: %d, want 1", v)
+	}
+}
+
+func TestAllocCursorUndoLogged(t *testing.T) {
+	dev := pmem.New()
+	h, _ := Create(dev, pmem.PageSize, region)
+	before := dev.LoadU64(pmem.PageSize + hOffCursor)
+	h.Run(func(tx *Tx) error {
+		if _, err := tx.Alloc(64); err != nil {
+			return err
+		}
+		return errors.New("abort")
+	})
+	if got := dev.LoadU64(pmem.PageSize + hOffCursor); got != before {
+		t.Fatalf("cursor leaked: %d -> %d", before, got)
+	}
+}
+
+func TestLogFull(t *testing.T) {
+	dev := pmem.New()
+	h, _ := Create(dev, pmem.PageSize, region)
+	root, _ := h.Root(4096)
+	addr := pmem.Addr(root.W1)
+	err := h.Run(func(tx *Tx) error {
+		buf := make([]byte, 4096)
+		for i := 0; i < 1000; i++ {
+			if err := tx.Set(addr, buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrLogFull) {
+		t.Fatalf("err = %v, want ErrLogFull", err)
+	}
+	// The failed FASE aborted; the heap still works.
+	if err := h.Run(func(tx *Tx) error { return tx.SetU64(addr, 9) }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,244 @@
+// Package baselines_test runs one conformance suite over every PM
+// library in the repository, guaranteeing the comparative benchmarks
+// measure libraries that actually implement the same contract.
+package baselines_test
+
+import (
+	"fmt"
+	"testing"
+
+	"puddles/internal/baselines/atlas"
+	"puddles/internal/baselines/gopmem"
+	"puddles/internal/baselines/pmdk"
+	"puddles/internal/baselines/puddleslib"
+	"puddles/internal/baselines/romulus"
+	"puddles/internal/pmem"
+	"puddles/internal/pmlib"
+)
+
+const benchRegion = 64 << 20
+
+func allLibs(t *testing.T) []pmlib.Lib {
+	t.Helper()
+	pl, err := puddleslib.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, err := pmdk.NewLib(benchRegion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := romulus.NewLib(benchRegion / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, err := atlas.NewLib(benchRegion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := gopmem.NewLib(benchRegion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	libs := []pmlib.Lib{pl, pk, rm, at, gp}
+	t.Cleanup(func() {
+		for _, l := range libs {
+			l.Close()
+		}
+	})
+	return libs
+}
+
+func forEach(t *testing.T, fn func(t *testing.T, lib pmlib.Lib)) {
+	for _, lib := range allLibs(t) {
+		lib := lib
+		t.Run(lib.Name(), func(t *testing.T) { fn(t, lib) })
+	}
+}
+
+func TestRootStable(t *testing.T) {
+	forEach(t, func(t *testing.T, lib pmlib.Lib) {
+		r1, err := lib.Root(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.IsNull() || lib.Deref(r1) == 0 {
+			t.Fatal("null root")
+		}
+		r2, err := lib.Root(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1 != r2 {
+			t.Fatalf("root moved: %+v -> %+v", r1, r2)
+		}
+	})
+}
+
+func TestTxSetAndCommit(t *testing.T) {
+	forEach(t, func(t *testing.T, lib pmlib.Lib) {
+		root, _ := lib.Root(64)
+		addr := lib.Deref(root)
+		if err := lib.Run(func(tx pmlib.Tx) error {
+			return tx.SetU64(addr, 12345)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if v := lib.Device().LoadU64(addr); v != 12345 {
+			t.Fatalf("value = %d", v)
+		}
+	})
+}
+
+func TestTxAbortRollsBack(t *testing.T) {
+	forEach(t, func(t *testing.T, lib pmlib.Lib) {
+		root, _ := lib.Root(64)
+		addr := lib.Deref(root)
+		lib.Run(func(tx pmlib.Tx) error { return tx.SetU64(addr, 1) })
+		err := lib.Run(func(tx pmlib.Tx) error {
+			if err := tx.SetU64(addr, 2); err != nil {
+				return err
+			}
+			return fmt.Errorf("force abort")
+		})
+		if err == nil {
+			t.Fatal("abort did not propagate")
+		}
+		if v := lib.Device().LoadU64(addr); v != 1 {
+			t.Fatalf("value after abort = %d, want 1", v)
+		}
+	})
+}
+
+func TestAllocZeroedAndUsable(t *testing.T) {
+	forEach(t, func(t *testing.T, lib pmlib.Lib) {
+		root, _ := lib.Root(64)
+		rootAddr := lib.Deref(root)
+		var obj pmlib.Ref
+		if err := lib.Run(func(tx pmlib.Tx) error {
+			var err error
+			obj, err = tx.Alloc(128)
+			if err != nil {
+				return err
+			}
+			return tx.SetRef(rootAddr, obj)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		addr := lib.Deref(obj)
+		if addr == 0 {
+			t.Fatal("Deref(alloc) = 0")
+		}
+		for off := 0; off < 128; off += 8 {
+			if v := lib.Device().LoadU64(addr + pmem.Addr(off)); v != 0 {
+				t.Fatalf("fresh object not zeroed at +%d: %#x", off, v)
+			}
+		}
+		// Ref round-trips through storage.
+		got := lib.LoadRef(rootAddr)
+		if got != obj {
+			t.Fatalf("stored ref %+v != %+v", got, obj)
+		}
+	})
+}
+
+func TestAbortDiscardsAllocation(t *testing.T) {
+	forEach(t, func(t *testing.T, lib pmlib.Lib) {
+		root, _ := lib.Root(64)
+		rootAddr := lib.Deref(root)
+		lib.Run(func(tx pmlib.Tx) error {
+			tx.Alloc(64)
+			return fmt.Errorf("abort")
+		})
+		// Next allocation must still work and link fine.
+		if err := lib.Run(func(tx pmlib.Tx) error {
+			o, err := tx.Alloc(64)
+			if err != nil {
+				return err
+			}
+			return tx.SetRef(rootAddr, o)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if lib.Deref(lib.LoadRef(rootAddr)) == 0 {
+			t.Fatal("post-abort allocation unusable")
+		}
+	})
+}
+
+func TestLinkedChainAcrossTransactions(t *testing.T) {
+	// Build a 500-node chain one tx per node, then walk it with
+	// LoadRef+Deref — the universal pointer-chase shape.
+	forEach(t, func(t *testing.T, lib pmlib.Lib) {
+		refSz := lib.RefSize()
+		nodeSz := 8 + refSz // value + next-ref
+		root, _ := lib.Root(nodeSz)
+		rootAddr := lib.Deref(root)
+		prev := rootAddr
+		for i := 1; i <= 500; i++ {
+			i := i
+			if err := lib.Run(func(tx pmlib.Tx) error {
+				n, err := tx.Alloc(nodeSz)
+				if err != nil {
+					return err
+				}
+				na := lib.Deref(n)
+				if err := tx.SetU64(na, uint64(i)); err != nil {
+					return err
+				}
+				return tx.SetRef(prev+8, n)
+			}); err != nil {
+				t.Fatalf("append %d: %v", i, err)
+			}
+			prev = lib.Deref(lib.LoadRef(prev + 8))
+		}
+		n := 0
+		for p := lib.Deref(lib.LoadRef(rootAddr + 8)); p != 0; p = lib.Deref(lib.LoadRef(p + 8)) {
+			n++
+			if v := lib.Device().LoadU64(p); v != uint64(n) {
+				t.Fatalf("node %d = %d", n, v)
+			}
+		}
+		if n != 500 {
+			t.Fatalf("chain length %d", n)
+		}
+	})
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	forEach(t, func(t *testing.T, lib pmlib.Lib) {
+		var o pmlib.Ref
+		if err := lib.Run(func(tx pmlib.Tx) error {
+			var err error
+			o, err = tx.Alloc(64)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := lib.Run(func(tx pmlib.Tx) error { return tx.Free(o) }); err != nil {
+			t.Fatal(err)
+		}
+		// Allocation still works afterwards (reuse or fresh space).
+		if err := lib.Run(func(tx pmlib.Tx) error {
+			_, err := tx.Alloc(64)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestRefSizes(t *testing.T) {
+	for _, lib := range allLibs(t) {
+		switch lib.Name() {
+		case "pmdk":
+			if lib.RefSize() != 16 {
+				t.Errorf("pmdk RefSize = %d, want 16 (fat pointers)", lib.RefSize())
+			}
+		default:
+			if lib.RefSize() != 8 {
+				t.Errorf("%s RefSize = %d, want 8 (native)", lib.Name(), lib.RefSize())
+			}
+		}
+	}
+}

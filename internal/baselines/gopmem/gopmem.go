@@ -1,0 +1,488 @@
+// Package gopmem reimplements the go-pmem programming model (George,
+// Verma, Venkatasubramanian, Subrahmanyam — USENIX ATC '20): native
+// pointers into a region mapped at a fixed address, txn() blocks with
+// undo logging, and a span-based (runtime-integrated) allocator.
+//
+// The costs reproduced here, which make go-pmem the slowest library in
+// the paper's Figure 11: undo logging happens at 8-byte word
+// granularity (the runtime's write barrier logs individual words, so a
+// large Set degenerates into many entries), each entry is persisted
+// eagerly, and every dereference pays the runtime's heap bounds check
+// (the in-pmem-heap test the compiler inserts for pointer stores).
+package gopmem
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"sync"
+
+	"puddles/internal/pmem"
+	"puddles/internal/pmlib"
+)
+
+const (
+	magic = 0x4d454d504f47 // "GOPMEM"
+
+	hOffMagic = 0
+	hOffValid = 8
+	hOffUsed  = 16
+	hOffEpoch = 24
+	hOffRoot  = 32
+	hOffSize  = 40
+	hdrSize   = pmem.PageSize
+	logSize   = 512 << 10
+	spanSize  = 8 << 10 // allocation spans, one size class each
+	spanHdr   = 64
+	spanClass = 8  // classes: 16 32 64 128 256 512 1024 2048
+	eSize     = 24 // ck u64, off u64, word u64
+)
+
+var classes = [spanClass]uint32{16, 32, 64, 128, 256, 512, 1024, 2048}
+
+// spanCount caps the slots per span so the occupancy bitmap fits in
+// the span header's bitmap area (spanHdr-16 bytes).
+func spanCount(class uint32) uint32 {
+	c := uint32((spanSize - spanHdr) / class)
+	if max := uint32((spanHdr - 16) * 8); c > max {
+		c = max
+	}
+	return c
+}
+
+var crcTable = crc64.MakeTable(crc64.ISO)
+
+// Errors.
+var (
+	ErrNoSpace = errors.New("gopmem: region out of space")
+	ErrBadHeap = errors.New("gopmem: not a go-pmem region")
+	ErrLogFull = errors.New("gopmem: txn log full")
+	ErrTooBig  = errors.New("gopmem: object larger than the biggest span class")
+)
+
+// Heap is one go-pmem region ("pmemFile").
+type Heap struct {
+	dev  *pmem.Device
+	base pmem.Addr
+	size uint64
+
+	mu     sync.Mutex
+	used   uint64
+	spans  [spanClass][]pmem.Addr // spans with free slots, per class
+	cursor pmem.Addr              // next fresh span
+}
+
+// Create formats a region.
+func Create(dev *pmem.Device, base pmem.Addr, size uint64) (*Heap, error) {
+	if size < hdrSize+logSize+spanSize {
+		return nil, fmt.Errorf("gopmem: size %d too small", size)
+	}
+	dev.Zero(base, int(hdrSize))
+	dev.StoreU64(base+hOffSize, size)
+	dev.StoreU64(base+hOffEpoch, 1)
+	dev.Persist(base, hdrSize)
+	dev.StoreU64(base+hOffMagic, magic)
+	dev.Persist(base+hOffMagic, 8)
+	h := &Heap{dev: dev, base: base, size: size}
+	h.cursor = base + hdrSize + logSize
+	return h, nil
+}
+
+// Open maps an existing region; an interrupted txn rolls back here (go-
+// pmem recovery runs inside the restarted application's pmem.Init).
+func Open(dev *pmem.Device, base pmem.Addr) (*Heap, error) {
+	if dev.LoadU64(base+hOffMagic) != magic {
+		return nil, ErrBadHeap
+	}
+	h := &Heap{dev: dev, base: base, size: dev.LoadU64(base + hOffSize)}
+	h.rollback()
+	h.rebuildSpans()
+	return h, nil
+}
+
+// rebuildSpans rescans span headers (the runtime's heap re-init).
+func (h *Heap) rebuildSpans() {
+	h.cursor = h.base + hdrSize + logSize
+	for at := h.base + hdrSize + logSize; at+spanSize <= h.base+pmem.Addr(h.size); at += spanSize {
+		class := h.dev.LoadU64(at)
+		if class == 0 {
+			h.cursor = at
+			return
+		}
+		if class&largeMark != 0 {
+			size := class &^ largeMark
+			need := (uint64(spanHdr) + size + spanSize - 1) / spanSize * spanSize
+			at += pmem.Addr(need) - spanSize
+			h.cursor = at + spanSize
+			continue
+		}
+		ci := -1
+		for i, c := range classes {
+			if uint64(c) == class {
+				ci = i
+				break
+			}
+		}
+		if ci < 0 {
+			continue
+		}
+		count := spanCount(classes[ci])
+		for e := uint32(0); e < count; e++ {
+			if !h.spanBit(at, e) {
+				h.spans[ci] = append(h.spans[ci], at)
+				break
+			}
+		}
+		h.cursor = at + spanSize
+	}
+}
+
+func (h *Heap) spanBit(span pmem.Addr, e uint32) bool {
+	return h.dev.LoadU8(span+16+pmem.Addr(e/8))&(1<<(e%8)) != 0
+}
+
+// InHeap is the runtime bounds check every pointer operation pays.
+func (h *Heap) InHeap(addr pmem.Addr) bool {
+	return addr >= h.base && addr < h.base+pmem.Addr(h.size)
+}
+
+func (h *Heap) rollback() {
+	dev := h.dev
+	if dev.LoadU64(h.base+hOffValid) == 0 {
+		return
+	}
+	epoch := dev.LoadU64(h.base + hOffEpoch)
+	used := dev.LoadU64(h.base + hOffUsed)
+	logBase := h.base + hdrSize
+	n := used / eSize
+	type entry struct {
+		off, word uint64
+	}
+	var entries []entry
+	for i := uint64(0); i < n; i++ {
+		var e [eSize]byte
+		dev.Load(logBase+pmem.Addr(i*eSize), e[:])
+		if crc64.Update(epoch, crcTable, e[8:]) != binary.LittleEndian.Uint64(e[:8]) {
+			break
+		}
+		entries = append(entries, entry{binary.LittleEndian.Uint64(e[8:16]), binary.LittleEndian.Uint64(e[16:])})
+	}
+	for i := len(entries) - 1; i >= 0; i-- {
+		dev.StoreU64(h.base+pmem.Addr(entries[i].off), entries[i].word)
+		dev.Flush(h.base+pmem.Addr(entries[i].off), 8)
+	}
+	dev.Fence()
+	h.clearLog()
+}
+
+func (h *Heap) clearLog() {
+	dev := h.dev
+	dev.StoreU64(h.base+hOffEpoch, dev.LoadU64(h.base+hOffEpoch)+1)
+	dev.StoreU64(h.base+hOffValid, 0)
+	dev.StoreU64(h.base+hOffUsed, 0)
+	dev.Persist(h.base+hOffValid, 24)
+	h.used = 0
+}
+
+// Tx is one txn() block.
+type Tx struct {
+	h     *Heap
+	flush []pmem.Range
+	done  bool
+}
+
+// Begin opens a txn block.
+func (h *Heap) Begin() *Tx {
+	h.mu.Lock()
+	return &Tx{h: h}
+}
+
+// Run executes fn inside txn().
+func (h *Heap) Run(fn func(tx *Tx) error) error {
+	tx := h.Begin()
+	defer func() {
+		if r := recover(); r != nil {
+			tx.Abort()
+			panic(r)
+		}
+	}()
+	if err := fn(tx); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// logWord persists one 8-byte undo entry (the write barrier).
+func (t *Tx) logWord(addr pmem.Addr) error {
+	h := t.h
+	if !h.InHeap(addr) {
+		return fmt.Errorf("gopmem: address %#x outside heap", uint64(addr))
+	}
+	if h.used+eSize > logSize {
+		return ErrLogFull
+	}
+	dev := h.dev
+	old := dev.LoadU64(addr)
+	var e [eSize]byte
+	binary.LittleEndian.PutUint64(e[8:], uint64(addr-h.base))
+	binary.LittleEndian.PutUint64(e[16:], old)
+	epoch := dev.LoadU64(h.base + hOffEpoch)
+	binary.LittleEndian.PutUint64(e[:8], crc64.Update(epoch, crcTable, e[8:]))
+	at := h.base + hdrSize + pmem.Addr(h.used)
+	dev.Store(at, e[:])
+	dev.Flush(at, eSize)
+	dev.Fence()
+	h.used += eSize
+	dev.StoreU64(h.base+hOffUsed, h.used)
+	dev.StoreU64(h.base+hOffValid, 1)
+	dev.Flush(h.base+hOffUsed, 16)
+	dev.Fence()
+	return nil
+}
+
+// Set logs word by word, then writes — large updates degenerate into
+// many entries, the go-pmem behaviour.
+func (t *Tx) Set(addr pmem.Addr, data []byte) error {
+	end := addr + pmem.Addr(len(data))
+	for a := addr &^ 7; a < end; a += 8 {
+		if err := t.logWord(a); err != nil {
+			return err
+		}
+	}
+	t.h.dev.Store(addr, data)
+	t.flush = append(t.flush, pmem.Range{Start: addr, End: end})
+	return nil
+}
+
+// SetU64 logs and writes one word.
+func (t *Tx) SetU64(addr pmem.Addr, v uint64) error {
+	if err := t.logWord(addr); err != nil {
+		return err
+	}
+	t.h.dev.StoreU64(addr, v)
+	t.flush = append(t.flush, pmem.Range{Start: addr, End: addr + 8})
+	return nil
+}
+
+// SetRef writes a native 8-byte reference (with the bounds check).
+func (t *Tx) SetRef(addr pmem.Addr, r pmlib.Ref) error {
+	if r.W1 != 0 && !t.h.InHeap(pmem.Addr(r.W1)) {
+		return fmt.Errorf("gopmem: storing pointer to non-pmem address %#x", r.W1)
+	}
+	return t.SetU64(addr, r.W1)
+}
+
+// Alloc serves from per-class spans (pnew/pmake); objects beyond the
+// biggest class get a dedicated run of spans (a large span, as the
+// runtime's mcentral does for big pmake calls).
+func (t *Tx) Alloc(size uint32) (pmlib.Ref, error) {
+	h := t.h
+	ci := -1
+	for i, c := range classes {
+		if size <= c {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return t.allocLarge(size)
+	}
+	class := classes[ci]
+	count := spanCount(class)
+	for _, span := range h.spans[ci] {
+		for e := uint32(0); e < count; e++ {
+			if !h.spanBit(span, e) {
+				if err := t.setSpanBit(span, e, true); err != nil {
+					return pmlib.Null, err
+				}
+				addr := span + spanHdr + pmem.Addr(e*class)
+				h.dev.Zero(addr, int(size))
+				t.flush = append(t.flush, pmem.Range{Start: addr, End: addr + pmem.Addr(size)})
+				return pmlib.Ref{W1: uint64(addr)}, nil
+			}
+		}
+	}
+	// Fresh span.
+	if h.cursor+spanSize > h.base+pmem.Addr(h.size) {
+		return pmlib.Null, ErrNoSpace
+	}
+	span := h.cursor
+	if err := t.logWord(span); err != nil { // span class word is undo-logged
+		return pmlib.Null, err
+	}
+	h.cursor += spanSize
+	h.dev.Zero(span, spanHdr)
+	h.dev.StoreU64(span, uint64(class))
+	h.spans[ci] = append(h.spans[ci], span)
+	if err := t.setSpanBit(span, 0, true); err != nil {
+		return pmlib.Null, err
+	}
+	addr := span + spanHdr
+	h.dev.Zero(addr, int(size))
+	t.flush = append(t.flush, pmem.Range{Start: span, End: span + spanHdr}, pmem.Range{Start: addr, End: addr + pmem.Addr(size)})
+	return pmlib.Ref{W1: uint64(addr)}, nil
+}
+
+// largeMark flags a span run holding one big object; the low bits hold
+// the object size so rebuildSpans can skip the whole run.
+const largeMark = uint64(1) << 63
+
+func (t *Tx) allocLarge(size uint32) (pmlib.Ref, error) {
+	h := t.h
+	need := (uint64(spanHdr) + uint64(size) + spanSize - 1) / spanSize * spanSize
+	if h.cursor+pmem.Addr(need) > h.base+pmem.Addr(h.size) {
+		return pmlib.Null, ErrNoSpace
+	}
+	span := h.cursor
+	if err := t.logWord(span); err != nil {
+		return pmlib.Null, err
+	}
+	h.cursor += pmem.Addr(need)
+	h.dev.Zero(span, spanHdr)
+	h.dev.StoreU64(span, largeMark|uint64(size))
+	addr := span + spanHdr
+	h.dev.Zero(addr, int(size))
+	t.flush = append(t.flush,
+		pmem.Range{Start: span, End: span + spanHdr},
+		pmem.Range{Start: addr, End: addr + pmem.Addr(size)})
+	return pmlib.Ref{W1: uint64(addr)}, nil
+}
+
+func (t *Tx) setSpanBit(span pmem.Addr, e uint32, v bool) error {
+	a := (span + 16 + pmem.Addr(e/8)) &^ 7
+	if err := t.logWord(a); err != nil {
+		return err
+	}
+	bitAddr := span + 16 + pmem.Addr(e/8)
+	b := t.h.dev.LoadU8(bitAddr)
+	if v {
+		b |= 1 << (e % 8)
+	} else {
+		b &^= 1 << (e % 8)
+	}
+	t.h.dev.StoreU8(bitAddr, b)
+	t.flush = append(t.flush, pmem.Range{Start: bitAddr, End: bitAddr + 1})
+	return nil
+}
+
+// Free clears the span bit.
+func (t *Tx) Free(r pmlib.Ref) error {
+	h := t.h
+	addr := pmem.Addr(r.W1)
+	if !h.InHeap(addr) {
+		return fmt.Errorf("gopmem: free of non-heap address")
+	}
+	span := (addr - h.base - hdrSize - logSize) / spanSize
+	spanBase := h.base + hdrSize + logSize + span*spanSize
+	classWord := h.dev.LoadU64(spanBase)
+	if classWord == 0 {
+		return errors.New("gopmem: free in unallocated span")
+	}
+	if classWord&largeMark != 0 {
+		return nil // large spans are reclaimed by the offline GC
+	}
+	class := uint32(classWord)
+	e := uint32(addr-spanBase-spanHdr) / class
+	return t.setSpanBit(spanBase, e, false)
+}
+
+// Commit flushes written locations and retires the log.
+func (t *Tx) Commit() error {
+	if t.done {
+		return errors.New("gopmem: txn finished")
+	}
+	t.done = true
+	for _, r := range t.flush {
+		t.h.dev.Flush(r.Start, int(r.Size()))
+	}
+	t.h.dev.Fence()
+	t.h.clearLog()
+	t.h.mu.Unlock()
+	return nil
+}
+
+// Abort rolls the txn back.
+func (t *Tx) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.h.rollback()
+	t.h.rebuildSpans()
+	t.h.mu.Unlock()
+}
+
+// Root returns the root object, allocating on first use.
+func (h *Heap) Root(size uint32) (pmlib.Ref, error) {
+	if off := h.dev.LoadU64(h.base + hOffRoot); off != 0 {
+		return pmlib.Ref{W1: uint64(h.base + pmem.Addr(off))}, nil
+	}
+	var out pmlib.Ref
+	err := h.Run(func(tx *Tx) error {
+		r, err := tx.Alloc(size)
+		if err != nil {
+			return err
+		}
+		out = r
+		return tx.SetU64(h.base+hOffRoot, uint64(pmem.Addr(r.W1)-h.base))
+	})
+	return out, err
+}
+
+// --- pmlib adapter ---
+
+// Lib adapts a go-pmem heap to the common workload interface.
+type Lib struct{ h *Heap }
+
+// NewLib boots a go-pmem stack of the given region size.
+func NewLib(size uint64) (*Lib, error) {
+	h, err := Create(pmem.New(), pmem.PageSize, size)
+	if err != nil {
+		return nil, err
+	}
+	return &Lib{h: h}, nil
+}
+
+// Heap exposes the underlying heap.
+func (l *Lib) Heap() *Heap { return l.h }
+
+// Name implements pmlib.Lib.
+func (l *Lib) Name() string { return "go-pmem" }
+
+// RefSize implements pmlib.Lib.
+func (l *Lib) RefSize() uint32 { return 8 }
+
+// Deref implements pmlib.Lib: native pointer plus the runtime's
+// in-pmem-heap check.
+func (l *Lib) Deref(r pmlib.Ref) pmem.Addr {
+	a := pmem.Addr(r.W1)
+	if a != 0 && !l.h.InHeap(a) {
+		return 0
+	}
+	return a
+}
+
+// LoadRef implements pmlib.Lib.
+func (l *Lib) LoadRef(addr pmem.Addr) pmlib.Ref { return pmlib.Ref{W1: l.h.dev.LoadU64(addr)} }
+
+// StoreRef implements pmlib.Lib.
+func (l *Lib) StoreRef(addr pmem.Addr, r pmlib.Ref) { l.h.dev.StoreU64(addr, r.W1) }
+
+// Root implements pmlib.Lib.
+func (l *Lib) Root(size uint32) (pmlib.Ref, error) { return l.h.Root(size) }
+
+// Run implements pmlib.Lib.
+func (l *Lib) Run(fn func(tx pmlib.Tx) error) error {
+	return l.h.Run(func(tx *Tx) error { return fn(tx) })
+}
+
+// Device implements pmlib.Lib.
+func (l *Lib) Device() *pmem.Device { return l.h.dev }
+
+// Close implements pmlib.Lib.
+func (l *Lib) Close() error { return nil }
+
+var _ pmlib.Lib = (*Lib)(nil)
+var _ pmlib.Tx = (*Tx)(nil)

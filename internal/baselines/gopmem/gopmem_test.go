@@ -1,0 +1,177 @@
+package gopmem
+
+import (
+	"errors"
+	"testing"
+
+	"puddles/internal/pmem"
+	"puddles/internal/pmlib"
+)
+
+const region = 16 << 20
+
+func TestCreateOpenRoot(t *testing.T) {
+	dev := pmem.New()
+	h, err := Create(dev, pmem.PageSize, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := h.Root(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Open(dev, pmem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root2, _ := h2.Root(64)
+	if root != root2 {
+		t.Fatal("root moved")
+	}
+}
+
+func TestInterruptedTxnRollsBackOnOpen(t *testing.T) {
+	dev := pmem.New()
+	h, _ := Create(dev, pmem.PageSize, region)
+	root, _ := h.Root(64)
+	addr := pmem.Addr(root.W1)
+	h.Run(func(tx *Tx) error { return tx.SetU64(addr, 7) })
+	tx := h.Begin()
+	tx.SetU64(addr, 8)
+	// txn dies. Reopen (pmem.Init path):
+	if _, err := Open(dev, pmem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if v := dev.LoadU64(addr); v != 7 {
+		t.Fatalf("txn not rolled back: %d", v)
+	}
+}
+
+func TestWordGranularityLogging(t *testing.T) {
+	// A 64-byte Set generates 8 word entries; crash rollback restores
+	// every word.
+	dev := pmem.New()
+	h, _ := Create(dev, pmem.PageSize, region)
+	root, _ := h.Root(64)
+	addr := pmem.Addr(root.W1)
+	orig := make([]byte, 64)
+	for i := range orig {
+		orig[i] = byte(i)
+	}
+	h.Run(func(tx *Tx) error { return tx.Set(addr, orig) })
+	newv := make([]byte, 64)
+	h.Run(func(tx *Tx) error {
+		tx.Set(addr, newv)
+		return errors.New("abort")
+	})
+	got := make([]byte, 64)
+	dev.Load(addr, got)
+	for i := range got {
+		if got[i] != orig[i] {
+			t.Fatalf("byte %d not restored: %d", i, got[i])
+		}
+	}
+}
+
+func TestSpanAllocatorClassesAndReuse(t *testing.T) {
+	dev := pmem.New()
+	h, _ := Create(dev, pmem.PageSize, region)
+	var small, big pmlib.Ref
+	if err := h.Run(func(tx *Tx) error {
+		var err error
+		if small, err = tx.Alloc(24); err != nil {
+			return err
+		}
+		big, err = tx.Alloc(1500)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if small.W1 == big.W1 {
+		t.Fatal("collision")
+	}
+	// Free + realloc reuses the slot.
+	h.Run(func(tx *Tx) error { return tx.Free(small) })
+	var again pmlib.Ref
+	h.Run(func(tx *Tx) error {
+		var err error
+		again, err = tx.Alloc(24)
+		return err
+	})
+	if again != small {
+		t.Fatalf("slot not reused: %+v vs %+v", again, small)
+	}
+	// Oversized allocations get dedicated large spans.
+	var huge pmlib.Ref
+	if err := h.Run(func(tx *Tx) error {
+		var err error
+		huge, err = tx.Alloc(100 << 10)
+		return err
+	}); err != nil {
+		t.Fatalf("large alloc: %v", err)
+	}
+	dev.StoreU64(pmem.Addr(huge.W1)+(100<<10)-8, 7)
+	if dev.LoadU64(pmem.Addr(huge.W1)+(100<<10)-8) != 7 {
+		t.Fatal("large object unusable")
+	}
+	// Allocations after a large span must not overlap it.
+	var after pmlib.Ref
+	h.Run(func(tx *Tx) error {
+		var err error
+		after, err = tx.Alloc(64)
+		return err
+	})
+	if after.W1 >= huge.W1 && after.W1 < huge.W1+(100<<10) {
+		t.Fatal("allocation landed inside a large span")
+	}
+}
+
+func TestSpanStateSurvivesReopen(t *testing.T) {
+	dev := pmem.New()
+	h, _ := Create(dev, pmem.PageSize, region)
+	var refs []pmlib.Ref
+	h.Run(func(tx *Tx) error {
+		for i := 0; i < 20; i++ {
+			r, err := tx.Alloc(64)
+			if err != nil {
+				return err
+			}
+			refs = append(refs, r)
+		}
+		return nil
+	})
+	h2, err := Open(dev, pmem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New allocations must not collide with surviving ones.
+	seen := make(map[uint64]bool)
+	for _, r := range refs {
+		seen[r.W1] = true
+	}
+	h2.Run(func(tx *Tx) error {
+		for i := 0; i < 20; i++ {
+			r, err := tx.Alloc(64)
+			if err != nil {
+				return err
+			}
+			if seen[r.W1] {
+				t.Errorf("reopened heap reallocated a live object at %#x", r.W1)
+			}
+		}
+		return nil
+	})
+}
+
+func TestHeapBoundsCheck(t *testing.T) {
+	dev := pmem.New()
+	h, _ := Create(dev, pmem.PageSize, region)
+	root, _ := h.Root(64)
+	addr := pmem.Addr(root.W1)
+	err := h.Run(func(tx *Tx) error {
+		return tx.SetRef(addr, pmlib.Ref{W1: 0xdead00000000})
+	})
+	if err == nil {
+		t.Fatal("stored a pointer to non-pmem memory")
+	}
+}

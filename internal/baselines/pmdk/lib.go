@@ -1,0 +1,77 @@
+package pmdk
+
+import (
+	"encoding/binary"
+
+	"puddles/internal/pmem"
+	"puddles/internal/pmlib"
+)
+
+// Lib adapts a PMDK runtime + pool to the common workload interface.
+type Lib struct {
+	rt   *Runtime
+	pool *Pool
+}
+
+// NewLib boots a PMDK stack with one pool of the given size.
+func NewLib(poolSize uint64) (*Lib, error) {
+	rt := NewRuntime()
+	p, err := rt.Create(poolSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Lib{rt: rt, pool: p}, nil
+}
+
+// Runtime exposes the underlying runtime.
+func (l *Lib) Runtime() *Runtime { return l.rt }
+
+// PoolHandle exposes the underlying pool.
+func (l *Lib) PoolHandle() *Pool { return l.pool }
+
+// Name implements pmlib.Lib.
+func (l *Lib) Name() string { return "pmdk" }
+
+// RefSize implements pmlib.Lib: PMEMoids are 16 bytes.
+func (l *Lib) RefSize() uint32 { return 16 }
+
+// Deref implements pmlib.Lib: registry lookup + add (pmemobj_direct).
+func (l *Lib) Deref(r pmlib.Ref) pmem.Addr { return l.rt.Direct(r) }
+
+// LoadRef implements pmlib.Lib: fat pointers load two words.
+func (l *Lib) LoadRef(addr pmem.Addr) pmlib.Ref {
+	var b [16]byte
+	l.rt.dev.Load(addr, b[:])
+	return pmlib.Ref{
+		W1: binary.LittleEndian.Uint64(b[:8]),
+		W2: binary.LittleEndian.Uint64(b[8:]),
+	}
+}
+
+// StoreRef implements pmlib.Lib.
+func (l *Lib) StoreRef(addr pmem.Addr, r pmlib.Ref) {
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], r.W1)
+	binary.LittleEndian.PutUint64(b[8:], r.W2)
+	l.rt.dev.Store(addr, b[:])
+}
+
+// Root implements pmlib.Lib.
+func (l *Lib) Root(size uint32) (pmlib.Ref, error) { return l.pool.Root(size) }
+
+// Run implements pmlib.Lib.
+func (l *Lib) Run(fn func(tx pmlib.Tx) error) error {
+	return l.pool.Run(func(tx *Tx) error { return fn(tx) })
+}
+
+// Device implements pmlib.Lib.
+func (l *Lib) Device() *pmem.Device { return l.rt.dev }
+
+// Close implements pmlib.Lib.
+func (l *Lib) Close() error {
+	l.pool.Close()
+	return nil
+}
+
+var _ pmlib.Lib = (*Lib)(nil)
+var _ pmlib.Tx = (*Tx)(nil)

@@ -1,0 +1,603 @@
+// Package pmdk reimplements the PMDK (libpmemobj) programming model
+// over the simulated device, faithfully reproducing the design choices
+// the paper compares against (§2, Table 1):
+//
+//   - Fat pointers: a PMEMoid-style {pool id, offset} pair. Every
+//     dereference costs a pool-registry lookup plus an add, and stored
+//     references are 16 bytes instead of 8 (Fig. 1's overhead).
+//   - Per-pool hybrid logging: undo log for user data (TX_ADD), redo
+//     log for allocator metadata (PMDK PR #2716), both inside the pool.
+//   - Application-dependent recovery: logs replay only when the same
+//     pool is next opened by an application with write access —
+//     exactly the brittleness §2.1 criticizes.
+//   - Clone-blocking: each pool embeds a UUID; opening two pools with
+//     the same UUID is refused, so copies cannot be opened together and
+//     cross-pool pointers are unsupported (§2.3).
+package pmdk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"sync"
+
+	"puddles/internal/pmem"
+	"puddles/internal/pmlib"
+	"puddles/internal/uid"
+)
+
+const (
+	poolMagic = 0x4b444d50 // "PMDK"
+
+	// Pool layout: header page, undo log, redo log, then heap.
+	hdrSize  = pmem.PageSize
+	undoSize = 512 << 10
+	redoSize = 512 << 10
+
+	hOffMagic    = 0
+	hOffUUID     = 8
+	hOffSize     = 24
+	hOffRootOff  = 32
+	hOffRootSize = 40
+	hOffHeapOff  = 48
+	hOffNextFree = 56 // bump cursor for the heap (redo-logged)
+	hOffUndoOff  = 64
+	hOffRedoOff  = 72
+	hOffFreeHead = 80 // free-list head offset (redo-logged)
+
+	// Undo log: epoch u64, valid u64, used u64, entries...
+	uOffEpoch = 0
+	uOffValid = 8
+	uOffUsed  = 16
+	uHdr      = 32
+	// Undo entry: ck u64, off u64, size u64, data.
+	ueHdr = 24
+
+	// Redo log: valid u64, count u64, entries (ck, off, val)...
+	rOffValid = 0
+	rOffCount = 8
+	rHdr      = 32
+	reSize    = 24
+
+	objHdr = 16 // size u64, next-free u64 (free-list link)
+)
+
+var crcTable = crc64.MakeTable(crc64.ISO)
+
+// Errors.
+var (
+	ErrUUIDOpen   = errors.New("pmdk: a pool with this UUID is already open (copies cannot be opened together)")
+	ErrNoSpace    = errors.New("pmdk: pool out of space")
+	ErrBadPool    = errors.New("pmdk: not a pmdk pool")
+	ErrCrossPool  = errors.New("pmdk: cross-pool operation not supported")
+	ErrTxConflict = errors.New("pmdk: nested or concurrent transaction on pool")
+)
+
+// Runtime is a "process" running libpmemobj: it tracks the open pools
+// so fat pointers can be translated. Pools are keyed by the 64-bit
+// identity embedded in the pool header (derived from its UUID, as in
+// PMDK's pmemobj): OIDs carry that identity, so they resolve across
+// close/reopen — and two pools with the same UUID can never be open
+// together.
+type Runtime struct {
+	dev *pmem.Device
+
+	mu       sync.RWMutex
+	pools    map[uint64]*Pool // by uuid-derived pool id
+	nextBase pmem.Addr
+}
+
+// NewRuntime creates a runtime over a private device.
+func NewRuntime() *Runtime {
+	return NewRuntimeOn(pmem.New())
+}
+
+// NewRuntimeOn creates a runtime over an existing device.
+func NewRuntimeOn(dev *pmem.Device) *Runtime {
+	return &Runtime{
+		dev:      dev,
+		pools:    make(map[uint64]*Pool),
+		nextBase: pmem.PageSize,
+	}
+}
+
+// Device returns the runtime's device.
+func (rt *Runtime) Device() *pmem.Device { return rt.dev }
+
+// Pool is one libpmemobj pool.
+type Pool struct {
+	rt   *Runtime
+	id   uint64
+	base pmem.Addr
+	size uint64
+	uuid uid.UUID
+
+	mu       sync.Mutex
+	freeHead uint64 // volatile head of the free list (offset; 0 = empty)
+	inTx     bool
+}
+
+// Create formats a new pool of the given size.
+func (rt *Runtime) Create(size uint64) (*Pool, error) {
+	if size < hdrSize+undoSize+redoSize+pmem.PageSize {
+		return nil, fmt.Errorf("pmdk: pool size %d too small", size)
+	}
+	rt.mu.Lock()
+	base := rt.nextBase
+	rt.nextBase += pmem.Addr((size + pmem.PageSize - 1) &^ (pmem.PageSize - 1))
+	rt.mu.Unlock()
+	id := uid.New()
+	dev := rt.dev
+	dev.Zero(base, int(hdrSize+undoSize+redoSize))
+	dev.Store(base+hOffUUID, id[:])
+	dev.StoreU64(base+hOffSize, size)
+	dev.StoreU64(base+hOffUndoOff, hdrSize)
+	dev.StoreU64(base+hOffRedoOff, hdrSize+undoSize)
+	dev.StoreU64(base+hOffHeapOff, hdrSize+undoSize+redoSize)
+	dev.StoreU64(base+hOffNextFree, hdrSize+undoSize+redoSize)
+	dev.StoreU64(base+uOffEpoch+hdrSize, 1)
+	dev.Persist(base, int(hdrSize+undoSize+redoSize))
+	dev.StoreU64(base+hOffMagic, poolMagic)
+	dev.Persist(base+hOffMagic, 8)
+	return rt.register(base)
+}
+
+// Open maps an existing pool at base and runs PMDK-style recovery:
+// any incomplete transaction in the pool's logs is resolved HERE, on
+// application open — not before (paper §2.1).
+func (rt *Runtime) Open(base pmem.Addr) (*Pool, error) {
+	if rt.dev.LoadU64(base+hOffMagic) != poolMagic {
+		return nil, ErrBadPool
+	}
+	p, err := rt.register(base)
+	if err != nil {
+		return nil, err
+	}
+	p.recover()
+	return p, nil
+}
+
+func (rt *Runtime) register(base pmem.Addr) (*Pool, error) {
+	var id uid.UUID
+	rt.dev.Load(base+hOffUUID, id[:])
+	pid := uuid64(id)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, open := rt.pools[pid]; open {
+		return nil, ErrUUIDOpen
+	}
+	p := &Pool{
+		rt:   rt,
+		id:   pid,
+		base: base,
+		size: rt.dev.LoadU64(base + hOffSize),
+	}
+	p.uuid = id
+	rt.pools[p.id] = p
+	if end := base + pmem.Addr(p.size); end > rt.nextBase {
+		rt.nextBase = (end + pmem.PageSize - 1) &^ (pmem.PageSize - 1)
+	}
+	p.rebuildFreeList()
+	return p, nil
+}
+
+// uuid64 compresses a pool UUID into the 64-bit identity OIDs carry
+// (PMDK's uuid_lo).
+func uuid64(id uid.UUID) uint64 {
+	v := binary.LittleEndian.Uint64(id[:8]) ^ binary.LittleEndian.Uint64(id[8:])
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
+
+// Close unregisters the pool (pmemobj_close).
+func (p *Pool) Close() {
+	p.rt.mu.Lock()
+	defer p.rt.mu.Unlock()
+	delete(p.rt.pools, p.id)
+}
+
+// UUID returns the pool's embedded identity.
+func (p *Pool) UUID() uid.UUID { return p.uuid }
+
+// Base returns the pool's base address.
+func (p *Pool) Base() pmem.Addr { return p.base }
+
+// rebuildFreeList scans nothing: the free list head lives at a fixed
+// header offset and links through free blocks (offset-based, so it is
+// position independent like PMDK's).
+func (p *Pool) rebuildFreeList() {
+	p.freeHead = 0 // volatile cache primed lazily from header scans on Alloc
+}
+
+// --- OIDs (fat pointers) ---
+
+// OID is a PMEMoid: {pool id, byte offset within pool}.
+type OID = pmlib.Ref
+
+// Direct translates an OID to a raw address — PMDK's pmemobj_direct:
+// registry lookup + base add. This is the per-dereference cost native
+// pointers avoid.
+func (rt *Runtime) Direct(o OID) pmem.Addr {
+	if o.IsNull() {
+		return 0
+	}
+	rt.mu.RLock()
+	p := rt.pools[o.W1]
+	rt.mu.RUnlock()
+	if p == nil {
+		return 0
+	}
+	return p.base + pmem.Addr(o.W2)
+}
+
+func (p *Pool) oid(off uint64) OID { return OID{W1: p.id, W2: off} }
+
+// --- transactions ---
+
+// Tx is a PMDK transaction on a single pool.
+type Tx struct {
+	p        *Pool
+	undoUsed uint64
+	redo     []redoRec // volatile until commit (PMDK redo publishing)
+	flush    []pmem.Range
+	done     bool
+}
+
+type redoRec struct {
+	off uint64
+	val uint64
+}
+
+// Begin starts a transaction. PMDK transactions are bound to one pool.
+func (p *Pool) Begin() (*Tx, error) {
+	p.mu.Lock()
+	if p.inTx {
+		p.mu.Unlock()
+		return nil, ErrTxConflict
+	}
+	p.inTx = true
+	p.mu.Unlock()
+	return &Tx{p: p}, nil
+}
+
+// Run executes fn in a transaction with commit/abort semantics.
+func (p *Pool) Run(fn func(tx *Tx) error) error {
+	tx, err := p.Begin()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			tx.Abort()
+			panic(r)
+		}
+	}()
+	if err := fn(tx); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+func (t *Tx) dev() *pmem.Device { return t.p.rt.dev }
+
+// inPool checks the target lies inside this transaction's pool —
+// PMDK cannot log other pools' data (paper Table 1, cross-pool ✗).
+func (t *Tx) inPool(addr pmem.Addr, n int) (uint64, error) {
+	if addr < t.p.base || addr+pmem.Addr(n) > t.p.base+pmem.Addr(t.p.size) {
+		return 0, ErrCrossPool
+	}
+	return uint64(addr - t.p.base), nil
+}
+
+// Add undo-logs [addr, addr+size) — TX_ADD.
+func (t *Tx) Add(addr pmem.Addr, size int) error {
+	off, err := t.inPool(addr, size)
+	if err != nil {
+		return err
+	}
+	dev := t.dev()
+	undoBase := t.p.base + hdrSize
+	span := uint64(ueHdr) + (uint64(size)+7)&^7
+	if uHdr+t.undoUsed+span > undoSize {
+		return ErrNoSpace
+	}
+	at := undoBase + uHdr + pmem.Addr(t.undoUsed)
+	old := make([]byte, size)
+	dev.Load(addr, old)
+	var hdr [ueHdr]byte
+	binary.LittleEndian.PutUint64(hdr[8:], off)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(size))
+	epoch := dev.LoadU64(undoBase + uOffEpoch)
+	ck := crc64.Update(epoch, crcTable, hdr[8:])
+	ck = crc64.Update(ck, crcTable, old)
+	binary.LittleEndian.PutUint64(hdr[:8], ck)
+	dev.Store(at, hdr[:])
+	dev.Store(at+ueHdr, old)
+	dev.Flush(at, int(span))
+	dev.Fence()
+	t.undoUsed += span
+	dev.StoreU64(undoBase+uOffUsed, t.undoUsed)
+	dev.StoreU64(undoBase+uOffValid, 1)
+	dev.Persist(undoBase+uOffValid, 24)
+	t.flush = append(t.flush, pmem.Range{Start: addr, End: addr + pmem.Addr(size)})
+	return nil
+}
+
+// Set undo-logs and writes.
+func (t *Tx) Set(addr pmem.Addr, data []byte) error {
+	if err := t.Add(addr, len(data)); err != nil {
+		return err
+	}
+	t.dev().Store(addr, data)
+	return nil
+}
+
+// SetU64 undo-logs and writes an 8-byte value.
+func (t *Tx) SetU64(addr pmem.Addr, v uint64) error {
+	if err := t.Add(addr, 8); err != nil {
+		return err
+	}
+	t.dev().StoreU64(addr, v)
+	return nil
+}
+
+// SetRef stores a 16-byte OID transactionally.
+func (t *Tx) SetRef(addr pmem.Addr, r pmlib.Ref) error {
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], r.W1)
+	binary.LittleEndian.PutUint64(b[8:], r.W2)
+	return t.Set(addr, b[:])
+}
+
+// redoSet buffers an allocator-metadata word update; it becomes
+// persistent atomically at commit (PMDK's hybrid transactions).
+func (t *Tx) redoSet(off uint64, val uint64) {
+	t.redo = append(t.redo, redoRec{off, val})
+}
+
+// redoRead reads a word as the transaction will see it after commit.
+func (t *Tx) redoRead(off uint64) uint64 {
+	for i := len(t.redo) - 1; i >= 0; i-- {
+		if t.redo[i].off == off {
+			return t.redo[i].val
+		}
+	}
+	return t.dev().LoadU64(t.p.base + pmem.Addr(off))
+}
+
+// Alloc allocates a zeroed object — TX_NEW. Allocator metadata (bump
+// cursor, free-list links) is redo-logged; the allocation publishes at
+// commit and vanishes on abort.
+func (t *Tx) Alloc(size uint32) (OID, error) {
+	need := (uint64(size) + objHdr + 63) &^ 63
+	// First-fit from the free list (offset-linked through free blocks,
+	// rooted in a header word), falling back to the bump cursor.
+	cur := t.redoRead(hOffFreeHead)
+	prev := uint64(0)
+	for cur != 0 {
+		bsz := t.redoRead(cur) // block size in header word 0
+		next := t.redoRead(cur + 8)
+		if bsz >= need {
+			if prev == 0 {
+				t.redoSet(hOffFreeHead, next)
+			} else {
+				t.redoSet(prev+8, next)
+			}
+			return t.finishAlloc(cur, bsz, size)
+		}
+		prev, cur = cur, next
+	}
+	// Bump allocation.
+	cursor := t.redoRead(hOffNextFree)
+	if cursor+need > t.p.size {
+		return pmlib.Null, ErrNoSpace
+	}
+	t.redoSet(hOffNextFree, cursor+need)
+	t.redoSet(cursor, need) // block size
+	return t.finishAlloc(cursor, need, size)
+}
+
+func (t *Tx) finishAlloc(off, bsz uint64, size uint32) (OID, error) {
+	t.redoSet(off+8, 0) // clear free-list link
+	payload := off + objHdr
+	addr := t.p.base + pmem.Addr(payload)
+	t.dev().Zero(addr, int(size))
+	t.flush = append(t.flush, pmem.Range{Start: addr, End: addr + pmem.Addr(size)})
+	return t.p.oid(payload), nil
+}
+
+// Free releases an object — TX_FREE (push onto the free list, redo-
+// logged).
+func (t *Tx) Free(o OID) error {
+	if o.W1 != t.p.id {
+		return ErrCrossPool
+	}
+	block := o.W2 - objHdr
+	head := t.redoRead(hOffFreeHead)
+	t.redoSet(block+8, head)
+	t.redoSet(hOffFreeHead, block)
+	return nil
+}
+
+// Commit: flush undo-logged locations, publish the redo log, apply it,
+// then invalidate both logs.
+func (t *Tx) Commit() error {
+	if t.done {
+		return errors.New("pmdk: transaction finished")
+	}
+	t.done = true
+	dev := t.dev()
+	for _, r := range t.flush {
+		dev.Flush(r.Start, int(r.Size()))
+	}
+	dev.Fence()
+	if len(t.redo) > 0 {
+		redoBase := t.p.base + hdrSize + undoSize
+		if rHdr+uint64(len(t.redo))*reSize > redoSize {
+			t.abortLocked()
+			return ErrNoSpace
+		}
+		for i, rec := range t.redo {
+			at := redoBase + rHdr + pmem.Addr(i*reSize)
+			var e [reSize]byte
+			binary.LittleEndian.PutUint64(e[8:], rec.off)
+			binary.LittleEndian.PutUint64(e[16:], rec.val)
+			ck := crc64.Update(0, crcTable, e[8:])
+			binary.LittleEndian.PutUint64(e[:8], ck)
+			dev.Store(at, e[:])
+		}
+		dev.StoreU64(redoBase+rOffCount, uint64(len(t.redo)))
+		dev.Flush(redoBase, int(rHdr+uint64(len(t.redo))*reSize))
+		dev.Fence()
+		dev.StoreU64(redoBase+rOffValid, 1)
+		dev.Persist(redoBase+rOffValid, 8)
+		// Apply.
+		for _, rec := range t.redo {
+			dev.StoreU64(t.p.base+pmem.Addr(rec.off), rec.val)
+			dev.Flush(t.p.base+pmem.Addr(rec.off), 8)
+		}
+		dev.Fence()
+		dev.StoreU64(redoBase+rOffValid, 0)
+		dev.Persist(redoBase+rOffValid, 8)
+	}
+	t.invalidateUndo()
+	t.p.mu.Lock()
+	t.p.inTx = false
+	t.p.mu.Unlock()
+	return nil
+}
+
+// Abort rolls back: undo entries replay in reverse, the redo buffer is
+// discarded.
+func (t *Tx) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.abortLocked()
+}
+
+func (t *Tx) abortLocked() {
+	t.p.applyUndo()
+	t.invalidateUndo()
+	t.redo = nil
+	t.p.mu.Lock()
+	t.p.inTx = false
+	t.p.mu.Unlock()
+}
+
+func (t *Tx) invalidateUndo() {
+	dev := t.dev()
+	undoBase := t.p.base + hdrSize
+	dev.StoreU64(undoBase+uOffEpoch, dev.LoadU64(undoBase+uOffEpoch)+1)
+	dev.StoreU64(undoBase+uOffValid, 0)
+	dev.StoreU64(undoBase+uOffUsed, 0)
+	dev.Persist(undoBase, 24)
+	t.undoUsed = 0
+}
+
+// applyUndo replays valid undo entries in reverse (abort & recovery).
+func (p *Pool) applyUndo() {
+	dev := p.rt.dev
+	undoBase := p.base + hdrSize
+	if dev.LoadU64(undoBase+uOffValid) == 0 {
+		return
+	}
+	epoch := dev.LoadU64(undoBase + uOffEpoch)
+	used := dev.LoadU64(undoBase + uOffUsed)
+	type entry struct {
+		off  uint64
+		data []byte
+	}
+	var entries []entry
+	var pos uint64
+	for pos+ueHdr <= used {
+		at := undoBase + uHdr + pmem.Addr(pos)
+		var hdr [ueHdr]byte
+		dev.Load(at, hdr[:])
+		off := binary.LittleEndian.Uint64(hdr[8:])
+		size := binary.LittleEndian.Uint64(hdr[16:])
+		span := uint64(ueHdr) + (size+7)&^7
+		if pos+span > used {
+			break
+		}
+		data := make([]byte, size)
+		dev.Load(at+ueHdr, data)
+		ck := crc64.Update(epoch, crcTable, hdr[8:])
+		ck = crc64.Update(ck, crcTable, data)
+		if ck != binary.LittleEndian.Uint64(hdr[:8]) {
+			break
+		}
+		entries = append(entries, entry{off, data})
+		pos += span
+	}
+	for i := len(entries) - 1; i >= 0; i-- {
+		dev.Store(p.base+pmem.Addr(entries[i].off), entries[i].data)
+		dev.Flush(p.base+pmem.Addr(entries[i].off), len(entries[i].data))
+	}
+	dev.Fence()
+}
+
+// applyRedo replays a published redo log (recovery only).
+func (p *Pool) applyRedo() {
+	dev := p.rt.dev
+	redoBase := p.base + hdrSize + undoSize
+	if dev.LoadU64(redoBase+rOffValid) == 0 {
+		return
+	}
+	n := dev.LoadU64(redoBase + rOffCount)
+	for i := uint64(0); i < n; i++ {
+		at := redoBase + rHdr + pmem.Addr(i*reSize)
+		var e [reSize]byte
+		dev.Load(at, e[:])
+		if crc64.Update(0, crcTable, e[8:]) != binary.LittleEndian.Uint64(e[:8]) {
+			break
+		}
+		off := binary.LittleEndian.Uint64(e[8:])
+		val := binary.LittleEndian.Uint64(e[16:])
+		dev.StoreU64(p.base+pmem.Addr(off), val)
+		dev.Flush(p.base+pmem.Addr(off), 8)
+	}
+	dev.Fence()
+	dev.StoreU64(redoBase+rOffValid, 0)
+	dev.Persist(redoBase+rOffValid, 8)
+}
+
+// recover resolves incomplete transactions — runs on pool open only.
+func (p *Pool) recover() {
+	p.applyUndo()
+	dev := p.rt.dev
+	undoBase := p.base + hdrSize
+	dev.StoreU64(undoBase+uOffEpoch, dev.LoadU64(undoBase+uOffEpoch)+1)
+	dev.StoreU64(undoBase+uOffValid, 0)
+	dev.StoreU64(undoBase+uOffUsed, 0)
+	dev.Persist(undoBase, 24)
+	p.applyRedo()
+}
+
+// --- root object ---
+
+// Root returns the pool's root object OID, allocating it on first use
+// (pmemobj_root).
+func (p *Pool) Root(size uint32) (OID, error) {
+	dev := p.rt.dev
+	if off := dev.LoadU64(p.base + hOffRootOff); off != 0 {
+		return p.oid(off), nil
+	}
+	var out OID
+	err := p.Run(func(tx *Tx) error {
+		o, err := tx.Alloc(size)
+		if err != nil {
+			return err
+		}
+		tx.redoSet(hOffRootOff, o.W2)
+		tx.redoSet(hOffRootSize, uint64(size))
+		out = o
+		return nil
+	})
+	return out, err
+}

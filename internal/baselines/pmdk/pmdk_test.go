@@ -1,0 +1,166 @@
+package pmdk
+
+import (
+	"testing"
+
+	"puddles/internal/pmem"
+	"puddles/internal/pmlib"
+)
+
+const poolSize = 16 << 20
+
+func TestCreateOpenRoot(t *testing.T) {
+	rt := NewRuntime()
+	p, err := rt.Create(poolSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := p.Root(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Direct(root) == 0 {
+		t.Fatal("root does not dereference")
+	}
+	// Reopen in a new runtime ("process") — root persists.
+	p.Close()
+	rt2 := NewRuntimeOn(rt.Device())
+	p2, err := rt2.Open(p.Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	root2, err := p2.Root(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root2.W2 != root.W2 {
+		t.Fatalf("root offset changed: %#x -> %#x", root.W2, root2.W2)
+	}
+}
+
+func TestUUIDCloneBlocked(t *testing.T) {
+	// The paper's §2.3 restriction: a byte-identical copy of a pool
+	// cannot be opened while the original is open, because the UUID is
+	// embedded in the pool (and in every fat pointer).
+	rt := NewRuntime()
+	p, err := rt.Create(poolSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clone the pool bytes to another offset — "cp pool.obj copy.obj".
+	dev := rt.Device()
+	cloneBase := p.Base() + pmem.Addr(poolSize+pmem.PageSize)
+	dev.Copy(cloneBase, p.Base(), poolSize)
+	if _, err := rt.Open(cloneBase); err != ErrUUIDOpen {
+		t.Fatalf("opening a clone = %v, want ErrUUIDOpen", err)
+	}
+	// After closing the original, the clone can open (but never both).
+	p.Close()
+	if _, err := rt.Open(cloneBase); err != nil {
+		t.Fatalf("clone after close: %v", err)
+	}
+}
+
+func TestCrossPoolRejected(t *testing.T) {
+	rt := NewRuntime()
+	p1, _ := rt.Create(poolSize)
+	p2, _ := rt.Create(poolSize)
+	root2, _ := p2.Root(64)
+	err := p1.Run(func(tx *Tx) error {
+		return tx.SetU64(rt.Direct(root2), 1) // write into the other pool
+	})
+	if err != ErrCrossPool {
+		t.Fatalf("cross-pool tx = %v, want ErrCrossPool", err)
+	}
+}
+
+func TestRecoveryOnlyOnOpen(t *testing.T) {
+	// PMDK's model: a crashed transaction leaves the pool inconsistent
+	// until some application re-opens it (paper §2.1).
+	rt := NewRuntime()
+	p, _ := rt.Create(poolSize)
+	root, _ := p.Root(64)
+	addr := rt.Direct(root)
+	p.Run(func(tx *Tx) error { return tx.SetU64(addr, 42) })
+
+	// Crash mid-transaction: simulate by running the undo-log append
+	// and data write, then abandoning the tx (no commit, no abort).
+	tx, err := p.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Add(addr, 8); err != nil {
+		t.Fatal(err)
+	}
+	rt.Device().StoreU64(addr, 999)
+	rt.Device().Persist(addr, 8)
+	// Process dies. Data is inconsistent on media right now:
+	if v := rt.Device().LoadU64(addr); v != 999 {
+		t.Fatal("setup failed")
+	}
+	p.Close()
+
+	// Nothing happens until an application opens the pool...
+	rt2 := NewRuntimeOn(rt.Device())
+	if v := rt2.Device().LoadU64(addr); v != 999 {
+		t.Fatal("data should still be inconsistent before open")
+	}
+	// ...and then recovery rolls it back.
+	if _, err := rt2.Open(p.Base()); err != nil {
+		t.Fatal(err)
+	}
+	if v := rt2.Device().LoadU64(addr); v != 42 {
+		t.Fatalf("after open, value = %d, want 42", v)
+	}
+}
+
+func TestAllocPublishOnCommitOnly(t *testing.T) {
+	rt := NewRuntime()
+	p, _ := rt.Create(poolSize)
+	cursorBefore := rt.Device().LoadU64(p.Base() + hOffNextFree)
+	p.Run(func(tx *Tx) error {
+		if _, err := tx.Alloc(256); err != nil {
+			return err
+		}
+		// Mid-tx, the persistent cursor is untouched (redo not applied).
+		if got := rt.Device().LoadU64(p.Base() + hOffNextFree); got != cursorBefore {
+			t.Errorf("allocator metadata mutated before commit")
+		}
+		return nil
+	})
+	if got := rt.Device().LoadU64(p.Base() + hOffNextFree); got == cursorBefore {
+		t.Fatal("allocator metadata not published at commit")
+	}
+}
+
+func TestFreeListReuse(t *testing.T) {
+	rt := NewRuntime()
+	p, _ := rt.Create(poolSize)
+	var o pmlib.Ref
+	p.Run(func(tx *Tx) error {
+		var err error
+		o, err = tx.Alloc(100)
+		return err
+	})
+	first := o.W2
+	p.Run(func(tx *Tx) error { return tx.Free(o) })
+	var o2 pmlib.Ref
+	p.Run(func(tx *Tx) error {
+		var err error
+		o2, err = tx.Alloc(100)
+		return err
+	})
+	if o2.W2 != first {
+		t.Fatalf("freed block not reused: %#x vs %#x", o2.W2, first)
+	}
+}
+
+func TestDirectNullAndUnknown(t *testing.T) {
+	rt := NewRuntime()
+	if rt.Direct(pmlib.Null) != 0 {
+		t.Fatal("Direct(null) != 0")
+	}
+	if rt.Direct(pmlib.Ref{W1: 999, W2: 64}) != 0 {
+		t.Fatal("Direct(unknown pool) != 0")
+	}
+}

@@ -1,0 +1,133 @@
+// Package puddleslib adapts the Puddles core library to the common
+// pmlib workload interface. References are native 8-byte virtual
+// addresses: dereferencing costs nothing, exactly the property the
+// paper's Figure 1 and Figure 9/10 results come from.
+package puddleslib
+
+import (
+	"puddles/internal/core"
+	"puddles/internal/daemon"
+	"puddles/internal/pmem"
+	"puddles/internal/pmlib"
+	"puddles/internal/ptypes"
+)
+
+// Lib runs workloads over a private device + in-process daemon.
+type Lib struct {
+	d      *daemon.Daemon
+	c      *core.Client
+	pool   *core.Pool
+	rootTI ptypes.TypeInfo
+	root   pmem.Addr
+}
+
+// New boots a fresh Puddles stack with one pool.
+func New() (*Lib, error) {
+	dev := pmem.New()
+	d, err := daemon.New(dev)
+	if err != nil {
+		return nil, err
+	}
+	c := core.ConnectLocal(d)
+	pool, err := c.CreatePool("bench", 0)
+	if err != nil {
+		return nil, err
+	}
+	ti, err := c.RegisterType("pmlib_root", 8, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Lib{d: d, c: c, pool: pool, rootTI: ti}, nil
+}
+
+// Wrap adapts an existing client + pool (crash-injection tests reboot
+// the daemon and re-wrap the surviving pool).
+func Wrap(c *core.Client, pool *core.Pool) *Lib {
+	ti, _ := c.RegisterType("pmlib_root", 8, nil)
+	return &Lib{c: c, pool: pool, rootTI: ti}
+}
+
+// Open exposes the Puddles client for tests that need more than the
+// pmlib surface.
+func (l *Lib) Client() *core.Client { return l.c }
+
+// Pool exposes the backing pool.
+func (l *Lib) Pool() *core.Pool { return l.pool }
+
+// Name implements pmlib.Lib.
+func (l *Lib) Name() string { return "puddles" }
+
+// RefSize implements pmlib.Lib: native pointers are 8 bytes.
+func (l *Lib) RefSize() uint32 { return 8 }
+
+// Deref implements pmlib.Lib: native pointers need no translation.
+func (l *Lib) Deref(r pmlib.Ref) pmem.Addr { return pmem.Addr(r.W1) }
+
+// LoadRef implements pmlib.Lib.
+func (l *Lib) LoadRef(addr pmem.Addr) pmlib.Ref {
+	return pmlib.Ref{W1: l.c.Device().LoadU64(addr)}
+}
+
+// StoreRef implements pmlib.Lib.
+func (l *Lib) StoreRef(addr pmem.Addr, r pmlib.Ref) {
+	l.c.Device().StoreU64(addr, r.W1)
+}
+
+// Root implements pmlib.Lib.
+func (l *Lib) Root(size uint32) (pmlib.Ref, error) {
+	if l.root != 0 {
+		return pmlib.Ref{W1: uint64(l.root)}, nil
+	}
+	if a, err := l.pool.Root(); err == nil {
+		l.root = a
+		return pmlib.Ref{W1: uint64(a)}, nil
+	}
+	a, err := l.pool.CreateRoot(l.rootTI.ID, size)
+	if err != nil {
+		return pmlib.Null, err
+	}
+	l.root = a
+	return pmlib.Ref{W1: uint64(a)}, nil
+}
+
+// Run implements pmlib.Lib.
+func (l *Lib) Run(fn func(tx pmlib.Tx) error) error {
+	return l.c.Run(l.pool, func(tx *core.Tx) error {
+		return fn(&txAdapter{tx: tx, dev: l.c.Device()})
+	})
+}
+
+// Device implements pmlib.Lib.
+func (l *Lib) Device() *pmem.Device { return l.c.Device() }
+
+// Close implements pmlib.Lib.
+func (l *Lib) Close() error {
+	if l.d != nil {
+		l.d.Shutdown()
+	}
+	return l.c.Close()
+}
+
+type txAdapter struct {
+	tx  *core.Tx
+	dev *pmem.Device
+}
+
+func (t *txAdapter) Set(addr pmem.Addr, data []byte) error { return t.tx.Set(addr, data) }
+func (t *txAdapter) SetU64(addr pmem.Addr, v uint64) error { return t.tx.SetU64(addr, v) }
+func (t *txAdapter) SetRef(addr pmem.Addr, r pmlib.Ref) error {
+	return t.tx.SetU64(addr, r.W1)
+}
+
+func (t *txAdapter) Alloc(size uint32) (pmlib.Ref, error) {
+	a, err := t.tx.Alloc(ptypes.Untyped, size)
+	if err != nil {
+		return pmlib.Null, err
+	}
+	t.dev.Zero(a, int(size))
+	return pmlib.Ref{W1: uint64(a)}, nil
+}
+
+func (t *txAdapter) Free(r pmlib.Ref) error { return t.tx.Free(pmem.Addr(r.W1)) }
+
+var _ pmlib.Lib = (*Lib)(nil)

@@ -1,0 +1,313 @@
+// Package romulus reimplements the Romulus persistent transactional
+// memory design (Correia, Felber, Ramalhete — SPAA '18), the strongest
+// baseline in the paper's Figures 9–11.
+//
+// Romulus keeps two replicas of the heap, main and back, plus a state
+// word. Transactions write main in place, tracking modified ranges in
+// a volatile (DRAM) log — no per-write persistent log traffic, which
+// is exactly why the paper finds it fast. Commit flushes the modified
+// main ranges, publishes state=COPYING, mirrors the ranges into back,
+// and returns to IDLE. Recovery resolves a crash by copying whole
+// replicas: back→main if the crash hit the mutation phase, main→back
+// if it hit the copy phase.
+//
+// References are native 8-byte offsets-as-addresses (Romulus maps its
+// region at a fixed address), so dereferencing is free like Puddles.
+package romulus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"puddles/internal/pmem"
+	"puddles/internal/pmlib"
+)
+
+const (
+	magic = 0x534c554d4f52 // "ROMULS"
+
+	hOffMagic  = 0
+	hOffState  = 8
+	hOffHalf   = 16
+	hOffRoot   = 24 // root object offset in main
+	hOffCursor = 32 // bump-allocator cursor (lives in main, twinned)
+	hdrSize    = pmem.PageSize
+
+	stateIdle     = 0
+	stateMutating = 1
+	stateCopying  = 2
+)
+
+// Errors.
+var (
+	ErrNoSpace = errors.New("romulus: region out of space")
+	ErrBadHeap = errors.New("romulus: not a romulus region")
+)
+
+// Heap is one Romulus twin-replica region.
+type Heap struct {
+	dev  *pmem.Device
+	base pmem.Addr
+	half uint64 // bytes per replica
+
+	mu   sync.Mutex
+	log  []pmem.Range // volatile modified-range log
+	inTx bool
+}
+
+// Create formats a Romulus region with half bytes per replica.
+func Create(dev *pmem.Device, base pmem.Addr, half uint64) (*Heap, error) {
+	if half < 2*pmem.PageSize {
+		return nil, fmt.Errorf("romulus: replica size %d too small", half)
+	}
+	dev.Zero(base, int(hdrSize))
+	dev.StoreU64(base+hOffHalf, half)
+	dev.StoreU64(base+hOffState, stateIdle)
+	dev.Persist(base, hdrSize)
+	h := &Heap{dev: dev, base: base, half: half}
+	// The allocator cursor lives inside main so it twins automatically.
+	dev.StoreU64(h.mainBase()+hOffCursor, hdrSize)
+	dev.Persist(h.mainBase()+hOffCursor, 8)
+	h.mirrorAll()
+	dev.StoreU64(base+hOffMagic, magic)
+	dev.Persist(base+hOffMagic, 8)
+	return h, nil
+}
+
+// Open maps an existing region, resolving any interrupted transaction
+// (Romulus recovery also runs at application open).
+func Open(dev *pmem.Device, base pmem.Addr) (*Heap, error) {
+	if dev.LoadU64(base+hOffMagic) != magic {
+		return nil, ErrBadHeap
+	}
+	h := &Heap{dev: dev, base: base, half: dev.LoadU64(base + hOffHalf)}
+	switch dev.LoadU64(base + hOffState) {
+	case stateMutating:
+		// Crash mid-mutation: back is pristine; restore main from it.
+		dev.Copy(h.mainBase(), h.backBase(), int(h.half))
+		dev.Persist(h.mainBase(), int(h.half))
+	case stateCopying:
+		// Crash mid-copy: main is committed; redo the mirror.
+		h.mirrorAll()
+	}
+	dev.StoreU64(base+hOffState, stateIdle)
+	dev.Persist(base+hOffState, 8)
+	return h, nil
+}
+
+func (h *Heap) mainBase() pmem.Addr { return h.base + hdrSize }
+func (h *Heap) backBase() pmem.Addr { return h.base + hdrSize + pmem.Addr(h.half) }
+
+func (h *Heap) mirrorAll() {
+	h.dev.Copy(h.backBase(), h.mainBase(), int(h.half))
+	h.dev.Persist(h.backBase(), int(h.half))
+}
+
+// Tx is a Romulus transaction.
+type Tx struct {
+	h    *Heap
+	done bool
+}
+
+// Begin opens a transaction (single writer, as in RomulusLR's left-
+// right single-mutator discipline).
+func (h *Heap) Begin() *Tx {
+	h.mu.Lock()
+	if h.inTx {
+		h.mu.Unlock()
+		panic("romulus: nested transaction")
+	}
+	h.inTx = true
+	h.log = h.log[:0]
+	h.mu.Unlock()
+	// Publish the mutation phase before touching main.
+	h.dev.StoreU64(h.base+hOffState, stateMutating)
+	h.dev.Persist(h.base+hOffState, 8)
+	return &Tx{h: h}
+}
+
+// Run executes fn transactionally.
+func (h *Heap) Run(fn func(tx *Tx) error) error {
+	tx := h.Begin()
+	defer func() {
+		if r := recover(); r != nil {
+			tx.Abort()
+			panic(r)
+		}
+	}()
+	if err := fn(tx); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+func (t *Tx) inMain(addr pmem.Addr, n int) error {
+	if addr < t.h.mainBase() || addr+pmem.Addr(n) > t.h.mainBase()+pmem.Addr(t.h.half) {
+		return fmt.Errorf("romulus: address %#x outside region", uint64(addr))
+	}
+	return nil
+}
+
+// Set writes main in place and logs the range in DRAM.
+func (t *Tx) Set(addr pmem.Addr, data []byte) error {
+	if err := t.inMain(addr, len(data)); err != nil {
+		return err
+	}
+	t.h.dev.Store(addr, data)
+	t.h.log = append(t.h.log, pmem.Range{Start: addr, End: addr + pmem.Addr(len(data))})
+	return nil
+}
+
+// SetU64 writes an 8-byte value.
+func (t *Tx) SetU64(addr pmem.Addr, v uint64) error {
+	if err := t.inMain(addr, 8); err != nil {
+		return err
+	}
+	t.h.dev.StoreU64(addr, v)
+	t.h.log = append(t.h.log, pmem.Range{Start: addr, End: addr + 8})
+	return nil
+}
+
+// SetRef writes a native 8-byte reference.
+func (t *Tx) SetRef(addr pmem.Addr, r pmlib.Ref) error { return t.SetU64(addr, r.W1) }
+
+// Alloc bumps the in-main cursor (twinned state, so allocation commits
+// and aborts with the transaction for free).
+func (t *Tx) Alloc(size uint32) (pmlib.Ref, error) {
+	need := (uint64(size) + 63) &^ 63
+	cursorAddr := t.h.mainBase() + hOffCursor
+	cur := t.h.dev.LoadU64(cursorAddr)
+	if cur+need > t.h.half {
+		return pmlib.Null, ErrNoSpace
+	}
+	if err := t.SetU64(cursorAddr, cur+need); err != nil {
+		return pmlib.Null, err
+	}
+	addr := t.h.mainBase() + pmem.Addr(cur)
+	t.h.dev.Zero(addr, int(size))
+	t.h.log = append(t.h.log, pmem.Range{Start: addr, End: addr + pmem.Addr(size)})
+	return pmlib.Ref{W1: uint64(addr)}, nil
+}
+
+// Free is a no-op in this bump-allocated replica (Romulus' published
+// allocator is also a sequential-fit simplification; reclamation is
+// out of scope for the paper's workloads).
+func (t *Tx) Free(r pmlib.Ref) error { return nil }
+
+// Commit flushes modified main ranges, then mirrors them to back.
+func (t *Tx) Commit() error {
+	if t.done {
+		return errors.New("romulus: transaction finished")
+	}
+	t.done = true
+	h := t.h
+	dev := h.dev
+	for _, r := range h.log {
+		dev.Flush(r.Start, int(r.Size()))
+	}
+	dev.Fence()
+	dev.StoreU64(h.base+hOffState, stateCopying)
+	dev.Persist(h.base+hOffState, 8)
+	off := pmem.Addr(h.half)
+	for _, r := range h.log {
+		dev.Copy(r.Start+off, r.Start, int(r.Size()))
+		dev.Flush(r.Start+off, int(r.Size()))
+	}
+	dev.Fence()
+	dev.StoreU64(h.base+hOffState, stateIdle)
+	dev.Persist(h.base+hOffState, 8)
+	h.mu.Lock()
+	h.inTx = false
+	h.mu.Unlock()
+	return nil
+}
+
+// Abort restores main from back for every touched range.
+func (t *Tx) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	h := t.h
+	off := pmem.Addr(h.half)
+	for _, r := range h.log {
+		h.dev.Copy(r.Start, r.Start+off, int(r.Size()))
+		h.dev.Flush(r.Start, int(r.Size()))
+	}
+	h.dev.Fence()
+	h.dev.StoreU64(h.base+hOffState, stateIdle)
+	h.dev.Persist(h.base+hOffState, 8)
+	h.mu.Lock()
+	h.inTx = false
+	h.mu.Unlock()
+}
+
+// Root returns the root object, allocating on first use.
+func (h *Heap) Root(size uint32) (pmlib.Ref, error) {
+	if off := h.dev.LoadU64(h.mainBase() + hOffRoot); off != 0 {
+		return pmlib.Ref{W1: uint64(h.mainBase() + pmem.Addr(off))}, nil
+	}
+	var out pmlib.Ref
+	err := h.Run(func(tx *Tx) error {
+		r, err := tx.Alloc(size)
+		if err != nil {
+			return err
+		}
+		out = r
+		return tx.SetU64(h.mainBase()+hOffRoot, uint64(pmem.Addr(r.W1)-h.mainBase()))
+	})
+	return out, err
+}
+
+// --- pmlib adapter ---
+
+// Lib adapts a Romulus heap to the common workload interface.
+type Lib struct{ h *Heap }
+
+// NewLib boots a Romulus stack with the given replica size.
+func NewLib(half uint64) (*Lib, error) {
+	h, err := Create(pmem.New(), pmem.PageSize, half)
+	if err != nil {
+		return nil, err
+	}
+	return &Lib{h: h}, nil
+}
+
+// Heap exposes the underlying heap.
+func (l *Lib) Heap() *Heap { return l.h }
+
+// Name implements pmlib.Lib.
+func (l *Lib) Name() string { return "romulus" }
+
+// RefSize implements pmlib.Lib.
+func (l *Lib) RefSize() uint32 { return 8 }
+
+// Deref implements pmlib.Lib: native pointers.
+func (l *Lib) Deref(r pmlib.Ref) pmem.Addr { return pmem.Addr(r.W1) }
+
+// LoadRef implements pmlib.Lib.
+func (l *Lib) LoadRef(addr pmem.Addr) pmlib.Ref {
+	return pmlib.Ref{W1: l.h.dev.LoadU64(addr)}
+}
+
+// StoreRef implements pmlib.Lib.
+func (l *Lib) StoreRef(addr pmem.Addr, r pmlib.Ref) { l.h.dev.StoreU64(addr, r.W1) }
+
+// Root implements pmlib.Lib.
+func (l *Lib) Root(size uint32) (pmlib.Ref, error) { return l.h.Root(size) }
+
+// Run implements pmlib.Lib.
+func (l *Lib) Run(fn func(tx pmlib.Tx) error) error {
+	return l.h.Run(func(tx *Tx) error { return fn(tx) })
+}
+
+// Device implements pmlib.Lib.
+func (l *Lib) Device() *pmem.Device { return l.h.dev }
+
+// Close implements pmlib.Lib.
+func (l *Lib) Close() error { return nil }
+
+var _ pmlib.Lib = (*Lib)(nil)
+var _ pmlib.Tx = (*Tx)(nil)

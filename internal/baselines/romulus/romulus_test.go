@@ -1,0 +1,138 @@
+package romulus
+
+import (
+	"errors"
+	"testing"
+
+	"puddles/internal/pmem"
+)
+
+const half = 4 << 20
+
+func TestCreateOpenRoot(t *testing.T) {
+	dev := pmem.New()
+	h, err := Create(dev, pmem.PageSize, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := h.Root(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Open(dev, pmem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root2, err := h2.Root(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != root2 {
+		t.Fatalf("root moved: %+v -> %+v", root, root2)
+	}
+	if _, err := Open(dev, 0x4000000); !errors.Is(err, ErrBadHeap) {
+		t.Fatalf("Open(garbage) = %v", err)
+	}
+}
+
+func TestBackReplicaMirrorsCommit(t *testing.T) {
+	dev := pmem.New()
+	h, _ := Create(dev, pmem.PageSize, half)
+	root, _ := h.Root(64)
+	addr := pmem.Addr(root.W1)
+	if err := h.Run(func(tx *Tx) error { return tx.SetU64(addr, 777) }); err != nil {
+		t.Fatal(err)
+	}
+	// The back replica holds the same committed value.
+	back := addr + pmem.Addr(half)
+	if v := dev.LoadU64(back); v != 777 {
+		t.Fatalf("back replica = %d, want 777", v)
+	}
+}
+
+func TestRecoveryMidMutationRestoresFromBack(t *testing.T) {
+	dev := pmem.New()
+	h, _ := Create(dev, pmem.PageSize, half)
+	root, _ := h.Root(64)
+	addr := pmem.Addr(root.W1)
+	h.Run(func(tx *Tx) error { return tx.SetU64(addr, 1) })
+
+	// Crash mid-mutation: state=MUTATING persisted, main dirtied.
+	tx := h.Begin()
+	if err := tx.SetU64(addr, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Process dies here (no commit). Reopen:
+	h2, err := Open(dev, pmem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := dev.LoadU64(addr); v != 1 {
+		t.Fatalf("main not restored from back: %d", v)
+	}
+	_ = h2
+}
+
+func TestRecoveryMidCopyRollsForward(t *testing.T) {
+	dev := pmem.New()
+	h, _ := Create(dev, pmem.PageSize, half)
+	root, _ := h.Root(64)
+	addr := pmem.Addr(root.W1)
+	h.Run(func(tx *Tx) error { return tx.SetU64(addr, 5) })
+	// Hand-craft a crash mid-copy: main holds the new value, back the
+	// old one, state=COPYING.
+	dev.StoreU64(addr, 6)
+	dev.Persist(addr, 8)
+	dev.StoreU64(pmem.PageSize+hOffState, stateCopying)
+	dev.Persist(pmem.PageSize+hOffState, 8)
+	if _, err := Open(dev, pmem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if v := dev.LoadU64(addr); v != 6 {
+		t.Fatalf("main = %d", v)
+	}
+	if v := dev.LoadU64(addr + pmem.Addr(half)); v != 6 {
+		t.Fatalf("back not rolled forward: %d", v)
+	}
+}
+
+func TestAbortRestoresTouchedRanges(t *testing.T) {
+	dev := pmem.New()
+	h, _ := Create(dev, pmem.PageSize, half)
+	root, _ := h.Root(64)
+	addr := pmem.Addr(root.W1)
+	h.Run(func(tx *Tx) error { return tx.SetU64(addr, 10) })
+	err := h.Run(func(tx *Tx) error {
+		tx.SetU64(addr, 20)
+		return errors.New("abort")
+	})
+	if err == nil {
+		t.Fatal("expected abort")
+	}
+	if v := dev.LoadU64(addr); v != 10 {
+		t.Fatalf("abort did not restore: %d", v)
+	}
+	// Heap still usable.
+	if err := h.Run(func(tx *Tx) error { return tx.SetU64(addr, 30) }); err != nil {
+		t.Fatal(err)
+	}
+	if dev.LoadU64(addr) != 30 {
+		t.Fatal("post-abort tx failed")
+	}
+}
+
+func TestAllocRollsBackWithTx(t *testing.T) {
+	dev := pmem.New()
+	h, _ := Create(dev, pmem.PageSize, half)
+	cursorAddr := h.mainBase() + hOffCursor
+	before := dev.LoadU64(cursorAddr)
+	h.Run(func(tx *Tx) error {
+		if _, err := tx.Alloc(128); err != nil {
+			return err
+		}
+		return errors.New("abort")
+	})
+	if got := dev.LoadU64(cursorAddr); got != before {
+		t.Fatalf("cursor leaked on abort: %d -> %d", before, got)
+	}
+}

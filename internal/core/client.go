@@ -1,0 +1,546 @@
+// Package core implements Libpuddles and Libtx (paper Fig. 2): the
+// application-facing library that talks to Puddled, manages pools and
+// puddles, allocates objects, runs failure-atomic transactions, and
+// performs incremental pointer rewriting for relocated data.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"puddles/internal/alloc"
+	"puddles/internal/daemon"
+	"puddles/internal/plog"
+	"puddles/internal/pmem"
+	"puddles/internal/proto"
+	"puddles/internal/ptypes"
+	"puddles/internal/puddle"
+	"puddles/internal/uid"
+)
+
+// LogPuddleSize is the default size of a transaction-log puddle.
+const LogPuddleSize = 2 << 20
+
+// Errors.
+var (
+	ErrReadOnly    = errors.New("core: pool is not writable")
+	ErrNoRoot      = errors.New("core: pool has no root object (call CreateRoot)")
+	ErrHasRoot     = errors.New("core: pool already has a root object")
+	ErrNotImported = errors.New("core: pool is not an in-progress import")
+	ErrImported    = errors.New("core: imported pool must be finalized before writing")
+)
+
+// Client is a Libpuddles instance: one application's connection to
+// Puddled plus its view of the global puddle space.
+type Client struct {
+	conn  *proto.Conn
+	dev   *pmem.Device
+	types *ptypes.Registry
+
+	mu          sync.Mutex
+	logPool     *Pool // hidden pool owning log and log-space puddles
+	logSpace    *plog.LogSpace
+	freeLogs    []*txLog
+	imports     map[uint64]*importState
+	armed       map[pmem.Addr]*importPud    // fault-range start -> frontier puddle
+	armedOwner  map[*importPud]*importState // frontier puddle -> owning session
+	hookArmed   bool
+	logCacheOff bool        // ablation switch (SetLogCache)
+	rangeIdx    []heapRange // sorted index of data-puddle ranges
+	volatileAt  pmem.Addr   // bump cursor for the volatile arena
+}
+
+// heapRange indexes a mapped data puddle for address->heap lookups.
+type heapRange struct {
+	r    pmem.Range
+	pool *Pool
+	heap *alloc.Heap
+}
+
+// txLog is a cached per-transaction log (the paper's per-thread log
+// puddle cache, §4.1 "every thread caches the log puddle").
+type txLog struct {
+	log  *plog.Log
+	uuid uid.UUID
+}
+
+// Connect wraps an established daemon connection. dev must be the
+// device the daemon manages (the DAX-mapping stand-in).
+func Connect(conn *proto.Conn, dev *pmem.Device) *Client {
+	return &Client{
+		conn:    conn,
+		dev:     dev,
+		types:   ptypes.NewRegistry(),
+		imports: make(map[uint64]*importState),
+		armed:   make(map[pmem.Addr]*importPud),
+	}
+}
+
+// ConnectLocal boots an in-process connection to d.
+func ConnectLocal(d *daemon.Daemon) *Client {
+	return Connect(d.SelfConn(), d.Device())
+}
+
+// Hello presents credentials to the daemon (simulated SO_PEERCRED).
+func (c *Client) Hello(uid, gid uint32) error {
+	_, err := c.conn.RoundTrip(&proto.Request{Op: proto.OpHello, UID: uid, GID: gid})
+	return err
+}
+
+// Nop performs a no-op round trip (daemon-primitive benchmarks, §5.1).
+func (c *Client) Nop() error {
+	_, err := c.conn.RoundTrip(&proto.Request{Op: proto.OpNop})
+	return err
+}
+
+// RoundTrip issues a raw protocol request (tools and benchmarks; the
+// typed methods cover normal use).
+func (c *Client) RoundTrip(req *proto.Request) (*proto.Response, error) {
+	return c.conn.RoundTrip(req)
+}
+
+// Stats fetches daemon counters.
+func (c *Client) Stats() (proto.Stats, error) {
+	resp, err := c.conn.RoundTrip(&proto.Request{Op: proto.OpStat})
+	if err != nil {
+		return proto.Stats{}, err
+	}
+	return resp.Stats, nil
+}
+
+// Device exposes the underlying device for raw data access — puddles
+// hold native pointers, so any code (PM-aware or not) can follow them.
+func (c *Client) Device() *pmem.Device { return c.dev }
+
+// Types returns the client's type-registry mirror.
+func (c *Client) Types() *ptypes.Registry { return c.types }
+
+// Close shuts the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// RegisterType registers a pointer map with the daemon and mirrors it
+// locally (paper §4.2 "Pointer maps").
+func (c *Client) RegisterType(name string, size uint32, ptrs []ptypes.PtrField) (ptypes.TypeInfo, error) {
+	ti, err := c.types.Register(name, size, ptrs)
+	if err != nil {
+		return ptypes.TypeInfo{}, err
+	}
+	if _, err := c.conn.RoundTrip(&proto.Request{Op: proto.OpRegisterType, Type: ti}); err != nil {
+		return ptypes.TypeInfo{}, err
+	}
+	return ti, nil
+}
+
+// RegisterLayout derives a type's pointer map from a Go struct (fields
+// of type ptypes.Ptr) and registers it.
+func (c *Client) RegisterLayout(name string, sample any) (ptypes.TypeInfo, error) {
+	size, ptrs, err := ptypes.Layout(name, sample)
+	if err != nil {
+		return ptypes.TypeInfo{}, err
+	}
+	return c.RegisterType(name, size, ptrs)
+}
+
+// MirrorTypes pulls every registered pointer map from the daemon into
+// the local registry (used after opening pools created by others).
+func (c *Client) MirrorTypes() error {
+	resp, err := c.conn.RoundTrip(&proto.Request{Op: proto.OpListTypes})
+	if err != nil {
+		return err
+	}
+	for _, ti := range resp.Types {
+		if err := c.types.Put(ti); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VolatileAlloc hands out space in the volatile arena — the "DRAM"
+// region transactions may log with FlagVolatile entries (§4.1). Its
+// contents are never recovered by the daemon.
+func (c *Client) VolatileAlloc(size int) pmem.Addr {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.volatileAt == 0 {
+		c.volatileAt = daemon.VolatileBase
+	}
+	a := c.volatileAt
+	c.volatileAt += pmem.Addr((size + 7) &^ 7)
+	return a
+}
+
+// --- pools ---
+
+// Pool is a named collection of puddles with a designated root puddle
+// (paper §4.4). Objects allocate from any member puddle with space.
+type Pool struct {
+	c        *Client
+	Name     string
+	UUID     uid.UUID
+	Writable bool
+
+	mu      sync.Mutex
+	root    *puddle.Puddle
+	puddles []*puddle.Puddle
+	heaps   []*alloc.Heap
+
+	imported *importState // non-nil while a lazy import is in progress
+}
+
+// CreatePool creates a pool with the given UNIX-style mode (0 means
+// 0o600) and maps its root puddle.
+func (c *Client) CreatePool(name string, mode uint32) (*Pool, error) {
+	resp, err := c.conn.RoundTrip(&proto.Request{Op: proto.OpCreatePool, Name: name, Mode: mode})
+	if err != nil {
+		return nil, err
+	}
+	return c.buildPool(name, resp)
+}
+
+// OpenPool opens an existing pool, mapping its puddles.
+func (c *Client) OpenPool(name string) (*Pool, error) {
+	resp, err := c.conn.RoundTrip(&proto.Request{Op: proto.OpOpenPool, Name: name})
+	if err != nil {
+		return nil, err
+	}
+	return c.buildPool(name, resp)
+}
+
+func (c *Client) buildPool(name string, resp *proto.Response) (*Pool, error) {
+	p := &Pool{c: c, Name: name, UUID: resp.Pool, Writable: resp.Writable}
+	for _, info := range resp.Puddles {
+		pd, err := puddle.Open(c.dev, pmem.Addr(info.Addr))
+		if err != nil {
+			return nil, fmt.Errorf("core: mapping puddle %v: %w", info.UUID, err)
+		}
+		p.attach(pd)
+		if info.UUID == resp.UUID {
+			p.root = pd
+		}
+	}
+	if p.root == nil {
+		return nil, fmt.Errorf("core: pool %q root puddle missing from grant", name)
+	}
+	return p, nil
+}
+
+// attach maps a data puddle into the pool (heap scan + range index).
+func (p *Pool) attach(pd *puddle.Puddle) {
+	p.puddles = append(p.puddles, pd)
+	if pd.Kind() == puddle.KindData {
+		h := alloc.NewHeap(pd)
+		p.heaps = append(p.heaps, h)
+		p.c.indexHeap(pd.Range(), p, h)
+	}
+}
+
+func (c *Client) indexHeap(r pmem.Range, p *Pool, h *alloc.Heap) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i := sort.Search(len(c.rangeIdx), func(i int) bool { return c.rangeIdx[i].r.Start >= r.Start })
+	c.rangeIdx = append(c.rangeIdx, heapRange{})
+	copy(c.rangeIdx[i+1:], c.rangeIdx[i:])
+	c.rangeIdx[i] = heapRange{r: r, pool: p, heap: h}
+}
+
+// heapAt returns the pool and heap owning addr.
+func (c *Client) heapAt(addr pmem.Addr) (*Pool, *alloc.Heap, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i := sort.Search(len(c.rangeIdx), func(i int) bool { return c.rangeIdx[i].r.Start > addr })
+	if i > 0 && c.rangeIdx[i-1].r.Contains(addr) {
+		return c.rangeIdx[i-1].pool, c.rangeIdx[i-1].heap, true
+	}
+	return nil, nil, false
+}
+
+// Delete removes the pool from the daemon.
+func (p *Pool) Delete() error {
+	_, err := p.c.conn.RoundTrip(&proto.Request{Op: proto.OpDeletePool, Name: p.Name})
+	return err
+}
+
+// Export serializes the pool into a relocatable container blob.
+func (p *Pool) Export() ([]byte, error) {
+	resp, err := p.c.conn.RoundTrip(&proto.Request{Op: proto.OpExportPool, Name: p.Name})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Blob, nil
+}
+
+// CreateRoot allocates the pool's root object at the fixed root offset
+// of the root puddle (paper §4.5) and records its type.
+func (p *Pool) CreateRoot(typeID ptypes.TypeID, size uint32) (pmem.Addr, error) {
+	if err := p.writableCheck(); err != nil {
+		return 0, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if tid, _ := p.root.RootType(); tid != 0 {
+		return 0, ErrHasRoot
+	}
+	h := p.heapFor(p.root)
+	if h == nil {
+		return 0, fmt.Errorf("core: root puddle has no heap")
+	}
+	addr, err := h.AllocLarge(alloc.Direct{Dev: p.c.dev}, typeID, size)
+	if err != nil {
+		return 0, err
+	}
+	p.c.dev.Zero(addr, int(size))
+	p.c.dev.Persist(addr, int(size))
+	p.root.SetRootType(uint64(typeID), size)
+	return addr, nil
+}
+
+// Root returns the address of the pool's root object.
+func (p *Pool) Root() (pmem.Addr, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if tid, _ := p.root.RootType(); tid == 0 {
+		return 0, ErrNoRoot
+	}
+	return p.root.HeapBase() + alloc.ObjHdrSize, nil
+}
+
+// RootPuddle returns the pool's root puddle handle.
+func (p *Pool) RootPuddle() *puddle.Puddle {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.root
+}
+
+func (p *Pool) heapFor(pd *puddle.Puddle) *alloc.Heap {
+	for i, q := range p.puddles {
+		if q == pd {
+			// heaps parallels the data puddles subset; find by range.
+			for _, h := range p.heaps {
+				if h.P == q {
+					return h
+				}
+			}
+			_ = i
+		}
+	}
+	return nil
+}
+
+func (p *Pool) writableCheck() error {
+	if p.imported != nil {
+		return ErrImported
+	}
+	if !p.Writable {
+		return ErrReadOnly
+	}
+	return nil
+}
+
+// Malloc allocates outside a transaction (setup paths). Contents are
+// zeroed and persisted. Prefer Tx.Alloc inside transactions.
+func (p *Pool) Malloc(typeID ptypes.TypeID, size uint32) (pmem.Addr, error) {
+	if err := p.writableCheck(); err != nil {
+		return 0, err
+	}
+	return p.alloc(alloc.Direct{Dev: p.c.dev}, typeID, size, true)
+}
+
+// alloc tries every member heap, acquiring a fresh puddle on demand.
+func (p *Pool) alloc(m alloc.Mutator, typeID ptypes.TypeID, size uint32, zero bool) (pmem.Addr, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, h := range p.heaps {
+		a, err := h.Alloc(m, typeID, size)
+		if err == nil {
+			if zero {
+				p.c.dev.Zero(a, int(size))
+				p.c.dev.Persist(a, int(size))
+			}
+			return a, nil
+		}
+		if err != alloc.ErrNoSpace && err != alloc.ErrTooLarge {
+			return 0, err
+		}
+	}
+	// Pools automatically acquire new memory (paper §3.1).
+	need := uint64(puddle.DefaultSize)
+	for need < uint64(size)*2+puddle.BlockSize {
+		need *= 2
+	}
+	pd, err := p.growLocked(need)
+	if err != nil {
+		return 0, err
+	}
+	a, err := p.heaps[len(p.heaps)-1].Alloc(m, typeID, size)
+	if err != nil {
+		return 0, err
+	}
+	_ = pd
+	if zero {
+		p.c.dev.Zero(a, int(size))
+		p.c.dev.Persist(a, int(size))
+	}
+	return a, nil
+}
+
+func (p *Pool) growLocked(size uint64) (*puddle.Puddle, error) {
+	resp, err := p.c.conn.RoundTrip(&proto.Request{
+		Op: proto.OpGetNewPuddle, Pool: p.UUID, Size: size, Kind: uint64(puddle.KindData),
+	})
+	if err != nil {
+		return nil, err
+	}
+	pd, err := puddle.Open(p.c.dev, pmem.Addr(resp.Addr))
+	if err != nil {
+		return nil, err
+	}
+	p.attach(pd)
+	return pd, nil
+}
+
+// Free releases an object outside a transaction.
+func (p *Pool) Free(addr pmem.Addr) error {
+	if err := p.writableCheck(); err != nil {
+		return err
+	}
+	_, h, ok := p.c.heapAt(addr)
+	if !ok {
+		return alloc.ErrBadFree
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return h.Free(alloc.Direct{Dev: p.c.dev}, addr)
+}
+
+// Puddles returns the pool's member puddle handles.
+func (p *Pool) Puddles() []*puddle.Puddle {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*puddle.Puddle, len(p.puddles))
+	copy(out, p.puddles)
+	return out
+}
+
+// LiveObjects sums live allocations across member heaps.
+func (p *Pool) LiveObjects() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var n uint64
+	for _, h := range p.heaps {
+		n += h.LiveObjects()
+	}
+	return n
+}
+
+// --- transaction log acquisition (paper §4.1) ---
+
+// ensureLogSpace lazily creates the client's hidden log pool, formats
+// a log-space puddle and registers it with the daemon. This is the
+// one-time setup cost of application-independent recovery (§3.3).
+func (c *Client) ensureLogSpace() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.logSpace != nil {
+		return nil
+	}
+	name := ".logs-" + uid.New().String()
+	resp, err := c.conn.RoundTrip(&proto.Request{Op: proto.OpCreatePool, Name: name, Mode: 0o600})
+	if err != nil {
+		return err
+	}
+	lp := &Pool{c: c, Name: name, UUID: resp.Pool, Writable: true}
+	rootPd, err := puddle.Open(c.dev, pmem.Addr(resp.Addr))
+	if err != nil {
+		return err
+	}
+	lp.root = rootPd
+	lp.puddles = append(lp.puddles, rootPd)
+	lsResp, err := c.conn.RoundTrip(&proto.Request{
+		Op: proto.OpGetNewPuddle, Pool: lp.UUID, Size: puddle.MinSize, Kind: uint64(puddle.KindLogSpace),
+	})
+	if err != nil {
+		return err
+	}
+	lsPd, err := puddle.Open(c.dev, pmem.Addr(lsResp.Addr))
+	if err != nil {
+		return err
+	}
+	space := plog.FormatLogSpace(lsPd)
+	if _, err := c.conn.RoundTrip(&proto.Request{Op: proto.OpRegLogSpace, UUID: lsResp.UUID}); err != nil {
+		return err
+	}
+	c.logPool = lp
+	c.logSpace = space
+	return nil
+}
+
+// SetLogCache toggles per-thread log-puddle caching (paper §4.1).
+// Disabling it is an ablation: every transaction then allocates a
+// fresh log puddle and registers it with the daemon.
+func (c *Client) SetLogCache(enabled bool) {
+	c.mu.Lock()
+	c.logCacheOff = !enabled
+	c.mu.Unlock()
+}
+
+// acquireLog returns a cached or fresh registered log.
+func (c *Client) acquireLog() (*txLog, error) {
+	if err := c.ensureLogSpace(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if n := len(c.freeLogs); n > 0 && !c.logCacheOff {
+		l := c.freeLogs[n-1]
+		c.freeLogs = c.freeLogs[:n-1]
+		c.mu.Unlock()
+		return l, nil
+	}
+	c.mu.Unlock()
+	region, id, err := c.newLogRegion(LogPuddleSize)
+	if err != nil {
+		return nil, err
+	}
+	l, err := plog.FormatLog(c.dev, region)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	err = c.logSpace.AddLog(l.Head(), id)
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return &txLog{log: l, uuid: id}, nil
+}
+
+// newLogRegion allocates a log puddle and returns its heap range.
+func (c *Client) newLogRegion(size uint64) (pmem.Range, uid.UUID, error) {
+	resp, err := c.conn.RoundTrip(&proto.Request{
+		Op: proto.OpGetNewPuddle, Pool: c.logPool.UUID, Size: size, Kind: uint64(puddle.KindLog),
+	})
+	if err != nil {
+		return pmem.Range{}, uid.Nil, err
+	}
+	pd, err := puddle.Open(c.dev, pmem.Addr(resp.Addr))
+	if err != nil {
+		return pmem.Range{}, uid.Nil, err
+	}
+	return pmem.Range{Start: pd.HeapBase(), End: pd.HeapBase() + pmem.Addr(pd.HeapSize())}, resp.UUID, nil
+}
+
+// releaseLog returns a log to the per-client cache (or, with caching
+// ablated, unregisters and frees its puddle).
+func (c *Client) releaseLog(l *txLog) {
+	c.mu.Lock()
+	if c.logCacheOff {
+		c.logSpace.RemoveLog(l.log.Head())
+		c.mu.Unlock()
+		c.conn.RoundTrip(&proto.Request{Op: proto.OpFreePuddle, UUID: l.uuid})
+		return
+	}
+	c.freeLogs = append(c.freeLogs, l)
+	c.mu.Unlock()
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"puddles/internal/daemon"
+	"puddles/internal/pmem"
+	"puddles/internal/ptypes"
+)
+
+// buildList creates a pool holding an n-node linked list and returns
+// (pool, root, values). Nodes deliberately span multiple puddles when
+// n is large.
+func buildList(t *testing.T, c *Client, name string, n int) (*Pool, pmem.Addr) {
+	return buildListNodes(t, c, name, n, nodeSz)
+}
+
+// buildListNodes builds with a custom node size (still {data, next}
+// at offsets 0 and 8, padded) so tests can force multi-puddle pools.
+func buildListNodes(t *testing.T, c *Client, name string, n int, size uint32) (*Pool, pmem.Addr) {
+	t.Helper()
+	ti, err := c.RegisterType(fmt.Sprintf("node%d", size), size, []ptypes.PtrField{{Offset: offNext}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type listRoot struct {
+		Head ptypes.Ptr
+		Tail ptypes.Ptr
+	}
+	rti, err := c.RegisterLayout("listRoot", listRoot{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := c.CreatePool(name, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := pool.CreateRoot(rti.ID, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := c.Device()
+	for i := 1; i <= n; i++ {
+		a, err := pool.Malloc(ti.ID, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev.StoreU64(a+offData, uint64(i))
+		dev.StoreU64(a+offNext, 0)
+		tail := pmem.Addr(dev.LoadU64(root + 8))
+		if tail == 0 {
+			dev.StoreU64(root+0, uint64(a))
+		} else {
+			dev.StoreU64(tail+offNext, uint64(a))
+		}
+		dev.StoreU64(root+8, uint64(a))
+	}
+	dev.Persist(root, 16)
+	return pool, root
+}
+
+func readList(dev *pmem.Device, root pmem.Addr) []uint64 {
+	var out []uint64
+	for p := pmem.Addr(dev.LoadU64(root)); p != 0; p = pmem.Addr(dev.LoadU64(p + offNext)) {
+		out = append(out, dev.LoadU64(p+offData))
+		if len(out) > 1<<22 {
+			panic("list cycle")
+		}
+	}
+	return out
+}
+
+func TestImportCloneEagerRewrite(t *testing.T) {
+	// Clone a pool inside the same machine: every puddle conflicts with
+	// its original, so every pointer must be rewritten. Both copies
+	// must then be simultaneously readable — the operation PMDK
+	// refuses (paper §2.3).
+	const n = 3000 // spans ≥2 puddles
+	_, c := newSystem(t)
+	pool, root := buildList(t, c, "orig", n)
+	blob, err := pool.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, err := c.ImportPool("clone", blob, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloneRoot, err := clone.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cloneRoot == root {
+		t.Fatal("clone root mapped over the original")
+	}
+	dev := c.Device()
+	a := readList(dev, root)
+	b := readList(dev, cloneRoot)
+	if len(a) != n || len(b) != n {
+		t.Fatalf("lists truncated: orig=%d clone=%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("clone diverges at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// The clone is writable after finalize and independent of the
+	// original.
+	ti, _ := c.types.Register("node", nodeSz, []ptypes.PtrField{{Offset: offNext}})
+	if err := c.Run(clone, func(tx *Tx) error {
+		nn, err := tx.Alloc(ti.ID, nodeSz)
+		if err != nil {
+			return err
+		}
+		dev.StoreU64(nn+offData, 9999)
+		tail := pmem.Addr(dev.LoadU64(cloneRoot + 8))
+		if err := tx.SetU64(tail+offNext, uint64(nn)); err != nil {
+			return err
+		}
+		return tx.SetU64(cloneRoot+8, uint64(nn))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := readList(dev, cloneRoot); len(got) != n+1 || got[n] != 9999 {
+		t.Fatalf("clone append failed: len=%d", len(got))
+	}
+	if got := readList(dev, root); len(got) != n {
+		t.Fatal("writing the clone disturbed the original")
+	}
+}
+
+func TestImportLazyFaultDrivenCascade(t *testing.T) {
+	// Lazy import maps only the root; traversing the list walks into
+	// unmapped puddles, each access faulting exactly once, mapping and
+	// rewriting on demand (paper §4.2's cascading on-demand rewrite).
+	const n = 6000 // 1 KiB nodes: ~6 MiB of data, several puddles
+	_, c := newSystem(t)
+	pool, root := buildListNodes(t, c, "orig", n, 1024)
+	blob, err := pool.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, err := c.ImportPool("lazyclone", blob, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st0, err := clone.ImportStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st0.Faults != 0 {
+		t.Fatalf("faults before any access: %d", st0.Faults)
+	}
+	cloneRoot, err := clone.ImportedRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readList(c.Device(), cloneRoot)
+	if len(got) != n {
+		t.Fatalf("lazy traversal read %d/%d nodes", len(got), n)
+	}
+	for i, v := range got {
+		if v != uint64(i+1) {
+			t.Fatalf("lazy clone node %d = %d", i, v)
+		}
+	}
+	st1, _ := clone.ImportStats()
+	if st1.Faults == 0 {
+		t.Fatal("traversal crossed puddles without faulting — lazy mapping did not happen")
+	}
+	if st1.Puddles < 3 {
+		t.Fatalf("expected multi-puddle pool, got %d", st1.Puddles)
+	}
+	// Finalize: the remaining machinery completes and the pool becomes
+	// a normal writable pool.
+	if err := clone.FinalizeImport(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clone.Root(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Device().FaultRanges()) != 0 {
+		t.Fatal("fault ranges left armed after finalize")
+	}
+	// Original unharmed.
+	if got := readList(c.Device(), root); len(got) != n {
+		t.Fatal("original damaged")
+	}
+}
+
+func TestImportIntoFreshMachineNoRewrites(t *testing.T) {
+	// Ship to a machine with an empty global space: addresses are free,
+	// so no pointer should need rewriting (the paper's cheap common
+	// case — "importing data ... is nearly free").
+	const n = 500
+	_, c1 := newSystem(t)
+	pool, _ := buildList(t, c1, "src", n)
+	blob, err := pool.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	devB := pmem.New()
+	dB, err := daemon.New(devB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := ConnectLocal(dB)
+	defer c2.Close()
+	clone, err := c2.ImportPool("src", blob, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootB, _ := clone.ImportedRoot()
+	got := readList(devB, rootB)
+	if len(got) != n {
+		t.Fatalf("shipped list has %d nodes", len(got))
+	}
+	if err := clone.FinalizeImport(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := c2.Stats()
+	if st.Imports != 1 {
+		t.Fatalf("imports = %d", st.Imports)
+	}
+}
+
+func TestImportedPoolRejectsWritesBeforeFinalize(t *testing.T) {
+	_, c := newSystem(t)
+	pool, _ := buildList(t, c, "src", 10)
+	blob, _ := pool.Export()
+	clone, err := c.ImportPool("c2", blob, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clone.Malloc(ptypes.Untyped, 64); err != ErrImported {
+		t.Fatalf("Malloc before finalize = %v", err)
+	}
+}
+
+func TestFinalizeUntouchedLazyImport(t *testing.T) {
+	// Regression: finalizing a lazy import WITHOUT touching the data
+	// first must map the still-armed frontier puddles directly. The
+	// fault ranges must be disarmed before the daemon copies content in,
+	// or the in-process daemon deadlocks against the client's own RPC.
+	const n = 6000
+	_, c := newSystem(t)
+	pool, _ := buildListNodes(t, c, "orig", n, 1024)
+	blob, err := pool.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, err := c.ImportPool("cold", blob, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No reads at all — straight to finalize.
+	done := make(chan error, 1)
+	go func() { done <- clone.FinalizeImport() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("FinalizeImport deadlocked on armed fault ranges")
+	}
+	root, err := clone.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readList(c.Device(), root); len(got) != n {
+		t.Fatalf("cold-finalized clone has %d nodes", len(got))
+	}
+	if len(c.Device().FaultRanges()) != 0 {
+		t.Fatal("fault ranges left armed")
+	}
+}
+
+func TestImportPreservesAcrossDaemonRestart(t *testing.T) {
+	// Crash mid-lazy-import; on reboot the frontier reservations hold
+	// and the clone finishes via a fresh client.
+	dev := pmem.New()
+	d, err := daemon.New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ConnectLocal(d)
+	pool, _ := buildList(t, c, "src", 4000)
+	blob, _ := pool.Export()
+	if _, err := c.ImportPool("clone", blob, true); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	// Daemon "crashes" (no shutdown). Reboot.
+	d2, err := daemon.New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := ConnectLocal(d2)
+	defer c2.Close()
+	// Re-import under a new name works (fresh staging), and the
+	// original session's reservations did not corrupt the space.
+	clone2, err := c2.ImportPool("clone2", blob, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := clone2.Root()
+	if got := readList(dev, r2); len(got) != 4000 {
+		t.Fatalf("clone2 has %d nodes", len(got))
+	}
+}

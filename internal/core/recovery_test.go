@@ -1,0 +1,271 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"puddles/internal/daemon"
+	"puddles/internal/pmem"
+)
+
+// These tests exercise the paper's headline property end to end:
+// a transaction crashes mid-commit, the application never restarts,
+// and the next daemon boot restores consistency before serving anyone.
+
+// crashingSetup builds a pool with value 42 at root, then runs a
+// transaction that crashes at the given chaos event offset. It returns
+// the device and root address.
+func crashingSetup(t *testing.T, crashOffset int64, useRedo bool) (*pmem.Device, pmem.Addr, bool) {
+	t.Helper()
+	dev := pmem.NewChaos(crashOffset)
+	d, err := daemon.New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ConnectLocal(d)
+	defer c.Close()
+	ti, err := c.RegisterLayout("node", node{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := c.CreatePool("app", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := pool.CreateRoot(ti.ID, nodeSz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.StoreU64(root+offData, 42)
+	dev.StoreU64(root+offNext, 43)
+	dev.Persist(root+offData, 16)
+
+	crashesBefore := dev.Stats().Crashes
+	dev.CrashAtEvent(dev.Events() + crashOffset)
+	crashed := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if !pmem.IsCrash(r) {
+					panic(r)
+				}
+				crashed = true
+			}
+		}()
+		c.Run(pool, func(tx *Tx) error {
+			if err := tx.SetU64(root+offData, 1000); err != nil {
+				return err
+			}
+			if useRedo {
+				if err := tx.RedoSetU64(root+offNext, 2000); err != nil {
+					return err
+				}
+			} else if err := tx.SetU64(root+offNext, 2000); err != nil {
+				return err
+			}
+			return nil
+		})
+	}()
+	// A crash point can also fire inside a daemon goroutine (e.g. while
+	// serving GetNewPuddle); the client then sees a dead connection.
+	crashed = crashed || dev.Stats().Crashes > crashesBefore
+	return dev, root, crashed
+}
+
+// checkConsistent verifies the root pair is atomic: either both old
+// values or both new values, never a mixture.
+func checkConsistent(t *testing.T, dev *pmem.Device, root pmem.Addr, useRedo bool) {
+	t.Helper()
+	a := dev.LoadU64(root + offData)
+	b := dev.LoadU64(root + offNext)
+	oldOK := a == 42 && b == 43
+	newOK := a == 1000 && b == 2000
+	if !oldOK && !newOK {
+		t.Fatalf("inconsistent state after recovery: data=%d next=%d (redo=%v)", a, b, useRedo)
+	}
+}
+
+func TestCrashRecoveryUndoSweep(t *testing.T) {
+	// Sweep crash points through the whole undo-logged transaction.
+	// This is the paper's §5.1 "Correctness Check" — crash injection
+	// with system-supported recovery, repeated across offsets.
+	recovered := 0
+	for off := int64(1); off < 400; off += 7 {
+		dev, root, crashed := crashingSetup(t, off, false)
+		if !crashed {
+			break
+		}
+		// Application never restarts. A fresh daemon boot must recover.
+		if _, err := daemon.New(dev); err != nil {
+			t.Fatalf("offset %d: daemon boot: %v", off, err)
+		}
+		checkConsistent(t, dev, root, false)
+		recovered++
+	}
+	if recovered == 0 {
+		t.Fatal("no crash points probed")
+	}
+}
+
+func TestCrashRecoveryHybridSweep(t *testing.T) {
+	recovered := 0
+	for off := int64(1); off < 400; off += 7 {
+		dev, root, crashed := crashingSetup(t, off, true)
+		if !crashed {
+			break
+		}
+		if _, err := daemon.New(dev); err != nil {
+			t.Fatalf("offset %d: daemon boot: %v", off, err)
+		}
+		checkConsistent(t, dev, root, true)
+		recovered++
+	}
+	if recovered == 0 {
+		t.Fatal("no crash points probed")
+	}
+}
+
+func TestRecoveredDataReadableByDifferentClient(t *testing.T) {
+	// After recovery, a completely different "application" (fresh
+	// client, no knowledge of the crashed one) reads consistent data —
+	// the PDF-editor analogy from paper §2.1.
+	dev, root, crashed := crashingSetup(t, 120, false)
+	if !crashed {
+		t.Skip("transaction completed before the probe point")
+	}
+	d2, err := daemon.New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := ConnectLocal(d2)
+	defer other.Close()
+	pool, err := other.OpenPool("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pool.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != root {
+		t.Fatalf("root moved: %#x vs %#x", uint64(got), uint64(root))
+	}
+	checkConsistent(t, dev, root, false)
+}
+
+func TestCommittedTxSurvivesCrash(t *testing.T) {
+	// Crash AFTER commit returns: the new values must be durable.
+	dev := pmem.NewChaos(9)
+	d, err := daemon.New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ConnectLocal(d)
+	defer c.Close()
+	ti, _ := c.RegisterLayout("node", node{})
+	pool, _ := c.CreatePool("app", 0)
+	root, _ := pool.CreateRoot(ti.ID, nodeSz)
+	if err := c.Run(pool, func(tx *Tx) error {
+		if err := tx.SetU64(root+offData, 77); err != nil {
+			return err
+		}
+		return tx.RedoSetU64(root+offNext, 88)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dev.CrashNow()
+	if _, err := daemon.New(dev); err != nil {
+		t.Fatal(err)
+	}
+	if dev.LoadU64(root+offData) != 77 || dev.LoadU64(root+offNext) != 88 {
+		t.Fatalf("committed values lost: %d %d", dev.LoadU64(root+offData), dev.LoadU64(root+offNext))
+	}
+}
+
+func TestAllocationCrashConsistency(t *testing.T) {
+	// Crash mid-transaction that allocates: after recovery the
+	// allocation is rolled back and the heap validates.
+	for off := int64(5); off < 300; off += 23 {
+		dev := pmem.NewChaos(off)
+		d, err := daemon.New(dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := ConnectLocal(d)
+		ti, _ := c.RegisterLayout("node", node{})
+		pool, _ := c.CreatePool("app", 0)
+		root, _ := pool.CreateRoot(ti.ID, nodeSz)
+		before := pool.LiveObjects()
+
+		crashesBefore := dev.Stats().Crashes
+		dev.CrashAtEvent(dev.Events() + off)
+		crashed := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if !pmem.IsCrash(r) {
+						panic(r)
+					}
+					crashed = true
+				}
+			}()
+			c.Run(pool, func(tx *Tx) error {
+				n, err := tx.Alloc(ti.ID, nodeSz)
+				if err != nil {
+					return err
+				}
+				dev.StoreU64(n+offData, 5)
+				return tx.SetU64(root+offNext, uint64(n))
+			})
+		}()
+		c.Close()
+		crashed = crashed || dev.Stats().Crashes > crashesBefore
+		if !crashed {
+			break
+		}
+		if _, err := daemon.New(dev); err != nil {
+			t.Fatalf("offset %d: boot: %v", off, err)
+		}
+		// Reopen as a fresh client; the heap must validate and live
+		// object count must match the pre-crash state (rollback) or
+		// pre+1 (committed before crash point — only if commit made it).
+		c2 := ConnectLocal(mustDaemon(t, dev))
+		pool2, err := c2.OpenPool("app")
+		if err != nil {
+			t.Fatalf("offset %d: reopen: %v", off, err)
+		}
+		live := pool2.LiveObjects()
+		next := dev.LoadU64(root + offNext)
+		switch {
+		case live == before && next == 0: // rolled back (0 = initial)
+		case live == before+1 && next != 0: // committed
+		default:
+			t.Fatalf("offset %d: live=%d (before=%d) next=%#x — allocation and link disagree", off, live, before, next)
+		}
+		c2.Close()
+	}
+}
+
+func mustDaemon(t *testing.T, dev *pmem.Device) *daemon.Daemon {
+	t.Helper()
+	d, err := daemon.New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestErrTxDoneAfterCommit(t *testing.T) {
+	_, c := newSystem(t)
+	pool, _ := c.CreatePool("p", 0)
+	tx := c.Begin(pool)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Add(0x1000, 8); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("Add after commit = %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("double Commit = %v", err)
+	}
+}

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"puddles/internal/alloc"
+	"puddles/internal/plog"
+	"puddles/internal/pmem"
+	"puddles/internal/ptypes"
+)
+
+// Libtx: PMDK-style failure-atomic transactions over the Puddles log
+// format (paper §3.6, §4.1). Transactions are thread-local — callers
+// run one Tx per goroutine and synchronize shared data themselves —
+// but unlike PMDK they may write any PM data in the global space, not
+// just a single pool.
+
+// Tx errors.
+var (
+	ErrTxDone   = errors.New("core: transaction already committed or aborted")
+	ErrTxFailed = errors.New("core: transaction aborted")
+)
+
+type undoRange struct {
+	addr pmem.Addr
+	size int
+}
+
+type redoRec struct {
+	addr pmem.Addr
+	data []byte
+}
+
+// Tx is one failure-atomic transaction.
+type Tx struct {
+	c    *Client
+	pool *Pool
+	log  *txLog
+
+	undo    []undoRange
+	redo    []redoRec
+	fresh   []undoRange // freshly allocated payloads: flush at commit
+	touched map[*alloc.Heap]*Pool
+	done    bool
+	err     error
+}
+
+// Begin starts a transaction whose allocations come from pool.
+// Starting and committing an empty transaction touches no log at all —
+// the lightweight TX NOP of paper Table 3.
+func (c *Client) Begin(pool *Pool) *Tx {
+	return &Tx{c: c, pool: pool}
+}
+
+// Run executes fn inside a transaction: commit on nil return, abort on
+// error or panic (the TX_BEGIN ... TX_END block of Fig. 4).
+func (c *Client) Run(pool *Pool, fn func(tx *Tx) error) (err error) {
+	tx := c.Begin(pool)
+	defer func() {
+		if r := recover(); r != nil {
+			tx.Abort()
+			panic(r)
+		}
+	}()
+	if err := fn(tx); err != nil {
+		tx.Abort()
+		return fmt.Errorf("%w: %v", ErrTxFailed, err)
+	}
+	return tx.Commit()
+}
+
+// ensureLog lazily acquires the per-thread cached log on first use and
+// opens the undo window (sequence range (0,2): a crash from here rolls
+// the transaction back).
+func (t *Tx) ensureLog() error {
+	if t.log != nil {
+		return nil
+	}
+	if t.pool != nil {
+		if err := t.pool.writableCheck(); err != nil {
+			return err
+		}
+	}
+	l, err := t.c.acquireLog()
+	if err != nil {
+		return err
+	}
+	t.log = l
+	t.log.log.SetRange(plog.RangeUndoOnly[0], plog.RangeUndoOnly[1])
+	return nil
+}
+
+func (t *Tx) grow() plog.GrowFunc {
+	return func() (pmem.Range, error) {
+		r, _, err := t.c.newLogRegion(LogPuddleSize)
+		return r, err
+	}
+}
+
+// Add undo-logs [addr, addr+size): the current contents are captured
+// in the log before the caller overwrites them (TX_ADD, Fig. 8).
+func (t *Tx) Add(addr pmem.Addr, size int) error {
+	if t.done {
+		return ErrTxDone
+	}
+	if err := t.ensureLog(); err != nil {
+		return err
+	}
+	old := make([]byte, size)
+	t.c.dev.Load(addr, old)
+	if err := t.log.log.Append(plog.Entry{
+		Addr: addr, Seq: plog.SeqUndo, Order: plog.OrderBackward, Data: old,
+	}, t.grow()); err != nil {
+		return err
+	}
+	t.undo = append(t.undo, undoRange{addr, size})
+	return nil
+}
+
+// AddVolatile undo-logs a volatile location (FlagVolatile): restored
+// on abort, ignored by daemon recovery (paper §4.1).
+func (t *Tx) AddVolatile(addr pmem.Addr, size int) error {
+	if t.done {
+		return ErrTxDone
+	}
+	if err := t.ensureLog(); err != nil {
+		return err
+	}
+	old := make([]byte, size)
+	t.c.dev.Load(addr, old)
+	return t.log.log.Append(plog.Entry{
+		Addr: addr, Seq: plog.SeqUndo, Order: plog.OrderBackward,
+		Flags: plog.FlagVolatile, Data: old,
+	}, t.grow())
+}
+
+// RedoSet redo-logs a write (TX_REDO_SET): the new value lands in the
+// log now and in memory only at commit. Reads before commit see the
+// old value, exactly like the paper's interface.
+func (t *Tx) RedoSet(addr pmem.Addr, data []byte) error {
+	if t.done {
+		return ErrTxDone
+	}
+	if err := t.ensureLog(); err != nil {
+		return err
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	if err := t.log.log.Append(plog.Entry{
+		Addr: addr, Seq: plog.SeqRedo, Order: plog.OrderForward, Data: cp,
+	}, t.grow()); err != nil {
+		return err
+	}
+	t.redo = append(t.redo, redoRec{addr, cp})
+	return nil
+}
+
+// RedoSetU64 redo-logs an 8-byte value.
+func (t *Tx) RedoSetU64(addr pmem.Addr, v uint64) error {
+	var b [8]byte
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	b[4], b[5], b[6], b[7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+	return t.RedoSet(addr, b[:])
+}
+
+// Set undo-logs and writes data (the common TX_ADD-then-store idiom).
+func (t *Tx) Set(addr pmem.Addr, data []byte) error {
+	if err := t.Add(addr, len(data)); err != nil {
+		return err
+	}
+	t.c.dev.Store(addr, data)
+	return nil
+}
+
+// SetU64 undo-logs and writes an 8-byte value.
+func (t *Tx) SetU64(addr pmem.Addr, v uint64) error {
+	if err := t.Add(addr, 8); err != nil {
+		return err
+	}
+	t.c.dev.StoreU64(addr, v)
+	return nil
+}
+
+// --- alloc.Mutator: allocator metadata is undo-logged like app data ---
+
+// Write implements alloc.Mutator.
+func (t *Tx) Write(addr pmem.Addr, data []byte) {
+	if err := t.Set(addr, data); err != nil {
+		t.err = err
+	}
+}
+
+// WriteU64 implements alloc.Mutator.
+func (t *Tx) WriteU64(addr pmem.Addr, v uint64) {
+	if err := t.SetU64(addr, v); err != nil {
+		t.err = err
+	}
+}
+
+// RegisterNew implements alloc.Mutator: fresh payloads are flushed at
+// commit but need no undo (rolling back the allocation discards them).
+func (t *Tx) RegisterNew(addr pmem.Addr, size int) {
+	t.fresh = append(t.fresh, undoRange{addr, size})
+}
+
+// Alloc allocates size bytes of the given type from the transaction's
+// pool. The allocation is automatically undone if the transaction
+// aborts (Fig. 8, line 4 commentary).
+func (t *Tx) Alloc(typeID ptypes.TypeID, size uint32) (pmem.Addr, error) {
+	if t.done {
+		return 0, ErrTxDone
+	}
+	if t.pool == nil {
+		return 0, errors.New("core: transaction has no pool for allocation")
+	}
+	if err := t.ensureLog(); err != nil {
+		return 0, err
+	}
+	a, err := t.pool.alloc(t, typeID, size, false)
+	if err == nil && t.err != nil {
+		err = t.err
+	}
+	if err != nil {
+		return 0, err
+	}
+	t.markTouched(a)
+	return a, nil
+}
+
+// Free releases an object; the release is undone on abort.
+func (t *Tx) Free(addr pmem.Addr) error {
+	if t.done {
+		return ErrTxDone
+	}
+	if err := t.ensureLog(); err != nil {
+		return err
+	}
+	pool, h, ok := t.c.heapAt(addr)
+	if !ok {
+		return alloc.ErrBadFree
+	}
+	pool.mu.Lock()
+	err := h.Free(t, addr)
+	pool.mu.Unlock()
+	if err == nil && t.err != nil {
+		err = t.err
+	}
+	if err != nil {
+		return err
+	}
+	t.markHeap(h, pool)
+	return nil
+}
+
+func (t *Tx) markTouched(addr pmem.Addr) {
+	if pool, h, ok := t.c.heapAt(addr); ok {
+		t.markHeap(h, pool)
+	}
+}
+
+func (t *Tx) markHeap(h *alloc.Heap, pool *Pool) {
+	if t.touched == nil {
+		t.touched = make(map[*alloc.Heap]*Pool)
+	}
+	t.touched[h] = pool
+}
+
+// Commit runs the three-stage commit of paper Figure 7 and releases
+// the log. It is a no-op for transactions that logged nothing.
+func (t *Tx) Commit() error {
+	if t.done {
+		return ErrTxDone
+	}
+	t.done = true
+	if t.err != nil {
+		t.abortLocked()
+		return t.err
+	}
+	if t.log == nil {
+		return nil // TX NOP: nothing logged, nothing to do
+	}
+	dev := t.c.dev
+	// Stage 1: make every undo-logged location (and fresh payload)
+	// durable.
+	for _, u := range t.undo {
+		dev.Flush(u.addr, u.size)
+	}
+	for _, f := range t.fresh {
+		dev.Flush(f.addr, f.size)
+	}
+	dev.Fence()
+	// Commit point: disable undo entries, enable redo entries.
+	t.log.log.SetRange(plog.RangeRedoOnly[0], plog.RangeRedoOnly[1])
+	// Stage 2: apply the redo log.
+	if len(t.redo) > 0 {
+		for _, r := range t.redo {
+			dev.Store(r.addr, r.data)
+			dev.Flush(r.addr, len(r.data))
+		}
+		dev.Fence()
+	}
+	// Stage 3: the transaction is complete; invalidate the log.
+	t.log.log.Reset()
+	t.c.releaseLog(t.log)
+	t.log = nil
+	return nil
+}
+
+// Abort rolls the transaction back: undo entries replay in reverse
+// (including volatile ones), redo entries are dropped, allocator state
+// is rescanned.
+func (t *Tx) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.abortLocked()
+}
+
+func (t *Tx) abortLocked() {
+	if t.log == nil {
+		return
+	}
+	// The range is still (0,2): replay applies only undo entries.
+	t.log.log.Replay(false, nil)
+	t.c.releaseLog(t.log)
+	t.log = nil
+	// Rolled-back block maps invalidate the volatile heap indexes.
+	for h := range t.touched {
+		h.Rescan()
+	}
+}
+
+// Pending reports whether the transaction has logged anything yet.
+func (t *Tx) Pending() bool { return t.log != nil }

@@ -1,0 +1,455 @@
+// Package daemon implements Puddled, the privileged daemon that
+// manages access to all puddles in a machine (paper §3.2, §4.6).
+//
+// Puddled owns the global puddle address space, allocates and formats
+// puddles, enforces a UNIX-like permission model on pools, registers
+// application log spaces, and — the paper's headline property —
+// replays crash-consistency logs after a dirty shutdown before any
+// application can map the data, making recovery a property of the
+// stored data rather than of the program that wrote it.
+//
+// Daemon metadata (pool and puddle registries, log-space
+// registrations, pointer maps, import sessions) persists in a reserved
+// meta region via an A/B double-buffered checksummed snapshot, so the
+// daemon itself recovers from crashes without depending on the logging
+// machinery it is responsible for replaying.
+package daemon
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/crc64"
+	"log"
+	"sync"
+
+	"puddles/internal/addrspace"
+	"puddles/internal/alloc"
+	"puddles/internal/plog"
+	"puddles/internal/pmem"
+	"puddles/internal/proto"
+	"puddles/internal/ptypes"
+	"puddles/internal/puddle"
+	"puddles/internal/uid"
+)
+
+// Meta region geometry (below the global puddle space, DESIGN.md §4.4).
+const (
+	metaBase  pmem.Addr = 1 << 20 // superblock at 1 MiB
+	slotBytes           = 8 << 20
+	slotA               = metaBase + pmem.PageSize
+	slotB               = slotA + slotBytes
+
+	sbMagic   = 0x4445_4c44_4455_50 // "PUDDLED"
+	sbOffMag  = 0
+	sbOffDirt = 8 // 0 = clean shutdown, 1 = in use
+
+	// StagingBase is where imported puddle images are staged before
+	// they are mapped into the global space.
+	StagingBase pmem.Addr = 1 << 30
+	stagingSize uint64    = 255 << 30
+
+	// VolatileBase is a device region treated as DRAM: transactions may
+	// log volatile locations here; the daemon never recovers them.
+	VolatileBase pmem.Addr = 257 << 30
+	// VolatileSize is the extent of the volatile region.
+	VolatileSize uint64 = 16 << 30
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Creds identify a client (simulated SO_PEERCRED; DESIGN.md §2).
+type Creds struct{ UID, GID uint32 }
+
+// Superuser credentials bypass permission checks.
+var Superuser = Creds{0, 0}
+
+// PuddleRec is the registry entry for one puddle.
+type PuddleRec struct {
+	UUID uid.UUID
+	Addr uint64
+	Size uint64
+	Kind uint64
+	Pool uid.UUID
+}
+
+// PoolRec is the registry entry for one pool.
+type PoolRec struct {
+	Name     string
+	UUID     uid.UUID
+	Root     uid.UUID
+	OwnerUID uint32
+	OwnerGID uint32
+	Mode     uint32 // UNIX-style permission bits (e.g. 0o660)
+	Puddles  []uid.UUID
+}
+
+// LogSpaceRec records a registered log space and the credentials it
+// was registered under; recovery is confined to what those credentials
+// could write (paper §4.6, "Recovery").
+type LogSpaceRec struct {
+	UUID  uid.UUID
+	Addr  uint64
+	Creds Creds
+}
+
+// ImportPuddle tracks one puddle of an import session.
+type ImportPuddle struct {
+	UUID     uid.UUID // fresh identity assigned at import
+	OldAddr  uint64   // address in the exporting machine's space
+	Size     uint64
+	Kind     uint64
+	StagedAt uint64 // staging copy location
+	NewAddr  uint64 // assigned address in this machine's space; 0 = unresolved
+	Mapped   bool   // content copied to NewAddr
+}
+
+// ImportSession is the persistent state of one in-progress import; a
+// crash mid-import resumes from it (paper §4.2: Puddled "persistently
+// tracks puddles that were part of a frontier").
+type ImportSession struct {
+	ID       uint64
+	PoolName string
+	PoolUUID uid.UUID
+	RootUUID uid.UUID
+	Creds    Creds
+	Mode     uint32
+	Puddles  []ImportPuddle
+}
+
+// state is the gob-persisted daemon snapshot.
+type state struct {
+	Seq         uint64
+	Pools       map[string]*PoolRec
+	Puddles     map[uid.UUID]*PuddleRec
+	LogSpaces   map[uid.UUID]*LogSpaceRec
+	Types       []ptypes.TypeInfo
+	Sessions    map[uint64]*ImportSession
+	NextSession uint64
+
+	Recoveries     uint64
+	LogsReplayed   uint64
+	EntriesApplied uint64
+	Imports        uint64
+}
+
+// Daemon is a Puddled instance bound to one device.
+type Daemon struct {
+	dev *pmem.Device
+
+	mu      sync.Mutex
+	st      state
+	space   *addrspace.Manager // global puddle space
+	staging *addrspace.Manager // import staging area
+	types   *ptypes.Registry
+	logger  *log.Logger
+
+	closed bool
+}
+
+// Option configures a Daemon.
+type Option func(*Daemon)
+
+// WithLogger directs daemon diagnostics to l.
+func WithLogger(l *log.Logger) Option { return func(d *Daemon) { d.logger = l } }
+
+// New boots a daemon on dev: it restores the metadata snapshot,
+// replays registered logs if the previous run ended in a dirty
+// shutdown, and marks the device in-use. It must run before any
+// application touches the data — the essence of application-
+// independent recovery.
+func New(dev *pmem.Device, opts ...Option) (*Daemon, error) {
+	d := &Daemon{
+		dev:     dev,
+		space:   addrspace.NewManager(),
+		staging: addrspace.NewManagerRange(StagingBase, stagingSize),
+		types:   ptypes.NewRegistry(),
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	if err := d.boot(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (d *Daemon) logf(format string, args ...any) {
+	if d.logger != nil {
+		d.logger.Printf(format, args...)
+	}
+}
+
+func (d *Daemon) boot() error {
+	magic := d.dev.LoadU64(metaBase + sbOffMag)
+	firstBoot := magic != sbMagic
+	if firstBoot {
+		d.st = state{
+			Pools:       make(map[string]*PoolRec),
+			Puddles:     make(map[uid.UUID]*PuddleRec),
+			LogSpaces:   make(map[uid.UUID]*LogSpaceRec),
+			Sessions:    make(map[uint64]*ImportSession),
+			NextSession: 1,
+		}
+		d.dev.StoreU64(metaBase+sbOffMag, sbMagic)
+		d.dev.StoreU64(metaBase+sbOffDirt, 0)
+		d.dev.Persist(metaBase, 16)
+	} else if err := d.loadSnapshot(); err != nil {
+		return fmt.Errorf("daemon: restoring metadata: %w", err)
+	}
+	// Rebuild the in-memory reservation indexes.
+	for _, p := range d.st.Puddles {
+		if _, err := d.space.ReserveAt(pmem.Addr(p.Addr), p.Size, p.UUID.String()); err != nil {
+			return fmt.Errorf("daemon: re-reserving puddle %v: %w", p.UUID, err)
+		}
+	}
+	for _, s := range d.st.Sessions {
+		for i := range s.Puddles {
+			ip := &s.Puddles[i]
+			if _, err := d.staging.ReserveAt(pmem.Addr(ip.StagedAt), ip.Size, ip.UUID.String()); err != nil {
+				return fmt.Errorf("daemon: re-reserving staging for %v: %w", ip.UUID, err)
+			}
+			if ip.NewAddr != 0 {
+				if _, err := d.space.ReserveAt(pmem.Addr(ip.NewAddr), ip.Size, ip.UUID.String()); err != nil {
+					return fmt.Errorf("daemon: re-reserving frontier %v: %w", ip.UUID, err)
+				}
+			}
+		}
+	}
+	for _, ti := range d.st.Types {
+		if err := d.types.Put(ti); err != nil {
+			return fmt.Errorf("daemon: restoring type %q: %w", ti.Name, err)
+		}
+	}
+	// Application-independent recovery: replay before serving anyone.
+	dirty := !firstBoot && d.dev.LoadU64(metaBase+sbOffDirt) != 0
+	if dirty {
+		d.runRecovery()
+	}
+	d.dev.StoreU64(metaBase+sbOffDirt, 1)
+	d.dev.Persist(metaBase+sbOffDirt, 8)
+	if !firstBoot {
+		d.persist() // re-persist so both slots stay healthy over time
+	}
+	return nil
+}
+
+// Shutdown snapshots metadata and marks the device cleanly closed.
+func (d *Daemon) Shutdown() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	d.persist()
+	d.dev.StoreU64(metaBase+sbOffDirt, 0)
+	d.dev.Persist(metaBase+sbOffDirt, 8)
+	d.closed = true
+}
+
+// Device returns the daemon's device (shared with in-process clients,
+// standing in for DAX mappings).
+func (d *Daemon) Device() *pmem.Device { return d.dev }
+
+// --- snapshot persistence (A/B slots) ---
+
+func (d *Daemon) persist() {
+	d.st.Seq++
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&d.st); err != nil {
+		panic(fmt.Sprintf("daemon: encoding snapshot: %v", err)) // programming error
+	}
+	data := buf.Bytes()
+	if len(data)+32 > slotBytes {
+		panic(fmt.Sprintf("daemon: snapshot %d bytes exceeds slot", len(data)))
+	}
+	slot := slotA
+	if d.st.Seq%2 == 0 {
+		slot = slotB
+	}
+	// Header last: a torn snapshot write is invisible because the old
+	// slot still decodes and carries the higher valid seq.
+	d.dev.Store(slot+32, data)
+	d.dev.Flush(slot+32, len(data))
+	d.dev.Fence()
+	d.dev.StoreU64(slot+8, uint64(len(data)))
+	d.dev.StoreU64(slot+16, crc64.Checksum(data, crcTable))
+	d.dev.StoreU64(slot, d.st.Seq)
+	d.dev.Persist(slot, 32)
+}
+
+func (d *Daemon) readSlot(slot pmem.Addr) (*state, uint64, bool) {
+	seq := d.dev.LoadU64(slot)
+	n := d.dev.LoadU64(slot + 8)
+	if seq == 0 || n == 0 || n > slotBytes-32 {
+		return nil, 0, false
+	}
+	data := make([]byte, n)
+	d.dev.Load(slot+32, data)
+	if crc64.Checksum(data, crcTable) != d.dev.LoadU64(slot+16) {
+		return nil, 0, false
+	}
+	var st state
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return nil, 0, false
+	}
+	return &st, seq, true
+}
+
+func (d *Daemon) loadSnapshot() error {
+	a, seqA, okA := d.readSlot(slotA)
+	b, seqB, okB := d.readSlot(slotB)
+	switch {
+	case okA && (!okB || seqA >= seqB):
+		d.st = *a
+	case okB:
+		d.st = *b
+	default:
+		return fmt.Errorf("both metadata slots invalid")
+	}
+	if d.st.Pools == nil {
+		d.st.Pools = make(map[string]*PoolRec)
+	}
+	if d.st.Puddles == nil {
+		d.st.Puddles = make(map[uid.UUID]*PuddleRec)
+	}
+	if d.st.LogSpaces == nil {
+		d.st.LogSpaces = make(map[uid.UUID]*LogSpaceRec)
+	}
+	if d.st.Sessions == nil {
+		d.st.Sessions = make(map[uint64]*ImportSession)
+	}
+	return nil
+}
+
+// --- recovery engine ---
+
+// runRecovery replays every registered log space. Callers hold no
+// lock (boot) or d.mu (RecoverNow); the daemon is not serving yet or
+// is serialized, respectively.
+func (d *Daemon) runRecovery() {
+	d.st.Recoveries++
+	for _, ls := range d.st.LogSpaces {
+		d.recoverLogSpace(ls)
+	}
+	d.persist()
+}
+
+func (d *Daemon) recoverLogSpace(ls *LogSpaceRec) {
+	p, err := puddle.Open(d.dev, pmem.Addr(ls.Addr))
+	if err != nil {
+		d.logf("recovery: log space %v unreadable: %v", ls.UUID, err)
+		return
+	}
+	space, err := plog.OpenLogSpace(p)
+	if err != nil {
+		d.logf("recovery: log space %v malformed: %v", ls.UUID, err)
+		return
+	}
+	// Recreate the crashed process's view: recovery may only write
+	// addresses its credentials could write before the crash.
+	filter := func(e plog.Entry) bool {
+		return d.credsCanWriteAddr(ls.Creds, e.Addr, len(e.Data))
+	}
+	for _, head := range space.Logs() {
+		l, err := plog.OpenLog(d.dev, head)
+		if err != nil {
+			d.logf("recovery: log at %#x unreadable: %v", uint64(head), err)
+			continue
+		}
+		if !l.Pending() {
+			continue
+		}
+		n := l.Replay(true, filter)
+		d.st.LogsReplayed++
+		d.st.EntriesApplied += uint64(n)
+		d.logf("recovery: replayed log at %#x (%d entries)", uint64(head), n)
+	}
+}
+
+// credsCanWriteAddr reports whether creds could write [addr, addr+n):
+// the range must lie within a single registered puddle whose pool
+// grants write permission.
+func (d *Daemon) credsCanWriteAddr(c Creds, addr pmem.Addr, n int) bool {
+	for _, p := range d.st.Puddles {
+		if uint64(addr) >= p.Addr && uint64(addr)+uint64(n) <= p.Addr+p.Size {
+			pool := d.poolByUUID(p.Pool)
+			if pool == nil {
+				return false
+			}
+			return checkPerm(c, pool, true)
+		}
+	}
+	return false
+}
+
+func (d *Daemon) poolByUUID(u uid.UUID) *PoolRec {
+	for _, p := range d.st.Pools {
+		if p.UUID == u {
+			return p
+		}
+	}
+	return nil
+}
+
+// checkPerm applies the UNIX owner/group/other model (paper §4.6).
+func checkPerm(c Creds, pool *PoolRec, write bool) bool {
+	if c == Superuser {
+		return true
+	}
+	var triad uint32
+	switch {
+	case c.UID == pool.OwnerUID:
+		triad = pool.Mode >> 6
+	case c.GID == pool.OwnerGID:
+		triad = pool.Mode >> 3
+	default:
+		triad = pool.Mode
+	}
+	if write {
+		return triad&0o2 != 0
+	}
+	return triad&0o4 != 0
+}
+
+// Stats returns a snapshot of daemon counters.
+func (d *Daemon) Stats() proto.Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.statsLocked()
+}
+
+func (d *Daemon) statsLocked() proto.Stats {
+	return proto.Stats{
+		Pools:          len(d.st.Pools),
+		Puddles:        len(d.st.Puddles),
+		ReservedBytes:  d.space.ReservedBytes(),
+		LogSpaces:      len(d.st.LogSpaces),
+		Types:          d.types.Len(),
+		Recoveries:     d.st.Recoveries,
+		LogsReplayed:   d.st.LogsReplayed,
+		EntriesApplied: d.st.EntriesApplied,
+		Imports:        d.st.Imports,
+	}
+}
+
+// newPuddle reserves, formats and registers a puddle. Caller holds d.mu.
+func (d *Daemon) newPuddle(pool *PoolRec, size uint64, kind puddle.Kind) (*PuddleRec, error) {
+	id := uid.New()
+	r, err := d.space.Reserve(size, id.String())
+	if err != nil {
+		return nil, err
+	}
+	p, err := puddle.Format(d.dev, r.Start, size, id, kind, pool.UUID)
+	if err != nil {
+		d.space.Release(r.Start)
+		return nil, err
+	}
+	if kind == puddle.KindData {
+		alloc.Format(p, alloc.Direct{Dev: d.dev})
+	}
+	rec := &PuddleRec{UUID: id, Addr: uint64(r.Start), Size: size, Kind: uint64(kind), Pool: pool.UUID}
+	d.st.Puddles[id] = rec
+	pool.Puddles = append(pool.Puddles, id)
+	return rec, nil
+}

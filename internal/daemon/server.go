@@ -1,0 +1,625 @@
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"puddles/internal/addrspace"
+	"puddles/internal/pmem"
+	"puddles/internal/proto"
+	"puddles/internal/ptypes"
+	"puddles/internal/puddle"
+	"puddles/internal/reloc"
+	"puddles/internal/uid"
+)
+
+// Serve accepts connections on l until it is closed. Each connection
+// gets its own goroutine; requests within a connection are serialized.
+func (d *Daemon) Serve(l net.Listener) error {
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go d.handleConn(proto.NewServerConn(c))
+	}
+}
+
+// SelfConn returns an in-process client connection (net.Pipe), the
+// test/benchmark stand-in for the UNIX domain socket.
+func (d *Daemon) SelfConn() *proto.Conn {
+	client, server := net.Pipe()
+	go d.handleConn(proto.NewServerConn(server))
+	return proto.NewConn(client)
+}
+
+func (d *Daemon) handleConn(sc *proto.ServerConn) {
+	defer sc.Close()
+	// An injected power failure (chaos testing) may fire while the
+	// daemon itself is writing: the "machine" is gone, so this
+	// connection goroutine just stops — clients see a dead connection,
+	// exactly as they would a crashed daemon process.
+	defer func() {
+		if r := recover(); r != nil && !pmem.IsCrash(r) {
+			panic(r)
+		}
+	}()
+	creds := Superuser
+	for {
+		req, err := sc.Recv()
+		if err != nil {
+			if err != io.EOF {
+				d.logf("conn: %v", err)
+			}
+			return
+		}
+		if req.Op == proto.OpHello {
+			creds = Creds{UID: req.UID, GID: req.GID}
+			if err := sc.Send(&proto.Response{}); err != nil {
+				return
+			}
+			continue
+		}
+		resp := d.dispatch(creds, req)
+		if err := sc.Send(resp); err != nil {
+			return
+		}
+	}
+}
+
+func fail(format string, args ...any) *proto.Response {
+	return &proto.Response{Err: fmt.Sprintf(format, args...)}
+}
+
+// Dispatch executes one request against the daemon; exported so
+// in-process callers can bypass the socket (not used by Libpuddles,
+// which always goes through a Conn, but handy for tools).
+func (d *Daemon) Dispatch(creds Creds, req *proto.Request) *proto.Response {
+	return d.dispatch(creds, req)
+}
+
+func (d *Daemon) dispatch(creds Creds, req *proto.Request) *proto.Response {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return fail("daemon is shut down")
+	}
+	switch req.Op {
+	case proto.OpNop:
+		return &proto.Response{}
+	case proto.OpCreatePool:
+		return d.opCreatePool(creds, req)
+	case proto.OpOpenPool:
+		return d.opOpenPool(creds, req)
+	case proto.OpDeletePool:
+		return d.opDeletePool(creds, req)
+	case proto.OpChmodPool:
+		return d.opChmodPool(creds, req)
+	case proto.OpListPools:
+		return d.opListPools(creds)
+	case proto.OpGetNewPuddle:
+		return d.opGetNewPuddle(creds, req)
+	case proto.OpGetExistPuddle:
+		return d.opGetExistPuddle(creds, req)
+	case proto.OpFreePuddle:
+		return d.opFreePuddle(creds, req)
+	case proto.OpRegLogSpace:
+		return d.opRegLogSpace(creds, req)
+	case proto.OpUnregLogSpace:
+		return d.opUnregLogSpace(creds, req)
+	case proto.OpRegisterType:
+		return d.opRegisterType(req)
+	case proto.OpGetType:
+		return d.opGetType(req)
+	case proto.OpListTypes:
+		return &proto.Response{Types: d.types.All()}
+	case proto.OpExportPool:
+		return d.opExportPool(creds, req)
+	case proto.OpImportPool:
+		return d.opImportPool(creds, req)
+	case proto.OpImportResolve:
+		return d.opImportResolve(creds, req)
+	case proto.OpImportMap:
+		return d.opImportMap(creds, req)
+	case proto.OpImportDone:
+		return d.opImportDone(creds, req)
+	case proto.OpStat:
+		return &proto.Response{Stats: d.statsLocked()}
+	case proto.OpRecoverNow:
+		d.runRecovery()
+		return &proto.Response{Stats: d.statsLocked()}
+	case proto.OpShutdown:
+		d.persist()
+		d.dev.StoreU64(metaBase+sbOffDirt, 0)
+		d.dev.Persist(metaBase+sbOffDirt, 8)
+		d.closed = true
+		return &proto.Response{}
+	default:
+		return fail("unknown op %v", req.Op)
+	}
+}
+
+func (d *Daemon) opCreatePool(creds Creds, req *proto.Request) *proto.Response {
+	if req.Name == "" {
+		return fail("pool name required")
+	}
+	if _, ok := d.st.Pools[req.Name]; ok {
+		return fail("pool %q already exists", req.Name)
+	}
+	mode := req.Mode
+	if mode == 0 {
+		mode = 0o600
+	}
+	size := req.Size
+	if size == 0 {
+		size = puddle.DefaultSize
+	}
+	pool := &PoolRec{
+		Name:     req.Name,
+		UUID:     uid.New(),
+		OwnerUID: creds.UID,
+		OwnerGID: creds.GID,
+		Mode:     mode,
+	}
+	root, err := d.newPuddle(pool, size, puddle.KindData)
+	if err != nil {
+		return fail("allocating root puddle: %v", err)
+	}
+	pool.Root = root.UUID
+	d.st.Pools[req.Name] = pool
+	d.persist()
+	return &proto.Response{
+		Pool:     pool.UUID,
+		UUID:     root.UUID,
+		Addr:     root.Addr,
+		Size:     root.Size,
+		Writable: true,
+		Puddles:  []proto.PuddleInfo{{UUID: root.UUID, Addr: root.Addr, Size: root.Size, Kind: root.Kind}},
+	}
+}
+
+func (d *Daemon) opOpenPool(creds Creds, req *proto.Request) *proto.Response {
+	pool, ok := d.st.Pools[req.Name]
+	if !ok {
+		return fail("pool %q not found", req.Name)
+	}
+	if !checkPerm(creds, pool, false) {
+		return fail("permission denied reading pool %q", req.Name)
+	}
+	root := d.st.Puddles[pool.Root]
+	if root == nil {
+		return fail("pool %q has no root puddle", req.Name)
+	}
+	infos := make([]proto.PuddleInfo, 0, len(pool.Puddles))
+	for _, pu := range pool.Puddles {
+		if rec := d.st.Puddles[pu]; rec != nil {
+			infos = append(infos, proto.PuddleInfo{UUID: rec.UUID, Addr: rec.Addr, Size: rec.Size, Kind: rec.Kind})
+		}
+	}
+	return &proto.Response{
+		Pool:     pool.UUID,
+		UUID:     root.UUID,
+		Addr:     root.Addr,
+		Size:     root.Size,
+		Writable: checkPerm(creds, pool, true),
+		Puddles:  infos,
+	}
+}
+
+func (d *Daemon) opDeletePool(creds Creds, req *proto.Request) *proto.Response {
+	pool, ok := d.st.Pools[req.Name]
+	if !ok {
+		return fail("pool %q not found", req.Name)
+	}
+	if !checkPerm(creds, pool, true) {
+		return fail("permission denied deleting pool %q", req.Name)
+	}
+	for _, pu := range pool.Puddles {
+		if rec := d.st.Puddles[pu]; rec != nil {
+			d.space.Release(pmem.Addr(rec.Addr))
+			delete(d.st.Puddles, pu)
+		}
+	}
+	delete(d.st.Pools, req.Name)
+	d.persist()
+	return &proto.Response{}
+}
+
+// opChmodPool changes a pool's mode; only the owner (or superuser)
+// may. Revoking write access also revokes what recovery may replay
+// (paper §4.6) — see TestRecoveryHonoursWritePermission.
+func (d *Daemon) opChmodPool(creds Creds, req *proto.Request) *proto.Response {
+	pool, ok := d.st.Pools[req.Name]
+	if !ok {
+		return fail("pool %q not found", req.Name)
+	}
+	if creds != Superuser && creds.UID != pool.OwnerUID {
+		return fail("permission denied: only the owner may chmod %q", req.Name)
+	}
+	pool.Mode = req.Mode
+	d.persist()
+	return &proto.Response{}
+}
+
+func (d *Daemon) opListPools(creds Creds) *proto.Response {
+	names := make([]string, 0, len(d.st.Pools))
+	for name, pool := range d.st.Pools {
+		if checkPerm(creds, pool, false) {
+			names = append(names, name)
+		}
+	}
+	return &proto.Response{Names: names}
+}
+
+func (d *Daemon) opGetNewPuddle(creds Creds, req *proto.Request) *proto.Response {
+	pool := d.poolByUUID(req.Pool)
+	if pool == nil {
+		return fail("pool %v not found", req.Pool)
+	}
+	if !checkPerm(creds, pool, true) {
+		return fail("permission denied on pool %q", pool.Name)
+	}
+	size := req.Size
+	if size == 0 {
+		size = puddle.DefaultSize
+	}
+	kind := puddle.Kind(req.Kind)
+	if kind == 0 {
+		kind = puddle.KindData
+	}
+	rec, err := d.newPuddle(pool, size, kind)
+	if err != nil {
+		return fail("allocating puddle: %v", err)
+	}
+	d.persist()
+	return &proto.Response{UUID: rec.UUID, Addr: rec.Addr, Size: rec.Size, Writable: true}
+}
+
+func (d *Daemon) opGetExistPuddle(creds Creds, req *proto.Request) *proto.Response {
+	rec, ok := d.st.Puddles[req.UUID]
+	if !ok {
+		return fail("puddle %v not found", req.UUID)
+	}
+	pool := d.poolByUUID(rec.Pool)
+	if pool == nil {
+		return fail("puddle %v has no pool", req.UUID)
+	}
+	if !checkPerm(creds, pool, false) {
+		return fail("permission denied on pool %q", pool.Name)
+	}
+	return &proto.Response{
+		UUID: rec.UUID, Addr: rec.Addr, Size: rec.Size,
+		Writable: checkPerm(creds, pool, true),
+	}
+}
+
+func (d *Daemon) opFreePuddle(creds Creds, req *proto.Request) *proto.Response {
+	rec, ok := d.st.Puddles[req.UUID]
+	if !ok {
+		return fail("puddle %v not found", req.UUID)
+	}
+	pool := d.poolByUUID(rec.Pool)
+	if pool == nil || !checkPerm(creds, pool, true) {
+		return fail("permission denied")
+	}
+	if pool.Root == rec.UUID {
+		return fail("cannot free a pool's root puddle")
+	}
+	for i, pu := range pool.Puddles {
+		if pu == rec.UUID {
+			pool.Puddles = append(pool.Puddles[:i], pool.Puddles[i+1:]...)
+			break
+		}
+	}
+	d.space.Release(pmem.Addr(rec.Addr))
+	delete(d.st.Puddles, rec.UUID)
+	d.persist()
+	return &proto.Response{}
+}
+
+func (d *Daemon) opRegLogSpace(creds Creds, req *proto.Request) *proto.Response {
+	rec, ok := d.st.Puddles[req.UUID]
+	if !ok {
+		return fail("log-space puddle %v not found", req.UUID)
+	}
+	pool := d.poolByUUID(rec.Pool)
+	if pool == nil || !checkPerm(creds, pool, true) {
+		return fail("permission denied")
+	}
+	if puddle.Kind(rec.Kind) != puddle.KindLogSpace {
+		return fail("puddle %v is kind %v, not a log space", req.UUID, puddle.Kind(rec.Kind))
+	}
+	d.st.LogSpaces[rec.UUID] = &LogSpaceRec{UUID: rec.UUID, Addr: rec.Addr, Creds: creds}
+	d.persist()
+	return &proto.Response{}
+}
+
+func (d *Daemon) opUnregLogSpace(creds Creds, req *proto.Request) *proto.Response {
+	ls, ok := d.st.LogSpaces[req.UUID]
+	if !ok {
+		return fail("log space %v not registered", req.UUID)
+	}
+	if creds != Superuser && creds != ls.Creds {
+		return fail("permission denied")
+	}
+	delete(d.st.LogSpaces, req.UUID)
+	d.persist()
+	return &proto.Response{}
+}
+
+func (d *Daemon) opRegisterType(req *proto.Request) *proto.Response {
+	if err := d.types.Put(req.Type); err != nil {
+		return fail("registering type: %v", err)
+	}
+	d.st.Types = typeList(d.types)
+	d.persist()
+	return &proto.Response{}
+}
+
+func typeList(r *ptypes.Registry) []ptypes.TypeInfo { return r.All() }
+
+func (d *Daemon) opGetType(req *proto.Request) *proto.Response {
+	ti, ok := d.types.Lookup(ptypes.TypeID(req.TypeID))
+	if !ok {
+		return fail("type %#x not registered", req.TypeID)
+	}
+	return &proto.Response{Type: ti}
+}
+
+// --- export / import (paper §4.2) ---
+
+func (d *Daemon) opExportPool(creds Creds, req *proto.Request) *proto.Response {
+	pool, ok := d.st.Pools[req.Name]
+	if !ok {
+		return fail("pool %q not found", req.Name)
+	}
+	if !checkPerm(creds, pool, false) {
+		return fail("permission denied reading pool %q", req.Name)
+	}
+	c := reloc.Container{
+		Version:  reloc.ContainerVersion,
+		PoolName: pool.Name,
+		PoolUUID: pool.UUID,
+		RootUUID: pool.Root,
+		Types:    d.types.All(),
+	}
+	for _, pu := range pool.Puddles {
+		rec := d.st.Puddles[pu]
+		if rec == nil {
+			continue
+		}
+		content := make([]byte, rec.Size)
+		d.dev.Load(pmem.Addr(rec.Addr), content)
+		c.Puddles = append(c.Puddles, reloc.PuddleImage{
+			UUID: rec.UUID, Addr: rec.Addr, Size: rec.Size, Kind: rec.Kind, Content: content,
+		})
+	}
+	blob, err := c.EncodeBytes()
+	if err != nil {
+		return fail("encoding container: %v", err)
+	}
+	return &proto.Response{Blob: blob}
+}
+
+func (d *Daemon) opImportPool(creds Creds, req *proto.Request) *proto.Response {
+	if req.Name == "" {
+		return fail("target pool name required")
+	}
+	if _, exists := d.st.Pools[req.Name]; exists {
+		return fail("pool %q already exists", req.Name)
+	}
+	c, err := reloc.DecodeBytes(req.Blob)
+	if err != nil {
+		return fail("decoding container: %v", err)
+	}
+	for _, ti := range c.Types {
+		if err := d.types.Put(ti); err != nil {
+			return fail("importing type %q: %v", ti.Name, err)
+		}
+	}
+	d.st.Types = d.types.All()
+	sess := &ImportSession{
+		ID:       d.st.NextSession,
+		PoolName: req.Name,
+		PoolUUID: uid.New(),
+		Creds:    creds,
+		Mode:     req.Mode,
+	}
+	if sess.Mode == 0 {
+		sess.Mode = 0o600
+	}
+	d.st.NextSession++
+	// Stage every image durably; identity is refreshed so clones can
+	// coexist with their originals.
+	rootIdx := -1
+	for i, img := range c.Puddles {
+		stage, err := d.staging.Reserve(img.Size, "import")
+		if err != nil {
+			d.releaseSession(sess)
+			return fail("staging import: %v", err)
+		}
+		d.dev.Store(stage.Start, img.Content)
+		d.dev.Persist(stage.Start, len(img.Content))
+		ip := ImportPuddle{
+			UUID:     uid.New(),
+			OldAddr:  img.Addr,
+			Size:     img.Size,
+			Kind:     img.Kind,
+			StagedAt: uint64(stage.Start),
+		}
+		if img.UUID == c.RootUUID {
+			rootIdx = i
+		}
+		sess.Puddles = append(sess.Puddles, ip)
+	}
+	if rootIdx < 0 {
+		d.releaseSession(sess)
+		return fail("container has no root puddle")
+	}
+	sess.RootUUID = sess.Puddles[rootIdx].UUID
+	// Map the root immediately: prefer its old address (the common,
+	// conflict-free case); otherwise relocate it.
+	root := &sess.Puddles[rootIdx]
+	if err := d.resolveImport(sess, root); err != nil {
+		d.releaseSession(sess)
+		return fail("placing root puddle: %v", err)
+	}
+	d.mapImport(sess, root)
+	d.st.Sessions[sess.ID] = sess
+	d.st.Imports++
+	d.persist()
+	infos := make([]proto.PuddleInfo, len(sess.Puddles))
+	for i, ip := range sess.Puddles {
+		infos[i] = proto.PuddleInfo{UUID: ip.UUID, Addr: ip.OldAddr, Size: ip.Size, Kind: ip.Kind}
+	}
+	return &proto.Response{
+		Session: sess.ID,
+		Pool:    sess.PoolUUID,
+		UUID:    root.UUID,
+		Addr:    root.NewAddr,
+		Size:    root.Size,
+		Puddles: infos,
+		Types:   c.Types,
+	}
+}
+
+// resolveImport assigns a global-space address to ip: its old address
+// when free, a fresh range on conflict. Caller holds d.mu.
+func (d *Daemon) resolveImport(sess *ImportSession, ip *ImportPuddle) error {
+	if ip.NewAddr != 0 {
+		return nil
+	}
+	if r, err := d.space.ReserveAt(pmem.Addr(ip.OldAddr), ip.Size, ip.UUID.String()); err == nil {
+		ip.NewAddr = uint64(r.Start)
+		return nil
+	} else if err != addrspace.ErrConflict && err != addrspace.ErrOutside {
+		return err
+	}
+	r, err := d.space.Reserve(ip.Size, ip.UUID.String())
+	if err != nil {
+		return err
+	}
+	ip.NewAddr = uint64(r.Start)
+	return nil
+}
+
+// mapImport copies the staged image to its assigned address and
+// refreshes the puddle's identity. Caller holds d.mu.
+func (d *Daemon) mapImport(sess *ImportSession, ip *ImportPuddle) {
+	if ip.Mapped {
+		return
+	}
+	d.dev.Copy(pmem.Addr(ip.NewAddr), pmem.Addr(ip.StagedAt), int(ip.Size))
+	d.dev.Persist(pmem.Addr(ip.NewAddr), int(ip.Size))
+	if p, err := puddle.Open(d.dev, pmem.Addr(ip.NewAddr)); err == nil {
+		p.SetUUID(ip.UUID)
+		p.SetPoolUUID(sess.PoolUUID)
+	}
+	ip.Mapped = true
+}
+
+func (d *Daemon) releaseSession(sess *ImportSession) {
+	for i := range sess.Puddles {
+		ip := &sess.Puddles[i]
+		if ip.StagedAt != 0 {
+			d.staging.Release(pmem.Addr(ip.StagedAt))
+		}
+		if ip.NewAddr != 0 && !ip.Mapped {
+			d.space.Release(pmem.Addr(ip.NewAddr))
+		}
+	}
+}
+
+func (d *Daemon) session(creds Creds, id uint64) (*ImportSession, *proto.Response) {
+	sess, ok := d.st.Sessions[id]
+	if !ok {
+		return nil, fail("import session %d not found", id)
+	}
+	if creds != Superuser && creds != sess.Creds {
+		return nil, fail("permission denied on import session %d", id)
+	}
+	return sess, nil
+}
+
+func (d *Daemon) opImportResolve(creds Creds, req *proto.Request) *proto.Response {
+	sess, errResp := d.session(creds, req.Session)
+	if errResp != nil {
+		return errResp
+	}
+	for i := range sess.Puddles {
+		ip := &sess.Puddles[i]
+		if req.Addr >= ip.OldAddr && req.Addr < ip.OldAddr+ip.Size {
+			if err := d.resolveImport(sess, ip); err != nil {
+				return fail("resolving: %v", err)
+			}
+			d.persist() // the frontier reservation must survive a crash
+			return &proto.Response{UUID: ip.UUID, Addr: ip.NewAddr, Size: ip.Size, Mapped: ip.Mapped}
+		}
+	}
+	return fail("address %#x not in import session %d", req.Addr, req.Session)
+}
+
+func (d *Daemon) opImportMap(creds Creds, req *proto.Request) *proto.Response {
+	sess, errResp := d.session(creds, req.Session)
+	if errResp != nil {
+		return errResp
+	}
+	for i := range sess.Puddles {
+		ip := &sess.Puddles[i]
+		if ip.UUID == req.UUID {
+			if ip.NewAddr == 0 {
+				if err := d.resolveImport(sess, ip); err != nil {
+					return fail("resolving: %v", err)
+				}
+			}
+			d.mapImport(sess, ip)
+			d.persist()
+			return &proto.Response{UUID: ip.UUID, Addr: ip.NewAddr, Size: ip.Size, Mapped: true}
+		}
+	}
+	return fail("puddle %v not in import session %d", req.UUID, req.Session)
+}
+
+func (d *Daemon) opImportDone(creds Creds, req *proto.Request) *proto.Response {
+	sess, errResp := d.session(creds, req.Session)
+	if errResp != nil {
+		return errResp
+	}
+	for i := range sess.Puddles {
+		if !sess.Puddles[i].Mapped {
+			return fail("import session %d has unmapped puddles (map or rewrite them first)", req.Session)
+		}
+	}
+	pool := &PoolRec{
+		Name:     sess.PoolName,
+		UUID:     sess.PoolUUID,
+		Root:     sess.RootUUID,
+		OwnerUID: sess.Creds.UID,
+		OwnerGID: sess.Creds.GID,
+		Mode:     sess.Mode,
+	}
+	for i := range sess.Puddles {
+		ip := &sess.Puddles[i]
+		d.st.Puddles[ip.UUID] = &PuddleRec{
+			UUID: ip.UUID, Addr: ip.NewAddr, Size: ip.Size, Kind: ip.Kind, Pool: pool.UUID,
+		}
+		pool.Puddles = append(pool.Puddles, ip.UUID)
+		d.staging.Release(pmem.Addr(ip.StagedAt))
+	}
+	d.st.Pools[pool.Name] = pool
+	delete(d.st.Sessions, sess.ID)
+	d.persist()
+	root := d.st.Puddles[pool.Root]
+	infos := make([]proto.PuddleInfo, 0, len(pool.Puddles))
+	for _, pu := range pool.Puddles {
+		if rec := d.st.Puddles[pu]; rec != nil {
+			infos = append(infos, proto.PuddleInfo{UUID: rec.UUID, Addr: rec.Addr, Size: rec.Size, Kind: rec.Kind})
+		}
+	}
+	return &proto.Response{Pool: pool.UUID, UUID: root.UUID, Addr: root.Addr, Size: root.Size, Writable: true, Puddles: infos}
+}

@@ -1,0 +1,225 @@
+// Package kvstore implements the persistent hash-map key-value store
+// of the paper's Figure 11 evaluation (PMDK's simplekv example,
+// rebuilt over the pmlib interface so every library runs the same
+// store).
+//
+// Layout: the root object holds the bucket count and a reference to a
+// bucket table (an array of entry references). Entries are chained:
+// key u64 | next Ref | value bytes (fixed width).
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+
+	"puddles/internal/pmem"
+	"puddles/internal/pmlib"
+)
+
+// Store is one persistent KV store instance.
+type Store struct {
+	lib       pmlib.Lib
+	valueSize uint32
+	nbuckets  uint64
+	table     pmem.Addr // address of the bucket-ref array
+	entrySize uint32
+	offNext   uint32 // = 8
+	offValue  uint32 // = 8 + RefSize
+}
+
+// Errors.
+var (
+	ErrNotFound = errors.New("kvstore: key not found")
+)
+
+// Options configure a store.
+type Options struct {
+	// Buckets is the hash-table width (default 1<<16).
+	Buckets uint64
+	// ValueSize is the fixed value width in bytes (default 100,
+	// one YCSB field).
+	ValueSize uint32
+}
+
+// New opens (or creates) a store in lib's root object.
+func New(lib pmlib.Lib, opt Options) (*Store, error) {
+	if opt.Buckets == 0 {
+		opt.Buckets = 1 << 16
+	}
+	if opt.ValueSize == 0 {
+		opt.ValueSize = 100
+	}
+	rs := lib.RefSize()
+	root, err := lib.Root(16 + rs) // nbuckets, valueSize, table ref
+	if err != nil {
+		return nil, err
+	}
+	rootAddr := lib.Deref(root)
+	dev := lib.Device()
+	s := &Store{
+		lib:       lib,
+		offNext:   8,
+		offValue:  8 + rs,
+		entrySize: 8 + rs + opt.ValueSize,
+	}
+	if n := dev.LoadU64(rootAddr); n != 0 {
+		// Existing store.
+		s.nbuckets = n
+		s.valueSize = uint32(dev.LoadU64(rootAddr + 8))
+		s.entrySize = 8 + rs + s.valueSize
+		s.table = lib.Deref(lib.LoadRef(rootAddr + 16))
+		return s, nil
+	}
+	s.nbuckets = opt.Buckets
+	s.valueSize = opt.ValueSize
+	s.entrySize = 8 + rs + s.valueSize
+	err = lib.Run(func(tx pmlib.Tx) error {
+		tbl, err := tx.Alloc(uint32(opt.Buckets) * rs)
+		if err != nil {
+			return err
+		}
+		if err := tx.SetU64(rootAddr, opt.Buckets); err != nil {
+			return err
+		}
+		if err := tx.SetU64(rootAddr+8, uint64(opt.ValueSize)); err != nil {
+			return err
+		}
+		return tx.SetRef(rootAddr+16, tbl)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.table = lib.Deref(lib.LoadRef(rootAddr + 16))
+	return s, nil
+}
+
+// ValueSize returns the fixed value width.
+func (s *Store) ValueSize() uint32 { return s.valueSize }
+
+func hash64(k uint64) uint64 {
+	// SplitMix64 finalizer: cheap, well distributed.
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}
+
+func (s *Store) bucketSlot(k uint64) pmem.Addr {
+	return s.table + pmem.Addr(uint32(hash64(k)%s.nbuckets)*s.lib.RefSize())
+}
+
+// findEntry walks a chain for k.
+func (s *Store) findEntry(k uint64) pmem.Addr {
+	lib := s.lib
+	for e := lib.Deref(lib.LoadRef(s.bucketSlot(k))); e != 0; e = lib.Deref(lib.LoadRef(e + pmem.Addr(s.offNext))) {
+		if lib.Device().LoadU64(e) == k {
+			return e
+		}
+	}
+	return 0
+}
+
+// Get copies the value for k into dst (len must be ValueSize).
+func (s *Store) Get(k uint64, dst []byte) error {
+	e := s.findEntry(k)
+	if e == 0 {
+		return ErrNotFound
+	}
+	s.lib.Device().Load(e+pmem.Addr(s.offValue), dst[:s.valueSize])
+	return nil
+}
+
+// Contains reports whether k is present.
+func (s *Store) Contains(k uint64) bool { return s.findEntry(k) != 0 }
+
+// Put inserts or updates k with value v (transactional).
+func (s *Store) Put(k uint64, v []byte) error {
+	if uint32(len(v)) != s.valueSize {
+		return fmt.Errorf("kvstore: value size %d, store configured for %d", len(v), s.valueSize)
+	}
+	if e := s.findEntry(k); e != 0 {
+		return s.lib.Run(func(tx pmlib.Tx) error {
+			return tx.Set(e+pmem.Addr(s.offValue), v)
+		})
+	}
+	return s.lib.Run(func(tx pmlib.Tx) error {
+		ref, err := tx.Alloc(s.entrySize)
+		if err != nil {
+			return err
+		}
+		ea := s.lib.Deref(ref)
+		if err := tx.SetU64(ea, k); err != nil {
+			return err
+		}
+		if err := tx.Set(ea+pmem.Addr(s.offValue), v); err != nil {
+			return err
+		}
+		slot := s.bucketSlot(k)
+		head := s.lib.LoadRef(slot)
+		if err := tx.SetRef(ea+pmem.Addr(s.offNext), head); err != nil {
+			return err
+		}
+		return tx.SetRef(slot, ref)
+	})
+}
+
+// Delete removes k.
+func (s *Store) Delete(k uint64) error {
+	lib := s.lib
+	slot := s.bucketSlot(k)
+	prev := pmem.Addr(0)
+	for ref := lib.LoadRef(slot); !ref.IsNull(); {
+		e := lib.Deref(ref)
+		next := lib.LoadRef(e + pmem.Addr(s.offNext))
+		if lib.Device().LoadU64(e) == k {
+			return lib.Run(func(tx pmlib.Tx) error {
+				at := slot
+				if prev != 0 {
+					at = prev + pmem.Addr(s.offNext)
+				}
+				if err := tx.SetRef(at, next); err != nil {
+					return err
+				}
+				return tx.Free(ref)
+			})
+		}
+		prev = e
+		ref = next
+	}
+	return ErrNotFound
+}
+
+// Scan visits up to n entries starting at k's bucket, in bucket order
+// (hash maps have no key order; this matches what a chained-hash
+// simplekv can offer YCSB workload E).
+func (s *Store) Scan(k uint64, n int, fn func(key uint64, val []byte)) int {
+	lib := s.lib
+	dev := lib.Device()
+	buf := make([]byte, s.valueSize)
+	visited := 0
+	start := uint32(hash64(k) % s.nbuckets)
+	for b := uint64(0); b < s.nbuckets && visited < n; b++ {
+		slot := s.table + pmem.Addr(uint32((uint64(start)+b)%s.nbuckets)*lib.RefSize())
+		for e := lib.Deref(lib.LoadRef(slot)); e != 0 && visited < n; e = lib.Deref(lib.LoadRef(e + pmem.Addr(s.offNext))) {
+			dev.Load(e+pmem.Addr(s.offValue), buf)
+			fn(dev.LoadU64(e), buf)
+			visited++
+		}
+	}
+	return visited
+}
+
+// Len counts entries (tests; O(n)).
+func (s *Store) Len() int {
+	lib := s.lib
+	n := 0
+	for b := uint64(0); b < s.nbuckets; b++ {
+		slot := s.table + pmem.Addr(uint32(b)*lib.RefSize())
+		for e := lib.Deref(lib.LoadRef(slot)); e != 0; e = lib.Deref(lib.LoadRef(e + pmem.Addr(s.offNext))) {
+			n++
+		}
+	}
+	return n
+}

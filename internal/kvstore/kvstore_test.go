@@ -1,0 +1,289 @@
+package kvstore
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"puddles/internal/baselines/atlas"
+	"puddles/internal/baselines/gopmem"
+	"puddles/internal/baselines/pmdk"
+	"puddles/internal/baselines/puddleslib"
+	"puddles/internal/baselines/romulus"
+	"puddles/internal/pmlib"
+	"puddles/internal/ycsb"
+)
+
+func allLibs(t *testing.T) []pmlib.Lib {
+	t.Helper()
+	pl, err := puddleslib.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, err := pmdk.NewLib(128 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := romulus.NewLib(64 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, err := atlas.NewLib(128 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := gopmem.NewLib(128 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	libs := []pmlib.Lib{pl, pk, rm, at, gp}
+	t.Cleanup(func() {
+		for _, l := range libs {
+			l.Close()
+		}
+	})
+	return libs
+}
+
+func val(k uint64, size uint32) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = byte(k + uint64(i))
+	}
+	return b
+}
+
+func TestPutGetDeleteAllLibs(t *testing.T) {
+	for _, lib := range allLibs(t) {
+		lib := lib
+		t.Run(lib.Name(), func(t *testing.T) {
+			s, err := New(lib, Options{Buckets: 1 << 10, ValueSize: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 500
+			for k := uint64(0); k < n; k++ {
+				if err := s.Put(k, val(k, 64)); err != nil {
+					t.Fatalf("Put(%d): %v", k, err)
+				}
+			}
+			buf := make([]byte, 64)
+			for k := uint64(0); k < n; k++ {
+				if err := s.Get(k, buf); err != nil {
+					t.Fatalf("Get(%d): %v", k, err)
+				}
+				if !bytes.Equal(buf, val(k, 64)) {
+					t.Fatalf("Get(%d) wrong value", k)
+				}
+			}
+			if s.Len() != n {
+				t.Fatalf("Len = %d", s.Len())
+			}
+			// Update in place.
+			nv := val(9999, 64)
+			if err := s.Put(3, nv); err != nil {
+				t.Fatal(err)
+			}
+			s.Get(3, buf)
+			if !bytes.Equal(buf, nv) {
+				t.Fatal("update lost")
+			}
+			if s.Len() != n {
+				t.Fatal("update changed entry count")
+			}
+			// Delete half.
+			for k := uint64(0); k < n; k += 2 {
+				if err := s.Delete(k); err != nil {
+					t.Fatalf("Delete(%d): %v", k, err)
+				}
+			}
+			for k := uint64(0); k < n; k++ {
+				err := s.Get(k, buf)
+				if k%2 == 0 && err != ErrNotFound {
+					t.Fatalf("deleted key %d: %v", k, err)
+				}
+				if k%2 == 1 && err != nil {
+					t.Fatalf("surviving key %d: %v", k, err)
+				}
+			}
+			if err := s.Delete(424242); err != ErrNotFound {
+				t.Fatalf("Delete(absent) = %v", err)
+			}
+		})
+	}
+}
+
+func TestScanVisitsEntries(t *testing.T) {
+	lib, err := puddleslib.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lib.Close()
+	s, err := New(lib, Options{Buckets: 256, ValueSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 100; k++ {
+		s.Put(k, val(k, 16))
+	}
+	seen := 0
+	got := s.Scan(42, 25, func(key uint64, v []byte) { seen++ })
+	if got != 25 || seen != 25 {
+		t.Fatalf("Scan visited %d/%d", seen, got)
+	}
+	// Scan beyond the population clamps.
+	if got := s.Scan(0, 1000, func(uint64, []byte) {}); got != 100 {
+		t.Fatalf("full Scan = %d", got)
+	}
+}
+
+func TestReopenFindsData(t *testing.T) {
+	lib, err := puddleslib.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lib.Close()
+	s, _ := New(lib, Options{Buckets: 128, ValueSize: 32})
+	s.Put(7, val(7, 32))
+	// A second handle over the same root sees the data and config.
+	s2, err := New(lib, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.ValueSize() != 32 {
+		t.Fatalf("reopened ValueSize = %d", s2.ValueSize())
+	}
+	buf := make([]byte, 32)
+	if err := s2.Get(7, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueSizeMismatch(t *testing.T) {
+	lib, _ := puddleslib.New()
+	defer lib.Close()
+	s, _ := New(lib, Options{ValueSize: 16})
+	if err := s.Put(1, make([]byte, 99)); err == nil {
+		t.Fatal("wrong-size value accepted")
+	}
+}
+
+func TestQuickMatchesMapModel(t *testing.T) {
+	lib, err := puddleslib.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lib.Close()
+	s, err := New(lib, Options{Buckets: 64, ValueSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make(map[uint64][]byte)
+	f := func(ops []uint16) bool {
+		for _, op := range ops {
+			k := uint64(op % 97)
+			switch op % 3 {
+			case 0, 1:
+				v := val(uint64(op), 8)
+				if s.Put(k, v) != nil {
+					return false
+				}
+				ref[k] = v
+			case 2:
+				err := s.Delete(k)
+				_, in := ref[k]
+				if in != (err == nil) {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		buf := make([]byte, 8)
+		for k, v := range ref {
+			if s.Get(k, buf) != nil || !bytes.Equal(buf, v) {
+				return false
+			}
+		}
+		return s.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestYCSBSmokeAllLibs drives a small YCSB mix over every library —
+// the integration behind Fig. 11.
+func TestYCSBSmokeAllLibs(t *testing.T) {
+	for _, lib := range allLibs(t) {
+		lib := lib
+		t.Run(lib.Name(), func(t *testing.T) {
+			s, err := New(lib, Options{Buckets: 1 << 12, ValueSize: 100})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const records = 2000
+			v := make([]byte, 100)
+			for _, k := range ycsb.LoadKeys(records) {
+				if err := s.Put(k, v); err != nil {
+					t.Fatalf("load %d: %v", k, err)
+				}
+			}
+			for _, wname := range []string{"A", "D", "E", "F"} {
+				w, _ := ycsb.WorkloadByName(wname)
+				g := ycsb.NewGenerator(w, records, 5)
+				buf := make([]byte, 100)
+				for i := 0; i < 2000; i++ {
+					op := g.Next()
+					switch op.Kind {
+					case ycsb.OpRead:
+						if err := s.Get(op.Key, buf); err != nil {
+							t.Fatalf("%s read %d: %v", wname, op.Key, err)
+						}
+					case ycsb.OpUpdate:
+						if err := s.Put(op.Key, v); err != nil {
+							t.Fatalf("%s update: %v", wname, err)
+						}
+					case ycsb.OpInsert:
+						if err := s.Put(op.Key, v); err != nil {
+							t.Fatalf("%s insert: %v", wname, err)
+						}
+					case ycsb.OpScan:
+						s.Scan(op.Key, op.ScanLen, func(uint64, []byte) {})
+					case ycsb.OpRMW:
+						if err := s.Get(op.Key, buf); err != nil {
+							t.Fatalf("%s rmw read: %v", wname, err)
+						}
+						buf[0]++
+						if err := s.Put(op.Key, buf); err != nil {
+							t.Fatalf("%s rmw write: %v", wname, err)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestHashDistribution(t *testing.T) {
+	// SplitMix64 must spread sequential keys across buckets.
+	const buckets = 256
+	counts := make([]int, buckets)
+	for k := uint64(0); k < 10000; k++ {
+		counts[hash64(k)%buckets]++
+	}
+	rng := rand.New(rand.NewSource(1))
+	_ = rng
+	min, max := counts[0], counts[0]
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if min == 0 || max > min*4 {
+		t.Fatalf("bucket skew: min=%d max=%d", min, max)
+	}
+}

@@ -1,0 +1,136 @@
+package pmem
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+)
+
+// Device images stand in for the DAX-mounted persistent memory
+// filesystem: puddled saves the durable state of the device to a file
+// and restores it on the next boot, so crash/recovery scenarios survive
+// process restarts.
+
+const (
+	imageMagic   = 0x50554444_494d4731 // "PUDDIMG1"
+	imageEndMark = ^uint64(0)
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Save writes the durable contents of the device (volatile overlay
+// lines are NOT included — a saved image is by definition the
+// post-crash state) as a sparse image.
+func (d *Device) Save(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], imageMagic)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var zero chunk
+	for i1 := 0; i1 < l1Size; i1++ {
+		t := d.l1[i1].Load()
+		if t == nil {
+			continue
+		}
+		for i2 := 0; i2 < l2Size; i2++ {
+			c := t[i2].Load()
+			if c == nil || *c == zero {
+				continue
+			}
+			base := (uint64(i1)<<l2Bits + uint64(i2)) << chunkBits
+			var rec [16]byte
+			binary.LittleEndian.PutUint64(rec[0:], base)
+			binary.LittleEndian.PutUint64(rec[8:], crc64.Checksum(c[:], crcTable))
+			if _, err := bw.Write(rec[:]); err != nil {
+				return err
+			}
+			if _, err := bw.Write(c[:]); err != nil {
+				return err
+			}
+		}
+	}
+	var end [16]byte
+	binary.LittleEndian.PutUint64(end[0:], imageEndMark)
+	if _, err := bw.Write(end[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Restore loads a sparse image produced by Save into the durable
+// backing store.
+func (d *Device) Restore(r io.Reader) error {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return fmt.Errorf("pmem: reading image header: %w", err)
+	}
+	if binary.LittleEndian.Uint64(hdr[:]) != imageMagic {
+		return fmt.Errorf("pmem: bad image magic %#x", binary.LittleEndian.Uint64(hdr[:]))
+	}
+	var rec [16]byte
+	buf := make([]byte, ChunkSize)
+	for {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return fmt.Errorf("pmem: reading image record: %w", err)
+		}
+		base := binary.LittleEndian.Uint64(rec[0:])
+		if base == imageEndMark {
+			return nil
+		}
+		want := binary.LittleEndian.Uint64(rec[8:])
+		if base%ChunkSize != 0 || Addr(base) >= MaxAddr {
+			return fmt.Errorf("pmem: bad chunk base %#x in image", base)
+		}
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return fmt.Errorf("pmem: reading chunk %#x: %w", base, err)
+		}
+		if got := crc64.Checksum(buf, crcTable); got != want {
+			return fmt.Errorf("pmem: chunk %#x checksum mismatch", base)
+		}
+		d.storeDurable(Addr(base), buf)
+	}
+}
+
+// SaveFile writes the device image to path, replacing it atomically.
+func (d *Device) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := d.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// RestoreFile loads a device image from path. A missing file is not an
+// error: the device simply starts empty (first boot).
+func (d *Device) RestoreFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	return d.Restore(f)
+}

@@ -1,0 +1,654 @@
+// Package pmem simulates a byte-addressable persistent memory device.
+//
+// The device stands in for the Optane DC-PMM + DAX substrate the paper
+// runs on (see DESIGN.md §2). It exposes a flat 64-bit address space
+// with load/store access and the x86 persistence primitives the paper's
+// code depends on: cacheline flushes (clwb) and store fences (sfence).
+//
+// Two modes share one API:
+//
+//   - Fast mode: stores write through to the backing store and
+//     Flush/Fence only maintain counters. Used by throughput benchmarks;
+//     the cost model is uniform across every library in this repository,
+//     so comparative results remain meaningful.
+//
+//   - Chaos mode: stores land in a volatile overlay of 64-byte
+//     cachelines. Flush stages lines, Fence writes staged lines to the
+//     durable backing. Crash discards the overlay, independently
+//     persisting each volatile line with probability ½ (modelling
+//     arbitrary cache eviction). This makes crash-consistency testing
+//     real: data that was not flushed and fenced genuinely disappears.
+//
+// The device also supports a fault hook used by the relocation engine
+// to emulate userfaultfd-style on-demand puddle mapping, and snapshot
+// save/restore standing in for the DAX-mounted filesystem.
+package pmem
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// Addr is an address in the simulated persistent memory space.
+type Addr uint64
+
+const (
+	// LineSize is the simulated CPU cacheline size in bytes.
+	LineSize = 64
+	// PageSize is the simulated OS page size in bytes.
+	PageSize = 4096
+
+	chunkBits = 16 // 64 KiB chunks
+	// ChunkSize is the granularity at which backing memory is allocated.
+	ChunkSize = 1 << chunkBits
+	chunkMask = ChunkSize - 1
+
+	l2Bits = 12
+	l2Size = 1 << l2Bits
+	l1Bits = 13
+	l1Size = 1 << l1Bits
+
+	// MaxAddr is the first address beyond the device (2 TiB).
+	MaxAddr Addr = 1 << (chunkBits + l2Bits + l1Bits)
+)
+
+// Mode selects the device persistence model.
+type Mode int
+
+const (
+	// Fast writes through and only counts flushes/fences.
+	Fast Mode = iota
+	// Chaos models a volatile CPU cache with explicit persistence.
+	Chaos
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Fast:
+		return "fast"
+	case Chaos:
+		return "chaos"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ErrOutOfRange reports an access beyond MaxAddr.
+var ErrOutOfRange = errors.New("pmem: address out of range")
+
+type lineState uint8
+
+const (
+	lineDirty   lineState = iota // written, not flushed: volatile
+	linePending                  // flushed, awaiting fence: volatile
+)
+
+type line struct {
+	data  [LineSize]byte
+	state lineState
+}
+
+type chunk [ChunkSize]byte
+
+type l2table [l2Size]atomic.Pointer[chunk]
+
+// Range is a half-open address interval [Start, End).
+type Range struct {
+	Start, End Addr
+}
+
+// Contains reports whether a lies inside the range.
+func (r Range) Contains(a Addr) bool { return a >= r.Start && a < r.End }
+
+// Overlaps reports whether the two ranges intersect.
+func (r Range) Overlaps(o Range) bool { return r.Start < o.End && o.Start < r.End }
+
+// Size returns the length of the range in bytes.
+func (r Range) Size() uint64 { return uint64(r.End - r.Start) }
+
+func (r Range) String() string { return fmt.Sprintf("[%#x,%#x)", uint64(r.Start), uint64(r.End)) }
+
+// FaultHandler is invoked (with no device locks held) when an access
+// touches an armed fault range. The handler must remove the range
+// before writing through the device, or the access recurses.
+type FaultHandler func(addr Addr)
+
+// Stats are cumulative device counters.
+type Stats struct {
+	Flushes uint64 // Flush calls
+	Fences  uint64 // Fence calls
+	Crashes uint64 // Crash calls
+}
+
+// crashSignal is the panic payload raised when a crash point fires.
+type crashSignal struct{ event int64 }
+
+// IsCrash reports whether a recovered panic value came from a device
+// crash point. Harnesses use it to distinguish injected crashes from
+// real bugs.
+func IsCrash(r any) bool {
+	_, ok := r.(crashSignal)
+	return ok
+}
+
+// Device is a simulated persistent memory device. The zero value is not
+// usable; construct with New or NewChaos.
+type Device struct {
+	mode Mode
+
+	// Durable backing store: two-level radix of lazily allocated chunks.
+	l1      [l1Size]atomic.Pointer[l2table]
+	allocMu sync.Mutex
+
+	// Chaos-mode volatile cache overlay, keyed by line-aligned address.
+	mu      sync.Mutex
+	overlay map[Addr]*line
+	rng     *rand.Rand
+	events  int64
+	crashAt int64 // fire a crash when events reaches this; 0 disables
+
+	// userfaultfd-style hook.
+	hookArmed  atomic.Bool
+	hookMu     sync.Mutex
+	hookRanges []Range
+	hookFn     FaultHandler
+
+	flushes atomic.Uint64
+	fences  atomic.Uint64
+	crashes atomic.Uint64
+}
+
+// New returns a fast-mode device.
+func New() *Device {
+	return &Device{mode: Fast}
+}
+
+// NewChaos returns a chaos-mode device whose crash behaviour is driven
+// by the given seed.
+func NewChaos(seed int64) *Device {
+	return &Device{
+		mode:    Chaos,
+		overlay: make(map[Addr]*line),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Mode reports the device persistence model.
+func (d *Device) Mode() Mode { return d.mode }
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	return Stats{
+		Flushes: d.flushes.Load(),
+		Fences:  d.fences.Load(),
+		Crashes: d.crashes.Load(),
+	}
+}
+
+// chunkFor returns the chunk containing addr, allocating it if create
+// is set. Returns nil when the chunk is unbacked and create is false.
+func (d *Device) chunkFor(addr Addr, create bool) *chunk {
+	if addr >= MaxAddr {
+		panic(fmt.Sprintf("pmem: address %#x out of range", uint64(addr)))
+	}
+	i1 := addr >> (chunkBits + l2Bits)
+	i2 := (addr >> chunkBits) & (l2Size - 1)
+	t := d.l1[i1].Load()
+	if t == nil {
+		if !create {
+			return nil
+		}
+		d.allocMu.Lock()
+		if t = d.l1[i1].Load(); t == nil {
+			t = new(l2table)
+			d.l1[i1].Store(t)
+		}
+		d.allocMu.Unlock()
+	}
+	c := t[i2].Load()
+	if c == nil {
+		if !create {
+			return nil
+		}
+		d.allocMu.Lock()
+		if c = t[i2].Load(); c == nil {
+			c = new(chunk)
+			t[i2].Store(c)
+		}
+		d.allocMu.Unlock()
+	}
+	return c
+}
+
+// checkFault runs the fault hook if the access [addr, addr+n) touches
+// an armed range.
+func (d *Device) checkFault(addr Addr, n int) {
+	if !d.hookArmed.Load() {
+		return
+	}
+	acc := Range{addr, addr + Addr(n)}
+	for {
+		d.hookMu.Lock()
+		var hit Addr
+		found := false
+		for _, r := range d.hookRanges {
+			if r.Overlaps(acc) {
+				hit = r.Start
+				found = true
+				break
+			}
+		}
+		fn := d.hookFn
+		d.hookMu.Unlock()
+		if !found || fn == nil {
+			return
+		}
+		fn(hit)
+	}
+}
+
+// ArmFaultHook installs the fault handler. Accesses that overlap a
+// range added with AddFaultRange invoke fn with the range start.
+func (d *Device) ArmFaultHook(fn FaultHandler) {
+	d.hookMu.Lock()
+	d.hookFn = fn
+	d.hookMu.Unlock()
+}
+
+// AddFaultRange arms r: the next access overlapping r triggers the
+// fault handler.
+func (d *Device) AddFaultRange(r Range) {
+	d.hookMu.Lock()
+	d.hookRanges = append(d.hookRanges, r)
+	d.hookMu.Unlock()
+	d.hookArmed.Store(true)
+}
+
+// RemoveFaultRange disarms the range starting at start. It reports
+// whether a range was removed.
+func (d *Device) RemoveFaultRange(start Addr) bool {
+	d.hookMu.Lock()
+	defer d.hookMu.Unlock()
+	for i, r := range d.hookRanges {
+		if r.Start == start {
+			d.hookRanges = append(d.hookRanges[:i], d.hookRanges[i+1:]...)
+			if len(d.hookRanges) == 0 {
+				d.hookArmed.Store(false)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// FaultRanges returns a copy of the currently armed ranges.
+func (d *Device) FaultRanges() []Range {
+	d.hookMu.Lock()
+	defer d.hookMu.Unlock()
+	out := make([]Range, len(d.hookRanges))
+	copy(out, d.hookRanges)
+	return out
+}
+
+// tickLocked advances the chaos event counter and reports whether the
+// armed crash point fired. Callers hold d.mu and must release it
+// before invoking fireCrash, so an injected crash never leaks the
+// device lock.
+func (d *Device) tickLocked() bool {
+	d.events++
+	if d.crashAt != 0 && d.events >= d.crashAt {
+		d.crashAt = 0
+		return true
+	}
+	return false
+}
+
+// fireCrash performs the injected power failure and unwinds the
+// calling goroutine with a crashSignal panic.
+func (d *Device) fireCrash() {
+	d.CrashNow()
+	d.mu.Lock()
+	ev := d.events
+	d.mu.Unlock()
+	panic(crashSignal{event: ev})
+}
+
+// Events returns the chaos-mode persistence event count (stores,
+// flushes and fences each count one event).
+func (d *Device) Events() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.events
+}
+
+// CrashAtEvent arms an injected crash: when the event counter reaches
+// n the device crashes (volatile state is resolved randomly and
+// dropped) and the in-progress operation panics with a value for which
+// IsCrash returns true. Chaos mode only.
+func (d *Device) CrashAtEvent(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.crashAt = n
+}
+
+// Load copies len(buf) bytes at addr into buf.
+func (d *Device) Load(addr Addr, buf []byte) {
+	d.checkFault(addr, len(buf))
+	if d.mode == Chaos {
+		d.mu.Lock()
+		d.loadChaos(addr, buf)
+		d.mu.Unlock()
+		return
+	}
+	d.loadDurable(addr, buf)
+}
+
+func (d *Device) loadDurable(addr Addr, buf []byte) {
+	for len(buf) > 0 {
+		off := int(addr & chunkMask)
+		n := ChunkSize - off
+		if n > len(buf) {
+			n = len(buf)
+		}
+		if c := d.chunkFor(addr, false); c != nil {
+			copy(buf[:n], c[off:off+n])
+		} else {
+			for i := 0; i < n; i++ {
+				buf[i] = 0
+			}
+		}
+		addr += Addr(n)
+		buf = buf[n:]
+	}
+}
+
+func (d *Device) loadChaos(addr Addr, buf []byte) {
+	d.loadDurable(addr, buf)
+	// Patch in volatile lines.
+	first := addr &^ (LineSize - 1)
+	last := (addr + Addr(len(buf)) - 1) &^ (LineSize - 1)
+	for la := first; la <= last; la += LineSize {
+		ln, ok := d.overlay[la]
+		if !ok {
+			continue
+		}
+		// Intersection of [la, la+LineSize) with [addr, addr+len).
+		lo, hi := la, la+LineSize
+		if lo < addr {
+			lo = addr
+		}
+		if end := addr + Addr(len(buf)); hi > end {
+			hi = end
+		}
+		copy(buf[lo-addr:hi-addr], ln.data[lo-la:hi-la])
+	}
+}
+
+// Store copies data to addr. In chaos mode the write is volatile until
+// flushed and fenced.
+func (d *Device) Store(addr Addr, data []byte) {
+	d.checkFault(addr, len(data))
+	if d.mode == Chaos {
+		d.mu.Lock()
+		d.storeChaos(addr, data)
+		fire := d.tickLocked()
+		d.mu.Unlock()
+		if fire {
+			d.fireCrash()
+		}
+		return
+	}
+	d.storeDurable(addr, data)
+}
+
+func (d *Device) storeDurable(addr Addr, data []byte) {
+	for len(data) > 0 {
+		off := int(addr & chunkMask)
+		n := ChunkSize - off
+		if n > len(data) {
+			n = len(data)
+		}
+		c := d.chunkFor(addr, true)
+		copy(c[off:off+n], data[:n])
+		addr += Addr(n)
+		data = data[n:]
+	}
+}
+
+func (d *Device) storeChaos(addr Addr, data []byte) {
+	for len(data) > 0 {
+		la := addr &^ (LineSize - 1)
+		off := int(addr - la)
+		n := LineSize - off
+		if n > len(data) {
+			n = len(data)
+		}
+		ln, ok := d.overlay[la]
+		if !ok {
+			ln = &line{}
+			d.loadDurable(la, ln.data[:])
+			d.overlay[la] = ln
+		}
+		copy(ln.data[off:off+n], data[:n])
+		ln.state = lineDirty // re-dirtying a pending line un-stages it
+		addr += Addr(n)
+		data = data[n:]
+	}
+}
+
+// Flush stages the cachelines covering [addr, addr+n) for persistence
+// (clwb). The data is durable only after a subsequent Fence.
+func (d *Device) Flush(addr Addr, n int) {
+	d.flushes.Add(1)
+	if d.mode != Chaos {
+		return
+	}
+	d.mu.Lock()
+	first := addr &^ (LineSize - 1)
+	last := (addr + Addr(n) - 1) &^ (LineSize - 1)
+	for la := first; la <= last; la += LineSize {
+		if ln, ok := d.overlay[la]; ok && ln.state == lineDirty {
+			ln.state = linePending
+		}
+	}
+	fire := d.tickLocked()
+	d.mu.Unlock()
+	if fire {
+		d.fireCrash()
+	}
+}
+
+// Fence makes all staged (flushed) lines durable (sfence).
+func (d *Device) Fence() {
+	d.fences.Add(1)
+	if d.mode != Chaos {
+		return
+	}
+	d.mu.Lock()
+	for la, ln := range d.overlay {
+		if ln.state == linePending {
+			d.storeDurable(la, ln.data[:])
+			delete(d.overlay, la)
+		}
+	}
+	fire := d.tickLocked()
+	d.mu.Unlock()
+	if fire {
+		d.fireCrash()
+	}
+}
+
+// Persist flushes and fences [addr, addr+n).
+func (d *Device) Persist(addr Addr, n int) {
+	d.Flush(addr, n)
+	d.Fence()
+}
+
+// CrashNow simulates a power failure: every volatile line is
+// independently written back (cache eviction) or lost with probability
+// ½, then the volatile state is discarded. Fast mode: no-op except for
+// the counter, since fast-mode stores are already durable.
+func (d *Device) CrashNow() {
+	d.crashes.Add(1)
+	if d.mode != Chaos {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for la, ln := range d.overlay {
+		if ln.state == linePending || d.rng.Intn(2) == 0 {
+			// Pending lines sit in the write queue; with ADR they
+			// persist on power loss. Dirty lines may have been evicted.
+			d.storeDurable(la, ln.data[:])
+		}
+		delete(d.overlay, la)
+	}
+}
+
+// DropVolatile discards all volatile lines without writing any back —
+// the adversarial crash where nothing unfenced survives.
+func (d *Device) DropVolatile() {
+	d.crashes.Add(1)
+	if d.mode != Chaos {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for la, ln := range d.overlay {
+		if ln.state == linePending {
+			d.storeDurable(la, ln.data[:])
+		}
+		delete(d.overlay, la)
+	}
+}
+
+// VolatileLines reports how many cachelines are currently volatile.
+func (d *Device) VolatileLines() int {
+	if d.mode != Chaos {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.overlay)
+}
+
+// LoadU64 reads a little-endian uint64 at addr.
+func (d *Device) LoadU64(addr Addr) uint64 {
+	if d.mode == Fast && !d.hookArmed.Load() {
+		off := int(addr & chunkMask)
+		if off+8 <= ChunkSize {
+			if c := d.chunkFor(addr, false); c != nil {
+				return binary.LittleEndian.Uint64(c[off:])
+			}
+			return 0
+		}
+	}
+	var b [8]byte
+	d.Load(addr, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// StoreU64 writes a little-endian uint64 at addr.
+func (d *Device) StoreU64(addr Addr, v uint64) {
+	if d.mode == Fast && !d.hookArmed.Load() {
+		off := int(addr & chunkMask)
+		if off+8 <= ChunkSize {
+			binary.LittleEndian.PutUint64(d.chunkFor(addr, true)[off:], v)
+			return
+		}
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	d.Store(addr, b[:])
+}
+
+// LoadU32 reads a little-endian uint32 at addr.
+func (d *Device) LoadU32(addr Addr) uint32 {
+	if d.mode == Fast && !d.hookArmed.Load() {
+		off := int(addr & chunkMask)
+		if off+4 <= ChunkSize {
+			if c := d.chunkFor(addr, false); c != nil {
+				return binary.LittleEndian.Uint32(c[off:])
+			}
+			return 0
+		}
+	}
+	var b [4]byte
+	d.Load(addr, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// StoreU32 writes a little-endian uint32 at addr.
+func (d *Device) StoreU32(addr Addr, v uint32) {
+	if d.mode == Fast && !d.hookArmed.Load() {
+		off := int(addr & chunkMask)
+		if off+4 <= ChunkSize {
+			binary.LittleEndian.PutUint32(d.chunkFor(addr, true)[off:], v)
+			return
+		}
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	d.Store(addr, b[:])
+}
+
+// LoadU16 reads a little-endian uint16 at addr.
+func (d *Device) LoadU16(addr Addr) uint16 {
+	var b [2]byte
+	d.Load(addr, b[:])
+	return binary.LittleEndian.Uint16(b[:])
+}
+
+// StoreU16 writes a little-endian uint16 at addr.
+func (d *Device) StoreU16(addr Addr, v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	d.Store(addr, b[:])
+}
+
+// LoadU8 reads the byte at addr.
+func (d *Device) LoadU8(addr Addr) uint8 {
+	var b [1]byte
+	d.Load(addr, b[:])
+	return b[0]
+}
+
+// StoreU8 writes one byte at addr.
+func (d *Device) StoreU8(addr Addr, v uint8) {
+	d.Store(addr, []byte{v})
+}
+
+// Zero clears [addr, addr+n).
+func (d *Device) Zero(addr Addr, n int) {
+	var zeros [4096]byte
+	for n > 0 {
+		k := n
+		if k > len(zeros) {
+			k = len(zeros)
+		}
+		d.Store(addr, zeros[:k])
+		addr += Addr(k)
+		n -= k
+	}
+}
+
+// Copy moves n bytes from src to dst within the device. Ranges must
+// not overlap.
+func (d *Device) Copy(dst, src Addr, n int) {
+	var buf [4096]byte
+	for n > 0 {
+		k := n
+		if k > len(buf) {
+			k = len(buf)
+		}
+		d.Load(src, buf[:k])
+		d.Store(dst, buf[:k])
+		dst += Addr(k)
+		src += Addr(k)
+		n -= k
+	}
+}

@@ -1,0 +1,89 @@
+// Package pmlib defines the common interface the workload suite uses
+// to run one data-structure implementation over every PM library in
+// the repository (Puddles and the four baselines).
+//
+// The interface abstracts exactly what differs between libraries:
+//
+//   - how persistent references are represented (8-byte native
+//     pointers vs 16-byte fat pointers) and what dereferencing costs
+//     (nothing vs a pool-registry lookup + add),
+//   - how transactional writes are logged (undo, redo, hybrid,
+//     twin-copy),
+//   - how objects are allocated.
+//
+// Keeping the workloads identical across libraries is what makes the
+// paper's comparative results (Figs. 1, 9, 10, 11) meaningful here.
+package pmlib
+
+import (
+	"puddles/internal/pmem"
+)
+
+// Ref is a persistent reference. Native-pointer libraries use W1 as a
+// global address (W2 unused and not stored); fat-pointer libraries use
+// {W1 = pool id, W2 = offset} and store both words.
+type Ref struct {
+	W1, W2 uint64
+}
+
+// Null is the nil reference.
+var Null = Ref{}
+
+// IsNull reports whether r is nil.
+func (r Ref) IsNull() bool { return r == Null }
+
+// Tx is one failure-atomic transaction.
+type Tx interface {
+	// Set undo-logs and writes data at addr.
+	Set(addr pmem.Addr, data []byte) error
+	// SetU64 undo-logs and writes an 8-byte value.
+	SetU64(addr pmem.Addr, v uint64) error
+	// SetRef undo-logs and writes a reference at addr (RefSize bytes).
+	SetRef(addr pmem.Addr, r Ref) error
+	// Alloc allocates a zeroed object of size bytes.
+	Alloc(size uint32) (Ref, error)
+	// Free releases an object.
+	Free(r Ref) error
+}
+
+// Lib is one persistent memory programming library.
+type Lib interface {
+	// Name identifies the library in benchmark output.
+	Name() string
+	// RefSize is the stored size of a reference in bytes (8 or 16).
+	RefSize() uint32
+	// Deref translates a reference to a raw address. For native
+	// pointers this is the identity; for fat pointers it is the
+	// base-lookup-plus-offset the paper measures in Fig. 1.
+	Deref(r Ref) pmem.Addr
+	// LoadRef reads a stored reference from addr.
+	LoadRef(addr pmem.Addr) Ref
+	// StoreRef writes a reference at addr non-transactionally
+	// (setup paths).
+	StoreRef(addr pmem.Addr, r Ref)
+	// Root returns the root object, allocating it with the given size
+	// on first use.
+	Root(size uint32) (Ref, error)
+	// Run executes fn as a failure-atomic transaction.
+	Run(fn func(tx Tx) error) error
+	// Device exposes the underlying simulated PM device.
+	Device() *pmem.Device
+	// Close releases the library instance.
+	Close() error
+}
+
+// RefBytes encodes r for storage in a structure laid out for lib
+// (convenience for fixed-layout node encodings).
+func RefBytes(lib Lib, r Ref) []byte {
+	b := make([]byte, lib.RefSize())
+	putU64(b, r.W1)
+	if lib.RefSize() == 16 {
+		putU64(b[8:], r.W2)
+	}
+	return b
+}
+
+func putU64(b []byte, v uint64) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	b[4], b[5], b[6], b[7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+}

@@ -1,0 +1,222 @@
+// Package proto defines the wire protocol between Libpuddles and the
+// Puddled daemon (paper Fig. 2).
+//
+// The paper's daemon speaks over a UNIX domain socket and passes file
+// descriptors as capabilities; we speak gob-encoded request/response
+// messages over any net.Conn (a real UNIX socket for cmd/puddled, an
+// in-process net.Pipe for tests and benchmarks) and return grant
+// records {address, size, writability} standing in for the fd
+// capability (DESIGN.md §2).
+package proto
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"puddles/internal/ptypes"
+	"puddles/internal/uid"
+)
+
+// Op identifies a daemon operation.
+type Op uint16
+
+// Daemon operations.
+const (
+	OpNop            Op = iota // round-trip measurement (§5.1)
+	OpHello                    // present credentials
+	OpCreatePool               // create a named pool with a root puddle
+	OpOpenPool                 // open a named pool
+	OpDeletePool               // remove a pool and release its puddles
+	OpListPools                // enumerate pool names
+	OpGetNewPuddle             // allocate and format a fresh puddle
+	OpGetExistPuddle           // request access to an existing puddle
+	OpFreePuddle               // release a puddle
+	OpRegLogSpace              // register a log space for recovery
+	OpUnregLogSpace            // unregister a log space
+	OpRegisterType             // register a pointer map
+	OpGetType                  // fetch a pointer map
+	OpListTypes                // fetch all pointer maps
+	OpExportPool               // export a pool as a container blob
+	OpImportPool               // import a container blob (starts a session)
+	OpImportResolve            // resolve an old address to its new range
+	OpImportMap                // map a staged puddle at its new address
+	OpImportDone               // finalize an import session
+	OpStat                     // daemon counters
+	OpChmodPool                // change a pool's permission bits
+	OpRecoverNow               // force a recovery pass (tests)
+	OpShutdown                 // graceful shutdown (marks clean)
+)
+
+var opNames = map[Op]string{
+	OpNop: "Nop", OpHello: "Hello", OpCreatePool: "CreatePool",
+	OpOpenPool: "OpenPool", OpDeletePool: "DeletePool", OpListPools: "ListPools",
+	OpGetNewPuddle: "GetNewPuddle", OpGetExistPuddle: "GetExistPuddle",
+	OpFreePuddle: "FreePuddle", OpRegLogSpace: "RegLogSpace",
+	OpUnregLogSpace: "UnregLogSpace", OpRegisterType: "RegisterType",
+	OpGetType: "GetType", OpListTypes: "ListTypes", OpExportPool: "ExportPool",
+	OpImportPool: "ImportPool", OpImportResolve: "ImportResolve",
+	OpImportMap: "ImportMap", OpImportDone: "ImportDone", OpStat: "Stat",
+	OpChmodPool:  "ChmodPool",
+	OpRecoverNow: "RecoverNow", OpShutdown: "Shutdown",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", uint16(o))
+}
+
+// PuddleInfo describes one puddle grant.
+type PuddleInfo struct {
+	UUID uid.UUID
+	Addr uint64
+	Size uint64
+	Kind uint64
+}
+
+// Request is the union of all request payloads; each op reads the
+// fields it needs.
+type Request struct {
+	Op      Op
+	Name    string // pool name
+	UID     uint32 // credentials (Hello)
+	GID     uint32
+	Mode    uint32 // pool permission bits (CreatePool)
+	UUID    uid.UUID
+	Pool    uid.UUID
+	Addr    uint64
+	Size    uint64
+	Kind    uint64
+	Type    ptypes.TypeInfo
+	TypeID  uint64
+	Blob    []byte
+	Session uint64
+}
+
+// Stats mirrors the daemon's counters.
+type Stats struct {
+	Pools          int
+	Puddles        int
+	ReservedBytes  uint64
+	LogSpaces      int
+	Types          int
+	Recoveries     uint64
+	LogsReplayed   uint64
+	EntriesApplied uint64
+	Imports        uint64
+}
+
+// Response is the union of all response payloads.
+type Response struct {
+	Err      string // empty on success
+	UUID     uid.UUID
+	Pool     uid.UUID
+	Addr     uint64
+	Size     uint64
+	Writable bool
+	Mapped   bool
+	Names    []string
+	Type     ptypes.TypeInfo
+	Types    []ptypes.TypeInfo
+	Puddles  []PuddleInfo
+	Blob     []byte
+	Session  uint64
+	Stats    Stats
+}
+
+// Conn is a synchronous client connection: one outstanding request at
+// a time, guarded by a mutex.
+type Conn struct {
+	mu   sync.Mutex
+	c    net.Conn
+	bw   *bufio.Writer
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	dead error
+}
+
+// NewConn wraps a network connection. Both directions are buffered:
+// large payloads (export containers) would otherwise rendezvous
+// through net.Pipe in many small chunks.
+func NewConn(c net.Conn) *Conn {
+	bw := bufio.NewWriterSize(c, 256<<10)
+	return &Conn{c: c, bw: bw, enc: gob.NewEncoder(bw), dec: gob.NewDecoder(bufio.NewReaderSize(c, 256<<10))}
+}
+
+// RoundTrip sends req and waits for the response. A non-empty
+// Response.Err is returned as a *RemoteError.
+func (c *Conn) RoundTrip(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead != nil {
+		return nil, c.dead
+	}
+	if err := c.enc.Encode(req); err != nil {
+		c.dead = fmt.Errorf("proto: send %v: %w", req.Op, err)
+		return nil, c.dead
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.dead = fmt.Errorf("proto: flush %v: %w", req.Op, err)
+		return nil, c.dead
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		c.dead = fmt.Errorf("proto: recv %v: %w", req.Op, err)
+		return nil, c.dead
+	}
+	if resp.Err != "" {
+		return &resp, &RemoteError{Op: req.Op, Msg: resp.Err}
+	}
+	return &resp, nil
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// RemoteError is an error reported by the daemon.
+type RemoteError struct {
+	Op  Op
+	Msg string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("puddled: %v: %s", e.Op, e.Msg)
+}
+
+// ServerConn is the daemon side of a connection.
+type ServerConn struct {
+	c   net.Conn
+	bw  *bufio.Writer
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+// NewServerConn wraps an accepted connection.
+func NewServerConn(c net.Conn) *ServerConn {
+	bw := bufio.NewWriterSize(c, 256<<10)
+	return &ServerConn{c: c, bw: bw, enc: gob.NewEncoder(bw), dec: gob.NewDecoder(bufio.NewReaderSize(c, 256<<10))}
+}
+
+// Recv reads the next request (io.EOF when the peer hangs up).
+func (s *ServerConn) Recv() (*Request, error) {
+	var req Request
+	if err := s.dec.Decode(&req); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// Send writes a response.
+func (s *ServerConn) Send(resp *Response) error {
+	if err := s.enc.Encode(resp); err != nil {
+		return err
+	}
+	return s.bw.Flush()
+}
+
+// Close closes the underlying connection.
+func (s *ServerConn) Close() error { return s.c.Close() }

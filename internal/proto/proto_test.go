@@ -1,0 +1,143 @@
+package proto
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+
+	"puddles/internal/ptypes"
+	"puddles/internal/uid"
+)
+
+// echoServer answers every request with a response derived from it.
+func echoServer(t *testing.T, handle func(*Request) *Response) *Conn {
+	t.Helper()
+	client, server := net.Pipe()
+	go func() {
+		sc := NewServerConn(server)
+		defer sc.Close()
+		for {
+			req, err := sc.Recv()
+			if err != nil {
+				return
+			}
+			if err := sc.Send(handle(req)); err != nil {
+				return
+			}
+		}
+	}()
+	c := NewConn(client)
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestRoundTripEcho(t *testing.T) {
+	c := echoServer(t, func(req *Request) *Response {
+		return &Response{Addr: req.Addr + 1, Names: []string{req.Name}}
+	})
+	resp, err := c.RoundTrip(&Request{Op: OpNop, Addr: 41, Name: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Addr != 42 || len(resp.Names) != 1 || resp.Names[0] != "x" {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	c := echoServer(t, func(req *Request) *Response {
+		return &Response{Err: "nope"}
+	})
+	_, err := c.RoundTrip(&Request{Op: OpOpenPool})
+	re, ok := err.(*RemoteError)
+	if !ok {
+		t.Fatalf("err = %T %v", err, err)
+	}
+	if re.Op != OpOpenPool || re.Msg != "nope" {
+		t.Fatalf("remote error = %+v", re)
+	}
+}
+
+func TestComplexPayloadRoundTrip(t *testing.T) {
+	id := uid.New()
+	ti := ptypes.TypeInfo{ID: 7, Name: "n", Size: 24, Ptrs: []ptypes.PtrField{{Offset: 8}, {Offset: 16}}}
+	c := echoServer(t, func(req *Request) *Response {
+		return &Response{
+			UUID:    req.UUID,
+			Type:    req.Type,
+			Blob:    req.Blob,
+			Puddles: []PuddleInfo{{UUID: req.UUID, Addr: req.Addr, Size: req.Size}},
+			Stats:   Stats{Pools: 3},
+		}
+	})
+	resp, err := c.RoundTrip(&Request{UUID: id, Type: ti, Blob: []byte{1, 2, 3}, Addr: 0x1000, Size: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.UUID != id || resp.Type.Name != "n" || len(resp.Type.Ptrs) != 2 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if len(resp.Blob) != 3 || len(resp.Puddles) != 1 || resp.Puddles[0].Addr != 0x1000 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if resp.Stats.Pools != 3 {
+		t.Fatal("stats lost")
+	}
+}
+
+func TestDeadConnectionFails(t *testing.T) {
+	client, server := net.Pipe()
+	server.Close()
+	c := NewConn(client)
+	if _, err := c.RoundTrip(&Request{Op: OpNop}); err == nil {
+		t.Fatal("round trip on dead connection succeeded")
+	}
+	// Subsequent calls fail fast with the sticky error.
+	if _, err := c.RoundTrip(&Request{Op: OpNop}); err == nil {
+		t.Fatal("sticky error missing")
+	}
+}
+
+func TestConcurrentRoundTripsSerialized(t *testing.T) {
+	c := echoServer(t, func(req *Request) *Response {
+		return &Response{Addr: req.Addr}
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				resp, err := c.RoundTrip(&Request{Addr: uint64(i*1000 + j)})
+				if err != nil {
+					t.Errorf("rt: %v", err)
+					return
+				}
+				if resp.Addr != uint64(i*1000+j) {
+					t.Errorf("response crossed: got %d", resp.Addr)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestServerRecvEOF(t *testing.T) {
+	client, server := net.Pipe()
+	sc := NewServerConn(server)
+	client.Close()
+	if _, err := sc.Recv(); err != io.EOF && err == nil {
+		t.Fatalf("Recv on closed peer = %v", err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpNop.String() != "Nop" || OpImportDone.String() != "ImportDone" {
+		t.Fatal("Op names wrong")
+	}
+	if Op(999).String() == "" {
+		t.Fatal("unknown op has empty name")
+	}
+}

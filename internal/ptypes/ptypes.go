@@ -1,0 +1,253 @@
+// Package ptypes implements Puddles' persistent type system: type IDs
+// and pointer maps (paper §4.2, "Pointer maps").
+//
+// Every allocation in Puddles carries a 64-bit type ID stored in the
+// allocator's metadata. For each type, the application registers a
+// pointer map — the list of offsets within an object of that type that
+// hold pointers. Pointer maps are what let the system find and rewrite
+// every pointer in a puddle, which in turn is what makes native
+// (unadorned) pointers compatible with relocation.
+//
+// The paper derives type IDs from C++ typeid() under the Itanium ABI;
+// we derive them from a stable FNV-1a hash of the type's name, which
+// has the same property the paper relies on: every unique type name
+// yields a consistent, unique ID across builds.
+package ptypes
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"reflect"
+	"sort"
+	"sync"
+)
+
+// TypeID identifies a persistent type.
+type TypeID uint64
+
+// Predefined type IDs.
+const (
+	// Untyped marks allocations with no registered type. They contain
+	// no pointers as far as the relocation engine is concerned.
+	Untyped TypeID = 0
+)
+
+// PtrField describes one pointer field inside an object.
+type PtrField struct {
+	// Offset of the 8-byte pointer from the start of the object.
+	Offset uint32
+}
+
+// TypeInfo is a registered persistent type.
+type TypeInfo struct {
+	ID   TypeID
+	Name string
+	Size uint32
+	// Ptrs lists the pointer fields, sorted by offset.
+	Ptrs []PtrField
+}
+
+// Errors returned by the registry.
+var (
+	ErrDuplicate = errors.New("ptypes: type already registered with a different layout")
+	ErrNotFound  = errors.New("ptypes: type not registered")
+	ErrBadLayout = errors.New("ptypes: invalid type layout")
+)
+
+// IDOf computes the stable type ID for a type name (FNV-1a).
+func IDOf(name string) TypeID {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	id := TypeID(h.Sum64())
+	if id == Untyped {
+		id = 1 // never collide with the untyped marker
+	}
+	return id
+}
+
+// Registry maps type IDs to their layouts. The daemon holds the
+// authoritative registry (centralised, like the paper's Puddled
+// hashmap); clients keep a local mirror for fast lookups.
+type Registry struct {
+	mu    sync.RWMutex
+	types map[TypeID]TypeInfo
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{types: make(map[TypeID]TypeInfo)}
+}
+
+func validate(ti TypeInfo) error {
+	if ti.Size == 0 {
+		return fmt.Errorf("%w: zero size for %q", ErrBadLayout, ti.Name)
+	}
+	last := int64(-8)
+	for _, p := range ti.Ptrs {
+		if int64(p.Offset) < last+8 {
+			return fmt.Errorf("%w: pointer fields overlap or unsorted in %q", ErrBadLayout, ti.Name)
+		}
+		if p.Offset+8 > ti.Size {
+			return fmt.Errorf("%w: pointer at %d past end of %q (size %d)", ErrBadLayout, p.Offset, ti.Name, ti.Size)
+		}
+		last = int64(p.Offset)
+	}
+	return nil
+}
+
+// Register adds a type. Registering the same name with an identical
+// layout is idempotent; a conflicting layout is an error.
+func (r *Registry) Register(name string, size uint32, ptrs []PtrField) (TypeInfo, error) {
+	sorted := make([]PtrField, len(ptrs))
+	copy(sorted, ptrs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Offset < sorted[j].Offset })
+	ti := TypeInfo{ID: IDOf(name), Name: name, Size: size, Ptrs: sorted}
+	if err := validate(ti); err != nil {
+		return TypeInfo{}, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.types[ti.ID]; ok {
+		if !sameLayout(old, ti) {
+			return TypeInfo{}, fmt.Errorf("%w: %q", ErrDuplicate, name)
+		}
+		return old, nil
+	}
+	r.types[ti.ID] = ti
+	return ti, nil
+}
+
+// Put installs a complete TypeInfo (used when mirroring daemon state or
+// importing exported pools). Conflicting layouts are an error.
+func (r *Registry) Put(ti TypeInfo) error {
+	if err := validate(ti); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.types[ti.ID]; ok && !sameLayout(old, ti) {
+		return fmt.Errorf("%w: %q", ErrDuplicate, ti.Name)
+	}
+	r.types[ti.ID] = ti
+	return nil
+}
+
+func sameLayout(a, b TypeInfo) bool {
+	if a.Name != b.Name || a.Size != b.Size || len(a.Ptrs) != len(b.Ptrs) {
+		return false
+	}
+	for i := range a.Ptrs {
+		if a.Ptrs[i] != b.Ptrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Lookup returns the layout of a type ID.
+func (r *Registry) Lookup(id TypeID) (TypeInfo, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ti, ok := r.types[id]
+	return ti, ok
+}
+
+// All returns every registered type, sorted by name.
+func (r *Registry) All() []TypeInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]TypeInfo, 0, len(r.types))
+	for _, ti := range r.types {
+		out = append(out, ti)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len reports the number of registered types.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.types)
+}
+
+// Ptr is the Go-side marker for a persistent pointer field. Struct
+// fields of this type are discovered by Layout and become entries in
+// the type's pointer map — the Go analogue of the paper's native
+// C pointers, stored in PM as plain 8-byte virtual addresses.
+type Ptr uint64
+
+// Layout derives a persistent layout from a Go struct type: the
+// object's size is the struct's size, and every field of type Ptr (at
+// any nesting depth) becomes a pointer-map entry. Only fixed-size
+// field types are allowed; slices, maps, strings and Go pointers have
+// no stable persistent representation.
+func Layout(name string, v any) (size uint32, ptrs []PtrField, err error) {
+	t := reflect.TypeOf(v)
+	if t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	if t.Kind() != reflect.Struct {
+		return 0, nil, fmt.Errorf("%w: %q is not a struct", ErrBadLayout, name)
+	}
+	ptrs, err = walkStruct(t, 0, nil)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%q: %w", name, err)
+	}
+	sort.Slice(ptrs, func(i, j int) bool { return ptrs[i].Offset < ptrs[j].Offset })
+	return uint32(t.Size()), ptrs, nil
+}
+
+var ptrType = reflect.TypeOf(Ptr(0))
+
+func walkStruct(t reflect.Type, base uint32, acc []PtrField) ([]PtrField, error) {
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		off := base + uint32(f.Offset)
+		switch {
+		case f.Type == ptrType:
+			acc = append(acc, PtrField{Offset: off})
+		case f.Type.Kind() == reflect.Struct:
+			var err error
+			acc, err = walkStruct(f.Type, off, acc)
+			if err != nil {
+				return nil, err
+			}
+		case f.Type.Kind() == reflect.Array:
+			elem := f.Type.Elem()
+			for j := 0; j < f.Type.Len(); j++ {
+				eoff := off + uint32(j)*uint32(elem.Size())
+				switch {
+				case elem == ptrType:
+					acc = append(acc, PtrField{Offset: eoff})
+				case elem.Kind() == reflect.Struct:
+					var err error
+					acc, err = walkStruct(elem, eoff, acc)
+					if err != nil {
+						return nil, err
+					}
+				case fixedSize(elem):
+				default:
+					return nil, fmt.Errorf("%w: array field %q has non-persistent element type %s", ErrBadLayout, f.Name, elem)
+				}
+			}
+		case fixedSize(f.Type):
+		default:
+			return nil, fmt.Errorf("%w: field %q has non-persistent type %s", ErrBadLayout, f.Name, f.Type)
+		}
+	}
+	return acc, nil
+}
+
+func fixedSize(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Bool,
+		reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Float32, reflect.Float64:
+		return true
+	default:
+		return false
+	}
+}

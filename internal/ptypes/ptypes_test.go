@@ -1,0 +1,203 @@
+package ptypes
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestIDOfStableAndDistinct(t *testing.T) {
+	a := IDOf("node_t")
+	if a != IDOf("node_t") {
+		t.Fatal("IDOf is not stable")
+	}
+	if a == IDOf("node_u") {
+		t.Fatal("distinct names collided")
+	}
+	if IDOf("anything") == Untyped {
+		t.Fatal("IDOf produced the Untyped sentinel")
+	}
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	r := NewRegistry()
+	ti, err := r.Register("node_t", 24, []PtrField{{Offset: 8}, {Offset: 16}})
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	got, ok := r.Lookup(ti.ID)
+	if !ok || got.Name != "node_t" || got.Size != 24 || len(got.Ptrs) != 2 {
+		t.Fatalf("Lookup = %+v, %v", got, ok)
+	}
+	if _, ok := r.Lookup(IDOf("missing")); ok {
+		t.Fatal("Lookup on missing type succeeded")
+	}
+}
+
+func TestRegisterIdempotentAndConflict(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Register("t", 16, []PtrField{{Offset: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("t", 16, []PtrField{{Offset: 0}}); err != nil {
+		t.Fatalf("idempotent Register failed: %v", err)
+	}
+	if _, err := r.Register("t", 32, nil); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("conflicting Register = %v, want ErrDuplicate", err)
+	}
+}
+
+func TestRegisterSortsPtrs(t *testing.T) {
+	r := NewRegistry()
+	ti, err := r.Register("t2", 32, []PtrField{{Offset: 24}, {Offset: 0}, {Offset: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(ti.Ptrs); i++ {
+		if ti.Ptrs[i-1].Offset >= ti.Ptrs[i].Offset {
+			t.Fatalf("pointer map not sorted: %+v", ti.Ptrs)
+		}
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Register("zero", 0, nil); !errors.Is(err, ErrBadLayout) {
+		t.Fatalf("zero-size = %v", err)
+	}
+	if _, err := r.Register("past-end", 8, []PtrField{{Offset: 4}}); !errors.Is(err, ErrBadLayout) {
+		t.Fatalf("pointer past end = %v", err)
+	}
+	if _, err := r.Register("overlap", 24, []PtrField{{Offset: 0}, {Offset: 4}}); !errors.Is(err, ErrBadLayout) {
+		t.Fatalf("overlapping pointers = %v", err)
+	}
+}
+
+func TestPutMirrors(t *testing.T) {
+	r := NewRegistry()
+	ti := TypeInfo{ID: IDOf("x"), Name: "x", Size: 16, Ptrs: []PtrField{{Offset: 8}}}
+	if err := r.Put(ti); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put(ti); err != nil {
+		t.Fatalf("idempotent Put failed: %v", err)
+	}
+	bad := ti
+	bad.Size = 32
+	if err := r.Put(bad); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("conflicting Put = %v", err)
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Register("zeta", 8, nil)
+	r.Register("alpha", 8, nil)
+	r.Register("mid", 8, nil)
+	all := r.All()
+	if len(all) != 3 || r.Len() != 3 {
+		t.Fatalf("All/Len = %d/%d", len(all), r.Len())
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name >= all[i].Name {
+			t.Fatalf("All not sorted: %v", all)
+		}
+	}
+}
+
+func TestLayoutSimple(t *testing.T) {
+	type node struct {
+		Data uint64
+		Next Ptr
+	}
+	size, ptrs, err := Layout("node", node{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 16 {
+		t.Fatalf("size = %d, want 16", size)
+	}
+	if len(ptrs) != 1 || ptrs[0].Offset != 8 {
+		t.Fatalf("ptrs = %+v", ptrs)
+	}
+}
+
+func TestLayoutNestedAndArrays(t *testing.T) {
+	type inner struct {
+		A Ptr
+		B uint64
+	}
+	type outer struct {
+		Head     Ptr
+		Children [3]Ptr
+		In       inner
+		Pairs    [2]inner
+		Tag      uint32
+		Pad      uint32
+	}
+	size, ptrs, err := Layout("outer", &outer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Head@0, Children@8,16,24, In.A@32, Pairs[0].A@48, Pairs[1].A@64.
+	want := []uint32{0, 8, 16, 24, 32, 48, 64}
+	if len(ptrs) != len(want) {
+		t.Fatalf("ptrs = %+v, want offsets %v", ptrs, want)
+	}
+	for i, w := range want {
+		if ptrs[i].Offset != w {
+			t.Fatalf("ptr[%d].Offset = %d, want %d", i, ptrs[i].Offset, w)
+		}
+	}
+	if size != 88 {
+		t.Fatalf("size = %d, want 88", size)
+	}
+}
+
+func TestLayoutRejectsNonPersistentTypes(t *testing.T) {
+	type bad1 struct{ S string }
+	type bad2 struct{ M map[int]int }
+	type bad3 struct{ P *int }
+	type bad4 struct{ Sl []byte }
+	for _, v := range []any{bad1{}, bad2{}, bad3{}, bad4{}} {
+		if _, _, err := Layout("bad", v); !errors.Is(err, ErrBadLayout) {
+			t.Fatalf("Layout(%T) = %v, want ErrBadLayout", v, err)
+		}
+	}
+	if _, _, err := Layout("notstruct", 42); !errors.Is(err, ErrBadLayout) {
+		t.Fatalf("Layout(int) = %v", err)
+	}
+}
+
+func TestQuickIDOfNoSentinel(t *testing.T) {
+	f := func(name string) bool { return IDOf(name) != Untyped }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRegisterLookupRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	f := func(name string, nPtrsRaw uint8) bool {
+		if name == "" {
+			return true
+		}
+		n := int(nPtrsRaw % 8)
+		ptrs := make([]PtrField, n)
+		for i := range ptrs {
+			ptrs[i] = PtrField{Offset: uint32(i * 8)}
+		}
+		size := uint32(n*8 + 8)
+		ti, err := r.Register(name, size, ptrs)
+		if err != nil {
+			// A hash collision between random names with different
+			// layouts is possible in principle; treat as pass.
+			return errors.Is(err, ErrDuplicate)
+		}
+		got, ok := r.Lookup(ti.ID)
+		return ok && got.Size == size && len(got.Ptrs) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+package puddle
+
+import (
+	"testing"
+
+	"puddles/internal/pmem"
+	"puddles/internal/uid"
+)
+
+func TestFormatOpenRoundTrip(t *testing.T) {
+	dev := pmem.New()
+	id := uid.New()
+	pool := uid.New()
+	p, err := Format(dev, 0x10000, DefaultSize, id, KindData, pool)
+	if err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	q, err := Open(dev, 0x10000)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if q.UUID() != id {
+		t.Fatalf("UUID = %v, want %v", q.UUID(), id)
+	}
+	if q.Size() != DefaultSize || q.Kind() != KindData || q.PoolUUID() != pool {
+		t.Fatalf("header fields wrong: size=%d kind=%v pool=%v", q.Size(), q.Kind(), q.PoolUUID())
+	}
+	if p.HeapBase() != q.HeapBase() || p.HeapSize() != q.HeapSize() {
+		t.Fatal("heap geometry differs between Format and Open handles")
+	}
+}
+
+func TestHeaderSizeScaling(t *testing.T) {
+	cases := []struct {
+		total, want uint64
+	}{
+		{2 * pmem.PageSize, pmem.PageSize},
+		{2 << 20, pmem.PageSize},                       // 2 MiB -> 4 KiB (paper ratio)
+		{4 << 20, 2 * pmem.PageSize},                   // 4 MiB -> 8 KiB
+		{16 << 20, 8 * pmem.PageSize},                  // 16 MiB -> 32 KiB
+		{(2 << 20) + pmem.PageSize, 2 * pmem.PageSize}, // rounds up
+	}
+	for _, c := range cases {
+		if got := HeaderSize(c.total); got != c.want {
+			t.Errorf("HeaderSize(%d) = %d, want %d", c.total, got, c.want)
+		}
+	}
+}
+
+func TestFormatValidation(t *testing.T) {
+	dev := pmem.New()
+	if _, err := Format(dev, 0x10000, 100, uid.New(), KindData, uid.Nil); err != ErrBadSize {
+		t.Fatalf("tiny size = %v", err)
+	}
+	if _, err := Format(dev, 0x10000, pmem.PageSize, uid.New(), KindData, uid.Nil); err != ErrBadSize {
+		t.Fatalf("one-page size = %v", err)
+	}
+	if _, err := Format(dev, 0x10001, MinSize, uid.New(), KindData, uid.Nil); err != ErrBadSize {
+		t.Fatalf("unaligned base = %v", err)
+	}
+}
+
+func TestOpenRejectsUnformatted(t *testing.T) {
+	dev := pmem.New()
+	if _, err := Open(dev, 0x40000); err != ErrBadMagic {
+		t.Fatalf("Open(unformatted) = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestHeapGeometry(t *testing.T) {
+	dev := pmem.New()
+	p, err := Format(dev, 0x200000, DefaultSize, uid.New(), KindData, uid.Nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.HeapBase() != p.Base+pmem.Addr(p.HeaderBytes()) {
+		t.Fatal("HeapBase inconsistent with HeaderBytes")
+	}
+	if p.HeapSize() != p.Size()-p.HeaderBytes() {
+		t.Fatal("HeapSize inconsistent")
+	}
+	if p.Blocks() != p.HeapSize()/BlockSize {
+		t.Fatal("Blocks inconsistent")
+	}
+	// Block map must fit in the header.
+	if BlockMapOff+p.Blocks() > p.HeaderBytes() {
+		t.Fatal("block map overflows header")
+	}
+	r := p.Range()
+	if r.Size() != p.Size() || r.Start != p.Base {
+		t.Fatalf("Range = %v", r)
+	}
+}
+
+func TestRootTypeAndFlags(t *testing.T) {
+	dev := pmem.New()
+	p, _ := Format(dev, 0x10000, MinSize, uid.New(), KindData, uid.Nil)
+	p.SetRootType(0xabc, 64)
+	id, size := p.RootType()
+	if id != 0xabc || size != 64 {
+		t.Fatalf("RootType = %#x, %d", id, size)
+	}
+	p.SetFlags(7)
+	if p.Flags() != 7 {
+		t.Fatalf("Flags = %d", p.Flags())
+	}
+}
+
+func TestSetPoolUUID(t *testing.T) {
+	dev := pmem.New()
+	p, _ := Format(dev, 0x10000, MinSize, uid.New(), KindData, uid.Nil)
+	u := uid.New()
+	p.SetPoolUUID(u)
+	q, err := Open(dev, 0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.PoolUUID() != u {
+		t.Fatal("SetPoolUUID not visible after reopen")
+	}
+}
+
+func TestFormatSurvivesChaosCrash(t *testing.T) {
+	// Format persists everything before publishing the magic, so after
+	// a crash the puddle is either fully formatted or invisible.
+	dev := pmem.NewChaos(11)
+	id := uid.New()
+	if _, err := Format(dev, 0x10000, MinSize, id, KindLog, uid.Nil); err != nil {
+		t.Fatal(err)
+	}
+	dev.CrashNow()
+	p, err := Open(dev, 0x10000)
+	if err != nil {
+		t.Fatalf("Open after crash: %v", err)
+	}
+	if p.UUID() != id || p.Kind() != KindLog {
+		t.Fatal("formatted fields lost in crash")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindData.String() != "data" || KindLog.String() != "log" ||
+		KindLogSpace.String() != "logspace" || KindMeta.String() != "meta" {
+		t.Fatal("Kind.String wrong")
+	}
+}
+
+func TestUUIDHelpers(t *testing.T) {
+	a, b := uid.New(), uid.New()
+	if a == b {
+		t.Fatal("uid.New returned duplicates")
+	}
+	if a.IsNil() || !uid.Nil.IsNil() {
+		t.Fatal("IsNil wrong")
+	}
+	s := a.String()
+	got, err := uid.Parse(s)
+	if err != nil || got != a {
+		t.Fatalf("Parse(String) = %v, %v", got, err)
+	}
+	if _, err := uid.Parse("not-a-uuid"); err == nil {
+		t.Fatal("Parse accepted garbage")
+	}
+}

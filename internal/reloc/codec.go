@@ -1,0 +1,229 @@
+package reloc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"puddles/internal/ptypes"
+	"puddles/internal/uid"
+)
+
+// Binary container codec. Exported pools are the paper's raw
+// in-memory representation: puddle contents are written verbatim and
+// decoded by aliasing into the input buffer — no per-object
+// serialization, no reflection, no content copies. (An earlier gob
+// codec spent more time allocating than the PMDK comparison spent
+// deep-copying, inverting the Fig. 14 result for the wrong reason.)
+
+const containerMagic = 0x31505845_4c445550 // "PUDLEXP1"
+
+func (c *Container) encodeBinary(w io.Writer) error {
+	var scratch [8]byte
+	wU64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		_, err := w.Write(scratch[:])
+		return err
+	}
+	wBytes := func(b []byte) error {
+		if err := wU64(uint64(len(b))); err != nil {
+			return err
+		}
+		_, err := w.Write(b)
+		return err
+	}
+	if err := wU64(containerMagic); err != nil {
+		return err
+	}
+	if err := wU64(uint64(c.Version)); err != nil {
+		return err
+	}
+	if err := wBytes([]byte(c.PoolName)); err != nil {
+		return err
+	}
+	if _, err := w.Write(c.PoolUUID[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(c.RootUUID[:]); err != nil {
+		return err
+	}
+	if err := wU64(uint64(len(c.Types))); err != nil {
+		return err
+	}
+	for _, ti := range c.Types {
+		if err := wU64(uint64(ti.ID)); err != nil {
+			return err
+		}
+		if err := wBytes([]byte(ti.Name)); err != nil {
+			return err
+		}
+		if err := wU64(uint64(ti.Size)); err != nil {
+			return err
+		}
+		if err := wU64(uint64(len(ti.Ptrs))); err != nil {
+			return err
+		}
+		for _, p := range ti.Ptrs {
+			if err := wU64(uint64(p.Offset)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := wU64(uint64(len(c.Puddles))); err != nil {
+		return err
+	}
+	for _, p := range c.Puddles {
+		if _, err := w.Write(p.UUID[:]); err != nil {
+			return err
+		}
+		if err := wU64(p.Addr); err != nil {
+			return err
+		}
+		if err := wU64(p.Size); err != nil {
+			return err
+		}
+		if err := wU64(p.Kind); err != nil {
+			return err
+		}
+		if uint64(len(p.Content)) != p.Size {
+			return fmt.Errorf("reloc: puddle content/size mismatch")
+		}
+		if _, err := w.Write(p.Content); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeBinary parses blob. Puddle contents ALIAS blob: callers must
+// not mutate the blob while the container is alive.
+func decodeBinary(blob []byte) (*Container, error) {
+	r := &sliceReader{b: blob}
+	if m, err := r.u64(); err != nil || m != containerMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadContainer)
+	}
+	var c Container
+	v, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	c.Version = int(v)
+	name, err := r.bytes()
+	if err != nil {
+		return nil, err
+	}
+	c.PoolName = string(name)
+	if err := r.uuid(&c.PoolUUID); err != nil {
+		return nil, err
+	}
+	if err := r.uuid(&c.RootUUID); err != nil {
+		return nil, err
+	}
+	nTypes, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	if nTypes > 1<<20 {
+		return nil, fmt.Errorf("%w: absurd type count", ErrBadContainer)
+	}
+	c.Types = make([]ptypes.TypeInfo, nTypes)
+	for i := range c.Types {
+		id, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		tn, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		sz, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		nPtrs, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		if nPtrs > 1<<20 {
+			return nil, fmt.Errorf("%w: absurd pointer count", ErrBadContainer)
+		}
+		ptrs := make([]ptypes.PtrField, nPtrs)
+		for j := range ptrs {
+			off, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			ptrs[j] = ptypes.PtrField{Offset: uint32(off)}
+		}
+		c.Types[i] = ptypes.TypeInfo{ID: ptypes.TypeID(id), Name: string(tn), Size: uint32(sz), Ptrs: ptrs}
+	}
+	nPud, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	if nPud > 1<<24 {
+		return nil, fmt.Errorf("%w: absurd puddle count", ErrBadContainer)
+	}
+	c.Puddles = make([]PuddleImage, nPud)
+	for i := range c.Puddles {
+		p := &c.Puddles[i]
+		if err := r.uuid(&p.UUID); err != nil {
+			return nil, err
+		}
+		if p.Addr, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if p.Size, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if p.Kind, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if p.Content, err = r.take(p.Size); err != nil {
+			return nil, err
+		}
+	}
+	return &c, nil
+}
+
+type sliceReader struct {
+	b   []byte
+	off uint64
+}
+
+func (r *sliceReader) take(n uint64) ([]byte, error) {
+	if r.off+n > uint64(len(r.b)) || r.off+n < r.off {
+		return nil, fmt.Errorf("%w: truncated", ErrBadContainer)
+	}
+	out := r.b[r.off : r.off+n : r.off+n]
+	r.off += n
+	return out, nil
+}
+
+func (r *sliceReader) u64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (r *sliceReader) bytes() ([]byte, error) {
+	n, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<30 {
+		return nil, fmt.Errorf("%w: absurd length", ErrBadContainer)
+	}
+	return r.take(n)
+}
+
+func (r *sliceReader) uuid(u *uid.UUID) error {
+	b, err := r.take(16)
+	if err != nil {
+		return err
+	}
+	copy(u[:], b)
+	return nil
+}

@@ -1,0 +1,113 @@
+package reloc
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"puddles/internal/pmem"
+	"puddles/internal/ptypes"
+	"puddles/internal/uid"
+)
+
+func sample() *Container {
+	root := uid.New()
+	other := uid.New()
+	return &Container{
+		Version:  ContainerVersion,
+		PoolName: "p",
+		PoolUUID: uid.New(),
+		RootUUID: root,
+		Types: []ptypes.TypeInfo{
+			{ID: 1, Name: "a", Size: 16, Ptrs: []ptypes.PtrField{{Offset: 8}}},
+		},
+		Puddles: []PuddleImage{
+			{UUID: root, Addr: 1 << 40, Size: pmem.PageSize, Content: make([]byte, pmem.PageSize)},
+			{UUID: other, Addr: (1 << 40) + 2*pmem.PageSize, Size: pmem.PageSize, Content: make([]byte, pmem.PageSize)},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := sample()
+	c.Puddles[0].Content[100] = 0xAB
+	blob, err := c.EncodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBytes(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PoolName != "p" || got.RootUUID != c.RootUUID || len(got.Puddles) != 2 {
+		t.Fatalf("decoded = %+v", got)
+	}
+	if !bytes.Equal(got.Puddles[0].Content, c.Puddles[0].Content) {
+		t.Fatal("content corrupted")
+	}
+	if len(got.Types) != 1 || got.Types[0].Name != "a" {
+		t.Fatal("types lost")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeBytes([]byte("not a container")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := DecodeBytes(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*Container)
+	}{
+		{"bad version", func(c *Container) { c.Version = 99 }},
+		{"no puddles", func(c *Container) { c.Puddles = nil }},
+		{"size mismatch", func(c *Container) { c.Puddles[0].Size = 1 }},
+		{"unaligned", func(c *Container) { c.Puddles[0].Addr += 3 }},
+		{"missing root", func(c *Container) { c.RootUUID = uid.New() }},
+		{"duplicate uuid", func(c *Container) { c.Puddles[1].UUID = c.Puddles[0].UUID }},
+	}
+	for _, tc := range cases {
+		c := sample()
+		tc.mod(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestFindByOldAddr(t *testing.T) {
+	c := sample()
+	if i := c.FindByOldAddr(pmem.Addr(c.Puddles[0].Addr)); i != 0 {
+		t.Fatalf("start = %d", i)
+	}
+	if i := c.FindByOldAddr(pmem.Addr(c.Puddles[1].Addr + 100)); i != 1 {
+		t.Fatalf("mid = %d", i)
+	}
+	if i := c.FindByOldAddr(pmem.Addr(c.Puddles[0].Addr + c.Puddles[0].Size)); i != -1 {
+		t.Fatalf("gap = %d", i)
+	}
+}
+
+func TestQuickContentRoundTrip(t *testing.T) {
+	f := func(seed []byte) bool {
+		c := sample()
+		copy(c.Puddles[0].Content, seed)
+		blob, err := c.EncodeBytes()
+		if err != nil {
+			return false
+		}
+		got, err := DecodeBytes(blob)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got.Puddles[0].Content, c.Puddles[0].Content)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

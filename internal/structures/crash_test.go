@@ -1,0 +1,175 @@
+package structures
+
+import (
+	"testing"
+
+	"puddles/internal/baselines/puddleslib"
+	"puddles/internal/core"
+	"puddles/internal/daemon"
+	"puddles/internal/pmem"
+	"puddles/internal/pmlib"
+)
+
+// Crash-consistency tests for the evaluation data structures: inject a
+// crash at every stride-th persistence event while mutating, reboot the
+// daemon (system recovery), and verify structural invariants. This is
+// the workload-level counterpart of internal/chaos.
+
+// chaosPuddles builds a Puddles pmlib stack over a chaos device.
+func chaosPuddles(t *testing.T, seed int64) (pmlib.Lib, *pmem.Device) {
+	t.Helper()
+	dev := pmem.NewChaos(seed)
+	d, err := daemon.New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := core.ConnectLocal(d)
+	pool, err := c.CreatePool("bench", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := puddleslib.Wrap(c, pool)
+	return lib, dev
+}
+
+func TestListCrashConsistency(t *testing.T) {
+	for off := int64(50); off < 4000; off += 331 {
+		lib, dev := chaosPuddles(t, off)
+		l, err := NewList(lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A few committed appends first.
+		for i := uint64(1); i <= 3; i++ {
+			if err := l.Append(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		crashesBefore := dev.Stats().Crashes
+		dev.CrashAtEvent(dev.Events() + off)
+		crashed := false
+		var appendErr error
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if !pmem.IsCrash(r) {
+						panic(r)
+					}
+					crashed = true
+				}
+			}()
+			for i := uint64(4); i <= 20; i++ {
+				if appendErr = l.Append(i); appendErr != nil {
+					return
+				}
+			}
+		}()
+		crashed = crashed || dev.Stats().Crashes > crashesBefore
+		if !crashed {
+			if appendErr != nil {
+				t.Fatalf("offset %d: append: %v", off, appendErr)
+			}
+			break
+		}
+		// Reboot: recovery runs before any access.
+		d2, err := daemon.New(dev)
+		if err != nil {
+			t.Fatalf("offset %d: reboot: %v", off, err)
+		}
+		c2 := core.ConnectLocal(d2)
+		pool2, err := c2.OpenPool("bench")
+		if err != nil {
+			t.Fatalf("offset %d: reopen: %v", off, err)
+		}
+		l2, err := NewList(puddleslib.Wrap(c2, pool2))
+		if err != nil {
+			t.Fatalf("offset %d: relist: %v", off, err)
+		}
+		// Invariant: the list is a clean prefix 1..k for some k >= 3.
+		vals := l2.Values()
+		if len(vals) < 3 {
+			t.Fatalf("offset %d: committed appends lost (%v)", off, vals)
+		}
+		for i, v := range vals {
+			if v != uint64(i+1) {
+				t.Fatalf("offset %d: list not a prefix at %d: %v", off, i, vals)
+			}
+		}
+		c2.Close()
+	}
+}
+
+func TestBTreeCrashConsistency(t *testing.T) {
+	for off := int64(100); off < 6000; off += 701 {
+		lib, dev := chaosPuddles(t, off)
+		bt, err := NewBTree(lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(1); i <= 5; i++ {
+			if err := bt.Insert(i*7, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		crashesBefore := dev.Stats().Crashes
+		dev.CrashAtEvent(dev.Events() + off)
+		crashed := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if !pmem.IsCrash(r) {
+						panic(r)
+					}
+					crashed = true
+				}
+			}()
+			for i := uint64(6); i <= 60; i++ {
+				if err := bt.Insert(i*7, i); err != nil {
+					return
+				}
+			}
+		}()
+		crashed = crashed || dev.Stats().Crashes > crashesBefore
+		if !crashed {
+			break
+		}
+		d2, err := daemon.New(dev)
+		if err != nil {
+			t.Fatalf("offset %d: reboot: %v", off, err)
+		}
+		c2 := core.ConnectLocal(d2)
+		pool2, err := c2.OpenPool("bench")
+		if err != nil {
+			t.Fatalf("offset %d: reopen: %v", off, err)
+		}
+		bt2, err := NewBTree(puddleslib.Wrap(c2, pool2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Invariants: committed keys present with right values, walk is
+		// sorted and acyclic, and every present key is one we inserted.
+		for i := uint64(1); i <= 5; i++ {
+			v, ok := bt2.Search(i * 7)
+			if !ok || v != i {
+				t.Fatalf("offset %d: committed key %d lost (ok=%v v=%d)", off, i*7, ok, v)
+			}
+		}
+		var last uint64
+		n := 0
+		bt2.Walk(func(k, v uint64) bool {
+			if n > 0 && k <= last {
+				t.Fatalf("offset %d: walk out of order: %d after %d", off, k, last)
+			}
+			if k%7 != 0 || v != k/7 {
+				t.Fatalf("offset %d: foreign or torn entry %d=%d", off, k, v)
+			}
+			last = k
+			n++
+			return n < 1000
+		})
+		if n < 5 {
+			t.Fatalf("offset %d: walk saw %d keys", off, n)
+		}
+		c2.Close()
+	}
+}

@@ -1,0 +1,195 @@
+package structures
+
+import (
+	"puddles/internal/pmem"
+)
+
+// Fig. 1 microbenchmark: the isolated cost of fat pointers versus
+// native pointers, with no transactional machinery in the way. Two
+// pointer codecs drive identical list and binary-tree code over a raw
+// device region:
+//
+//   - NativeCodec stores 8-byte addresses; dereference is identity.
+//   - FatCodec stores 16-byte {pool-id, offset} pairs; dereference is
+//     a pool-table lookup plus an add (PMDK's pmemobj_direct), and the
+//     doubled pointer size inflates every node.
+
+// PtrCodec abstracts the pointer representation.
+type PtrCodec interface {
+	// Size is the stored pointer width in bytes.
+	Size() uint32
+	// Store encodes target at slot.
+	Store(dev *pmem.Device, slot pmem.Addr, target pmem.Addr)
+	// Load decodes the pointer at slot.
+	Load(dev *pmem.Device, slot pmem.Addr) pmem.Addr
+	// Name labels benchmark output.
+	Name() string
+}
+
+// NativeCodec stores raw addresses (Puddles' representation).
+type NativeCodec struct{}
+
+// Size implements PtrCodec.
+func (NativeCodec) Size() uint32 { return 8 }
+
+// Name implements PtrCodec.
+func (NativeCodec) Name() string { return "native" }
+
+// Store implements PtrCodec.
+func (NativeCodec) Store(dev *pmem.Device, slot, target pmem.Addr) {
+	dev.StoreU64(slot, uint64(target))
+}
+
+// Load implements PtrCodec.
+func (NativeCodec) Load(dev *pmem.Device, slot pmem.Addr) pmem.Addr {
+	return pmem.Addr(dev.LoadU64(slot))
+}
+
+// FatCodec stores {pool id, offset} pairs translated through a pool
+// table on every dereference.
+type FatCodec struct {
+	// Pools maps pool ids to base addresses (the open-pool registry).
+	Pools map[uint64]pmem.Addr
+	// PoolID and Base describe the single pool targets live in.
+	PoolID uint64
+	Base   pmem.Addr
+}
+
+// NewFatCodec builds a codec with one registered pool.
+func NewFatCodec(base pmem.Addr) *FatCodec {
+	return &FatCodec{Pools: map[uint64]pmem.Addr{1: base}, PoolID: 1, Base: base}
+}
+
+// Size implements PtrCodec.
+func (*FatCodec) Size() uint32 { return 16 }
+
+// Name implements PtrCodec.
+func (*FatCodec) Name() string { return "fat" }
+
+// Store implements PtrCodec.
+func (c *FatCodec) Store(dev *pmem.Device, slot, target pmem.Addr) {
+	if target == 0 {
+		dev.StoreU64(slot, 0)
+		dev.StoreU64(slot+8, 0)
+		return
+	}
+	dev.StoreU64(slot, c.PoolID)
+	dev.StoreU64(slot+8, uint64(target-c.Base))
+}
+
+// Load implements PtrCodec.
+func (c *FatCodec) Load(dev *pmem.Device, slot pmem.Addr) pmem.Addr {
+	id := dev.LoadU64(slot)
+	if id == 0 {
+		return 0
+	}
+	base, ok := c.Pools[id] // the per-dereference registry lookup
+	if !ok {
+		return 0
+	}
+	return base + pmem.Addr(dev.LoadU64(slot+8))
+}
+
+// RawList is the Fig. 1 linked list: node = value u64 | next ptr.
+type RawList struct {
+	dev   *pmem.Device
+	codec PtrCodec
+	head  pmem.Addr // slot holding the head pointer
+	next  pmem.Addr // bump cursor
+	end   pmem.Addr
+}
+
+// NewRawList prepares a list arena at [base, base+size).
+func NewRawList(dev *pmem.Device, codec PtrCodec, base pmem.Addr, size uint64) *RawList {
+	l := &RawList{dev: dev, codec: codec, head: base}
+	l.next = base + 16
+	l.end = base + pmem.Addr(size)
+	codec.Store(dev, l.head, 0)
+	return l
+}
+
+func (l *RawList) nodeSize() pmem.Addr { return pmem.Addr(8 + l.codec.Size()) }
+
+// Build creates n nodes with values 1..n, head-linked (the create
+// phase).
+func (l *RawList) Build(n int) {
+	var prev pmem.Addr
+	for i := 1; i <= n; i++ {
+		node := l.next
+		l.next += l.nodeSize()
+		l.dev.StoreU64(node, uint64(i))
+		l.codec.Store(l.dev, node+8, 0)
+		if prev == 0 {
+			l.codec.Store(l.dev, l.head, node)
+		} else {
+			l.codec.Store(l.dev, prev+8, node)
+		}
+		prev = node
+	}
+}
+
+// Traverse sums all node values (the traverse phase).
+func (l *RawList) Traverse() uint64 {
+	var sum uint64
+	for p := l.codec.Load(l.dev, l.head); p != 0; p = l.codec.Load(l.dev, p+8) {
+		sum += l.dev.LoadU64(p)
+	}
+	return sum
+}
+
+// RawTree is the Fig. 1 binary tree: node = value u64 | left | right.
+type RawTree struct {
+	dev   *pmem.Device
+	codec PtrCodec
+	root  pmem.Addr // slot holding the root pointer
+	next  pmem.Addr
+}
+
+// NewRawTree prepares a tree arena at base.
+func NewRawTree(dev *pmem.Device, codec PtrCodec, base pmem.Addr) *RawTree {
+	t := &RawTree{dev: dev, codec: codec, root: base, next: base + 32}
+	codec.Store(dev, t.root, 0)
+	return t
+}
+
+func (t *RawTree) nodeSize() pmem.Addr { return pmem.Addr(8 + 2*t.codec.Size()) }
+
+// Build creates a complete binary tree of the given height (the paper
+// uses height 16) with values assigned in construction order.
+func (t *RawTree) Build(height int) {
+	var build func(h int) pmem.Addr
+	counter := uint64(0)
+	build = func(h int) pmem.Addr {
+		if h == 0 {
+			return 0
+		}
+		node := t.next
+		t.next += t.nodeSize()
+		counter++
+		t.dev.StoreU64(node, counter)
+		off := pmem.Addr(t.codec.Size())
+		left := build(h - 1)
+		right := build(h - 1)
+		t.codec.Store(t.dev, node+8, left)
+		t.codec.Store(t.dev, node+8+off, right)
+		return node
+	}
+	t.codec.Store(t.dev, t.root, build(height))
+}
+
+// TraverseDF sums values depth-first (the paper's DF traversal).
+func (t *RawTree) TraverseDF() uint64 {
+	off := pmem.Addr(t.codec.Size())
+	var sum uint64
+	var walk func(n pmem.Addr)
+	walk = func(n pmem.Addr) {
+		if n == 0 {
+			return
+		}
+		sum += t.dev.LoadU64(n)
+		walk(t.codec.Load(t.dev, n+8))
+		walk(t.codec.Load(t.dev, n+8+off))
+	}
+	walk(t.codec.Load(t.dev, t.root))
+	return sum
+}

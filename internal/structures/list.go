@@ -1,0 +1,127 @@
+// Package structures implements the persistent data structures the
+// paper evaluates — a singly linked list (Fig. 9), an order-8 B-tree
+// (Fig. 10), and the raw native-vs-fat microbenchmark structures of
+// Fig. 1 — each written once against the pmlib interface so every
+// library runs identical code.
+package structures
+
+import (
+	"errors"
+
+	"puddles/internal/pmem"
+	"puddles/internal/pmlib"
+)
+
+// List is a persistent singly linked list with head/tail in the root
+// object (the paper's Fig. 8 structure).
+//
+// Node layout: value u64 | next Ref. Root layout: head Ref | tail Ref.
+type List struct {
+	lib      pmlib.Lib
+	rootAddr pmem.Addr
+	nodeSize uint32
+	offNext  uint32 // = 8
+	offTail  uint32 // root: tail ref offset = RefSize
+}
+
+// ErrEmpty reports removal from an empty list.
+var ErrEmpty = errors.New("structures: list is empty")
+
+// NewList opens (or creates) the list in lib's root object.
+func NewList(lib pmlib.Lib) (*List, error) {
+	rs := lib.RefSize()
+	root, err := lib.Root(2 * rs)
+	if err != nil {
+		return nil, err
+	}
+	return &List{
+		lib:      lib,
+		rootAddr: lib.Deref(root),
+		nodeSize: 8 + rs,
+		offNext:  8,
+		offTail:  rs,
+	}, nil
+}
+
+func (l *List) head() pmlib.Ref { return l.lib.LoadRef(l.rootAddr) }
+func (l *List) tail() pmlib.Ref { return l.lib.LoadRef(l.rootAddr + pmem.Addr(l.offTail)) }
+
+// Append adds a node at the tail in one transaction (paper Fig. 4).
+func (l *List) Append(v uint64) error {
+	return l.lib.Run(func(tx pmlib.Tx) error {
+		n, err := tx.Alloc(l.nodeSize)
+		if err != nil {
+			return err
+		}
+		na := l.lib.Deref(n)
+		if err := tx.SetU64(na, v); err != nil {
+			return err
+		}
+		tail := l.tail()
+		if tail.IsNull() {
+			if err := tx.SetRef(l.rootAddr, n); err != nil { // head
+				return err
+			}
+		} else if err := tx.SetRef(l.lib.Deref(tail)+pmem.Addr(l.offNext), n); err != nil {
+			return err
+		}
+		return tx.SetRef(l.rootAddr+pmem.Addr(l.offTail), n)
+	})
+}
+
+// PopHead removes the first node and returns its value. (The paper's
+// delete benchmark removes one node per transaction; a singly linked
+// list gives O(1) removal only at the head.)
+func (l *List) PopHead() (uint64, error) {
+	var out uint64
+	err := l.lib.Run(func(tx pmlib.Tx) error {
+		head := l.head()
+		if head.IsNull() {
+			return ErrEmpty
+		}
+		ha := l.lib.Deref(head)
+		out = l.lib.Device().LoadU64(ha)
+		next := l.lib.LoadRef(ha + pmem.Addr(l.offNext))
+		if err := tx.SetRef(l.rootAddr, next); err != nil {
+			return err
+		}
+		if next.IsNull() {
+			if err := tx.SetRef(l.rootAddr+pmem.Addr(l.offTail), pmlib.Null); err != nil {
+				return err
+			}
+		}
+		return tx.Free(head)
+	})
+	return out, err
+}
+
+// Sum traverses the whole list adding values — the pure pointer-chase
+// read benchmark where native pointers win (paper Fig. 9).
+func (l *List) Sum() uint64 {
+	lib := l.lib
+	var sum uint64
+	for p := lib.Deref(l.head()); p != 0; p = lib.Deref(lib.LoadRef(p + pmem.Addr(l.offNext))) {
+		sum += lib.Device().LoadU64(p)
+	}
+	return sum
+}
+
+// Len counts the nodes.
+func (l *List) Len() int {
+	lib := l.lib
+	n := 0
+	for p := lib.Deref(l.head()); p != 0; p = lib.Deref(lib.LoadRef(p + pmem.Addr(l.offNext))) {
+		n++
+	}
+	return n
+}
+
+// Values returns the list contents (tests).
+func (l *List) Values() []uint64 {
+	lib := l.lib
+	var out []uint64
+	for p := lib.Deref(l.head()); p != 0; p = lib.Deref(lib.LoadRef(p + pmem.Addr(l.offNext))) {
+		out = append(out, lib.Device().LoadU64(p))
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+// Package uid provides the 128-bit universally unique identifiers used
+// for puddles and pools (paper §4.3: "Every puddle in the global puddle
+// PM space has a 128-bit universally unique identifier").
+package uid
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// UUID is a 128-bit identifier.
+type UUID [16]byte
+
+// Nil is the zero UUID.
+var Nil UUID
+
+var counter atomic.Uint64
+
+// New returns a fresh UUID. Randomness comes from crypto/rand with a
+// process-local counter mixed in, so identifiers stay unique even if
+// the entropy source misbehaves.
+func New() UUID {
+	var u UUID
+	_, _ = rand.Read(u[:])
+	binary.LittleEndian.PutUint64(u[8:], binary.LittleEndian.Uint64(u[8:])^counter.Add(1))
+	u[6] = (u[6] & 0x0f) | 0x40 // version 4
+	u[8] = (u[8] & 0x3f) | 0x80 // RFC 4122 variant
+	return u
+}
+
+// IsNil reports whether u is the zero UUID.
+func (u UUID) IsNil() bool { return u == Nil }
+
+// String formats u in the canonical 8-4-4-4-12 form.
+func (u UUID) String() string {
+	var b [36]byte
+	hex.Encode(b[0:8], u[0:4])
+	b[8] = '-'
+	hex.Encode(b[9:13], u[4:6])
+	b[13] = '-'
+	hex.Encode(b[14:18], u[6:8])
+	b[18] = '-'
+	hex.Encode(b[19:23], u[8:10])
+	b[23] = '-'
+	hex.Encode(b[24:36], u[10:16])
+	return string(b[:])
+}
+
+// Parse decodes the canonical form produced by String.
+func Parse(s string) (UUID, error) {
+	var u UUID
+	if len(s) != 36 || s[8] != '-' || s[13] != '-' || s[18] != '-' || s[23] != '-' {
+		return Nil, errors.New("uid: malformed UUID string")
+	}
+	hexed := s[0:8] + s[9:13] + s[14:18] + s[19:23] + s[24:36]
+	if _, err := hex.Decode(u[:], []byte(hexed)); err != nil {
+		return Nil, fmt.Errorf("uid: %w", err)
+	}
+	return u, nil
+}

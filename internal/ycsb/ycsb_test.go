@@ -1,0 +1,164 @@
+package ycsb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWorkloadMixesSumToOne(t *testing.T) {
+	for _, w := range Workloads() {
+		sum := w.ReadProp + w.UpdateProp + w.InsertProp + w.ScanProp + w.RMWProp
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("workload %s proportions sum to %f", w.Name, sum)
+		}
+	}
+}
+
+func TestWorkloadByName(t *testing.T) {
+	for _, name := range []string{"A", "B", "C", "D", "E", "F", "G"} {
+		w, err := WorkloadByName(name)
+		if err != nil || w.Name != name {
+			t.Fatalf("WorkloadByName(%s) = %+v, %v", name, w, err)
+		}
+	}
+	if _, err := WorkloadByName("Z"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestZipfianBoundsAndSkew(t *testing.T) {
+	const n = 10000
+	z := NewZipfian(n, rand.New(rand.NewSource(1)))
+	counts := make(map[uint64]int)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		v := z.Next()
+		if v >= n {
+			t.Fatalf("draw %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 must be much hotter than the median rank; zipfian 0.99
+	// gives rank 0 ≈ 7% of mass over 10k items.
+	if counts[0] < draws/50 {
+		t.Fatalf("rank 0 drawn %d times out of %d — not skewed", counts[0], draws)
+	}
+	if counts[0] <= counts[n/2]*10 {
+		t.Fatalf("head (%d) not ≫ middle (%d)", counts[0], counts[n/2])
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	w, _ := WorkloadByName("A")
+	g1 := NewGenerator(w, 1000, 7)
+	g2 := NewGenerator(w, 1000, 7)
+	for i := 0; i < 1000; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatalf("streams diverge at op %d", i)
+		}
+	}
+}
+
+func TestGeneratorMixMatchesSpec(t *testing.T) {
+	for _, name := range []string{"A", "B", "C", "E", "F", "G"} {
+		w, _ := WorkloadByName(name)
+		g := NewGenerator(w, 10000, 42)
+		counts := make(map[OpKind]int)
+		const n = 50000
+		for i := 0; i < n; i++ {
+			op := g.Next()
+			counts[op.Kind]++
+			if op.Kind == OpScan && (op.ScanLen < 1 || op.ScanLen > w.MaxScanLen) {
+				t.Fatalf("%s: scan len %d out of range", name, op.ScanLen)
+			}
+		}
+		check := func(kind OpKind, want float64) {
+			got := float64(counts[kind]) / n
+			if got < want-0.02 || got > want+0.02 {
+				t.Errorf("%s: %v fraction = %.3f, want %.2f", name, kind, got, want)
+			}
+		}
+		check(OpRead, w.ReadProp)
+		check(OpUpdate, w.UpdateProp)
+		check(OpInsert, w.InsertProp)
+		check(OpScan, w.ScanProp)
+		check(OpRMW, w.RMWProp)
+	}
+}
+
+func TestInsertsExtendKeySpace(t *testing.T) {
+	w, _ := WorkloadByName("D")
+	g := NewGenerator(w, 100, 3)
+	seen := make(map[uint64]bool)
+	inserts := 0
+	for i := 0; i < 5000; i++ {
+		op := g.Next()
+		if op.Kind == OpInsert {
+			if seen[op.Key] {
+				t.Fatalf("insert reused key %d", op.Key)
+			}
+			if op.Key < 100 {
+				t.Fatalf("insert key %d collides with load phase", op.Key)
+			}
+			seen[op.Key] = true
+			inserts++
+		} else if op.Key >= g.Records() {
+			t.Fatalf("read key %d beyond record count %d", op.Key, g.Records())
+		}
+	}
+	if inserts == 0 {
+		t.Fatal("workload D generated no inserts")
+	}
+}
+
+func TestLatestFavoursRecentKeys(t *testing.T) {
+	w, _ := WorkloadByName("D")
+	g := NewGenerator(w, 10000, 11)
+	recent, old := 0, 0
+	for i := 0; i < 20000; i++ {
+		op := g.Next()
+		if op.Kind != OpRead {
+			continue
+		}
+		if op.Key >= g.Records()-g.Records()/10 {
+			recent++
+		} else if op.Key < g.Records()/2 {
+			old++
+		}
+	}
+	if recent <= old {
+		t.Fatalf("latest distribution not recency-skewed: recent=%d old=%d", recent, old)
+	}
+}
+
+func TestLoadKeys(t *testing.T) {
+	keys := LoadKeys(100)
+	if len(keys) != 100 || keys[0] != 0 || keys[99] != 99 {
+		t.Fatalf("LoadKeys malformed: %v...", keys[:3])
+	}
+}
+
+func TestQuickZipfianInRange(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := uint64(nRaw%5000) + 10
+		z := NewZipfian(n, rand.New(rand.NewSource(seed)))
+		for i := 0; i < 100; i++ {
+			if z.Next() >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFnvScrambleSpreads(t *testing.T) {
+	// Consecutive ranks must not map to consecutive keys.
+	a, b := fnvScramble(1), fnvScramble(2)
+	if b-a == 1 || a == b {
+		t.Fatalf("scramble too regular: %d %d", a, b)
+	}
+}

@@ -17,6 +17,7 @@
 package puddles_test
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -204,6 +205,70 @@ func BenchmarkAblation_LazyVsEagerImport(b *testing.B) {
 				}
 				b.StartTimer()
 			}
+		})
+	}
+}
+
+// BenchmarkAblation_ParallelRecovery measures daemon boot-time recovery
+// latency over many registered log spaces as the worker pool widens.
+// The dirty image is built once — 16 independent applications, each
+// with an abandoned in-flight transaction carrying 32 undo entries —
+// and every iteration restores it into a fresh device before booting.
+func BenchmarkAblation_ParallelRecovery(b *testing.B) {
+	const (
+		spaces       = 16
+		entriesPerTx = 32
+	)
+	seed := pmem.New()
+	d, err := daemon.New(seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < spaces; i++ {
+		c := core.ConnectLocal(d)
+		ti, err := c.RegisterType(fmt.Sprintf("abl3.blob%d", i), 4096, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool, err := c.CreatePool(fmt.Sprintf("abl3-%d", i), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		root, err := pool.CreateRoot(ti.ID, 4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Abandon mid-flight: the undo log stays live, so every boot of
+		// this image replays spaces×entries ranges.
+		tx := c.Begin(pool)
+		for e := 0; e < entriesPerTx; e++ {
+			if err := tx.SetU64(root+pmem.Addr(e*128), uint64(e)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	var img bytes.Buffer
+	if err := seed.Save(&img); err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dev := pmem.New()
+				if err := dev.Restore(bytes.NewReader(img.Bytes())); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				booted, err := daemon.New(dev, daemon.WithRecoveryWorkers(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st := booted.Stats(); st.LogsReplayed != spaces {
+					b.Fatalf("replayed %d logs, want %d", st.LogsReplayed, spaces)
+				}
+			}
+			b.ReportMetric(float64(spaces), "spaces/op")
 		})
 	}
 }

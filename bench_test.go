@@ -581,6 +581,67 @@ func BenchmarkFig12_Scaling(b *testing.B) {
 	}
 }
 
+// --- commit-path flush coalescing ---
+
+// BenchmarkCommit_FlushCoalescing measures the write-combining commit
+// engine: a transaction that undo-logs several ranges commits with one
+// flush per distinct cacheline run, not one per range. The flushes/op
+// and coalesced/op metrics come straight from pmem.Device.Stats, so
+// regressions in the coalescer show up as counter shifts even when
+// wall-clock noise hides them.
+func BenchmarkCommit_FlushCoalescing(b *testing.B) {
+	patterns := []struct {
+		name string
+		offs []pmem.Addr
+	}{
+		{"same-line", []pmem.Addr{0, 16, 32, 48}},
+		{"adjacent-lines", []pmem.Addr{0, 64, 128, 192}},
+		{"scattered-lines", []pmem.Addr{0, 1024, 2048, 3072}},
+	}
+	for _, p := range patterns {
+		b.Run(p.name, func(b *testing.B) {
+			d, err := daemon.New(pmem.New())
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := core.ConnectLocal(d)
+			defer c.Close()
+			ti, err := c.RegisterType("fc.blob", 4096, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pool, err := c.CreatePool("fc", 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			root, err := pool.CreateRoot(ti.ID, 4096)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dev := c.Device()
+			before := dev.Stats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Run(pool, func(tx *core.Tx) error {
+					for _, off := range p.offs {
+						if err := tx.SetU64(root+off, uint64(i)); err != nil {
+							return err
+						}
+					}
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			after := dev.Stats()
+			b.ReportMetric(float64(after.Flushes-before.Flushes)/float64(b.N), "flushes/op")
+			b.ReportMetric(float64(after.CoalescedFlushes-before.CoalescedFlushes)/float64(b.N), "coalesced/op")
+			b.ReportMetric(float64(after.Fences-before.Fences)/float64(b.N), "fences/op")
+		})
+	}
+}
+
 // --- Figure 14 ---
 
 func BenchmarkFig14_Aggregation(b *testing.B) {

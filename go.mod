@@ -1,0 +1,3 @@
+module puddles
+
+go 1.21

@@ -1,8 +1,13 @@
 package chaos
 
 import (
+	"fmt"
 	"strings"
 	"testing"
+
+	"puddles/internal/core"
+	"puddles/internal/daemon"
+	"puddles/internal/pmem"
 )
 
 func runSweep(t *testing.T, s Scenario, maxOffset, stride int64) Result {
@@ -34,6 +39,100 @@ func TestListAppendSweep(t *testing.T) {
 func TestTwinCountersSweep(t *testing.T) {
 	res := runSweep(t, TwinCounters(6), 2000, 11)
 	t.Logf("twin-counters: %d probes", res.Probes)
+}
+
+func TestMultiSpaceCrashSweep(t *testing.T) {
+	// Several independent applications (each with its own pool and log
+	// space) mutate twin counters interleaved while crashes sweep the
+	// run. Recovery on reboot replays all pending log spaces through the
+	// daemon's concurrent worker pool; every pair must be equal after.
+	const clients = 4
+	probes := 0
+	for off := int64(1); off < 4000; off += 53 {
+		dev := pmem.NewChaos(off)
+		d, err := daemon.New(dev)
+		if err != nil {
+			t.Fatalf("offset %d: boot: %v", off, err)
+		}
+		cs := make([]*core.Client, clients)
+		pools := make([]*core.Pool, clients)
+		roots := make([]pmem.Addr, clients)
+		for i := range cs {
+			cs[i] = core.ConnectLocal(d)
+			ti, err := cs[i].RegisterType(fmt.Sprintf("ms.pair%d", i), 16, nil)
+			if err != nil {
+				t.Fatalf("offset %d: type: %v", off, err)
+			}
+			pools[i], err = cs[i].CreatePool(fmt.Sprintf("ms%d", i), 0)
+			if err != nil {
+				t.Fatalf("offset %d: pool: %v", off, err)
+			}
+			roots[i], err = pools[i].CreateRoot(ti.ID, 16)
+			if err != nil {
+				t.Fatalf("offset %d: root: %v", off, err)
+			}
+		}
+
+		crashesBefore := dev.Stats().Crashes
+		dev.CrashAtEvent(dev.Events() + off)
+		crashed := false
+		var mutateErr error
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if !pmem.IsCrash(r) {
+						panic(r)
+					}
+					crashed = true
+				}
+			}()
+			for round := 0; round < 4; round++ {
+				for i := range cs {
+					i := i
+					mutateErr = cs[i].Run(pools[i], func(tx *core.Tx) error {
+						v := dev.LoadU64(roots[i]) + 1
+						if err := tx.SetU64(roots[i], v); err != nil {
+							return err
+						}
+						return tx.RedoSetU64(roots[i]+8, v)
+					})
+					if mutateErr != nil {
+						return
+					}
+				}
+			}
+		}()
+		for _, c := range cs {
+			c.Close()
+		}
+		crashed = crashed || dev.Stats().Crashes > crashesBefore
+		if !crashed && mutateErr != nil {
+			t.Fatalf("offset %d: mutate: %v", off, mutateErr)
+		}
+		if !crashed {
+			dev.CrashAtEvent(0)
+			dev.CrashNow()
+		}
+
+		// Reboot: all pending spaces replay before anyone is served.
+		if _, err := daemon.New(dev); err != nil {
+			t.Fatalf("offset %d: reboot: %v", off, err)
+		}
+		for i, root := range roots {
+			a, b := dev.LoadU64(root), dev.LoadU64(root+8)
+			if a != b {
+				t.Fatalf("offset %d, space %d: counters diverged after recovery: %d vs %d", off, i, a, b)
+			}
+		}
+		probes++
+		if !crashed {
+			break
+		}
+	}
+	if probes == 0 {
+		t.Fatal("no crash points probed")
+	}
+	t.Logf("multi-space: %d probes", probes)
 }
 
 func TestSweepDetectsBrokenInvariant(t *testing.T) {

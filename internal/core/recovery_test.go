@@ -1,7 +1,9 @@
 package core
 
 import (
+	"bytes"
 	"errors"
+	"fmt"
 	"testing"
 
 	"puddles/internal/daemon"
@@ -253,6 +255,215 @@ func mustDaemon(t *testing.T, dev *pmem.Device) *daemon.Daemon {
 		t.Fatal(err)
 	}
 	return d
+}
+
+// buildPendingSpaces boots a daemon on dev and leaves n independent
+// applications each with its own pool, a root initialised to (42, 43),
+// and an abandoned in-flight transaction whose undo log is still live —
+// n separate registered log spaces all pending recovery. The daemon is
+// never shut down, so the dirty flag stays set.
+func buildPendingSpaces(t *testing.T, dev *pmem.Device, n int) []pmem.Addr {
+	t.Helper()
+	d, err := daemon.New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := make([]pmem.Addr, n)
+	for i := 0; i < n; i++ {
+		c := ConnectLocal(d)
+		ti, err := c.RegisterType(fmt.Sprintf("prec.node%d", i), nodeSz, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool, err := c.CreatePool(fmt.Sprintf("prec-pool%d", i), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root, err := pool.CreateRoot(ti.ID, nodeSz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev.StoreU64(root+offData, 42)
+		dev.StoreU64(root+offNext, 43)
+		dev.Persist(root+offData, 16)
+		// In-flight transaction: undo-logged, new values stored, never
+		// committed. Crash-recovery must roll both words back.
+		tx := c.Begin(pool)
+		if err := tx.SetU64(root+offData, 1000+uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.SetU64(root+offNext, 2000+uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		roots[i] = root
+	}
+	return roots
+}
+
+func TestParallelRecoveryMatchesSerial(t *testing.T) {
+	// N >= 8 pending log spaces, recovered once serially (1 worker) and
+	// once through the concurrent pool (8 workers) from identical device
+	// images: replay results and daemon counters must be identical.
+	const spaces = 10
+	seedDev := pmem.New()
+	roots := buildPendingSpaces(t, seedDev, spaces)
+	var img bytes.Buffer
+	if err := seedDev.Save(&img); err != nil {
+		t.Fatal(err)
+	}
+	restore := func() *pmem.Device {
+		d := pmem.New()
+		if err := d.Restore(bytes.NewReader(img.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	devSerial, devPar := restore(), restore()
+	dSerial, err := daemon.New(devSerial, daemon.WithRecoveryWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dPar, err := daemon.New(devPar, daemon.WithRecoveryWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ss, sp := dSerial.Stats(), dPar.Stats()
+	if ss.Recoveries != 1 || sp.Recoveries != 1 {
+		t.Fatalf("recoveries: serial=%d parallel=%d, want 1 each", ss.Recoveries, sp.Recoveries)
+	}
+	if ss.LogsReplayed != sp.LogsReplayed || ss.EntriesApplied != sp.EntriesApplied {
+		t.Fatalf("replay counters diverge: serial logs=%d entries=%d, parallel logs=%d entries=%d",
+			ss.LogsReplayed, ss.EntriesApplied, sp.LogsReplayed, sp.EntriesApplied)
+	}
+	if ss.LogsReplayed != spaces {
+		t.Fatalf("LogsReplayed = %d, want %d (one pending log per space)", ss.LogsReplayed, spaces)
+	}
+	for i, root := range roots {
+		for _, dev := range []*pmem.Device{devSerial, devPar} {
+			a, b := dev.LoadU64(root+offData), dev.LoadU64(root+offNext)
+			if a != 42 || b != 43 {
+				t.Fatalf("space %d: root = (%d, %d) after recovery, want (42, 43)", i, a, b)
+			}
+		}
+	}
+}
+
+func TestSharedPoolRecoveryIsDeterministic(t *testing.T) {
+	// Two applications share one writable pool and both crash with
+	// in-flight transactions on the SAME root object. Their log spaces
+	// target a common pool, so parallel recovery must place them in one
+	// conflict group and replay them serially in the same order serial
+	// recovery uses — byte-identical results, no write races.
+	build := func() (*pmem.Device, pmem.Addr) {
+		dev := pmem.New()
+		d, err := daemon.New(dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c1, c2 := ConnectLocal(d), ConnectLocal(d)
+		ti, err := c1.RegisterType("shr.node", nodeSz, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool1, err := c1.CreatePool("shared", 0o666)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root, err := pool1.CreateRoot(ti.ID, nodeSz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev.StoreU64(root+offData, 42)
+		dev.Persist(root+offData, 8)
+		pool2, err := c2.OpenPool("shared")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx1 := c1.Begin(pool1)
+		if err := tx1.SetU64(root+offData, 1111); err != nil {
+			t.Fatal(err)
+		}
+		tx2 := c2.Begin(pool2)
+		if err := tx2.SetU64(root+offData, 2222); err != nil {
+			t.Fatal(err)
+		}
+		// Both abandoned: two pending log spaces whose undo entries
+		// overlap on root+offData.
+		return dev, root
+	}
+
+	dev1, root := build()
+	var img bytes.Buffer
+	if err := dev1.Save(&img); err != nil {
+		t.Fatal(err)
+	}
+	recoverWith := func(workers int) uint64 {
+		dev := pmem.New()
+		if err := dev.Restore(bytes.NewReader(img.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := daemon.New(dev, daemon.WithRecoveryWorkers(workers)); err != nil {
+			t.Fatal(err)
+		}
+		return dev.LoadU64(root + offData)
+	}
+	serial := recoverWith(1)
+	if serial != 42 && serial != 1111 {
+		t.Fatalf("serial recovery produced %d, want a logged pre-image (42 or 1111)", serial)
+	}
+	for i := 0; i < 4; i++ {
+		if par := recoverWith(8); par != serial {
+			t.Fatalf("parallel recovery produced %d, serial produced %d — conflict group not serialized", par, serial)
+		}
+	}
+}
+
+func TestCrashDuringParallelRecovery(t *testing.T) {
+	// The daemon itself is killed mid-replay with several pending log
+	// spaces; the next boot must still recover everything. Offsets sweep
+	// the crash point through the concurrent recovery pass.
+	const spaces = 6
+	for _, off := range []int64{3, 17, 41, 97, 181, 307, 503} {
+		dev := pmem.NewChaos(off)
+		roots := buildPendingSpaces(t, dev, spaces)
+		dev.CrashNow() // power failure with all spaces pending
+
+		// Reboot #1: recovery runs concurrently and is killed at the
+		// off-th persistence event.
+		dev.CrashAtEvent(dev.Events() + off)
+		crashed := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if !pmem.IsCrash(r) {
+						panic(r)
+					}
+					crashed = true
+				}
+			}()
+			if _, err := daemon.New(dev, daemon.WithRecoveryWorkers(4)); err != nil {
+				t.Fatalf("offset %d: first reboot: %v", off, err)
+			}
+		}()
+		if !crashed {
+			dev.CrashAtEvent(0) // recovery finished before the probe point
+			dev.CrashNow()
+		}
+
+		// Reboot #2: clean boot must finish the job.
+		if _, err := daemon.New(dev, daemon.WithRecoveryWorkers(4)); err != nil {
+			t.Fatalf("offset %d: second reboot: %v", off, err)
+		}
+		for i, root := range roots {
+			a, b := dev.LoadU64(root+offData), dev.LoadU64(root+offNext)
+			if a != 42 || b != 43 {
+				t.Fatalf("offset %d, space %d: root = (%d, %d), want rollback to (42, 43) [crashed=%v]",
+					off, i, a, b, crashed)
+			}
+		}
+	}
 }
 
 func TestErrTxDoneAfterCommit(t *testing.T) {

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"puddles/internal/alloc"
 	"puddles/internal/plog"
@@ -22,11 +23,6 @@ var (
 	ErrTxFailed = errors.New("core: transaction aborted")
 )
 
-type undoRange struct {
-	addr pmem.Addr
-	size int
-}
-
 type redoRec struct {
 	addr pmem.Addr
 	data []byte
@@ -38,9 +34,13 @@ type Tx struct {
 	pool *Pool
 	log  *txLog
 
-	undo    []undoRange
+	// undo is the set of undo-logged ranges, kept sorted and
+	// non-overlapping: it is both the dedup index consulted by Add
+	// (re-logging a covered range is a no-op, PMDK-style) and the exact
+	// byte set stage 1 of commit must flush.
+	undo    []pmem.Range
 	redo    []redoRec
-	fresh   []undoRange // freshly allocated payloads: flush at commit
+	fresh   []pmem.Range // freshly allocated payloads: flush at commit
 	touched map[*alloc.Heap]*Pool
 	done    bool
 	err     error
@@ -65,9 +65,12 @@ func (c *Client) Run(pool *Pool, fn func(tx *Tx) error) (err error) {
 	}()
 	if err := fn(tx); err != nil {
 		tx.Abort()
-		return fmt.Errorf("%w: %v", ErrTxFailed, err)
+		return fmt.Errorf("%w: %w", ErrTxFailed, err)
 	}
-	return tx.Commit()
+	if err := tx.Commit(); err != nil {
+		return fmt.Errorf("%w: %w", ErrTxFailed, err)
+	}
+	return nil
 }
 
 // ensureLog lazily acquires the per-thread cached log on first use and
@@ -100,22 +103,71 @@ func (t *Tx) grow() plog.GrowFunc {
 
 // Add undo-logs [addr, addr+size): the current contents are captured
 // in the log before the caller overwrites them (TX_ADD, Fig. 8).
+//
+// Ranges already undo-logged by this transaction are skipped: logging
+// them again would capture the transaction's own uncommitted stores,
+// and the duplicate entry plus its flush/fence are pure overhead. Only
+// the uncovered gaps of a partially overlapping range are appended.
 func (t *Tx) Add(addr pmem.Addr, size int) error {
 	if t.done {
 		return ErrTxDone
 	}
-	if err := t.ensureLog(); err != nil {
-		return err
+	if size <= 0 {
+		return nil
 	}
-	old := make([]byte, size)
-	t.c.dev.Load(addr, old)
-	if err := t.log.log.Append(plog.Entry{
-		Addr: addr, Seq: plog.SeqUndo, Order: plog.OrderBackward, Data: old,
-	}, t.grow()); err != nil {
-		return err
+	r := pmem.Range{Start: addr, End: addr + pmem.Addr(size)}
+	for _, g := range rangeGaps(t.undo, r) {
+		if err := t.ensureLog(); err != nil {
+			return err
+		}
+		old := make([]byte, g.Size())
+		t.c.dev.Load(g.Start, old)
+		if err := t.log.log.Append(plog.Entry{
+			Addr: g.Start, Seq: plog.SeqUndo, Order: plog.OrderBackward, Data: old,
+		}, t.grow()); err != nil {
+			return err
+		}
+		t.undo = rangeInsert(t.undo, g)
 	}
-	t.undo = append(t.undo, undoRange{addr, size})
 	return nil
+}
+
+// rangeGaps returns the subranges of r not covered by set. set must be
+// sorted by start and non-overlapping.
+func rangeGaps(set []pmem.Range, r pmem.Range) []pmem.Range {
+	i := sort.Search(len(set), func(i int) bool { return set[i].End > r.Start })
+	var gaps []pmem.Range
+	at := r.Start
+	for ; i < len(set) && set[i].Start < r.End; i++ {
+		if set[i].Start > at {
+			gaps = append(gaps, pmem.Range{Start: at, End: set[i].Start})
+		}
+		if set[i].End > at {
+			at = set[i].End
+		}
+	}
+	if at < r.End {
+		gaps = append(gaps, pmem.Range{Start: at, End: r.End})
+	}
+	return gaps
+}
+
+// rangeInsert merges r into set, keeping it sorted and non-overlapping
+// (adjacent ranges coalesce — coverage of [a,b)+[b,c) is [a,c)).
+func rangeInsert(set []pmem.Range, r pmem.Range) []pmem.Range {
+	i := sort.Search(len(set), func(i int) bool { return set[i].End >= r.Start })
+	j := i
+	for j < len(set) && set[j].Start <= r.End {
+		if set[j].Start < r.Start {
+			r.Start = set[j].Start
+		}
+		if set[j].End > r.End {
+			r.End = set[j].End
+		}
+		j++
+	}
+	out := append(set[:i], append([]pmem.Range{r}, set[j:]...)...)
+	return out
 }
 
 // AddVolatile undo-logs a volatile location (FlagVolatile): restored
@@ -201,7 +253,10 @@ func (t *Tx) WriteU64(addr pmem.Addr, v uint64) {
 // RegisterNew implements alloc.Mutator: fresh payloads are flushed at
 // commit but need no undo (rolling back the allocation discards them).
 func (t *Tx) RegisterNew(addr pmem.Addr, size int) {
-	t.fresh = append(t.fresh, undoRange{addr, size})
+	if size <= 0 {
+		return
+	}
+	t.fresh = append(t.fresh, pmem.Range{Start: addr, End: addr + pmem.Addr(size)})
 }
 
 // Alloc allocates size bytes of the given type from the transaction's
@@ -282,22 +337,28 @@ func (t *Tx) Commit() error {
 	}
 	dev := t.c.dev
 	// Stage 1: make every undo-logged location (and fresh payload)
-	// durable.
+	// durable. All ranges funnel through one write-combining FlushSet,
+	// so a transaction that touched many fields of one cacheline — or
+	// undo-logged and then allocated adjacent objects — issues one flush
+	// per distinct cacheline run, not one per logged range.
+	var fs pmem.FlushSet
 	for _, u := range t.undo {
-		dev.Flush(u.addr, u.size)
+		fs.Add(u.Start, int(u.Size()))
 	}
 	for _, f := range t.fresh {
-		dev.Flush(f.addr, f.size)
+		fs.Add(f.Start, int(f.Size()))
 	}
+	fs.Flush(dev)
 	dev.Fence()
 	// Commit point: disable undo entries, enable redo entries.
 	t.log.log.SetRange(plog.RangeRedoOnly[0], plog.RangeRedoOnly[1])
-	// Stage 2: apply the redo log.
+	// Stage 2: apply the redo log, again with coalesced flushes.
 	if len(t.redo) > 0 {
 		for _, r := range t.redo {
 			dev.Store(r.addr, r.data)
-			dev.Flush(r.addr, len(r.data))
+			fs.Add(r.addr, len(r.data))
 		}
+		fs.Flush(dev)
 		dev.Fence()
 	}
 	// Stage 3: the transaction is complete; invalidate the log.

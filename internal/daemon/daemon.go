@@ -21,7 +21,11 @@ import (
 	"fmt"
 	"hash/crc64"
 	"log"
+	"runtime"
+	"runtime/debug"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"puddles/internal/addrspace"
 	"puddles/internal/alloc"
@@ -144,7 +148,8 @@ type Daemon struct {
 	types   *ptypes.Registry
 	logger  *log.Logger
 
-	closed bool
+	recoveryWorkers int // 0 = default pool size (see workerCount)
+	closed          bool
 }
 
 // Option configures a Daemon.
@@ -324,27 +329,237 @@ func (d *Daemon) loadSnapshot() error {
 
 // --- recovery engine ---
 
+// maxRecoveryWorkers caps the recovery pool when no explicit worker
+// count is configured.
+const maxRecoveryWorkers = 8
+
+// WithRecoveryWorkers sets the number of concurrent log-space replay
+// workers used during recovery. n <= 0 selects the default
+// (min(GOMAXPROCS, 8)); n == 1 forces serial recovery.
+func WithRecoveryWorkers(n int) Option {
+	return func(d *Daemon) { d.recoveryWorkers = n }
+}
+
+// workerCount resolves the recovery pool size for the given number of
+// independent replay units (conflict groups of pending log spaces).
+func (d *Daemon) workerCount(spaces int) int {
+	n := d.recoveryWorkers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+		if n > maxRecoveryWorkers {
+			n = maxRecoveryWorkers
+		}
+	}
+	if n > spaces {
+		n = spaces
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // runRecovery replays every registered log space. Callers hold no
 // lock (boot) or d.mu (RecoverNow); the daemon is not serving yet or
 // is serialized, respectively.
+//
+// Log spaces belong to distinct crashed applications and are replayed
+// concurrently by a bounded worker pool. Spaces whose pending entries
+// target a common pool are placed in one conflict group and replayed
+// serially within it, in the same deterministic order serial recovery
+// would use — two applications sharing a writable pool must not race
+// on the same addresses. Each worker keeps the per-space credential
+// confinement of serial recovery (the filter closes over that space's
+// registered creds) and reads the registries without locking —
+// nothing mutates daemon state while recovery runs. Replay counters
+// are aggregated under a mutex and folded into the snapshot once,
+// after the pool drains.
 func (d *Daemon) runRecovery() {
 	d.st.Recoveries++
+	spaces := make([]*LogSpaceRec, 0, len(d.st.LogSpaces))
 	for _, ls := range d.st.LogSpaces {
-		d.recoverLogSpace(ls)
+		spaces = append(spaces, ls)
+	}
+	// Deterministic dispatch order (map iteration is randomized).
+	sort.Slice(spaces, func(i, j int) bool {
+		return bytes.Compare(spaces[i].UUID[:], spaces[j].UUID[:]) < 0
+	})
+	groups := d.conflictGroups(spaces)
+	workers := d.workerCount(len(groups))
+
+	var (
+		mu        sync.Mutex
+		logs      uint64
+		entries   uint64
+		downPanic any // first panic from a worker (injected crash or bug)
+		downed    atomic.Bool
+	)
+	work := make(chan []*LogSpaceRec)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for group := range work {
+				if downed.Load() {
+					continue // machine already "died" mid-recovery
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							if !pmem.IsCrash(r) {
+								// Genuine bug, not an injected power
+								// failure: capture the faulting stack
+								// before it is lost to the rethrow on
+								// the booting goroutine.
+								d.logf("recovery: worker panic: %v\n%s", r, debug.Stack())
+							}
+							downed.Store(true)
+							mu.Lock()
+							if downPanic == nil {
+								downPanic = r
+							}
+							mu.Unlock()
+						}
+					}()
+					for _, ls := range group {
+						if downed.Load() {
+							return
+						}
+						nl, ne := d.recoverLogSpace(ls, &downed)
+						mu.Lock()
+						logs += nl
+						entries += ne
+						mu.Unlock()
+					}
+				}()
+			}
+		}()
+	}
+	for _, g := range groups {
+		work <- g
+	}
+	close(work)
+	wg.Wait()
+	d.st.LogsReplayed += logs
+	d.st.EntriesApplied += entries
+	if downPanic != nil {
+		// Re-raise the worker panic on the booting goroutine so the
+		// caller sees the same unwind as with serial recovery.
+		panic(downPanic)
 	}
 	d.persist()
 }
 
-func (d *Daemon) recoverLogSpace(ls *LogSpaceRec) {
+// conflictGroups partitions spaces (already in deterministic order)
+// such that any two spaces whose pending log entries target a common
+// pool share a group. Groups replay serially inside one worker;
+// distinct groups replay concurrently. Grouping is by actual replay
+// targets, not credential capability — superuser-registered spaces
+// that never touch each other's pools still run in parallel.
+func (d *Daemon) conflictGroups(spaces []*LogSpaceRec) [][]*LogSpaceRec {
+	n := len(spaces)
+	if n <= 1 {
+		if n == 0 {
+			return nil
+		}
+		return [][]*LogSpaceRec{spaces}
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	targets := make([]map[uid.UUID]bool, n)
+	for i, ls := range spaces {
+		targets[i] = d.replayTargets(ls)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for u := range targets[j] {
+				if targets[i][u] {
+					ri, rj := find(i), find(j)
+					if ri != rj {
+						parent[rj] = ri
+					}
+					break
+				}
+			}
+		}
+	}
+	idx := make(map[int]int)
+	var out [][]*LogSpaceRec
+	for i, ls := range spaces {
+		r := find(i)
+		g, ok := idx[r]
+		if !ok {
+			g = len(out)
+			idx[r] = g
+			out = append(out, nil)
+		}
+		out[g] = append(out[g], ls)
+	}
+	return out
+}
+
+// replayTargets returns the set of pools the space's pending entries
+// would write to. A superset is fine (it only costs parallelism);
+// entries outside any registered puddle are filtered at replay and
+// cannot conflict.
+func (d *Daemon) replayTargets(ls *LogSpaceRec) map[uid.UUID]bool {
+	out := make(map[uid.UUID]bool)
+	p, err := puddle.Open(d.dev, pmem.Addr(ls.Addr))
+	if err != nil {
+		return out
+	}
+	space, err := plog.OpenLogSpace(p)
+	if err != nil {
+		return out
+	}
+	var last *PuddleRec
+	for _, head := range space.Logs() {
+		l, err := plog.OpenLog(d.dev, head)
+		if err != nil || !l.Pending() {
+			continue
+		}
+		for _, e := range l.Entries() {
+			if last != nil && uint64(e.Addr) >= last.Addr && uint64(e.Addr) < last.Addr+last.Size {
+				continue // same puddle as the previous entry
+			}
+			for _, rec := range d.st.Puddles {
+				if uint64(e.Addr) >= rec.Addr && uint64(e.Addr) < rec.Addr+rec.Size {
+					out[rec.Pool] = true
+					last = rec
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// recoverLogSpace replays one registered log space and returns the
+// number of logs replayed and entries applied. Safe to call from
+// concurrent recovery workers: it only reads daemon state. halt, when
+// set by another worker unwinding from an injected crash, stops the
+// replay between logs — the machine is considered dead.
+func (d *Daemon) recoverLogSpace(ls *LogSpaceRec, halt *atomic.Bool) (logs, entries uint64) {
 	p, err := puddle.Open(d.dev, pmem.Addr(ls.Addr))
 	if err != nil {
 		d.logf("recovery: log space %v unreadable: %v", ls.UUID, err)
-		return
+		return 0, 0
 	}
 	space, err := plog.OpenLogSpace(p)
 	if err != nil {
 		d.logf("recovery: log space %v malformed: %v", ls.UUID, err)
-		return
+		return 0, 0
 	}
 	// Recreate the crashed process's view: recovery may only write
 	// addresses its credentials could write before the crash.
@@ -352,6 +567,9 @@ func (d *Daemon) recoverLogSpace(ls *LogSpaceRec) {
 		return d.credsCanWriteAddr(ls.Creds, e.Addr, len(e.Data))
 	}
 	for _, head := range space.Logs() {
+		if halt != nil && halt.Load() {
+			return logs, entries
+		}
 		l, err := plog.OpenLog(d.dev, head)
 		if err != nil {
 			d.logf("recovery: log at %#x unreadable: %v", uint64(head), err)
@@ -361,10 +579,11 @@ func (d *Daemon) recoverLogSpace(ls *LogSpaceRec) {
 			continue
 		}
 		n := l.Replay(true, filter)
-		d.st.LogsReplayed++
-		d.st.EntriesApplied += uint64(n)
+		logs++
+		entries += uint64(n)
 		d.logf("recovery: replayed log at %#x (%d entries)", uint64(head), n)
 	}
+	return logs, entries
 }
 
 // credsCanWriteAddr reports whether creds could write [addr, addr+n):

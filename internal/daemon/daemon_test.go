@@ -446,3 +446,35 @@ func TestCheckPerm(t *testing.T) {
 		}
 	}
 }
+
+func TestRecoveryWorkerCount(t *testing.T) {
+	d, err := New(pmem.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.workerCount(100); got < 1 || got > maxRecoveryWorkers {
+		t.Fatalf("default workerCount(100) = %d, want 1..%d", got, maxRecoveryWorkers)
+	}
+	if got := d.workerCount(0); got != 1 {
+		t.Fatalf("workerCount(0) = %d, want 1", got)
+	}
+
+	d3, err := New(pmem.New(), WithRecoveryWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d3.workerCount(100); got != 3 {
+		t.Fatalf("explicit workerCount(100) = %d, want 3", got)
+	}
+	if got := d3.workerCount(2); got != 2 {
+		t.Fatalf("workerCount clamps to pending spaces: got %d, want 2", got)
+	}
+
+	serial, err := New(pmem.New(), WithRecoveryWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := serial.workerCount(100); got != 1 {
+		t.Fatalf("serial workerCount(100) = %d, want 1", got)
+	}
+}

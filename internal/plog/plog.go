@@ -324,6 +324,11 @@ func (l *Log) Replay(system bool, applyFilter func(Entry) bool) int {
 	applied := 0
 	if lo != hi {
 		entries := l.Entries()
+		// Flushes are write-combined: entries from one transaction often
+		// target the same or neighbouring cachelines (undo+redo pairs,
+		// repeated updates), and nothing needs to be durable until the
+		// single fence below, so one coalesced flush pass suffices.
+		var fs pmem.FlushSet
 		apply := func(e Entry) {
 			if e.Seq < lo || e.Seq >= hi {
 				return
@@ -335,7 +340,7 @@ func (l *Log) Replay(system bool, applyFilter func(Entry) bool) int {
 				return
 			}
 			l.dev.Store(e.Addr, e.Data)
-			l.dev.Flush(e.Addr, len(e.Data))
+			fs.Add(e.Addr, len(e.Data))
 			applied++
 		}
 		for i := len(entries) - 1; i >= 0; i-- {
@@ -348,6 +353,7 @@ func (l *Log) Replay(system bool, applyFilter func(Entry) bool) int {
 				apply(e)
 			}
 		}
+		fs.Flush(l.dev)
 		l.dev.Fence()
 	}
 	l.Reset()

@@ -1,0 +1,99 @@
+package pmem
+
+import "sort"
+
+// FlushSet is a write-combining buffer for cacheline flushes (clwb).
+//
+// Callers record every range they intend to persist with Add and issue
+// the whole batch with Flush. Ranges are rounded to 64-byte cachelines,
+// and overlapping or adjacent lines are merged, so a transaction that
+// dirties the same line many times — or dirties neighbouring fields of
+// one object through separate log entries — pays for one flush per
+// distinct line run instead of one per store. This is the MOD-style
+// "minimize ordering points" optimisation: on real hardware each
+// redundant clwb costs a round trip to the cache hierarchy, and the
+// paper's hybrid commit (Fig. 7) sits directly on this path.
+//
+// A FlushSet is not safe for concurrent use; transactions are
+// thread-local (see core.Tx) so each commit owns its set.
+type FlushSet struct {
+	ranges   []Range // line-aligned; sorted and merged lazily at Flush
+	requests uint64  // Add calls since the last Flush/Reset
+}
+
+// Add records [addr, addr+n) for flushing, rounded out to cacheline
+// boundaries. Zero- and negative-length ranges are ignored.
+func (fs *FlushSet) Add(addr Addr, n int) {
+	if n <= 0 {
+		return
+	}
+	fs.requests++
+	start := addr &^ (LineSize - 1)
+	end := (addr + Addr(n) + LineSize - 1) &^ (LineSize - 1)
+	// Fast path: extend the previous range when the workload appends in
+	// address order (log writes, sequential object updates).
+	if k := len(fs.ranges); k > 0 {
+		last := &fs.ranges[k-1]
+		if start >= last.Start && start <= last.End {
+			if end > last.End {
+				last.End = end
+			}
+			return
+		}
+	}
+	fs.ranges = append(fs.ranges, Range{Start: start, End: end})
+}
+
+// Empty reports whether the set holds no pending ranges.
+func (fs *FlushSet) Empty() bool { return len(fs.ranges) == 0 }
+
+// Pending returns the number of distinct flushes the set would issue
+// now: its ranges after sorting and merging. The recorded coverage is
+// left untouched (merging happens on a copy).
+func (fs *FlushSet) Pending() int {
+	cp := FlushSet{ranges: append([]Range(nil), fs.ranges...)}
+	return len(cp.merged())
+}
+
+// merged returns the coalesced ranges in ascending order. The receiver's
+// slice is sorted in place; merging overwrites its prefix, which is safe
+// because Flush resets the set immediately after.
+func (fs *FlushSet) merged() []Range {
+	if len(fs.ranges) <= 1 {
+		return fs.ranges
+	}
+	sort.Slice(fs.ranges, func(i, j int) bool { return fs.ranges[i].Start < fs.ranges[j].Start })
+	out := fs.ranges[:1]
+	for _, r := range fs.ranges[1:] {
+		last := &out[len(out)-1]
+		if r.Start <= last.End { // overlapping or line-adjacent
+			if r.End > last.End {
+				last.End = r.End
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Flush coalesces the recorded ranges and issues one Device.Flush per
+// maximal run of contiguous cachelines, then resets the set. It returns
+// the number of flushes issued. The device's coalescing counters are
+// updated with the batch (requests in, flushes out).
+func (fs *FlushSet) Flush(d *Device) int {
+	m := fs.merged()
+	for _, r := range m {
+		d.Flush(r.Start, int(r.Size()))
+	}
+	issued := len(m)
+	d.noteCoalescing(fs.requests, uint64(issued))
+	fs.Reset()
+	return issued
+}
+
+// Reset discards all pending ranges without flushing.
+func (fs *FlushSet) Reset() {
+	fs.ranges = fs.ranges[:0]
+	fs.requests = 0
+}

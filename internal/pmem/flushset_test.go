@@ -1,0 +1,111 @@
+package pmem
+
+import "testing"
+
+func TestFlushSetMergesOverlapAndAdjacency(t *testing.T) {
+	d := New()
+	var fs FlushSet
+
+	// Same cacheline twice, overlapping bytes.
+	fs.Add(0x1000, 8)
+	fs.Add(0x1004, 8)
+	// Adjacent line: merges into one run.
+	fs.Add(0x1040, 64)
+	// Disjoint line far away.
+	fs.Add(0x9000, 8)
+	if got := fs.Pending(); got != 2 {
+		t.Fatalf("Pending = %d, want 2 (one 2-line run + one isolated line)", got)
+	}
+	before := d.Stats().Flushes
+	issued := fs.Flush(d)
+	if issued != 2 {
+		t.Fatalf("issued %d flushes, want 2", issued)
+	}
+	if got := d.Stats().Flushes - before; got != 2 {
+		t.Fatalf("device saw %d flushes, want 2", got)
+	}
+	st := d.Stats()
+	if st.FlushRequests != 4 {
+		t.Fatalf("FlushRequests = %d, want 4", st.FlushRequests)
+	}
+	if st.CoalescedFlushes != 2 {
+		t.Fatalf("CoalescedFlushes = %d, want 2", st.CoalescedFlushes)
+	}
+	if !fs.Empty() {
+		t.Fatal("set not reset after Flush")
+	}
+}
+
+func TestFlushSetOutOfOrderRanges(t *testing.T) {
+	d := New()
+	var fs FlushSet
+	// Descending and interleaved adds must still merge into one run.
+	fs.Add(0x2080, 8)
+	fs.Add(0x2000, 8)
+	fs.Add(0x2040, 8)
+	if issued := fs.Flush(d); issued != 1 {
+		t.Fatalf("issued %d flushes, want 1 contiguous run", issued)
+	}
+}
+
+func TestFlushSetSpanningRange(t *testing.T) {
+	d := New()
+	var fs FlushSet
+	// One range spanning many lines is a single flush.
+	fs.Add(0x4001, 1000)
+	fs.Add(0x4100, 4) // inside the span: absorbed
+	if issued := fs.Flush(d); issued != 1 {
+		t.Fatalf("issued %d flushes, want 1", issued)
+	}
+	st := d.Stats()
+	if st.CoalescedFlushes != 1 {
+		t.Fatalf("CoalescedFlushes = %d, want 1", st.CoalescedFlushes)
+	}
+}
+
+func TestFlushSetIgnoresEmptyRanges(t *testing.T) {
+	d := New()
+	var fs FlushSet
+	fs.Add(0x1000, 0)
+	fs.Add(0x1000, -4)
+	if !fs.Empty() {
+		t.Fatal("empty ranges were recorded")
+	}
+	if issued := fs.Flush(d); issued != 0 {
+		t.Fatalf("issued %d flushes from an empty set", issued)
+	}
+}
+
+func TestFlushSetChaosDurability(t *testing.T) {
+	// The coalesced flush must cover every dirtied line: stage writes in
+	// chaos mode, flush through the set, fence, then drop the volatile
+	// overlay. Anything the coalescer missed would read back as zero.
+	dev := NewChaos(1)
+	var fs FlushSet
+	addrs := []Addr{0x1000, 0x1008, 0x1040, 0x1100, 0x8000}
+	for i, a := range addrs {
+		dev.StoreU64(a, uint64(i+1))
+		fs.Add(a, 8)
+	}
+	fs.Flush(dev)
+	dev.Fence()
+	dev.DropVolatile()
+	for i, a := range addrs {
+		if got := dev.LoadU64(a); got != uint64(i+1) {
+			t.Fatalf("addr %#x = %d after drop, want %d (line missed by coalescer)", uint64(a), got, i+1)
+		}
+	}
+}
+
+func TestFlushSetReset(t *testing.T) {
+	d := New()
+	var fs FlushSet
+	fs.Add(0x1000, 8)
+	fs.Reset()
+	if issued := fs.Flush(d); issued != 0 {
+		t.Fatalf("issued %d flushes after Reset", issued)
+	}
+	if st := d.Stats(); st.FlushRequests != 0 {
+		t.Fatalf("FlushRequests = %d after Reset, want 0", st.FlushRequests)
+	}
+}

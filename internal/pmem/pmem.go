@@ -122,6 +122,10 @@ type Stats struct {
 	Flushes uint64 // Flush calls
 	Fences  uint64 // Fence calls
 	Crashes uint64 // Crash calls
+
+	// Write-combining counters, maintained by FlushSet batches.
+	FlushRequests    uint64 // ranges submitted to coalescers
+	CoalescedFlushes uint64 // requests absorbed by merging (requests - issued)
 }
 
 // crashSignal is the panic payload raised when a crash point fires.
@@ -157,9 +161,11 @@ type Device struct {
 	hookRanges []Range
 	hookFn     FaultHandler
 
-	flushes atomic.Uint64
-	fences  atomic.Uint64
-	crashes atomic.Uint64
+	flushes   atomic.Uint64
+	fences    atomic.Uint64
+	crashes   atomic.Uint64
+	flushReqs atomic.Uint64
+	coalesced atomic.Uint64
 }
 
 // New returns a fast-mode device.
@@ -183,9 +189,20 @@ func (d *Device) Mode() Mode { return d.mode }
 // Stats returns a snapshot of the device counters.
 func (d *Device) Stats() Stats {
 	return Stats{
-		Flushes: d.flushes.Load(),
-		Fences:  d.fences.Load(),
-		Crashes: d.crashes.Load(),
+		Flushes:          d.flushes.Load(),
+		Fences:           d.fences.Load(),
+		Crashes:          d.crashes.Load(),
+		FlushRequests:    d.flushReqs.Load(),
+		CoalescedFlushes: d.coalesced.Load(),
+	}
+}
+
+// noteCoalescing records one FlushSet batch: requests submitted and
+// flushes actually issued after write-combining.
+func (d *Device) noteCoalescing(requests, issued uint64) {
+	d.flushReqs.Add(requests)
+	if requests > issued {
+		d.coalesced.Add(requests - issued)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"puddles/internal/baselines/atlas"
 	"puddles/internal/baselines/gopmem"
@@ -578,6 +579,61 @@ func BenchmarkFig12_Scaling(b *testing.B) {
 			}
 			b.ReportMetric(float64(nt*256), "cells/op")
 		})
+	}
+}
+
+// --- concurrent transaction scaling (multi-worker YCSB) ---
+
+// BenchmarkYCSB_Concurrent sweeps worker counts over one latched
+// kvstore on a single Puddles client: N goroutines, one cached log
+// puddle each (paper §4.1), per-bucket latching in the store, and the
+// sharded lock hierarchy underneath. The device models a PM fence
+// stall (DIMM write-queue drain), so scaling measures how much of the
+// persistence latency concurrent transactions overlap — with the old
+// whole-client/whole-pool locks they could overlap none of it.
+func BenchmarkYCSB_Concurrent(b *testing.B) {
+	const (
+		records      = 8192
+		fenceLatency = 6 * time.Microsecond
+	)
+	for _, wname := range []string{"A", "G"} {
+		w, err := ycsb.WorkloadByName(wname)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/%dworkers", wname, workers), func(b *testing.B) {
+				lib, err := puddleslib.New()
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer lib.Close()
+				s, err := kvstore.New(lib, kvstore.Options{Buckets: 1 << 13, ValueSize: 100, LatchStripes: 512})
+				if err != nil {
+					b.Fatal(err)
+				}
+				value := make([]byte, 100)
+				for _, k := range ycsb.LoadKeys(records) {
+					if err := s.Put(k, value); err != nil {
+						b.Fatal(err)
+					}
+				}
+				lib.Device().SetFenceLatency(fenceLatency)
+				opsPer := b.N / workers
+				if opsPer == 0 {
+					opsPer = 1
+				}
+				b.ResetTimer()
+				res, err := ycsb.RunConcurrent(s, w, records, ycsb.ConcurrentOptions{
+					Workers: workers, OpsPerWorker: opsPer, ValueSize: 100, Seed: 42,
+				})
+				b.StopTimer()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.OpsPerSec(), "ops/s")
+			})
+		}
 	}
 }
 

@@ -8,7 +8,7 @@
 //	benchrunner [-scale N] <experiment>
 //
 // Experiments: table1 fig1 table3 daemon reloc crashcheck fig9 fig10
-// fig11 fig12 fig14 all
+// fig11 fig12 fig14 ycsbmt all
 //
 // -scale scales operation counts relative to the paper (default 0.01;
 // 1.0 reproduces the paper's full sizes and takes correspondingly
@@ -26,6 +26,7 @@ import (
 var (
 	scale   = flag.Float64("scale", 0.01, "operation-count scale relative to the paper")
 	threads = flag.String("threads", "1,2,4,8", "thread counts for fig12 (paper sweeps to 40 on a 20-core box)")
+	jsonOut = flag.String("json", "BENCH_2.json", "artifact path for the ycsbmt scaling report")
 )
 
 type experiment struct {
@@ -48,6 +49,7 @@ func main() {
 		{"fig11", "YCSB A-G across five libraries (Figure 11)", runFig11},
 		{"fig12", "multithreaded scaling (Figure 12)", runFig12},
 		{"fig14", "sensor-network aggregation (Figures 13/14)", runFig14},
+		{"ycsbmt", "multi-worker YCSB transaction scaling (emits -json artifact)", runYCSBMT},
 	}
 	want := flag.Arg(0)
 	if want == "" {

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"puddles/internal/baselines/puddleslib"
+	"puddles/internal/kvstore"
+	"puddles/internal/ycsb"
+)
+
+// ycsbmt: multi-worker YCSB over one latched kvstore on one Puddles
+// client — the scaling proof for the sharded client/pool/heap lock
+// hierarchy. Beyond the printed table, the run is written to a JSON
+// artifact (-json, default BENCH_2.json) so CI and later PRs can diff
+// single- vs multi-worker throughput.
+
+type ycsbmtPoint struct {
+	Workload  string  `json:"workload"`
+	Workers   int     `json:"workers"`
+	Ops       uint64  `json:"ops"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Speedup   float64 `json:"speedup_vs_1_worker"`
+}
+
+type ycsbmtReport struct {
+	Benchmark    string        `json:"benchmark"`
+	Records      uint64        `json:"records"`
+	FenceLatency string        `json:"fence_latency"`
+	LatchStripes int           `json:"latch_stripes"`
+	Results      []ycsbmtPoint `json:"results"`
+}
+
+func runYCSBMT() error {
+	const (
+		records      = 8192
+		stripes      = 512
+		fenceLatency = 6 * time.Microsecond
+	)
+	opsPerWorkerBase := scaled(400000) // paper-scale op counts, -scale adjusted
+	report := ycsbmtReport{
+		Benchmark:    "ycsb_concurrent",
+		Records:      records,
+		FenceLatency: fenceLatency.String(),
+		LatchStripes: stripes,
+	}
+	header := []string{"workload", "workers", "ops", "time", "ops/s", "speedup"}
+	var rows [][]string
+	for _, wname := range []string{"A", "G"} {
+		w, err := ycsb.WorkloadByName(wname)
+		if err != nil {
+			return err
+		}
+		var base float64
+		for _, workers := range []int{1, 2, 4, 8} {
+			lib, err := puddleslib.New()
+			if err != nil {
+				return err
+			}
+			s, err := kvstore.New(lib, kvstore.Options{Buckets: 1 << 13, ValueSize: 100, LatchStripes: stripes})
+			if err != nil {
+				lib.Close()
+				return err
+			}
+			value := make([]byte, 100)
+			for _, k := range ycsb.LoadKeys(records) {
+				if err := s.Put(k, value); err != nil {
+					lib.Close()
+					return err
+				}
+			}
+			lib.Device().SetFenceLatency(fenceLatency)
+			res, err := ycsb.RunConcurrent(s, w, records, ycsb.ConcurrentOptions{
+				Workers:      workers,
+				OpsPerWorker: opsPerWorkerBase / workers,
+				ValueSize:    100,
+				Seed:         42,
+			})
+			lib.Close()
+			if err != nil {
+				return err
+			}
+			ops := res.OpsPerSec()
+			if workers == 1 {
+				base = ops
+			}
+			speedup := 0.0
+			if base > 0 {
+				speedup = ops / base
+			}
+			report.Results = append(report.Results, ycsbmtPoint{
+				Workload: wname, Workers: workers, Ops: res.Ops,
+				Seconds: res.Duration.Seconds(), OpsPerSec: ops, Speedup: speedup,
+			})
+			rows = append(rows, []string{
+				wname, fmt.Sprint(workers), fmt.Sprint(res.Ops),
+				res.Duration.Round(time.Millisecond).String(),
+				fmt.Sprintf("%.0f", ops), fmt.Sprintf("%.2fx", speedup),
+			})
+		}
+	}
+	table(header, rows)
+	blob, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*jsonOut, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *jsonOut)
+	return nil
+}

@@ -18,6 +18,7 @@ package alloc
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"puddles/internal/pmem"
 	"puddles/internal/ptypes"
@@ -114,25 +115,118 @@ type slabKey struct {
 	class  uint32
 }
 
+// freeList is one order's free set: a slice giving deterministic pop
+// order plus a position index, so membership tests and arbitrary
+// removals (buddy detach during merge) are O(1) instead of a linear
+// scan over the whole list.
+type freeList struct {
+	items []uint64
+	pos   map[uint64]int
+}
+
+func (f *freeList) len() int { return len(f.items) }
+
+func (f *freeList) push(idx uint64) {
+	if f.pos == nil {
+		f.pos = make(map[uint64]int)
+	}
+	f.pos[idx] = len(f.items)
+	f.items = append(f.items, idx)
+}
+
+// pop removes and returns the most recently pushed block.
+func (f *freeList) pop() uint64 {
+	idx := f.items[len(f.items)-1]
+	f.items = f.items[:len(f.items)-1]
+	delete(f.pos, idx)
+	return idx
+}
+
+// remove detaches a specific block, reporting whether it was present.
+// The vacated slot is filled by the last element (order of the free
+// list is not meaningful beyond determinism).
+func (f *freeList) remove(idx uint64) bool {
+	i, ok := f.pos[idx]
+	if !ok {
+		return false
+	}
+	last := len(f.items) - 1
+	moved := f.items[last]
+	f.items[i] = moved
+	f.pos[moved] = i
+	f.items = f.items[:last]
+	delete(f.pos, idx)
+	return true
+}
+
+func (f *freeList) has(idx uint64) bool {
+	_, ok := f.pos[idx]
+	return ok
+}
+
+func (f *freeList) reset() {
+	f.items = f.items[:0]
+	for k := range f.pos {
+		delete(f.pos, k)
+	}
+}
+
 // Heap manages one puddle's heap.
+//
+// Concurrency: every exported method takes the heap's own mutex, so a
+// Heap is safe for concurrent use by multiple goroutines — allocation
+// safety lives with the heap, not with the owning pool. Transactions
+// need a stronger guarantee than per-call atomicity: allocator
+// metadata is undo-logged, so two in-flight transactions interleaving
+// on one heap would capture each other's uncommitted metadata bytes in
+// their undo logs, making abort rollback (and multi-log crash
+// recovery) unsound. The lease (Lease/TryLease/Unlease) grants that
+// transaction-scope exclusivity; see the method comments.
 type Heap struct {
 	P   *puddle.Puddle
 	dev *pmem.Device
 
+	mu       sync.Mutex
 	blocks   uint64
-	order    [maxOrder + 1][]uint64 // free lists: block indexes
+	order    [maxOrder + 1]freeList // per-order free sets
 	slabs    map[slabKey][]pmem.Addr
 	liveObjs uint64
 	freeBlks uint64
+
+	lease chan struct{} // transaction-scope ownership token
 }
 
 // NewHeap opens the heap of a formatted puddle, rebuilding volatile
 // state (free lists, slab indexes) from the persistent block map.
 func NewHeap(p *puddle.Puddle) *Heap {
-	h := &Heap{P: p, dev: p.Dev, blocks: p.Blocks(), slabs: make(map[slabKey][]pmem.Addr)}
+	h := &Heap{
+		P: p, dev: p.Dev, blocks: p.Blocks(),
+		slabs: make(map[slabKey][]pmem.Addr),
+		lease: make(chan struct{}, 1),
+	}
 	h.rescan()
 	return h
 }
+
+// Lease blocks until the caller holds transaction-scope ownership of
+// the heap. While leased, only the owner may run mutating operations
+// (Alloc/AllocLarge/Free/Rescan); the per-call mutex alone is not
+// enough for transactions because their undo logs must not cover
+// metadata bytes another in-flight transaction is mutating.
+func (h *Heap) Lease() { h.lease <- struct{}{} }
+
+// TryLease acquires the lease without blocking, reporting success.
+func (h *Heap) TryLease() bool {
+	select {
+	case h.lease <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Unlease releases a lease taken with Lease or TryLease.
+func (h *Heap) Unlease() { <-h.lease }
 
 // Format initialises an empty heap: the block map is carved into the
 // largest aligned buddy blocks that fit, all free.
@@ -176,13 +270,17 @@ func (h *Heap) blockIdx(addr pmem.Addr) uint64 {
 // Rescan rebuilds the volatile free lists and slab index from the
 // persistent block map. Transactions call it after an abort rolls the
 // block map back underneath the volatile state.
-func (h *Heap) Rescan() { h.rescan() }
+func (h *Heap) Rescan() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.rescan()
+}
 
 // rescan rebuilds the volatile free lists and slab index from the
 // persistent block map (done on every open, like PMDK).
 func (h *Heap) rescan() {
 	for o := range h.order {
-		h.order[o] = h.order[o][:0]
+		h.order[o].reset()
 	}
 	h.slabs = make(map[slabKey][]pmem.Addr)
 	h.liveObjs = 0
@@ -199,7 +297,7 @@ func (h *Heap) rescan() {
 		o := uint(b & bmOrder)
 		switch {
 		case b&bmAlloc == 0:
-			h.order[o] = append(h.order[o], i)
+			h.order[o].push(i)
 			h.freeBlks += 1 << o
 		case b&bmSlab != 0:
 			h.scanSlab(h.blockAddr(i))
@@ -292,28 +390,25 @@ func (h *Heap) allocBlock(m Mutator, want uint) (uint64, error) {
 	var o uint
 	if b0 := h.dev.LoadU8(h.bmAddr(0)); b0&bmStart != 0 && b0&bmAlloc == 0 && uint(b0&bmOrder) >= want {
 		o = uint(b0 & bmOrder)
-		pos := h.findFree(o, 0)
-		if pos < 0 {
+		if !h.order[o].remove(0) {
 			return 0, fmt.Errorf("alloc: free list desynchronized at block 0")
 		}
-		h.order[o] = append(h.order[o][:pos], h.order[o][pos+1:]...)
 	} else {
 		o = want
-		for o <= maxOrder && len(h.order[o]) == 0 {
+		for o <= maxOrder && h.order[o].len() == 0 {
 			o++
 		}
 		if o > maxOrder {
 			return 0, ErrNoSpace
 		}
-		idx = h.order[o][len(h.order[o])-1]
-		h.order[o] = h.order[o][:len(h.order[o])-1]
+		idx = h.order[o].pop()
 	}
 	// Split down to the requested order, keeping the low half.
 	for o > want {
 		o--
 		buddy := idx + (1 << o)
 		m.Write(h.bmAddr(buddy), []byte{bmStart | byte(o)})
-		h.order[o] = append(h.order[o], buddy)
+		h.order[o].push(buddy)
 	}
 	h.freeBlks -= 1 << want
 	return idx, nil
@@ -327,12 +422,10 @@ func (h *Heap) freeBlock(m Mutator, idx uint64, o uint) {
 		if buddy >= h.blocks {
 			break
 		}
-		pos := h.findFree(o, buddy)
-		if pos < 0 {
+		// Detach the buddy and merge; O(1) via the position index.
+		if !h.order[o].remove(buddy) {
 			break
 		}
-		// Detach the buddy and merge.
-		h.order[o] = append(h.order[o][:pos], h.order[o][pos+1:]...)
 		lo := idx
 		if buddy < idx {
 			lo = buddy
@@ -343,16 +436,7 @@ func (h *Heap) freeBlock(m Mutator, idx uint64, o uint) {
 		o++
 	}
 	m.Write(h.bmAddr(idx), []byte{bmStart | byte(o)})
-	h.order[o] = append(h.order[o], idx)
-}
-
-func (h *Heap) findFree(o uint, idx uint64) int {
-	for i, v := range h.order[o] {
-		if v == idx {
-			return i
-		}
-	}
-	return -1
+	h.order[o].push(idx)
 }
 
 // orderForBytes returns the smallest order whose block holds n bytes.
@@ -370,16 +454,24 @@ func (h *Heap) Alloc(m Mutator, typeID ptypes.TypeID, size uint32) (pmem.Addr, e
 	if size == 0 {
 		return 0, ErrBadSize
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if class, ok := classFor(size); ok {
 		return h.allocSmall(m, typeID, class)
 	}
-	return h.AllocLarge(m, typeID, size)
+	return h.allocLarge(m, typeID, size)
 }
 
 // AllocLarge always uses the buddy path, even for small sizes. The
 // pool root object is allocated this way so it lands at the fixed root
 // offset (paper §4.5).
 func (h *Heap) AllocLarge(m Mutator, typeID ptypes.TypeID, size uint32) (pmem.Addr, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.allocLarge(m, typeID, size)
+}
+
+func (h *Heap) allocLarge(m Mutator, typeID ptypes.TypeID, size uint32) (pmem.Addr, error) {
 	need := uint64(size) + ObjHdrSize
 	o := orderForBytes(need)
 	if o > maxOrder || uint64(puddle.BlockSize)<<o > h.P.HeapSize() {
@@ -486,6 +578,8 @@ func (h *Heap) Free(m Mutator, addr pmem.Addr) error {
 	if addr < h.P.HeapBase() || addr >= h.P.Base+pmem.Addr(h.P.Size()) {
 		return ErrBadFree
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	idx := h.blockIdx(addr)
 	start, b, ok := h.findStart(idx)
 	if !ok || b&bmAlloc == 0 {
@@ -553,8 +647,12 @@ type Object struct {
 
 // Objects calls fn for every live object in the heap, in address
 // order. Iteration stops if fn returns false. This is the enumeration
-// the relocation engine uses to find pointers (paper §4.2).
+// the relocation engine uses to find pointers (paper §4.2). The heap
+// lock is held for the duration: fn must not call back into the same
+// Heap.
 func (h *Heap) Objects(fn func(Object) bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	bm := make([]byte, h.blocks)
 	h.dev.Load(h.P.BlockMapAddr(), bm)
 	var i uint64
@@ -593,6 +691,8 @@ func (h *Heap) Objects(fn func(Object) bool) {
 
 // SizeOf returns the payload size of the object at addr.
 func (h *Heap) SizeOf(addr pmem.Addr) (uint32, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	idx := h.blockIdx(addr)
 	start, b, ok := h.findStart(idx)
 	if !ok || b&bmAlloc == 0 {
@@ -607,6 +707,8 @@ func (h *Heap) SizeOf(addr pmem.Addr) (uint32, error) {
 
 // TypeOf returns the type ID of the object at addr.
 func (h *Heap) TypeOf(addr pmem.Addr) (ptypes.TypeID, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	idx := h.blockIdx(addr)
 	start, b, ok := h.findStart(idx)
 	if !ok || b&bmAlloc == 0 {
@@ -621,19 +723,29 @@ func (h *Heap) TypeOf(addr pmem.Addr) (ptypes.TypeID, error) {
 
 // FreeBytes returns a lower bound on allocatable bytes (free buddy
 // blocks; slack inside slabs is not counted).
-func (h *Heap) FreeBytes() uint64 { return h.freeBlks * puddle.BlockSize }
+func (h *Heap) FreeBytes() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.freeBlks * puddle.BlockSize
+}
 
 // LiveObjects returns the number of live allocations.
-func (h *Heap) LiveObjects() uint64 { return h.liveObjs }
+func (h *Heap) LiveObjects() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.liveObjs
+}
 
 // Validate checks heap invariants (block map consistency, no
 // overlapping blocks, free-list accuracy) for tests.
 func (h *Heap) Validate() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	bm := make([]byte, h.blocks)
 	h.dev.Load(h.P.BlockMapAddr(), bm)
 	free := make(map[uint64]uint)
-	for o, lst := range h.order {
-		for _, idx := range lst {
+	for o := range h.order {
+		for _, idx := range h.order[o].items {
 			if _, dup := free[idx]; dup {
 				return fmt.Errorf("block %d on two free lists", idx)
 			}

@@ -1,0 +1,127 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+
+	"puddles/internal/core"
+	"puddles/internal/daemon"
+	"puddles/internal/pmem"
+)
+
+// InFlightResult summarizes one multi-transaction crash run.
+type InFlightResult struct {
+	Workers      int
+	LogsReplayed uint64
+	Entries      uint64
+}
+
+// CrashManyInFlight is the multi-transaction counterpart of Sweep:
+// `workers` goroutines each open a transaction against one pool,
+// undo-log and overwrite a private region of the root object, and
+// park mid-transaction — never committing. The device then power-
+// fails (CrashNow resolves each volatile cacheline by coin flip, or
+// drops them all when adversarial is set), the daemon reboots, and
+// application-independent recovery must roll every in-flight
+// transaction back from its own cached log puddle. Returns an error
+// on any surviving partial write.
+func CrashManyInFlight(workers, cellsPerTx int, adversarial bool, seed int64) (InFlightResult, error) {
+	res := InFlightResult{Workers: workers}
+	dev := pmem.NewChaos(seed)
+	d, err := daemon.New(dev)
+	if err != nil {
+		return res, fmt.Errorf("boot: %w", err)
+	}
+	c := core.ConnectLocal(d)
+	pool, err := c.CreatePool("chaos-mt", 0)
+	if err != nil {
+		return res, fmt.Errorf("pool: %w", err)
+	}
+	ti, err := c.RegisterType("chaos.mtcells", uint32(workers*cellsPerTx*8), nil)
+	if err != nil {
+		return res, err
+	}
+	root, err := pool.CreateRoot(ti.ID, uint32(workers*cellsPerTx*8))
+	if err != nil {
+		return res, err
+	}
+	cell := func(w, i int) pmem.Addr { return root + pmem.Addr((w*cellsPerTx+i)*8) }
+	initial := func(w, i int) uint64 { return uint64(w)*1000 + uint64(i) + 7 }
+	for w := 0; w < workers; w++ {
+		for i := 0; i < cellsPerTx; i++ {
+			dev.StoreU64(cell(w, i), initial(w, i))
+		}
+	}
+	dev.Persist(root, workers*cellsPerTx*8)
+
+	// Phase 1: run every transaction to a parked mid-flight state. Each
+	// acquires its own log puddle (the paper's per-thread cache), so the
+	// crash leaves `workers` live logs behind.
+	var (
+		wg      sync.WaitGroup
+		ready   sync.WaitGroup
+		abandon = make(chan struct{})
+		txErrs  = make([]error, workers)
+	)
+	ready.Add(workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tx := c.Begin(pool)
+			for i := 0; i < cellsPerTx; i++ {
+				if err := tx.SetU64(cell(w, i), 0xdead<<32|uint64(w)); err != nil {
+					txErrs[w] = err
+					break
+				}
+			}
+			ready.Done()
+			<-abandon // park in-flight; never commit or abort
+		}(w)
+	}
+	ready.Wait()
+	close(abandon)
+	wg.Wait()
+	for w, err := range txErrs {
+		if err != nil {
+			return res, fmt.Errorf("worker %d mutate: %w", w, err)
+		}
+	}
+
+	// Phase 2: power failure with every transaction in flight.
+	if adversarial {
+		dev.DropVolatile()
+	} else {
+		dev.CrashNow()
+	}
+
+	// Phase 3: reboot. Recovery runs inside daemon.New, before any
+	// application maps the data.
+	d2, err := daemon.New(dev)
+	if err != nil {
+		return res, fmt.Errorf("reboot: %w", err)
+	}
+	c2 := core.ConnectLocal(d2)
+	defer c2.Close()
+	if _, err := c2.OpenPool("chaos-mt"); err != nil {
+		return res, fmt.Errorf("reopen: %w", err)
+	}
+	st, err := c2.Stats()
+	if err != nil {
+		return res, err
+	}
+	res.LogsReplayed = st.LogsReplayed
+	res.Entries = st.EntriesApplied
+	if st.Recoveries == 0 {
+		return res, fmt.Errorf("daemon did not run recovery after dirty shutdown")
+	}
+	for w := 0; w < workers; w++ {
+		for i := 0; i < cellsPerTx; i++ {
+			if got := dev.LoadU64(cell(w, i)); got != initial(w, i) {
+				return res, fmt.Errorf("worker %d cell %d = %#x after recovery, want %#x (in-flight tx not rolled back)",
+					w, i, got, initial(w, i))
+			}
+		}
+	}
+	return res, nil
+}

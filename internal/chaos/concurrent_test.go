@@ -1,0 +1,24 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCrashManyInFlight(t *testing.T) {
+	for _, workers := range []int{2, 4, 8} {
+		for _, adversarial := range []bool{false, true} {
+			name := fmt.Sprintf("workers-%d/adversarial-%v", workers, adversarial)
+			t.Run(name, func(t *testing.T) {
+				res, err := CrashManyInFlight(workers, 6, adversarial, int64(workers)*31+1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.LogsReplayed < uint64(workers) {
+					t.Fatalf("recovery replayed %d logs, want >= %d (one per in-flight transaction)",
+						res.LogsReplayed, workers)
+				}
+			})
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"puddles/internal/alloc"
 	"puddles/internal/daemon"
@@ -30,26 +31,44 @@ var (
 	ErrHasRoot     = errors.New("core: pool already has a root object")
 	ErrNotImported = errors.New("core: pool is not an in-progress import")
 	ErrImported    = errors.New("core: imported pool must be finalized before writing")
+	// ErrLogRelease wraps a failure to return a transaction log to the
+	// daemon (the cache-ablated OpFreePuddle round trip). A commit that
+	// returns it is still durably committed; only log cleanup failed.
+	ErrLogRelease = errors.New("core: releasing transaction log")
 )
 
 // Client is a Libpuddles instance: one application's connection to
 // Puddled plus its view of the global puddle space.
+//
+// Locking: the client's hot-path state is split across dedicated
+// locks so independent transactions proceed in parallel — idxMu (an
+// RWMutex; heapAt read-locks it on every address lookup), logMu (the
+// per-client log-puddle cache, so acquireLog/releaseLog never contend
+// with address lookups), an atomic bump cursor for the volatile
+// arena, and mu, which now guards only the cold import-session and
+// fault-hook state.
 type Client struct {
 	conn  *proto.Conn
 	dev   *pmem.Device
 	types *ptypes.Registry
 
-	mu          sync.Mutex
+	mu         sync.Mutex
+	imports    map[uint64]*importState
+	armed      map[pmem.Addr]*importPud    // fault-range start -> frontier puddle
+	armedOwner map[*importPud]*importState // frontier puddle -> owning session
+	hookArmed  bool
+
+	idxMu    sync.RWMutex
+	rangeIdx []heapRange // sorted index of data-puddle ranges
+
+	logMu       sync.Mutex
 	logPool     *Pool // hidden pool owning log and log-space puddles
 	logSpace    *plog.LogSpace
 	freeLogs    []*txLog
-	imports     map[uint64]*importState
-	armed       map[pmem.Addr]*importPud    // fault-range start -> frontier puddle
-	armedOwner  map[*importPud]*importState // frontier puddle -> owning session
-	hookArmed   bool
-	logCacheOff bool        // ablation switch (SetLogCache)
-	rangeIdx    []heapRange // sorted index of data-puddle ranges
-	volatileAt  pmem.Addr   // bump cursor for the volatile arena
+	logCacheOff bool // ablation switch (SetLogCache)
+
+	releaseErrs atomic.Uint64 // failed log releases (see ErrLogRelease)
+	volatileAt  atomic.Uint64 // bump cursor for the volatile arena
 }
 
 // heapRange indexes a mapped data puddle for address->heap lookups.
@@ -69,13 +88,15 @@ type txLog struct {
 // Connect wraps an established daemon connection. dev must be the
 // device the daemon manages (the DAX-mapping stand-in).
 func Connect(conn *proto.Conn, dev *pmem.Device) *Client {
-	return &Client{
+	c := &Client{
 		conn:    conn,
 		dev:     dev,
 		types:   ptypes.NewRegistry(),
 		imports: make(map[uint64]*importState),
 		armed:   make(map[pmem.Addr]*importPud),
 	}
+	c.volatileAt.Store(uint64(daemon.VolatileBase))
+	return c
 }
 
 // ConnectLocal boots an in-process connection to d.
@@ -160,34 +181,40 @@ func (c *Client) MirrorTypes() error {
 
 // VolatileAlloc hands out space in the volatile arena — the "DRAM"
 // region transactions may log with FlagVolatile entries (§4.1). Its
-// contents are never recovered by the daemon.
+// contents are never recovered by the daemon. The cursor is a lock-
+// free atomic bump, so concurrent transactions never serialize here.
 func (c *Client) VolatileAlloc(size int) pmem.Addr {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.volatileAt == 0 {
-		c.volatileAt = daemon.VolatileBase
-	}
-	a := c.volatileAt
-	c.volatileAt += pmem.Addr((size + 7) &^ 7)
-	return a
+	n := uint64((size + 7) &^ 7)
+	return pmem.Addr(c.volatileAt.Add(n) - n)
 }
 
 // --- pools ---
 
 // Pool is a named collection of puddles with a designated root puddle
 // (paper §4.4). Objects allocate from any member puddle with space.
+//
+// Locking: mu guards membership only (root, member puddles, heaps,
+// the puddle→heap map, import state). Allocation is routed to the
+// per-heap locks and leases in internal/alloc, with a rotating start
+// heap so concurrent allocators spread across member puddles instead
+// of convoying on heap 0; growth (a daemon round trip) serializes on
+// growMu so racing allocators don't double-grow the pool.
 type Pool struct {
 	c        *Client
 	Name     string
 	UUID     uid.UUID
 	Writable bool
 
-	mu      sync.Mutex
-	root    *puddle.Puddle
-	puddles []*puddle.Puddle
-	heaps   []*alloc.Heap
+	mu        sync.Mutex
+	root      *puddle.Puddle
+	puddles   []*puddle.Puddle
+	heaps     []*alloc.Heap
+	heapByPud map[*puddle.Puddle]*alloc.Heap
 
 	imported *importState // non-nil while a lazy import is in progress
+
+	nextHeap atomic.Uint32
+	growMu   sync.Mutex
 }
 
 // CreatePool creates a pool with the given UNIX-style mode (0 means
@@ -227,29 +254,43 @@ func (c *Client) buildPool(name string, resp *proto.Response) (*Pool, error) {
 	return p, nil
 }
 
-// attach maps a data puddle into the pool (heap scan + range index).
+// attach maps a data puddle into the pool (heap scan, puddle→heap
+// map, range index).
 func (p *Pool) attach(pd *puddle.Puddle) {
-	p.puddles = append(p.puddles, pd)
+	var h *alloc.Heap
 	if pd.Kind() == puddle.KindData {
-		h := alloc.NewHeap(pd)
+		h = alloc.NewHeap(pd)
+	}
+	p.mu.Lock()
+	p.puddles = append(p.puddles, pd)
+	if h != nil {
 		p.heaps = append(p.heaps, h)
+		if p.heapByPud == nil {
+			p.heapByPud = make(map[*puddle.Puddle]*alloc.Heap)
+		}
+		p.heapByPud[pd] = h
+	}
+	p.mu.Unlock()
+	if h != nil {
 		p.c.indexHeap(pd.Range(), p, h)
 	}
 }
 
 func (c *Client) indexHeap(r pmem.Range, p *Pool, h *alloc.Heap) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.idxMu.Lock()
+	defer c.idxMu.Unlock()
 	i := sort.Search(len(c.rangeIdx), func(i int) bool { return c.rangeIdx[i].r.Start >= r.Start })
 	c.rangeIdx = append(c.rangeIdx, heapRange{})
 	copy(c.rangeIdx[i+1:], c.rangeIdx[i:])
 	c.rangeIdx[i] = heapRange{r: r, pool: p, heap: h}
 }
 
-// heapAt returns the pool and heap owning addr.
+// heapAt returns the pool and heap owning addr. It is on the path of
+// every transactional free and alloc bookkeeping lookup, so it takes
+// only a read lock.
 func (c *Client) heapAt(addr pmem.Addr) (*Pool, *alloc.Heap, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.idxMu.RLock()
+	defer c.idxMu.RUnlock()
 	i := sort.Search(len(c.rangeIdx), func(i int) bool { return c.rangeIdx[i].r.Start > addr })
 	if i > 0 && c.rangeIdx[i-1].r.Contains(addr) {
 		return c.rangeIdx[i-1].pool, c.rangeIdx[i-1].heap, true
@@ -273,19 +314,24 @@ func (p *Pool) Export() ([]byte, error) {
 }
 
 // CreateRoot allocates the pool's root object at the fixed root offset
-// of the root puddle (paper §4.5) and records its type.
+// of the root puddle (paper §4.5) and records its type. The root
+// heap's lease serializes this against concurrent transactions (and a
+// racing CreateRoot).
 func (p *Pool) CreateRoot(typeID ptypes.TypeID, size uint32) (pmem.Addr, error) {
 	if err := p.writableCheck(); err != nil {
 		return 0, err
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if tid, _ := p.root.RootType(); tid != 0 {
-		return 0, ErrHasRoot
-	}
-	h := p.heapFor(p.root)
+	root := p.root
+	p.mu.Unlock()
+	h := p.heapFor(root)
 	if h == nil {
 		return 0, fmt.Errorf("core: root puddle has no heap")
+	}
+	h.Lease()
+	defer h.Unlease()
+	if tid, _ := root.RootType(); tid != 0 {
+		return 0, ErrHasRoot
 	}
 	addr, err := h.AllocLarge(alloc.Direct{Dev: p.c.dev}, typeID, size)
 	if err != nil {
@@ -293,7 +339,7 @@ func (p *Pool) CreateRoot(typeID ptypes.TypeID, size uint32) (pmem.Addr, error) 
 	}
 	p.c.dev.Zero(addr, int(size))
 	p.c.dev.Persist(addr, int(size))
-	p.root.SetRootType(uint64(typeID), size)
+	root.SetRootType(uint64(typeID), size)
 	return addr, nil
 }
 
@@ -314,30 +360,43 @@ func (p *Pool) RootPuddle() *puddle.Puddle {
 	return p.root
 }
 
+// heapFor resolves a member puddle to its heap via the puddle→heap
+// map (O(1); this replaced a pair of nested linear scans).
 func (p *Pool) heapFor(pd *puddle.Puddle) *alloc.Heap {
-	for i, q := range p.puddles {
-		if q == pd {
-			// heaps parallels the data puddles subset; find by range.
-			for _, h := range p.heaps {
-				if h.P == q {
-					return h
-				}
-			}
-			_ = i
-		}
-	}
-	return nil
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.heapByPud[pd]
 }
 
 func (p *Pool) writableCheck() error {
-	if p.imported != nil {
+	p.mu.Lock()
+	imported := p.imported != nil
+	writable := p.Writable
+	p.mu.Unlock()
+	if imported {
 		return ErrImported
 	}
-	if !p.Writable {
+	if !writable {
 		return ErrReadOnly
 	}
 	return nil
 }
+
+// snapshotHeaps returns the current member heaps. The slice is a
+// private copy; heaps are append-only so iterating it outside p.mu is
+// safe.
+func (p *Pool) snapshotHeaps() []*alloc.Heap {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*alloc.Heap, len(p.heaps))
+	copy(out, p.heaps)
+	return out
+}
+
+// rotation returns the starting heap offset for one allocation
+// attempt, advancing the cursor so concurrent allocators start on
+// different member heaps.
+func (p *Pool) rotation() int { return int(p.nextHeap.Add(1) - 1) }
 
 // Malloc allocates outside a transaction (setup paths). Contents are
 // zeroed and persisted. Prefer Tx.Alloc inside transactions.
@@ -345,48 +404,87 @@ func (p *Pool) Malloc(typeID ptypes.TypeID, size uint32) (pmem.Addr, error) {
 	if err := p.writableCheck(); err != nil {
 		return 0, err
 	}
-	return p.alloc(alloc.Direct{Dev: p.c.dev}, typeID, size, true)
+	return p.allocDirect(typeID, size, true)
 }
 
-// alloc tries every member heap, acquiring a fresh puddle on demand.
-func (p *Pool) alloc(m alloc.Mutator, typeID ptypes.TypeID, size uint32, zero bool) (pmem.Addr, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, h := range p.heaps {
-		a, err := h.Alloc(m, typeID, size)
-		if err == nil {
-			if zero {
-				p.c.dev.Zero(a, int(size))
-				p.c.dev.Persist(a, int(size))
-			}
-			return a, nil
+// allocDirect allocates outside any transaction. Heaps are tried from
+// a rotating start; each attempt briefly takes the heap's lease, so a
+// direct allocation can never interleave with an in-flight
+// transaction's undo-logged metadata on the same heap. Heaps whose
+// lease another transaction holds are skipped, never waited on — a
+// Malloc must not convoy behind (or deadlock with) a long-running
+// transaction when a sibling heap can serve it.
+func (p *Pool) allocDirect(typeID ptypes.TypeID, size uint32, zero bool) (pmem.Addr, error) {
+	m := alloc.Direct{Dev: p.c.dev}
+	finish := func(a pmem.Addr) pmem.Addr {
+		if zero {
+			p.c.dev.Zero(a, int(size))
+			p.c.dev.Persist(a, int(size))
 		}
-		if err != alloc.ErrNoSpace && err != alloc.ErrTooLarge {
+		return a
+	}
+	for {
+		heaps := p.snapshotHeaps()
+		start := p.rotation()
+		for i := range heaps {
+			h := heaps[(start+i)%len(heaps)]
+			if !h.TryLease() {
+				continue // owned by an in-flight transaction
+			}
+			a, err := h.Alloc(m, typeID, size)
+			h.Unlease()
+			if err == nil {
+				return finish(a), nil
+			}
+			if err != alloc.ErrNoSpace && err != alloc.ErrTooLarge {
+				return 0, err
+			}
+		}
+		// Pools automatically acquire new memory (paper §3.1).
+		grown, err := p.grow(len(heaps), size)
+		if err != nil {
 			return 0, err
 		}
+		if grown == nil || !grown.TryLease() {
+			continue // racing allocator grew (or stole the new heap)
+		}
+		// An allocation that fails on a puddle grown for it can never
+		// succeed: return that error rather than growing forever.
+		a, err := grown.Alloc(m, typeID, size)
+		grown.Unlease()
+		if err != nil {
+			return 0, err
+		}
+		return finish(a), nil
 	}
-	// Pools automatically acquire new memory (paper §3.1).
+}
+
+// grow adds a data puddle to the pool unless another allocator
+// already did (heapsSeen is the member count the caller last
+// observed; nil is returned in that case and the caller retries).
+// Growth serializes on growMu, never on p.mu, so the daemon round
+// trip blocks no address lookups or sibling-heap allocations.
+func (p *Pool) grow(heapsSeen int, size uint32) (*alloc.Heap, error) {
+	p.growMu.Lock()
+	defer p.growMu.Unlock()
+	p.mu.Lock()
+	n := len(p.heaps)
+	p.mu.Unlock()
+	if n > heapsSeen {
+		return nil, nil
+	}
 	need := uint64(puddle.DefaultSize)
 	for need < uint64(size)*2+puddle.BlockSize {
 		need *= 2
 	}
-	pd, err := p.growLocked(need)
+	pd, err := p.acquirePuddle(need)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	a, err := p.heaps[len(p.heaps)-1].Alloc(m, typeID, size)
-	if err != nil {
-		return 0, err
-	}
-	_ = pd
-	if zero {
-		p.c.dev.Zero(a, int(size))
-		p.c.dev.Persist(a, int(size))
-	}
-	return a, nil
+	return p.heapFor(pd), nil
 }
 
-func (p *Pool) growLocked(size uint64) (*puddle.Puddle, error) {
+func (p *Pool) acquirePuddle(size uint64) (*puddle.Puddle, error) {
 	resp, err := p.c.conn.RoundTrip(&proto.Request{
 		Op: proto.OpGetNewPuddle, Pool: p.UUID, Size: size, Kind: uint64(puddle.KindData),
 	})
@@ -401,7 +499,11 @@ func (p *Pool) growLocked(size uint64) (*puddle.Puddle, error) {
 	return pd, nil
 }
 
-// Free releases an object outside a transaction.
+// Free releases an object outside a transaction, holding the owning
+// heap's lease for the duration. Unlike allocation it cannot pick a
+// different heap, so it waits for any in-flight transaction that owns
+// this one — do not call it from a goroutine that is itself
+// mid-transaction on the same heap (use Tx.Free there).
 func (p *Pool) Free(addr pmem.Addr) error {
 	if err := p.writableCheck(); err != nil {
 		return err
@@ -410,8 +512,8 @@ func (p *Pool) Free(addr pmem.Addr) error {
 	if !ok {
 		return alloc.ErrBadFree
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	h.Lease()
+	defer h.Unlease()
 	return h.Free(alloc.Direct{Dev: p.c.dev}, addr)
 }
 
@@ -440,9 +542,14 @@ func (p *Pool) LiveObjects() uint64 {
 // ensureLogSpace lazily creates the client's hidden log pool, formats
 // a log-space puddle and registers it with the daemon. This is the
 // one-time setup cost of application-independent recovery (§3.3).
+// Concurrent first transactions serialize on logMu here exactly once.
 func (c *Client) ensureLogSpace() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.logMu.Lock()
+	defer c.logMu.Unlock()
+	return c.ensureLogSpaceLocked()
+}
+
+func (c *Client) ensureLogSpaceLocked() error {
 	if c.logSpace != nil {
 		return nil
 	}
@@ -481,24 +588,27 @@ func (c *Client) ensureLogSpace() error {
 // Disabling it is an ablation: every transaction then allocates a
 // fresh log puddle and registers it with the daemon.
 func (c *Client) SetLogCache(enabled bool) {
-	c.mu.Lock()
+	c.logMu.Lock()
 	c.logCacheOff = !enabled
-	c.mu.Unlock()
+	c.logMu.Unlock()
 }
 
-// acquireLog returns a cached or fresh registered log.
+// acquireLog returns a cached or fresh registered log. With N
+// concurrent transactions the cache reaches a steady state of N logs,
+// one per in-flight worker — the paper's per-thread log-puddle cache.
+// The daemon round trips for a fresh log run outside logMu.
 func (c *Client) acquireLog() (*txLog, error) {
 	if err := c.ensureLogSpace(); err != nil {
 		return nil, err
 	}
-	c.mu.Lock()
+	c.logMu.Lock()
 	if n := len(c.freeLogs); n > 0 && !c.logCacheOff {
 		l := c.freeLogs[n-1]
 		c.freeLogs = c.freeLogs[:n-1]
-		c.mu.Unlock()
+		c.logMu.Unlock()
 		return l, nil
 	}
-	c.mu.Unlock()
+	c.logMu.Unlock()
 	region, id, err := c.newLogRegion(LogPuddleSize)
 	if err != nil {
 		return nil, err
@@ -507,9 +617,9 @@ func (c *Client) acquireLog() (*txLog, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.mu.Lock()
+	c.logMu.Lock()
 	err = c.logSpace.AddLog(l.Head(), id)
-	c.mu.Unlock()
+	c.logMu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -532,15 +642,32 @@ func (c *Client) newLogRegion(size uint64) (pmem.Range, uid.UUID, error) {
 }
 
 // releaseLog returns a log to the per-client cache (or, with caching
-// ablated, unregisters and frees its puddle).
-func (c *Client) releaseLog(l *txLog) {
-	c.mu.Lock()
+// ablated, unregisters and frees its puddle). A failure to free the
+// puddle is surfaced as an error wrapping ErrLogRelease and counted
+// in ReleaseErrors; the transaction's outcome is unaffected.
+func (c *Client) releaseLog(l *txLog) error {
+	c.logMu.Lock()
 	if c.logCacheOff {
-		c.logSpace.RemoveLog(l.log.Head())
-		c.mu.Unlock()
-		c.conn.RoundTrip(&proto.Request{Op: proto.OpFreePuddle, UUID: l.uuid})
-		return
+		removed := c.logSpace.RemoveLog(l.log.Head())
+		c.logMu.Unlock()
+		var err error
+		if !removed {
+			err = fmt.Errorf("log %v missing from log space", l.uuid)
+		}
+		if _, rtErr := c.conn.RoundTrip(&proto.Request{Op: proto.OpFreePuddle, UUID: l.uuid}); rtErr != nil && err == nil {
+			err = rtErr
+		}
+		if err != nil {
+			c.releaseErrs.Add(1)
+			return fmt.Errorf("%w: %w", ErrLogRelease, err)
+		}
+		return nil
 	}
 	c.freeLogs = append(c.freeLogs, l)
-	c.mu.Unlock()
+	c.logMu.Unlock()
+	return nil
 }
+
+// ReleaseErrors reports how many transaction-log releases have failed
+// since the client connected (see ErrLogRelease).
+func (c *Client) ReleaseErrors() uint64 { return c.releaseErrs.Load() }

@@ -136,6 +136,7 @@ func (p *Pool) FinalizeImport() error {
 	p.root = fresh.root
 	p.puddles = fresh.puddles
 	p.heaps = fresh.heaps
+	p.heapByPud = fresh.heapByPud
 	p.Writable = fresh.Writable
 	p.UUID = fresh.UUID
 	p.imported = nil

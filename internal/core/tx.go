@@ -42,8 +42,14 @@ type Tx struct {
 	redo    []redoRec
 	fresh   []pmem.Range // freshly allocated payloads: flush at commit
 	touched map[*alloc.Heap]*Pool
-	done    bool
-	err     error
+	// leases are the heaps this transaction exclusively owns until
+	// commit or abort. Allocator metadata is undo-logged, so two
+	// in-flight transactions must never interleave on one heap: an
+	// abort (or post-crash replay of several logs) would roll shared
+	// metadata bytes back underneath the survivor.
+	leases map[*alloc.Heap]*Pool
+	done   bool
+	err    error
 }
 
 // Begin starts a transaction whose allocations come from pool.
@@ -68,6 +74,9 @@ func (c *Client) Run(pool *Pool, fn func(tx *Tx) error) (err error) {
 		return fmt.Errorf("%w: %w", ErrTxFailed, err)
 	}
 	if err := tx.Commit(); err != nil {
+		if errors.Is(err, ErrLogRelease) {
+			return err // durably committed; only log cleanup failed
+		}
 		return fmt.Errorf("%w: %w", ErrTxFailed, err)
 	}
 	return nil
@@ -259,6 +268,95 @@ func (t *Tx) RegisterNew(addr pmem.Addr, size int) {
 	t.fresh = append(t.fresh, pmem.Range{Start: addr, End: addr + pmem.Addr(size)})
 }
 
+// holdsLease reports whether this transaction already owns h.
+func (t *Tx) holdsLease(h *alloc.Heap) bool {
+	_, ok := t.leases[h]
+	return ok
+}
+
+// recordLease notes ownership of an acquired heap lease.
+func (t *Tx) recordLease(h *alloc.Heap, p *Pool) {
+	if t.leases == nil {
+		t.leases = make(map[*alloc.Heap]*Pool)
+	}
+	t.leases[h] = p
+}
+
+// releaseLeases returns every leased heap; called exactly once, at
+// commit or abort, after all metadata writes (and any abort-side
+// rescans) are done.
+func (t *Tx) releaseLeases() {
+	for h := range t.leases {
+		h.Unlease()
+	}
+	t.leases = nil
+}
+
+// allocFromPool routes a transactional allocation to a member heap
+// this transaction can own. Heaps already leased by this transaction
+// are tried first; otherwise the pool's heaps are probed from a
+// rotating start with TryLease, so concurrent transactions spread
+// across member puddles instead of convoying on heap 0. When every
+// member heap is full or owned by another in-flight transaction, the
+// pool grows — concurrent allocators end up with a puddle each, the
+// per-thread sub-heap shape PM allocators converge on.
+func (t *Tx) allocFromPool(typeID ptypes.TypeID, size uint32) (pmem.Addr, error) {
+	p := t.pool
+	for h, owner := range t.leases {
+		if owner != p {
+			continue
+		}
+		a, err := h.Alloc(t, typeID, size)
+		if err == nil {
+			t.markHeap(h, p)
+			return a, nil
+		}
+		if err != alloc.ErrNoSpace && err != alloc.ErrTooLarge {
+			return 0, err
+		}
+	}
+	for {
+		heaps := p.snapshotHeaps()
+		start := p.rotation()
+		for i := range heaps {
+			h := heaps[(start+i)%len(heaps)]
+			if t.holdsLease(h) {
+				continue // already tried above
+			}
+			if !h.TryLease() {
+				continue // owned by another in-flight transaction
+			}
+			a, err := h.Alloc(t, typeID, size)
+			if err == nil {
+				t.recordLease(h, p)
+				t.markHeap(h, p)
+				return a, nil
+			}
+			h.Unlease() // nothing was mutated on a failed alloc
+			if err != alloc.ErrNoSpace && err != alloc.ErrTooLarge {
+				return 0, err
+			}
+		}
+		grown, err := p.grow(len(heaps), size)
+		if err != nil {
+			return 0, err
+		}
+		if grown == nil || !grown.TryLease() {
+			continue // racing allocator grew (or stole the new heap)
+		}
+		// An allocation that fails on a puddle grown for it can never
+		// succeed: return that error rather than growing forever.
+		a, err := grown.Alloc(t, typeID, size)
+		if err != nil {
+			grown.Unlease()
+			return 0, err
+		}
+		t.recordLease(grown, p)
+		t.markHeap(grown, p)
+		return a, nil
+	}
+}
+
 // Alloc allocates size bytes of the given type from the transaction's
 // pool. The allocation is automatically undone if the transaction
 // aborts (Fig. 8, line 4 commentary).
@@ -272,18 +370,24 @@ func (t *Tx) Alloc(typeID ptypes.TypeID, size uint32) (pmem.Addr, error) {
 	if err := t.ensureLog(); err != nil {
 		return 0, err
 	}
-	a, err := t.pool.alloc(t, typeID, size, false)
+	a, err := t.allocFromPool(typeID, size)
 	if err == nil && t.err != nil {
 		err = t.err
 	}
 	if err != nil {
 		return 0, err
 	}
-	t.markTouched(a)
 	return a, nil
 }
 
-// Free releases an object; the release is undone on abort.
+// Free releases an object; the release is undone on abort. The owning
+// heap is leased until commit/abort (frees mutate shared metadata —
+// slab bitmaps, buddy merges — that no other in-flight transaction
+// may touch). Note the deadlock hazard of any lock-per-resource
+// scheme: transactions that free objects across many heaps while
+// other transactions do the same in the opposite order can deadlock;
+// confine a transaction's frees to one pool region or order them
+// consistently.
 func (t *Tx) Free(addr pmem.Addr) error {
 	if t.done {
 		return ErrTxDone
@@ -295,9 +399,11 @@ func (t *Tx) Free(addr pmem.Addr) error {
 	if !ok {
 		return alloc.ErrBadFree
 	}
-	pool.mu.Lock()
+	if !t.holdsLease(h) {
+		h.Lease()
+		t.recordLease(h, pool)
+	}
 	err := h.Free(t, addr)
-	pool.mu.Unlock()
 	if err == nil && t.err != nil {
 		err = t.err
 	}
@@ -308,12 +414,6 @@ func (t *Tx) Free(addr pmem.Addr) error {
 	return nil
 }
 
-func (t *Tx) markTouched(addr pmem.Addr) {
-	if pool, h, ok := t.c.heapAt(addr); ok {
-		t.markHeap(h, pool)
-	}
-}
-
 func (t *Tx) markHeap(h *alloc.Heap, pool *Pool) {
 	if t.touched == nil {
 		t.touched = make(map[*alloc.Heap]*Pool)
@@ -321,18 +421,22 @@ func (t *Tx) markHeap(h *alloc.Heap, pool *Pool) {
 	t.touched[h] = pool
 }
 
-// Commit runs the three-stage commit of paper Figure 7 and releases
-// the log. It is a no-op for transactions that logged nothing.
+// Commit runs the three-stage commit of paper Figure 7, releases the
+// transaction's heap leases and returns its log. It is a no-op for
+// transactions that logged nothing. An error wrapping ErrLogRelease
+// means the transaction committed durably and only the log-puddle
+// release failed (cache-ablated mode).
 func (t *Tx) Commit() error {
 	if t.done {
 		return ErrTxDone
 	}
 	t.done = true
 	if t.err != nil {
-		t.abortLocked()
+		t.rollback()
 		return t.err
 	}
 	if t.log == nil {
+		t.releaseLeases()
 		return nil // TX NOP: nothing logged, nothing to do
 	}
 	dev := t.c.dev
@@ -363,34 +467,41 @@ func (t *Tx) Commit() error {
 	}
 	// Stage 3: the transaction is complete; invalidate the log.
 	t.log.log.Reset()
-	t.c.releaseLog(t.log)
+	err := t.c.releaseLog(t.log)
 	t.log = nil
-	return nil
+	t.releaseLeases()
+	return err
 }
 
 // Abort rolls the transaction back: undo entries replay in reverse
 // (including volatile ones), redo entries are dropped, allocator state
-// is rescanned.
+// is rescanned and heap leases are released.
 func (t *Tx) Abort() {
 	if t.done {
 		return
 	}
 	t.done = true
-	t.abortLocked()
+	t.rollback()
 }
 
-func (t *Tx) abortLocked() {
+func (t *Tx) rollback() {
 	if t.log == nil {
+		t.releaseLeases()
 		return
 	}
 	// The range is still (0,2): replay applies only undo entries.
 	t.log.log.Replay(false, nil)
-	t.c.releaseLog(t.log)
+	// A release failure is counted in Client.ReleaseErrors; the abort
+	// itself succeeded, so there is nowhere to return it.
+	_ = t.c.releaseLog(t.log)
 	t.log = nil
-	// Rolled-back block maps invalidate the volatile heap indexes.
+	// Rolled-back block maps invalidate the volatile heap indexes. The
+	// leases (still held here) guarantee no other in-flight transaction
+	// has uncommitted state on these heaps while we rescan.
 	for h := range t.touched {
 		h.Rescan()
 	}
+	t.releaseLeases()
 }
 
 // Pending reports whether the transaction has logged anything yet.

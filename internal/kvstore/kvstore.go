@@ -11,12 +11,21 @@ package kvstore
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"puddles/internal/pmem"
 	"puddles/internal/pmlib"
 )
 
 // Store is one persistent KV store instance.
+//
+// By default a Store is single-threaded, like PMDK's simplekv. With
+// Options.LatchStripes > 0 it carries a striped table of volatile
+// reader–writer latches over the buckets: lookups share a stripe,
+// mutations own it, so N worker goroutines can drive the same store
+// as long as their operations on one chain are serialized by its
+// latch. Latches are volatile by design — a crash discards them, and
+// recovery needs only the transaction logs.
 type Store struct {
 	lib       pmlib.Lib
 	valueSize uint32
@@ -25,6 +34,8 @@ type Store struct {
 	entrySize uint32
 	offNext   uint32 // = 8
 	offValue  uint32 // = 8 + RefSize
+
+	latches []sync.RWMutex // striped per-bucket latches; nil = unlatched
 }
 
 // Errors.
@@ -39,6 +50,10 @@ type Options struct {
 	// ValueSize is the fixed value width in bytes (default 100,
 	// one YCSB field).
 	ValueSize uint32
+	// LatchStripes enables concurrent use: when > 0, the store latches
+	// buckets through this many striped RWMutexes (readers share,
+	// writers exclude). 0 keeps the store unlatched (single-threaded).
+	LatchStripes int
 }
 
 // New opens (or creates) a store in lib's root object.
@@ -61,6 +76,9 @@ func New(lib pmlib.Lib, opt Options) (*Store, error) {
 		offNext:   8,
 		offValue:  8 + rs,
 		entrySize: 8 + rs + opt.ValueSize,
+	}
+	if opt.LatchStripes > 0 {
+		s.latches = make([]sync.RWMutex, opt.LatchStripes)
 	}
 	if n := dev.LoadU64(rootAddr); n != 0 {
 		// Existing store.
@@ -106,14 +124,27 @@ func hash64(k uint64) uint64 {
 	return k
 }
 
-func (s *Store) bucketSlot(k uint64) pmem.Addr {
-	return s.table + pmem.Addr(uint32(hash64(k)%s.nbuckets)*s.lib.RefSize())
+// bucket returns k's bucket index.
+func (s *Store) bucket(k uint64) uint64 { return hash64(k) % s.nbuckets }
+
+// slotOf returns the table slot address of a bucket.
+func (s *Store) slotOf(b uint64) pmem.Addr {
+	return s.table + pmem.Addr(uint32(b)*s.lib.RefSize())
 }
 
-// findEntry walks a chain for k.
-func (s *Store) findEntry(k uint64) pmem.Addr {
+// latch returns the stripe latch covering bucket b, or nil when the
+// store is unlatched.
+func (s *Store) latch(b uint64) *sync.RWMutex {
+	if s.latches == nil {
+		return nil
+	}
+	return &s.latches[b%uint64(len(s.latches))]
+}
+
+// findEntryIn walks bucket b's chain for k. Callers hold b's latch.
+func (s *Store) findEntryIn(b, k uint64) pmem.Addr {
 	lib := s.lib
-	for e := lib.Deref(lib.LoadRef(s.bucketSlot(k))); e != 0; e = lib.Deref(lib.LoadRef(e + pmem.Addr(s.offNext))) {
+	for e := lib.Deref(lib.LoadRef(s.slotOf(b))); e != 0; e = lib.Deref(lib.LoadRef(e + pmem.Addr(s.offNext))) {
 		if lib.Device().LoadU64(e) == k {
 			return e
 		}
@@ -123,7 +154,12 @@ func (s *Store) findEntry(k uint64) pmem.Addr {
 
 // Get copies the value for k into dst (len must be ValueSize).
 func (s *Store) Get(k uint64, dst []byte) error {
-	e := s.findEntry(k)
+	b := s.bucket(k)
+	if l := s.latch(b); l != nil {
+		l.RLock()
+		defer l.RUnlock()
+	}
+	e := s.findEntryIn(b, k)
 	if e == 0 {
 		return ErrNotFound
 	}
@@ -132,14 +168,30 @@ func (s *Store) Get(k uint64, dst []byte) error {
 }
 
 // Contains reports whether k is present.
-func (s *Store) Contains(k uint64) bool { return s.findEntry(k) != 0 }
+func (s *Store) Contains(k uint64) bool {
+	b := s.bucket(k)
+	if l := s.latch(b); l != nil {
+		l.RLock()
+		defer l.RUnlock()
+	}
+	return s.findEntryIn(b, k) != 0
+}
 
-// Put inserts or updates k with value v (transactional).
+// Put inserts or updates k with value v (transactional). The bucket
+// latch is held across the whole find-then-write, so concurrent Puts
+// on one chain serialize; the latch is acquired before the
+// transaction begins, which keeps the latch → heap-lease lock order
+// acyclic (each Put touches exactly one bucket).
 func (s *Store) Put(k uint64, v []byte) error {
 	if uint32(len(v)) != s.valueSize {
 		return fmt.Errorf("kvstore: value size %d, store configured for %d", len(v), s.valueSize)
 	}
-	if e := s.findEntry(k); e != 0 {
+	b := s.bucket(k)
+	if l := s.latch(b); l != nil {
+		l.Lock()
+		defer l.Unlock()
+	}
+	if e := s.findEntryIn(b, k); e != 0 {
 		return s.lib.Run(func(tx pmlib.Tx) error {
 			return tx.Set(e+pmem.Addr(s.offValue), v)
 		})
@@ -156,7 +208,7 @@ func (s *Store) Put(k uint64, v []byte) error {
 		if err := tx.Set(ea+pmem.Addr(s.offValue), v); err != nil {
 			return err
 		}
-		slot := s.bucketSlot(k)
+		slot := s.slotOf(b)
 		head := s.lib.LoadRef(slot)
 		if err := tx.SetRef(ea+pmem.Addr(s.offNext), head); err != nil {
 			return err
@@ -168,7 +220,12 @@ func (s *Store) Put(k uint64, v []byte) error {
 // Delete removes k.
 func (s *Store) Delete(k uint64) error {
 	lib := s.lib
-	slot := s.bucketSlot(k)
+	b := s.bucket(k)
+	if l := s.latch(b); l != nil {
+		l.Lock()
+		defer l.Unlock()
+	}
+	slot := s.slotOf(b)
 	prev := pmem.Addr(0)
 	for ref := lib.LoadRef(slot); !ref.IsNull(); {
 		e := lib.Deref(ref)
@@ -193,19 +250,31 @@ func (s *Store) Delete(k uint64) error {
 
 // Scan visits up to n entries starting at k's bucket, in bucket order
 // (hash maps have no key order; this matches what a chained-hash
-// simplekv can offer YCSB workload E).
+// simplekv can offer YCSB workload E). Each bucket's latch is held
+// only while that bucket's chain is walked, so a scan never blocks
+// writers on other buckets. fn runs with that latch held and must not
+// call back into a latched store — a nested Put/Delete (or even Get)
+// on the same stripe would self-deadlock.
 func (s *Store) Scan(k uint64, n int, fn func(key uint64, val []byte)) int {
 	lib := s.lib
 	dev := lib.Device()
 	buf := make([]byte, s.valueSize)
 	visited := 0
-	start := uint32(hash64(k) % s.nbuckets)
+	start := s.bucket(k)
 	for b := uint64(0); b < s.nbuckets && visited < n; b++ {
-		slot := s.table + pmem.Addr(uint32((uint64(start)+b)%s.nbuckets)*lib.RefSize())
+		bi := (start + b) % s.nbuckets
+		l := s.latch(bi)
+		if l != nil {
+			l.RLock()
+		}
+		slot := s.slotOf(bi)
 		for e := lib.Deref(lib.LoadRef(slot)); e != 0 && visited < n; e = lib.Deref(lib.LoadRef(e + pmem.Addr(s.offNext))) {
 			dev.Load(e+pmem.Addr(s.offValue), buf)
 			fn(dev.LoadU64(e), buf)
 			visited++
+		}
+		if l != nil {
+			l.RUnlock()
 		}
 	}
 	return visited
@@ -216,9 +285,16 @@ func (s *Store) Len() int {
 	lib := s.lib
 	n := 0
 	for b := uint64(0); b < s.nbuckets; b++ {
-		slot := s.table + pmem.Addr(uint32(b)*lib.RefSize())
+		l := s.latch(b)
+		if l != nil {
+			l.RLock()
+		}
+		slot := s.slotOf(b)
 		for e := lib.Deref(lib.LoadRef(slot)); e != 0; e = lib.Deref(lib.LoadRef(e + pmem.Addr(s.offNext))) {
 			n++
+		}
+		if l != nil {
+			l.RUnlock()
 		}
 	}
 	return n

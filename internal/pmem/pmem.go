@@ -29,8 +29,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Addr is an address in the simulated persistent memory space.
@@ -166,6 +168,8 @@ type Device struct {
 	crashes   atomic.Uint64
 	flushReqs atomic.Uint64
 	coalesced atomic.Uint64
+
+	fenceDelay atomic.Int64 // ns each Fence blocks; 0 = free (default)
 }
 
 // New returns a fast-mode device.
@@ -479,9 +483,43 @@ func (d *Device) Flush(addr Addr, n int) {
 	}
 }
 
+// SetFenceLatency models the DIMM write-queue drain an sfence waits
+// for on real persistent memory (hundreds of nanoseconds to a few
+// microseconds on Optane DC-PMM). Zero, the default, keeps fences
+// free — the uniform cost model every comparative benchmark uses.
+// When non-zero, each Fence blocks its calling goroutine for dur, so
+// concurrent transactions overlap their persistence stalls exactly as
+// hardware threads do; the multi-worker scaling benchmarks use this
+// to measure lock-hierarchy serialization rather than simulator CPU
+// time.
+func (d *Device) SetFenceLatency(dur time.Duration) {
+	d.fenceDelay.Store(int64(dur))
+}
+
+// fenceStall blocks for the configured fence latency, if any. Sub-
+// 100µs stalls yield-spin instead of sleeping: OS timer granularity
+// can be a millisecond or worse, and a yield-spin both keeps the
+// stall accurate and lets other goroutines' work (or their own
+// stalls) overlap it — the behaviour real concurrent flushes have.
+func (d *Device) fenceStall() {
+	ns := d.fenceDelay.Load()
+	if ns <= 0 {
+		return
+	}
+	if ns >= int64(100*time.Microsecond) {
+		time.Sleep(time.Duration(ns))
+		return
+	}
+	deadline := time.Now().Add(time.Duration(ns))
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
 // Fence makes all staged (flushed) lines durable (sfence).
 func (d *Device) Fence() {
 	d.fences.Add(1)
+	d.fenceStall()
 	if d.mode != Chaos {
 		return
 	}

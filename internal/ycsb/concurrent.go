@@ -1,0 +1,128 @@
+package ycsb
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// KV is the store surface the concurrent driver needs. kvstore.Store
+// (built with Options.LatchStripes > 0) satisfies it directly; the
+// interface keeps this package free of store dependencies.
+type KV interface {
+	Get(k uint64, dst []byte) error
+	Put(k uint64, v []byte) error
+	Scan(k uint64, n int, fn func(key uint64, val []byte)) int
+}
+
+// ConcurrentOptions configure one multi-worker run.
+type ConcurrentOptions struct {
+	// Workers is the number of driver goroutines (default 1).
+	Workers int
+	// OpsPerWorker is how many operations each worker issues.
+	OpsPerWorker int
+	// ValueSize is the store's fixed value width (default 100).
+	ValueSize int
+	// Seed derives each worker's private generator seed.
+	Seed int64
+}
+
+// ConcurrentResult aggregates one multi-worker run.
+type ConcurrentResult struct {
+	Ops      uint64
+	Duration time.Duration
+
+	Reads, Updates, Inserts, Scans, RMWs uint64
+}
+
+// OpsPerSec returns the run's aggregate throughput.
+func (r ConcurrentResult) OpsPerSec() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Duration.Seconds()
+}
+
+// RunConcurrent drives kv with opt.Workers goroutines, each issuing
+// opt.OpsPerWorker operations from its own sharded generator (the
+// per-thread request stream of multi-threaded YCSB). The store must
+// already hold the load-phase records [0, records); it must be safe
+// for concurrent use (kvstore with latch stripes). The first worker
+// error aborts the run.
+func RunConcurrent(kv KV, w Workload, records uint64, opt ConcurrentOptions) (ConcurrentResult, error) {
+	if opt.Workers <= 0 {
+		opt.Workers = 1
+	}
+	if opt.ValueSize <= 0 {
+		opt.ValueSize = 100
+	}
+	var (
+		res      ConcurrentResult
+		firstErr atomic.Value
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+	)
+	counters := make([]ConcurrentResult, opt.Workers)
+	start := time.Now()
+	for wk := 0; wk < opt.Workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			g := NewShardedGenerator(w, records, opt.Seed+int64(wk), wk, opt.Workers)
+			value := make([]byte, opt.ValueSize)
+			for i := range value {
+				value[i] = byte(wk + 1)
+			}
+			buf := make([]byte, opt.ValueSize)
+			c := &counters[wk]
+			for i := 0; i < opt.OpsPerWorker; i++ {
+				if stop.Load() {
+					return
+				}
+				op := g.Next()
+				var err error
+				switch op.Kind {
+				case OpRead:
+					err = kv.Get(op.Key, buf)
+					c.Reads++
+				case OpUpdate:
+					err = kv.Put(op.Key, value)
+					c.Updates++
+				case OpInsert:
+					err = kv.Put(op.Key, value)
+					c.Inserts++
+				case OpScan:
+					kv.Scan(op.Key, op.ScanLen, func(uint64, []byte) {})
+					c.Scans++
+				case OpRMW:
+					if err = kv.Get(op.Key, buf); err == nil {
+						buf[0]++
+						err = kv.Put(op.Key, buf)
+					}
+					c.RMWs++
+				}
+				if err != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("ycsb: worker %d op %d (%v key %d): %w", wk, i, op.Kind, op.Key, err))
+					stop.Store(true)
+					return
+				}
+				c.Ops++
+			}
+		}(wk)
+	}
+	wg.Wait()
+	res.Duration = time.Since(start)
+	for i := range counters {
+		res.Ops += counters[i].Ops
+		res.Reads += counters[i].Reads
+		res.Updates += counters[i].Updates
+		res.Inserts += counters[i].Inserts
+		res.Scans += counters[i].Scans
+		res.RMWs += counters[i].RMWs
+	}
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return res, err
+	}
+	return res, nil
+}

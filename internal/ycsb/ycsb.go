@@ -151,6 +151,10 @@ type Generator struct {
 	rng     *rand.Rand
 	zipf    *Zipfian
 	records uint64 // current record count (inserts extend it)
+
+	insertNext   uint64 // key the next insert uses
+	insertStride uint64 // distance between this generator's insert keys
+	sharded      bool
 }
 
 // NewGenerator builds a request generator over an initial record
@@ -158,11 +162,28 @@ type Generator struct {
 func NewGenerator(w Workload, records uint64, seed int64) *Generator {
 	rng := rand.New(rand.NewSource(seed))
 	return &Generator{
-		w:       w,
-		rng:     rng,
-		zipf:    NewZipfian(records, rng),
-		records: records,
+		w:            w,
+		rng:          rng,
+		zipf:         NewZipfian(records, rng),
+		records:      records,
+		insertNext:   records,
+		insertStride: 1,
 	}
+}
+
+// NewShardedGenerator builds a generator for one of `shards`
+// concurrent workers over a shared store. Insert keys are strided so
+// shards never collide (shard s inserts records+s, records+s+shards,
+// …); reads and updates draw from the initially loaded [0, records)
+// key space, which every shard knows is present. (Deviation from
+// single-threaded YCSB: the latest/zipfian distributions do not grow
+// to cover other shards' inserts, since their presence is racy.)
+func NewShardedGenerator(w Workload, records uint64, seed int64, shard, shards int) *Generator {
+	g := NewGenerator(w, records, seed)
+	g.insertNext = records + uint64(shard)
+	g.insertStride = uint64(shards)
+	g.sharded = true
+	return g
 }
 
 // Records returns the current record count.
@@ -191,8 +212,11 @@ func (g *Generator) Next() Op {
 	case p < w.ReadProp+w.UpdateProp:
 		return Op{Kind: OpUpdate, Key: g.chooseKey()}
 	case p < w.ReadProp+w.UpdateProp+w.InsertProp:
-		k := g.records
-		g.records++
+		k := g.insertNext
+		g.insertNext += g.insertStride
+		if !g.sharded {
+			g.records++
+		}
 		return Op{Kind: OpInsert, Key: k}
 	case p < w.ReadProp+w.UpdateProp+w.InsertProp+w.ScanProp:
 		n := 1

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"puddles/internal/daemon"
+	"puddles/internal/pmem"
+	"puddles/internal/proto"
+	"puddles/internal/puddle"
+)
+
+// daemonmt: multi-client daemon metadata throughput — the scaling
+// proof for the pipelined dispatch and per-entity journal. N clients
+// each own a pool and loop GetNewPuddle/FreePuddle, the workload that
+// used to serialize on the daemon's global mutex and re-gob the whole
+// state per request. The device models the DIMM fence drain
+// (SetFenceLatency, as ycsbmt does), so the run shows whether one
+// client's metadata persist stalls everyone else: under the old global
+// dispatch lock the fence stall was serialized into every request;
+// with per-pool locks and per-entity journal batches the stalls of
+// independent clients overlap. The run is written to a JSON artifact
+// (-daemonjson, default BENCH_3.json) so CI and later PRs can diff
+// multi-client daemon throughput.
+
+type daemonmtPoint struct {
+	Clients   int     `json:"clients"`
+	Requests  uint64  `json:"requests"`
+	Seconds   float64 `json:"seconds"`
+	ReqPerSec float64 `json:"req_per_sec"`
+	Speedup   float64 `json:"speedup_vs_1_client"`
+}
+
+type daemonmtReport struct {
+	Benchmark     string          `json:"benchmark"`
+	OpsPerClient  int             `json:"ops_per_client"`
+	FenceLatency  string          `json:"fence_latency"`
+	PersistErrors uint64          `json:"persist_errors"`
+	Results       []daemonmtPoint `json:"results"`
+}
+
+func runDaemonMT() error {
+	const fenceLatency = 6 * time.Microsecond
+	opsPerClient := scaled(20000)
+	report := daemonmtReport{
+		Benchmark:    "daemon_concurrent_clients",
+		OpsPerClient: opsPerClient,
+		FenceLatency: fenceLatency.String(),
+	}
+	header := []string{"clients", "requests", "time", "req/s", "speedup"}
+	var rows [][]string
+	var base float64
+	for _, clients := range []int{1, 2, 4, 8} {
+		dev := pmem.New()
+		d, err := daemon.New(dev)
+		if err != nil {
+			return err
+		}
+		dev.SetFenceLatency(fenceLatency)
+		conns := make([]*proto.Conn, clients)
+		pools := make([]*proto.Response, clients)
+		for i := range conns {
+			conns[i] = d.SelfConn()
+			resp, err := conns[i].RoundTrip(&proto.Request{Op: proto.OpCreatePool, Name: fmt.Sprintf("mt-%d", i)})
+			if err != nil {
+				return err
+			}
+			pools[i] = resp
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, clients)
+		start := time.Now()
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				c, pool := conns[w], pools[w]
+				for i := 0; i < opsPerClient; i++ {
+					resp, err := c.RoundTrip(&proto.Request{Op: proto.OpGetNewPuddle, Pool: pool.Pool, Size: puddle.MinSize})
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					if _, err := c.RoundTrip(&proto.Request{Op: proto.OpFreePuddle, UUID: resp.UUID}); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for w, err := range errs {
+			if err != nil {
+				return fmt.Errorf("client %d: %w", w, err)
+			}
+		}
+		if err := d.CheckConsistency(); err != nil {
+			return fmt.Errorf("%d clients: registry inconsistent: %w", clients, err)
+		}
+		report.PersistErrors += d.Stats().PersistErrors
+		for _, c := range conns {
+			c.Close()
+		}
+		reqs := uint64(2 * opsPerClient * clients)
+		rps := float64(reqs) / elapsed.Seconds()
+		if clients == 1 {
+			base = rps
+		}
+		speedup := 0.0
+		if base > 0 {
+			speedup = rps / base
+		}
+		report.Results = append(report.Results, daemonmtPoint{
+			Clients: clients, Requests: reqs,
+			Seconds: elapsed.Seconds(), ReqPerSec: rps, Speedup: speedup,
+		})
+		rows = append(rows, []string{
+			fmt.Sprint(clients), fmt.Sprint(reqs),
+			elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", rps), fmt.Sprintf("%.2fx", speedup),
+		})
+	}
+	table(header, rows)
+	blob, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*daemonJSON, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *daemonJSON)
+	return nil
+}

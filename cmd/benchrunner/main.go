@@ -8,7 +8,7 @@
 //	benchrunner [-scale N] <experiment>
 //
 // Experiments: table1 fig1 table3 daemon reloc crashcheck fig9 fig10
-// fig11 fig12 fig14 ycsbmt all
+// fig11 fig12 fig14 ycsbmt daemonmt all
 //
 // -scale scales operation counts relative to the paper (default 0.01;
 // 1.0 reproduces the paper's full sizes and takes correspondingly
@@ -24,9 +24,10 @@ import (
 )
 
 var (
-	scale   = flag.Float64("scale", 0.01, "operation-count scale relative to the paper")
-	threads = flag.String("threads", "1,2,4,8", "thread counts for fig12 (paper sweeps to 40 on a 20-core box)")
-	jsonOut = flag.String("json", "BENCH_2.json", "artifact path for the ycsbmt scaling report")
+	scale      = flag.Float64("scale", 0.01, "operation-count scale relative to the paper")
+	threads    = flag.String("threads", "1,2,4,8", "thread counts for fig12 (paper sweeps to 40 on a 20-core box)")
+	jsonOut    = flag.String("json", "BENCH_2.json", "artifact path for the ycsbmt scaling report")
+	daemonJSON = flag.String("daemonjson", "BENCH_3.json", "artifact path for the daemonmt scaling report")
 )
 
 type experiment struct {
@@ -50,6 +51,7 @@ func main() {
 		{"fig12", "multithreaded scaling (Figure 12)", runFig12},
 		{"fig14", "sensor-network aggregation (Figures 13/14)", runFig14},
 		{"ycsbmt", "multi-worker YCSB transaction scaling (emits -json artifact)", runYCSBMT},
+		{"daemonmt", "multi-client daemon metadata scaling (emits -daemonjson artifact)", runDaemonMT},
 	}
 	want := flag.Arg(0)
 	if want == "" {

@@ -27,10 +27,11 @@ import (
 
 func main() {
 	var (
-		socket   = flag.String("socket", "/tmp/puddled.sock", "UNIX domain socket path")
-		store    = flag.String("store", "puddled.img", "device image file (DAX filesystem stand-in)")
-		syncSecs = flag.Int("sync", 5, "seconds between image syncs (0 disables)")
-		verbose  = flag.Bool("v", false, "log client operations")
+		socket      = flag.String("socket", "/tmp/puddled.sock", "UNIX domain socket path")
+		store       = flag.String("store", "puddled.img", "device image file (DAX filesystem stand-in)")
+		syncSecs    = flag.Int("sync", 5, "seconds between image syncs (0 disables)")
+		connWorkers = flag.Int("conn-workers", 0, "pipelined dispatch workers per connection (0 = auto, 1 = serial)")
+		verbose     = flag.Bool("v", false, "log client operations")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "puddled: ", log.LstdFlags)
@@ -39,7 +40,7 @@ func main() {
 	if err := dev.RestoreFile(*store); err != nil {
 		logger.Fatalf("restoring %s: %v", *store, err)
 	}
-	opts := []daemon.Option{}
+	opts := []daemon.Option{daemon.WithConnWorkers(*connWorkers)}
 	if *verbose {
 		opts = append(opts, daemon.WithLogger(logger))
 	}

@@ -19,6 +19,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"puddles/internal/pmem"
 	"puddles/internal/ptypes"
@@ -193,7 +195,8 @@ type Heap struct {
 	liveObjs uint64
 	freeBlks uint64
 
-	lease chan struct{} // transaction-scope ownership token
+	lease   chan struct{} // transaction-scope ownership token
+	leaseTS atomic.Uint64 // owner's transaction timestamp (0 = non-transactional owner)
 }
 
 // NewHeap opens the heap of a formatted puddle, rebuilding volatile
@@ -213,20 +216,61 @@ func NewHeap(p *puddle.Puddle) *Heap {
 // (Alloc/AllocLarge/Free/Rescan); the per-call mutex alone is not
 // enough for transactions because their undo logs must not cover
 // metadata bytes another in-flight transaction is mutating.
+//
+// Lease leaves the owner timestamp at zero, marking a short-lived
+// non-transactional owner (Malloc, Pool.Free, CreateRoot). Such owners
+// hold exactly one lease and never wait while holding it, so they can
+// never participate in a lease deadlock cycle — transactions may
+// always wait for them. Transactions themselves must use TryLeaseAs so
+// their age is visible to the wait-die arbitration in internal/core.
 func (h *Heap) Lease() { h.lease <- struct{}{} }
 
 // TryLease acquires the lease without blocking, reporting success.
-func (h *Heap) TryLease() bool {
+func (h *Heap) TryLease() bool { return h.TryLeaseAs(0) }
+
+// TryLeaseAs acquires the lease without blocking and records ts as the
+// owner's transaction timestamp for deadlock arbitration.
+func (h *Heap) TryLeaseAs(ts uint64) bool {
 	select {
 	case h.lease <- struct{}{}:
+		h.leaseTS.Store(ts)
 		return true
 	default:
 		return false
 	}
 }
 
-// Unlease releases a lease taken with Lease or TryLease.
-func (h *Heap) Unlease() { <-h.lease }
+// LeaseOwnerTS reports the current owner's transaction timestamp: 0
+// when the heap is unleased or leased by a non-transactional owner.
+// It is advisory — the owner can change concurrently — which is all
+// wait-die needs (a stale read only delays or retries arbitration, it
+// never lets two owners coexist).
+func (h *Heap) LeaseOwnerTS() uint64 { return h.leaseTS.Load() }
+
+// LeaseAsTimeout blocks up to d for the lease, recording ts on
+// success. Blocking parks the caller on the lease channel itself, so a
+// release hands the lease to a camped waiter ahead of any freshly
+// arriving TryLease — that fairness is what prevents livelock between
+// a wait-die waiter and a fast retry loop. The timeout bounds how long
+// a caller may camp before re-running its deadlock arbitration (the
+// owner may have changed underneath it).
+func (h *Heap) LeaseAsTimeout(ts uint64, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case h.lease <- struct{}{}:
+		h.leaseTS.Store(ts)
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// Unlease releases a lease taken with Lease, TryLease or TryLeaseAs.
+func (h *Heap) Unlease() {
+	h.leaseTS.Store(0)
+	<-h.lease
+}
 
 // Format initialises an empty heap: the block map is carved into the
 // largest aligned buddy blocks that fit, all free.

@@ -1,0 +1,39 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDaemonMetaChurnSweep power-fails the daemon mid-journal at
+// swept offsets and checks that per-entity records always recover to
+// a bidirectionally consistent registry.
+func TestDaemonMetaChurnSweep(t *testing.T) {
+	res, err := DaemonMetaChurn(4000, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Probes == 0 {
+		t.Fatal("no crash points probed")
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("%d violations:\n%s", len(res.Violations), strings.Join(res.Violations, "\n"))
+	}
+	t.Logf("daemon-meta-churn: %d probes, %d completed", res.Probes, res.Completed)
+}
+
+// TestDaemonMetaChurnDense probes every persistence event in a short
+// prefix — the dense sweep makes sure no torn-batch window hides
+// between the strides of the main sweep.
+func TestDaemonMetaChurnDense(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dense sweep")
+	}
+	res, err := DaemonMetaChurn(300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("%d violations:\n%s", len(res.Violations), strings.Join(res.Violations, "\n"))
+	}
+}

@@ -3,7 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"puddles/internal/alloc"
 	"puddles/internal/plog"
@@ -21,7 +24,20 @@ import (
 var (
 	ErrTxDone   = errors.New("core: transaction already committed or aborted")
 	ErrTxFailed = errors.New("core: transaction aborted")
+	// ErrTxConflict is the wait-die "die": this transaction requested a
+	// heap lease held by an older transaction while holding leases of
+	// its own, so it must abort (rolling its work back) and retry
+	// rather than risk a deadlock cycle. Client.Run retries it
+	// automatically, keeping the transaction's original timestamp so it
+	// ages into the winner; manual Begin/Commit users should Abort and
+	// retry themselves.
+	ErrTxConflict = errors.New("core: transaction lease conflict (wait-die victim, retry)")
 )
+
+// txClock issues the wait-die timestamps: strictly increasing, so
+// every transaction has a unique age and "older" is well defined
+// across all clients in the process.
+var txClock atomic.Uint64
 
 type redoRec struct {
 	addr pmem.Addr
@@ -48,21 +64,57 @@ type Tx struct {
 	// abort (or post-crash replay of several logs) would roll shared
 	// metadata bytes back underneath the survivor.
 	leases map[*alloc.Heap]*Pool
-	done   bool
-	err    error
+	// ts is the wait-die age: smaller is older. Assigned at Begin and
+	// retained across Run's conflict retries, so a repeatedly-victimized
+	// transaction eventually becomes the oldest contender and wins.
+	ts   uint64
+	done bool
+	err  error
 }
 
 // Begin starts a transaction whose allocations come from pool.
 // Starting and committing an empty transaction touches no log at all —
 // the lightweight TX NOP of paper Table 3.
 func (c *Client) Begin(pool *Pool) *Tx {
-	return &Tx{c: c, pool: pool}
+	return c.beginTS(pool, txClock.Add(1))
+}
+
+func (c *Client) beginTS(pool *Pool, ts uint64) *Tx {
+	return &Tx{c: c, pool: pool, ts: ts}
 }
 
 // Run executes fn inside a transaction: commit on nil return, abort on
-// error or panic (the TX_BEGIN ... TX_END block of Fig. 4).
+// error or panic (the TX_BEGIN ... TX_END block of Fig. 4). A wait-die
+// lease conflict (ErrTxConflict from Tx.Free) aborts, rolls back and
+// transparently re-executes fn with the transaction's original
+// timestamp; wait-die guarantees the retried transaction cannot be
+// victimized forever.
+//
+// The victim backs off before retrying — slightly longer each attempt
+// — so the older transaction it collided with has a whole window in
+// which the contested lease is free. Without the backoff a fast retry
+// loop can phase-lock against the waiter's bounded camp (the waiter's
+// timeout and the victim's cycle aliasing so every release lands in
+// the waiter's blind spot) and livelock; with it, the victim sleeps
+// past the waiter's poll period and the waiter always gets through.
 func (c *Client) Run(pool *Pool, fn func(tx *Tx) error) (err error) {
-	tx := c.Begin(pool)
+	ts := txClock.Add(1)
+	for attempt := 0; ; attempt++ {
+		err := c.runOnce(pool, fn, ts)
+		if errors.Is(err, ErrTxConflict) {
+			backoff := time.Duration(attempt+1) * 250 * time.Microsecond
+			if backoff > 2*time.Millisecond {
+				backoff = 2 * time.Millisecond
+			}
+			time.Sleep(backoff)
+			continue
+		}
+		return err
+	}
+}
+
+func (c *Client) runOnce(pool *Pool, fn func(tx *Tx) error, ts uint64) (err error) {
+	tx := c.beginTS(pool, ts)
 	defer func() {
 		if r := recover(); r != nil {
 			tx.Abort()
@@ -71,6 +123,9 @@ func (c *Client) Run(pool *Pool, fn func(tx *Tx) error) (err error) {
 	}()
 	if err := fn(tx); err != nil {
 		tx.Abort()
+		if errors.Is(err, ErrTxConflict) {
+			return err // Run retries with the same timestamp
+		}
 		return fmt.Errorf("%w: %w", ErrTxFailed, err)
 	}
 	if err := tx.Commit(); err != nil {
@@ -323,7 +378,7 @@ func (t *Tx) allocFromPool(typeID ptypes.TypeID, size uint32) (pmem.Addr, error)
 			if t.holdsLease(h) {
 				continue // already tried above
 			}
-			if !h.TryLease() {
+			if !h.TryLeaseAs(t.ts) {
 				continue // owned by another in-flight transaction
 			}
 			a, err := h.Alloc(t, typeID, size)
@@ -341,7 +396,7 @@ func (t *Tx) allocFromPool(typeID ptypes.TypeID, size uint32) (pmem.Addr, error)
 		if err != nil {
 			return 0, err
 		}
-		if grown == nil || !grown.TryLease() {
+		if grown == nil || !grown.TryLeaseAs(t.ts) {
 			continue // racing allocator grew (or stole the new heap)
 		}
 		// An allocation that fails on a puddle grown for it can never
@@ -354,6 +409,56 @@ func (t *Tx) allocFromPool(typeID ptypes.TypeID, size uint32) (pmem.Addr, error)
 		t.recordLease(grown, p)
 		t.markHeap(grown, p)
 		return a, nil
+	}
+}
+
+// leaseForFree acquires the lease of the heap owning a freed object.
+// Unlike allocation, a free cannot be routed to a different heap, so
+// contention here is where multi-heap lease deadlock used to live: two
+// transactions freeing across the same two heaps in opposite orders
+// would block on each other forever. Sorting the acquisitions into
+// ascending heap order is not an option — frees arrive in demand order
+// and a lease already covering undo-logged metadata cannot be released
+// mid-transaction — so conflicts are arbitrated wait-die on TryLease:
+//
+//   - An older transaction (smaller ts) waits politely: every wait
+//     edge points old→young, so a cycle would need a young→old edge,
+//     which "die" forbids — no deadlock.
+//   - A younger transaction holding leases of its own dies: Tx.Free
+//     returns ErrTxConflict, the transaction aborts (rolling back its
+//     undo log and releasing its leases) and Client.Run retries it
+//     with its original timestamp, so it ages into the winner.
+//   - A transaction holding no leases yet is a leaf of the wait graph
+//     and may always wait, whatever its age.
+//   - A zero owner timestamp is a short-lived non-transactional owner
+//     (Malloc, Pool.Free, CreateRoot) that never waits while holding
+//     the lease; waiting on it is always safe.
+//
+// Legal waiters camp on the lease itself (LeaseAsTimeout) rather than
+// polling: a camped waiter is handed the lease at release, ahead of
+// the victim's fast retry loop, which is what makes the older
+// transaction win instead of livelocking. The camp timeout bounds how
+// stale the arbitration can get — the owner may have changed to an
+// older transaction while we slept, so the die check re-runs every
+// lap.
+func (t *Tx) leaseForFree(h *alloc.Heap, pool *Pool) error {
+	if t.holdsLease(h) {
+		return nil
+	}
+	for {
+		if h.TryLeaseAs(t.ts) {
+			t.recordLease(h, pool)
+			return nil
+		}
+		owner := h.LeaseOwnerTS()
+		if owner != 0 && owner < t.ts && len(t.leases) > 0 {
+			return ErrTxConflict // younger and entangled: die
+		}
+		if h.LeaseAsTimeout(t.ts, 200*time.Microsecond) {
+			t.recordLease(h, pool)
+			return nil
+		}
+		runtime.Gosched()
 	}
 }
 
@@ -383,11 +488,11 @@ func (t *Tx) Alloc(typeID ptypes.TypeID, size uint32) (pmem.Addr, error) {
 // Free releases an object; the release is undone on abort. The owning
 // heap is leased until commit/abort (frees mutate shared metadata —
 // slab bitmaps, buddy merges — that no other in-flight transaction
-// may touch). Note the deadlock hazard of any lock-per-resource
-// scheme: transactions that free objects across many heaps while
-// other transactions do the same in the opposite order can deadlock;
-// confine a transaction's frees to one pool region or order them
-// consistently.
+// may touch). Lease conflicts across heaps are arbitrated wait-die
+// (see leaseForFree), so transactions freeing across the same heaps in
+// opposite orders can no longer deadlock: one of them may receive
+// ErrTxConflict and must abort and retry (Client.Run does this
+// automatically).
 func (t *Tx) Free(addr pmem.Addr) error {
 	if t.done {
 		return ErrTxDone
@@ -399,9 +504,8 @@ func (t *Tx) Free(addr pmem.Addr) error {
 	if !ok {
 		return alloc.ErrBadFree
 	}
-	if !t.holdsLease(h) {
-		h.Lease()
-		t.recordLease(h, pool)
+	if err := t.leaseForFree(h, pool); err != nil {
+		return err
 	}
 	err := h.Free(t, addr)
 	if err == nil && t.err != nil {

@@ -78,15 +78,37 @@ type PuddleRec struct {
 }
 
 // PoolRec is the registry entry for one pool.
+//
+// mu is the pool's shard of the old global daemon lock: it guards the
+// mutable fields (Mode, Puddles) and, held across a mutation plus its
+// journal append, keeps this pool's per-entity records in the same
+// order in the journal as in memory. It is volatile (gob skips
+// unexported fields) and springs back to life zero-valued on boot.
 type PoolRec struct {
 	Name     string
 	UUID     uid.UUID
 	Root     uid.UUID
-	OwnerUID uint32
-	OwnerGID uint32
+	OwnerUID uint32 // immutable after creation
+	OwnerGID uint32 // immutable after creation
 	Mode     uint32 // UNIX-style permission bits (e.g. 0o660)
 	Puddles  []uid.UUID
+
+	mu sync.Mutex
 }
+
+// snapshot returns a copy safe to gob-encode outside mu (the Puddles
+// slice is otherwise shared with concurrent appends). Caller holds mu.
+func (p *PoolRec) snapshot() *PoolRec {
+	cp := &PoolRec{
+		Name: p.Name, UUID: p.UUID, Root: p.Root,
+		OwnerUID: p.OwnerUID, OwnerGID: p.OwnerGID, Mode: p.Mode,
+		Puddles: append([]uid.UUID(nil), p.Puddles...),
+	}
+	return cp
+}
+
+// rec builds this pool's journal record. Caller holds p.mu.
+func (p *PoolRec) rec() entRec { return putRec(recPool, p.Name, p.snapshot()) }
 
 // LogSpaceRec records a registered log space and the credentials it
 // was registered under; recovery is confined to what those credentials
@@ -138,18 +160,48 @@ type state struct {
 }
 
 // Daemon is a Puddled instance bound to one device.
+//
+// Locking (PR 3 killed the single global d.mu): request handlers take
+// opMu.RLock — shared, so independent requests never serialize on it —
+// while checkpointing, recovery and shutdown take opMu.Lock to quiesce
+// every in-flight mutation. Underneath, each registry map has its own
+// short-hold lock (poolsMu for Pools+Puddles, lsMu for LogSpaces,
+// sessMu for Sessions+staging, typesMu for the persisted type list)
+// and each PoolRec carries its own mutex for pool-local state. The
+// lock order is
+//
+//	opMu.RLock > sessMu > PoolRec.mu > poolsMu > lsMu > typesMu > jMu
+//
+// (any prefix/suffix may be skipped, never reordered). jMu serializes
+// only the journal tail; see metastore.go.
 type Daemon struct {
 	dev *pmem.Device
 
-	mu      sync.Mutex
+	opMu    sync.RWMutex // handlers shared; checkpoint/recovery/shutdown exclusive
+	poolsMu sync.RWMutex // st.Pools + st.Puddles map membership
+	lsMu    sync.Mutex   // st.LogSpaces
+	sessMu  sync.Mutex   // st.Sessions, st.NextSession, st.Imports, staging
+	typesMu sync.Mutex   // st.Types (the persisted mirror of the registry)
+	jMu     sync.Mutex   // journal tail + seq (metastore.go)
+
 	st      state
+	seq     uint64             // monotonic metadata sequence (under jMu, or exclusive opMu)
+	jTail   uint64             // journal append offset (under jMu)
 	space   *addrspace.Manager // global puddle space
 	staging *addrspace.Manager // import staging area
 	types   *ptypes.Registry
 	logger  *log.Logger
 
+	jTailApprox atomic.Uint64 // journal tail mirror for the compaction check
+	needCompact atomic.Bool   // set when an append failed for space
+	persistErrs atomic.Uint64 // metadata appends/checkpoints that failed
+	panics      atomic.Uint64 // request handlers that panicked (recovered)
+	closed      atomic.Bool
+
 	recoveryWorkers int // 0 = default pool size (see workerCount)
-	closed          bool
+	connWorkers     int // per-connection dispatch workers (see server.go)
+
+	panicHook func(*proto.Request) // test hook: provoke handler panics
 }
 
 // Option configures a Daemon.
@@ -199,8 +251,17 @@ func (d *Daemon) boot() error {
 		d.dev.StoreU64(metaBase+sbOffMag, sbMagic)
 		d.dev.StoreU64(metaBase+sbOffDirt, 0)
 		d.dev.Persist(metaBase, 16)
-	} else if err := d.loadSnapshot(); err != nil {
-		return fmt.Errorf("daemon: restoring metadata: %w", err)
+	} else {
+		// Checkpoint first (this also reads images written by the old
+		// snapshot-per-mutation daemon unchanged), then fold in the
+		// per-entity journal batches appended since.
+		if err := d.loadSnapshot(); err != nil {
+			return fmt.Errorf("daemon: restoring metadata: %w", err)
+		}
+		d.seq = d.st.Seq
+		if n := d.replayJournal(d.st.Seq); n > 0 {
+			d.logf("boot: applied %d journal batches on top of checkpoint %d", n, d.st.Seq)
+		}
 	}
 	// Rebuild the in-memory reservation indexes.
 	for _, p := range d.st.Puddles {
@@ -233,55 +294,35 @@ func (d *Daemon) boot() error {
 	}
 	d.dev.StoreU64(metaBase+sbOffDirt, 1)
 	d.dev.Persist(metaBase+sbOffDirt, 8)
-	if !firstBoot {
-		d.persist() // re-persist so both slots stay healthy over time
+	// Checkpoint and start a fresh journal: this keeps both slots
+	// healthy over time and initializes the journal region on images
+	// migrated from the old whole-state-snapshot layout.
+	if err := d.writeCheckpoint(); err != nil {
+		return err
 	}
 	return nil
 }
 
 // Shutdown snapshots metadata and marks the device cleanly closed.
 func (d *Daemon) Shutdown() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.closed {
+	if d.closed.Swap(true) {
 		return
 	}
-	d.persist()
+	d.opMu.Lock() // quiesce in-flight requests; they complete first
+	defer d.opMu.Unlock()
+	if err := d.writeCheckpoint(); err != nil {
+		d.logf("shutdown checkpoint: %v", err)
+		return // leave the dirty flag set rather than losing the journal
+	}
 	d.dev.StoreU64(metaBase+sbOffDirt, 0)
 	d.dev.Persist(metaBase+sbOffDirt, 8)
-	d.closed = true
 }
 
 // Device returns the daemon's device (shared with in-process clients,
 // standing in for DAX mappings).
 func (d *Daemon) Device() *pmem.Device { return d.dev }
 
-// --- snapshot persistence (A/B slots) ---
-
-func (d *Daemon) persist() {
-	d.st.Seq++
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&d.st); err != nil {
-		panic(fmt.Sprintf("daemon: encoding snapshot: %v", err)) // programming error
-	}
-	data := buf.Bytes()
-	if len(data)+32 > slotBytes {
-		panic(fmt.Sprintf("daemon: snapshot %d bytes exceeds slot", len(data)))
-	}
-	slot := slotA
-	if d.st.Seq%2 == 0 {
-		slot = slotB
-	}
-	// Header last: a torn snapshot write is invisible because the old
-	// slot still decodes and carries the higher valid seq.
-	d.dev.Store(slot+32, data)
-	d.dev.Flush(slot+32, len(data))
-	d.dev.Fence()
-	d.dev.StoreU64(slot+8, uint64(len(data)))
-	d.dev.StoreU64(slot+16, crc64.Checksum(data, crcTable))
-	d.dev.StoreU64(slot, d.st.Seq)
-	d.dev.Persist(slot, 32)
-}
+// --- checkpoint slots (A/B); the write side lives in metastore.go ---
 
 func (d *Daemon) readSlot(slot pmem.Addr) (*state, uint64, bool) {
 	seq := d.dev.LoadU64(slot)
@@ -340,6 +381,14 @@ func WithRecoveryWorkers(n int) Option {
 	return func(d *Daemon) { d.recoveryWorkers = n }
 }
 
+// WithConnWorkers sets how many dispatch workers each client
+// connection pipelines requests across. n <= 0 selects the default
+// (see server.go); n == 1 restores strictly serial per-connection
+// execution.
+func WithConnWorkers(n int) Option {
+	return func(d *Daemon) { d.connWorkers = n }
+}
+
 // workerCount resolves the recovery pool size for the given number of
 // independent replay units (conflict groups of pending log spaces).
 func (d *Daemon) workerCount(spaces int) int {
@@ -360,8 +409,8 @@ func (d *Daemon) workerCount(spaces int) int {
 }
 
 // runRecovery replays every registered log space. Callers hold no
-// lock (boot) or d.mu (RecoverNow); the daemon is not serving yet or
-// is serialized, respectively.
+// lock (boot) or opMu exclusively (RecoverNow); the daemon is not
+// serving yet or is quiesced, respectively.
 //
 // Log spaces belong to distinct crashed applications and are replayed
 // concurrently by a bounded worker pool. Spaces whose pending entries
@@ -375,7 +424,7 @@ func (d *Daemon) workerCount(spaces int) int {
 // are aggregated under a mutex and folded into the snapshot once,
 // after the pool drains.
 func (d *Daemon) runRecovery() {
-	d.st.Recoveries++
+	atomic.AddUint64(&d.st.Recoveries, 1)
 	spaces := make([]*LogSpaceRec, 0, len(d.st.LogSpaces))
 	for _, ls := range d.st.LogSpaces {
 		spaces = append(spaces, ls)
@@ -441,14 +490,16 @@ func (d *Daemon) runRecovery() {
 	}
 	close(work)
 	wg.Wait()
-	d.st.LogsReplayed += logs
-	d.st.EntriesApplied += entries
+	atomic.AddUint64(&d.st.LogsReplayed, logs)
+	atomic.AddUint64(&d.st.EntriesApplied, entries)
 	if downPanic != nil {
 		// Re-raise the worker panic on the booting goroutine so the
 		// caller sees the same unwind as with serial recovery.
 		panic(downPanic)
 	}
-	d.persist()
+	if err := d.writeCheckpoint(); err != nil {
+		d.logf("recovery checkpoint: %v", err)
+	}
 }
 
 // conflictGroups partitions spaces (already in deterministic order)
@@ -602,7 +653,14 @@ func (d *Daemon) credsCanWriteAddr(c Creds, addr pmem.Addr, n int) bool {
 	return false
 }
 
+// poolByUUID resolves a pool UUID under the registry read lock.
 func (d *Daemon) poolByUUID(u uid.UUID) *PoolRec {
+	d.poolsMu.RLock()
+	defer d.poolsMu.RUnlock()
+	return d.poolByUUIDLocked(u)
+}
+
+func (d *Daemon) poolByUUIDLocked(u uid.UUID) *PoolRec {
 	for _, p := range d.st.Pools {
 		if p.UUID == u {
 			return p
@@ -611,19 +669,38 @@ func (d *Daemon) poolByUUID(u uid.UUID) *PoolRec {
 	return nil
 }
 
+// poolByName resolves a pool name under the registry read lock.
+func (d *Daemon) poolByName(name string) *PoolRec {
+	d.poolsMu.RLock()
+	defer d.poolsMu.RUnlock()
+	return d.st.Pools[name]
+}
+
+// puddleRec resolves a puddle UUID under the registry read lock.
+func (d *Daemon) puddleRec(u uid.UUID) *PuddleRec {
+	d.poolsMu.RLock()
+	defer d.poolsMu.RUnlock()
+	return d.st.Puddles[u]
+}
+
 // checkPerm applies the UNIX owner/group/other model (paper §4.6).
+// Owner identity is immutable; Mode is read under the pool's lock
+// (callers must not hold it).
 func checkPerm(c Creds, pool *PoolRec, write bool) bool {
 	if c == Superuser {
 		return true
 	}
+	pool.mu.Lock()
+	mode := pool.Mode
+	pool.mu.Unlock()
 	var triad uint32
 	switch {
 	case c.UID == pool.OwnerUID:
-		triad = pool.Mode >> 6
+		triad = mode >> 6
 	case c.GID == pool.OwnerGID:
-		triad = pool.Mode >> 3
+		triad = mode >> 3
 	default:
-		triad = pool.Mode
+		triad = mode
 	}
 	if write {
 		return triad&0o2 != 0
@@ -633,33 +710,40 @@ func checkPerm(c Creds, pool *PoolRec, write bool) bool {
 
 // Stats returns a snapshot of daemon counters.
 func (d *Daemon) Stats() proto.Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.statsLocked()
-}
-
-func (d *Daemon) statsLocked() proto.Stats {
+	d.poolsMu.RLock()
+	pools := len(d.st.Pools)
+	puddles := len(d.st.Puddles)
+	d.poolsMu.RUnlock()
+	d.lsMu.Lock()
+	spaces := len(d.st.LogSpaces)
+	d.lsMu.Unlock()
 	return proto.Stats{
-		Pools:          len(d.st.Pools),
-		Puddles:        len(d.st.Puddles),
+		Pools:          pools,
+		Puddles:        puddles,
 		ReservedBytes:  d.space.ReservedBytes(),
-		LogSpaces:      len(d.st.LogSpaces),
+		LogSpaces:      spaces,
 		Types:          d.types.Len(),
-		Recoveries:     d.st.Recoveries,
-		LogsReplayed:   d.st.LogsReplayed,
-		EntriesApplied: d.st.EntriesApplied,
-		Imports:        d.st.Imports,
+		Recoveries:     atomic.LoadUint64(&d.st.Recoveries),
+		LogsReplayed:   atomic.LoadUint64(&d.st.LogsReplayed),
+		EntriesApplied: atomic.LoadUint64(&d.st.EntriesApplied),
+		Imports:        atomic.LoadUint64(&d.st.Imports),
+		PersistErrors:  d.persistErrs.Load(),
+		DispatchPanics: d.panics.Load(),
+		JournalBytes:   d.jTailApprox.Load(),
 	}
 }
 
-// newPuddle reserves, formats and registers a puddle. Caller holds d.mu.
-func (d *Daemon) newPuddle(pool *PoolRec, size uint64, kind puddle.Kind) (*PuddleRec, error) {
+// formPuddle reserves and formats a puddle without touching any
+// registry — safe to run outside all daemon locks; the caller links
+// the returned record into its pool under the proper locks (or
+// releases the reservation on failure).
+func (d *Daemon) formPuddle(poolUUID uid.UUID, size uint64, kind puddle.Kind) (*PuddleRec, error) {
 	id := uid.New()
 	r, err := d.space.Reserve(size, id.String())
 	if err != nil {
 		return nil, err
 	}
-	p, err := puddle.Format(d.dev, r.Start, size, id, kind, pool.UUID)
+	p, err := puddle.Format(d.dev, r.Start, size, id, kind, poolUUID)
 	if err != nil {
 		d.space.Release(r.Start)
 		return nil, err
@@ -667,8 +751,59 @@ func (d *Daemon) newPuddle(pool *PoolRec, size uint64, kind puddle.Kind) (*Puddl
 	if kind == puddle.KindData {
 		alloc.Format(p, alloc.Direct{Dev: d.dev})
 	}
-	rec := &PuddleRec{UUID: id, Addr: uint64(r.Start), Size: size, Kind: uint64(kind), Pool: pool.UUID}
-	d.st.Puddles[id] = rec
-	pool.Puddles = append(pool.Puddles, id)
-	return rec, nil
+	return &PuddleRec{UUID: id, Addr: uint64(r.Start), Size: size, Kind: uint64(kind), Pool: poolUUID}, nil
+}
+
+// CheckConsistency validates the bidirectional pool<->puddle registry
+// invariants and the address-space index. It quiesces the daemon, so
+// it is meant for tests, tools and post-recovery audits: every pool's
+// root and members must exist and point back at the pool, every puddle
+// must be listed by its pool, and every registered log space must
+// reference a live puddle (journal batches make the multi-entity
+// operations that maintain these invariants atomic).
+func (d *Daemon) CheckConsistency() error {
+	d.opMu.Lock()
+	defer d.opMu.Unlock()
+	for name, pool := range d.st.Pools {
+		member := make(map[uid.UUID]bool, len(pool.Puddles))
+		for _, pu := range pool.Puddles {
+			rec := d.st.Puddles[pu]
+			if rec == nil {
+				return fmt.Errorf("pool %q lists missing puddle %v", name, pu)
+			}
+			if rec.Pool != pool.UUID {
+				return fmt.Errorf("pool %q lists puddle %v owned by %v", name, pu, rec.Pool)
+			}
+			member[pu] = true
+		}
+		if !member[pool.Root] {
+			return fmt.Errorf("pool %q root %v is not a member", name, pool.Root)
+		}
+	}
+	for id, rec := range d.st.Puddles {
+		pool := d.poolByUUIDLocked(rec.Pool)
+		if pool == nil {
+			return fmt.Errorf("puddle %v references missing pool %v", id, rec.Pool)
+		}
+		found := false
+		for _, pu := range pool.Puddles {
+			if pu == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("puddle %v missing from pool %q member list", id, pool.Name)
+		}
+	}
+	for id, ls := range d.st.LogSpaces {
+		rec := d.st.Puddles[id]
+		if rec == nil {
+			return fmt.Errorf("log space %v references missing puddle", id)
+		}
+		if rec.Addr != ls.Addr {
+			return fmt.Errorf("log space %v at %#x but puddle at %#x", id, ls.Addr, rec.Addr)
+		}
+	}
+	return d.space.Validate()
 }

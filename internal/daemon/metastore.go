@@ -1,0 +1,439 @@
+// Metadata persistence: per-entity journal records over A/B
+// checkpoint slots.
+//
+// PR 2 left the daemon with one serialization point per mutation: the
+// whole `state` struct was re-gobbed and rewritten on every pool,
+// puddle or log-space change, so puddle churn from one client
+// re-serialized everyone's metadata (and held the global lock while
+// doing it). This file splits persistence into two layers, following
+// the per-structure persistence argument of Cai et al. ("Understanding
+// and Optimizing Persistent Memory Allocation") and MOD's goal of
+// minimizing ordered persists on the mutation path:
+//
+//   - Checkpoints: the existing A/B double-buffered, checksummed,
+//     whole-state gob snapshot. Written only at boot, shutdown, after
+//     recovery, and when the journal fills (compaction). Because the
+//     format is unchanged, an image written by the old
+//     snapshot-per-mutation daemon boots here unmodified — the old
+//     snapshot is simply a checkpoint with an empty journal. That is
+//     the migration path.
+//
+//   - Journal: an append-only region after the checkpoint slots. Every
+//     mutation appends one *batch* — the intent record for the whole
+//     (possibly multi-entity) operation: e.g. CreatePool appends
+//     {pool record, root puddle record} as a single CRC-guarded entry,
+//     FreePuddle appends {puddle tombstone, pool record, log-space
+//     tombstone}. A torn batch fails its CRC and is invisible after a
+//     crash, so multi-entity operations are atomic without ordering
+//     persists between entities. Boot loads the best checkpoint, then
+//     replays journal batches whose sequence number exceeds the
+//     checkpoint's.
+//
+// The journal write is a few hundred bytes regardless of how many
+// pools and puddles exist, so metadata persistence cost is now
+// proportional to the operation, not to the daemon's total state.
+package daemon
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"strconv"
+	"sync/atomic"
+
+	"puddles/internal/pmem"
+	"puddles/internal/ptypes"
+	"puddles/internal/uid"
+)
+
+// Journal geometry (directly after the checkpoint slots, well below
+// StagingBase).
+const (
+	journalBase pmem.Addr = slotB + slotBytes
+	journalSize uint64    = 8 << 20
+
+	journalMagic = 0x314c_4e52_4a50 // "PJRNL1"
+	jrnOffMagic  = 0
+	jrnOffBase   = 8  // checkpoint seq this journal builds on
+	jrnHdrSize   = 64 // first entry starts here (cacheline aligned)
+
+	// Entry header: u32 payload length | u32 zero | u64 payload CRC |
+	// u64 batch seq. The header is written last, after the payload is
+	// flushed, so a torn append leaves an invalid header and replay
+	// stops there (a header torn across cachelines fails its CRC; the
+	// entry was never acked, so dropping it is correct). Keeping the
+	// seq in the header rather than the payload lets the gob encode and
+	// CRC run outside jMu — only the tail reservation and the device
+	// writes serialize.
+	entHdrSize = 24
+
+	// Compaction trigger: once the tail passes this, the next request
+	// worker writes a checkpoint and resets the journal.
+	journalHighWater = journalSize * 3 / 4
+)
+
+// errJournalFull is returned when an append cannot fit even before
+// compaction has had a chance to run; the operation's metadata is NOT
+// durable and the client must not be acked.
+var errJournalFull = errors.New("daemon: metadata journal full")
+
+// recKind tags one persisted entity record.
+type recKind uint8
+
+const (
+	recPool recKind = iota + 1
+	recPuddle
+	recLogSpace
+	recSession
+	recTypes
+	recCounters
+	// recPoolLink / recPoolUnlink are membership deltas: Key is the
+	// pool name, Blob the raw member puddle UUID. Puddle churn journals
+	// one of these instead of the pool's whole member list, keeping the
+	// append O(operation) even for pools with huge membership; replay
+	// composes them onto the checkpointed pool record in order.
+	recPoolLink
+	recPoolUnlink
+)
+
+// entRec is one per-entity record inside a journal batch: a full
+// replacement value for the entity (or a tombstone).
+type entRec struct {
+	Kind recKind
+	Key  string // pool name, raw 16-byte UUID, or session id
+	Del  bool
+	Blob []byte // gob of the entity value; empty for tombstones
+}
+
+// jbatch is the unit of journal append and replay: all records of one
+// daemon operation, applied atomically. Its sequence number lives in
+// the entry header.
+type jbatch struct {
+	Recs []entRec
+}
+
+// counters is the journal-persisted slice of the daemon's cumulative
+// state that is not an entity registry.
+type counters struct {
+	NextSession    uint64
+	Recoveries     uint64
+	LogsReplayed   uint64
+	EntriesApplied uint64
+	Imports        uint64
+}
+
+func gobBytes(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobValue(blob []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(blob)).Decode(v)
+}
+
+// putRec builds a replacement record for one entity.
+func putRec(kind recKind, key string, v any) entRec {
+	blob, err := gobBytes(v)
+	if err != nil {
+		// Entities are plain gob-able structs; failure is a programming
+		// error, exactly like the old snapshot encoder panic.
+		panic(fmt.Sprintf("daemon: encoding %d record: %v", kind, err))
+	}
+	return entRec{Kind: kind, Key: key, Blob: blob}
+}
+
+// delRec builds a tombstone for one entity.
+func delRec(kind recKind, key string) entRec {
+	return entRec{Kind: kind, Key: key, Del: true}
+}
+
+func uuidKey(u uid.UUID) string { return string(u[:]) }
+
+// linkRec / unlinkRec build pool-membership delta records.
+func linkRec(pool string, member uid.UUID) entRec {
+	return entRec{Kind: recPoolLink, Key: pool, Blob: append([]byte(nil), member[:]...)}
+}
+
+func unlinkRec(pool string, member uid.UUID) entRec {
+	return entRec{Kind: recPoolUnlink, Key: pool, Blob: append([]byte(nil), member[:]...)}
+}
+
+func keyUUID(k string) (uid.UUID, bool) {
+	var u uid.UUID
+	if len(k) != len(u) {
+		return uid.Nil, false
+	}
+	copy(u[:], k)
+	return u, true
+}
+
+// countersRec snapshots the counter block. The caller holds sessMu
+// (the only context that journals counters mid-stream); the recovery
+// counters are quiescent while any handler runs, and are re-
+// checkpointed after every recovery pass anyway.
+func (d *Daemon) countersRec() entRec {
+	return putRec(recCounters, "", &counters{
+		NextSession:    d.st.NextSession,
+		Recoveries:     atomic.LoadUint64(&d.st.Recoveries),
+		LogsReplayed:   atomic.LoadUint64(&d.st.LogsReplayed),
+		EntriesApplied: atomic.LoadUint64(&d.st.EntriesApplied),
+		Imports:        atomic.LoadUint64(&d.st.Imports),
+	})
+}
+
+// appendBatch makes recs durable as one atomic journal entry and
+// bumps the metadata sequence number. Callers hold the lock of every
+// entity named in recs (so per-entity journal order matches in-memory
+// order); jMu serializes only the tail reservation and the entry's
+// device writes — the encode and checksum run before it is taken.
+func (d *Daemon) appendBatch(recs []entRec) error {
+	payload, err := gobBytes(&jbatch{Recs: recs})
+	if err != nil {
+		panic(fmt.Sprintf("daemon: encoding journal batch: %v", err))
+	}
+	crc := crc64.Checksum(payload, crcTable)
+	d.jMu.Lock()
+	defer d.jMu.Unlock()
+	need := uint64(entHdrSize) + uint64(len(payload)) + entHdrSize // entry + next header
+	if d.jTail+need > journalSize {
+		d.persistErrs.Add(1)
+		// The tail may still be below the high-water mark (an outsized
+		// batch); force the next maybeCompact to reclaim the journal so
+		// a retry of this operation can succeed.
+		d.needCompact.Store(true)
+		return errJournalFull
+	}
+	d.seq++
+	ent := journalBase + pmem.Addr(d.jTail)
+	next := ent + entHdrSize + pmem.Addr(len(payload))
+	// Payload first, and a zeroed header at the next slot so the boot
+	// scan terminates exactly at the true tail even over stale bytes
+	// from a previous journal generation.
+	d.dev.Store(ent+entHdrSize, payload)
+	d.dev.StoreU64(next, 0)
+	d.dev.StoreU64(next+8, 0)
+	d.dev.Flush(ent+entHdrSize, len(payload)+entHdrSize)
+	d.dev.Fence()
+	// Publish the header last.
+	d.dev.StoreU32(ent, uint32(len(payload)))
+	d.dev.StoreU32(ent+4, 0)
+	d.dev.StoreU64(ent+8, crc)
+	d.dev.StoreU64(ent+16, d.seq)
+	d.dev.Persist(ent, entHdrSize)
+	d.jTail = uint64(next - journalBase)
+	d.jTailApprox.Store(d.jTail)
+	return nil
+}
+
+// resetJournal starts a fresh (empty) journal on top of the checkpoint
+// with sequence number baseSeq. The checkpoint must already be durable.
+func (d *Daemon) resetJournal(baseSeq uint64) {
+	d.dev.StoreU64(journalBase+jrnOffBase, baseSeq)
+	d.dev.StoreU64(journalBase+pmem.Addr(jrnHdrSize), 0) // first entry: len 0
+	d.dev.StoreU64(journalBase+pmem.Addr(jrnHdrSize)+8, 0)
+	d.dev.StoreU64(journalBase+jrnOffMagic, journalMagic)
+	d.dev.Persist(journalBase, jrnHdrSize+entHdrSize)
+	d.jTail = jrnHdrSize
+	d.jTailApprox.Store(d.jTail)
+}
+
+// replayJournal scans the journal and applies every decodable batch
+// with Seq > ckptSeq to d.st, in append order. Returns the number of
+// batches applied. Called single-threaded at boot.
+func (d *Daemon) replayJournal(ckptSeq uint64) int {
+	if d.dev.LoadU64(journalBase+jrnOffMagic) != journalMagic {
+		return 0 // pre-journal image (old whole-state snapshot): nothing on top
+	}
+	// Cross-validate the journal against the checkpoint we loaded. The
+	// write ordering (checkpoint durable before resetJournal) makes
+	// baseSeq <= ckptSeq an invariant; a violation means the journal
+	// was built on a checkpoint we failed to read, and its batches —
+	// membership deltas especially — must not be composed onto an
+	// older base.
+	if base := d.dev.LoadU64(journalBase + jrnOffBase); base > ckptSeq {
+		d.logf("boot: journal base seq %d exceeds checkpoint %d; ignoring journal", base, ckptSeq)
+		return 0
+	}
+	applied := 0
+	off := uint64(jrnHdrSize)
+	for {
+		if off+entHdrSize > journalSize {
+			break
+		}
+		ent := journalBase + pmem.Addr(off)
+		n := uint64(d.dev.LoadU32(ent))
+		if n == 0 || off+entHdrSize+n > journalSize {
+			break
+		}
+		payload := make([]byte, n)
+		d.dev.Load(ent+entHdrSize, payload)
+		if crc64.Checksum(payload, crcTable) != d.dev.LoadU64(ent+8) {
+			break // torn append: the batch never happened
+		}
+		seq := d.dev.LoadU64(ent + 16)
+		var b jbatch
+		if err := gobValue(payload, &b); err != nil {
+			break
+		}
+		if seq > ckptSeq {
+			d.applyBatch(&b)
+			if seq > d.seq {
+				d.seq = seq
+			}
+			applied++
+		}
+		off += entHdrSize + n
+	}
+	return applied
+}
+
+// applyBatch folds one journal batch into the in-memory state.
+// Records are whole-entity replacements, so application is idempotent
+// and last-writer-wins per key.
+func (d *Daemon) applyBatch(b *jbatch) {
+	for _, r := range b.Recs {
+		switch r.Kind {
+		case recPool:
+			if r.Del {
+				delete(d.st.Pools, r.Key)
+				continue
+			}
+			var p PoolRec
+			if gobValue(r.Blob, &p) == nil {
+				d.st.Pools[r.Key] = &p
+			}
+		case recPuddle:
+			u, ok := keyUUID(r.Key)
+			if !ok {
+				continue
+			}
+			if r.Del {
+				delete(d.st.Puddles, u)
+				continue
+			}
+			var p PuddleRec
+			if gobValue(r.Blob, &p) == nil {
+				d.st.Puddles[u] = &p
+			}
+		case recLogSpace:
+			u, ok := keyUUID(r.Key)
+			if !ok {
+				continue
+			}
+			if r.Del {
+				delete(d.st.LogSpaces, u)
+				continue
+			}
+			var ls LogSpaceRec
+			if gobValue(r.Blob, &ls) == nil {
+				d.st.LogSpaces[u] = &ls
+			}
+		case recSession:
+			id, err := strconv.ParseUint(r.Key, 10, 64)
+			if err != nil {
+				continue
+			}
+			if r.Del {
+				delete(d.st.Sessions, id)
+				continue
+			}
+			var s ImportSession
+			if gobValue(r.Blob, &s) == nil {
+				d.st.Sessions[id] = &s
+			}
+		case recPoolLink, recPoolUnlink:
+			pool := d.st.Pools[r.Key]
+			u, ok := keyUUID(string(r.Blob))
+			if pool == nil || !ok {
+				continue
+			}
+			if r.Kind == recPoolLink {
+				pool.Puddles = append(pool.Puddles, u)
+				continue
+			}
+			for i, pu := range pool.Puddles {
+				if pu == u {
+					pool.Puddles = append(pool.Puddles[:i], pool.Puddles[i+1:]...)
+					break
+				}
+			}
+		case recTypes:
+			var ts []ptypes.TypeInfo
+			if gobValue(r.Blob, &ts) == nil {
+				d.st.Types = ts
+			}
+		case recCounters:
+			var c counters
+			if gobValue(r.Blob, &c) == nil {
+				d.st.NextSession = c.NextSession
+				d.st.Recoveries = c.Recoveries
+				d.st.LogsReplayed = c.LogsReplayed
+				d.st.EntriesApplied = c.EntriesApplied
+				d.st.Imports = c.Imports
+			}
+		}
+	}
+}
+
+// writeCheckpoint writes a whole-state snapshot into the next A/B slot
+// and resets the journal on top of it. The caller must hold opMu
+// exclusively (or be the single boot goroutine): no mutation may be in
+// flight while the full state is encoded.
+func (d *Daemon) writeCheckpoint() error {
+	d.seq++
+	d.st.Seq = d.seq
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&d.st); err != nil {
+		panic(fmt.Sprintf("daemon: encoding snapshot: %v", err)) // programming error
+	}
+	data := buf.Bytes()
+	if len(data)+32 > slotBytes {
+		d.persistErrs.Add(1)
+		return fmt.Errorf("daemon: snapshot %d bytes exceeds slot", len(data))
+	}
+	slot := slotA
+	if d.st.Seq%2 == 0 {
+		slot = slotB
+	}
+	// Header last: a torn snapshot write is invisible because the old
+	// slot still decodes and carries the higher valid seq.
+	d.dev.Store(slot+32, data)
+	d.dev.Flush(slot+32, len(data))
+	d.dev.Fence()
+	d.dev.StoreU64(slot+8, uint64(len(data)))
+	d.dev.StoreU64(slot+16, crc64.Checksum(data, crcTable))
+	d.dev.StoreU64(slot, d.st.Seq)
+	d.dev.Persist(slot, 32)
+	// Only after the checkpoint is durable may the journal restart; a
+	// crash in between replays the old journal against the old slot.
+	d.resetJournal(d.st.Seq)
+	return nil
+}
+
+// maybeCompact checkpoints and resets the journal once it passes the
+// high-water mark (or an append failed for space). Called from request
+// workers with no daemon locks held; the exclusive opMu acquisition
+// quiesces in-flight mutations so the snapshot is consistent and no
+// concurrent append is lost to the reset.
+func (d *Daemon) maybeCompact() {
+	if d.jTailApprox.Load() < journalHighWater && !d.needCompact.Load() {
+		return
+	}
+	d.opMu.Lock()
+	defer d.opMu.Unlock()
+	if d.closed.Load() {
+		return
+	}
+	if d.jTailApprox.Load() < journalHighWater && !d.needCompact.Swap(false) {
+		return
+	}
+	d.needCompact.Store(false)
+	if err := d.writeCheckpoint(); err != nil {
+		d.logf("compaction: %v", err)
+	}
+}

@@ -5,6 +5,11 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"puddles/internal/addrspace"
 	"puddles/internal/pmem"
@@ -15,8 +20,19 @@ import (
 	"puddles/internal/uid"
 )
 
+// Per-connection pipelining defaults: requests are read into a bounded
+// queue and executed by a small worker pool; responses are written
+// strictly in request order by a dedicated writer, matched to callers
+// by request ID on the client side.
+const (
+	defaultConnWorkers = 4
+	connQueueDepth     = 32
+)
+
 // Serve accepts connections on l until it is closed. Each connection
-// gets its own goroutine; requests within a connection are serialized.
+// gets its own read loop, response writer and dispatch worker pool, so
+// one client's requests pipeline against each other and against every
+// other client — nothing funnels through a daemon-global lock.
 func (d *Daemon) Serve(l net.Listener) error {
 	for {
 		c, err := l.Accept()
@@ -38,38 +54,114 @@ func (d *Daemon) SelfConn() *proto.Conn {
 	return proto.NewConn(client)
 }
 
+func (d *Daemon) numConnWorkers() int {
+	n := d.connWorkers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+		if n > defaultConnWorkers {
+			n = defaultConnWorkers
+		}
+	}
+	return n
+}
+
+// handleConn pipelines one connection: the read loop snapshots the
+// connection's credentials per request and hands (request, response
+// slot) pairs to the workers; the writer drains the slots in request
+// order. An injected power failure (chaos testing) inside a handler
+// means the "machine" is gone: the worker reports a nil response and
+// the connection is torn down, so clients see a dead connection
+// exactly as they would a crashed daemon process. A non-crash handler
+// panic is confined to its request (see serveOne).
 func (d *Daemon) handleConn(sc *proto.ServerConn) {
-	defer sc.Close()
-	// An injected power failure (chaos testing) may fire while the
-	// daemon itself is writing: the "machine" is gone, so this
-	// connection goroutine just stops — clients see a dead connection,
-	// exactly as they would a crashed daemon process.
-	defer func() {
-		if r := recover(); r != nil && !pmem.IsCrash(r) {
-			panic(r)
+	var killOnce sync.Once
+	kill := func() { killOnce.Do(func() { sc.Close() }) }
+	defer kill()
+
+	type job struct {
+		req   *proto.Request
+		creds Creds
+		ch    chan *proto.Response
+	}
+	ordered := make(chan chan *proto.Response, connQueueDepth)
+	work := make(chan job, connQueueDepth)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // response writer: request order, one goroutine
+		defer wg.Done()
+		for ch := range ordered {
+			resp := <-ch
+			if resp == nil {
+				kill() // crash-injected power failure mid-request
+				continue
+			}
+			if err := sc.Send(resp); err != nil {
+				kill()
+			}
 		}
 	}()
+	workers := d.numConnWorkers()
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for j := range work {
+				j.ch <- d.serveOne(j.creds, j.req, kill)
+			}
+		}()
+	}
+
 	creds := Superuser
 	for {
 		req, err := sc.Recv()
 		if err != nil {
-			if err != io.EOF {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
 				d.logf("conn: %v", err)
 			}
-			return
+			break
 		}
+		ch := make(chan *proto.Response, 1)
 		if req.Op == proto.OpHello {
+			// Credentials apply to every request read after this one;
+			// the ack still flows through the writer, in order.
 			creds = Creds{UID: req.UID, GID: req.GID}
-			if err := sc.Send(&proto.Response{}); err != nil {
-				return
-			}
+			ch <- &proto.Response{ID: req.ID}
+			ordered <- ch
 			continue
 		}
-		resp := d.dispatch(creds, req)
-		if err := sc.Send(resp); err != nil {
-			return
-		}
+		ordered <- ch
+		work <- job{req: req, creds: creds, ch: ch}
 	}
+	close(work)
+	close(ordered)
+	wg.Wait()
+}
+
+// serveOne executes one request with per-request panic confinement: a
+// handler bug produces an error response and ticks DispatchPanics
+// instead of tearing down the connection loop; an injected crash
+// (pmem.IsCrash) returns nil, meaning the machine died.
+func (d *Daemon) serveOne(creds Creds, req *proto.Request, kill func()) (resp *proto.Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pmem.IsCrash(r) {
+				kill()
+				resp = nil
+				return
+			}
+			d.panics.Add(1)
+			d.logf("dispatch %v: panic: %v\n%s", req.Op, r, debug.Stack())
+			resp = fail("internal error in %v: %v", req.Op, r)
+			resp.ID = req.ID
+		}
+	}()
+	resp = d.dispatch(creds, req)
+	resp.ID = req.ID
+	// Opportunistic journal compaction runs here, after the response is
+	// built and with no daemon locks held.
+	d.maybeCompact()
+	return resp
 }
 
 func fail(format string, args ...any) *proto.Response {
@@ -80,13 +172,30 @@ func fail(format string, args ...any) *proto.Response {
 // in-process callers can bypass the socket (not used by Libpuddles,
 // which always goes through a Conn, but handy for tools).
 func (d *Daemon) Dispatch(creds Creds, req *proto.Request) *proto.Response {
-	return d.dispatch(creds, req)
+	resp := d.dispatch(creds, req)
+	resp.ID = req.ID
+	d.maybeCompact()
+	return resp
 }
 
+// dispatch routes one request. There is deliberately no daemon-global
+// lock here anymore: shutdown and recovery quiesce via opMu
+// exclusively, every other op holds opMu shared and synchronizes on
+// the registry/pool locks it actually touches.
 func (d *Daemon) dispatch(creds Creds, req *proto.Request) *proto.Response {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.closed {
+	if hook := d.panicHook; hook != nil {
+		hook(req)
+	}
+	switch req.Op {
+	case proto.OpShutdown:
+		d.Shutdown()
+		return &proto.Response{}
+	case proto.OpRecoverNow:
+		return d.opRecoverNow()
+	}
+	d.opMu.RLock()
+	defer d.opMu.RUnlock()
+	if d.closed.Load() {
 		return fail("daemon is shut down")
 	}
 	switch req.Op {
@@ -129,26 +238,41 @@ func (d *Daemon) dispatch(creds Creds, req *proto.Request) *proto.Response {
 	case proto.OpImportDone:
 		return d.opImportDone(creds, req)
 	case proto.OpStat:
-		return &proto.Response{Stats: d.statsLocked()}
-	case proto.OpRecoverNow:
-		d.runRecovery()
-		return &proto.Response{Stats: d.statsLocked()}
-	case proto.OpShutdown:
-		d.persist()
-		d.dev.StoreU64(metaBase+sbOffDirt, 0)
-		d.dev.Persist(metaBase+sbOffDirt, 8)
-		d.closed = true
-		return &proto.Response{}
+		return &proto.Response{Stats: d.Stats()}
 	default:
 		return fail("unknown op %v", req.Op)
 	}
+}
+
+// opRecoverNow forces a recovery pass (tests). It quiesces the daemon
+// the same way boot-time recovery has the machine to itself.
+func (d *Daemon) opRecoverNow() *proto.Response {
+	d.opMu.Lock()
+	if d.closed.Load() {
+		d.opMu.Unlock()
+		return fail("daemon is shut down")
+	}
+	d.runRecovery()
+	d.opMu.Unlock()
+	return &proto.Response{Stats: d.Stats()}
+}
+
+// persistOrFail appends one atomic journal batch; on failure the
+// operation's metadata is not durable, so the client gets an error
+// response instead of an ack (the counter is bumped inside the append
+// path). Callers hold the locks of every entity in recs.
+func (d *Daemon) persistOrFail(recs ...entRec) *proto.Response {
+	if err := d.appendBatch(recs); err != nil {
+		return fail("persisting metadata: %v", err)
+	}
+	return nil
 }
 
 func (d *Daemon) opCreatePool(creds Creds, req *proto.Request) *proto.Response {
 	if req.Name == "" {
 		return fail("pool name required")
 	}
-	if _, ok := d.st.Pools[req.Name]; ok {
+	if d.poolByName(req.Name) != nil {
 		return fail("pool %q already exists", req.Name)
 	}
 	mode := req.Mode
@@ -166,13 +290,30 @@ func (d *Daemon) opCreatePool(creds Creds, req *proto.Request) *proto.Response {
 		OwnerGID: creds.GID,
 		Mode:     mode,
 	}
-	root, err := d.newPuddle(pool, size, puddle.KindData)
+	root, err := d.formPuddle(pool.UUID, size, puddle.KindData)
 	if err != nil {
 		return fail("allocating root puddle: %v", err)
 	}
 	pool.Root = root.UUID
+	pool.Puddles = []uid.UUID{root.UUID}
+	// Publish under the pool's lock so a concurrent op on the new pool
+	// cannot journal ahead of the creation batch; re-check the name so
+	// racing creators don't both win.
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	d.poolsMu.Lock()
+	if _, ok := d.st.Pools[req.Name]; ok {
+		d.poolsMu.Unlock()
+		d.space.Release(pmem.Addr(root.Addr))
+		return fail("pool %q already exists", req.Name)
+	}
 	d.st.Pools[req.Name] = pool
-	d.persist()
+	d.st.Puddles[root.UUID] = root
+	d.poolsMu.Unlock()
+	if resp := d.persistOrFail(pool.rec(), putRec(recPuddle, uuidKey(root.UUID), root)); resp != nil {
+		d.unlinkPoolLocked(pool)
+		return resp
+	}
 	return &proto.Response{
 		Pool:     pool.UUID,
 		UUID:     root.UUID,
@@ -183,23 +324,43 @@ func (d *Daemon) opCreatePool(creds Creds, req *proto.Request) *proto.Response {
 	}
 }
 
+// unlinkPoolLocked rolls back an unpersistable pool publication.
+// Caller holds pool.mu.
+func (d *Daemon) unlinkPoolLocked(pool *PoolRec) {
+	d.poolsMu.Lock()
+	delete(d.st.Pools, pool.Name)
+	for _, pu := range pool.Puddles {
+		if rec := d.st.Puddles[pu]; rec != nil {
+			delete(d.st.Puddles, pu)
+			d.space.Release(pmem.Addr(rec.Addr))
+		}
+	}
+	d.poolsMu.Unlock()
+}
+
 func (d *Daemon) opOpenPool(creds Creds, req *proto.Request) *proto.Response {
-	pool, ok := d.st.Pools[req.Name]
-	if !ok {
+	pool := d.poolByName(req.Name)
+	if pool == nil {
 		return fail("pool %q not found", req.Name)
 	}
 	if !checkPerm(creds, pool, false) {
 		return fail("permission denied reading pool %q", req.Name)
 	}
-	root := d.st.Puddles[pool.Root]
-	if root == nil {
-		return fail("pool %q has no root puddle", req.Name)
-	}
-	infos := make([]proto.PuddleInfo, 0, len(pool.Puddles))
-	for _, pu := range pool.Puddles {
+	pool.mu.Lock()
+	members := append([]uid.UUID(nil), pool.Puddles...)
+	rootID := pool.Root
+	pool.mu.Unlock()
+	d.poolsMu.RLock()
+	root := d.st.Puddles[rootID]
+	infos := make([]proto.PuddleInfo, 0, len(members))
+	for _, pu := range members {
 		if rec := d.st.Puddles[pu]; rec != nil {
 			infos = append(infos, proto.PuddleInfo{UUID: rec.UUID, Addr: rec.Addr, Size: rec.Size, Kind: rec.Kind})
 		}
+	}
+	d.poolsMu.RUnlock()
+	if root == nil {
+		return fail("pool %q has no root puddle", req.Name)
 	}
 	return &proto.Response{
 		Pool:     pool.UUID,
@@ -212,21 +373,63 @@ func (d *Daemon) opOpenPool(creds Creds, req *proto.Request) *proto.Response {
 }
 
 func (d *Daemon) opDeletePool(creds Creds, req *proto.Request) *proto.Response {
-	pool, ok := d.st.Pools[req.Name]
-	if !ok {
+	pool := d.poolByName(req.Name)
+	if pool == nil {
 		return fail("pool %q not found", req.Name)
 	}
 	if !checkPerm(creds, pool, true) {
 		return fail("permission denied deleting pool %q", req.Name)
 	}
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	d.poolsMu.RLock()
+	current := d.st.Pools[req.Name] == pool
+	d.poolsMu.RUnlock()
+	if !current {
+		return fail("pool %q not found", req.Name)
+	}
+	// Persist the tombstones FIRST, then remove from the maps. While
+	// pool.mu is held no same-pool mutation (puddle create/free,
+	// log-space registration) can interleave, and the name stays
+	// reserved in st.Pools until the deletion is durable — so a failed
+	// persist needs no unwind, and never clobbers a pool another client
+	// raced to create under the same name.
+	recs := make([]entRec, 0, len(pool.Puddles)+2)
+	released := make([]pmem.Addr, 0, len(pool.Puddles))
+	d.poolsMu.RLock()
 	for _, pu := range pool.Puddles {
 		if rec := d.st.Puddles[pu]; rec != nil {
-			d.space.Release(pmem.Addr(rec.Addr))
-			delete(d.st.Puddles, pu)
+			released = append(released, pmem.Addr(rec.Addr))
+			recs = append(recs, delRec(recPuddle, uuidKey(pu)))
 		}
 	}
+	d.poolsMu.RUnlock()
+	// Registered log spaces die with their puddles, in the same batch.
+	d.lsMu.Lock()
+	for _, pu := range pool.Puddles {
+		if _, ok := d.st.LogSpaces[pu]; ok {
+			recs = append(recs, delRec(recLogSpace, uuidKey(pu)))
+		}
+	}
+	d.lsMu.Unlock()
+	recs = append(recs, delRec(recPool, req.Name))
+	if resp := d.persistOrFail(recs...); resp != nil {
+		return resp
+	}
+	d.poolsMu.Lock()
+	for _, pu := range pool.Puddles {
+		delete(d.st.Puddles, pu)
+	}
 	delete(d.st.Pools, req.Name)
-	d.persist()
+	d.poolsMu.Unlock()
+	d.lsMu.Lock()
+	for _, pu := range pool.Puddles {
+		delete(d.st.LogSpaces, pu)
+	}
+	d.lsMu.Unlock()
+	for _, addr := range released {
+		d.space.Release(addr)
+	}
 	return &proto.Response{}
 }
 
@@ -234,23 +437,35 @@ func (d *Daemon) opDeletePool(creds Creds, req *proto.Request) *proto.Response {
 // may. Revoking write access also revokes what recovery may replay
 // (paper §4.6) — see TestRecoveryHonoursWritePermission.
 func (d *Daemon) opChmodPool(creds Creds, req *proto.Request) *proto.Response {
-	pool, ok := d.st.Pools[req.Name]
-	if !ok {
+	pool := d.poolByName(req.Name)
+	if pool == nil {
 		return fail("pool %q not found", req.Name)
 	}
 	if creds != Superuser && creds.UID != pool.OwnerUID {
 		return fail("permission denied: only the owner may chmod %q", req.Name)
 	}
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	old := pool.Mode
 	pool.Mode = req.Mode
-	d.persist()
+	if resp := d.persistOrFail(pool.rec()); resp != nil {
+		pool.Mode = old
+		return resp
+	}
 	return &proto.Response{}
 }
 
 func (d *Daemon) opListPools(creds Creds) *proto.Response {
-	names := make([]string, 0, len(d.st.Pools))
-	for name, pool := range d.st.Pools {
+	d.poolsMu.RLock()
+	pools := make([]*PoolRec, 0, len(d.st.Pools))
+	for _, pool := range d.st.Pools {
+		pools = append(pools, pool)
+	}
+	d.poolsMu.RUnlock()
+	names := make([]string, 0, len(pools))
+	for _, pool := range pools {
 		if checkPerm(creds, pool, false) {
-			names = append(names, name)
+			names = append(names, pool.Name)
 		}
 	}
 	return &proto.Response{Names: names}
@@ -272,17 +487,39 @@ func (d *Daemon) opGetNewPuddle(creds Creds, req *proto.Request) *proto.Response
 	if kind == 0 {
 		kind = puddle.KindData
 	}
-	rec, err := d.newPuddle(pool, size, kind)
+	// Reserve and format outside all locks — the expensive part of
+	// puddle creation no longer blocks any other client.
+	rec, err := d.formPuddle(pool.UUID, size, kind)
 	if err != nil {
 		return fail("allocating puddle: %v", err)
 	}
-	d.persist()
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	d.poolsMu.Lock()
+	if d.st.Pools[pool.Name] != pool { // deleted while we formatted
+		d.poolsMu.Unlock()
+		d.space.Release(pmem.Addr(rec.Addr))
+		return fail("pool %q not found", pool.Name)
+	}
+	d.st.Puddles[rec.UUID] = rec
+	d.poolsMu.Unlock()
+	pool.Puddles = append(pool.Puddles, rec.UUID)
+	// A membership delta, not the whole pool record: the journal write
+	// stays O(operation) however many puddles the pool has.
+	if resp := d.persistOrFail(putRec(recPuddle, uuidKey(rec.UUID), rec), linkRec(pool.Name, rec.UUID)); resp != nil {
+		pool.Puddles = pool.Puddles[:len(pool.Puddles)-1]
+		d.poolsMu.Lock()
+		delete(d.st.Puddles, rec.UUID)
+		d.poolsMu.Unlock()
+		d.space.Release(pmem.Addr(rec.Addr))
+		return resp
+	}
 	return &proto.Response{UUID: rec.UUID, Addr: rec.Addr, Size: rec.Size, Writable: true}
 }
 
 func (d *Daemon) opGetExistPuddle(creds Creds, req *proto.Request) *proto.Response {
-	rec, ok := d.st.Puddles[req.UUID]
-	if !ok {
+	rec := d.puddleRec(req.UUID)
+	if rec == nil {
 		return fail("puddle %v not found", req.UUID)
 	}
 	pool := d.poolByUUID(rec.Pool)
@@ -299,8 +536,8 @@ func (d *Daemon) opGetExistPuddle(creds Creds, req *proto.Request) *proto.Respon
 }
 
 func (d *Daemon) opFreePuddle(creds Creds, req *proto.Request) *proto.Response {
-	rec, ok := d.st.Puddles[req.UUID]
-	if !ok {
+	rec := d.puddleRec(req.UUID)
+	if rec == nil {
 		return fail("puddle %v not found", req.UUID)
 	}
 	pool := d.poolByUUID(rec.Pool)
@@ -310,21 +547,51 @@ func (d *Daemon) opFreePuddle(creds Creds, req *proto.Request) *proto.Response {
 	if pool.Root == rec.UUID {
 		return fail("cannot free a pool's root puddle")
 	}
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	// Re-check under the pool lock: a racing free or pool delete may
+	// have beaten us here.
+	d.poolsMu.RLock()
+	current := d.st.Puddles[rec.UUID] == rec
+	d.poolsMu.RUnlock()
+	if !current {
+		return fail("puddle %v not found", req.UUID)
+	}
+	// Persist first, remove after (see opDeletePool): pool.mu keeps any
+	// same-pool mutation out until the free is durable, so the failure
+	// path needs no unwind.
+	recs := []entRec{delRec(recPuddle, uuidKey(rec.UUID)), unlinkRec(pool.Name, rec.UUID)}
+	// A registered log space on this puddle dies with it, atomically.
+	d.lsMu.Lock()
+	_, hadLS := d.st.LogSpaces[rec.UUID]
+	d.lsMu.Unlock()
+	if hadLS {
+		recs = append(recs, delRec(recLogSpace, uuidKey(rec.UUID)))
+	}
+	if resp := d.persistOrFail(recs...); resp != nil {
+		return resp
+	}
+	d.poolsMu.Lock()
+	delete(d.st.Puddles, rec.UUID)
+	d.poolsMu.Unlock()
 	for i, pu := range pool.Puddles {
 		if pu == rec.UUID {
 			pool.Puddles = append(pool.Puddles[:i], pool.Puddles[i+1:]...)
 			break
 		}
 	}
+	if hadLS {
+		d.lsMu.Lock()
+		delete(d.st.LogSpaces, rec.UUID)
+		d.lsMu.Unlock()
+	}
 	d.space.Release(pmem.Addr(rec.Addr))
-	delete(d.st.Puddles, rec.UUID)
-	d.persist()
 	return &proto.Response{}
 }
 
 func (d *Daemon) opRegLogSpace(creds Creds, req *proto.Request) *proto.Response {
-	rec, ok := d.st.Puddles[req.UUID]
-	if !ok {
+	rec := d.puddleRec(req.UUID)
+	if rec == nil {
 		return fail("log-space puddle %v not found", req.UUID)
 	}
 	pool := d.poolByUUID(rec.Pool)
@@ -334,12 +601,30 @@ func (d *Daemon) opRegLogSpace(creds Creds, req *proto.Request) *proto.Response 
 	if puddle.Kind(rec.Kind) != puddle.KindLogSpace {
 		return fail("puddle %v is kind %v, not a log space", req.UUID, puddle.Kind(rec.Kind))
 	}
-	d.st.LogSpaces[rec.UUID] = &LogSpaceRec{UUID: rec.UUID, Addr: rec.Addr, Creds: creds}
-	d.persist()
+	ls := &LogSpaceRec{UUID: rec.UUID, Addr: rec.Addr, Creds: creds}
+	// Registration serializes on the owning pool's lock, like the free
+	// path does: otherwise a concurrent FreePuddle/DeletePool could
+	// complete between our existence check and the insert, leaving a
+	// durable log space that references a deleted puddle. Under
+	// pool.mu, re-check the puddle is still registered.
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	if d.puddleRec(req.UUID) != rec {
+		return fail("log-space puddle %v not found", req.UUID)
+	}
+	d.lsMu.Lock()
+	defer d.lsMu.Unlock()
+	d.st.LogSpaces[rec.UUID] = ls
+	if resp := d.persistOrFail(putRec(recLogSpace, uuidKey(rec.UUID), ls)); resp != nil {
+		delete(d.st.LogSpaces, rec.UUID)
+		return resp
+	}
 	return &proto.Response{}
 }
 
 func (d *Daemon) opUnregLogSpace(creds Creds, req *proto.Request) *proto.Response {
+	d.lsMu.Lock()
+	defer d.lsMu.Unlock()
 	ls, ok := d.st.LogSpaces[req.UUID]
 	if !ok {
 		return fail("log space %v not registered", req.UUID)
@@ -348,7 +633,10 @@ func (d *Daemon) opUnregLogSpace(creds Creds, req *proto.Request) *proto.Respons
 		return fail("permission denied")
 	}
 	delete(d.st.LogSpaces, req.UUID)
-	d.persist()
+	if resp := d.persistOrFail(delRec(recLogSpace, uuidKey(req.UUID))); resp != nil {
+		d.st.LogSpaces[req.UUID] = ls
+		return resp
+	}
 	return &proto.Response{}
 }
 
@@ -356,12 +644,28 @@ func (d *Daemon) opRegisterType(req *proto.Request) *proto.Response {
 	if err := d.types.Put(req.Type); err != nil {
 		return fail("registering type: %v", err)
 	}
-	d.st.Types = typeList(d.types)
-	d.persist()
+	if resp := d.persistTypes(); resp != nil {
+		return resp
+	}
 	return &proto.Response{}
 }
 
-func typeList(r *ptypes.Registry) []ptypes.TypeInfo { return r.All() }
+// persistTypes journals the registry's current type list and, only on
+// success, adopts it as st.Types (what checkpoints snapshot) — so a
+// type the client was told failed never becomes durable. The volatile
+// registry may briefly run ahead of the durable list; a reboot forgets
+// the unacked type, which is the correct semantics. Returns the error
+// response, or nil.
+func (d *Daemon) persistTypes() *proto.Response {
+	d.typesMu.Lock()
+	defer d.typesMu.Unlock()
+	merged := d.types.All()
+	if resp := d.persistOrFail(putRec(recTypes, "", merged)); resp != nil {
+		return resp
+	}
+	d.st.Types = merged
+	return nil
+}
 
 func (d *Daemon) opGetType(req *proto.Request) *proto.Response {
 	ti, ok := d.types.Lookup(ptypes.TypeID(req.TypeID))
@@ -374,22 +678,26 @@ func (d *Daemon) opGetType(req *proto.Request) *proto.Response {
 // --- export / import (paper §4.2) ---
 
 func (d *Daemon) opExportPool(creds Creds, req *proto.Request) *proto.Response {
-	pool, ok := d.st.Pools[req.Name]
-	if !ok {
+	pool := d.poolByName(req.Name)
+	if pool == nil {
 		return fail("pool %q not found", req.Name)
 	}
 	if !checkPerm(creds, pool, false) {
 		return fail("permission denied reading pool %q", req.Name)
 	}
+	pool.mu.Lock()
+	members := append([]uid.UUID(nil), pool.Puddles...)
+	rootID := pool.Root
+	pool.mu.Unlock()
 	c := reloc.Container{
 		Version:  reloc.ContainerVersion,
 		PoolName: pool.Name,
 		PoolUUID: pool.UUID,
-		RootUUID: pool.Root,
+		RootUUID: rootID,
 		Types:    d.types.All(),
 	}
-	for _, pu := range pool.Puddles {
-		rec := d.st.Puddles[pu]
+	for _, pu := range members {
+		rec := d.puddleRec(pu)
 		if rec == nil {
 			continue
 		}
@@ -406,11 +714,15 @@ func (d *Daemon) opExportPool(creds Creds, req *proto.Request) *proto.Response {
 	return &proto.Response{Blob: blob}
 }
 
+// Import sessions are cold-path: every import op serializes on sessMu
+// (which also covers the staging area manager and NextSession), then
+// takes the pool/puddle locks it needs in the usual order.
+
 func (d *Daemon) opImportPool(creds Creds, req *proto.Request) *proto.Response {
 	if req.Name == "" {
 		return fail("target pool name required")
 	}
-	if _, exists := d.st.Pools[req.Name]; exists {
+	if d.poolByName(req.Name) != nil {
 		return fail("pool %q already exists", req.Name)
 	}
 	c, err := reloc.DecodeBytes(req.Blob)
@@ -422,7 +734,16 @@ func (d *Daemon) opImportPool(creds Creds, req *proto.Request) *proto.Response {
 			return fail("importing type %q: %v", ti.Name, err)
 		}
 	}
-	d.st.Types = d.types.All()
+	// Persist the merged type list in its own batch, under typesMu, so
+	// its journal record cannot be reordered against a concurrent
+	// RegisterType (types only ever grow, so a crash between this batch
+	// and the session batch stays consistent).
+	if resp := d.persistTypes(); resp != nil {
+		return resp
+	}
+
+	d.sessMu.Lock()
+	defer d.sessMu.Unlock()
 	sess := &ImportSession{
 		ID:       d.st.NextSession,
 		PoolName: req.Name,
@@ -471,8 +792,13 @@ func (d *Daemon) opImportPool(creds Creds, req *proto.Request) *proto.Response {
 	}
 	d.mapImport(sess, root)
 	d.st.Sessions[sess.ID] = sess
-	d.st.Imports++
-	d.persist()
+	atomic.AddUint64(&d.st.Imports, 1)
+	if resp := d.persistOrFail(sessRec(sess), d.countersRec()); resp != nil {
+		atomic.AddUint64(&d.st.Imports, ^uint64(0)) // the import did not happen
+		delete(d.st.Sessions, sess.ID)
+		d.releaseSession(sess)
+		return resp
+	}
 	infos := make([]proto.PuddleInfo, len(sess.Puddles))
 	for i, ip := range sess.Puddles {
 		infos[i] = proto.PuddleInfo{UUID: ip.UUID, Addr: ip.OldAddr, Size: ip.Size, Kind: ip.Kind}
@@ -488,8 +814,14 @@ func (d *Daemon) opImportPool(creds Creds, req *proto.Request) *proto.Response {
 	}
 }
 
+// sessRec builds an import session's journal record. Caller holds
+// sessMu.
+func sessRec(s *ImportSession) entRec {
+	return putRec(recSession, strconv.FormatUint(s.ID, 10), s)
+}
+
 // resolveImport assigns a global-space address to ip: its old address
-// when free, a fresh range on conflict. Caller holds d.mu.
+// when free, a fresh range on conflict. Caller holds sessMu.
 func (d *Daemon) resolveImport(sess *ImportSession, ip *ImportPuddle) error {
 	if ip.NewAddr != 0 {
 		return nil
@@ -509,7 +841,7 @@ func (d *Daemon) resolveImport(sess *ImportSession, ip *ImportPuddle) error {
 }
 
 // mapImport copies the staged image to its assigned address and
-// refreshes the puddle's identity. Caller holds d.mu.
+// refreshes the puddle's identity. Caller holds sessMu.
 func (d *Daemon) mapImport(sess *ImportSession, ip *ImportPuddle) {
 	if ip.Mapped {
 		return
@@ -535,6 +867,7 @@ func (d *Daemon) releaseSession(sess *ImportSession) {
 	}
 }
 
+// session resolves an import session. Caller holds sessMu.
 func (d *Daemon) session(creds Creds, id uint64) (*ImportSession, *proto.Response) {
 	sess, ok := d.st.Sessions[id]
 	if !ok {
@@ -547,6 +880,8 @@ func (d *Daemon) session(creds Creds, id uint64) (*ImportSession, *proto.Respons
 }
 
 func (d *Daemon) opImportResolve(creds Creds, req *proto.Request) *proto.Response {
+	d.sessMu.Lock()
+	defer d.sessMu.Unlock()
 	sess, errResp := d.session(creds, req.Session)
 	if errResp != nil {
 		return errResp
@@ -557,7 +892,10 @@ func (d *Daemon) opImportResolve(creds Creds, req *proto.Request) *proto.Respons
 			if err := d.resolveImport(sess, ip); err != nil {
 				return fail("resolving: %v", err)
 			}
-			d.persist() // the frontier reservation must survive a crash
+			// The frontier reservation must survive a crash.
+			if resp := d.persistOrFail(sessRec(sess)); resp != nil {
+				return resp
+			}
 			return &proto.Response{UUID: ip.UUID, Addr: ip.NewAddr, Size: ip.Size, Mapped: ip.Mapped}
 		}
 	}
@@ -565,6 +903,8 @@ func (d *Daemon) opImportResolve(creds Creds, req *proto.Request) *proto.Respons
 }
 
 func (d *Daemon) opImportMap(creds Creds, req *proto.Request) *proto.Response {
+	d.sessMu.Lock()
+	defer d.sessMu.Unlock()
 	sess, errResp := d.session(creds, req.Session)
 	if errResp != nil {
 		return errResp
@@ -578,7 +918,9 @@ func (d *Daemon) opImportMap(creds Creds, req *proto.Request) *proto.Response {
 				}
 			}
 			d.mapImport(sess, ip)
-			d.persist()
+			if resp := d.persistOrFail(sessRec(sess)); resp != nil {
+				return resp
+			}
 			return &proto.Response{UUID: ip.UUID, Addr: ip.NewAddr, Size: ip.Size, Mapped: true}
 		}
 	}
@@ -586,6 +928,8 @@ func (d *Daemon) opImportMap(creds Creds, req *proto.Request) *proto.Response {
 }
 
 func (d *Daemon) opImportDone(creds Creds, req *proto.Request) *proto.Response {
+	d.sessMu.Lock()
+	defer d.sessMu.Unlock()
 	sess, errResp := d.session(creds, req.Session)
 	if errResp != nil {
 		return errResp
@@ -603,17 +947,43 @@ func (d *Daemon) opImportDone(creds Creds, req *proto.Request) *proto.Response {
 		OwnerGID: sess.Creds.GID,
 		Mode:     sess.Mode,
 	}
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	recs := make([]entRec, 0, len(sess.Puddles)+3)
+	d.poolsMu.Lock()
+	if _, ok := d.st.Pools[pool.Name]; ok {
+		d.poolsMu.Unlock()
+		return fail("pool %q already exists", pool.Name)
+	}
 	for i := range sess.Puddles {
 		ip := &sess.Puddles[i]
-		d.st.Puddles[ip.UUID] = &PuddleRec{
+		rec := &PuddleRec{
 			UUID: ip.UUID, Addr: ip.NewAddr, Size: ip.Size, Kind: ip.Kind, Pool: pool.UUID,
 		}
+		d.st.Puddles[ip.UUID] = rec
 		pool.Puddles = append(pool.Puddles, ip.UUID)
-		d.staging.Release(pmem.Addr(ip.StagedAt))
+		recs = append(recs, putRec(recPuddle, uuidKey(ip.UUID), rec))
 	}
 	d.st.Pools[pool.Name] = pool
+	d.poolsMu.Unlock()
 	delete(d.st.Sessions, sess.ID)
-	d.persist()
+	recs = append(recs, pool.rec(), delRec(recSession, strconv.FormatUint(sess.ID, 10)))
+	if resp := d.persistOrFail(recs...); resp != nil {
+		// Roll the publication back without releasing the puddles'
+		// reservations — the restored session still owns them.
+		d.st.Sessions[sess.ID] = sess
+		d.poolsMu.Lock()
+		delete(d.st.Pools, pool.Name)
+		for _, pu := range pool.Puddles {
+			delete(d.st.Puddles, pu)
+		}
+		d.poolsMu.Unlock()
+		return resp
+	}
+	for i := range sess.Puddles {
+		d.staging.Release(pmem.Addr(sess.Puddles[i].StagedAt))
+	}
+	d.poolsMu.RLock()
 	root := d.st.Puddles[pool.Root]
 	infos := make([]proto.PuddleInfo, 0, len(pool.Puddles))
 	for _, pu := range pool.Puddles {
@@ -621,5 +991,6 @@ func (d *Daemon) opImportDone(creds Creds, req *proto.Request) *proto.Response {
 			infos = append(infos, proto.PuddleInfo{UUID: rec.UUID, Addr: rec.Addr, Size: rec.Size, Kind: rec.Kind})
 		}
 	}
+	d.poolsMu.RUnlock()
 	return &proto.Response{Pool: pool.UUID, UUID: root.UUID, Addr: root.Addr, Size: root.Size, Writable: true, Puddles: infos}
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"puddles/internal/ptypes"
 	"puddles/internal/uid"
@@ -79,9 +80,12 @@ type PuddleInfo struct {
 }
 
 // Request is the union of all request payloads; each op reads the
-// fields it needs.
+// fields it needs. ID is a per-connection request identifier assigned
+// by Conn.RoundTrip; the daemon echoes it in Response.ID so a
+// pipelined client can match responses to outstanding requests.
 type Request struct {
 	Op      Op
+	ID      uint64
 	Name    string // pool name
 	UID     uint32 // credentials (Hello)
 	GID     uint32
@@ -108,10 +112,15 @@ type Stats struct {
 	LogsReplayed   uint64
 	EntriesApplied uint64
 	Imports        uint64
+	PersistErrors  uint64 // metadata persists that failed (clients saw errors)
+	DispatchPanics uint64 // request handlers that panicked (recovered per request)
+	JournalBytes   uint64 // current metadata journal tail
 }
 
-// Response is the union of all response payloads.
+// Response is the union of all response payloads. ID echoes the
+// Request.ID this response answers.
 type Response struct {
+	ID       uint64
 	Err      string // empty on success
 	UUID     uid.UUID
 	Pool     uid.UUID
@@ -128,15 +137,27 @@ type Response struct {
 	Stats    Stats
 }
 
-// Conn is a synchronous client connection: one outstanding request at
-// a time, guarded by a mutex.
+// Conn is a pipelined client connection: any number of goroutines may
+// have requests outstanding at once. Sends serialize on a write mutex;
+// a single reader goroutine (started on first use) decodes responses
+// and delivers each to its waiter by Request/Response ID. This is what
+// lets the daemon overlap the execution of one client's requests — the
+// old Conn held a mutex across the whole round trip, so a slow daemon
+// op serialized every caller behind it.
 type Conn struct {
-	mu   sync.Mutex
-	c    net.Conn
-	bw   *bufio.Writer
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-	dead error
+	c      net.Conn
+	nextID atomic.Uint64
+
+	sendMu sync.Mutex // guards bw+enc
+	bw     *bufio.Writer
+	enc    *gob.Encoder
+
+	dec        *gob.Decoder // owned by the reader goroutine
+	readerOnce sync.Once
+
+	mu      sync.Mutex // guards pending and dead
+	pending map[uint64]chan *Response
+	dead    error
 }
 
 // NewConn wraps a network connection. Both directions are buffered:
@@ -144,37 +165,104 @@ type Conn struct {
 // through net.Pipe in many small chunks.
 func NewConn(c net.Conn) *Conn {
 	bw := bufio.NewWriterSize(c, 256<<10)
-	return &Conn{c: c, bw: bw, enc: gob.NewEncoder(bw), dec: gob.NewDecoder(bufio.NewReaderSize(c, 256<<10))}
+	return &Conn{
+		c: c, bw: bw, enc: gob.NewEncoder(bw),
+		dec:     gob.NewDecoder(bufio.NewReaderSize(c, 256<<10)),
+		pending: make(map[uint64]chan *Response),
+	}
 }
 
-// RoundTrip sends req and waits for the response. A non-empty
-// Response.Err is returned as a *RemoteError.
-func (c *Conn) RoundTrip(req *Request) (*Response, error) {
+// fail marks the connection dead (first error wins) and wakes every
+// outstanding waiter.
+func (c *Conn) fail(err error) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if c.dead == nil {
+		c.dead = err
+	}
+	err = c.dead
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+	c.mu.Unlock()
+	return err
+}
+
+// readLoop delivers responses to their waiters until the connection
+// dies. Responses need not arrive in request order — matching is by ID
+// — though the daemon does write them in order per connection. A
+// response that matches no outstanding request is a protocol violation
+// (most likely a pre-pipelining daemon that never echoes request IDs)
+// and kills the connection, so callers get an error instead of
+// hanging on a response that can never be matched.
+func (c *Conn) readLoop() {
+	for {
+		var resp Response
+		if err := c.dec.Decode(&resp); err != nil {
+			c.fail(fmt.Errorf("proto: recv: %w", err))
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.ID]
+		if ok {
+			delete(c.pending, resp.ID)
+		}
+		c.mu.Unlock()
+		if !ok {
+			c.fail(fmt.Errorf("proto: unmatched response id %d (peer does not echo request ids?)", resp.ID))
+			return
+		}
+		ch <- &resp
+	}
+}
+
+// RoundTrip sends req and waits for its response. A non-empty
+// Response.Err is returned as a *RemoteError. Concurrent callers
+// pipeline: their requests are in flight simultaneously. The caller's
+// Request is not mutated (the wire ID goes on a shallow copy), so a
+// Request value may be shared by concurrent callers exactly as it
+// could under the old serialized Conn.
+func (c *Conn) RoundTrip(req *Request) (*Response, error) {
+	c.readerOnce.Do(func() { go c.readLoop() })
+	wire := *req
+	wire.ID = c.nextID.Add(1)
+	ch := make(chan *Response, 1)
+	c.mu.Lock()
 	if c.dead != nil {
-		return nil, c.dead
+		err := c.dead
+		c.mu.Unlock()
+		return nil, err
 	}
-	if err := c.enc.Encode(req); err != nil {
-		c.dead = fmt.Errorf("proto: send %v: %w", req.Op, err)
-		return nil, c.dead
+	c.pending[wire.ID] = ch
+	c.mu.Unlock()
+
+	c.sendMu.Lock()
+	err := c.enc.Encode(&wire)
+	if err == nil {
+		err = c.bw.Flush()
 	}
-	if err := c.bw.Flush(); err != nil {
-		c.dead = fmt.Errorf("proto: flush %v: %w", req.Op, err)
-		return nil, c.dead
+	c.sendMu.Unlock()
+	if err != nil {
+		return nil, c.fail(fmt.Errorf("proto: send %v: %w", req.Op, err))
 	}
-	var resp Response
-	if err := c.dec.Decode(&resp); err != nil {
-		c.dead = fmt.Errorf("proto: recv %v: %w", req.Op, err)
-		return nil, c.dead
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.dead
+		c.mu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("proto: connection closed during %v", req.Op)
+		}
+		return nil, err
 	}
 	if resp.Err != "" {
-		return &resp, &RemoteError{Op: req.Op, Msg: resp.Err}
+		return resp, &RemoteError{Op: req.Op, Msg: resp.Err}
 	}
-	return &resp, nil
+	return resp, nil
 }
 
-// Close closes the underlying connection.
+// Close closes the underlying connection; outstanding and future round
+// trips fail.
 func (c *Conn) Close() error { return c.c.Close() }
 
 // RemoteError is an error reported by the daemon.
@@ -187,7 +275,9 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("puddled: %v: %s", e.Op, e.Msg)
 }
 
-// ServerConn is the daemon side of a connection.
+// ServerConn is the daemon side of a connection. Recv is owned by the
+// connection's read loop and Send by its response writer — one
+// goroutine per direction, so neither needs a lock.
 type ServerConn struct {
 	c   net.Conn
 	bw  *bufio.Writer

@@ -10,7 +10,8 @@ import (
 	"puddles/internal/uid"
 )
 
-// echoServer answers every request with a response derived from it.
+// echoServer answers every request with a response derived from it,
+// echoing the request ID as a real daemon does.
 func echoServer(t *testing.T, handle func(*Request) *Response) *Conn {
 	t.Helper()
 	client, server := net.Pipe()
@@ -22,7 +23,9 @@ func echoServer(t *testing.T, handle func(*Request) *Response) *Conn {
 			if err != nil {
 				return
 			}
-			if err := sc.Send(handle(req)); err != nil {
+			resp := handle(req)
+			resp.ID = req.ID
+			if err := sc.Send(resp); err != nil {
 				return
 			}
 		}
@@ -99,7 +102,7 @@ func TestDeadConnectionFails(t *testing.T) {
 	}
 }
 
-func TestConcurrentRoundTripsSerialized(t *testing.T) {
+func TestConcurrentRoundTripsPipelined(t *testing.T) {
 	c := echoServer(t, func(req *Request) *Response {
 		return &Response{Addr: req.Addr}
 	})
@@ -122,6 +125,129 @@ func TestConcurrentRoundTripsSerialized(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
+}
+
+// TestOutOfOrderResponses proves the ID matching: a server that
+// answers request 1 only after request 2 must not cross responses.
+func TestOutOfOrderResponses(t *testing.T) {
+	client, server := net.Pipe()
+	go func() {
+		sc := NewServerConn(server)
+		defer sc.Close()
+		var held *Request
+		for {
+			req, err := sc.Recv()
+			if err != nil {
+				return
+			}
+			if held == nil {
+				held = req // park the first request
+				continue
+			}
+			// Answer the second first, then the parked one.
+			if err := sc.Send(&Response{ID: req.ID, Addr: req.Addr}); err != nil {
+				return
+			}
+			if err := sc.Send(&Response{ID: held.ID, Addr: held.Addr}); err != nil {
+				return
+			}
+			held = nil
+		}
+	}()
+	c := NewConn(client)
+	defer c.Close()
+
+	type res struct {
+		want uint64
+		resp *Response
+		err  error
+	}
+	out := make(chan res, 2)
+	var started sync.WaitGroup
+	started.Add(1)
+	go func() {
+		started.Done()
+		resp, err := c.RoundTrip(&Request{Addr: 111})
+		out <- res{111, resp, err}
+	}()
+	started.Wait()
+	// Crude but effective: the first goroutine's send happens-before
+	// ours because net.Pipe sends rendezvous and the server parks the
+	// first request it reads. Either order is still correct for the
+	// assertion below — matching is by ID, not arrival order.
+	resp, err := c.RoundTrip(&Request{Addr: 222})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Addr != 222 {
+		t.Fatalf("second caller got response for %d", resp.Addr)
+	}
+	r := <-out
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.resp.Addr != r.want {
+		t.Fatalf("first caller got response for %d, want %d", r.resp.Addr, r.want)
+	}
+}
+
+// TestUnmatchedResponseFailsConn: a peer that does not echo request
+// IDs (a pre-pipelining daemon) must produce an error, not a silent
+// hang on a response that can never be matched.
+func TestUnmatchedResponseFailsConn(t *testing.T) {
+	client, server := net.Pipe()
+	go func() {
+		sc := NewServerConn(server)
+		defer sc.Close()
+		for {
+			req, err := sc.Recv()
+			if err != nil {
+				return
+			}
+			// Old-style server: answers without echoing req.ID.
+			if err := sc.Send(&Response{Addr: req.Addr}); err != nil {
+				return
+			}
+		}
+	}()
+	c := NewConn(client)
+	defer c.Close()
+	if _, err := c.RoundTrip(&Request{Op: OpNop, Addr: 7}); err == nil {
+		t.Fatal("round trip against non-echoing peer succeeded (or hung)")
+	}
+}
+
+// TestCloseFailsOutstanding: closing the connection wakes blocked
+// round trips with an error instead of leaking them.
+func TestCloseFailsOutstanding(t *testing.T) {
+	client, server := net.Pipe()
+	go func() {
+		sc := NewServerConn(server)
+		for { // swallow requests, never answer
+			if _, err := sc.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	c := NewConn(client)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.RoundTrip(&Request{Op: OpNop})
+		errc <- err
+	}()
+	// Wait for the request to be registered before closing.
+	for {
+		c.mu.Lock()
+		n := len(c.pending)
+		c.mu.Unlock()
+		if n > 0 {
+			break
+		}
+	}
+	c.Close()
+	if err := <-errc; err == nil {
+		t.Fatal("outstanding round trip survived Close")
+	}
 }
 
 func TestServerRecvEOF(t *testing.T) {

@@ -1,0 +1,276 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"puddles/internal/core"
+	"puddles/internal/daemon"
+	"puddles/internal/plog"
+	"puddles/internal/pmem"
+	"puddles/internal/puddle"
+	"puddles/internal/uid"
+)
+
+// logshard: the scaling proof for the sharded log space. Two sweeps
+// over shard counts 1/2/4/8:
+//
+//   - Acquire/release throughput: W workers hammer the commit path's
+//     log registration — AddLog/RemoveLog on a shared directory, each
+//     op under its shard's latch exactly as core.Client latches it,
+//     with the fence-drain model armed so the registration persists
+//     sleep like real DIMM drains. One shard is the PR 2 design
+//     (every worker behind one logMu); N shards let the stalls of
+//     independent workers overlap. The daemon round trips that
+//     surround registration in the full commit path are deliberately
+//     excluded: they are CPU-bound protocol work that a single-CPU
+//     runner serializes for every shard count alike, and they were
+//     never under the latch being measured.
+//
+//   - Single-app recovery: one client (one registered log space)
+//     abandons W in-flight transactions striped across its shards,
+//     the "machine" reboots, and the daemon's worker pool fans out
+//     over the shards of that single crashed application. With one
+//     shard the same pool degenerates to a serial replay of the one
+//     directory.
+//
+// The run is written to a JSON artifact (-logshardjson, default
+// BENCH_4.json) so CI and later PRs can diff both curves.
+
+type logshardCommitPoint struct {
+	Shards    int     `json:"shards"`
+	Workers   int     `json:"workers"`
+	Ops       uint64  `json:"ops"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Speedup   float64 `json:"speedup_vs_1_shard"`
+}
+
+type logshardRecoveryPoint struct {
+	Shards      int     `json:"shards"`
+	PendingLogs int     `json:"pending_logs"`
+	Seconds     float64 `json:"seconds"`
+	Speedup     float64 `json:"speedup_vs_1_shard"`
+}
+
+type logshardReport struct {
+	Benchmark       string                  `json:"benchmark"`
+	FenceLatency    string                  `json:"fence_latency"`
+	RecoveryFence   string                  `json:"recovery_fence_latency"`
+	RecoveryWorkers int                     `json:"recovery_workers"`
+	AcquireRelease  []logshardCommitPoint   `json:"acquire_release"`
+	Recovery        []logshardRecoveryPoint `json:"recovery"`
+}
+
+const lsNodeSize = 16
+
+func runLogShard() error {
+	const (
+		workers         = 8
+		fenceLatency    = 100 * time.Microsecond
+		recoveryFence   = 200 * time.Microsecond
+		recoveryWorkers = 4
+		pendingLogs     = 16
+	)
+	opsPerWorker := scaled(8000)
+	report := logshardReport{
+		Benchmark:       "logshard",
+		FenceLatency:    fenceLatency.String(),
+		RecoveryFence:   recoveryFence.String(),
+		RecoveryWorkers: recoveryWorkers,
+	}
+
+	fmt.Println("acquire/release throughput (commit-path log registration under shard latches)")
+	header := []string{"shards", "workers", "ops", "time", "ops/s", "speedup"}
+	var rows [][]string
+	var base float64
+	for _, shards := range []int{1, 2, 4, 8} {
+		ops, elapsed, err := logShardRegRun(shards, workers, opsPerWorker, fenceLatency)
+		if err != nil {
+			return fmt.Errorf("%d shards: %w", shards, err)
+		}
+		rps := float64(ops) / elapsed.Seconds()
+		if shards == 1 {
+			base = rps
+		}
+		speedup := 0.0
+		if base > 0 {
+			speedup = rps / base
+		}
+		report.AcquireRelease = append(report.AcquireRelease, logshardCommitPoint{
+			Shards: shards, Workers: workers, Ops: ops,
+			Seconds: elapsed.Seconds(), OpsPerSec: rps, Speedup: speedup,
+		})
+		rows = append(rows, []string{
+			fmt.Sprint(shards), fmt.Sprint(workers), fmt.Sprint(ops),
+			elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", rps), fmt.Sprintf("%.2fx", speedup),
+		})
+	}
+	table(header, rows)
+
+	fmt.Println("\nsingle-app recovery (one crashed client, worker pool over its shards)")
+	header = []string{"shards", "pending logs", "recovery time", "speedup"}
+	rows = nil
+	var baseRec float64
+	for _, shards := range []int{1, 2, 4, 8} {
+		elapsed, err := logShardRecoveryRun(shards, pendingLogs, recoveryWorkers, recoveryFence)
+		if err != nil {
+			return fmt.Errorf("recovery %d shards: %w", shards, err)
+		}
+		if shards == 1 {
+			baseRec = elapsed.Seconds()
+		}
+		speedup := 0.0
+		if elapsed.Seconds() > 0 {
+			speedup = baseRec / elapsed.Seconds()
+		}
+		report.Recovery = append(report.Recovery, logshardRecoveryPoint{
+			Shards: shards, PendingLogs: pendingLogs,
+			Seconds: elapsed.Seconds(), Speedup: speedup,
+		})
+		rows = append(rows, []string{
+			fmt.Sprint(shards), fmt.Sprint(pendingLogs),
+			elapsed.Round(time.Millisecond).String(), fmt.Sprintf("%.2fx", speedup),
+		})
+	}
+	table(header, rows)
+
+	blob, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*logshardJSON, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *logshardJSON)
+	return nil
+}
+
+// logShardRegRun measures W workers registering and unregistering
+// logs on one sharded directory, latched per shard exactly the way
+// core.Client latches acquireLog/releaseLog (cache-ablated mode).
+// Each worker owns one pre-formatted log and drives its affinity
+// shard, worker w -> shard w%N — the client's round-robin hint.
+func logShardRegRun(shards, workers, opsPerWorker int, fence time.Duration) (uint64, time.Duration, error) {
+	dev := pmem.New()
+	const spaceBase = pmem.Addr(2 << 20)
+	spaceSize := plog.SpaceSize(shards)
+	pd, err := puddle.Format(dev, spaceBase, spaceSize, uid.New(), puddle.KindLogSpace, uid.Nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	space, err := plog.FormatShardedLogSpace(pd, shards)
+	if err != nil {
+		return 0, 0, err
+	}
+	heads := make([]pmem.Addr, workers)
+	ids := make([]uid.UUID, workers)
+	logBase := spaceBase + pmem.Addr(spaceSize)
+	for w := range heads {
+		start := logBase + pmem.Addr(w)*0x4000
+		l, err := plog.FormatLog(dev, pmem.Range{Start: start, End: start + 0x4000})
+		if err != nil {
+			return 0, 0, err
+		}
+		heads[w], ids[w] = l.Head(), uid.New()
+	}
+	latches := make([]sync.Mutex, shards)
+	dev.SetFenceLatency(fence)
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sh := w % shards
+			for i := 0; i < opsPerWorker; i++ {
+				latches[sh].Lock()
+				err := space.AddLog(sh, heads[w], ids[w])
+				latches[sh].Unlock()
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				latches[sh].Lock()
+				ok := space.RemoveLog(sh, heads[w])
+				latches[sh].Unlock()
+				if !ok {
+					errs[w] = fmt.Errorf("worker %d: registration vanished", w)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for w, err := range errs {
+		if err != nil {
+			return 0, 0, fmt.Errorf("worker %d: %w", w, err)
+		}
+	}
+	return uint64(2 * workers * opsPerWorker), elapsed, nil
+}
+
+// logShardRecoveryRun leaves one application with pending in-flight
+// logs striped over its shard directories, power-fails, and times the
+// next daemon boot (which replays before serving — the paper's
+// application-independent recovery window).
+func logShardRecoveryRun(shards, pending, recoveryWorkers int, fence time.Duration) (time.Duration, error) {
+	seedDev := pmem.New()
+	d, err := daemon.New(seedDev)
+	if err != nil {
+		return 0, err
+	}
+	c := core.ConnectLocal(d)
+	defer c.Close()
+	if err := c.SetLogShards(shards); err != nil {
+		return 0, err
+	}
+	ti, err := c.RegisterType("logshard.rec", lsNodeSize, nil)
+	if err != nil {
+		return 0, err
+	}
+	pool, err := c.CreatePool("logshard-rec", 0)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < pending; i++ {
+		a, err := pool.Malloc(ti.ID, lsNodeSize)
+		if err != nil {
+			return 0, err
+		}
+		// Abandon an in-flight transaction: several undo entries give
+		// replay real flush work.
+		tx := c.Begin(pool)
+		for k := 0; k < 8; k++ {
+			if err := tx.SetU64(a+pmem.Addr(k%2)*8, uint64(k)); err != nil {
+				return 0, err
+			}
+		}
+	}
+	var img bytes.Buffer
+	if err := seedDev.Save(&img); err != nil {
+		return 0, err
+	}
+	dev := pmem.New()
+	if err := dev.Restore(bytes.NewReader(img.Bytes())); err != nil {
+		return 0, err
+	}
+	dev.SetFenceLatency(fence)
+	start := time.Now()
+	d2, err := daemon.New(dev, daemon.WithRecoveryWorkers(recoveryWorkers))
+	if err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	if got := d2.Stats().LogsReplayed; got != uint64(pending) {
+		return 0, fmt.Errorf("replayed %d logs, want %d", got, pending)
+	}
+	return elapsed, nil
+}

@@ -8,7 +8,7 @@
 //	benchrunner [-scale N] <experiment>
 //
 // Experiments: table1 fig1 table3 daemon reloc crashcheck fig9 fig10
-// fig11 fig12 fig14 ycsbmt daemonmt all
+// fig11 fig12 fig14 ycsbmt daemonmt logshard all
 //
 // -scale scales operation counts relative to the paper (default 0.01;
 // 1.0 reproduces the paper's full sizes and takes correspondingly
@@ -24,10 +24,11 @@ import (
 )
 
 var (
-	scale      = flag.Float64("scale", 0.01, "operation-count scale relative to the paper")
-	threads    = flag.String("threads", "1,2,4,8", "thread counts for fig12 (paper sweeps to 40 on a 20-core box)")
-	jsonOut    = flag.String("json", "BENCH_2.json", "artifact path for the ycsbmt scaling report")
-	daemonJSON = flag.String("daemonjson", "BENCH_3.json", "artifact path for the daemonmt scaling report")
+	scale        = flag.Float64("scale", 0.01, "operation-count scale relative to the paper")
+	threads      = flag.String("threads", "1,2,4,8", "thread counts for fig12 (paper sweeps to 40 on a 20-core box)")
+	jsonOut      = flag.String("json", "BENCH_2.json", "artifact path for the ycsbmt scaling report")
+	daemonJSON   = flag.String("daemonjson", "BENCH_3.json", "artifact path for the daemonmt scaling report")
+	logshardJSON = flag.String("logshardjson", "BENCH_4.json", "artifact path for the logshard scaling report")
 )
 
 type experiment struct {
@@ -52,6 +53,7 @@ func main() {
 		{"fig14", "sensor-network aggregation (Figures 13/14)", runFig14},
 		{"ycsbmt", "multi-worker YCSB transaction scaling (emits -json artifact)", runYCSBMT},
 		{"daemonmt", "multi-client daemon metadata scaling (emits -daemonjson artifact)", runDaemonMT},
+		{"logshard", "sharded log-space commit + single-app recovery scaling (emits -logshardjson artifact)", runLogShard},
 	}
 	want := flag.Arg(0)
 	if want == "" {

@@ -65,6 +65,9 @@ func main() {
 		fmt.Printf("logs replayed    %d\n", s.LogsReplayed)
 		fmt.Printf("entries applied  %d\n", s.EntriesApplied)
 		fmt.Printf("imports          %d\n", s.Imports)
+		fmt.Printf("persist errors   %d\n", s.PersistErrors)
+		fmt.Printf("dispatch panics  %d\n", s.DispatchPanics)
+		fmt.Printf("journal bytes    %d\n", s.JournalBytes)
 	case "pools":
 		resp := must(c, &proto.Request{Op: proto.OpListPools})
 		for _, n := range resp.Names {

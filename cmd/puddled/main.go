@@ -31,6 +31,7 @@ func main() {
 		store       = flag.String("store", "puddled.img", "device image file (DAX filesystem stand-in)")
 		syncSecs    = flag.Int("sync", 5, "seconds between image syncs (0 disables)")
 		connWorkers = flag.Int("conn-workers", 0, "pipelined dispatch workers per connection (0 = auto, 1 = serial)")
+		recWorkers  = flag.Int("recovery-workers", 0, "concurrent recovery replay workers over log-space shards and apps (0 = auto, 1 = serial)")
 		verbose     = flag.Bool("v", false, "log client operations")
 	)
 	flag.Parse()
@@ -40,7 +41,10 @@ func main() {
 	if err := dev.RestoreFile(*store); err != nil {
 		logger.Fatalf("restoring %s: %v", *store, err)
 	}
-	opts := []daemon.Option{daemon.WithConnWorkers(*connWorkers)}
+	opts := []daemon.Option{
+		daemon.WithConnWorkers(*connWorkers),
+		daemon.WithRecoveryWorkers(*recWorkers),
+	}
 	if *verbose {
 		opts = append(opts, daemon.WithLogger(logger))
 	}

@@ -7,6 +7,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -23,6 +24,10 @@ import (
 
 // LogPuddleSize is the default size of a transaction-log puddle.
 const LogPuddleSize = 2 << 20
+
+// maxDefaultLogShards caps the automatic log-shard count (explicit
+// SetLogShards may go up to plog.MaxLogShards).
+const maxDefaultLogShards = 8
 
 // Errors.
 var (
@@ -42,11 +47,12 @@ var (
 //
 // Locking: the client's hot-path state is split across dedicated
 // locks so independent transactions proceed in parallel — idxMu (an
-// RWMutex; heapAt read-locks it on every address lookup), logMu (the
-// per-client log-puddle cache, so acquireLog/releaseLog never contend
-// with address lookups), an atomic bump cursor for the volatile
-// arena, and mu, which now guards only the cold import-session and
-// fault-hook state.
+// RWMutex; heapAt read-locks it on every address lookup), a striped
+// log-space (each shard directory and its log-puddle cache behind its
+// own latch, selected by a worker-affine hint, so concurrent
+// acquireLog/releaseLog never contend), an atomic bump cursor for the
+// volatile arena, and mu, which now guards only the cold
+// import-session and fault-hook state.
 type Client struct {
 	conn  *proto.Conn
 	dev   *pmem.Device
@@ -61,14 +67,91 @@ type Client struct {
 	idxMu    sync.RWMutex
 	rangeIdx []heapRange // sorted index of data-puddle ranges
 
-	logMu       sync.Mutex
-	logPool     *Pool // hidden pool owning log and log-space puddles
-	logSpace    *plog.LogSpace
-	freeLogs    []*txLog
-	logCacheOff bool // ablation switch (SetLogCache)
+	// Sharded transaction-log management. logSt publishes the
+	// immutable post-setup state (shard directories and their caches);
+	// logInitMu serializes only the one-time setup and the
+	// configuration setters.
+	logSt         atomic.Pointer[logState]
+	logInitMu     sync.Mutex
+	logShardsWant int // SetLogShards; 0 = auto
+	logCacheOff   atomic.Bool
 
-	releaseErrs atomic.Uint64 // failed log releases (see ErrLogRelease)
-	volatileAt  atomic.Uint64 // bump cursor for the volatile arena
+	// Worker-affinity hints: a sync.Pool of per-worker affinity
+	// records (log shard + last leased heap). See affinity.
+	affPool sync.Pool
+	affSeq  atomic.Uint32
+
+	leaseConflicts atomic.Uint64 // wait-die victims (ErrTxConflict issued)
+	leaseRetries   atomic.Uint64 // automatic victim re-executions by Run
+	releaseErrs    atomic.Uint64 // failed log releases (see ErrLogRelease)
+	volatileAt     atomic.Uint64 // bump cursor for the volatile arena
+}
+
+// logState is the client's sharded log space once set up: the hidden
+// pool owning log puddles, the on-media shard directories, and one
+// volatile shard (latch + log-puddle cache) per directory. It is
+// immutable after publication.
+type logState struct {
+	pool   *Pool // hidden pool owning log and log-space puddles
+	space  *plog.ShardedLogSpace
+	shards []*logShard
+}
+
+// logShard is the volatile side of one shard directory: its latch and
+// its slice of the per-thread log-puddle cache (§4.1). Cached logs
+// return to the shard they registered in, so a worker whose affinity
+// hint maps here keeps reusing the same directory and the same logs.
+type logShard struct {
+	mu   sync.Mutex
+	free []*txLog
+}
+
+// affinity is a worker-affine scheduling hint. It is not tied to a
+// goroutine identity (Go exposes none); instead hints live in a
+// sync.Pool, whose per-P caches hand a worker back the record it
+// released last — scheduler-affine in the steady state, merely
+// suboptimal (never wrong) after migration or GC. A transaction holds
+// one hint from first log/heap use until commit/abort.
+type affinity struct {
+	shard uint32 // log-shard selector (stable per worker)
+
+	// NUMA-style heap affinity: the heap this worker last leased
+	// successfully, tried before the rotating-start probe.
+	lastPool *Pool
+	lastHeap *alloc.Heap
+}
+
+// getAffinity fetches a worker hint (fresh hints take the next shard
+// stripe, spreading workers round-robin across shard directories).
+func (c *Client) getAffinity() *affinity {
+	if a, _ := c.affPool.Get().(*affinity); a != nil {
+		return a
+	}
+	return &affinity{shard: c.affSeq.Add(1) - 1}
+}
+
+func (c *Client) putAffinity(a *affinity) {
+	if a != nil {
+		c.affPool.Put(a)
+	}
+}
+
+// heapFor returns the remembered heap when it belongs to pool p.
+func (a *affinity) heapFor(p *Pool) *alloc.Heap {
+	if a.lastPool == p {
+		return a.lastHeap
+	}
+	return nil
+}
+
+// note remembers a successful lease+allocation on h.
+func (a *affinity) note(p *Pool, h *alloc.Heap) { a.lastPool, a.lastHeap = p, h }
+
+// forget drops a remembered heap that stopped serving us (full).
+func (a *affinity) forget(h *alloc.Heap) {
+	if a.lastHeap == h {
+		a.lastPool, a.lastHeap = nil, nil
+	}
 }
 
 // heapRange indexes a mapped data puddle for address->heap lookups.
@@ -79,10 +162,12 @@ type heapRange struct {
 }
 
 // txLog is a cached per-transaction log (the paper's per-thread log
-// puddle cache, §4.1 "every thread caches the log puddle").
+// puddle cache, §4.1 "every thread caches the log puddle"). shard is
+// the directory the log is registered in — release returns it there.
 type txLog struct {
-	log  *plog.Log
-	uuid uid.UUID
+	log   *plog.Log
+	uuid  uid.UUID
+	shard int
 }
 
 // Connect wraps an established daemon connection. dev must be the
@@ -407,13 +492,16 @@ func (p *Pool) Malloc(typeID ptypes.TypeID, size uint32) (pmem.Addr, error) {
 	return p.allocDirect(typeID, size, true)
 }
 
-// allocDirect allocates outside any transaction. Heaps are tried from
-// a rotating start; each attempt briefly takes the heap's lease, so a
-// direct allocation can never interleave with an in-flight
-// transaction's undo-logged metadata on the same heap. Heaps whose
-// lease another transaction holds are skipped, never waited on — a
-// Malloc must not convoy behind (or deadlock with) a long-running
-// transaction when a sibling heap can serve it.
+// allocDirect allocates outside any transaction. The worker's
+// remembered heap is tried first (NUMA-style affinity: the heap this
+// worker last leased is warm and, with per-worker convergence, likely
+// uncontended), then heaps are tried from a rotating start; each
+// attempt briefly takes the heap's lease, so a direct allocation can
+// never interleave with an in-flight transaction's undo-logged
+// metadata on the same heap. Heaps whose lease another transaction
+// holds are skipped, never waited on — a Malloc must not convoy
+// behind (or deadlock with) a long-running transaction when a sibling
+// heap can serve it.
 func (p *Pool) allocDirect(typeID ptypes.TypeID, size uint32, zero bool) (pmem.Addr, error) {
 	m := alloc.Direct{Dev: p.c.dev}
 	finish := func(a pmem.Addr) pmem.Addr {
@@ -422,6 +510,19 @@ func (p *Pool) allocDirect(typeID ptypes.TypeID, size uint32, zero bool) (pmem.A
 			p.c.dev.Persist(a, int(size))
 		}
 		return a
+	}
+	aff := p.c.getAffinity()
+	defer p.c.putAffinity(aff)
+	if h := aff.heapFor(p); h != nil && h.TryLease() {
+		a, err := h.Alloc(m, typeID, size)
+		h.Unlease()
+		if err == nil {
+			return finish(a), nil
+		}
+		if err != alloc.ErrNoSpace && err != alloc.ErrTooLarge {
+			return 0, err
+		}
+		aff.forget(h)
 	}
 	for {
 		heaps := p.snapshotHeaps()
@@ -434,6 +535,7 @@ func (p *Pool) allocDirect(typeID ptypes.TypeID, size uint32, zero bool) (pmem.A
 			a, err := h.Alloc(m, typeID, size)
 			h.Unlease()
 			if err == nil {
+				aff.note(p, h)
 				return finish(a), nil
 			}
 			if err != alloc.ErrNoSpace && err != alloc.ErrTooLarge {
@@ -455,6 +557,7 @@ func (p *Pool) allocDirect(typeID ptypes.TypeID, size uint32, zero bool) (pmem.A
 		if err != nil {
 			return 0, err
 		}
+		aff.note(p, grown)
 		return finish(a), nil
 	}
 }
@@ -539,97 +642,174 @@ func (p *Pool) LiveObjects() uint64 {
 
 // --- transaction log acquisition (paper §4.1) ---
 
-// ensureLogSpace lazily creates the client's hidden log pool, formats
-// a log-space puddle and registers it with the daemon. This is the
-// one-time setup cost of application-independent recovery (§3.3).
-// Concurrent first transactions serialize on logMu here exactly once.
-func (c *Client) ensureLogSpace() error {
-	c.logMu.Lock()
-	defer c.logMu.Unlock()
-	return c.ensureLogSpaceLocked()
+// SetLogShards fixes the number of shard directories the client's log
+// space stripes registrations over. It must be called before the
+// first transaction (the directory geometry is persistent); 0
+// restores the default of min(GOMAXPROCS, 8).
+func (c *Client) SetLogShards(n int) error {
+	if n < 0 || n > plog.MaxLogShards {
+		return fmt.Errorf("core: log shard count %d out of range [0,%d]", n, plog.MaxLogShards)
+	}
+	c.logInitMu.Lock()
+	defer c.logInitMu.Unlock()
+	if c.logSt.Load() != nil {
+		return errors.New("core: log space already initialized (call SetLogShards before the first transaction)")
+	}
+	c.logShardsWant = n
+	return nil
 }
 
-func (c *Client) ensureLogSpaceLocked() error {
-	if c.logSpace != nil {
-		return nil
+// LogShards reports the number of shard directories in use (0 before
+// the first transaction initializes the log space).
+func (c *Client) LogShards() int {
+	if st := c.logSt.Load(); st != nil {
+		return len(st.shards)
+	}
+	return 0
+}
+
+// ensureLogSpace lazily creates the client's hidden log pool, formats
+// a sharded log-space puddle and registers it (with its shard count)
+// with the daemon. This is the one-time setup cost of application-
+// independent recovery (§3.3). Concurrent first transactions
+// serialize on logInitMu here exactly once; afterwards the published
+// state loads with a single atomic read.
+func (c *Client) ensureLogSpace() (*logState, error) {
+	if st := c.logSt.Load(); st != nil {
+		return st, nil
+	}
+	c.logInitMu.Lock()
+	defer c.logInitMu.Unlock()
+	if st := c.logSt.Load(); st != nil {
+		return st, nil
+	}
+	shards := c.logShardsWant
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+		if shards > maxDefaultLogShards {
+			shards = maxDefaultLogShards
+		}
 	}
 	name := ".logs-" + uid.New().String()
 	resp, err := c.conn.RoundTrip(&proto.Request{Op: proto.OpCreatePool, Name: name, Mode: 0o600})
 	if err != nil {
-		return err
+		return nil, err
+	}
+	// The hidden pool exists on the daemon from here; a failed setup
+	// deletes it (pool, puddles and any log-space registration go in
+	// one atomic daemon op) so retries don't accumulate orphans.
+	fail := func(err error) (*logState, error) {
+		_, _ = c.conn.RoundTrip(&proto.Request{Op: proto.OpDeletePool, Name: name})
+		return nil, err
 	}
 	lp := &Pool{c: c, Name: name, UUID: resp.Pool, Writable: true}
 	rootPd, err := puddle.Open(c.dev, pmem.Addr(resp.Addr))
 	if err != nil {
-		return err
+		return fail(err)
 	}
 	lp.root = rootPd
 	lp.puddles = append(lp.puddles, rootPd)
+	// Size the directory puddle to its shard count: one page of slots
+	// per shard keeps per-shard capacity roughly at the legacy level.
 	lsResp, err := c.conn.RoundTrip(&proto.Request{
-		Op: proto.OpGetNewPuddle, Pool: lp.UUID, Size: puddle.MinSize, Kind: uint64(puddle.KindLogSpace),
+		Op: proto.OpGetNewPuddle, Pool: lp.UUID, Size: plog.SpaceSize(shards), Kind: uint64(puddle.KindLogSpace),
 	})
 	if err != nil {
-		return err
+		return fail(err)
 	}
 	lsPd, err := puddle.Open(c.dev, pmem.Addr(lsResp.Addr))
 	if err != nil {
-		return err
+		return fail(err)
 	}
-	space := plog.FormatLogSpace(lsPd)
-	if _, err := c.conn.RoundTrip(&proto.Request{Op: proto.OpRegLogSpace, UUID: lsResp.UUID}); err != nil {
-		return err
+	space, err := plog.FormatShardedLogSpace(lsPd, shards)
+	if err != nil {
+		return fail(err)
 	}
-	c.logPool = lp
-	c.logSpace = space
-	return nil
+	if _, err := c.conn.RoundTrip(&proto.Request{
+		Op: proto.OpRegLogSpace, UUID: lsResp.UUID, Shards: uint32(shards),
+	}); err != nil {
+		return fail(err)
+	}
+	st := &logState{pool: lp, space: space, shards: make([]*logShard, shards)}
+	for i := range st.shards {
+		st.shards[i] = &logShard{}
+	}
+	c.logSt.Store(st)
+	return st, nil
 }
 
 // SetLogCache toggles per-thread log-puddle caching (paper §4.1).
 // Disabling it is an ablation: every transaction then allocates a
 // fresh log puddle and registers it with the daemon.
 func (c *Client) SetLogCache(enabled bool) {
-	c.logMu.Lock()
-	c.logCacheOff = !enabled
-	c.logMu.Unlock()
+	c.logCacheOff.Store(!enabled)
 }
 
-// acquireLog returns a cached or fresh registered log. With N
-// concurrent transactions the cache reaches a steady state of N logs,
-// one per in-flight worker — the paper's per-thread log-puddle cache.
-// The daemon round trips for a fresh log run outside logMu.
-func (c *Client) acquireLog() (*txLog, error) {
-	if err := c.ensureLogSpace(); err != nil {
+// acquireLog returns a cached or fresh registered log from the shard
+// directory the worker hint selects. With N concurrent workers the
+// caches reach a steady state of one log per worker, each parked in
+// its worker's shard — the paper's per-thread log-puddle cache with
+// no cross-worker latch contention. The daemon round trips for a
+// fresh log run outside every shard latch; if the selected directory
+// is out of slots, registration falls back to sibling shards.
+func (c *Client) acquireLog(hint uint32) (*txLog, error) {
+	st, err := c.ensureLogSpace()
+	if err != nil {
 		return nil, err
 	}
-	c.logMu.Lock()
-	if n := len(c.freeLogs); n > 0 && !c.logCacheOff {
-		l := c.freeLogs[n-1]
-		c.freeLogs = c.freeLogs[:n-1]
-		c.logMu.Unlock()
-		return l, nil
+	si := int(hint % uint32(len(st.shards)))
+	if !c.logCacheOff.Load() {
+		// Home shard first, then siblings — mirroring the registration
+		// fallback below, so a worker never allocates a fresh log
+		// puddle while a reusable one sits cached one shard over (each
+		// sibling latch is taken briefly and one at a time).
+		for k := 0; k < len(st.shards); k++ {
+			sh := st.shards[(si+k)%len(st.shards)]
+			sh.mu.Lock()
+			if n := len(sh.free); n > 0 {
+				l := sh.free[n-1]
+				sh.free = sh.free[:n-1]
+				sh.mu.Unlock()
+				return l, nil
+			}
+			sh.mu.Unlock()
+		}
 	}
-	c.logMu.Unlock()
-	region, id, err := c.newLogRegion(LogPuddleSize)
+	region, id, err := c.newLogRegion(st, LogPuddleSize)
 	if err != nil {
+		return nil, err
+	}
+	// From here the log puddle exists on the daemon; if registration
+	// cannot succeed, free it rather than orphaning 2 MiB per failed
+	// acquisition (best effort — a failed free only costs space).
+	fail := func(err error) (*txLog, error) {
+		_, _ = c.conn.RoundTrip(&proto.Request{Op: proto.OpFreePuddle, UUID: id})
 		return nil, err
 	}
 	l, err := plog.FormatLog(c.dev, region)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
-	c.logMu.Lock()
-	err = c.logSpace.AddLog(l.Head(), id)
-	c.logMu.Unlock()
-	if err != nil {
-		return nil, err
+	for k := 0; k < len(st.shards); k++ {
+		j := (si + k) % len(st.shards)
+		sh := st.shards[j]
+		sh.mu.Lock()
+		err = st.space.AddLog(j, l.Head(), id)
+		sh.mu.Unlock()
+		if err == nil {
+			return &txLog{log: l, uuid: id, shard: j}, nil
+		}
+		if err != plog.ErrLogSpaceFull {
+			return fail(err)
+		}
 	}
-	return &txLog{log: l, uuid: id}, nil
+	return fail(plog.ErrLogSpaceFull)
 }
 
 // newLogRegion allocates a log puddle and returns its heap range.
-func (c *Client) newLogRegion(size uint64) (pmem.Range, uid.UUID, error) {
+func (c *Client) newLogRegion(st *logState, size uint64) (pmem.Range, uid.UUID, error) {
 	resp, err := c.conn.RoundTrip(&proto.Request{
-		Op: proto.OpGetNewPuddle, Pool: c.logPool.UUID, Size: size, Kind: uint64(puddle.KindLog),
+		Op: proto.OpGetNewPuddle, Pool: st.pool.UUID, Size: size, Kind: uint64(puddle.KindLog),
 	})
 	if err != nil {
 		return pmem.Range{}, uid.Nil, err
@@ -641,18 +821,20 @@ func (c *Client) newLogRegion(size uint64) (pmem.Range, uid.UUID, error) {
 	return pmem.Range{Start: pd.HeapBase(), End: pd.HeapBase() + pmem.Addr(pd.HeapSize())}, resp.UUID, nil
 }
 
-// releaseLog returns a log to the per-client cache (or, with caching
+// releaseLog returns a log to its shard's cache (or, with caching
 // ablated, unregisters and frees its puddle). A failure to free the
 // puddle is surfaced as an error wrapping ErrLogRelease and counted
 // in ReleaseErrors; the transaction's outcome is unaffected.
 func (c *Client) releaseLog(l *txLog) error {
-	c.logMu.Lock()
-	if c.logCacheOff {
-		removed := c.logSpace.RemoveLog(l.log.Head())
-		c.logMu.Unlock()
+	st := c.logSt.Load() // l exists, so the state is published
+	sh := st.shards[l.shard]
+	if c.logCacheOff.Load() {
+		sh.mu.Lock()
+		removed := st.space.RemoveLog(l.shard, l.log.Head())
+		sh.mu.Unlock()
 		var err error
 		if !removed {
-			err = fmt.Errorf("log %v missing from log space", l.uuid)
+			err = fmt.Errorf("log %v missing from log space shard %d", l.uuid, l.shard)
 		}
 		if _, rtErr := c.conn.RoundTrip(&proto.Request{Op: proto.OpFreePuddle, UUID: l.uuid}); rtErr != nil && err == nil {
 			err = rtErr
@@ -663,11 +845,20 @@ func (c *Client) releaseLog(l *txLog) error {
 		}
 		return nil
 	}
-	c.freeLogs = append(c.freeLogs, l)
-	c.logMu.Unlock()
+	sh.mu.Lock()
+	sh.free = append(sh.free, l)
+	sh.mu.Unlock()
 	return nil
 }
 
 // ReleaseErrors reports how many transaction-log releases have failed
 // since the client connected (see ErrLogRelease).
 func (c *Client) ReleaseErrors() uint64 { return c.releaseErrs.Load() }
+
+// LeaseConflicts reports how many transactions died as wait-die
+// victims (ErrTxConflict) since the client connected.
+func (c *Client) LeaseConflicts() uint64 { return c.leaseConflicts.Load() }
+
+// LeaseRetries reports how many victim transactions Client.Run has
+// transparently re-executed since the client connected.
+func (c *Client) LeaseRetries() uint64 { return c.leaseRetries.Load() }

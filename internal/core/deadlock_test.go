@@ -46,33 +46,44 @@ func twoHeapPool(t *testing.T, c *Client, name string) (*Pool, [2]*alloc.Heap) {
 	return pool, [2]*alloc.Heap{heaps[0], heaps[1]}
 }
 
-// fillHeaps Mallocs until each of the two heaps holds at least n
-// objects, returning the per-heap object lists.
+// fillHeaps Mallocs n objects into each of the two heaps, returning
+// the per-heap object lists. Allocation is steered deterministically:
+// every other member heap's lease is held while a heap is filled, so
+// the probe (which skips leased heaps and, with worker affinity,
+// would otherwise keep converging on one heap) must land there.
 func fillHeaps(t *testing.T, c *Client, pool *Pool, heaps [2]*alloc.Heap, n int) [2][]pmem.Addr {
 	t.Helper()
 	ti, ok := c.types.Lookup(ptypes.IDOf("dl.node"))
 	if !ok {
 		t.Fatal("dl.node type not registered")
 	}
+	members := pool.snapshotHeaps()
 	var objs [2][]pmem.Addr
-	for tries := 0; tries < 64*n && (len(objs[0]) < n || len(objs[1]) < n); tries++ {
-		a, err := pool.Malloc(ti.ID, nodeSz)
-		if err != nil {
-			t.Fatal(err)
+	for i := 0; i < 2; i++ {
+		for _, h := range members {
+			if h != heaps[i] {
+				h.Lease()
+			}
 		}
-		_, h, ok := c.heapAt(a)
-		if !ok {
-			t.Fatalf("Malloc returned unindexed address %#x", uint64(a))
+		for len(objs[i]) < n {
+			a, err := pool.Malloc(ti.ID, nodeSz)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, h, ok := c.heapAt(a)
+			if !ok {
+				t.Fatalf("Malloc returned unindexed address %#x", uint64(a))
+			}
+			if h != heaps[i] {
+				t.Fatalf("Malloc landed on an unexpected heap (object %#x)", uint64(a))
+			}
+			objs[i] = append(objs[i], a)
 		}
-		switch h {
-		case heaps[0]:
-			objs[0] = append(objs[0], a)
-		case heaps[1]:
-			objs[1] = append(objs[1], a)
+		for _, h := range members {
+			if h != heaps[i] {
+				h.Unlease()
+			}
 		}
-	}
-	if len(objs[0]) < n || len(objs[1]) < n {
-		t.Fatalf("could not spread objects: %d/%d", len(objs[0]), len(objs[1]))
 	}
 	return objs
 }

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"puddles/internal/daemon"
+	"puddles/internal/plog"
+	"puddles/internal/pmem"
+	"puddles/internal/uid"
+)
+
+func TestSetLogShards(t *testing.T) {
+	_, c := newSystem(t)
+	if err := c.SetLogShards(plog.MaxLogShards + 1); err == nil {
+		t.Fatal("oversized shard count accepted")
+	}
+	if err := c.SetLogShards(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.LogShards(); got != 0 {
+		t.Fatalf("LogShards before first tx = %d, want 0", got)
+	}
+	pool, err := c.CreatePool("shards", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ti, err := c.RegisterLayout("ls.node", node{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := pool.CreateRoot(ti.ID, nodeSz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(pool, func(tx *Tx) error { return tx.SetU64(root+offData, 7) }); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.LogShards(); got != 4 {
+		t.Fatalf("LogShards = %d, want 4", got)
+	}
+	// The geometry is persistent: reconfiguring after init must fail.
+	if err := c.SetLogShards(8); err == nil {
+		t.Fatal("SetLogShards after init succeeded")
+	}
+}
+
+// TestShardedLogRecoveryRollsBackAllWorkers leaves one application
+// with several in-flight transactions whose logs are registered
+// across distinct shard directories, then reboots: shard-parallel
+// recovery of the single crashed app must roll back every one, with
+// the same counters serial recovery reports.
+func TestShardedLogRecoveryRollsBackAllWorkers(t *testing.T) {
+	const workers = 8
+	seedDev := pmem.New()
+	d, err := daemon.New(seedDev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ConnectLocal(d)
+	if err := c.SetLogShards(4); err != nil {
+		t.Fatal(err)
+	}
+	ti, err := c.RegisterLayout("shard.node", node{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := c.CreatePool("shardapp", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := make([]pmem.Addr, workers)
+	for i := range objs {
+		a, err := pool.Malloc(ti.ID, nodeSz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seedDev.StoreU64(a+offData, 42)
+		seedDev.Persist(a+offData, 8)
+		objs[i] = a
+	}
+	// Abandon one in-flight transaction per worker. Each Begin takes a
+	// fresh affinity hint (none is ever released), so the logs stripe
+	// round-robin across the 4 shard directories.
+	for i, a := range objs {
+		tx := c.Begin(pool)
+		if err := tx.SetU64(a+offData, 1000+uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.logSt.Load()
+	populated := 0
+	for i := 0; i < st.space.Shards(); i++ {
+		if len(st.space.ShardLogs(i)) > 0 {
+			populated++
+		}
+	}
+	if populated < 2 {
+		t.Fatalf("pending logs occupy %d shards, want >= 2 (striping broken)", populated)
+	}
+
+	var img bytes.Buffer
+	if err := seedDev.Save(&img); err != nil {
+		t.Fatal(err)
+	}
+	recoverWith := func(rw int) *pmem.Device {
+		dev := pmem.New()
+		if err := dev.Restore(bytes.NewReader(img.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		d2, err := daemon.New(dev, daemon.WithRecoveryWorkers(rw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats := d2.Stats()
+		if stats.LogsReplayed != workers {
+			t.Fatalf("workers=%d: LogsReplayed = %d, want %d", rw, stats.LogsReplayed, workers)
+		}
+		return dev
+	}
+	for _, rw := range []int{1, 8} {
+		dev := recoverWith(rw)
+		for i, a := range objs {
+			if got := dev.LoadU64(a + offData); got != 42 {
+				t.Fatalf("workers=%d obj %d: %d, want rollback to 42", rw, i, got)
+			}
+		}
+	}
+}
+
+// TestShardedLogCacheAffinity: a worker that commits and begins again
+// gets its cached log back from its own shard, and concurrent workers
+// settle at one cached log per shard rather than one shared LIFO.
+func TestShardedLogCacheAffinity(t *testing.T) {
+	_, c := newSystem(t)
+	if err := c.SetLogShards(4); err != nil {
+		t.Fatal(err)
+	}
+	ti, err := c.RegisterLayout("aff.node", node{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := c.CreatePool("aff", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := pool.CreateRoot(ti.ID, nodeSz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			a, err := pool.Malloc(ti.ID, nodeSz)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			for i := 0; i < 50; i++ {
+				if err := c.Run(pool, func(tx *Tx) error {
+					return tx.SetU64(a+offData, uint64(i))
+				}); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	// At quiescence every registered log is parked in some shard's
+	// cache (nothing leaks), and the population stays near one log per
+	// worker — bounded loosely because goroutine migration can rotate
+	// affinity hints and register a few extra logs.
+	st := c.logSt.Load()
+	total := 0
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		total += len(sh.free)
+		sh.mu.Unlock()
+	}
+	if registered := len(st.space.Logs()); total != registered {
+		t.Fatalf("cached logs = %d but %d registered — cache leaked a log", total, registered)
+	}
+	if total == 0 || total > 4*workers {
+		t.Fatalf("cached logs = %d, want in [1, %d]", total, 4*workers)
+	}
+	t.Logf("steady-state cache: %d logs across %d shards for %d workers", total, len(st.shards), workers)
+	// A fresh transaction reuses a cached log instead of registering a
+	// new one.
+	before := len(st.space.Logs())
+	if err := c.Run(pool, func(tx *Tx) error { return tx.SetU64(root+offData, 9) }); err != nil {
+		t.Fatal(err)
+	}
+	if after := len(st.space.Logs()); after != before {
+		t.Fatalf("registered logs grew %d -> %d on a cached acquire", before, after)
+	}
+}
+
+// TestLogShardFallbackWhenFull: when the worker's shard directory is
+// out of slots, registration falls back to a sibling shard instead of
+// failing the transaction.
+func TestLogShardFallbackWhenFull(t *testing.T) {
+	_, c := newSystem(t)
+	if err := c.SetLogShards(2); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.ensureLogSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill shard 0's directory with fake registrations.
+	capacity := st.space.Shard(0).Capacity()
+	for i := 0; i < capacity; i++ {
+		if err := st.space.AddLog(0, pmem.Addr(0x10000+i*8), uid.UUID{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, err := c.acquireLog(0) // hint selects the full shard
+	if err != nil {
+		t.Fatalf("acquireLog with full home shard: %v", err)
+	}
+	if l.shard != 1 {
+		t.Fatalf("log registered in shard %d, want fallback to 1", l.shard)
+	}
+	if err := c.releaseLog(l); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitDieMetricsSurface(t *testing.T) {
+	dev := pmem.New()
+	d, err := daemon.New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ConnectLocal(d)
+	defer c.Close()
+	pool, heaps := twoHeapPool(t, c, "metrics")
+	objs := fillHeaps(t, c, pool, heaps, 2)
+
+	// Same arbitration as TestWaitDieVictimSurfacesToManualTx: an older
+	// transaction owns heap 0; a younger, entangled transaction demands
+	// it and must die.
+	older := c.Begin(pool)
+	if err := older.Free(objs[0][0]); err != nil {
+		t.Fatal(err)
+	}
+	younger := c.Begin(pool)
+	if err := younger.Free(objs[1][0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := younger.Free(objs[0][1]); !errors.Is(err, ErrTxConflict) {
+		t.Fatalf("younger Free = %v, want ErrTxConflict", err)
+	}
+	younger.Abort()
+	older.Abort()
+
+	if got := c.LeaseConflicts(); got != 1 {
+		t.Fatalf("LeaseConflicts = %d, want 1", got)
+	}
+	stats := dev.Stats()
+	if stats.LeaseConflicts != 1 {
+		t.Fatalf("pmem.Stats.LeaseConflicts = %d, want 1", stats.LeaseConflicts)
+	}
+	// Run-level retries: provoke a conflict under Run so the automatic
+	// retry path ticks LeaseRetries at least once.
+	release := make(chan struct{})
+	held := c.Begin(pool)
+	if err := held.Free(objs[0][0]); err != nil { // heap 0 lease camped by an old tx
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var runErr error
+	go func() {
+		defer wg.Done()
+		runErr = c.Run(pool, func(tx *Tx) error {
+			// Entangle on heap 1 first, then demand heap 0: younger than
+			// `held`, so the first attempts die until `held` aborts.
+			if err := tx.Free(objs[1][1]); err != nil {
+				return err
+			}
+			select {
+			case <-release:
+			default:
+				close(release)
+			}
+			return tx.Free(objs[0][1])
+		})
+	}()
+	<-release
+	held.Abort()
+	wg.Wait()
+	if runErr != nil {
+		t.Fatalf("Run after retries: %v", runErr)
+	}
+	if c.LeaseRetries() != dev.Stats().LeaseRetries {
+		t.Fatalf("client (%d) and device (%d) retry counters diverge",
+			c.LeaseRetries(), dev.Stats().LeaseRetries)
+	}
+}

@@ -70,6 +70,26 @@ type Tx struct {
 	ts   uint64
 	done bool
 	err  error
+	// aff is the worker-affinity hint held for the transaction's
+	// lifetime: it selects the log shard and remembers the last leased
+	// heap. Fetched lazily so a TX NOP touches no pool.
+	aff *affinity
+}
+
+// affinity lazily fetches the worker hint for this transaction.
+func (t *Tx) affinity() *affinity {
+	if t.aff == nil {
+		t.aff = t.c.getAffinity()
+	}
+	return t.aff
+}
+
+// releaseAffinity hands the worker hint back at commit/abort.
+func (t *Tx) releaseAffinity() {
+	if t.aff != nil {
+		t.c.putAffinity(t.aff)
+		t.aff = nil
+	}
 }
 
 // Begin starts a transaction whose allocations come from pool.
@@ -102,6 +122,8 @@ func (c *Client) Run(pool *Pool, fn func(tx *Tx) error) (err error) {
 	for attempt := 0; ; attempt++ {
 		err := c.runOnce(pool, fn, ts)
 		if errors.Is(err, ErrTxConflict) {
+			c.leaseRetries.Add(1)
+			c.dev.NoteLeaseRetry()
 			backoff := time.Duration(attempt+1) * 250 * time.Microsecond
 			if backoff > 2*time.Millisecond {
 				backoff = 2 * time.Millisecond
@@ -149,7 +171,7 @@ func (t *Tx) ensureLog() error {
 			return err
 		}
 	}
-	l, err := t.c.acquireLog()
+	l, err := t.c.acquireLog(t.affinity().shard)
 	if err != nil {
 		return err
 	}
@@ -160,7 +182,11 @@ func (t *Tx) ensureLog() error {
 
 func (t *Tx) grow() plog.GrowFunc {
 	return func() (pmem.Range, error) {
-		r, _, err := t.c.newLogRegion(LogPuddleSize)
+		st, err := t.c.ensureLogSpace() // already set up; atomic fast path
+		if err != nil {
+			return pmem.Range{}, err
+		}
+		r, _, err := t.c.newLogRegion(st, LogPuddleSize)
 		return r, err
 	}
 }
@@ -349,12 +375,15 @@ func (t *Tx) releaseLeases() {
 
 // allocFromPool routes a transactional allocation to a member heap
 // this transaction can own. Heaps already leased by this transaction
-// are tried first; otherwise the pool's heaps are probed from a
-// rotating start with TryLease, so concurrent transactions spread
-// across member puddles instead of convoying on heap 0. When every
-// member heap is full or owned by another in-flight transaction, the
-// pool grows — concurrent allocators end up with a puddle each, the
-// per-thread sub-heap shape PM allocators converge on.
+// are tried first, then the worker's remembered heap (NUMA-style
+// affinity — with per-worker convergence it is usually free and
+// skips the probe entirely); otherwise the pool's heaps are probed
+// from a rotating start with TryLease, so concurrent transactions
+// spread across member puddles instead of convoying on heap 0. When
+// every member heap is full or owned by another in-flight
+// transaction, the pool grows — concurrent allocators end up with a
+// puddle each, the per-thread sub-heap shape PM allocators converge
+// on.
 func (t *Tx) allocFromPool(typeID ptypes.TypeID, size uint32) (pmem.Addr, error) {
 	p := t.pool
 	for h, owner := range t.leases {
@@ -369,6 +398,20 @@ func (t *Tx) allocFromPool(typeID ptypes.TypeID, size uint32) (pmem.Addr, error)
 		if err != alloc.ErrNoSpace && err != alloc.ErrTooLarge {
 			return 0, err
 		}
+	}
+	aff := t.affinity()
+	if h := aff.heapFor(p); h != nil && !t.holdsLease(h) && h.TryLeaseAs(t.ts) {
+		a, err := h.Alloc(t, typeID, size)
+		if err == nil {
+			t.recordLease(h, p)
+			t.markHeap(h, p)
+			return a, nil
+		}
+		h.Unlease() // nothing was mutated on a failed alloc
+		if err != alloc.ErrNoSpace && err != alloc.ErrTooLarge {
+			return 0, err
+		}
+		aff.forget(h)
 	}
 	for {
 		heaps := p.snapshotHeaps()
@@ -385,6 +428,7 @@ func (t *Tx) allocFromPool(typeID ptypes.TypeID, size uint32) (pmem.Addr, error)
 			if err == nil {
 				t.recordLease(h, p)
 				t.markHeap(h, p)
+				aff.note(p, h)
 				return a, nil
 			}
 			h.Unlease() // nothing was mutated on a failed alloc
@@ -408,6 +452,7 @@ func (t *Tx) allocFromPool(typeID ptypes.TypeID, size uint32) (pmem.Addr, error)
 		}
 		t.recordLease(grown, p)
 		t.markHeap(grown, p)
+		aff.note(p, grown)
 		return a, nil
 	}
 }
@@ -452,7 +497,11 @@ func (t *Tx) leaseForFree(h *alloc.Heap, pool *Pool) error {
 		}
 		owner := h.LeaseOwnerTS()
 		if owner != 0 && owner < t.ts && len(t.leases) > 0 {
-			return ErrTxConflict // younger and entangled: die
+			// Younger and entangled: die. Counted on the client and the
+			// device so workloads can observe free-order contention.
+			t.c.leaseConflicts.Add(1)
+			t.c.dev.NoteLeaseConflict()
+			return ErrTxConflict
 		}
 		if h.LeaseAsTimeout(t.ts, 200*time.Microsecond) {
 			t.recordLease(h, pool)
@@ -541,6 +590,7 @@ func (t *Tx) Commit() error {
 	}
 	if t.log == nil {
 		t.releaseLeases()
+		t.releaseAffinity()
 		return nil // TX NOP: nothing logged, nothing to do
 	}
 	dev := t.c.dev
@@ -574,6 +624,7 @@ func (t *Tx) Commit() error {
 	err := t.c.releaseLog(t.log)
 	t.log = nil
 	t.releaseLeases()
+	t.releaseAffinity()
 	return err
 }
 
@@ -591,6 +642,7 @@ func (t *Tx) Abort() {
 func (t *Tx) rollback() {
 	if t.log == nil {
 		t.releaseLeases()
+		t.releaseAffinity()
 		return
 	}
 	// The range is still (0,2): replay applies only undo entries.
@@ -606,6 +658,7 @@ func (t *Tx) rollback() {
 		h.Rescan()
 	}
 	t.releaseLeases()
+	t.releaseAffinity()
 }
 
 // Pending reports whether the transaction has logged anything yet.

@@ -112,11 +112,17 @@ func (p *PoolRec) rec() entRec { return putRec(recPool, p.Name, p.snapshot()) }
 
 // LogSpaceRec records a registered log space and the credentials it
 // was registered under; recovery is confined to what those credentials
-// could write (paper §4.6, "Recovery").
+// could write (paper §4.6, "Recovery"). Shards is the directory shard
+// count the client declared at registration: recovery fans its worker
+// pool out over the shards of one crashed application, not just
+// across applications. Records persisted by earlier daemon
+// generations decode with Shards == 0, which reads as a legacy
+// single-directory space (one shard).
 type LogSpaceRec struct {
-	UUID  uid.UUID
-	Addr  uint64
-	Creds Creds
+	UUID   uid.UUID
+	Addr   uint64
+	Creds  Creds
+	Shards uint32
 }
 
 // ImportPuddle tracks one puddle of an import session.
@@ -170,10 +176,11 @@ type state struct {
 // and each PoolRec carries its own mutex for pool-local state. The
 // lock order is
 //
-//	opMu.RLock > sessMu > PoolRec.mu > poolsMu > lsMu > typesMu > jMu
+//	opMu.RLock > sessMu > PoolRec.mu > poolsMu > lsMu > typesMu > jgMu > jMu
 //
-// (any prefix/suffix may be skipped, never reordered). jMu serializes
-// only the journal tail; see metastore.go.
+// (any prefix/suffix may be skipped, never reordered). jgMu guards
+// only the group-commit queue and is never held across device writes;
+// jMu serializes only the journal tail; see metastore.go.
 type Daemon struct {
 	dev *pmem.Device
 
@@ -184,13 +191,16 @@ type Daemon struct {
 	typesMu sync.Mutex   // st.Types (the persisted mirror of the registry)
 	jMu     sync.Mutex   // journal tail + seq (metastore.go)
 
-	st      state
-	seq     uint64             // monotonic metadata sequence (under jMu, or exclusive opMu)
-	jTail   uint64             // journal append offset (under jMu)
-	space   *addrspace.Manager // global puddle space
-	staging *addrspace.Manager // import staging area
-	types   *ptypes.Registry
-	logger  *log.Logger
+	st       state
+	seq      uint64             // monotonic metadata sequence (under jMu, or exclusive opMu)
+	jTail    uint64             // journal append offset (under jMu)
+	jgMu     sync.Mutex         // journal group-commit queue (metastore.go)
+	jgQueue  []*jreq            // entries awaiting the group leader
+	jgLeader bool               // a leader is draining jgQueue
+	space    *addrspace.Manager // global puddle space
+	staging  *addrspace.Manager // import staging area
+	types    *ptypes.Registry
+	logger   *log.Logger
 
 	jTailApprox atomic.Uint64 // journal tail mirror for the compaction check
 	needCompact atomic.Bool   // set when an append failed for space
@@ -408,21 +418,39 @@ func (d *Daemon) workerCount(spaces int) int {
 	return n
 }
 
+// replayUnit is one schedulable piece of recovery work: either a
+// single shard directory of one log space (shard >= 0, space opened
+// once and shared by that space's sibling units — the handle is
+// immutable and each unit touches only its own shard directory), or
+// a serial chain of whole spaces — a cross-application conflict
+// group whose members must not race on their shared pools
+// (shard == -1, space nil).
+type replayUnit struct {
+	spaces []*LogSpaceRec
+	shard  int
+	space  *plog.ShardedLogSpace
+}
+
 // runRecovery replays every registered log space. Callers hold no
 // lock (boot) or opMu exclusively (RecoverNow); the daemon is not
 // serving yet or is quiesced, respectively.
 //
-// Log spaces belong to distinct crashed applications and are replayed
-// concurrently by a bounded worker pool. Spaces whose pending entries
-// target a common pool are placed in one conflict group and replayed
-// serially within it, in the same deterministic order serial recovery
-// would use — two applications sharing a writable pool must not race
-// on the same addresses. Each worker keeps the per-space credential
-// confinement of serial recovery (the filter closes over that space's
-// registered creds) and reads the registries without locking —
-// nothing mutates daemon state while recovery runs. Replay counters
-// are aggregated under a mutex and folded into the snapshot once,
-// after the pool drains.
+// Recovery work is fanned out over a bounded worker pool at two
+// granularities. Across applications, log spaces whose pending
+// entries target a common pool are placed in one conflict group and
+// replayed serially within it, in the same deterministic order serial
+// recovery would use — two applications sharing a writable pool must
+// not race on the same addresses. Within one application, the shards
+// of its sharded log space become independent units: in-flight
+// transactions of one application are thread-local and hold disjoint
+// heap leases, so their pending logs touch disjoint addresses (the
+// same argument that makes the client's lock sharding sound), and a
+// single crashed many-worker application recovers in parallel. Each
+// worker keeps the per-space credential confinement of serial
+// recovery (the filter closes over that space's registered creds) and
+// reads the registries without locking — nothing mutates daemon state
+// while recovery runs. Replay counters are aggregated under a mutex
+// and folded into the snapshot once, after the pool drains.
 func (d *Daemon) runRecovery() {
 	atomic.AddUint64(&d.st.Recoveries, 1)
 	spaces := make([]*LogSpaceRec, 0, len(d.st.LogSpaces))
@@ -433,8 +461,8 @@ func (d *Daemon) runRecovery() {
 	sort.Slice(spaces, func(i, j int) bool {
 		return bytes.Compare(spaces[i].UUID[:], spaces[j].UUID[:]) < 0
 	})
-	groups := d.conflictGroups(spaces)
-	workers := d.workerCount(len(groups))
+	units := d.replayUnits(d.conflictGroups(spaces))
+	workers := d.workerCount(len(units))
 
 	var (
 		mu        sync.Mutex
@@ -443,13 +471,13 @@ func (d *Daemon) runRecovery() {
 		downPanic any // first panic from a worker (injected crash or bug)
 		downed    atomic.Bool
 	)
-	work := make(chan []*LogSpaceRec)
+	work := make(chan replayUnit)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for group := range work {
+			for u := range work {
 				if downed.Load() {
 					continue // machine already "died" mid-recovery
 				}
@@ -471,11 +499,11 @@ func (d *Daemon) runRecovery() {
 							mu.Unlock()
 						}
 					}()
-					for _, ls := range group {
+					for _, ls := range u.spaces {
 						if downed.Load() {
 							return
 						}
-						nl, ne := d.recoverLogSpace(ls, &downed)
+						nl, ne := d.recoverLogSpace(ls, u.shard, u.space, &downed)
 						mu.Lock()
 						logs += nl
 						entries += ne
@@ -485,8 +513,8 @@ func (d *Daemon) runRecovery() {
 			}
 		}()
 	}
-	for _, g := range groups {
-		work <- g
+	for _, u := range units {
+		work <- u
 	}
 	close(work)
 	wg.Wait()
@@ -500,6 +528,63 @@ func (d *Daemon) runRecovery() {
 	if err := d.writeCheckpoint(); err != nil {
 		d.logf("recovery checkpoint: %v", err)
 	}
+}
+
+// replayUnits turns conflict groups into schedulable units. A group
+// of several spaces stays one serial unit (cross-application pool
+// sharing). A group with a single space splits into one unit per
+// shard directory — the space is opened and validated once here and
+// the handle shared by its units, not re-opened per shard — so a
+// lone crashed application fans out over the whole worker pool.
+func (d *Daemon) replayUnits(groups [][]*LogSpaceRec) []replayUnit {
+	var units []replayUnit
+	for _, g := range groups {
+		if len(g) == 1 && d.spaceShards(g[0]) > 1 {
+			if space := d.openLogSpace(g[0]); space != nil && space.Shards() > 1 {
+				for s := 0; s < space.Shards(); s++ {
+					units = append(units, replayUnit{spaces: g, shard: s, space: space})
+				}
+				continue
+			}
+		}
+		units = append(units, replayUnit{spaces: g, shard: -1})
+	}
+	return units
+}
+
+// openLogSpace opens a registered space's on-media directory (nil if
+// unreadable; the serial replay path re-reports the failure).
+func (d *Daemon) openLogSpace(ls *LogSpaceRec) *plog.ShardedLogSpace {
+	p, err := puddle.Open(d.dev, pmem.Addr(ls.Addr))
+	if err != nil {
+		return nil
+	}
+	space, err := plog.OpenShardedLogSpace(p)
+	if err != nil {
+		return nil
+	}
+	return space
+}
+
+// spaceShards resolves a registered space's shard count. The
+// journaled registration record is authoritative when present —
+// opRegLogSpace cross-checked it against the on-media geometry — so
+// the common path costs no device reads; records persisted before
+// sharding existed (Shards == 0) fall back to the media, and an
+// unreadable directory reads as one shard.
+func (d *Daemon) spaceShards(ls *LogSpaceRec) int {
+	if ls.Shards > 0 {
+		return int(ls.Shards)
+	}
+	p, err := puddle.Open(d.dev, pmem.Addr(ls.Addr))
+	if err != nil {
+		return 1
+	}
+	space, err := plog.OpenShardedLogSpace(p)
+	if err != nil {
+		return 1
+	}
+	return space.Shards()
 }
 
 // conflictGroups partitions spaces (already in deterministic order)
@@ -570,7 +655,7 @@ func (d *Daemon) replayTargets(ls *LogSpaceRec) map[uid.UUID]bool {
 	if err != nil {
 		return out
 	}
-	space, err := plog.OpenLogSpace(p)
+	space, err := plog.OpenShardedLogSpace(p)
 	if err != nil {
 		return out
 	}
@@ -596,20 +681,42 @@ func (d *Daemon) replayTargets(ls *LogSpaceRec) map[uid.UUID]bool {
 	return out
 }
 
-// recoverLogSpace replays one registered log space and returns the
-// number of logs replayed and entries applied. Safe to call from
-// concurrent recovery workers: it only reads daemon state. halt, when
-// set by another worker unwinding from an injected crash, stops the
-// replay between logs — the machine is considered dead.
-func (d *Daemon) recoverLogSpace(ls *LogSpaceRec, halt *atomic.Bool) (logs, entries uint64) {
-	p, err := puddle.Open(d.dev, pmem.Addr(ls.Addr))
-	if err != nil {
-		d.logf("recovery: log space %v unreadable: %v", ls.UUID, err)
-		return 0, 0
+// recoverLogSpace replays one registered log space — all of it when
+// shard < 0, or a single shard directory — and returns the number of
+// logs replayed and entries applied. space, when non-nil, is the
+// directory handle the dispatcher already opened (shard units share
+// one open instead of re-validating the whole geometry per shard).
+// Safe to call from concurrent recovery workers: it only reads
+// daemon state. halt, when set by another worker unwinding from an
+// injected crash, stops the replay between logs — the machine is
+// considered dead.
+func (d *Daemon) recoverLogSpace(ls *LogSpaceRec, shard int, space *plog.ShardedLogSpace, halt *atomic.Bool) (logs, entries uint64) {
+	if space == nil {
+		p, err := puddle.Open(d.dev, pmem.Addr(ls.Addr))
+		if err != nil {
+			d.logf("recovery: log space %v unreadable: %v", ls.UUID, err)
+			return 0, 0
+		}
+		if space, err = plog.OpenShardedLogSpace(p); err != nil {
+			d.logf("recovery: log space %v malformed: %v", ls.UUID, err)
+			return 0, 0
+		}
 	}
-	space, err := plog.OpenLogSpace(p)
-	if err != nil {
-		d.logf("recovery: log space %v malformed: %v", ls.UUID, err)
+	var heads []pmem.Addr
+	switch {
+	case shard < 0:
+		heads = space.Logs()
+	case shard < space.Shards():
+		heads = space.ShardLogs(shard)
+	default:
+		// Registration record and media disagree on the shard count
+		// (e.g. a bare puddle registered with a declared count and
+		// formatted differently). Replaying the whole space here would
+		// hand the same logs to several workers at once; the shards
+		// that do exist are covered by their own units, so this unit
+		// has nothing to do.
+		d.logf("recovery: log space %v has %d shards, unit wanted shard %d; skipping",
+			ls.UUID, space.Shards(), shard)
 		return 0, 0
 	}
 	// Recreate the crashed process's view: recovery may only write
@@ -617,7 +724,7 @@ func (d *Daemon) recoverLogSpace(ls *LogSpaceRec, halt *atomic.Bool) (logs, entr
 	filter := func(e plog.Entry) bool {
 		return d.credsCanWriteAddr(ls.Creds, e.Addr, len(e.Data))
 	}
-	for _, head := range space.Logs() {
+	for _, head := range heads {
 		if halt != nil && halt.Load() {
 			return logs, entries
 		}

@@ -478,3 +478,47 @@ func TestRecoveryWorkerCount(t *testing.T) {
 		t.Fatalf("serial workerCount(100) = %d, want 1", got)
 	}
 }
+
+// TestRegLogSpaceShardMismatch: a registration whose declared shard
+// count disagrees with the formatted on-media directory is rejected;
+// the matching count (and the legacy 0 => 1 default) is accepted.
+func TestRegLogSpaceShardMismatch(t *testing.T) {
+	dev := pmem.New()
+	d, err := New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.SelfConn()
+	defer c.Close()
+	pool := rt(t, c, &proto.Request{Op: proto.OpCreatePool, Name: "shardreg"})
+	lsp := rt(t, c, &proto.Request{
+		Op: proto.OpGetNewPuddle, Pool: pool.Pool,
+		Size: 8 * pmem.PageSize, Kind: uint64(puddle.KindLogSpace),
+	})
+	pd, err := puddle.Open(dev, pmem.Addr(lsp.Addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plog.FormatShardedLogSpace(pd, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RoundTrip(&proto.Request{Op: proto.OpRegLogSpace, UUID: lsp.UUID, Shards: 2}); err == nil {
+		t.Fatal("mismatched shard count accepted")
+	}
+	rt(t, c, &proto.Request{Op: proto.OpRegLogSpace, UUID: lsp.UUID, Shards: 4})
+
+	// Legacy path: a v1 directory registers with Shards omitted.
+	lsp2 := rt(t, c, &proto.Request{
+		Op: proto.OpGetNewPuddle, Pool: pool.Pool,
+		Size: puddle.MinSize, Kind: uint64(puddle.KindLogSpace),
+	})
+	pd2, err := puddle.Open(dev, pmem.Addr(lsp2.Addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plog.FormatLogSpace(pd2)
+	rt(t, c, &proto.Request{Op: proto.OpRegLogSpace, UUID: lsp2.UUID})
+	if err := d.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}

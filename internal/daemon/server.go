@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"puddles/internal/addrspace"
+	"puddles/internal/plog"
 	"puddles/internal/pmem"
 	"puddles/internal/proto"
 	"puddles/internal/ptypes"
@@ -601,7 +602,22 @@ func (d *Daemon) opRegLogSpace(creds Creds, req *proto.Request) *proto.Response 
 	if puddle.Kind(rec.Kind) != puddle.KindLogSpace {
 		return fail("puddle %v is kind %v, not a log space", req.UUID, puddle.Kind(rec.Kind))
 	}
-	ls := &LogSpaceRec{UUID: rec.UUID, Addr: rec.Addr, Creds: creds}
+	shards := req.Shards
+	if shards == 0 {
+		shards = 1 // legacy client: single-directory space
+	}
+	if shards > plog.MaxLogShards {
+		return fail("log space %v declares %d shards (max %d)", req.UUID, shards, plog.MaxLogShards)
+	}
+	// Cross-check the claim against the on-media directory when it is
+	// already formatted (clients format before registering; tests may
+	// register bare puddles, which recovery tolerates as unreadable).
+	if p, err := puddle.Open(d.dev, pmem.Addr(rec.Addr)); err == nil {
+		if space, err := plog.OpenShardedLogSpace(p); err == nil && space.Shards() != int(shards) {
+			return fail("log space %v is formatted with %d shards, not %d", req.UUID, space.Shards(), shards)
+		}
+	}
+	ls := &LogSpaceRec{UUID: rec.UUID, Addr: rec.Addr, Creds: creds, Shards: shards}
 	// Registration serializes on the owning pool's lock, like the free
 	// path does: otherwise a concurrent FreePuddle/DeletePool could
 	// complete between our existence check and the insert, leaving a

@@ -363,25 +363,57 @@ func (l *Log) Replay(system bool, applyFilter func(Entry) bool) int {
 // --- Log spaces (paper Fig. 5) ---
 
 const (
-	lsMagic    = 0x3143505350 // "PSPC1"
+	lsMagic    = 0x3143505350 // "PSPC1": legacy single-directory space
 	lsOffMagic = 0
 	lsOffCount = 8
 	lsHdrSize  = 16
 	lsEntry    = 32 // u64 log head addr + 16B uuid + 8B reserved
+
+	// Sharded log space (v2): a super-header describing the shard
+	// geometry, followed by N independent shard directories. Each shard
+	// directory has its own header (magic, mutable slot high-water,
+	// capacity, shard index) and a CRC over its immutable geometry
+	// fields, so a corrupt or misplaced shard is detected at open
+	// instead of replaying garbage. The mutable count is deliberately
+	// outside the CRC: slots publish with single 8-byte stores and must
+	// stay torn-write atomic without read-modify-write of a checksum.
+	slsMagic      = 0x3243505350 // "PSPC2": sharded super-header
+	slsOffMagic   = 0
+	slsOffShards  = 8
+	slsOffSegSize = 16
+	slsOffCRC     = 24 // crc64 over shards|segSize
+	slsHdrSize    = 64
+
+	sdMagic    = 0x3144525348 // "HSRD1": one shard directory
+	sdOffMagic = 0
+	sdOffCount = 8  // mutable slot high-water (outside the CRC)
+	sdOffCap   = 16 // immutable capacity in slots
+	sdOffIdx   = 24 // immutable shard index
+	sdOffCRC   = 32 // crc64 over magic|cap|idx
+	sdHdrSize  = 64
+
+	// MaxLogShards bounds the shard count a directory may declare; a
+	// wild super-header cannot make open loop over millions of shards.
+	MaxLogShards = 256
 )
 
 // ErrLogSpaceFull reports an exhausted log-space directory.
 var ErrLogSpaceFull = errors.New("plog: log space is full")
 
-// LogSpace is a directory of the logs an application registered with
-// the daemon. It lives in a puddle of kind KindLogSpace.
+// LogSpace is one directory of registered logs: either a whole legacy
+// (v1) space over a puddle heap, or one shard of a ShardedLogSpace.
+// It performs no internal locking — callers serialize per directory
+// (the client holds a per-shard latch; daemon recovery is quiesced).
 type LogSpace struct {
 	dev  *pmem.Device
 	base pmem.Addr
 	cap  int
+	hdr  int // lsHdrSize (legacy) or sdHdrSize (shard)
 }
 
-// FormatLogSpace initialises a log space over p's heap.
+// FormatLogSpace initialises a legacy single-directory log space over
+// p's heap (kept for compatibility; new clients format sharded spaces
+// and open legacy ones through OpenShardedLogSpace as one shard).
 func FormatLogSpace(p *puddle.Puddle) *LogSpace {
 	dev := p.Dev
 	base := p.HeapBase()
@@ -389,19 +421,61 @@ func FormatLogSpace(p *puddle.Puddle) *LogSpace {
 	dev.Persist(base, lsHdrSize)
 	dev.StoreU64(base+lsOffMagic, lsMagic)
 	dev.Persist(base+lsOffMagic, 8)
-	return &LogSpace{dev: dev, base: base, cap: int((p.HeapSize() - lsHdrSize) / lsEntry)}
+	return &LogSpace{dev: dev, base: base, cap: int((p.HeapSize() - lsHdrSize) / lsEntry), hdr: lsHdrSize}
 }
 
-// OpenLogSpace opens a formatted log space.
+// OpenLogSpace opens a formatted legacy log space.
 func OpenLogSpace(p *puddle.Puddle) (*LogSpace, error) {
 	if p.Dev.LoadU64(p.HeapBase()+lsOffMagic) != lsMagic {
 		return nil, ErrBadLog
 	}
-	return &LogSpace{dev: p.Dev, base: p.HeapBase(), cap: int((p.HeapSize() - lsHdrSize) / lsEntry)}, nil
+	return &LogSpace{dev: p.Dev, base: p.HeapBase(), cap: int((p.HeapSize() - lsHdrSize) / lsEntry), hdr: lsHdrSize}, nil
+}
+
+func shardCRC(capacity, idx uint64) uint64 {
+	var b [24]byte
+	binary.LittleEndian.PutUint64(b[0:], sdMagic)
+	binary.LittleEndian.PutUint64(b[8:], capacity)
+	binary.LittleEndian.PutUint64(b[16:], idx)
+	return crc64.Checksum(b[:], crcTable)
+}
+
+// formatShard initialises one shard directory over region.
+func formatShard(dev *pmem.Device, region pmem.Range, idx int) (*LogSpace, error) {
+	if region.Size() < sdHdrSize+lsEntry {
+		return nil, ErrTooSmall
+	}
+	base := region.Start
+	capacity := (region.Size() - sdHdrSize) / lsEntry
+	dev.Zero(base, sdHdrSize)
+	dev.StoreU64(base+sdOffCap, capacity)
+	dev.StoreU64(base+sdOffIdx, uint64(idx))
+	dev.StoreU64(base+sdOffCRC, shardCRC(capacity, uint64(idx)))
+	dev.Persist(base, sdHdrSize)
+	dev.StoreU64(base+sdOffMagic, sdMagic)
+	dev.Persist(base+sdOffMagic, 8)
+	return &LogSpace{dev: dev, base: base, cap: int(capacity), hdr: sdHdrSize}, nil
+}
+
+// openShard validates one shard directory's header and geometry CRC.
+func openShard(dev *pmem.Device, region pmem.Range, idx int) (*LogSpace, error) {
+	base := region.Start
+	if dev.LoadU64(base+sdOffMagic) != sdMagic {
+		return nil, ErrBadLog
+	}
+	capacity := dev.LoadU64(base + sdOffCap)
+	gotIdx := dev.LoadU64(base + sdOffIdx)
+	if dev.LoadU64(base+sdOffCRC) != shardCRC(capacity, gotIdx) {
+		return nil, fmt.Errorf("plog: shard %d header CRC mismatch", idx)
+	}
+	if gotIdx != uint64(idx) || sdHdrSize+capacity*lsEntry > region.Size() {
+		return nil, fmt.Errorf("plog: shard %d geometry corrupt (idx=%d cap=%d)", idx, gotIdx, capacity)
+	}
+	return &LogSpace{dev: dev, base: base, cap: int(capacity), hdr: sdHdrSize}, nil
 }
 
 func (ls *LogSpace) slotAddr(i int) pmem.Addr {
-	return ls.base + lsHdrSize + pmem.Addr(i*lsEntry)
+	return ls.base + pmem.Addr(ls.hdr) + pmem.Addr(i*lsEntry)
 }
 
 // AddLog registers a log (by the address of its head segment).
@@ -461,3 +535,160 @@ func (ls *LogSpace) Logs() []pmem.Addr {
 
 // Capacity returns the maximum number of simultaneous registrations.
 func (ls *LogSpace) Capacity() int { return ls.cap }
+
+// --- sharded log spaces ---
+
+// ShardedLogSpace stripes an application's log registrations across N
+// independently-persisted shard directories, so concurrent workers
+// register and unregister logs without sharing a directory (the client
+// guards each shard with its own latch) and the daemon replays the
+// shards of one crashed application in parallel.
+//
+// A legacy single-directory space opens as a 1-shard instance, which
+// is the migration path: nothing on media changes, and a sharded
+// client or the daemon drives it through the same API.
+type ShardedLogSpace struct {
+	shards []*LogSpace
+	legacy bool
+}
+
+// SpaceSize returns the log-space puddle size to allocate for n shard
+// directories: one page of slots per shard plus the header page,
+// clamped to the minimum puddle. Client, benchmarks and chaos sweeps
+// all size their directories through this so a geometry change cannot
+// leave them exercising different layouts.
+func SpaceSize(n int) uint64 {
+	size := uint64(pmem.PageSize) * uint64(1+n)
+	if size < puddle.MinSize {
+		size = puddle.MinSize
+	}
+	return size
+}
+
+// shardedGeometry computes the per-shard segment size for a heap of
+// heapSize bytes split n ways (cacheline aligned so simulated shard
+// directories never share a line).
+func shardedGeometry(heapSize uint64, n int) (segSize uint64, err error) {
+	if n < 1 || n > MaxLogShards {
+		return 0, fmt.Errorf("plog: shard count %d out of range [1,%d]", n, MaxLogShards)
+	}
+	segSize = (heapSize - slsHdrSize) / uint64(n) &^ 63
+	if segSize < sdHdrSize+lsEntry {
+		return 0, ErrTooSmall
+	}
+	return segSize, nil
+}
+
+// FormatShardedLogSpace initialises a sharded log space with n shard
+// directories over p's heap.
+func FormatShardedLogSpace(p *puddle.Puddle, n int) (*ShardedLogSpace, error) {
+	dev := p.Dev
+	base := p.HeapBase()
+	segSize, err := shardedGeometry(p.HeapSize(), n)
+	if err != nil {
+		return nil, err
+	}
+	s := &ShardedLogSpace{shards: make([]*LogSpace, n)}
+	for i := 0; i < n; i++ {
+		start := base + slsHdrSize + pmem.Addr(uint64(i)*segSize)
+		sh, err := formatShard(dev, pmem.Range{Start: start, End: start + pmem.Addr(segSize)}, i)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = sh
+	}
+	// Super-header last: a crash mid-format leaves an unformatted
+	// (invisible) space, exactly like puddle formatting.
+	var g [16]byte
+	binary.LittleEndian.PutUint64(g[0:], uint64(n))
+	binary.LittleEndian.PutUint64(g[8:], segSize)
+	dev.Zero(base, slsHdrSize)
+	dev.StoreU64(base+slsOffShards, uint64(n))
+	dev.StoreU64(base+slsOffSegSize, segSize)
+	dev.StoreU64(base+slsOffCRC, crc64.Checksum(g[:], crcTable))
+	dev.Persist(base, slsHdrSize)
+	dev.StoreU64(base+slsOffMagic, slsMagic)
+	dev.Persist(base+slsOffMagic, 8)
+	return s, nil
+}
+
+// OpenShardedLogSpace opens the log space in p: a v2 sharded space via
+// its super-header, or a legacy single-directory space as one shard.
+func OpenShardedLogSpace(p *puddle.Puddle) (*ShardedLogSpace, error) {
+	dev := p.Dev
+	base := p.HeapBase()
+	switch dev.LoadU64(base + slsOffMagic) {
+	case lsMagic:
+		ls, err := OpenLogSpace(p)
+		if err != nil {
+			return nil, err
+		}
+		return &ShardedLogSpace{shards: []*LogSpace{ls}, legacy: true}, nil
+	case slsMagic:
+	default:
+		return nil, ErrBadLog
+	}
+	n := dev.LoadU64(base + slsOffShards)
+	segSize := dev.LoadU64(base + slsOffSegSize)
+	var g [16]byte
+	binary.LittleEndian.PutUint64(g[0:], n)
+	binary.LittleEndian.PutUint64(g[8:], segSize)
+	if dev.LoadU64(base+slsOffCRC) != crc64.Checksum(g[:], crcTable) {
+		return nil, fmt.Errorf("plog: sharded log space geometry CRC mismatch")
+	}
+	if n < 1 || n > MaxLogShards || slsHdrSize+n*segSize > p.HeapSize() {
+		return nil, fmt.Errorf("plog: sharded log space geometry corrupt (shards=%d seg=%d)", n, segSize)
+	}
+	s := &ShardedLogSpace{shards: make([]*LogSpace, n)}
+	for i := 0; i < int(n); i++ {
+		start := base + slsHdrSize + pmem.Addr(uint64(i)*segSize)
+		sh, err := openShard(dev, pmem.Range{Start: start, End: start + pmem.Addr(segSize)}, i)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = sh
+	}
+	return s, nil
+}
+
+// Shards returns the number of shard directories.
+func (s *ShardedLogSpace) Shards() int { return len(s.shards) }
+
+// Legacy reports whether this space opened from the v1 single-
+// directory format.
+func (s *ShardedLogSpace) Legacy() bool { return s.legacy }
+
+// Shard returns shard directory i (callers hold that shard's latch).
+func (s *ShardedLogSpace) Shard(i int) *LogSpace { return s.shards[i] }
+
+// AddLog registers a log in shard directory i. ErrLogSpaceFull means
+// this shard is out of slots; callers may retry a sibling shard.
+func (s *ShardedLogSpace) AddLog(i int, head pmem.Addr, id uid.UUID) error {
+	return s.shards[i].AddLog(head, id)
+}
+
+// RemoveLog tombstones the registration of head in shard directory i.
+func (s *ShardedLogSpace) RemoveLog(i int, head pmem.Addr) bool {
+	return s.shards[i].RemoveLog(head)
+}
+
+// ShardLogs returns the registered log heads of shard directory i.
+func (s *ShardedLogSpace) ShardLogs(i int) []pmem.Addr { return s.shards[i].Logs() }
+
+// Logs returns the registered log heads of every shard.
+func (s *ShardedLogSpace) Logs() []pmem.Addr {
+	var out []pmem.Addr
+	for _, sh := range s.shards {
+		out = append(out, sh.Logs()...)
+	}
+	return out
+}
+
+// Capacity sums the registration capacity across shards.
+func (s *ShardedLogSpace) Capacity() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.cap
+	}
+	return n
+}

@@ -461,3 +461,158 @@ func TestQuickReplayIdempotentAfterReset(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- sharded log spaces ---
+
+func TestShardedLogSpaceRoundTrip(t *testing.T) {
+	dev := pmem.New()
+	p, err := puddle.Format(dev, 0x100000, 8*pmem.PageSize, uid.New(), puddle.KindLogSpace, uid.Nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := FormatShardedLogSpace(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards() != 4 || s.Legacy() {
+		t.Fatalf("Shards=%d Legacy=%v", s.Shards(), s.Legacy())
+	}
+	// Register logs across every shard.
+	heads := map[int][]pmem.Addr{}
+	for i := 0; i < 12; i++ {
+		sh := i % 4
+		head := pmem.Addr(0x1000 * (i + 1))
+		if err := s.AddLog(sh, head, uid.New()); err != nil {
+			t.Fatal(err)
+		}
+		heads[sh] = append(heads[sh], head)
+	}
+	if got := len(s.Logs()); got != 12 {
+		t.Fatalf("Logs = %d, want 12", got)
+	}
+	// Reopen: per-shard membership must be preserved (shard identity
+	// matters — the daemon replays shards independently).
+	s2, err := OpenShardedLogSpace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sh, want := range heads {
+		got := s2.ShardLogs(sh)
+		if len(got) != len(want) {
+			t.Fatalf("shard %d: %v, want %v", sh, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shard %d: %v, want %v", sh, got, want)
+			}
+		}
+	}
+	// Remove from the right shard only.
+	if s2.RemoveLog(1, heads[0][0]) {
+		t.Fatal("RemoveLog found a head in the wrong shard")
+	}
+	if !s2.RemoveLog(0, heads[0][0]) {
+		t.Fatal("RemoveLog missed a registered head")
+	}
+	if got := len(s2.Logs()); got != 11 {
+		t.Fatalf("Logs after remove = %d, want 11", got)
+	}
+}
+
+func TestShardedLogSpaceShardFull(t *testing.T) {
+	dev := pmem.New()
+	p, _ := puddle.Format(dev, 0x100000, 8*pmem.PageSize, uid.New(), puddle.KindLogSpace, uid.Nil)
+	s, err := FormatShardedLogSpace(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := s.Shard(0).Capacity()
+	for i := 0; i < capacity; i++ {
+		if err := s.AddLog(0, pmem.Addr(0x1000+i*8), uid.New()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Shard 0 is full; shard 1 still has room (the caller's fallback).
+	if err := s.AddLog(0, 0xffff0, uid.New()); err != ErrLogSpaceFull {
+		t.Fatalf("overfull shard AddLog = %v", err)
+	}
+	if err := s.AddLog(1, 0xffff0, uid.New()); err != nil {
+		t.Fatalf("sibling shard AddLog = %v", err)
+	}
+}
+
+// TestLegacyLogSpaceMigration: a v1 single-directory space written by
+// the old client must open through the sharded path as one shard, be
+// mutable through it, and stay readable by the legacy opener — the
+// on-media format never changes.
+func TestLegacyLogSpaceMigration(t *testing.T) {
+	dev := pmem.New()
+	p, _ := puddle.Format(dev, 0x100000, puddle.MinSize, uid.New(), puddle.KindLogSpace, uid.Nil)
+	legacy := FormatLogSpace(p)
+	if err := legacy.AddLog(0x1000, uid.New()); err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.AddLog(0x2000, uid.New()); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := OpenShardedLogSpace(p)
+	if err != nil {
+		t.Fatalf("legacy space did not open through the sharded path: %v", err)
+	}
+	if s.Shards() != 1 || !s.Legacy() {
+		t.Fatalf("Shards=%d Legacy=%v, want 1-shard legacy instance", s.Shards(), s.Legacy())
+	}
+	if got := s.Logs(); len(got) != 2 || got[0] != 0x1000 || got[1] != 0x2000 {
+		t.Fatalf("Logs = %v", got)
+	}
+	// Mutate through the sharded API...
+	if !s.RemoveLog(0, 0x1000) {
+		t.Fatal("RemoveLog via sharded path failed")
+	}
+	if err := s.AddLog(0, 0x3000, uid.New()); err != nil {
+		t.Fatal(err)
+	}
+	// ...and read back through the legacy opener: same directory.
+	ls, err := OpenLogSpace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ls.Logs()
+	if len(got) != 2 || got[0] != 0x3000 || got[1] != 0x2000 {
+		t.Fatalf("legacy reader after sharded mutation: %v", got)
+	}
+}
+
+func TestShardedLogSpaceCorruptGeometry(t *testing.T) {
+	dev := pmem.New()
+	p, _ := puddle.Format(dev, 0x100000, 8*pmem.PageSize, uid.New(), puddle.KindLogSpace, uid.Nil)
+	if _, err := FormatShardedLogSpace(p, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Scribble the shard count without fixing the CRC.
+	dev.StoreU64(p.HeapBase()+slsOffShards, 9999)
+	if _, err := OpenShardedLogSpace(p); err == nil {
+		t.Fatal("corrupt super-header opened")
+	}
+	// An unformatted heap is ErrBadLog.
+	p2, _ := puddle.Format(dev, 0x200000, puddle.MinSize, uid.New(), puddle.KindLogSpace, uid.Nil)
+	if _, err := OpenShardedLogSpace(p2); err != ErrBadLog {
+		t.Fatalf("unformatted open = %v, want ErrBadLog", err)
+	}
+}
+
+func TestShardedLogSpaceBadShardCount(t *testing.T) {
+	dev := pmem.New()
+	p, _ := puddle.Format(dev, 0x100000, puddle.MinSize, uid.New(), puddle.KindLogSpace, uid.Nil)
+	if _, err := FormatShardedLogSpace(p, 0); err == nil {
+		t.Fatal("0 shards accepted")
+	}
+	if _, err := FormatShardedLogSpace(p, MaxLogShards+1); err == nil {
+		t.Fatal("oversized shard count accepted")
+	}
+	// MinSize heap cannot hold 64 shard directories.
+	if _, err := FormatShardedLogSpace(p, 64); err != ErrTooSmall {
+		t.Fatalf("undersized format = %v, want ErrTooSmall", err)
+	}
+}

@@ -128,6 +128,13 @@ type Stats struct {
 	// Write-combining counters, maintained by FlushSet batches.
 	FlushRequests    uint64 // ranges submitted to coalescers
 	CoalescedFlushes uint64 // requests absorbed by merging (requests - issued)
+
+	// Wait-die lease arbitration counters, maintained by the
+	// transaction runtime (core): victims that died on a lease conflict
+	// and the automatic retries that followed. Device-level so any
+	// workload sharing the device can observe free-order contention.
+	LeaseConflicts uint64
+	LeaseRetries   uint64
 }
 
 // crashSignal is the panic payload raised when a crash point fires.
@@ -163,11 +170,13 @@ type Device struct {
 	hookRanges []Range
 	hookFn     FaultHandler
 
-	flushes   atomic.Uint64
-	fences    atomic.Uint64
-	crashes   atomic.Uint64
-	flushReqs atomic.Uint64
-	coalesced atomic.Uint64
+	flushes    atomic.Uint64
+	fences     atomic.Uint64
+	crashes    atomic.Uint64
+	flushReqs  atomic.Uint64
+	coalesced  atomic.Uint64
+	leaseConf  atomic.Uint64
+	leaseRetry atomic.Uint64
 
 	fenceDelay atomic.Int64 // ns each Fence blocks; 0 = free (default)
 }
@@ -198,8 +207,18 @@ func (d *Device) Stats() Stats {
 		Crashes:          d.crashes.Load(),
 		FlushRequests:    d.flushReqs.Load(),
 		CoalescedFlushes: d.coalesced.Load(),
+		LeaseConflicts:   d.leaseConf.Load(),
+		LeaseRetries:     d.leaseRetry.Load(),
 	}
 }
+
+// NoteLeaseConflict records one wait-die victim (a transaction that
+// died on a heap-lease conflict and must retry).
+func (d *Device) NoteLeaseConflict() { d.leaseConf.Add(1) }
+
+// NoteLeaseRetry records one automatic re-execution of a wait-die
+// victim.
+func (d *Device) NoteLeaseRetry() { d.leaseRetry.Add(1) }
 
 // noteCoalescing records one FlushSet batch: requests submitted and
 // flushes actually issued after write-combining.

@@ -99,6 +99,7 @@ type Request struct {
 	TypeID  uint64
 	Blob    []byte
 	Session uint64
+	Shards  uint32 // log-space shard count (RegLogSpace); 0 = legacy/1
 }
 
 // Stats mirrors the daemon's counters.

@@ -68,6 +68,13 @@ func main() {
 		fmt.Printf("persist errors   %d\n", s.PersistErrors)
 		fmt.Printf("dispatch panics  %d\n", s.DispatchPanics)
 		fmt.Printf("journal bytes    %d\n", s.JournalBytes)
+		fmt.Printf("checkpoints      %d (seq %d, %d chunks, %d bytes)\n",
+			s.Checkpoints, s.CheckpointSeq, s.CheckpointChunks, s.CheckpointBytes)
+		avg := uint64(0)
+		if s.Checkpoints > 0 {
+			avg = s.CkptPauseTotalNs / s.Checkpoints
+		}
+		fmt.Printf("ckpt pause       avg %dns, max %dns\n", avg, s.CkptPauseMaxNs)
 	case "pools":
 		resp := must(c, &proto.Request{Op: proto.OpListPools})
 		for _, n := range resp.Names {

@@ -32,6 +32,7 @@ func main() {
 		syncSecs    = flag.Int("sync", 5, "seconds between image syncs (0 disables)")
 		connWorkers = flag.Int("conn-workers", 0, "pipelined dispatch workers per connection (0 = auto, 1 = serial)")
 		recWorkers  = flag.Int("recovery-workers", 0, "concurrent recovery replay workers over log-space shards and apps (0 = auto, 1 = serial)")
+		legacyCkpt  = flag.Bool("legacy-checkpoints", false, "write v1 whole-state A/B snapshot slots instead of chunked checkpoint chains (image downgrade/testing)")
 		verbose     = flag.Bool("v", false, "log client operations")
 	)
 	flag.Parse()
@@ -45,6 +46,9 @@ func main() {
 		daemon.WithConnWorkers(*connWorkers),
 		daemon.WithRecoveryWorkers(*recWorkers),
 	}
+	if *legacyCkpt {
+		opts = append(opts, daemon.WithLegacyCheckpoints())
+	}
 	if *verbose {
 		opts = append(opts, daemon.WithLogger(logger))
 	}
@@ -53,8 +57,8 @@ func main() {
 		logger.Fatalf("boot: %v", err)
 	}
 	st := d.Stats()
-	logger.Printf("booted: %d pools, %d puddles; recovery passes so far: %d",
-		st.Pools, st.Puddles, st.Recoveries)
+	logger.Printf("booted: %d pools, %d puddles; recovery passes so far: %d; checkpoint seq %d (%d chunks streamed)",
+		st.Pools, st.Puddles, st.Recoveries, st.CheckpointSeq, st.CheckpointChunks)
 
 	os.Remove(*socket)
 	l, err := net.Listen("unix", *socket)

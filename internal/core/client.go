@@ -98,9 +98,12 @@ type logState struct {
 }
 
 // logShard is the volatile side of one shard directory: its latch and
-// its slice of the per-thread log-puddle cache (§4.1). Cached logs
-// return to the shard they registered in, so a worker whose affinity
-// hint maps here keeps reusing the same directory and the same logs.
+// its slice of the per-thread log-puddle cache (§4.1). A released log
+// prefers parking where it registered, but releaseLog steals toward
+// empty shards — each cache holds at most one parked log, which may
+// be registered in a SIBLING directory (txLog.shard records where);
+// in the steady state a worker whose affinity hint maps here keeps
+// reusing the same directory and the same log.
 type logShard struct {
 	mu   sync.Mutex
 	free []*txLog
@@ -821,34 +824,78 @@ func (c *Client) newLogRegion(st *logState, size uint64) (pmem.Range, uid.UUID, 
 	return pmem.Range{Start: pd.HeapBase(), End: pd.HeapBase() + pmem.Addr(pd.HeapSize())}, resp.UUID, nil
 }
 
-// releaseLog returns a log to its shard's cache (or, with caching
+// releaseLog parks a log back in a shard cache (or, with caching
 // ablated, unregisters and frees its puddle). A failure to free the
 // puddle is surfaced as an error wrapping ErrLogRelease and counted
 // in ReleaseErrors; the transaction's outcome is unaffected.
+//
+// Parking steals toward an empty shard: the log's registration home
+// first, otherwise the first shard whose cache is empty. The worker
+// hints are scheduler-approximate — a migrated goroutine (or a
+// sync.Pool GC) can rotate a worker onto a new shard, and before
+// stealing, the logs such a worker abandoned piled up behind one
+// latch while its new home allocated fresh ones, so the registered
+// log population crept past the worker count and never shrank.
+// Stealing spreads the parked logs one per shard (where the next
+// under-served worker's sibling scan in acquireLog finds them), and a
+// release that finds EVERY cache occupied is surplus to the steady
+// state — that log is unregistered and its puddle freed. Steady
+// state is exactly one cached log per worker, for up to LogShards()
+// workers; beyond that the cache plateaus at one per shard.
 func (c *Client) releaseLog(l *txLog) error {
 	st := c.logSt.Load() // l exists, so the state is published
-	sh := st.shards[l.shard]
 	if c.logCacheOff.Load() {
-		sh.mu.Lock()
-		removed := st.space.RemoveLog(l.shard, l.log.Head())
-		sh.mu.Unlock()
-		var err error
-		if !removed {
-			err = fmt.Errorf("log %v missing from log space shard %d", l.uuid, l.shard)
-		}
-		if _, rtErr := c.conn.RoundTrip(&proto.Request{Op: proto.OpFreePuddle, UUID: l.uuid}); rtErr != nil && err == nil {
-			err = rtErr
-		}
-		if err != nil {
-			c.releaseErrs.Add(1)
-			return fmt.Errorf("%w: %w", ErrLogRelease, err)
-		}
-		return nil
+		return c.unregisterLog(st, l)
 	}
+	for k := 0; k < len(st.shards); k++ {
+		sh := st.shards[(l.shard+k)%len(st.shards)]
+		sh.mu.Lock()
+		if len(sh.free) == 0 {
+			sh.free = append(sh.free, l)
+			sh.mu.Unlock()
+			return nil
+		}
+		sh.mu.Unlock()
+	}
+	return c.unregisterLog(st, l) // every cache occupied: surplus log
+}
+
+// unregisterLog removes a log from its shard directory and frees its
+// puddle (cache ablation, and surplus trimming in releaseLog).
+func (c *Client) unregisterLog(st *logState, l *txLog) error {
+	sh := st.shards[l.shard]
 	sh.mu.Lock()
-	sh.free = append(sh.free, l)
+	removed := st.space.RemoveLog(l.shard, l.log.Head())
 	sh.mu.Unlock()
+	var err error
+	if !removed {
+		err = fmt.Errorf("log %v missing from log space shard %d", l.uuid, l.shard)
+	}
+	if _, rtErr := c.conn.RoundTrip(&proto.Request{Op: proto.OpFreePuddle, UUID: l.uuid}); rtErr != nil && err == nil {
+		err = rtErr
+	}
+	if err != nil {
+		c.releaseErrs.Add(1)
+		return fmt.Errorf("%w: %w", ErrLogRelease, err)
+	}
 	return nil
+}
+
+// CachedLogs reports how many transaction logs are parked across the
+// per-shard caches (the cached-log census: steady state is one per
+// active worker, capped at LogShards()).
+func (c *Client) CachedLogs() int {
+	st := c.logSt.Load()
+	if st == nil {
+		return 0
+	}
+	n := 0
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		n += len(sh.free)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // ReleaseErrors reports how many transaction-log releases have failed

@@ -179,21 +179,16 @@ func TestShardedLogCacheAffinity(t *testing.T) {
 		}
 	}
 	// At quiescence every registered log is parked in some shard's
-	// cache (nothing leaks), and the population stays near one log per
-	// worker — bounded loosely because goroutine migration can rotate
-	// affinity hints and register a few extra logs.
+	// cache (nothing leaks), and shard-stealing on release caps the
+	// population at one log per shard — migration drift used to
+	// register extras that never went away.
 	st := c.logSt.Load()
-	total := 0
-	for _, sh := range st.shards {
-		sh.mu.Lock()
-		total += len(sh.free)
-		sh.mu.Unlock()
-	}
+	total := c.CachedLogs()
 	if registered := len(st.space.Logs()); total != registered {
 		t.Fatalf("cached logs = %d but %d registered — cache leaked a log", total, registered)
 	}
-	if total == 0 || total > 4*workers {
-		t.Fatalf("cached logs = %d, want in [1, %d]", total, 4*workers)
+	if total == 0 || total > workers {
+		t.Fatalf("cached logs = %d, want in [1, %d]", total, workers)
 	}
 	t.Logf("steady-state cache: %d logs across %d shards for %d workers", total, len(st.shards), workers)
 	// A fresh transaction reuses a cached log instead of registering a
@@ -204,6 +199,58 @@ func TestShardedLogCacheAffinity(t *testing.T) {
 	}
 	if after := len(st.space.Logs()); after != before {
 		t.Fatalf("registered logs grew %d -> %d on a cached acquire", before, after)
+	}
+}
+
+// TestCachedLogCensus pins the shard-stealing release policy exactly:
+// a burst of acquisitions twice as wide as the shard count — the
+// worst case scheduler drift can produce, every worker on a fresh
+// hint with every cache empty — must settle, after release, at one
+// parked log per shard, with the surplus logs unregistered and their
+// puddles freed rather than accumulating forever.
+func TestCachedLogCensus(t *testing.T) {
+	_, c := newSystem(t)
+	const shards = 4
+	if err := c.SetLogShards(shards); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ensureLogSpace(); err != nil {
+		t.Fatal(err)
+	}
+	const burst = 2 * shards
+	logs := make([]*txLog, burst)
+	for i := range logs {
+		l, err := c.acquireLog(uint32(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		logs[i] = l
+	}
+	st := c.logSt.Load()
+	if got := len(st.space.Logs()); got != burst {
+		t.Fatalf("burst registered %d logs, want %d", got, burst)
+	}
+	for _, l := range logs {
+		if err := c.releaseLog(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.CachedLogs(); got != shards {
+		t.Fatalf("cached-log census = %d, want exactly %d (one per shard)", got, shards)
+	}
+	if got := len(st.space.Logs()); got != shards {
+		t.Fatalf("registered logs = %d after trim, want %d", got, shards)
+	}
+	for i, sh := range st.shards {
+		sh.mu.Lock()
+		n := len(sh.free)
+		sh.mu.Unlock()
+		if n != 1 {
+			t.Fatalf("shard %d caches %d logs, want exactly 1", i, n)
+		}
+	}
+	if got := c.ReleaseErrors(); got != 0 {
+		t.Fatalf("trimming surplus logs counted %d release errors", got)
 	}
 }
 

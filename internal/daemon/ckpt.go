@@ -1,0 +1,672 @@
+// Metadata persistence, checkpoint layer: streamed, incremental,
+// chunked checkpoints.
+//
+// The v1 checkpoint was a whole-state gob written into one of two
+// fixed 8 MiB slots while the daemon was quiesced — an O(total state)
+// stop-the-world pause, a hard state-size ceiling, and (the bug that
+// forced this rewrite) a slot chosen by Seq%2 parity even though
+// journal appends bump the same sequence, so two consecutive
+// checkpoints could land in the SAME slot and a crash mid-write
+// destroyed the only valid snapshot while the survivor's stale base
+// discarded the journal.
+//
+// v2 checkpoints live in a dedicated arena (pmem.MetaCkptBase) split
+// into two halves. A half holds a checkpoint *chain*: one full
+// checkpoint followed by incremental checkpoints, each streamed as
+// CRC-guarded chunks with journal-style terminator scanning. The
+// protocol:
+//
+//   - Quiesce (exclusive opMu, brief): capture stable copies of the
+//     entities dirtied since the last checkpoint (tracked piggyback on
+//     journal records — see markDirty), and switch journal appends to
+//     the standby region. This is O(dirty), not O(state), and does no
+//     gob encoding or device writes.
+//
+//   - Stream (request path running): gob-encode the captured records
+//     into chunks and append them to the chain. Each chunk persists
+//     payload+terminator before publishing its header; the checkpoint
+//     as a whole becomes visible only when its final commit chunk
+//     lands, so a crash mid-stream leaves the previous committed chain
+//     intact — and the retired journal region, still readable, carries
+//     the entries the failed checkpoint would have covered.
+//
+//   - Full checkpoints start a new chain in the OTHER half — slot
+//     selection alternates away from the half holding the last valid
+//     chain, never by parity — and are planned when no chain exists,
+//     the chain's half is filling up, or the chain has grown long
+//     enough that boot-time composition would drag.
+//
+// Boot picks the half whose chain commits the highest sequence (or a
+// legacy v1 slot, still read for migration), composes full + committed
+// increments, then folds in both journal regions in base order.
+//
+// Chunks spill across a 32 MiB half instead of having to fit one slot,
+// so the old 8 MiB whole-state ceiling is gone; the quiesce pause is
+// bounded by the operation rate between checkpoints, not by registry
+// size (benchrunner ckpt measures exactly this).
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"strconv"
+	"time"
+
+	"puddles/internal/pmem"
+	"puddles/internal/ptypes"
+	"puddles/internal/uid"
+)
+
+// Chunk header: u32 payload length | u32 kind | u64 payload CRC |
+// u64 checkpoint seq | u64 commit generation (commit chunks only).
+// Written after the payload and its trailing terminator are durable,
+// like a journal entry header.
+//
+// The generation is a monotonic per-commit counter and exists for one
+// reason: counters (recovery passes, logs replayed) mutate WITHOUT
+// journal appends, so two checkpoints can commit the same sequence
+// number with different counter values — e.g. the boot-time full
+// checkpoint in one half versus the previous run's chain in the
+// other. Boot breaks sequence ties by generation, so the newest
+// commit always wins.
+const (
+	ckHdrSize = 32
+
+	ckFull   uint32 = 1 // first chunk of a full checkpoint: reset composed state
+	ckRecs   uint32 = 2 // entity records (gob jbatch)
+	ckCommit uint32 = 3 // checkpoint commit marker (gob ckptTrailer)
+
+	// defaultCkptChunk is the target payload size of one streamed chunk.
+	defaultCkptChunk = 256 << 10
+
+	// maxChainIncs bounds the increments per chain so boot-time
+	// composition stays short; past it the next checkpoint goes full.
+	maxChainIncs = 64
+)
+
+// errCkptFull is returned when a checkpoint does not fit its arena
+// half. An incremental checkpoint retries as a full one in the other
+// half; a full checkpoint hitting this means the state has outgrown
+// the arena (32 MiB of gob — four times the old slot ceiling).
+var errCkptFull = errors.New("daemon: checkpoint arena half full")
+
+// ckptTrailer is the commit chunk payload.
+type ckptTrailer struct {
+	Full bool
+}
+
+// chainState is the volatile view of the committed checkpoint chain.
+// Guarded by ckptMu (plus exclusive opMu at plan time; boot is
+// single-threaded).
+type chainState struct {
+	half int    // arena half holding the chain; -1 = none (legacy/fresh image)
+	seq  uint64 // sequence the chain's last commit covers
+	gen  uint64 // generation of the chain's last commit (sequence tie-break)
+	tail uint64 // append offset in the half for the next increment
+	incs int    // committed increments since the chain's full checkpoint
+}
+
+// dirtyKey names one entity for incremental-checkpoint tracking.
+type dirtyKey struct {
+	kind recKind
+	key  string
+}
+
+// lazyRec is one captured entity record: the quiesce phase stores a
+// stable value (a snapshot copy, or a pointer to an immutable record)
+// and the streaming phase gob-encodes it with the request path
+// running.
+type lazyRec struct {
+	kind recKind
+	key  string
+	del  bool
+	val  any
+}
+
+// ckptPlan is everything the streaming phase needs, captured under the
+// quiesce.
+type ckptPlan struct {
+	full  bool
+	recs  []lazyRec
+	seq   uint64                // d.seq at quiesce: the sequence this checkpoint covers
+	gen   uint64                // commit generation (chain.gen + 1)
+	half  int                   // target arena half
+	tail  uint64                // starting offset within the half
+	incs  int                   // chain increment count after this checkpoint commits
+	dirty map[dirtyKey]struct{} // swapped-out dirty set; merged back on failure
+}
+
+func (d *Daemon) ckptHalfBase(half int) pmem.Addr {
+	return pmem.MetaCkptBase + pmem.Addr(uint64(half)*d.ckptHalf)
+}
+
+// markDirty records that the entities in recs changed since the last
+// checkpoint, so the next incremental checkpoint re-captures them.
+// Membership deltas dirty their pool (the checkpoint captures whole
+// pool records); marking a superset is always safe — it only costs
+// checkpoint bytes.
+func (d *Daemon) markDirty(recs []entRec) {
+	if d.legacyCkpt {
+		return // whole-state checkpoints need no tracking
+	}
+	d.dirtyMu.Lock()
+	for _, r := range recs {
+		k := dirtyKey{kind: r.Kind, key: r.Key}
+		switch r.Kind {
+		case recPoolLink, recPoolUnlink:
+			k = dirtyKey{kind: recPool, key: r.Key}
+		case recTypes, recCounters:
+			k.key = ""
+		}
+		d.dirty[k] = struct{}{}
+	}
+	d.dirtyMu.Unlock()
+}
+
+// clone returns a copy safe to encode while the original keeps
+// mutating under sessMu.
+func (s *ImportSession) clone() *ImportSession {
+	cp := *s
+	cp.Puddles = append([]ImportPuddle(nil), s.Puddles...)
+	return &cp
+}
+
+// planCheckpoint is the quiesce phase: decide full vs incremental,
+// capture stable copies of the records to stream, swap out the dirty
+// set and (when allowed and safe) switch journal appends to the
+// standby region. The caller holds ckptMu and either holds opMu
+// exclusively or is the single boot goroutine; nothing here encodes
+// gob or touches the arena, so the exclusive hold stays short and
+// independent of registry size on the incremental path.
+func (d *Daemon) planCheckpoint(wantFull, allowSwitch bool) *ckptPlan {
+	p := &ckptPlan{seq: d.seq, gen: d.chain.gen + 1}
+	p.full = wantFull || d.forceFull || d.chain.half < 0 ||
+		d.chain.incs >= maxChainIncs || d.chain.tail > d.ckptHalf-d.ckptHalf/4
+	if p.full {
+		// Alternate away from the half holding the last valid chain —
+		// never overwrite the only committed checkpoint in place.
+		p.half = 0
+		if d.chain.half == 0 {
+			p.half = 1
+		}
+		p.tail, p.incs = 0, 0
+	} else {
+		p.half, p.tail, p.incs = d.chain.half, d.chain.tail, d.chain.incs+1
+	}
+	d.dirtyMu.Lock()
+	p.dirty = d.dirty
+	d.dirty = make(map[dirtyKey]struct{})
+	d.dirtyMu.Unlock()
+	if p.full {
+		p.recs = d.captureAll()
+	} else {
+		p.recs = d.captureDirty(p.dirty)
+	}
+	// Switch appends to the standby journal so the retired region's
+	// tail is reclaimed once this checkpoint commits. Safe only when
+	// the standby's old entries are covered by the COMMITTED chain —
+	// i.e. the checkpoint the active region builds on has committed. If
+	// a previous stream failed, skip the switch: this checkpoint still
+	// commits coverage, and the next compaction switches.
+	if allowSwitch && d.jBaseSeq <= d.chain.seq {
+		d.switchJournal(p.seq)
+	}
+	return p
+}
+
+// captureAll captures every entity for a full checkpoint. Mutable
+// records (pools, sessions, the type list) are copied; immutable ones
+// (puddles, log spaces) are captured by pointer. This is the O(state)
+// part of a full checkpoint's quiesce — a shallow copy, with all gob
+// encoding deferred to the streaming phase.
+func (d *Daemon) captureAll() []lazyRec {
+	recs := make([]lazyRec, 0,
+		len(d.st.Pools)+len(d.st.Puddles)+len(d.st.LogSpaces)+len(d.st.Sessions)+2)
+	for name, p := range d.st.Pools {
+		p.mu.Lock()
+		snap := p.snapshot()
+		p.mu.Unlock()
+		recs = append(recs, lazyRec{kind: recPool, key: name, val: snap})
+	}
+	for u, rec := range d.st.Puddles {
+		recs = append(recs, lazyRec{kind: recPuddle, key: uuidKey(u), val: rec})
+	}
+	for u, ls := range d.st.LogSpaces {
+		recs = append(recs, lazyRec{kind: recLogSpace, key: uuidKey(u), val: ls})
+	}
+	for id, s := range d.st.Sessions {
+		recs = append(recs, lazyRec{kind: recSession, key: strconv.FormatUint(id, 10), val: s.clone()})
+	}
+	recs = append(recs,
+		lazyRec{kind: recTypes, val: append([]ptypes.TypeInfo(nil), d.st.Types...)},
+		lazyRec{kind: recCounters, val: d.countersVal()})
+	return recs
+}
+
+// captureDirty captures the current value (or tombstone) of every
+// dirty entity for an incremental checkpoint. Counters are always
+// included — they are tiny and recovery mutates them without
+// journaling.
+func (d *Daemon) captureDirty(dirty map[dirtyKey]struct{}) []lazyRec {
+	recs := make([]lazyRec, 0, len(dirty)+1)
+	for k := range dirty {
+		switch k.kind {
+		case recPool:
+			if p := d.st.Pools[k.key]; p != nil {
+				p.mu.Lock()
+				snap := p.snapshot()
+				p.mu.Unlock()
+				recs = append(recs, lazyRec{kind: recPool, key: k.key, val: snap})
+			} else {
+				recs = append(recs, lazyRec{kind: recPool, key: k.key, del: true})
+			}
+		case recPuddle:
+			u, ok := keyUUID(k.key)
+			if !ok {
+				continue
+			}
+			if rec := d.st.Puddles[u]; rec != nil {
+				recs = append(recs, lazyRec{kind: recPuddle, key: k.key, val: rec})
+			} else {
+				recs = append(recs, lazyRec{kind: recPuddle, key: k.key, del: true})
+			}
+		case recLogSpace:
+			u, ok := keyUUID(k.key)
+			if !ok {
+				continue
+			}
+			if ls := d.st.LogSpaces[u]; ls != nil {
+				recs = append(recs, lazyRec{kind: recLogSpace, key: k.key, val: ls})
+			} else {
+				recs = append(recs, lazyRec{kind: recLogSpace, key: k.key, del: true})
+			}
+		case recSession:
+			id, err := strconv.ParseUint(k.key, 10, 64)
+			if err != nil {
+				continue
+			}
+			if s := d.st.Sessions[id]; s != nil {
+				recs = append(recs, lazyRec{kind: recSession, key: k.key, val: s.clone()})
+			} else {
+				recs = append(recs, lazyRec{kind: recSession, key: k.key, del: true})
+			}
+		case recTypes:
+			recs = append(recs, lazyRec{kind: recTypes, val: append([]ptypes.TypeInfo(nil), d.st.Types...)})
+		case recCounters:
+			// always appended below
+		}
+	}
+	recs = append(recs, lazyRec{kind: recCounters, val: d.countersVal()})
+	return recs
+}
+
+// writeChunk appends one chunk to a chain: payload and trailing
+// terminator persist first, then the header publishes under its own
+// fence, so the boot scan never reads past a torn chunk. gen is only
+// meaningful on commit chunks (0 otherwise).
+func (d *Daemon) writeChunk(half int, off uint64, kind uint32, seq, gen uint64, payload []byte) (uint64, error) {
+	need := uint64(ckHdrSize) + uint64(len(payload)) + ckHdrSize
+	if off+need > d.ckptHalf {
+		return 0, errCkptFull
+	}
+	base := d.ckptHalfBase(half) + pmem.Addr(off)
+	var fs pmem.FlushSet
+	d.dev.Store(base+ckHdrSize, payload)
+	fs.Add(base+ckHdrSize, len(payload))
+	term := base + ckHdrSize + pmem.Addr(len(payload))
+	d.dev.StoreU64(term, 0)
+	d.dev.StoreU64(term+8, 0)
+	fs.Add(term, ckHdrSize)
+	fs.Flush(d.dev)
+	d.dev.Fence()
+	d.dev.StoreU32(base, uint32(len(payload)))
+	d.dev.StoreU32(base+4, kind)
+	d.dev.StoreU64(base+8, crc64.Checksum(payload, crcTable))
+	d.dev.StoreU64(base+16, seq)
+	d.dev.StoreU64(base+24, gen)
+	d.dev.Persist(base, ckHdrSize)
+	d.ckptChunks.Add(1)
+	d.ckptBytes.Add(uint64(ckHdrSize) + uint64(len(payload)))
+	return off + uint64(ckHdrSize) + uint64(len(payload)), nil
+}
+
+// streamCheckpoint is the streaming phase: encode the captured records
+// into chunks, append them to the planned chain position, and commit.
+// The caller holds ckptMu; the request path may be running — nothing
+// here touches live daemon state.
+func (d *Daemon) streamCheckpoint(p *ckptPlan) error {
+	off := p.tail
+	kind := ckRecs
+	if p.full {
+		kind = ckFull // first chunk resets the composed state at boot
+	}
+	var buf []entRec
+	bufBytes := 0
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		payload, err := gobBytes(&jbatch{Recs: buf})
+		if err != nil {
+			panic(fmt.Sprintf("daemon: encoding checkpoint chunk: %v", err))
+		}
+		next, werr := d.writeChunk(p.half, off, kind, p.seq, 0, payload)
+		if werr != nil {
+			return werr
+		}
+		off = next
+		kind = ckRecs
+		buf, bufBytes = nil, 0
+		return nil
+	}
+	for _, lr := range p.recs {
+		var er entRec
+		if lr.del {
+			er = delRec(lr.kind, lr.key)
+		} else {
+			er = putRec(lr.kind, lr.key, lr.val)
+		}
+		buf = append(buf, er)
+		bufBytes += len(er.Blob) + len(er.Key) + 16
+		if bufBytes >= d.ckptChunk {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if p.full && kind == ckFull {
+		// Zero records captured (empty registry): still open the
+		// section so the commit resets the composed state.
+		payload, _ := gobBytes(&jbatch{})
+		next, err := d.writeChunk(p.half, off, ckFull, p.seq, 0, payload)
+		if err != nil {
+			return err
+		}
+		off = next
+	}
+	trailer, err := gobBytes(&ckptTrailer{Full: p.full})
+	if err != nil {
+		panic(fmt.Sprintf("daemon: encoding checkpoint trailer: %v", err))
+	}
+	next, err := d.writeChunk(p.half, off, ckCommit, p.seq, p.gen, trailer)
+	if err != nil {
+		return err
+	}
+	// Committed: the chain now covers p.seq.
+	d.chain = chainState{half: p.half, seq: p.seq, gen: p.gen, tail: next, incs: p.incs}
+	if p.full {
+		d.forceFull = false
+	}
+	d.ckptCount.Add(1)
+	d.ckptSeq.Store(p.seq)
+	return nil
+}
+
+// abandonCheckpoint unwinds a failed streaming phase: the captured
+// dirty set merges back (those entities are still uncovered), the
+// failure is counted, and — when an increment ran out of chain space —
+// the next compaction is told to go full in the other half. The plan
+// phase had no other side effects: d.seq was never bumped, so journal
+// sequencing is unperturbed.
+func (d *Daemon) abandonCheckpoint(p *ckptPlan, err error) {
+	d.dirtyMu.Lock()
+	for k := range p.dirty {
+		d.dirty[k] = struct{}{}
+	}
+	d.dirtyMu.Unlock()
+	d.persistErrs.Add(1)
+	if errors.Is(err, errCkptFull) && !p.full {
+		d.forceFull = true
+		d.needCompact.Store(true)
+	}
+	d.logf("checkpoint: %v", err)
+}
+
+// scanHalf reads one arena half's checkpoint chain: a full section
+// (opened by a ckFull chunk) followed by committed increments. Chunks
+// after the last commit — a checkpoint that was still streaming at
+// the crash — are ignored; any torn chunk ends the scan exactly like
+// a torn journal entry.
+func (d *Daemon) scanHalf(half int) (st *state, gen, tail uint64, incs int, ok bool) {
+	var (
+		off      uint64
+		cur      *state
+		curGen   uint64
+		curTail  uint64
+		curIncs  int
+		pending  []*jbatch
+		pendFull bool
+		opened   bool // a ckFull chunk has been seen (chains start full)
+	)
+scan:
+	for {
+		if off+ckHdrSize > d.ckptHalf {
+			break
+		}
+		base := d.ckptHalfBase(half) + pmem.Addr(off)
+		n := uint64(d.dev.LoadU32(base))
+		kind := d.dev.LoadU32(base + 4)
+		if n == 0 || off+ckHdrSize+n > d.ckptHalf || kind < ckFull || kind > ckCommit {
+			break
+		}
+		payload := make([]byte, n)
+		d.dev.Load(base+ckHdrSize, payload)
+		if crc64.Checksum(payload, crcTable) != d.dev.LoadU64(base+8) {
+			break
+		}
+		seq := d.dev.LoadU64(base + 16)
+		switch kind {
+		case ckFull:
+			pending, pendFull, opened = nil, true, true
+			fallthrough
+		case ckRecs:
+			if !opened {
+				break scan // records with no chain start: not a chain
+			}
+			var b jbatch
+			if gobValue(payload, &b) != nil {
+				break scan
+			}
+			pending = append(pending, &b)
+		case ckCommit:
+			if !opened {
+				break scan
+			}
+			if pendFull {
+				cur = newState()
+				curIncs = 0
+			} else {
+				if cur == nil {
+					break scan
+				}
+				curIncs++
+			}
+			for _, b := range pending {
+				applyBatchTo(cur, b)
+			}
+			cur.Seq = seq
+			curGen = d.dev.LoadU64(base + 24)
+			pending, pendFull = nil, false
+			curTail = off + ckHdrSize + n
+		}
+		off += ckHdrSize + n
+	}
+	if cur == nil {
+		return nil, 0, 0, 0, false
+	}
+	return cur, curGen, curTail, curIncs, true
+}
+
+func newState() *state {
+	return &state{
+		Pools:     make(map[string]*PoolRec),
+		Puddles:   make(map[uid.UUID]*PuddleRec),
+		LogSpaces: make(map[uid.UUID]*LogSpaceRec),
+		Sessions:  make(map[uint64]*ImportSession),
+	}
+}
+
+// notePause records one exclusive-quiesce hold for Stats.
+func (d *Daemon) notePause(pause time.Duration) {
+	ns := uint64(pause.Nanoseconds())
+	d.ckptPauseTotal.Add(ns)
+	for {
+		cur := d.ckptPauseMax.Load()
+		if ns <= cur || d.ckptPauseMax.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// errDaemonClosed is returned by compaction entry points after
+// Shutdown.
+var errDaemonClosed = errors.New("daemon is shut down")
+
+// compactCycle runs one quiesce+stream checkpoint cycle. force skips
+// the high-water re-check. The caller holds ckptMu; opMu is held —
+// panic-safe, injected crashes unwind through here — only for the
+// plan phase. Returns the exclusive pause (0 if the cycle skipped).
+func (d *Daemon) compactCycle(force bool) (time.Duration, error) {
+	start := time.Now()
+	var (
+		p       *ckptPlan
+		planErr error
+		skipped bool
+	)
+	func() {
+		d.opMu.Lock()
+		defer d.opMu.Unlock()
+		switch {
+		case d.closed.Load():
+			planErr, skipped = errDaemonClosed, true
+		case !force && d.jTailApprox.Load() < d.journalHighWater() && !d.needCompact.Load():
+			skipped = true // another worker compacted while we waited
+		default:
+			d.needCompact.Store(false)
+			if d.legacyCkpt {
+				planErr = d.writeCheckpointLegacy()
+			} else {
+				p = d.planCheckpoint(false, true)
+			}
+		}
+	}()
+	if skipped {
+		return 0, planErr
+	}
+	pause := time.Since(start)
+	d.notePause(pause)
+	if p == nil {
+		return pause, planErr // legacy path: everything ran under the quiesce
+	}
+	if err := d.streamCheckpoint(p); err != nil {
+		d.abandonCheckpoint(p, err)
+		return pause, err
+	}
+	return pause, nil
+}
+
+// maybeCompact checkpoints and reclaims the journal once the active
+// region passes the high-water mark (or an append failed for space).
+// Called from request workers with no daemon locks held. Only one
+// worker streams at a time (ckptMu); the exclusive opMu hold is
+// confined to the plan phase — see planCheckpoint.
+func (d *Daemon) maybeCompact() {
+	if d.jTailApprox.Load() < d.journalHighWater() && !d.needCompact.Load() {
+		return
+	}
+	if !d.ckptMu.TryLock() {
+		return // a checkpoint is already streaming
+	}
+	defer d.ckptMu.Unlock()
+	if _, err := d.compactCycle(false); err != nil && !errors.Is(err, errDaemonClosed) {
+		d.logf("compaction: %v", err)
+	}
+}
+
+// CompactNow forces one checkpoint + journal-reclaim cycle regardless
+// of the high-water mark and reports how long the daemon was quiesced
+// (the exclusive opMu hold — the pause every in-flight request eats).
+// Tools and the ckpt benchmark use it to measure compaction pause
+// against registry size.
+func (d *Daemon) CompactNow() (time.Duration, error) {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	return d.compactCycle(true)
+}
+
+// checkpointSync plans and streams one checkpoint while the daemon is
+// already quiesced (boot, shutdown, forced recovery): there is no
+// request path to overlap with, so the two phases just run back to
+// back. The caller holds ckptMu and either opMu exclusively or is the
+// single boot goroutine. The journal is never switched here — callers
+// that need a reset do it explicitly after the commit (boot), or rely
+// on the next compaction (shutdown images re-checkpoint at boot
+// anyway).
+func (d *Daemon) checkpointSync(full bool) error {
+	if d.legacyCkpt {
+		return d.writeCheckpointLegacy()
+	}
+	p := d.planCheckpoint(full, false)
+	if err := d.streamCheckpoint(p); err != nil {
+		d.abandonCheckpoint(p, err)
+		return err
+	}
+	return nil
+}
+
+// writeCheckpointLegacy writes a whole-state v1 snapshot into a
+// legacy A/B slot and resets journal 0 on top of it. The v1 write
+// path is kept so migration tests and the ckpt benchmark can generate
+// and measure old-generation images (WithLegacyCheckpoints) — with
+// the two v1 landmines fixed:
+//
+//   - The slot alternates away from the last valid slot. The original
+//     picked by Seq%2 parity while journal appends bump the same
+//     sequence, so two consecutive checkpoints could target the SAME
+//     slot; a crash mid-write then destroyed the only good snapshot,
+//     boot fell back to a stale slot, and the journal-base guard
+//     discarded the journal on top — silently losing acked state.
+//
+//   - A snapshot too large for the slot fails without side effects:
+//     the original bumped d.seq before the size check, desequencing
+//     the journal on every failed compaction.
+//
+// The caller holds opMu exclusively (or is the single boot goroutine).
+func (d *Daemon) writeCheckpointLegacy() error {
+	prevSeq := d.st.Seq
+	d.st.Seq = d.seq + 1
+	data, err := gobBytes(&d.st)
+	if err != nil {
+		panic(fmt.Sprintf("daemon: encoding snapshot: %v", err)) // programming error
+	}
+	if uint64(len(data))+32 > d.legacySlotCap {
+		d.st.Seq = prevSeq // side-effect-free failure: sequencing untouched
+		d.persistErrs.Add(1)
+		return fmt.Errorf("daemon: snapshot %d bytes exceeds slot", len(data))
+	}
+	d.seq++
+	slot := slotA
+	if d.legacySlot == slotA {
+		slot = slotB
+	}
+	// Header last: a torn snapshot write is invisible because the other
+	// slot still decodes and carries the highest committed seq.
+	d.dev.Store(slot+32, data)
+	d.dev.Flush(slot+32, len(data))
+	d.dev.Fence()
+	d.dev.StoreU64(slot+8, uint64(len(data)))
+	d.dev.StoreU64(slot+16, crc64.Checksum(data, crcTable))
+	d.dev.StoreU64(slot, d.st.Seq)
+	d.dev.Persist(slot, 32)
+	d.legacySlot = slot
+	// Only after the checkpoint is durable may the journal restart; a
+	// crash in between replays the old journal against the old slot.
+	d.resetJournalRegion(pmem.MetaJournal0, d.st.Seq)
+	d.ckptCount.Add(1)
+	d.ckptSeq.Store(d.st.Seq)
+	return nil
+}

@@ -10,7 +10,8 @@
 //
 // Daemon metadata (pool and puddle registries, log-space
 // registrations, pointer maps, import sessions) persists in a reserved
-// meta region via an A/B double-buffered checksummed snapshot, so the
+// meta region via a per-entity journal compacted into streamed,
+// chunked, incremental checkpoints (metastore.go, ckpt.go), so the
 // daemon itself recovers from crashes without depending on the logging
 // machinery it is responsible for replaying.
 package daemon
@@ -38,11 +39,14 @@ import (
 )
 
 // Meta region geometry (below the global puddle space, DESIGN.md §4.4).
+// The addresses are a device property shared by every daemon
+// generation, so they are owned by internal/pmem (see pmem/meta.go);
+// the superblock format and the legacy v1 slot format live here.
 const (
-	metaBase  pmem.Addr = 1 << 20 // superblock at 1 MiB
-	slotBytes           = 8 << 20
-	slotA               = metaBase + pmem.PageSize
-	slotB               = slotA + slotBytes
+	metaBase  = pmem.MetaBase // superblock at 1 MiB
+	slotBytes = pmem.MetaSlotBytes
+	slotA     = pmem.MetaSlotA // legacy whole-state snapshot slots (v1)
+	slotB     = pmem.MetaSlotB
 
 	sbMagic   = 0x4445_4c44_4455_50 // "PUDDLED"
 	sbOffMag  = 0
@@ -176,11 +180,15 @@ type state struct {
 // and each PoolRec carries its own mutex for pool-local state. The
 // lock order is
 //
-//	opMu.RLock > sessMu > PoolRec.mu > poolsMu > lsMu > typesMu > jgMu > jMu
+//	ckptMu > opMu.RLock > sessMu > PoolRec.mu > poolsMu > lsMu > typesMu > jgMu > jMu
 //
-// (any prefix/suffix may be skipped, never reordered). jgMu guards
-// only the group-commit queue and is never held across device writes;
-// jMu serializes only the journal tail; see metastore.go.
+// (any prefix/suffix may be skipped, never reordered). ckptMu
+// serializes checkpoint writers and is taken before opMu — compaction
+// try-locks it, then quiesces briefly, then streams with the request
+// path running (ckpt.go). jgMu guards only the group-commit queue and
+// is never held across device writes; jMu serializes only the journal
+// slot reservation — payload copies and fences run outside it; see
+// metastore.go.
 type Daemon struct {
 	dev *pmem.Device
 
@@ -191,16 +199,30 @@ type Daemon struct {
 	typesMu sync.Mutex   // st.Types (the persisted mirror of the registry)
 	jMu     sync.Mutex   // journal tail + seq (metastore.go)
 
-	st       state
-	seq      uint64             // monotonic metadata sequence (under jMu, or exclusive opMu)
-	jTail    uint64             // journal append offset (under jMu)
-	jgMu     sync.Mutex         // journal group-commit queue (metastore.go)
-	jgQueue  []*jreq            // entries awaiting the group leader
-	jgLeader bool               // a leader is draining jgQueue
-	space    *addrspace.Manager // global puddle space
-	staging  *addrspace.Manager // import staging area
-	types    *ptypes.Registry
-	logger   *log.Logger
+	st        state
+	seq       uint64        // monotonic metadata sequence (under jMu, or exclusive opMu)
+	jBase     pmem.Addr     // active journal region (under jMu; retargeted under exclusive opMu)
+	jBaseSeq  uint64        // checkpoint seq the active journal builds on
+	jTail     uint64        // journal append offset (under jMu)
+	jPrevDone chan struct{} // durability ticket of the last reserved group (under jMu)
+	jgMu      sync.Mutex    // journal group-commit queue (metastore.go)
+	jgQueue   []*jreq       // entries awaiting the group leader
+	jgLeader  bool          // a leader lap is between queue grab and handoff
+
+	// Checkpoint state (ckpt.go). ckptMu serializes checkpoint writers
+	// and is acquired BEFORE opMu (maybeCompact try-locks it, then
+	// quiesces); chain and forceFull are guarded by it. dirty is the
+	// set of entities changed since the last checkpoint capture.
+	ckptMu    sync.Mutex
+	chain     chainState
+	forceFull bool
+	dirtyMu   sync.Mutex
+	dirty     map[dirtyKey]struct{}
+
+	space   *addrspace.Manager // global puddle space
+	staging *addrspace.Manager // import staging area
+	types   *ptypes.Registry
+	logger  *log.Logger
 
 	jTailApprox atomic.Uint64 // journal tail mirror for the compaction check
 	needCompact atomic.Bool   // set when an append failed for space
@@ -208,8 +230,21 @@ type Daemon struct {
 	panics      atomic.Uint64 // request handlers that panicked (recovered)
 	closed      atomic.Bool
 
-	recoveryWorkers int // 0 = default pool size (see workerCount)
-	connWorkers     int // per-connection dispatch workers (see server.go)
+	ckptCount      atomic.Uint64 // committed checkpoints (full + incremental)
+	ckptChunks     atomic.Uint64 // chunks streamed into the arena
+	ckptBytes      atomic.Uint64 // bytes streamed into the arena
+	ckptSeq        atomic.Uint64 // seq of the last committed checkpoint
+	ckptPauseTotal atomic.Uint64 // cumulative exclusive quiesce ns
+	ckptPauseMax   atomic.Uint64 // worst single quiesce ns
+
+	recoveryWorkers int    // 0 = default pool size (see workerCount)
+	connWorkers     int    // per-connection dispatch workers (see server.go)
+	legacyCkpt      bool   // WithLegacyCheckpoints: write v1 whole-state slots
+	journalCap      uint64 // active-journal byte budget (tests shrink it)
+	ckptChunk       int    // target checkpoint chunk payload bytes
+	ckptHalf        uint64 // arena half size (tests shrink it)
+	legacySlotCap   uint64 // legacy slot byte budget (tests shrink it)
+	legacySlot      pmem.Addr
 
 	panicHook func(*proto.Request) // test hook: provoke handler panics
 }
@@ -220,6 +255,37 @@ type Option func(*Daemon)
 // WithLogger directs daemon diagnostics to l.
 func WithLogger(l *log.Logger) Option { return func(d *Daemon) { d.logger = l } }
 
+// WithLegacyCheckpoints makes the daemon write v1 whole-state A/B
+// snapshot slots instead of chunked checkpoint chains. Migration
+// tests use it to generate old-generation images and the ckpt
+// benchmark to measure the old compaction pause; it is not meant for
+// production images (the v2 boot path reads both formats).
+func WithLegacyCheckpoints() Option {
+	return func(d *Daemon) { d.legacyCkpt = true }
+}
+
+// WithJournalCapacity caps the active metadata journal at n bytes
+// (default and maximum pmem.MetaJournalSize). Crash-injection sweeps
+// shrink it so a short workload crosses many compaction cycles.
+func WithJournalCapacity(n uint64) Option {
+	return func(d *Daemon) {
+		if n > 0 && n <= pmem.MetaJournalSize {
+			d.journalCap = n
+		}
+	}
+}
+
+// WithCheckpointChunkBytes sets the target payload size of one
+// streamed checkpoint chunk (default 256 KiB). Tests shrink it to
+// force multi-chunk checkpoints out of small registries.
+func WithCheckpointChunkBytes(n int) Option {
+	return func(d *Daemon) {
+		if n > 0 {
+			d.ckptChunk = n
+		}
+	}
+}
+
 // New boots a daemon on dev: it restores the metadata snapshot,
 // replays registered logs if the previous run ended in a dirty
 // shutdown, and marks the device in-use. It must run before any
@@ -227,11 +293,20 @@ func WithLogger(l *log.Logger) Option { return func(d *Daemon) { d.logger = l } 
 // independent recovery.
 func New(dev *pmem.Device, opts ...Option) (*Daemon, error) {
 	d := &Daemon{
-		dev:     dev,
-		space:   addrspace.NewManager(),
-		staging: addrspace.NewManagerRange(StagingBase, stagingSize),
-		types:   ptypes.NewRegistry(),
+		dev:           dev,
+		space:         addrspace.NewManager(),
+		staging:       addrspace.NewManagerRange(StagingBase, stagingSize),
+		types:         ptypes.NewRegistry(),
+		jBase:         pmem.MetaJournal0,
+		dirty:         make(map[dirtyKey]struct{}),
+		chain:         chainState{half: -1},
+		journalCap:    pmem.MetaJournalSize,
+		ckptChunk:     defaultCkptChunk,
+		ckptHalf:      pmem.MetaCkptSize / 2,
+		legacySlotCap: slotBytes,
 	}
+	d.jPrevDone = make(chan struct{})
+	close(d.jPrevDone) // the ticket chain starts settled
 	for _, o := range opts {
 		o(d)
 	}
@@ -262,14 +337,15 @@ func (d *Daemon) boot() error {
 		d.dev.StoreU64(metaBase+sbOffDirt, 0)
 		d.dev.Persist(metaBase, 16)
 	} else {
-		// Checkpoint first (this also reads images written by the old
-		// snapshot-per-mutation daemon unchanged), then fold in the
-		// per-entity journal batches appended since.
-		if err := d.loadSnapshot(); err != nil {
+		// Checkpoint first — the best chunked chain, or a legacy v1
+		// whole-state slot (images written by old daemon generations
+		// boot unchanged) — then fold in the per-entity journal batches
+		// appended since, from both journal regions in base order.
+		if err := d.loadMeta(); err != nil {
 			return fmt.Errorf("daemon: restoring metadata: %w", err)
 		}
 		d.seq = d.st.Seq
-		if n := d.replayJournal(d.st.Seq); n > 0 {
+		if n := d.replayJournals(d.st.Seq); n > 0 {
 			d.logf("boot: applied %d journal batches on top of checkpoint %d", n, d.st.Seq)
 		}
 	}
@@ -304,23 +380,37 @@ func (d *Daemon) boot() error {
 	}
 	d.dev.StoreU64(metaBase+sbOffDirt, 1)
 	d.dev.Persist(metaBase+sbOffDirt, 8)
-	// Checkpoint and start a fresh journal: this keeps both slots
-	// healthy over time and initializes the journal region on images
-	// migrated from the old whole-state-snapshot layout.
-	if err := d.writeCheckpoint(); err != nil {
+	// Full checkpoint, then fresh journals: this rotates the arena
+	// halves over time and initializes the v2 regions on images
+	// migrated from the old whole-state-snapshot layout. The order
+	// matters — the journals reset only once the checkpoint that
+	// covers their entries is durable, so a crash anywhere in boot
+	// still composes the previous chain + the old journals.
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	if err := d.checkpointSync(true); err != nil {
 		return err
+	}
+	if !d.legacyCkpt {
+		// The legacy writer reset journal 0 itself (old daemons did not
+		// know the standby region exists; leaving it untouched is what
+		// makes WithLegacyCheckpoints a faithful v1-image generator).
+		d.initJournals()
 	}
 	return nil
 }
 
-// Shutdown snapshots metadata and marks the device cleanly closed.
+// Shutdown checkpoints metadata (incrementally — only what changed
+// since the last compaction) and marks the device cleanly closed.
 func (d *Daemon) Shutdown() {
 	if d.closed.Swap(true) {
 		return
 	}
+	d.ckptMu.Lock() // wait out any in-flight checkpoint stream
+	defer d.ckptMu.Unlock()
 	d.opMu.Lock() // quiesce in-flight requests; they complete first
 	defer d.opMu.Unlock()
-	if err := d.writeCheckpoint(); err != nil {
+	if err := d.checkpointSync(false); err != nil {
 		d.logf("shutdown checkpoint: %v", err)
 		return // leave the dirty flag set rather than losing the journal
 	}
@@ -332,8 +422,10 @@ func (d *Daemon) Shutdown() {
 // standing in for DAX mappings).
 func (d *Daemon) Device() *pmem.Device { return d.dev }
 
-// --- checkpoint slots (A/B); the write side lives in metastore.go ---
+// --- checkpoint selection (chunked chains + legacy A/B slots);
+// the write side lives in ckpt.go ---
 
+// readSlot decodes one legacy v1 whole-state snapshot slot.
 func (d *Daemon) readSlot(slot pmem.Addr) (*state, uint64, bool) {
 	seq := d.dev.LoadU64(slot)
 	n := d.dev.LoadU64(slot + 8)
@@ -352,17 +444,47 @@ func (d *Daemon) readSlot(slot pmem.Addr) (*state, uint64, bool) {
 	return &st, seq, true
 }
 
-func (d *Daemon) loadSnapshot() error {
-	a, seqA, okA := d.readSlot(slotA)
-	b, seqB, okB := d.readSlot(slotB)
-	switch {
-	case okA && (!okB || seqA >= seqB):
-		d.st = *a
-	case okB:
-		d.st = *b
-	default:
-		return fmt.Errorf("both metadata slots invalid")
+// loadMeta restores the best available checkpoint: every readable
+// source — the two chunked chains and the two legacy slots — competes
+// on (committed sequence, commit generation), and the highest wins.
+// The generation tie-break matters because counters mutate without
+// journal appends, so two commits can share a sequence number with
+// different counter values — the newer commit must win. A v1 image
+// has no chains, so its newest slot wins (the migration path); legacy
+// slots read as generation 0 and legacy writers always bump the
+// sequence, so a chain never loses a tie to a stale slot.
+func (d *Daemon) loadMeta() error {
+	var (
+		best    *state
+		bestSeq uint64
+		bestGen uint64
+		found   bool
+	)
+	better := func(seq, gen uint64) bool {
+		return !found || seq > bestSeq || (seq == bestSeq && gen > bestGen)
 	}
+	d.chain = chainState{half: -1}
+	d.legacySlot = 0
+	for half := 0; half < 2; half++ {
+		st, gen, tail, incs, ok := d.scanHalf(half)
+		if ok && better(st.Seq, gen) {
+			best, bestSeq, bestGen, found = st, st.Seq, gen, true
+			d.chain = chainState{half: half, seq: st.Seq, gen: gen, tail: tail, incs: incs}
+			d.legacySlot = 0
+		}
+	}
+	for _, slot := range []pmem.Addr{slotA, slotB} {
+		st, seq, ok := d.readSlot(slot)
+		if ok && better(seq, 0) {
+			best, bestSeq, bestGen, found = st, seq, 0, true
+			d.chain = chainState{half: -1, seq: seq}
+			d.legacySlot = slot
+		}
+	}
+	if !found {
+		return fmt.Errorf("no valid metadata checkpoint (chains and slots all unreadable)")
+	}
+	d.st = *best
 	if d.st.Pools == nil {
 		d.st.Pools = make(map[string]*PoolRec)
 	}
@@ -525,9 +647,8 @@ func (d *Daemon) runRecovery() {
 		// caller sees the same unwind as with serial recovery.
 		panic(downPanic)
 	}
-	if err := d.writeCheckpoint(); err != nil {
-		d.logf("recovery checkpoint: %v", err)
-	}
+	// Callers checkpoint after recovery: boot writes its full
+	// checkpoint right after, opRecoverNow streams an incremental one.
 }
 
 // replayUnits turns conflict groups into schedulable units. A group
@@ -837,6 +958,13 @@ func (d *Daemon) Stats() proto.Stats {
 		PersistErrors:  d.persistErrs.Load(),
 		DispatchPanics: d.panics.Load(),
 		JournalBytes:   d.jTailApprox.Load(),
+
+		Checkpoints:      d.ckptCount.Load(),
+		CheckpointChunks: d.ckptChunks.Load(),
+		CheckpointBytes:  d.ckptBytes.Load(),
+		CheckpointSeq:    d.ckptSeq.Load(),
+		CkptPauseTotalNs: d.ckptPauseTotal.Load(),
+		CkptPauseMaxNs:   d.ckptPauseMax.Load(),
 	}
 }
 

@@ -1,36 +1,37 @@
-// Metadata persistence: per-entity journal records over A/B
-// checkpoint slots.
+// Metadata persistence, journal layer: per-entity records appended to
+// a double-buffered journal, compacted into chunked checkpoints
+// (ckpt.go).
 //
 // PR 2 left the daemon with one serialization point per mutation: the
 // whole `state` struct was re-gobbed and rewritten on every pool,
 // puddle or log-space change, so puddle churn from one client
 // re-serialized everyone's metadata (and held the global lock while
-// doing it). This file splits persistence into two layers, following
-// the per-structure persistence argument of Cai et al. ("Understanding
+// doing it). Persistence is split into two layers, following the
+// per-structure persistence argument of Cai et al. ("Understanding
 // and Optimizing Persistent Memory Allocation") and MOD's goal of
 // minimizing ordered persists on the mutation path:
 //
-//   - Checkpoints: the existing A/B double-buffered, checksummed,
-//     whole-state gob snapshot. Written only at boot, shutdown, after
-//     recovery, and when the journal fills (compaction). Because the
-//     format is unchanged, an image written by the old
-//     snapshot-per-mutation daemon boots here unmodified — the old
-//     snapshot is simply a checkpoint with an empty journal. That is
-//     the migration path.
+//   - Journal: an append-only region. Every mutation appends one
+//     *batch* — the intent record for the whole (possibly
+//     multi-entity) operation: e.g. CreatePool appends {pool record,
+//     root puddle record} as a single CRC-guarded entry, FreePuddle
+//     appends {puddle tombstone, pool record, log-space tombstone}. A
+//     torn batch fails its CRC and is invisible after a crash, so
+//     multi-entity operations are atomic without ordering persists
+//     between entities. There are two journal regions
+//     (pmem.MetaJournal0/1): compaction switches appends to the empty
+//     one under a brief quiesce and the retired region stays readable
+//     until the checkpoint that covers its entries commits, so boot
+//     can always compose checkpoint + retired journal + live journal.
 //
-//   - Journal: an append-only region after the checkpoint slots. Every
-//     mutation appends one *batch* — the intent record for the whole
-//     (possibly multi-entity) operation: e.g. CreatePool appends
-//     {pool record, root puddle record} as a single CRC-guarded entry,
-//     FreePuddle appends {puddle tombstone, pool record, log-space
-//     tombstone}. A torn batch fails its CRC and is invisible after a
-//     crash, so multi-entity operations are atomic without ordering
-//     persists between entities. Boot loads the best checkpoint, then
-//     replays journal batches whose sequence number exceeds the
-//     checkpoint's.
+//   - Checkpoints: chunked, incremental, streamed into the checkpoint
+//     arena with the request path running — see ckpt.go. The legacy
+//     whole-state A/B slots are still read (migration) and written on
+//     demand (WithLegacyCheckpoints, for tests and benchmarks that
+//     need to produce or measure the old format).
 //
 // The journal write is a few hundred bytes regardless of how many
-// pools and puddles exist, so metadata persistence cost is now
+// pools and puddles exist, so metadata persistence cost is
 // proportional to the operation, not to the daemon's total state.
 package daemon
 
@@ -40,6 +41,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc64"
+	"sort"
 	"strconv"
 	"sync/atomic"
 
@@ -48,11 +50,12 @@ import (
 	"puddles/internal/uid"
 )
 
-// Journal geometry (directly after the checkpoint slots, well below
-// StagingBase).
+// Journal geometry. The region addresses are a device property owned
+// by internal/pmem (every daemon generation must agree on them); the
+// in-region format is owned here.
 const (
-	journalBase pmem.Addr = slotB + slotBytes
-	journalSize uint64    = 8 << 20
+	journalBase = pmem.MetaJournal0 // the region v1 images already carry
+	journalSize = pmem.MetaJournalSize
 
 	journalMagic = 0x314c_4e52_4a50 // "PJRNL1"
 	jrnOffMagic  = 0
@@ -65,19 +68,19 @@ const (
 	// stops there (a header torn across cachelines fails its CRC; the
 	// entry was never acked, so dropping it is correct). Keeping the
 	// seq in the header rather than the payload lets the gob encode and
-	// CRC run outside jMu — only the tail reservation and the device
-	// writes serialize.
+	// CRC run outside jMu — only the slot reservation serializes there;
+	// even the device writes run outside the lock (see reserveGroup).
 	entHdrSize = 24
-
-	// Compaction trigger: once the tail passes this, the next request
-	// worker writes a checkpoint and resets the journal.
-	journalHighWater = journalSize * 3 / 4
 )
 
 // errJournalFull is returned when an append cannot fit even before
 // compaction has had a chance to run; the operation's metadata is NOT
 // durable and the client must not be acked.
 var errJournalFull = errors.New("daemon: metadata journal full")
+
+// journalHighWater is the active-journal fill level past which request
+// workers trigger compaction.
+func (d *Daemon) journalHighWater() uint64 { return d.journalCap - d.journalCap/4 }
 
 // recKind tags one persisted entity record.
 type recKind uint8
@@ -107,8 +110,9 @@ type entRec struct {
 	Blob []byte // gob of the entity value; empty for tombstones
 }
 
-// jbatch is the unit of journal append and replay: all records of one
-// daemon operation, applied atomically. Its sequence number lives in
+// jbatch is the unit of journal append and replay — and of checkpoint
+// chunking (ckpt.go): all records of one daemon operation (or one
+// checkpoint chunk), applied atomically. Its sequence number lives in
 // the entry header.
 type jbatch struct {
 	Recs []entRec
@@ -172,27 +176,30 @@ func keyUUID(k string) (uid.UUID, bool) {
 	return u, true
 }
 
-// countersRec snapshots the counter block. The caller holds sessMu
-// (the only context that journals counters mid-stream); the recovery
-// counters are quiescent while any handler runs, and are re-
+// countersVal snapshots the counter block. The caller holds sessMu,
+// exclusive opMu, or is the single boot goroutine; the recovery
+// counters are quiescent while any handler runs and are re-
 // checkpointed after every recovery pass anyway.
-func (d *Daemon) countersRec() entRec {
-	return putRec(recCounters, "", &counters{
+func (d *Daemon) countersVal() *counters {
+	return &counters{
 		NextSession:    d.st.NextSession,
 		Recoveries:     atomic.LoadUint64(&d.st.Recoveries),
 		LogsReplayed:   atomic.LoadUint64(&d.st.LogsReplayed),
 		EntriesApplied: atomic.LoadUint64(&d.st.EntriesApplied),
 		Imports:        atomic.LoadUint64(&d.st.Imports),
-	})
+	}
 }
+
+// countersRec encodes the counter block as a journal record.
+func (d *Daemon) countersRec() entRec { return putRec(recCounters, "", d.countersVal()) }
 
 // jreq is one caller's pending journal append: its pre-encoded
 // payload and checksum, the error slot, and the completion signal the
 // group-commit leader closes once the entry is durable (or rejected).
-// lead is the promotion signal: a retiring leader closes it to hand
-// leadership to a still-queued waiter. done and lead are disjoint —
-// done closes only for dequeued (processed) entries, lead only for
-// queued ones.
+// lead is the promotion signal: a leader that has finished reserving
+// closes it to hand leadership to a still-queued waiter. done and
+// lead are disjoint — done closes only for dequeued (processed)
+// entries, lead only for queued ones.
 type jreq struct {
 	payload []byte
 	crc     uint64
@@ -201,29 +208,31 @@ type jreq struct {
 	lead    chan struct{}
 }
 
-// appendBatch makes recs durable as one atomic journal entry and
-// bumps the metadata sequence number. Callers hold the lock of every
+// appendBatch makes recs durable as one atomic journal entry, bumps
+// the metadata sequence number and marks the touched entities dirty
+// for the next incremental checkpoint. Callers hold the lock of every
 // entity named in recs (so per-entity journal order matches in-memory
 // order); the encode and checksum run with no lock held.
 //
 // Appends are group-committed leader–follower style: each caller
 // enqueues its pre-encoded entry, the first caller in becomes the
-// leader and drains the queue through commitGroup — which writes
-// every queued entry and issues ONE payload fence and ONE header
-// fence for the whole group — while followers just wait for their
-// completion signal. Under concurrency the flush+fence pair is
-// amortized over the group instead of being serialized per append
-// (the ~1.5× multi-client plateau the per-append fences imposed);
-// a solo caller degenerates to exactly the old two-fence append.
+// leader and commits the queue through commitGroup — which reserves
+// every queued entry's journal slot under jMu, hands leadership over,
+// and only then copies payloads and issues ONE payload fence and ONE
+// header fence for the whole group — while followers just wait for
+// their completion signal. Under concurrency the flush+fence pair is
+// amortized over the group AND the next group's reservation, payload
+// encode and copies overlap this group's fences (only the header
+// publish serializes across groups, in reservation order — see
+// persistGroup); a solo caller degenerates to exactly the plain
+// two-fence append.
 //
 // Leadership is bounded to a single lap: a leader's own entry is
 // always in the queue it drains (it was enqueued before leadership
 // was taken or handed over, and only the leader dequeues), so after
-// one commitGroup the leader's entry is settled and it promotes the
-// oldest still-queued waiter — or steps down — and returns. Without
-// the handoff, sustained traffic keeps the queue non-empty forever
-// and a drain-until-empty leader would hold one client's response
-// hostage to everyone else's churn.
+// one reservation the leader promotes the oldest still-queued waiter
+// — or steps down — and persists its group without holding one
+// client's response hostage to everyone else's churn.
 func (d *Daemon) appendBatch(recs []entRec) error {
 	payload, err := gobBytes(&jbatch{Recs: recs})
 	if err != nil {
@@ -239,6 +248,9 @@ func (d *Daemon) appendBatch(recs []entRec) error {
 		d.jgMu.Unlock()
 		select {
 		case <-r.done: // a leader committed our entry
+			if r.err == nil {
+				d.markDirty(recs)
+			}
 			return r.err
 		case <-r.lead: // promoted: our entry is still queued; drain it
 		}
@@ -252,6 +264,83 @@ func (d *Daemon) appendBatch(recs []entRec) error {
 	d.jgQueue = nil
 	d.jgMu.Unlock()
 	d.commitGroup(batch)
+	if r.err == nil {
+		d.markDirty(recs)
+	}
+	return r.err
+}
+
+// placedEntry is one reserved journal slot: the entry, its header
+// address and its assigned sequence number.
+type placedEntry struct {
+	r   *jreq
+	ent pmem.Addr
+	seq uint64
+}
+
+// groupRes is one group's reservation: its placed entries, the
+// terminator slot at the group's end, and the durability ticket chain
+// links (pred = the previous group's ticket, closed when that group's
+// headers are durable).
+type groupRes struct {
+	placed []placedEntry
+	term   pmem.Addr
+	pred   chan struct{}
+}
+
+// commitGroup persists a batch of queued journal entries: reserve
+// slots under jMu, hand leadership to the next waiter, then copy and
+// fence outside every lock. Crash atomicity per entry is unchanged
+// from the serial path: an entry is visible iff its header decodes
+// and its payload CRC holds, and no completion signal fires before
+// the final fence — a crash between the fences loses only unacked
+// entries. Entries that do not fit are failed individually
+// (errJournalFull) without blocking smaller entries behind them.
+func (d *Daemon) commitGroup(batch []*jreq) {
+	var (
+		own       chan struct{}
+		handedOff bool
+		settled   bool
+	)
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		// Injected power failure (or a bug) mid-group: the machine is
+		// dying. Fail this batch — an error for a possibly-durable entry
+		// is exactly a real crash losing the ack — and, if leadership
+		// was never handed over, everything still queued (nobody else
+		// will lead it); close our durability ticket so no successor
+		// group camps on it, then keep unwinding.
+		var pending []*jreq
+		if !handedOff {
+			d.jgMu.Lock()
+			pending = d.jgQueue
+			d.jgQueue = nil
+			d.jgLeader = false
+			d.jgMu.Unlock()
+		}
+		if own != nil {
+			close(own)
+		}
+		fail := pending
+		if !settled {
+			fail = append(batch, pending...)
+		}
+		for _, q := range fail {
+			if q.err == nil {
+				q.err = fmt.Errorf("daemon: journal append aborted: %v", rec)
+			}
+			close(q.done)
+		}
+		panic(rec)
+	}()
+	var res groupRes
+	res, own = d.reserveGroup(batch)
+	// Hand leadership to the oldest still-queued waiter (or step down)
+	// BEFORE persisting: the next group reserves its slots, encodes and
+	// copies its payloads while this group's flushes and fences run.
 	d.jgMu.Lock()
 	if len(d.jgQueue) > 0 {
 		close(d.jgQueue[0].lead) // jgLeader stays true for the promotee
@@ -259,60 +348,34 @@ func (d *Daemon) appendBatch(recs []entRec) error {
 		d.jgLeader = false
 	}
 	d.jgMu.Unlock()
-	return r.err
+	handedOff = true
+	d.persistGroup(res, own)
+	settled = true
+	for _, q := range batch {
+		close(q.done)
+	}
 }
 
-// commitGroup persists a batch of queued journal entries with two
-// fences total: payloads (plus the tail terminator) flush and fence
-// first, then every entry header publishes under a second fence.
-// Crash atomicity per entry is unchanged from the per-append path: an
-// entry is visible iff its header decodes and its payload CRC holds,
-// and no completion signal fires before the final fence — a crash
-// between the fences loses only unacked entries. Entries that do not
-// fit are failed individually (errJournalFull) without blocking
-// smaller entries behind them; jMu still serializes the tail against
-// the test hooks that poke it.
-func (d *Daemon) commitGroup(batch []*jreq) {
-	closed := false
-	defer func() {
-		if rec := recover(); rec != nil {
-			// Injected power failure (or a bug) mid-group: the machine
-			// is dying. Fail this batch and anything still queued so no
-			// connection worker camps on a completion that will never
-			// come (an error for a possibly-durable entry is exactly a
-			// real crash losing the ack), then keep unwinding.
-			d.jgMu.Lock()
-			pending := d.jgQueue
-			d.jgQueue = nil
-			d.jgLeader = false
-			d.jgMu.Unlock()
-			for _, q := range append(batch, pending...) {
-				if q.err == nil {
-					q.err = fmt.Errorf("daemon: journal append aborted: %v", rec)
-				}
-				close(q.done)
-			}
-			panic(rec)
-		}
-		if !closed {
-			for _, q := range batch {
-				close(q.done)
-			}
-		}
-	}()
+// reserveGroup assigns a sequence number and journal offset to every
+// entry that fits, writes the group-end terminator, and links the
+// group into the durability ticket chain. Only this runs under jMu;
+// payload copies, flushes and fences all happen outside the lock.
+//
+// The zeroed terminator header at the group's end is stored here,
+// under jMu, deliberately: the successor group's first entry header
+// lands on the same bytes, and its (strictly later) reservation
+// orders its header store after this zero store — so the boot scan
+// always stops at the true tail, never at stale bytes from a previous
+// journal generation, and a successor's published header is never
+// clobbered by a straggling terminator.
+func (d *Daemon) reserveGroup(batch []*jreq) (groupRes, chan struct{}) {
 	d.jMu.Lock()
 	defer d.jMu.Unlock()
-	type placed struct {
-		r   *jreq
-		ent pmem.Addr
-		seq uint64
-	}
-	var ok []placed
-	var fs pmem.FlushSet
+	var res groupRes
 	tail := d.jTail
 	for _, r := range batch {
 		need := uint64(entHdrSize) + uint64(len(r.payload)) + entHdrSize // entry + terminator
-		if tail+need > journalSize {
+		if tail+need > d.journalCap {
 			d.persistErrs.Add(1)
 			// The tail may still be below the high-water mark (an
 			// outsized batch); force the next maybeCompact to reclaim
@@ -322,79 +385,149 @@ func (d *Daemon) commitGroup(batch []*jreq) {
 			continue
 		}
 		d.seq++
-		ent := journalBase + pmem.Addr(tail)
-		d.dev.Store(ent+entHdrSize, r.payload)
-		fs.Add(ent+entHdrSize, len(r.payload))
+		res.placed = append(res.placed, placedEntry{r: r, ent: d.jBase + pmem.Addr(tail), seq: d.seq})
 		tail += uint64(entHdrSize) + uint64(len(r.payload))
-		ok = append(ok, placed{r: r, ent: ent, seq: d.seq})
 	}
-	if len(ok) > 0 {
-		// Zeroed terminator header at the group's end so the boot scan
-		// stops exactly at the true tail even over stale bytes from a
-		// previous journal generation. (Intermediate slots get real
-		// headers below.)
-		next := journalBase + pmem.Addr(tail)
-		d.dev.StoreU64(next, 0)
-		d.dev.StoreU64(next+8, 0)
-		fs.Add(next, entHdrSize)
-		fs.Flush(d.dev)
-		d.dev.Fence()
-		// Publish every header, then fence the group once.
-		fs = pmem.FlushSet{}
-		for _, p := range ok {
-			d.dev.StoreU32(p.ent, uint32(len(p.r.payload)))
-			d.dev.StoreU32(p.ent+4, 0)
-			d.dev.StoreU64(p.ent+8, p.r.crc)
-			d.dev.StoreU64(p.ent+16, p.seq)
-			fs.Add(p.ent, entHdrSize)
-		}
-		fs.Flush(d.dev)
-		d.dev.Fence()
-		d.jTail = tail
-		d.jTailApprox.Store(tail)
+	if len(res.placed) == 0 {
+		return res, nil
 	}
-	for _, r := range batch {
-		close(r.done)
-	}
-	closed = true
+	res.term = d.jBase + pmem.Addr(tail)
+	d.dev.StoreU64(res.term, 0)
+	d.dev.StoreU64(res.term+8, 0)
+	d.jTail = tail
+	d.jTailApprox.Store(tail)
+	res.pred = d.jPrevDone
+	own := make(chan struct{})
+	d.jPrevDone = own
+	return res, own
 }
 
-// resetJournal starts a fresh (empty) journal on top of the checkpoint
-// with sequence number baseSeq. The checkpoint must already be durable.
-func (d *Daemon) resetJournal(baseSeq uint64) {
-	d.dev.StoreU64(journalBase+jrnOffBase, baseSeq)
-	d.dev.StoreU64(journalBase+pmem.Addr(jrnHdrSize), 0) // first entry: len 0
-	d.dev.StoreU64(journalBase+pmem.Addr(jrnHdrSize)+8, 0)
-	d.dev.StoreU64(journalBase+jrnOffMagic, journalMagic)
-	d.dev.Persist(journalBase, jrnHdrSize+entHdrSize)
+// persistGroup copies the group's payloads and publishes its headers
+// with two fences total, outside every daemon lock. The journal is
+// scanned as a prefix at boot, so this group's headers may become
+// durable only after every predecessor group's are — otherwise a
+// crash could strand acked entries behind an unreadable gap. The
+// payload copies and the payload fence already overlapped the
+// predecessor's work; only the header publish serializes, in
+// reservation order, via the ticket chain.
+func (d *Daemon) persistGroup(res groupRes, own chan struct{}) {
+	if len(res.placed) == 0 {
+		return
+	}
+	var fs pmem.FlushSet
+	for _, p := range res.placed {
+		d.dev.Store(p.ent+entHdrSize, p.r.payload)
+		fs.Add(p.ent+entHdrSize, len(p.r.payload))
+	}
+	fs.Add(res.term, entHdrSize)
+	fs.Flush(d.dev)
+	d.dev.Fence()
+	<-res.pred
+	fs = pmem.FlushSet{}
+	for _, p := range res.placed {
+		d.dev.StoreU32(p.ent, uint32(len(p.r.payload)))
+		d.dev.StoreU32(p.ent+4, 0)
+		d.dev.StoreU64(p.ent+8, p.r.crc)
+		d.dev.StoreU64(p.ent+16, p.seq)
+		fs.Add(p.ent, entHdrSize)
+	}
+	fs.Flush(d.dev)
+	d.dev.Fence()
+	close(own)
+}
+
+// resetJournalRegion starts a fresh (empty) journal in the region at
+// base, building on the checkpoint with sequence number baseSeq, and
+// retargets the append cursor there. The magic is dropped first and
+// re-published last, each under its own fence, so a power failure
+// mid-reset leaves an invalid region (ignored at boot) rather than a
+// region whose header and contents disagree. The caller must either
+// hold opMu exclusively or be the single boot goroutine, and must
+// guarantee every entry the region held is covered by a committed
+// checkpoint.
+func (d *Daemon) resetJournalRegion(base pmem.Addr, baseSeq uint64) {
+	d.dev.StoreU64(base+jrnOffMagic, 0)
+	d.dev.Persist(base+jrnOffMagic, 8)
+	d.dev.StoreU64(base+jrnOffBase, baseSeq)
+	d.dev.StoreU64(base+pmem.Addr(jrnHdrSize), 0) // first entry: len 0
+	d.dev.StoreU64(base+pmem.Addr(jrnHdrSize)+8, 0)
+	d.dev.Persist(base, jrnHdrSize+entHdrSize)
+	d.dev.StoreU64(base+jrnOffMagic, journalMagic)
+	d.dev.Persist(base+jrnOffMagic, 8)
+	d.jBase = base
+	d.jBaseSeq = baseSeq
 	d.jTail = jrnHdrSize
 	d.jTailApprox.Store(d.jTail)
 }
 
-// replayJournal scans the journal and applies every decodable batch
-// with Seq > ckptSeq to d.st, in append order. Returns the number of
+// switchJournal retargets appends to the standby journal region,
+// reset on top of the checkpoint being written (baseSeq). The caller
+// (planCheckpoint) must have verified the standby's entries are
+// covered by the committed checkpoint chain.
+func (d *Daemon) switchJournal(baseSeq uint64) {
+	other := pmem.MetaJournal0
+	if d.jBase == pmem.MetaJournal0 {
+		other = pmem.MetaJournal1
+	}
+	d.resetJournalRegion(other, baseSeq)
+}
+
+// initJournals establishes the boot-time journal state after the boot
+// checkpoint committed: journal 0 becomes the empty active region and
+// the standby is invalidated (its entries, like journal 0's old ones,
+// are covered by the checkpoint; a stale standby must not survive
+// into a generation that will reuse it).
+func (d *Daemon) initJournals() {
+	d.dev.StoreU64(pmem.MetaJournal1+jrnOffMagic, 0)
+	d.dev.Persist(pmem.MetaJournal1+jrnOffMagic, 8)
+	d.resetJournalRegion(pmem.MetaJournal0, d.seq)
+}
+
+// replayJournals composes every decodable journal batch with
+// Seq > ckptSeq onto d.st, in sequence order across both regions (the
+// retired region first — its base is older). Returns the number of
 // batches applied. Called single-threaded at boot.
-func (d *Daemon) replayJournal(ckptSeq uint64) int {
-	if d.dev.LoadU64(journalBase+jrnOffMagic) != journalMagic {
-		return 0 // pre-journal image (old whole-state snapshot): nothing on top
+//
+// A region whose base exceeds the sequence reached so far was built
+// on top of state we failed to recover (it can only appear after
+// media corruption); its batches — membership deltas especially —
+// must not be composed onto an older base, so it is skipped.
+func (d *Daemon) replayJournals(ckptSeq uint64) int {
+	type region struct {
+		addr pmem.Addr
+		base uint64
 	}
-	// Cross-validate the journal against the checkpoint we loaded. The
-	// write ordering (checkpoint durable before resetJournal) makes
-	// baseSeq <= ckptSeq an invariant; a violation means the journal
-	// was built on a checkpoint we failed to read, and its batches —
-	// membership deltas especially — must not be composed onto an
-	// older base.
-	if base := d.dev.LoadU64(journalBase + jrnOffBase); base > ckptSeq {
-		d.logf("boot: journal base seq %d exceeds checkpoint %d; ignoring journal", base, ckptSeq)
-		return 0
+	var regs []region
+	for _, a := range []pmem.Addr{pmem.MetaJournal0, pmem.MetaJournal1} {
+		if d.dev.LoadU64(a+jrnOffMagic) != journalMagic {
+			continue // pre-journal image or invalidated standby
+		}
+		regs = append(regs, region{addr: a, base: d.dev.LoadU64(a + jrnOffBase)})
 	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].base < regs[j].base })
+	applied := 0
+	reached := ckptSeq
+	for _, rg := range regs {
+		if rg.base > reached {
+			d.logf("boot: journal at %#x base seq %d exceeds recovered seq %d; ignoring it",
+				uint64(rg.addr), rg.base, reached)
+			break
+		}
+		applied += d.replayRegion(rg.addr, ckptSeq, &reached)
+	}
+	return applied
+}
+
+// replayRegion scans one journal region and applies every decodable
+// batch with Seq > ckptSeq, advancing reached past every valid entry.
+func (d *Daemon) replayRegion(base pmem.Addr, ckptSeq uint64, reached *uint64) int {
 	applied := 0
 	off := uint64(jrnHdrSize)
 	for {
 		if off+entHdrSize > journalSize {
 			break
 		}
-		ent := journalBase + pmem.Addr(off)
+		ent := base + pmem.Addr(off)
 		n := uint64(d.dev.LoadU32(ent))
 		if n == 0 || off+entHdrSize+n > journalSize {
 			break
@@ -409,8 +542,11 @@ func (d *Daemon) replayJournal(ckptSeq uint64) int {
 		if err := gobValue(payload, &b); err != nil {
 			break
 		}
+		if seq > *reached {
+			*reached = seq
+		}
 		if seq > ckptSeq {
-			d.applyBatch(&b)
+			applyBatchTo(&d.st, &b)
 			if seq > d.seq {
 				d.seq = seq
 			}
@@ -421,20 +557,20 @@ func (d *Daemon) replayJournal(ckptSeq uint64) int {
 	return applied
 }
 
-// applyBatch folds one journal batch into the in-memory state.
+// applyBatchTo folds one journal batch (or checkpoint chunk) into st.
 // Records are whole-entity replacements, so application is idempotent
 // and last-writer-wins per key.
-func (d *Daemon) applyBatch(b *jbatch) {
+func applyBatchTo(st *state, b *jbatch) {
 	for _, r := range b.Recs {
 		switch r.Kind {
 		case recPool:
 			if r.Del {
-				delete(d.st.Pools, r.Key)
+				delete(st.Pools, r.Key)
 				continue
 			}
 			var p PoolRec
 			if gobValue(r.Blob, &p) == nil {
-				d.st.Pools[r.Key] = &p
+				st.Pools[r.Key] = &p
 			}
 		case recPuddle:
 			u, ok := keyUUID(r.Key)
@@ -442,12 +578,12 @@ func (d *Daemon) applyBatch(b *jbatch) {
 				continue
 			}
 			if r.Del {
-				delete(d.st.Puddles, u)
+				delete(st.Puddles, u)
 				continue
 			}
 			var p PuddleRec
 			if gobValue(r.Blob, &p) == nil {
-				d.st.Puddles[u] = &p
+				st.Puddles[u] = &p
 			}
 		case recLogSpace:
 			u, ok := keyUUID(r.Key)
@@ -455,12 +591,12 @@ func (d *Daemon) applyBatch(b *jbatch) {
 				continue
 			}
 			if r.Del {
-				delete(d.st.LogSpaces, u)
+				delete(st.LogSpaces, u)
 				continue
 			}
 			var ls LogSpaceRec
 			if gobValue(r.Blob, &ls) == nil {
-				d.st.LogSpaces[u] = &ls
+				st.LogSpaces[u] = &ls
 			}
 		case recSession:
 			id, err := strconv.ParseUint(r.Key, 10, 64)
@@ -468,15 +604,15 @@ func (d *Daemon) applyBatch(b *jbatch) {
 				continue
 			}
 			if r.Del {
-				delete(d.st.Sessions, id)
+				delete(st.Sessions, id)
 				continue
 			}
 			var s ImportSession
 			if gobValue(r.Blob, &s) == nil {
-				d.st.Sessions[id] = &s
+				st.Sessions[id] = &s
 			}
 		case recPoolLink, recPoolUnlink:
-			pool := d.st.Pools[r.Key]
+			pool := st.Pools[r.Key]
 			u, ok := keyUUID(string(r.Blob))
 			if pool == nil || !ok {
 				continue
@@ -494,75 +630,17 @@ func (d *Daemon) applyBatch(b *jbatch) {
 		case recTypes:
 			var ts []ptypes.TypeInfo
 			if gobValue(r.Blob, &ts) == nil {
-				d.st.Types = ts
+				st.Types = ts
 			}
 		case recCounters:
 			var c counters
 			if gobValue(r.Blob, &c) == nil {
-				d.st.NextSession = c.NextSession
-				d.st.Recoveries = c.Recoveries
-				d.st.LogsReplayed = c.LogsReplayed
-				d.st.EntriesApplied = c.EntriesApplied
-				d.st.Imports = c.Imports
+				st.NextSession = c.NextSession
+				st.Recoveries = c.Recoveries
+				st.LogsReplayed = c.LogsReplayed
+				st.EntriesApplied = c.EntriesApplied
+				st.Imports = c.Imports
 			}
 		}
-	}
-}
-
-// writeCheckpoint writes a whole-state snapshot into the next A/B slot
-// and resets the journal on top of it. The caller must hold opMu
-// exclusively (or be the single boot goroutine): no mutation may be in
-// flight while the full state is encoded.
-func (d *Daemon) writeCheckpoint() error {
-	d.seq++
-	d.st.Seq = d.seq
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&d.st); err != nil {
-		panic(fmt.Sprintf("daemon: encoding snapshot: %v", err)) // programming error
-	}
-	data := buf.Bytes()
-	if len(data)+32 > slotBytes {
-		d.persistErrs.Add(1)
-		return fmt.Errorf("daemon: snapshot %d bytes exceeds slot", len(data))
-	}
-	slot := slotA
-	if d.st.Seq%2 == 0 {
-		slot = slotB
-	}
-	// Header last: a torn snapshot write is invisible because the old
-	// slot still decodes and carries the higher valid seq.
-	d.dev.Store(slot+32, data)
-	d.dev.Flush(slot+32, len(data))
-	d.dev.Fence()
-	d.dev.StoreU64(slot+8, uint64(len(data)))
-	d.dev.StoreU64(slot+16, crc64.Checksum(data, crcTable))
-	d.dev.StoreU64(slot, d.st.Seq)
-	d.dev.Persist(slot, 32)
-	// Only after the checkpoint is durable may the journal restart; a
-	// crash in between replays the old journal against the old slot.
-	d.resetJournal(d.st.Seq)
-	return nil
-}
-
-// maybeCompact checkpoints and resets the journal once it passes the
-// high-water mark (or an append failed for space). Called from request
-// workers with no daemon locks held; the exclusive opMu acquisition
-// quiesces in-flight mutations so the snapshot is consistent and no
-// concurrent append is lost to the reset.
-func (d *Daemon) maybeCompact() {
-	if d.jTailApprox.Load() < journalHighWater && !d.needCompact.Load() {
-		return
-	}
-	d.opMu.Lock()
-	defer d.opMu.Unlock()
-	if d.closed.Load() {
-		return
-	}
-	if d.jTailApprox.Load() < journalHighWater && !d.needCompact.Swap(false) {
-		return
-	}
-	d.needCompact.Store(false)
-	if err := d.writeCheckpoint(); err != nil {
-		d.logf("compaction: %v", err)
 	}
 }

@@ -53,12 +53,15 @@ func TestJournalReplayAfterCrash(t *testing.T) {
 }
 
 // TestOldSnapshotMigration: an image written by the previous daemon
-// generation (whole-state A/B snapshots, no journal region) must boot:
-// the snapshot reads as a checkpoint with an empty journal, and the
-// journal region is initialized on the way out.
+// generation (whole-state A/B snapshots, no journal region, no
+// checkpoint arena) must boot: the snapshot reads as a checkpoint
+// with an empty journal, and the v2 regions are initialized on the
+// way out. The old image is generated with the retained v1 writer
+// (WithLegacyCheckpoints), then regressed further to the pre-journal
+// layout.
 func TestOldSnapshotMigration(t *testing.T) {
 	dev := pmem.New()
-	d, err := New(dev)
+	d, err := New(dev, WithLegacyCheckpoints())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,12 +71,18 @@ func TestOldSnapshotMigration(t *testing.T) {
 	rt(t, c, &proto.Request{Op: proto.OpShutdown})
 	c.Close()
 
-	// Regress the image to the old layout: the journal region did not
-	// exist, so whatever is there must be ignored (zeros here; scribble
-	// a little garbage too, as truly old images carry arbitrary bytes).
+	// Regress the image to the old layout: the journal regions and the
+	// checkpoint arena did not exist, so whatever is there must be
+	// ignored (zeros here; scribble a little garbage too, as truly old
+	// images carry arbitrary bytes).
 	dev.Zero(journalBase, int(journalSize))
 	dev.StoreU64(journalBase+3*pmem.PageSize, 0xdeadbeefcafef00d)
 	dev.Persist(journalBase, int(journalSize))
+	dev.Zero(pmem.MetaJournal1, int(pmem.MetaJournalSize))
+	dev.StoreU64(pmem.MetaJournal1+5*pmem.PageSize, 0xfeedfacefeedface)
+	dev.Zero(pmem.MetaCkptBase, int(pmem.MetaCkptSize))
+	dev.StoreU64(pmem.MetaCkptBase+7*pmem.PageSize, 0x0123456789abcdef)
+	dev.Persist(pmem.MetaCkptBase, 4096)
 
 	d2, err := New(dev)
 	if err != nil {
@@ -111,7 +120,7 @@ func TestPersistFailureSurfaced(t *testing.T) {
 	// Jam the journal tail at capacity so the next append cannot fit.
 	d.jMu.Lock()
 	realTail := d.jTail
-	d.jTail = journalSize - entHdrSize
+	d.jTail = d.journalCap - entHdrSize
 	d.jTailApprox.Store(d.jTail)
 	d.jMu.Unlock()
 
@@ -128,7 +137,7 @@ func TestPersistFailureSurfaced(t *testing.T) {
 	}
 	// The failed request's worker ran compaction (tail was over the
 	// high-water mark), so the same request now succeeds.
-	if st.JournalBytes >= realTail+journalHighWater {
+	if st.JournalBytes >= realTail+d.journalHighWater() {
 		t.Fatalf("journal not compacted: %d bytes", st.JournalBytes)
 	}
 	rt(t, c, &proto.Request{Op: proto.OpCreatePool, Name: "doomed"})

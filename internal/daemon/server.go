@@ -246,15 +246,23 @@ func (d *Daemon) dispatch(creds Creds, req *proto.Request) *proto.Response {
 }
 
 // opRecoverNow forces a recovery pass (tests). It quiesces the daemon
-// the same way boot-time recovery has the machine to itself.
+// the same way boot-time recovery has the machine to itself, then
+// checkpoints the updated recovery counters (ckptMu before opMu, the
+// checkpoint lock order).
 func (d *Daemon) opRecoverNow() *proto.Response {
+	d.ckptMu.Lock()
 	d.opMu.Lock()
 	if d.closed.Load() {
 		d.opMu.Unlock()
+		d.ckptMu.Unlock()
 		return fail("daemon is shut down")
 	}
 	d.runRecovery()
+	if err := d.checkpointSync(false); err != nil {
+		d.logf("recovery checkpoint: %v", err)
+	}
 	d.opMu.Unlock()
+	d.ckptMu.Unlock()
 	return &proto.Response{Stats: d.Stats()}
 }
 

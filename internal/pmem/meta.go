@@ -1,0 +1,52 @@
+package pmem
+
+// Daemon metadata region geometry. The layout of the reserved meta
+// region below the global puddle space is a device property — every
+// daemon generation that opens the same image must agree on where the
+// checkpoint and journal structures live — so the constants are owned
+// here rather than by any one daemon implementation.
+//
+// The v2 layout keeps the v1 structures at their historical addresses
+// (so old images read unchanged) and adds the second journal region
+// and the chunked checkpoint arena after them:
+//
+//	1 MiB   superblock (magic + dirty flag)
+//	+4 KiB  legacy checkpoint slot A  (8 MiB, whole-state gob)  ─ v1
+//	        legacy checkpoint slot B  (8 MiB, whole-state gob)  ─ v1
+//	        metadata journal 0        (8 MiB, per-entity batches)
+//	        metadata journal 1        (8 MiB, v2: double buffer)
+//	        checkpoint arena          (64 MiB, v2: chunked chains)
+//
+// Everything fits far below the import staging area at 1 GiB.
+const (
+	// MetaBase is the start of the daemon metadata region (superblock).
+	MetaBase Addr = 1 << 20
+
+	// MetaSlotBytes is the size of one legacy whole-state snapshot slot.
+	MetaSlotBytes uint64 = 8 << 20
+	// MetaSlotA and MetaSlotB are the legacy A/B snapshot slots. v2
+	// daemons only read them (migration); new checkpoints go to the
+	// arena.
+	MetaSlotA Addr = MetaBase + PageSize
+	MetaSlotB Addr = MetaSlotA + Addr(MetaSlotBytes)
+
+	// MetaJournalSize is the size of one metadata journal region.
+	MetaJournalSize uint64 = 8 << 20
+	// MetaJournal0 is the journal region v1 images already carry;
+	// MetaJournal1 is the v2 double buffer that lets a checkpoint
+	// stream while appends continue into a fresh journal.
+	MetaJournal0 Addr = MetaSlotB + Addr(MetaSlotBytes)
+	MetaJournal1 Addr = MetaJournal0 + Addr(MetaJournalSize)
+
+	// MetaCkptBase/MetaCkptSize bound the chunked checkpoint arena.
+	// The arena holds two checkpoint chains anchored at its base and
+	// midpoint; a chain is a full checkpoint followed by incremental
+	// checkpoints, each streamed as CRC-guarded chunks. Chunks of one
+	// chain spill across the whole half (32 MiB) instead of having to
+	// fit a single fixed-size slot.
+	MetaCkptBase Addr   = MetaJournal1 + Addr(MetaJournalSize)
+	MetaCkptSize uint64 = 64 << 20
+
+	// MetaEnd is the first address past the metadata region.
+	MetaEnd Addr = MetaCkptBase + Addr(MetaCkptSize)
+)

@@ -116,6 +116,13 @@ type Stats struct {
 	PersistErrors  uint64 // metadata persists that failed (clients saw errors)
 	DispatchPanics uint64 // request handlers that panicked (recovered per request)
 	JournalBytes   uint64 // current metadata journal tail
+
+	Checkpoints      uint64 // committed metadata checkpoints (full + incremental)
+	CheckpointChunks uint64 // chunks streamed into the checkpoint arena
+	CheckpointBytes  uint64 // bytes streamed into the checkpoint arena
+	CheckpointSeq    uint64 // sequence the last committed checkpoint covers
+	CkptPauseTotalNs uint64 // cumulative exclusive quiesce time across checkpoints
+	CkptPauseMaxNs   uint64 // worst single checkpoint quiesce
 }
 
 // Response is the union of all response payloads. ID echoes the

@@ -8,7 +8,7 @@
 //	benchrunner [-scale N] <experiment>
 //
 // Experiments: table1 fig1 table3 daemon reloc crashcheck fig9 fig10
-// fig11 fig12 fig14 ycsbmt daemonmt logshard ckpt all
+// fig11 fig12 fig14 ycsbmt daemonmt logshard ckpt ycsbread all
 //
 // -scale scales operation counts relative to the paper (default 0.01;
 // 1.0 reproduces the paper's full sizes and takes correspondingly
@@ -30,6 +30,7 @@ var (
 	daemonJSON   = flag.String("daemonjson", "BENCH_3.json", "artifact path for the daemonmt scaling report")
 	logshardJSON = flag.String("logshardjson", "BENCH_4.json", "artifact path for the logshard scaling report")
 	ckptJSON     = flag.String("ckptjson", "BENCH_5.json", "artifact path for the checkpoint-pause report")
+	ycsbreadJSON = flag.String("ycsbreadjson", "BENCH_6.json", "artifact path for the read-path sweep report")
 )
 
 type experiment struct {
@@ -56,6 +57,7 @@ func main() {
 		{"daemonmt", "multi-client daemon metadata scaling (emits -daemonjson artifact)", runDaemonMT},
 		{"logshard", "sharded log-space commit + single-app recovery scaling (emits -logshardjson artifact)", runLogShard},
 		{"ckpt", "compaction pause vs registry size, legacy vs chunked checkpoints (emits -ckptjson artifact)", runCkpt},
+		{"ycsbread", "read-heavy YCSB B/C, latched vs seqlock reads (emits -ycsbreadjson artifact)", runYCSBRead},
 	}
 	want := flag.Arg(0)
 	if want == "" {

@@ -1,0 +1,177 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"puddles/internal/core"
+	"puddles/internal/daemon"
+	"puddles/internal/pmem"
+)
+
+// FanoutResult summarizes one recovery run over a cloned crash image.
+type FanoutResult struct {
+	LogsReplayed   uint64
+	EntriesApplied uint64
+}
+
+// FanoutEquivalence builds the exact situation the recovery fan-out
+// must not change: two applications (distinct credentials, so two log
+// spaces) share one writable pool, each parks `workers` mid-flight
+// transactions, and the device power-fails. Their spaces land in one
+// conflict group and replay as a serial chain — but each space's
+// shards now fan out behind a per-space barrier. The crashed image is
+// cloned (pmem Save/Restore) and recovered twice from identical
+// bytes: once under WithRecoveryWorkers(1), the strictly serial
+// reference, and once with the default parallel pool. Both runs must
+// roll every cell back and replay exactly the same logs and entries.
+func FanoutEquivalence(workers, cellsPerTx int, seed int64) error {
+	dev := pmem.NewChaos(seed)
+	d, err := daemon.New(dev)
+	if err != nil {
+		return fmt.Errorf("boot: %w", err)
+	}
+	owner := core.ConnectLocal(d)
+	if err := owner.Hello(100, 10); err != nil {
+		return err
+	}
+	pool, err := owner.CreatePool("fanout-shared", 0o666)
+	if err != nil {
+		return fmt.Errorf("pool: %w", err)
+	}
+	apps := 2
+	cells := apps * workers * cellsPerTx
+	ti, err := owner.RegisterType("chaos.fanoutcells", uint32(cells*8), nil)
+	if err != nil {
+		return err
+	}
+	root, err := pool.CreateRoot(ti.ID, uint32(cells*8))
+	if err != nil {
+		return err
+	}
+	other := core.ConnectLocal(d)
+	if err := other.Hello(200, 20); err != nil {
+		return err
+	}
+	shared, err := other.OpenPool("fanout-shared")
+	if err != nil {
+		return fmt.Errorf("open shared: %w", err)
+	}
+	if !shared.Writable {
+		return fmt.Errorf("second app did not get a writable grant")
+	}
+
+	cell := func(app, w, i int) pmem.Addr {
+		return root + pmem.Addr(((app*workers+w)*cellsPerTx+i)*8)
+	}
+	initial := func(app, w, i int) uint64 {
+		return uint64(app)*100000 + uint64(w)*1000 + uint64(i) + 7
+	}
+	for app := 0; app < apps; app++ {
+		for w := 0; w < workers; w++ {
+			for i := 0; i < cellsPerTx; i++ {
+				dev.StoreU64(cell(app, w, i), initial(app, w, i))
+			}
+		}
+	}
+	dev.Persist(root, cells*8)
+
+	// Park apps×workers transactions mid-flight — every one undo-logs
+	// and overwrites its private cells, never committing, so the crash
+	// leaves pending logs spread across both spaces' shard directories.
+	type appConn struct {
+		c *core.Client
+		p *core.Pool
+	}
+	conns := []appConn{{owner, pool}, {other, shared}}
+	var (
+		wg      sync.WaitGroup
+		ready   sync.WaitGroup
+		abandon = make(chan struct{})
+		txErrs  = make([]error, apps*workers)
+	)
+	ready.Add(apps * workers)
+	for app := 0; app < apps; app++ {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(app, w int) {
+				defer wg.Done()
+				tx := conns[app].c.Begin(conns[app].p)
+				for i := 0; i < cellsPerTx; i++ {
+					if err := tx.SetU64(cell(app, w, i), 0xfa0<<32|uint64(app*workers+w)); err != nil {
+						txErrs[app*workers+w] = err
+						break
+					}
+				}
+				ready.Done()
+				<-abandon // park; never commit or abort
+			}(app, w)
+		}
+	}
+	ready.Wait()
+	close(abandon)
+	wg.Wait()
+	for w, err := range txErrs {
+		if err != nil {
+			return fmt.Errorf("tx %d mutate: %w", w, err)
+		}
+	}
+
+	dev.CrashNow()
+	var img bytes.Buffer
+	if err := dev.Save(&img); err != nil {
+		return fmt.Errorf("saving crash image: %w", err)
+	}
+
+	// Recover the same bytes twice: serial reference vs shard fan-out.
+	recoverClone := func(opts ...daemon.Option) (FanoutResult, error) {
+		var res FanoutResult
+		rdev := pmem.New()
+		if err := rdev.Restore(bytes.NewReader(img.Bytes())); err != nil {
+			return res, fmt.Errorf("restoring crash image: %w", err)
+		}
+		rd, err := daemon.New(rdev, opts...)
+		if err != nil {
+			return res, fmt.Errorf("recovery boot: %w", err)
+		}
+		rc := core.ConnectLocal(rd)
+		defer rc.Close()
+		st, err := rc.Stats()
+		if err != nil {
+			return res, err
+		}
+		if st.Recoveries == 0 {
+			return res, fmt.Errorf("dirty image booted without recovery")
+		}
+		for app := 0; app < apps; app++ {
+			for w := 0; w < workers; w++ {
+				for i := 0; i < cellsPerTx; i++ {
+					if got := rdev.LoadU64(cell(app, w, i)); got != initial(app, w, i) {
+						return res, fmt.Errorf("app %d worker %d cell %d = %#x after recovery, want %#x",
+							app, w, i, got, initial(app, w, i))
+					}
+				}
+			}
+		}
+		res.LogsReplayed = st.LogsReplayed
+		res.EntriesApplied = st.EntriesApplied
+		return res, nil
+	}
+	serial, err := recoverClone(daemon.WithRecoveryWorkers(1))
+	if err != nil {
+		return fmt.Errorf("serial recovery: %w", err)
+	}
+	fanout, err := recoverClone()
+	if err != nil {
+		return fmt.Errorf("fanout recovery: %w", err)
+	}
+	if serial != fanout {
+		return fmt.Errorf("serial recovery %+v != fanout recovery %+v on identical images", serial, fanout)
+	}
+	if serial.LogsReplayed < uint64(apps*workers) {
+		return fmt.Errorf("equivalence vacuous: %d logs replayed, want >= %d (one per parked transaction)",
+			serial.LogsReplayed, apps*workers)
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRecoveryFanoutEquivalence(t *testing.T) {
+	for _, workers := range []int{2, 4, 6} {
+		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+			if err := FanoutEquivalence(workers, 5, int64(workers)*53+9); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

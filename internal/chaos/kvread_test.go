@@ -1,0 +1,8 @@
+package chaos
+
+import "testing"
+
+func TestKVReadPathSweep(t *testing.T) {
+	res := runSweep(t, KVReadPath(24, 3, 32), 6000, 41)
+	t.Logf("kv-read-path: %d probes, %d completed", res.Probes, res.Completed)
+}

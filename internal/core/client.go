@@ -46,8 +46,9 @@ var (
 // Puddled plus its view of the global puddle space.
 //
 // Locking: the client's hot-path state is split across dedicated
-// locks so independent transactions proceed in parallel — idxMu (an
-// RWMutex; heapAt read-locks it on every address lookup), a striped
+// locks so independent transactions proceed in parallel — a
+// copy-on-write range index (heapAt does one atomic load per address
+// lookup; mutators rebuild and swap under idxMu), a striped
 // log-space (each shard directory and its log-puddle cache behind its
 // own latch, selected by a worker-affine hint, so concurrent
 // acquireLog/releaseLog never contend), an atomic bump cursor for the
@@ -64,8 +65,13 @@ type Client struct {
 	armedOwner map[*importPud]*importState // frontier puddle -> owning session
 	hookArmed  bool
 
-	idxMu    sync.RWMutex
-	rangeIdx []heapRange // sorted index of data-puddle ranges
+	// Copy-on-write address→heap index. rangeIdx publishes an
+	// immutable, generation-stamped snapshot; lookups are one atomic
+	// load plus a binary search with zero shared-cacheline writes.
+	// idxMu serializes mutators only (puddle attach) — readers never
+	// touch it.
+	idxMu    sync.Mutex
+	rangeIdx atomic.Pointer[rangeIndex]
 
 	// Sharded transaction-log management. logSt publishes the
 	// immutable post-setup state (shard directories and their caches);
@@ -162,6 +168,30 @@ type heapRange struct {
 	r    pmem.Range
 	pool *Pool
 	heap *alloc.Heap
+}
+
+// rangeIndex is one immutable snapshot of the address→heap index,
+// sorted by range start. A snapshot is frozen at construction: the
+// ranges slice must never be mutated after publication (mutators copy
+// and swap; TestRangeIndexImmutable lints every write site). gen
+// increments with each published snapshot so observers can tell
+// whether the index changed across an operation.
+type rangeIndex struct {
+	gen    uint64
+	ranges []heapRange
+}
+
+// lookup returns the entry owning addr, if any.
+func (idx *rangeIndex) lookup(addr pmem.Addr) (*heapRange, bool) {
+	if idx == nil {
+		return nil, false
+	}
+	rs := idx.ranges
+	i := sort.Search(len(rs), func(i int) bool { return rs[i].r.Start > addr })
+	if i > 0 && rs[i-1].r.Contains(addr) {
+		return &rs[i-1], true
+	}
+	return nil, false
 }
 
 // txLog is a cached per-transaction log (the paper's per-thread log
@@ -364,26 +394,47 @@ func (p *Pool) attach(pd *puddle.Puddle) {
 	}
 }
 
+// indexHeap publishes a new index snapshot containing r: build a
+// fresh sorted copy, stamp the next generation, swap. The old
+// snapshot stays valid for readers mid-lookup.
 func (c *Client) indexHeap(r pmem.Range, p *Pool, h *alloc.Heap) {
 	c.idxMu.Lock()
 	defer c.idxMu.Unlock()
-	i := sort.Search(len(c.rangeIdx), func(i int) bool { return c.rangeIdx[i].r.Start >= r.Start })
-	c.rangeIdx = append(c.rangeIdx, heapRange{})
-	copy(c.rangeIdx[i+1:], c.rangeIdx[i:])
-	c.rangeIdx[i] = heapRange{r: r, pool: p, heap: h}
+	var (
+		prev []heapRange
+		gen  uint64 = 1
+	)
+	if old := c.rangeIdx.Load(); old != nil {
+		prev = old.ranges
+		gen = old.gen + 1
+	}
+	i := sort.Search(len(prev), func(i int) bool { return prev[i].r.Start >= r.Start })
+	next := make([]heapRange, 0, len(prev)+1)
+	next = append(next, prev[:i]...)
+	next = append(next, heapRange{r: r, pool: p, heap: h})
+	next = append(next, prev[i:]...)
+	c.rangeIdx.Store(&rangeIndex{gen: gen, ranges: next})
 }
 
 // heapAt returns the pool and heap owning addr. It is on the path of
-// every transactional free and alloc bookkeeping lookup, so it takes
-// only a read lock.
+// every transactional free and alloc bookkeeping lookup: one atomic
+// load of the published snapshot plus a binary search — no locks, no
+// shared-cacheline writes.
 func (c *Client) heapAt(addr pmem.Addr) (*Pool, *alloc.Heap, bool) {
-	c.idxMu.RLock()
-	defer c.idxMu.RUnlock()
-	i := sort.Search(len(c.rangeIdx), func(i int) bool { return c.rangeIdx[i].r.Start > addr })
-	if i > 0 && c.rangeIdx[i-1].r.Contains(addr) {
-		return c.rangeIdx[i-1].pool, c.rangeIdx[i-1].heap, true
+	if hr, ok := c.rangeIdx.Load().lookup(addr); ok {
+		return hr.pool, hr.heap, true
 	}
 	return nil, nil, false
+}
+
+// IndexGen reports the generation of the published range index (0
+// before the first heap is indexed). Tests use it to observe
+// copy-on-write republication.
+func (c *Client) IndexGen() uint64 {
+	if idx := c.rangeIdx.Load(); idx != nil {
+		return idx.gen
+	}
+	return 0
 }
 
 // Delete removes the pool from the daemon.

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"puddles/internal/pmem"
+)
+
+// TestRangeIndexConcurrentLookups races lock-free heapAt lookups
+// against pool creation (each CreatePool attaches a data puddle and
+// republishes the index). Under -race this is the proof that readers
+// need no lock: every published address must resolve, garbage
+// addresses must miss cleanly, and the generation must advance with
+// each attach.
+func TestRangeIndexConcurrentLookups(t *testing.T) {
+	_, c := newSystem(t)
+	ti, err := c.RegisterLayout("node", node{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const pools = 12
+	var (
+		addrs [pools]pmem.Addr
+		ready atomic.Int32
+		done  atomic.Bool
+		wg    sync.WaitGroup
+	)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r) + 13))
+			for !done.Load() {
+				n := int(ready.Load())
+				if n == 0 {
+					continue
+				}
+				a := addrs[rng.Intn(n)]
+				if _, _, ok := c.heapAt(a); !ok {
+					t.Errorf("heapAt(%#x) missed a published address", uint64(a))
+					return
+				}
+				// Garbage addresses must miss without crashing.
+				if _, _, ok := c.heapAt(pmem.MaxAddr - 1); ok {
+					t.Error("heapAt resolved an unmapped address")
+					return
+				}
+			}
+		}(r)
+	}
+
+	genBefore := c.IndexGen()
+	for i := 0; i < pools; i++ {
+		pool, err := c.CreatePool(fmt.Sprintf("idx%d", i), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(pool, func(tx *Tx) error {
+			a, err := tx.Alloc(ti.ID, nodeSz)
+			if err != nil {
+				return err
+			}
+			addrs[i] = a
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		ready.Store(int32(i + 1))
+	}
+	done.Store(true)
+	wg.Wait()
+	if got := c.IndexGen(); got < genBefore+pools {
+		t.Fatalf("IndexGen = %d after %d attaches (was %d): copy-on-write republication missing", got, pools, genBefore)
+	}
+}
+
+// TestRangeIndexImmutable is the read-path lint: a published
+// rangeIndex snapshot is immutable, so no code in this package may
+// (a) assign through a `.ranges` element or a rangeIndex `.gen`
+// field, (b) copy() into a `.ranges` slice, or (c) call
+// rangeIdx.Store outside indexHeap, the single constructor/publisher.
+// Mutating a snapshot in place would race every lock-free reader;
+// this test fails on the write site before the race detector has to
+// find it.
+func TestRangeIndexImmutable(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	touchesFrozen := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "ranges" {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	for _, pkg := range pkgs {
+		for name, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.AssignStmt:
+						for _, lhs := range n.Lhs {
+							if touchesFrozen(lhs) {
+								t.Errorf("%s: %s: %s assigns through a frozen rangeIndex", name, fset.Position(n.Pos()), fd.Name.Name)
+							}
+						}
+					case *ast.CallExpr:
+						if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "copy" && len(n.Args) == 2 && touchesFrozen(n.Args[0]) {
+							t.Errorf("%s: %s: %s copies into a frozen rangeIndex", name, fset.Position(n.Pos()), fd.Name.Name)
+						}
+						if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Store" {
+							if inner, ok := sel.X.(*ast.SelectorExpr); ok && inner.Sel.Name == "rangeIdx" && fd.Name.Name != "indexHeap" {
+								t.Errorf("%s: %s: %s publishes rangeIdx outside indexHeap", name, fset.Position(n.Pos()), fd.Name.Name)
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+}

@@ -135,6 +135,7 @@ type ckptPlan struct {
 	tail  uint64                // starting offset within the half
 	incs  int                   // chain increment count after this checkpoint commits
 	dirty map[dirtyKey]struct{} // swapped-out dirty set; merged back on failure
+	ctrs  counters              // counter block captured by this plan
 }
 
 func (d *Daemon) ckptHalfBase(half int) pmem.Addr {
@@ -203,6 +204,7 @@ func (d *Daemon) planCheckpoint(wantFull, allowSwitch bool) *ckptPlan {
 	} else {
 		p.recs = d.captureDirty(p.dirty)
 	}
+	p.ctrs = *d.countersVal()
 	// Switch appends to the standby journal so the retired region's
 	// tail is reclaimed once this checkpoint commits. Safe only when
 	// the standby's old entries are covered by the COMMITTED chain —
@@ -396,8 +398,9 @@ func (d *Daemon) streamCheckpoint(p *ckptPlan) error {
 	if err != nil {
 		return err
 	}
-	// Committed: the chain now covers p.seq.
+	// Committed: the chain now covers p.seq and the captured counters.
 	d.chain = chainState{half: p.half, seq: p.seq, gen: p.gen, tail: next, incs: p.incs}
+	d.chainCounters = p.ctrs
 	if p.full {
 		d.forceFull = false
 	}
@@ -596,6 +599,25 @@ func (d *Daemon) CompactNow() (time.Duration, error) {
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
 	return d.compactCycle(true)
+}
+
+// counterOnlyQuiescent reports whether a new checkpoint would add
+// nothing over the committed chain: no journal appends since its
+// commit (sequence equality), no dirty entities, and — because
+// recovery mutates counters without journaling — an unchanged counter
+// block. When it holds, a quiescent boot or shutdown can skip its
+// checkpoint entirely (zero chunks written); previously the
+// always-captured counters record forced a commit chunk even for a
+// completely idle reboot cycle. The caller holds ckptMu and either
+// opMu exclusively or is the single boot goroutine.
+func (d *Daemon) counterOnlyQuiescent() bool {
+	if d.legacyCkpt || d.chain.half < 0 || d.seq != d.chain.seq {
+		return false
+	}
+	d.dirtyMu.Lock()
+	clean := len(d.dirty) == 0
+	d.dirtyMu.Unlock()
+	return clean && *d.countersVal() == d.chainCounters
 }
 
 // checkpointSync plans and streams one checkpoint while the daemon is

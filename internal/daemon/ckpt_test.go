@@ -322,3 +322,56 @@ func TestCompactionUnderLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestQuiescentRebootWritesZeroChunks regresses the counters-only
+// checkpoint fast path: a reboot cycle in which nothing happened —
+// no journal appends, no dirty entities, no recovery — must stream
+// zero checkpoint chunks, at boot and at shutdown. Before the fast
+// path, the always-captured counters record forced a commit chunk
+// per cycle even on a completely idle daemon.
+func TestQuiescentRebootWritesZeroChunks(t *testing.T) {
+	dev := pmem.New()
+	d, err := New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.SelfConn()
+	// Real registry state, so the skip is not vacuously about an
+	// empty store.
+	rt(t, c, &proto.Request{Op: proto.OpCreatePool, Name: "idle"})
+	rt(t, c, &proto.Request{Op: proto.OpShutdown})
+	c.Close()
+
+	// Quiescent cycle: boot over the clean image, touch nothing, shut
+	// down.
+	d2, err := New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := d2.ckptChunks.Load(); n != 0 {
+		t.Fatalf("quiescent boot streamed %d checkpoint chunks, want 0", n)
+	}
+	if n := d2.ckptCount.Load(); n != 0 {
+		t.Fatalf("quiescent boot committed %d checkpoints, want 0", n)
+	}
+	d2.Shutdown()
+	if n := d2.ckptChunks.Load(); n != 0 {
+		t.Fatalf("quiescent reboot cycle streamed %d checkpoint chunks, want 0", n)
+	}
+	if n := d2.ckptCount.Load(); n != 0 {
+		t.Fatalf("quiescent reboot cycle committed %d checkpoints, want 0", n)
+	}
+
+	// The skipped checkpoints must not have lost anything: the pool is
+	// still there and the image still boots clean.
+	d3, err := New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3 := d3.SelfConn()
+	defer c3.Close()
+	rt(t, c3, &proto.Request{Op: proto.OpOpenPool, Name: "idle"})
+	if st := rt(t, c3, &proto.Request{Op: proto.OpStat}).Stats; st.Recoveries != 0 {
+		t.Fatalf("clean image recovered %d times, want 0 (quiescent shutdown left device dirty)", st.Recoveries)
+	}
+}

@@ -218,6 +218,12 @@ type Daemon struct {
 	forceFull bool
 	dirtyMu   sync.Mutex
 	dirty     map[dirtyKey]struct{}
+	// chainCounters is the counter block the committed chain covers —
+	// set when a commit lands and when a chain is composed at boot.
+	// Counters mutate without journal appends, so sequence equality
+	// alone cannot prove a checkpoint would be redundant; this can
+	// (the counters-only fast path, counterOnlyQuiescent).
+	chainCounters counters
 
 	space   *addrspace.Manager // global puddle space
 	staging *addrspace.Manager // import staging area
@@ -326,6 +332,7 @@ func (d *Daemon) boot() error {
 	magic := d.dev.LoadU64(metaBase + sbOffMag)
 	firstBoot := magic != sbMagic
 	if firstBoot {
+		d.chain = chainState{half: -1} // no committed chain yet
 		d.st = state{
 			Pools:       make(map[string]*PoolRec),
 			Puddles:     make(map[uid.UUID]*PuddleRec),
@@ -344,6 +351,9 @@ func (d *Daemon) boot() error {
 		if err := d.loadMeta(); err != nil {
 			return fmt.Errorf("daemon: restoring metadata: %w", err)
 		}
+		// The freshly composed state is exactly what the winning chain
+		// covers; journal replay and recovery mutate it from here.
+		d.chainCounters = *d.countersVal()
 		d.seq = d.st.Seq
 		if n := d.replayJournals(d.st.Seq); n > 0 {
 			d.logf("boot: applied %d journal batches on top of checkpoint %d", n, d.st.Seq)
@@ -388,6 +398,14 @@ func (d *Daemon) boot() error {
 	// still composes the previous chain + the old journals.
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
+	if d.counterOnlyQuiescent() {
+		// Quiescent reboot over a committed chain: every journal entry
+		// is already covered (seq equality), so resetting the journals
+		// below loses nothing and the full checkpoint would only
+		// re-stream state the chain already holds.
+		d.initJournals()
+		return nil
+	}
 	if err := d.checkpointSync(true); err != nil {
 		return err
 	}
@@ -410,6 +428,14 @@ func (d *Daemon) Shutdown() {
 	defer d.ckptMu.Unlock()
 	d.opMu.Lock() // quiesce in-flight requests; they complete first
 	defer d.opMu.Unlock()
+	if d.counterOnlyQuiescent() {
+		// Nothing happened since the chain's last commit — writing a
+		// checkpoint would stream zero entity records plus a redundant
+		// counters chunk. Just mark the device clean.
+		d.dev.StoreU64(metaBase+sbOffDirt, 0)
+		d.dev.Persist(metaBase+sbOffDirt, 8)
+		return
+	}
 	if err := d.checkpointSync(false); err != nil {
 		d.logf("shutdown checkpoint: %v", err)
 		return // leave the dirty flag set rather than losing the journal
@@ -625,7 +651,15 @@ func (d *Daemon) runRecovery() {
 						if downed.Load() {
 							return
 						}
-						nl, ne := d.recoverLogSpace(ls, u.shard, u.space, &downed)
+						var nl, ne uint64
+						if u.shard < 0 {
+							// Serial chain (cross-application conflict
+							// group): each space still fans its shards
+							// out, behind a per-space barrier.
+							nl, ne = d.recoverSpaceFanout(ls, &downed)
+						} else {
+							nl, ne = d.recoverLogSpace(ls, u.shard, u.space, &downed)
+						}
 						mu.Lock()
 						logs += nl
 						entries += ne
@@ -671,6 +705,64 @@ func (d *Daemon) replayUnits(groups [][]*LogSpaceRec) []replayUnit {
 		units = append(units, replayUnit{spaces: g, shard: -1})
 	}
 	return units
+}
+
+// recoverSpaceFanout replays one space of a serial conflict-group
+// chain, fanning its shard directories out over goroutines with a
+// barrier at the end. The shards of one space hold disjoint heap
+// leases (thread-local in-flight transactions — the argument that
+// already lets a lone space split into per-shard units), so they may
+// race each other; the NEXT space in the chain may share a pool with
+// this one, so it starts only after every shard goroutine joins.
+// Gated off under WithRecoveryWorkers(1): that configuration is the
+// serial-recovery reference the fan-out equivalence test compares
+// against, and must stay strictly sequential. A shard goroutine's
+// panic (an injected mid-recovery power failure, or a bug) is
+// captured, halts the siblings, and is re-raised on the unit worker
+// so the dispatcher's existing crash transport sees the same unwind
+// serial replay would produce.
+func (d *Daemon) recoverSpaceFanout(ls *LogSpaceRec, halt *atomic.Bool) (logs, entries uint64) {
+	if d.recoveryWorkers == 1 {
+		return d.recoverLogSpace(ls, -1, nil, halt)
+	}
+	space := d.openLogSpace(ls)
+	if space == nil || space.Shards() <= 1 {
+		// Unreadable (recoverLogSpace re-reports) or nothing to fan out.
+		return d.recoverLogSpace(ls, -1, space, halt)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		panicked any
+	)
+	for s := 0; s < space.Shards(); s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if halt != nil {
+						halt.Store(true)
+					}
+					mu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					mu.Unlock()
+				}
+			}()
+			nl, ne := d.recoverLogSpace(ls, s, space, halt)
+			mu.Lock()
+			logs += nl
+			entries += ne
+			mu.Unlock()
+		}(s)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return logs, entries
 }
 
 // openLogSpace opens a registered space's on-media directory (nil if

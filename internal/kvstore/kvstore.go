@@ -11,7 +11,9 @@ package kvstore
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"puddles/internal/pmem"
 	"puddles/internal/pmlib"
@@ -21,13 +23,21 @@ import (
 //
 // By default a Store is single-threaded, like PMDK's simplekv. With
 // Options.LatchStripes > 0 it carries a striped table of volatile
-// reader–writer latches over the buckets: lookups share a stripe,
-// mutations own it, so N worker goroutines can drive the same store
-// as long as their operations on one chain are serialized by its
-// latch. Latches are volatile by design — a crash discards them, and
-// recovery needs only the transaction logs.
+// stripes over the buckets, each holding a writer latch and a
+// sequence counter. Mutations own their stripe's latch and bump the
+// sequence to odd before the first chain edit and back to even after
+// the last, so the lock order with heap leases is unchanged from the
+// purely latched design. Reads are optimistic: walk the chain with no
+// latch, then validate that the stripe sequence is still the even
+// value observed before the walk; on conflict retry, and after
+// optimisticAttempts failures fall back to the stripe's read latch
+// (Options.LatchedReads forces that fallback path for every read —
+// the pre-seqlock baseline). Stripes are volatile by design — a crash
+// discards them, and recovery needs only the transaction logs;
+// readers therefore need no recovery-time coordination at all.
 type Store struct {
 	lib       pmlib.Lib
+	dev       *pmem.Device
 	valueSize uint32
 	nbuckets  uint64
 	table     pmem.Addr // address of the bucket-ref array
@@ -35,8 +45,42 @@ type Store struct {
 	offNext   uint32 // = 8
 	offValue  uint32 // = 8 + RefSize
 
-	latches []sync.RWMutex // striped per-bucket latches; nil = unlatched
+	stripes      []stripe // striped per-bucket latches+seqs; nil = unlatched
+	latchedReads bool
 }
+
+// stripe is the volatile concurrency state covering a group of
+// buckets: the writer latch, the seqlock generation, and the stripe's
+// share of the read-path counters (kept per-stripe so the hot read
+// path never writes a cacheline shared across stripes). Padded so
+// adjacent stripes do not false-share.
+type stripe struct {
+	mu  sync.RWMutex
+	seq atomic.Uint64
+
+	attempts  atomic.Uint64 // optimistic walks started
+	retries   atomic.Uint64 // validation failures + writer-wait breakouts
+	fallbacks atomic.Uint64 // reads that took the latch
+	pend      atomic.Uint64 // attempts not yet pushed to device stats
+
+	_ [64]byte
+}
+
+const (
+	// optimisticAttempts bounds how many validated walks a read tries
+	// before taking the stripe latch.
+	optimisticAttempts = 4
+	// seqSpinYields bounds how long a reader waits (yielding) for an
+	// in-progress writer to finish before burning an attempt.
+	seqSpinYields = 256
+	// maxChainHops bounds a speculative walk: a mid-edit chain can
+	// transiently contain reused refs, even cycles, and validation
+	// will discard the walk anyway.
+	maxChainHops = 1 << 16
+	// readStatsBatch is how many attempts a stripe accumulates before
+	// pushing them to the device counters.
+	readStatsBatch = 64
+)
 
 // Errors.
 var (
@@ -50,10 +94,14 @@ type Options struct {
 	// ValueSize is the fixed value width in bytes (default 100,
 	// one YCSB field).
 	ValueSize uint32
-	// LatchStripes enables concurrent use: when > 0, the store latches
-	// buckets through this many striped RWMutexes (readers share,
-	// writers exclude). 0 keeps the store unlatched (single-threaded).
+	// LatchStripes enables concurrent use: when > 0, the store stripes
+	// buckets across this many latch+seqlock stripes. 0 keeps the
+	// store unlatched (single-threaded).
 	LatchStripes int
+	// LatchedReads disables the optimistic read path: every read takes
+	// its stripe's RLock, the pre-seqlock protocol. Benchmarks use it
+	// as the latched baseline.
+	LatchedReads bool
 }
 
 // New opens (or creates) a store in lib's root object.
@@ -72,13 +120,15 @@ func New(lib pmlib.Lib, opt Options) (*Store, error) {
 	rootAddr := lib.Deref(root)
 	dev := lib.Device()
 	s := &Store{
-		lib:       lib,
-		offNext:   8,
-		offValue:  8 + rs,
-		entrySize: 8 + rs + opt.ValueSize,
+		lib:          lib,
+		dev:          dev,
+		offNext:      8,
+		offValue:     8 + rs,
+		entrySize:    8 + rs + opt.ValueSize,
+		latchedReads: opt.LatchedReads,
 	}
 	if opt.LatchStripes > 0 {
-		s.latches = make([]sync.RWMutex, opt.LatchStripes)
+		s.stripes = make([]stripe, opt.LatchStripes)
 	}
 	if n := dev.LoadU64(rootAddr); n != 0 {
 		// Existing store.
@@ -114,6 +164,26 @@ func New(lib pmlib.Lib, opt Options) (*Store, error) {
 // ValueSize returns the fixed value width.
 func (s *Store) ValueSize() uint32 { return s.valueSize }
 
+// ReadStats aggregate the read-path counters across stripes.
+type ReadStats struct {
+	Attempts  uint64 // optimistic walks started
+	Retries   uint64 // walks discarded by sequence validation
+	Fallbacks uint64 // reads that took the stripe latch
+}
+
+// ReadStats returns exact read-path counters (the device's copies lag
+// by the per-stripe batching).
+func (s *Store) ReadStats() ReadStats {
+	var r ReadStats
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		r.Attempts += st.attempts.Load()
+		r.Retries += st.retries.Load()
+		r.Fallbacks += st.fallbacks.Load()
+	}
+	return r
+}
+
 func hash64(k uint64) uint64 {
 	// SplitMix64 finalizer: cheap, well distributed.
 	k ^= k >> 30
@@ -132,88 +202,199 @@ func (s *Store) slotOf(b uint64) pmem.Addr {
 	return s.table + pmem.Addr(uint32(b)*s.lib.RefSize())
 }
 
-// latch returns the stripe latch covering bucket b, or nil when the
-// store is unlatched.
-func (s *Store) latch(b uint64) *sync.RWMutex {
-	if s.latches == nil {
+// stripe returns the stripe covering bucket b, or nil when the store
+// is unlatched.
+func (s *Store) stripe(b uint64) *stripe {
+	if len(s.stripes) == 0 {
 		return nil
 	}
-	return &s.latches[b%uint64(len(s.latches))]
+	return &s.stripes[b%uint64(len(s.stripes))]
 }
 
-// findEntryIn walks bucket b's chain for k. Callers hold b's latch.
-func (s *Store) findEntryIn(b, k uint64) pmem.Addr {
+// note records one completed read on st and batches the attempt count
+// into the device stats. Retries and fallbacks are rare, so those
+// push through immediately.
+func (s *Store) note(st *stripe, attempts, retries uint64, fellBack bool) {
+	st.attempts.Add(attempts)
+	if retries != 0 {
+		st.retries.Add(retries)
+		s.dev.NoteOptimisticRetries(retries)
+	}
+	if fellBack {
+		st.fallbacks.Add(1)
+		s.dev.NoteLatchFallbacks(1)
+	}
+	if st.pend.Add(attempts) >= readStatsBatch {
+		s.dev.NoteOptimisticReads(st.pend.Swap(0))
+	}
+}
+
+// readBucket executes walk over bucket b under the read protocol — the
+// one place the protocol lives; Get, Contains, Scan and Len all come
+// through here.
+//
+// Optimistic mode first: snapshot the stripe sequence (waiting out an
+// in-progress writer by yielding rather than burning attempts), run
+// walk with no latch, and accept the result only if the sequence is
+// unchanged — any overlapping mutation bumped it. walk therefore runs
+// speculatively (speculative=true): it may observe torn, mid-edit
+// chains and must bound its walk; its results are discarded on
+// validation failure, and it may run several times. After
+// optimisticAttempts discarded walks — or always, when the store was
+// built with LatchedReads — walk runs exactly once under the stripe's
+// read latch with speculative=false.
+func (s *Store) readBucket(b uint64, walk func(speculative bool)) {
+	st := s.stripe(b)
+	if st == nil {
+		walk(false)
+		return
+	}
+	if !s.latchedReads {
+		var attempts, retries uint64
+		for a := 0; a < optimisticAttempts; a++ {
+			s0 := st.seq.Load()
+			for spin := 0; s0&1 == 1 && spin < seqSpinYields; spin++ {
+				runtime.Gosched()
+				s0 = st.seq.Load()
+			}
+			if s0&1 == 1 {
+				// Writer stream outlasted the wait; take the latch.
+				retries++
+				break
+			}
+			attempts++
+			walk(true)
+			if st.seq.Load() == s0 {
+				s.note(st, attempts, retries, false)
+				return
+			}
+			retries++
+		}
+		defer s.note(st, attempts, retries, true)
+	}
+	st.mu.RLock()
+	walk(false)
+	st.mu.RUnlock()
+}
+
+// writeBucket runs mutate owning bucket b's stripe, with the stripe
+// sequence odd for the duration so optimistic readers discard any
+// overlapping walk. The latch is taken before mutate opens its
+// transaction, which keeps the latch → heap-lease lock order acyclic
+// (each mutation touches exactly one bucket).
+func (s *Store) writeBucket(b uint64, mutate func() error) error {
+	st := s.stripe(b)
+	if st == nil {
+		return mutate()
+	}
+	st.mu.Lock()
+	st.seq.Add(1) // odd: edit in progress
+	err := mutate()
+	st.seq.Add(1) // even again: edit complete
+	st.mu.Unlock()
+	return err
+}
+
+// walkChain visits bucket b's entries in chain order until visit
+// returns false. A speculative walk can encounter anything a mid-edit
+// chain transiently holds — refs into freed (reused) memory, refs
+// past the device, cycles — so it refuses out-of-device addresses and
+// bounds its hop count; sequence validation discards whatever such a
+// walk produced.
+func (s *Store) walkChain(b uint64, speculative bool, visit func(e pmem.Addr) bool) {
 	lib := s.lib
+	limit := pmem.MaxAddr - pmem.Addr(s.entrySize)
+	hops := 0
 	for e := lib.Deref(lib.LoadRef(s.slotOf(b))); e != 0; e = lib.Deref(lib.LoadRef(e + pmem.Addr(s.offNext))) {
-		if lib.Device().LoadU64(e) == k {
-			return e
+		if speculative {
+			if e >= limit || hops >= maxChainHops {
+				return
+			}
+			hops++
+		}
+		if !visit(e) {
+			return
 		}
 	}
-	return 0
 }
 
-// Get copies the value for k into dst (len must be ValueSize).
+// findEntry walks bucket b's chain for k. Callers either hold b's
+// latch or pass speculative=true and validate afterwards.
+func (s *Store) findEntry(b, k uint64, speculative bool) pmem.Addr {
+	dev := s.dev
+	var found pmem.Addr
+	s.walkChain(b, speculative, func(e pmem.Addr) bool {
+		if dev.LoadU64(e) == k {
+			found = e
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Get copies the value for k into dst (len must be ValueSize). On
+// ErrNotFound dst's contents are undefined (a discarded speculative
+// walk may have scribbled on it).
 func (s *Store) Get(k uint64, dst []byte) error {
 	b := s.bucket(k)
-	if l := s.latch(b); l != nil {
-		l.RLock()
-		defer l.RUnlock()
-	}
-	e := s.findEntryIn(b, k)
-	if e == 0 {
+	found := false
+	s.readBucket(b, func(speculative bool) {
+		found = false
+		if e := s.findEntry(b, k, speculative); e != 0 {
+			s.dev.Load(e+pmem.Addr(s.offValue), dst[:s.valueSize])
+			found = true
+		}
+	})
+	if !found {
 		return ErrNotFound
 	}
-	s.lib.Device().Load(e+pmem.Addr(s.offValue), dst[:s.valueSize])
 	return nil
 }
 
 // Contains reports whether k is present.
 func (s *Store) Contains(k uint64) bool {
 	b := s.bucket(k)
-	if l := s.latch(b); l != nil {
-		l.RLock()
-		defer l.RUnlock()
-	}
-	return s.findEntryIn(b, k) != 0
+	found := false
+	s.readBucket(b, func(speculative bool) {
+		found = s.findEntry(b, k, speculative) != 0
+	})
+	return found
 }
 
-// Put inserts or updates k with value v (transactional). The bucket
-// latch is held across the whole find-then-write, so concurrent Puts
-// on one chain serialize; the latch is acquired before the
-// transaction begins, which keeps the latch → heap-lease lock order
-// acyclic (each Put touches exactly one bucket).
+// Put inserts or updates k with value v (transactional). The whole
+// find-then-write runs under writeBucket, so concurrent Puts on one
+// chain serialize and concurrent optimistic reads are invalidated.
 func (s *Store) Put(k uint64, v []byte) error {
 	if uint32(len(v)) != s.valueSize {
 		return fmt.Errorf("kvstore: value size %d, store configured for %d", len(v), s.valueSize)
 	}
 	b := s.bucket(k)
-	if l := s.latch(b); l != nil {
-		l.Lock()
-		defer l.Unlock()
-	}
-	if e := s.findEntryIn(b, k); e != 0 {
+	return s.writeBucket(b, func() error {
+		if e := s.findEntry(b, k, false); e != 0 {
+			return s.lib.Run(func(tx pmlib.Tx) error {
+				return tx.Set(e+pmem.Addr(s.offValue), v)
+			})
+		}
 		return s.lib.Run(func(tx pmlib.Tx) error {
-			return tx.Set(e+pmem.Addr(s.offValue), v)
+			ref, err := tx.Alloc(s.entrySize)
+			if err != nil {
+				return err
+			}
+			ea := s.lib.Deref(ref)
+			if err := tx.SetU64(ea, k); err != nil {
+				return err
+			}
+			if err := tx.Set(ea+pmem.Addr(s.offValue), v); err != nil {
+				return err
+			}
+			slot := s.slotOf(b)
+			head := s.lib.LoadRef(slot)
+			if err := tx.SetRef(ea+pmem.Addr(s.offNext), head); err != nil {
+				return err
+			}
+			return tx.SetRef(slot, ref)
 		})
-	}
-	return s.lib.Run(func(tx pmlib.Tx) error {
-		ref, err := tx.Alloc(s.entrySize)
-		if err != nil {
-			return err
-		}
-		ea := s.lib.Deref(ref)
-		if err := tx.SetU64(ea, k); err != nil {
-			return err
-		}
-		if err := tx.Set(ea+pmem.Addr(s.offValue), v); err != nil {
-			return err
-		}
-		slot := s.slotOf(b)
-		head := s.lib.LoadRef(slot)
-		if err := tx.SetRef(ea+pmem.Addr(s.offNext), head); err != nil {
-			return err
-		}
-		return tx.SetRef(slot, ref)
 	})
 }
 
@@ -221,60 +402,63 @@ func (s *Store) Put(k uint64, v []byte) error {
 func (s *Store) Delete(k uint64) error {
 	lib := s.lib
 	b := s.bucket(k)
-	if l := s.latch(b); l != nil {
-		l.Lock()
-		defer l.Unlock()
-	}
-	slot := s.slotOf(b)
-	prev := pmem.Addr(0)
-	for ref := lib.LoadRef(slot); !ref.IsNull(); {
-		e := lib.Deref(ref)
-		next := lib.LoadRef(e + pmem.Addr(s.offNext))
-		if lib.Device().LoadU64(e) == k {
-			return lib.Run(func(tx pmlib.Tx) error {
-				at := slot
-				if prev != 0 {
-					at = prev + pmem.Addr(s.offNext)
-				}
-				if err := tx.SetRef(at, next); err != nil {
-					return err
-				}
-				return tx.Free(ref)
-			})
+	return s.writeBucket(b, func() error {
+		slot := s.slotOf(b)
+		prev := pmem.Addr(0)
+		for ref := lib.LoadRef(slot); !ref.IsNull(); {
+			e := lib.Deref(ref)
+			next := lib.LoadRef(e + pmem.Addr(s.offNext))
+			if lib.Device().LoadU64(e) == k {
+				return lib.Run(func(tx pmlib.Tx) error {
+					at := slot
+					if prev != 0 {
+						at = prev + pmem.Addr(s.offNext)
+					}
+					if err := tx.SetRef(at, next); err != nil {
+						return err
+					}
+					return tx.Free(ref)
+				})
+			}
+			prev = e
+			ref = next
 		}
-		prev = e
-		ref = next
-	}
-	return ErrNotFound
+		return ErrNotFound
+	})
 }
 
 // Scan visits up to n entries starting at k's bucket, in bucket order
 // (hash maps have no key order; this matches what a chained-hash
-// simplekv can offer YCSB workload E). Each bucket's latch is held
-// only while that bucket's chain is walked, so a scan never blocks
-// writers on other buckets. fn runs with that latch held and must not
-// call back into a latched store — a nested Put/Delete (or even Get)
-// on the same stripe would self-deadlock.
+// simplekv can offer YCSB workload E). Each bucket is read under the
+// optimistic protocol into scratch buffers and fn is invoked only
+// after the bucket's read validated and any latch was released, so —
+// unlike the earlier latched Scan — fn may freely call back into the
+// store.
 func (s *Store) Scan(k uint64, n int, fn func(key uint64, val []byte)) int {
-	lib := s.lib
-	dev := lib.Device()
-	buf := make([]byte, s.valueSize)
+	dev := s.dev
+	vs := int(s.valueSize)
 	visited := 0
 	start := s.bucket(k)
+	var keys []uint64
+	var vals []byte
 	for b := uint64(0); b < s.nbuckets && visited < n; b++ {
 		bi := (start + b) % s.nbuckets
-		l := s.latch(bi)
-		if l != nil {
-			l.RLock()
-		}
-		slot := s.slotOf(bi)
-		for e := lib.Deref(lib.LoadRef(slot)); e != 0 && visited < n; e = lib.Deref(lib.LoadRef(e + pmem.Addr(s.offNext))) {
-			dev.Load(e+pmem.Addr(s.offValue), buf)
-			fn(dev.LoadU64(e), buf)
+		s.readBucket(bi, func(speculative bool) {
+			keys, vals = keys[:0], vals[:0]
+			s.walkChain(bi, speculative, func(e pmem.Addr) bool {
+				if visited+len(keys) >= n {
+					return false
+				}
+				keys = append(keys, dev.LoadU64(e))
+				off := len(vals)
+				vals = append(vals, make([]byte, vs)...)
+				dev.Load(e+pmem.Addr(s.offValue), vals[off:])
+				return true
+			})
+		})
+		for i := range keys {
+			fn(keys[i], vals[i*vs:(i+1)*vs])
 			visited++
-		}
-		if l != nil {
-			l.RUnlock()
 		}
 	}
 	return visited
@@ -282,20 +466,17 @@ func (s *Store) Scan(k uint64, n int, fn func(key uint64, val []byte)) int {
 
 // Len counts entries (tests; O(n)).
 func (s *Store) Len() int {
-	lib := s.lib
 	n := 0
 	for b := uint64(0); b < s.nbuckets; b++ {
-		l := s.latch(b)
-		if l != nil {
-			l.RLock()
-		}
-		slot := s.slotOf(b)
-		for e := lib.Deref(lib.LoadRef(slot)); e != 0; e = lib.Deref(lib.LoadRef(e + pmem.Addr(s.offNext))) {
-			n++
-		}
-		if l != nil {
-			l.RUnlock()
-		}
+		cnt := 0
+		s.readBucket(b, func(speculative bool) {
+			cnt = 0
+			s.walkChain(b, speculative, func(pmem.Addr) bool {
+				cnt++
+				return true
+			})
+		})
+		n += cnt
 	}
 	return n
 }

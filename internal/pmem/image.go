@@ -31,7 +31,10 @@ func (d *Device) Save(w io.Writer) error {
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
 	}
-	var zero chunk
+	// Chunks are word arrays accessed atomically; snapshot each into a
+	// byte buffer so the on-disk format (and its CRCs) stays the plain
+	// byte image older tools understand.
+	buf := make([]byte, ChunkSize)
 	for i1 := 0; i1 < l1Size; i1++ {
 		t := d.l1[i1].Load()
 		if t == nil {
@@ -39,17 +42,28 @@ func (d *Device) Save(w io.Writer) error {
 		}
 		for i2 := 0; i2 < l2Size; i2++ {
 			c := t[i2].Load()
-			if c == nil || *c == zero {
+			if c == nil {
+				continue
+			}
+			c.loadBytes(0, buf)
+			zero := true
+			for _, b := range buf {
+				if b != 0 {
+					zero = false
+					break
+				}
+			}
+			if zero {
 				continue
 			}
 			base := (uint64(i1)<<l2Bits + uint64(i2)) << chunkBits
 			var rec [16]byte
 			binary.LittleEndian.PutUint64(rec[0:], base)
-			binary.LittleEndian.PutUint64(rec[8:], crc64.Checksum(c[:], crcTable))
+			binary.LittleEndian.PutUint64(rec[8:], crc64.Checksum(buf, crcTable))
 			if _, err := bw.Write(rec[:]); err != nil {
 				return err
 			}
-			if _, err := bw.Write(c[:]); err != nil {
+			if _, err := bw.Write(buf); err != nil {
 				return err
 			}
 		}

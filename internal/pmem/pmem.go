@@ -94,7 +94,75 @@ type line struct {
 	state lineState
 }
 
-type chunk [ChunkSize]byte
+// A chunk stores its bytes as little-endian words and every fast-mode
+// access goes through sync/atomic on those words. That makes the
+// device safe for the optimistic (seqlock) read path: readers may
+// race writers on the same addresses and observe torn multi-word
+// values — which sequence validation discards — but no individual
+// word access is ever a data race, so `-race` stays meaningful for
+// the layers above. Sub-word stores merge via CAS so two writers
+// touching different bytes of a shared word never lose an update.
+const chunkWords = ChunkSize / 8
+
+type chunk [chunkWords]uint64
+
+// loadBytes copies len(buf) bytes at chunk offset off into buf using
+// atomic word loads. Individual words are consistent; the buffer as a
+// whole may be torn relative to a concurrent multi-word store.
+func (c *chunk) loadBytes(off int, buf []byte) {
+	i := 0
+	if r := off & 7; r != 0 {
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], atomic.LoadUint64(&c[off>>3]))
+		n := copy(buf, tmp[r:])
+		i, off = n, off+n
+	}
+	for len(buf)-i >= 8 {
+		binary.LittleEndian.PutUint64(buf[i:i+8], atomic.LoadUint64(&c[off>>3]))
+		i, off = i+8, off+8
+	}
+	if i < len(buf) {
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], atomic.LoadUint64(&c[off>>3]))
+		copy(buf[i:], tmp[:])
+	}
+}
+
+// storeBytes copies data to chunk offset off. Whole aligned words are
+// plain atomic stores; partial head/tail words merge through rmw.
+func (c *chunk) storeBytes(off int, data []byte) {
+	i := 0
+	if r := off & 7; r != 0 {
+		n := 8 - r
+		if n > len(data) {
+			n = len(data)
+		}
+		c.rmw(off>>3, r, data[:n])
+		i, off = n, off+n
+	}
+	for len(data)-i >= 8 {
+		atomic.StoreUint64(&c[off>>3], binary.LittleEndian.Uint64(data[i:i+8]))
+		i, off = i+8, off+8
+	}
+	if i < len(data) {
+		c.rmw(off>>3, 0, data[i:])
+	}
+}
+
+// rmw merges part into bytes [r, r+len(part)) of word w with a CAS
+// loop, preserving concurrent writes to the word's other bytes.
+func (c *chunk) rmw(w, r int, part []byte) {
+	for {
+		old := atomic.LoadUint64(&c[w])
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], old)
+		copy(tmp[r:], part)
+		nw := binary.LittleEndian.Uint64(tmp[:])
+		if old == nw || atomic.CompareAndSwapUint64(&c[w], old, nw) {
+			return
+		}
+	}
+}
 
 type l2table [l2Size]atomic.Pointer[chunk]
 
@@ -135,6 +203,13 @@ type Stats struct {
 	// workload sharing the device can observe free-order contention.
 	LeaseConflicts uint64
 	LeaseRetries   uint64
+
+	// Optimistic read-path counters, maintained by seqlock readers
+	// (kvstore): validated read attempts, sequence-validation retries,
+	// and reads that exhausted their attempts and took the latch.
+	OptimisticReads   uint64
+	OptimisticRetries uint64
+	LatchFallbacks    uint64
 }
 
 // crashSignal is the panic payload raised when a crash point fires.
@@ -177,6 +252,9 @@ type Device struct {
 	coalesced  atomic.Uint64
 	leaseConf  atomic.Uint64
 	leaseRetry atomic.Uint64
+	optReads   atomic.Uint64
+	optRetries atomic.Uint64
+	latchFalls atomic.Uint64
 
 	fenceDelay atomic.Int64 // ns each Fence blocks; 0 = free (default)
 }
@@ -202,15 +280,31 @@ func (d *Device) Mode() Mode { return d.mode }
 // Stats returns a snapshot of the device counters.
 func (d *Device) Stats() Stats {
 	return Stats{
-		Flushes:          d.flushes.Load(),
-		Fences:           d.fences.Load(),
-		Crashes:          d.crashes.Load(),
-		FlushRequests:    d.flushReqs.Load(),
-		CoalescedFlushes: d.coalesced.Load(),
-		LeaseConflicts:   d.leaseConf.Load(),
-		LeaseRetries:     d.leaseRetry.Load(),
+		Flushes:           d.flushes.Load(),
+		Fences:            d.fences.Load(),
+		Crashes:           d.crashes.Load(),
+		FlushRequests:     d.flushReqs.Load(),
+		CoalescedFlushes:  d.coalesced.Load(),
+		LeaseConflicts:    d.leaseConf.Load(),
+		LeaseRetries:      d.leaseRetry.Load(),
+		OptimisticReads:   d.optReads.Load(),
+		OptimisticRetries: d.optRetries.Load(),
+		LatchFallbacks:    d.latchFalls.Load(),
 	}
 }
+
+// NoteOptimisticReads records n validated (seqlock) read attempts.
+// Readers batch this to keep the hot path free of shared-cacheline
+// writes.
+func (d *Device) NoteOptimisticReads(n uint64) { d.optReads.Add(n) }
+
+// NoteOptimisticRetries records n sequence-validation failures that
+// forced a reread.
+func (d *Device) NoteOptimisticRetries(n uint64) { d.optRetries.Add(n) }
+
+// NoteLatchFallbacks records n reads that exhausted their optimistic
+// attempts and fell back to the stripe latch.
+func (d *Device) NoteLatchFallbacks(n uint64) { d.latchFalls.Add(n) }
 
 // NoteLeaseConflict records one wait-die victim (a transaction that
 // died on a heap-lease conflict and must retry).
@@ -395,7 +489,7 @@ func (d *Device) loadDurable(addr Addr, buf []byte) {
 			n = len(buf)
 		}
 		if c := d.chunkFor(addr, false); c != nil {
-			copy(buf[:n], c[off:off+n])
+			c.loadBytes(off, buf[:n])
 		} else {
 			for i := 0; i < n; i++ {
 				buf[i] = 0
@@ -453,7 +547,7 @@ func (d *Device) storeDurable(addr Addr, data []byte) {
 			n = len(data)
 		}
 		c := d.chunkFor(addr, true)
-		copy(c[off:off+n], data[:n])
+		c.storeBytes(off, data[:n])
 		addr += Addr(n)
 		data = data[n:]
 	}
@@ -610,15 +704,22 @@ func (d *Device) VolatileLines() int {
 	return len(d.overlay)
 }
 
-// LoadU64 reads a little-endian uint64 at addr.
+// LoadU64 reads a little-endian uint64 at addr. An aligned fast-mode
+// load is a single atomic word load.
 func (d *Device) LoadU64(addr Addr) uint64 {
 	if d.mode == Fast && !d.hookArmed.Load() {
 		off := int(addr & chunkMask)
 		if off+8 <= ChunkSize {
-			if c := d.chunkFor(addr, false); c != nil {
-				return binary.LittleEndian.Uint64(c[off:])
+			c := d.chunkFor(addr, false)
+			if c == nil {
+				return 0
 			}
-			return 0
+			if off&7 == 0 {
+				return atomic.LoadUint64(&c[off>>3])
+			}
+			var b [8]byte
+			c.loadBytes(off, b[:])
+			return binary.LittleEndian.Uint64(b[:])
 		}
 	}
 	var b [8]byte
@@ -626,12 +727,20 @@ func (d *Device) LoadU64(addr Addr) uint64 {
 	return binary.LittleEndian.Uint64(b[:])
 }
 
-// StoreU64 writes a little-endian uint64 at addr.
+// StoreU64 writes a little-endian uint64 at addr. An aligned
+// fast-mode store is a single atomic word store.
 func (d *Device) StoreU64(addr Addr, v uint64) {
 	if d.mode == Fast && !d.hookArmed.Load() {
 		off := int(addr & chunkMask)
 		if off+8 <= ChunkSize {
-			binary.LittleEndian.PutUint64(d.chunkFor(addr, true)[off:], v)
+			c := d.chunkFor(addr, true)
+			if off&7 == 0 {
+				atomic.StoreUint64(&c[off>>3], v)
+				return
+			}
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], v)
+			c.storeBytes(off, b[:])
 			return
 		}
 	}
@@ -645,10 +754,16 @@ func (d *Device) LoadU32(addr Addr) uint32 {
 	if d.mode == Fast && !d.hookArmed.Load() {
 		off := int(addr & chunkMask)
 		if off+4 <= ChunkSize {
-			if c := d.chunkFor(addr, false); c != nil {
-				return binary.LittleEndian.Uint32(c[off:])
+			c := d.chunkFor(addr, false)
+			if c == nil {
+				return 0
 			}
-			return 0
+			if r := off & 7; r <= 4 {
+				return uint32(atomic.LoadUint64(&c[off>>3]) >> (8 * r))
+			}
+			var b [4]byte
+			c.loadBytes(off, b[:])
+			return binary.LittleEndian.Uint32(b[:])
 		}
 	}
 	var b [4]byte
@@ -661,7 +776,9 @@ func (d *Device) StoreU32(addr Addr, v uint32) {
 	if d.mode == Fast && !d.hookArmed.Load() {
 		off := int(addr & chunkMask)
 		if off+4 <= ChunkSize {
-			binary.LittleEndian.PutUint32(d.chunkFor(addr, true)[off:], v)
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], v)
+			d.chunkFor(addr, true).storeBytes(off, b[:])
 			return
 		}
 	}

@@ -1,0 +1,84 @@
+package ycsb
+
+import "fmt"
+
+// ReadSweepPoint is one cell of a read-heavy sweep: a workload at one
+// worker count, on one read-path configuration.
+type ReadSweepPoint struct {
+	Workload string
+	Workers  int
+	Result   ConcurrentResult
+}
+
+// ReadSweepOptions configure RunReadSweep.
+type ReadSweepOptions struct {
+	// Workloads names the read-heavy mixes to run (default B and C).
+	Workloads []string
+	// Workers is the sweep of worker counts (default 1,2,4,8,16).
+	Workers []int
+	// Records is the load-phase key count (default 8192).
+	Records uint64
+	// OpsPerWorkerAt1 is the single-worker op count; each worker count
+	// divides it so total work stays constant across the sweep.
+	OpsPerWorkerAt1 int
+	// ValueSize is the store's fixed value width (default 100).
+	ValueSize int
+	// Seed derives per-worker generator seeds.
+	Seed int64
+}
+
+func (o *ReadSweepOptions) fill() {
+	if len(o.Workloads) == 0 {
+		o.Workloads = []string{"B", "C"}
+	}
+	if len(o.Workers) == 0 {
+		o.Workers = []int{1, 2, 4, 8, 16}
+	}
+	if o.Records == 0 {
+		o.Records = 8192
+	}
+	if o.OpsPerWorkerAt1 <= 0 {
+		o.OpsPerWorkerAt1 = 100000
+	}
+	if o.ValueSize <= 0 {
+		o.ValueSize = 100
+	}
+}
+
+// RunReadSweep drives the read-heavy workload sweep of the seqlock
+// read path's evaluation: for every (workload, workers) cell it asks
+// newKV for a freshly loaded store — the factory owns store
+// construction and load-phase population, keeping this package free of
+// store dependencies — runs the mix, and releases the store. The
+// factory's cleanup may be nil. Callers run the sweep twice, once with
+// latched reads and once optimistic, and compare scaling.
+func RunReadSweep(newKV func() (KV, func(), error), opt ReadSweepOptions) ([]ReadSweepPoint, error) {
+	opt.fill()
+	var points []ReadSweepPoint
+	for _, wname := range opt.Workloads {
+		w, err := WorkloadByName(wname)
+		if err != nil {
+			return points, err
+		}
+		for _, workers := range opt.Workers {
+			kv, done, err := newKV()
+			if err != nil {
+				return points, fmt.Errorf("ycsb: building store for %s/%d: %w", wname, workers, err)
+			}
+			res, err := RunConcurrent(kv, w, opt.Records, ConcurrentOptions{
+				Workers:      workers,
+				OpsPerWorker: opt.OpsPerWorkerAt1 / workers,
+				ValueSize:    opt.ValueSize,
+				Seed:         opt.Seed,
+			})
+			if done != nil {
+				done()
+			}
+			if err != nil {
+				return points, err
+			}
+			points = append(points, ReadSweepPoint{Workload: wname, Workers: workers, Result: res})
+		}
+	}
+	return points, nil
+}

@@ -1,0 +1,88 @@
+package ycsb
+
+import (
+	"sync"
+	"testing"
+)
+
+// mapKV is a minimal concurrency-safe KV for driver tests.
+type mapKV struct {
+	mu sync.RWMutex
+	m  map[uint64][]byte
+}
+
+func newMapKV(records uint64, valueSize int) *mapKV {
+	kv := &mapKV{m: make(map[uint64][]byte, records)}
+	v := make([]byte, valueSize)
+	for _, k := range LoadKeys(records) {
+		kv.m[k] = v
+	}
+	return kv
+}
+
+func (kv *mapKV) Get(k uint64, dst []byte) error {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	if v, ok := kv.m[k]; ok {
+		copy(dst, v)
+	}
+	return nil
+}
+
+func (kv *mapKV) Put(k uint64, v []byte) error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	kv.m[k] = append([]byte(nil), v...)
+	return nil
+}
+
+func (kv *mapKV) Scan(k uint64, n int, fn func(uint64, []byte)) int {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	found := 0
+	for i := 0; i < n; i++ {
+		if v, ok := kv.m[k+uint64(i)]; ok {
+			fn(k+uint64(i), v)
+			found++
+		}
+	}
+	return found
+}
+
+func TestRunReadSweepCells(t *testing.T) {
+	const records = 256
+	builds := 0
+	cleanups := 0
+	points, err := RunReadSweep(func() (KV, func(), error) {
+		builds++
+		return newMapKV(records, 16), func() { cleanups++ }, nil
+	}, ReadSweepOptions{
+		Workloads:       []string{"B", "C"},
+		Workers:         []int{1, 2, 4},
+		Records:         records,
+		OpsPerWorkerAt1: 400,
+		ValueSize:       16,
+		Seed:            7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("got %d points, want 6 (2 workloads x 3 worker counts)", len(points))
+	}
+	if builds != 6 || cleanups != 6 {
+		t.Fatalf("factory built %d stores and cleaned %d, want 6/6 (fresh store per cell)", builds, cleanups)
+	}
+	for _, p := range points {
+		want := uint64(400 / p.Workers * p.Workers)
+		if p.Result.Ops != want {
+			t.Errorf("%s/%d: ops = %d, want %d", p.Workload, p.Workers, p.Result.Ops, want)
+		}
+		if p.Workload == "C" && (p.Result.Updates != 0 || p.Result.Inserts != 0) {
+			t.Errorf("C/%d: read-only workload issued %d updates %d inserts", p.Workers, p.Result.Updates, p.Result.Inserts)
+		}
+		if p.Workload == "B" && p.Result.Reads < p.Result.Ops*9/10 {
+			t.Errorf("B/%d: only %d/%d reads for a 95%% read mix", p.Workers, p.Result.Reads, p.Result.Ops)
+		}
+	}
+}

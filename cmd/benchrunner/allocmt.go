@@ -1,0 +1,325 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"puddles/internal/baselines/puddleslib"
+	"puddles/internal/core"
+	"puddles/internal/kvstore"
+	"puddles/internal/pmem"
+	"puddles/internal/ycsb"
+)
+
+// allocmt: allocator scale-out under worker caches. Part 1 is an
+// alloc/free churn — every round each worker allocates a batch and
+// frees the batch it allocated last round, except every fourth round
+// it frees its *neighbour's* previous batch (a rotation, so no batch
+// is freed twice), mixing foreign frees into a mostly-local stream —
+// run with the worker caches on and off (SetAllocCache ablation).
+// Part 2 runs 32/64-worker YCSB A (the paper's update-heavy mix) and
+// D (5% inserts, which allocate) with caches toggled and reports the
+// steady-state lease-conflict rate, which the per-worker caches are
+// supposed to hold near zero. Results land in -allocmtjson (default
+// BENCH_7.json).
+
+type allocmtChurnPoint struct {
+	Workers         int     `json:"workers"`
+	Cached          bool    `json:"cached"`
+	Ops             uint64  `json:"ops"`
+	Seconds         float64 `json:"seconds"`
+	OpsPerSec       float64 `json:"ops_per_sec"`
+	SpeedupVsShared float64 `json:"speedup_vs_shared"`
+	LeaseConflicts  uint64  `json:"lease_conflicts"`
+	SteadyConflicts uint64  `json:"steady_state_conflicts"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	Refills         uint64  `json:"cache_refills"`
+	Donations       uint64  `json:"slab_donations"`
+}
+
+type allocmtYCSBPoint struct {
+	Workload       string  `json:"workload"`
+	Workers        int     `json:"workers"`
+	Cached         bool    `json:"cached"`
+	Ops            uint64  `json:"ops"`
+	Seconds        float64 `json:"seconds"`
+	OpsPerSec      float64 `json:"ops_per_sec"`
+	LeaseConflicts uint64  `json:"lease_conflicts"`
+	ConflictsPerOp float64 `json:"lease_conflicts_per_op"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+}
+
+type allocmtReport struct {
+	Benchmark    string              `json:"benchmark"`
+	Scale        float64             `json:"scale"`
+	ObjectSize   int                 `json:"object_size"`
+	BatchSize    int                 `json:"batch_size"`
+	FenceLatency string              `json:"fence_latency"`
+	Churn        []allocmtChurnPoint `json:"churn"`
+	YCSB         []allocmtYCSBPoint  `json:"ycsb"`
+}
+
+func runAllocMT() error {
+	const (
+		objSize      = 48 // size class 64: 63 objects per slab
+		batch        = 8
+		fenceLatency = 6 * time.Microsecond
+	)
+	rounds := scaled(4000)
+	if rounds < 4 {
+		rounds = 4
+	}
+	report := allocmtReport{
+		Benchmark:    "alloc_cache_scaling",
+		Scale:        *scale,
+		ObjectSize:   objSize,
+		BatchSize:    batch,
+		FenceLatency: fenceLatency.String(),
+	}
+
+	header := []string{"workers", "mode", "ops", "time", "ops/s", "vs shared", "conflicts", "steady", "hit rate"}
+	var rows [][]string
+	for _, workers := range []int{1, 4, 8, 16, 32, 64} {
+		var sharedOps float64
+		for _, cached := range []bool{false, true} {
+			// Best of three: cells are short enough that scheduler and
+			// GC noise on a shared box swamps single-shot numbers.
+			var pt allocmtChurnPoint
+			for rep := 0; rep < 3; rep++ {
+				p, err := allocChurnCell(workers, cached, rounds, batch, objSize, fenceLatency)
+				if err != nil {
+					return err
+				}
+				if rep == 0 || p.OpsPerSec > pt.OpsPerSec {
+					pt = p
+				}
+			}
+			if !cached {
+				sharedOps = pt.OpsPerSec
+			} else if sharedOps > 0 {
+				pt.SpeedupVsShared = pt.OpsPerSec / sharedOps
+			}
+			report.Churn = append(report.Churn, pt)
+			mode := "shared"
+			if cached {
+				mode = "cached"
+			}
+			rows = append(rows, []string{
+				fmt.Sprint(workers), mode, fmt.Sprint(pt.Ops),
+				time.Duration(pt.Seconds * float64(time.Second)).Round(time.Millisecond).String(),
+				fmt.Sprintf("%.0f", pt.OpsPerSec),
+				fmt.Sprintf("%.2fx", pt.SpeedupVsShared),
+				fmt.Sprint(pt.LeaseConflicts), fmt.Sprint(pt.SteadyConflicts),
+				fmt.Sprintf("%.1f%%", 100*pt.CacheHitRate),
+			})
+		}
+	}
+	table(header, rows)
+
+	// A's updates overwrite in place, so its steady state proves the
+	// conflict criterion with no allocator traffic at all; D's 5%
+	// inserts keep the worker caches in the hot path at 32/64 workers.
+	ycsbHeader := []string{"wl", "workers", "mode", "ops", "time", "ops/s", "conflicts", "per op", "hit rate"}
+	var ycsbRows [][]string
+	for _, cell := range []struct {
+		workload string
+		workers  int
+		cached   bool
+	}{{"A", 32, false}, {"A", 32, true}, {"A", 64, true}, {"D", 32, true}, {"D", 64, true}} {
+		var pt allocmtYCSBPoint
+		for rep := 0; rep < 2; rep++ {
+			p, err := allocYCSBCell(cell.workload, cell.workers, cell.cached, fenceLatency)
+			if err != nil {
+				return err
+			}
+			if rep == 0 || p.OpsPerSec > pt.OpsPerSec {
+				pt = p
+			}
+		}
+		report.YCSB = append(report.YCSB, pt)
+		mode := "shared"
+		if cell.cached {
+			mode = "cached"
+		}
+		ycsbRows = append(ycsbRows, []string{
+			pt.Workload, fmt.Sprint(pt.Workers), mode, fmt.Sprint(pt.Ops),
+			time.Duration(pt.Seconds * float64(time.Second)).Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", pt.OpsPerSec),
+			fmt.Sprint(pt.LeaseConflicts), fmt.Sprintf("%.2e", pt.ConflictsPerOp),
+			fmt.Sprintf("%.1f%%", 100*pt.CacheHitRate),
+		})
+	}
+	fmt.Println("YCSB:")
+	table(ycsbHeader, ycsbRows)
+
+	blob, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*allocmtJSON, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *allocmtJSON)
+	return nil
+}
+
+// allocChurnCell runs one (workers, mode) churn cell. Steady-state
+// conflicts are counted over the second half of the rounds, after the
+// caches have warmed and per-worker slabs converged.
+func allocChurnCell(workers int, cached bool, rounds, batch, objSize int, fence time.Duration) (allocmtChurnPoint, error) {
+	pt := allocmtChurnPoint{Workers: workers, Cached: cached}
+	lib, err := puddleslib.New()
+	if err != nil {
+		return pt, err
+	}
+	defer lib.Close()
+	c, pool := lib.Client(), lib.Pool()
+	if !cached {
+		c.SetAllocCache(false)
+	}
+	ti, err := c.RegisterType("bench.allocnode", uint32(objSize), nil)
+	if err != nil {
+		return pt, err
+	}
+	dev := lib.Device()
+	dev.SetFenceLatency(fence)
+
+	prev := make([][]pmem.Addr, workers)
+	statsBefore := dev.Stats()
+	var steadyBase uint64
+	var ops atomic.Uint64
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		if r == rounds/2 {
+			steadyBase = dev.Stats().LeaseConflicts
+		}
+		cur := make([][]pmem.Addr, workers)
+		errs := make(chan error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				// Mostly frees its own previous batch; every fourth
+				// round frees the neighbour's, so foreign frees land in
+				// someone else's parked slab.
+				victim := w
+				if r%4 == 3 {
+					victim = (w + 1) % workers
+				}
+				victims := prev[victim]
+				var mine []pmem.Addr
+				err := c.Run(pool, func(tx *core.Tx) error {
+					// Frees first: the free-target lease is acquired
+					// before the transaction is entangled, so it waits
+					// out contention instead of dying wait-die young.
+					for _, a := range victims {
+						if err := tx.Free(a); err != nil {
+							return err
+						}
+					}
+					mine = mine[:0]
+					for i := 0; i < batch; i++ {
+						a, err := tx.Alloc(ti.ID, uint32(objSize))
+						if err != nil {
+							return err
+						}
+						if err := tx.SetU64(a, uint64(a)); err != nil {
+							return err
+						}
+						mine = append(mine, a)
+					}
+					return nil
+				})
+				if err == nil {
+					ops.Add(uint64(batch + len(victims)))
+					cur[w] = mine
+				}
+				errs <- err
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				return pt, err
+			}
+		}
+		prev = cur
+	}
+	elapsed := time.Since(start)
+	statsAfter := dev.Stats()
+
+	pt.Ops = ops.Load()
+	pt.Seconds = elapsed.Seconds()
+	if pt.Seconds > 0 {
+		pt.OpsPerSec = float64(pt.Ops) / pt.Seconds
+	}
+	pt.LeaseConflicts = statsAfter.LeaseConflicts - statsBefore.LeaseConflicts
+	pt.SteadyConflicts = statsAfter.LeaseConflicts - steadyBase
+	pt.Refills = statsAfter.CacheRefills - statsBefore.CacheRefills
+	pt.Donations = statsAfter.SlabDonations - statsBefore.SlabDonations
+	if tot := statsAfter.CacheHits - statsBefore.CacheHits + statsAfter.CacheMisses - statsBefore.CacheMisses +
+		statsAfter.CacheRefills - statsBefore.CacheRefills; tot > 0 {
+		pt.CacheHitRate = float64(statsAfter.CacheHits-statsBefore.CacheHits) / float64(tot)
+	}
+	return pt, nil
+}
+
+// allocYCSBCell reruns the ycsbmt YCSB A cell at high worker counts
+// with the allocator cache toggled, reporting lease conflicts per op.
+func allocYCSBCell(workload string, workers int, cached bool, fence time.Duration) (allocmtYCSBPoint, error) {
+	const records = 8192
+	pt := allocmtYCSBPoint{Workload: workload, Workers: workers, Cached: cached}
+	w, err := ycsb.WorkloadByName(workload)
+	if err != nil {
+		return pt, err
+	}
+	lib, err := puddleslib.New()
+	if err != nil {
+		return pt, err
+	}
+	defer lib.Close()
+	if !cached {
+		lib.Client().SetAllocCache(false)
+	}
+	s, err := kvstore.New(lib, kvstore.Options{Buckets: 1 << 13, ValueSize: 100, LatchStripes: 512})
+	if err != nil {
+		return pt, err
+	}
+	value := make([]byte, 100)
+	for _, k := range ycsb.LoadKeys(records) {
+		if err := s.Put(k, value); err != nil {
+			return pt, err
+		}
+	}
+	dev := lib.Device()
+	dev.SetFenceLatency(fence)
+	statsBefore := dev.Stats()
+	res, err := ycsb.RunConcurrent(s, w, records, ycsb.ConcurrentOptions{
+		Workers:      workers,
+		OpsPerWorker: scaled(200000) / workers,
+		ValueSize:    100,
+		Seed:         42,
+	})
+	if err != nil {
+		return pt, err
+	}
+	statsAfter := dev.Stats()
+	pt.Ops = res.Ops
+	pt.Seconds = res.Duration.Seconds()
+	pt.OpsPerSec = res.OpsPerSec()
+	pt.LeaseConflicts = statsAfter.LeaseConflicts - statsBefore.LeaseConflicts
+	if res.Ops > 0 {
+		pt.ConflictsPerOp = float64(pt.LeaseConflicts) / float64(res.Ops)
+	}
+	if tot := statsAfter.CacheHits - statsBefore.CacheHits + statsAfter.CacheMisses - statsBefore.CacheMisses +
+		statsAfter.CacheRefills - statsBefore.CacheRefills; tot > 0 {
+		pt.CacheHitRate = float64(statsAfter.CacheHits-statsBefore.CacheHits) / float64(tot)
+	}
+	return pt, nil
+}

@@ -8,7 +8,7 @@
 //	benchrunner [-scale N] <experiment>
 //
 // Experiments: table1 fig1 table3 daemon reloc crashcheck fig9 fig10
-// fig11 fig12 fig14 ycsbmt daemonmt logshard ckpt ycsbread all
+// fig11 fig12 fig14 ycsbmt daemonmt logshard ckpt ycsbread allocmt all
 //
 // -scale scales operation counts relative to the paper (default 0.01;
 // 1.0 reproduces the paper's full sizes and takes correspondingly
@@ -31,6 +31,7 @@ var (
 	logshardJSON = flag.String("logshardjson", "BENCH_4.json", "artifact path for the logshard scaling report")
 	ckptJSON     = flag.String("ckptjson", "BENCH_5.json", "artifact path for the checkpoint-pause report")
 	ycsbreadJSON = flag.String("ycsbreadjson", "BENCH_6.json", "artifact path for the read-path sweep report")
+	allocmtJSON  = flag.String("allocmtjson", "BENCH_7.json", "artifact path for the allocator cache scaling report")
 )
 
 type experiment struct {
@@ -58,6 +59,7 @@ func main() {
 		{"logshard", "sharded log-space commit + single-app recovery scaling (emits -logshardjson artifact)", runLogShard},
 		{"ckpt", "compaction pause vs registry size, legacy vs chunked checkpoints (emits -ckptjson artifact)", runCkpt},
 		{"ycsbread", "read-heavy YCSB B/C, latched vs seqlock reads (emits -ycsbreadjson artifact)", runYCSBRead},
+		{"allocmt", "alloc/free cache scaling + 32/64-worker YCSB A (emits -allocmtjson artifact)", runAllocMT},
 	}
 	want := flag.Arg(0)
 	if want == "" {

@@ -75,6 +75,14 @@ func main() {
 			avg = s.CkptPauseTotalNs / s.Checkpoints
 		}
 		fmt.Printf("ckpt pause       avg %dns, max %dns\n", avg, s.CkptPauseMaxNs)
+		hitRate := 0.0
+		if ops := s.CacheHits + s.CacheMisses + s.CacheRefills; ops > 0 {
+			hitRate = 100 * float64(s.CacheHits) / float64(ops)
+		}
+		fmt.Printf("alloc cache      %d hits (%.1f%%), %d misses, %d refills\n",
+			s.CacheHits, hitRate, s.CacheMisses, s.CacheRefills)
+		fmt.Printf("slab donations   %d (reclaimed after crash: %d)\n",
+			s.SlabDonations, s.ReclaimedSlabs)
 	case "pools":
 		resp := must(c, &proto.Request{Op: proto.OpListPools})
 		for _, n := range resp.Names {

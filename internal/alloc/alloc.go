@@ -18,6 +18,7 @@ package alloc
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -68,6 +69,7 @@ const (
 	bmStart  = 0x10
 	bmAlloc  = 0x20
 	bmSlab   = 0x40
+	bmCached = 0x80 // slab parked in a worker's allocation cache
 	bmOrder  = 0x0f
 	maxOrder = 15 // 1 KiB << 15 = 32 MiB, far above any puddle heap here
 
@@ -104,12 +106,20 @@ func classFor(size uint32) (uint32, bool) {
 	return 0, false
 }
 
+// ClassFor returns the slab size class serving size-byte allocations,
+// or false when the size is served by the buddy path instead.
+func ClassFor(size uint32) (uint32, bool) { return classFor(size) }
+
 // Errors.
 var (
 	ErrNoSpace  = errors.New("alloc: puddle heap has no room for this allocation")
 	ErrTooLarge = errors.New("alloc: allocation exceeds puddle heap capacity")
 	ErrBadFree  = errors.New("alloc: free of an address that is not an allocated object")
 	ErrBadSize  = errors.New("alloc: allocation size must be positive")
+	// ErrParked marks an operation on a block owned by a worker's
+	// allocation cache: the caller must go through the owning
+	// CacheEntry (see ParkedAt) instead of the shared heap path.
+	ErrParked = errors.New("alloc: block is parked in a worker allocation cache")
 )
 
 type slabKey struct {
@@ -192,8 +202,24 @@ type Heap struct {
 	blocks   uint64
 	order    [maxOrder + 1]freeList // per-order free sets
 	slabs    map[slabKey][]pmem.Addr
-	liveObjs uint64
+	liveObjs uint64 // live objects outside parked slabs
 	freeBlks uint64
+
+	// Worker allocation-cache state (cache.go). parked maps a slab's
+	// block index to the live CacheEntry owning it; pending holds
+	// parked slabs found on media with no live entry (crash orphans,
+	// folded back in by ReclaimParked). The persistent cache-record
+	// region in the puddle header tracks one 64-byte record per parked
+	// slab: recOff/recSlots give its geometry (recOff 0 = no region),
+	// recUsed the volatile slot map, healRecs record slots whose
+	// extent no longer names a parked slab (crash between a
+	// donation/unpark's block-map write and its record clear).
+	parked   map[uint64]*CacheEntry
+	pending  []pendingSlab
+	recOff   pmem.Addr
+	recSlots int
+	recUsed  []bool
+	healRecs []int
 
 	lease   chan struct{} // transaction-scope ownership token
 	leaseTS atomic.Uint64 // owner's transaction timestamp (0 = non-transactional owner)
@@ -204,8 +230,17 @@ type Heap struct {
 func NewHeap(p *puddle.Puddle) *Heap {
 	h := &Heap{
 		P: p, dev: p.Dev, blocks: p.Blocks(),
-		slabs: make(map[slabKey][]pmem.Addr),
-		lease: make(chan struct{}, 1),
+		slabs:  make(map[slabKey][]pmem.Addr),
+		parked: make(map[uint64]*CacheEntry),
+		lease:  make(chan struct{}, 1),
+	}
+	// Cache-record region: the slack between the block map and the end
+	// of the puddle header, carved into 64-byte slots.
+	off := (uint64(puddle.BlockMapOff) + h.blocks + cacheRecSize - 1) &^ (cacheRecSize - 1)
+	if off+cacheRecSize <= p.HeaderBytes() {
+		h.recOff = p.Base + pmem.Addr(off)
+		h.recSlots = int((p.HeaderBytes() - off) / cacheRecSize)
+		h.recUsed = make([]bool, h.recSlots)
 	}
 	h.rescan()
 	return h
@@ -329,6 +364,11 @@ func (h *Heap) rescan() {
 	h.slabs = make(map[slabKey][]pmem.Addr)
 	h.liveObjs = 0
 	h.freeBlks = 0
+	h.pending = h.pending[:0]
+	h.healRecs = h.healRecs[:0]
+	for i := range h.recUsed {
+		h.recUsed[i] = false
+	}
 	bm := make([]byte, h.blocks)
 	h.dev.Load(h.P.BlockMapAddr(), bm)
 	var i uint64
@@ -343,12 +383,54 @@ func (h *Heap) rescan() {
 		case b&bmAlloc == 0:
 			h.order[o].push(i)
 			h.freeBlks += 1 << o
+		case b&bmCached != 0:
+			// Parked in a worker cache. A live entry is the authority
+			// for its slab's accounting (rescan runs under an abort
+			// whose rollback may concern other blocks entirely);
+			// without one this is a crash orphan, queued for
+			// ReclaimParked.
+			if e := h.parked[i]; e == nil || !e.Live() {
+				h.pending = append(h.pending, h.scanParked(i))
+			}
 		case b&bmSlab != 0:
 			h.scanSlab(h.blockAddr(i))
 		default:
 			h.liveObjs++
 		}
 		i += 1 << o
+	}
+	h.rescanRecords(bm)
+}
+
+// rescanRecords rebuilds the volatile cache-record slot map and the
+// heal list from the persistent record region, then attaches record
+// slots to the pending slabs they describe.
+func (h *Heap) rescanRecords(bm []byte) {
+	if h.recSlots == 0 {
+		return
+	}
+	seen := make(map[uint64]int)
+	for s := 0; s < h.recSlots; s++ {
+		ra := h.recAddr(s)
+		if h.dev.LoadU64(ra+crOffOwner) == 0 {
+			continue
+		}
+		h.recUsed[s] = true
+		ext := h.dev.LoadU64(ra + crOffExtent)
+		if ext >= h.blocks || bm[ext]&(bmStart|bmCached) != bmStart|bmCached {
+			h.healRecs = append(h.healRecs, s)
+			continue
+		}
+		if _, dup := seen[ext]; dup {
+			h.healRecs = append(h.healRecs, s)
+			continue
+		}
+		seen[ext] = s
+	}
+	for i := range h.pending {
+		if s, ok := seen[h.pending[i].idx]; ok {
+			h.pending[i].rec = s
+		}
 	}
 }
 
@@ -391,25 +473,47 @@ func (h *Heap) loadBitmap(slab pmem.Addr, count uint32, buf *[40]byte) []byte {
 	return buf[:n]
 }
 
-// findFreeSlot returns the first free element index, or -1.
+// findFreeSlot returns the first free element index, or -1. The
+// occupancy bitmap is 8-byte aligned (sOffBitmap = 24 off a 4 KiB
+// block), so the scan runs one word at a time: the first word with a
+// zero bit locates the slot via trailing-zeros on its complement.
+// Bits beyond count are never set, so a full slab resolves to a slot
+// index >= count exactly once, in the last word.
 func (h *Heap) findFreeSlot(slab pmem.Addr, count uint32) int32 {
-	var buf [40]byte
-	bm := h.loadBitmap(slab, count, &buf)
-	for i, b := range bm {
-		if b == 0xff {
+	for w := uint32(0); w*64 < count; w++ {
+		inv := ^h.dev.LoadU64(slab + sOffBitmap + pmem.Addr(w*8))
+		if inv == 0 {
 			continue
 		}
-		for j := uint32(0); j < 8; j++ {
-			e := uint32(i)*8 + j
-			if e >= count {
-				return -1
-			}
-			if b&(1<<j) == 0 {
-				return int32(e)
-			}
+		e := w*64 + uint32(bits.TrailingZeros64(inv))
+		if e >= count {
+			return -1
 		}
+		return int32(e)
 	}
 	return -1
+}
+
+// slabEmpty reports whether no element of the slab is allocated.
+func (h *Heap) slabEmpty(slab pmem.Addr, count uint32) bool {
+	for w := uint32(0); w*64 < count; w++ {
+		if h.dev.LoadU64(slab+sOffBitmap+pmem.Addr(w*8)) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// wordMask returns the valid-bit mask for word w of a count-element
+// occupancy bitmap.
+func wordMask(w, count uint32) uint64 {
+	if w*64 >= count {
+		return 0
+	}
+	if rem := count - w*64; rem < 64 {
+		return (uint64(1) << rem) - 1
+	}
+	return ^uint64(0)
 }
 
 func (h *Heap) setSlabBit(m Mutator, slab pmem.Addr, e uint32, v bool) {
@@ -629,6 +733,9 @@ func (h *Heap) Free(m Mutator, addr pmem.Addr) error {
 	if !ok || b&bmAlloc == 0 {
 		return ErrBadFree
 	}
+	if b&bmCached != 0 {
+		return ErrParked
+	}
 	base := h.blockAddr(start)
 	o := uint(b & bmOrder)
 	if b&bmSlab != 0 {
@@ -659,17 +766,9 @@ func (h *Heap) freeSmall(m Mutator, slab, addr pmem.Addr) error {
 	h.liveObjs--
 	tid := ptypes.TypeID(h.dev.LoadU64(slab + sOffTypeID))
 	k := slabKey{tid, class}
-	// Empty slab: return the page to the buddy allocator.
-	var buf [40]byte
-	empty := true
-	for _, b := range h.loadBitmap(slab, count, &buf) {
-		if b != 0 {
-			empty = false
-			break
-		}
-	}
 	idx := h.blockIdx(slab)
-	if empty {
+	// Empty slab: return the page to the buddy allocator.
+	if h.slabEmpty(slab, count) {
 		h.dropSlab(k, slab)
 		m.Write(slab+sOffMagic, []byte{0, 0, 0, 0}) // kill the slab magic
 		m.Write(h.bmAddr(idx), []byte{bmStart | slabOrder})
@@ -773,11 +872,20 @@ func (h *Heap) FreeBytes() uint64 {
 	return h.freeBlks * puddle.BlockSize
 }
 
-// LiveObjects returns the number of live allocations.
+// LiveObjects returns the number of live allocations, including
+// objects inside parked (worker-cached) slabs and crash-orphaned
+// parked slabs awaiting reclaim.
 func (h *Heap) LiveObjects() uint64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.liveObjs
+	n := h.liveObjs
+	for _, e := range h.parked {
+		n += uint64(e.liveN.Load())
+	}
+	for _, ps := range h.pending {
+		n += uint64(ps.live)
+	}
+	return n
 }
 
 // Validate checks heap invariants (block map consistency, no
@@ -796,6 +904,10 @@ func (h *Heap) Validate() error {
 			free[idx] = uint(o)
 		}
 	}
+	pendingIdx := make(map[uint64]bool, len(h.pending))
+	for _, ps := range h.pending {
+		pendingIdx[ps.idx] = true
+	}
 	var i uint64
 	covered := uint64(0)
 	for i < h.blocks {
@@ -813,6 +925,20 @@ func (h *Heap) Validate() error {
 		for j := i + 1; j < i+(1<<o); j++ {
 			if bm[j] != 0 {
 				return fmt.Errorf("block %d: interior byte %d is %#x", i, j, bm[j])
+			}
+		}
+		if b&bmCached != 0 {
+			// A parked slab is allocated to exactly one owner: a live
+			// worker cache entry, or the pending-reclaim queue.
+			if b&bmAlloc == 0 || b&bmSlab == 0 {
+				return fmt.Errorf("block %d: cached byte %#x without alloc|slab flags", i, b)
+			}
+			e := h.parked[i]
+			if (e == nil || !e.Live()) && !pendingIdx[i] {
+				return fmt.Errorf("parked block %d leaked: no cache entry and no pending reclaim", i)
+			}
+			if e != nil && e.Live() && pendingIdx[i] {
+				return fmt.Errorf("parked block %d double-owned: live cache entry and pending reclaim", i)
 			}
 		}
 		if b&bmAlloc == 0 {

@@ -1,0 +1,623 @@
+// Worker allocation caches (magazine-style, after "Understanding and
+// Optimizing Persistent Memory Allocation"): a CacheEntry parks one
+// slab for a single worker, so that worker's small allocs and frees
+// touch only the entry — no shared heap lease, no shared mutex — while
+// the slab's occupancy bitmap stays undo-logged through the owning
+// transaction's Mutator exactly like any other allocator metadata.
+//
+// Exclusivity moves from the heap to the entry: each CacheEntry
+// carries its own transaction-scope lease with the same wait-die
+// surface as Heap's, and every bitmap mutation (owner allocs, foreign
+// frees) requires it. A parked slab's block-map byte carries bmCached,
+// which diverts the shared-heap paths (Heap.Free returns ErrParked;
+// Heap.Alloc never sees the slab because parked slabs are not in
+// h.slabs), so no transaction can undo-log a parked slab's metadata
+// without holding the entry lease.
+//
+// Crash recovery: a parked slab is findable from its block-map byte
+// alone, and a per-worker persistent cache record (64 bytes in the
+// puddle-header slack past the block map: owner stamp, slab extent,
+// type, class) lets `puddlectl stat`-style tooling attribute it.
+// Refills and donations persist MOD-style — all stores batched under
+// one fence, with the block-map byte as the atomic commit point — so
+// any crash leaves each slab either fully parked or fully unparked.
+// Heap.rescan queues parked slabs with no live entry for
+// ReclaimParked, which demotes still-populated slabs to ordinary
+// slabs and frees empty or torn ones when a writable pool reopens.
+package alloc
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"puddles/internal/pmem"
+	"puddles/internal/ptypes"
+)
+
+// Persistent cache-record layout: one 64-byte slot per parked slab in
+// the puddle-header slack past the block map. owner == 0 marks a free
+// slot; the extent names the slab's block index. The record is an
+// attribution aid and recovery cross-check — the block-map byte is
+// the authoritative commit point, so a slab parked without a record
+// (header slack exhausted) is still reclaimed correctly.
+const (
+	cacheRecSize = 64
+	crOffOwner   = 0  // u64 worker stamp, 0 = slot free
+	crOffExtent  = 8  // u64 slab block index
+	crOffType    = 16 // u64 type ID
+	crOffClass   = 24 // u32 size class
+	crOffCount   = 28 // u32 element count
+)
+
+// slabWords is the occupancy bitmap size in 64-bit words.
+const slabWords = 5
+
+// pendingSlab is a parked slab found on media with no live CacheEntry:
+// a crash orphan (or a slab from a previous process life) awaiting
+// ReclaimParked. ok is false when the slab header is torn — the carve
+// never committed its fence — in which case the block is simply freed.
+type pendingSlab struct {
+	idx   uint64
+	rec   int // cache-record slot describing it, -1 if none
+	tid   ptypes.TypeID
+	class uint32
+	count uint32
+	live  uint32
+	ok    bool
+}
+
+// CacheEntry is one worker's parked slab for one (type, class) pair.
+//
+// Concurrency: slab-identity fields are immutable after creation.
+// freeBits/freeN/emptyAge are guarded by the entry lease (held by the
+// owning or a foreign transaction from first touch to commit/abort).
+// owner, alive and liveN are atomics readable without the lease:
+// owner so a worker can detect adoption-theft of its entry, alive so
+// lock-free lookups can skip dead entries, liveN so Heap.LiveObjects
+// can census parked slabs without acquiring every entry lease.
+type CacheEntry struct {
+	h     *Heap
+	slab  pmem.Addr
+	idx   uint64
+	rec   int // persistent record slot, -1 if none
+	tid   ptypes.TypeID
+	class uint32
+	count uint32
+
+	lease   chan struct{}
+	leaseTS atomic.Uint64
+	owner   atomic.Uint64
+	alive   atomic.Bool
+	liveN   atomic.Uint32
+
+	// Guarded by the entry lease.
+	freeBits [slabWords]uint64 // 1 = slot free
+	freeN    uint32
+	emptyAge uint32 // commits survived while empty; donation trigger
+}
+
+// Heap returns the heap whose block the entry parks.
+func (e *CacheEntry) Heap() *Heap { return e.h }
+
+// TypeID returns the slab's object type.
+func (e *CacheEntry) TypeID() ptypes.TypeID { return e.tid }
+
+// Class returns the slab's size class.
+func (e *CacheEntry) Class() uint32 { return e.class }
+
+// Owner returns the current worker stamp (adoption can change it).
+func (e *CacheEntry) Owner() uint64 { return e.owner.Load() }
+
+// Live reports whether the entry still parks its slab. A dead entry
+// (donated, unparked, or rolled back) must be dropped by every holder.
+func (e *CacheEntry) Live() bool { return e.alive.Load() }
+
+// Full reports whether the slab has no free slot (entry lease held).
+func (e *CacheEntry) Full() bool { return e.freeN == 0 }
+
+// Empty reports whether the slab has no live object (entry lease held).
+func (e *CacheEntry) Empty() bool { return e.freeN == e.count }
+
+// BumpEmptyAge ages an empty entry by one commit and returns the new
+// age; the caller donates entries whose age passes its threshold
+// (entry lease held).
+func (e *CacheEntry) BumpEmptyAge() uint32 {
+	e.emptyAge++
+	return e.emptyAge
+}
+
+// ResetEmptyAge marks the entry as recently useful — called when a
+// transaction commits with the slab non-empty (entry lease held).
+func (e *CacheEntry) ResetEmptyAge() { e.emptyAge = 0 }
+
+// Lease blocks until the caller owns the entry (non-transactional
+// owners only; transactions must use TryLeaseAs for wait-die).
+func (e *CacheEntry) Lease() { e.lease <- struct{}{} }
+
+// TryLeaseAs acquires the entry lease without blocking, recording ts
+// for wait-die arbitration. Same contract as Heap.TryLeaseAs.
+func (e *CacheEntry) TryLeaseAs(ts uint64) bool {
+	select {
+	case e.lease <- struct{}{}:
+		e.leaseTS.Store(ts)
+		return true
+	default:
+		return false
+	}
+}
+
+// LeaseOwnerTS reports the holder's transaction timestamp (advisory).
+func (e *CacheEntry) LeaseOwnerTS() uint64 { return e.leaseTS.Load() }
+
+// LeaseAsTimeout camps on the entry lease up to d. Same contract as
+// Heap.LeaseAsTimeout.
+func (e *CacheEntry) LeaseAsTimeout(ts uint64, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case e.lease <- struct{}{}:
+		e.leaseTS.Store(ts)
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// Unlease releases the entry lease.
+func (e *CacheEntry) Unlease() {
+	e.leaseTS.Store(0)
+	<-e.lease
+}
+
+// Alloc takes the lowest free slot, undo-logging the occupancy bit
+// through m, and returns the payload address. ok is false when the
+// slab is full. Caller holds the entry lease.
+func (e *CacheEntry) Alloc(m Mutator) (pmem.Addr, bool) {
+	for w := range e.freeBits {
+		word := e.freeBits[w]
+		if word == 0 {
+			continue
+		}
+		bit := uint32(bits.TrailingZeros64(word))
+		slot := uint32(w)*64 + bit
+		e.freeBits[w] &^= 1 << bit
+		e.freeN--
+		e.h.setSlabBit(m, e.slab, slot, true)
+		e.liveN.Add(1)
+		addr := e.slab + slabHdrSize + pmem.Addr(slot*e.class)
+		m.RegisterNew(addr, int(e.class))
+		return addr, true
+	}
+	return 0, false
+}
+
+// Free releases the slot holding addr, undo-logging the occupancy bit
+// through m. Caller holds the entry lease (owner or foreign freer).
+func (e *CacheEntry) Free(m Mutator, addr pmem.Addr) error {
+	if addr < e.slab+slabHdrSize {
+		return ErrBadFree
+	}
+	off := uint64(addr - e.slab - slabHdrSize)
+	if off%uint64(e.class) != 0 {
+		return ErrBadFree
+	}
+	slot := uint32(off / uint64(e.class))
+	if slot >= e.count || e.freeBits[slot/64]&(1<<(slot%64)) != 0 {
+		return ErrBadFree
+	}
+	e.h.setSlabBit(m, e.slab, slot, false)
+	e.freeBits[slot/64] |= 1 << (slot % 64)
+	e.freeN++
+	e.liveN.Add(^uint32(0))
+	return nil
+}
+
+// Resync reconciles the entry with media after an abort rolled back
+// the slab's occupancy bits (and possibly the carve itself). Caller
+// holds the entry lease and has already Rescan()ed the heap.
+func (e *CacheEntry) Resync() {
+	if e.h.dev.LoadU8(e.h.bmAddr(e.idx))&bmCached == 0 ||
+		e.h.dev.LoadU32(e.slab+sOffMagic) != slabMagic {
+		// The refill itself was rolled back: the entry is dead.
+		e.h.dropEntry(e)
+		return
+	}
+	var freeN uint32
+	for w := uint32(0); w < slabWords; w++ {
+		word := e.h.dev.LoadU64(e.slab + sOffBitmap + pmem.Addr(w*8))
+		e.freeBits[w] = ^word & wordMask(w, e.count)
+		freeN += uint32(bits.OnesCount64(e.freeBits[w]))
+	}
+	e.freeN = freeN
+	e.liveN.Store(e.count - freeN)
+}
+
+// dropEntry retires a dead entry: deregisters it and returns its
+// record slot to the volatile map if media agrees the slot is free.
+func (h *Heap) dropEntry(e *CacheEntry) {
+	h.mu.Lock()
+	if h.parked[e.idx] == e {
+		delete(h.parked, e.idx)
+	}
+	if e.rec >= 0 && e.rec < len(h.recUsed) &&
+		h.dev.LoadU64(h.recAddr(e.rec)+crOffOwner) == 0 {
+		h.recUsed[e.rec] = false
+	}
+	h.mu.Unlock()
+	e.alive.Store(false)
+	e.liveN.Store(0)
+	e.freeN = 0
+}
+
+func (h *Heap) recAddr(slot int) pmem.Addr {
+	return h.recOff + pmem.Addr(slot*cacheRecSize)
+}
+
+// takeRec claims a free cache-record slot (h.mu held), or -1.
+func (h *Heap) takeRec() int {
+	for i, used := range h.recUsed {
+		if !used {
+			h.recUsed[i] = true
+			return i
+		}
+	}
+	return -1
+}
+
+// batchDirect stages direct stores and persists them under a single
+// fence — the MOD-style one-fence update used by refill and donation.
+type batchDirect struct {
+	dev *pmem.Device
+	fs  pmem.FlushSet
+}
+
+func (b *batchDirect) store(addr pmem.Addr, data []byte) {
+	b.dev.Store(addr, data)
+	b.fs.Add(addr, len(data))
+}
+
+func (b *batchDirect) storeU64(addr pmem.Addr, v uint64) {
+	b.dev.StoreU64(addr, v)
+	b.fs.Add(addr, 8)
+}
+
+func (b *batchDirect) flush() {
+	b.fs.Flush(b.dev)
+	b.dev.Fence()
+}
+
+func (h *Heap) newEntry(idx uint64, rec int, owner uint64, tid ptypes.TypeID, class, count uint32) *CacheEntry {
+	e := &CacheEntry{
+		h: h, slab: h.blockAddr(idx), idx: idx, rec: rec,
+		tid: tid, class: class, count: count,
+		lease: make(chan struct{}, 1),
+	}
+	e.owner.Store(owner)
+	e.alive.Store(true)
+	for w := uint32(0); w < slabWords; w++ {
+		e.freeBits[w] = wordMask(w, count)
+	}
+	e.freeN = count
+	return e
+}
+
+// writeRecord stages a full cache record for a freshly carved slab.
+func writeRecord(w interface {
+	store(pmem.Addr, []byte)
+	storeU64(pmem.Addr, uint64)
+}, ra pmem.Addr, owner, idx uint64, tid ptypes.TypeID, class, count uint32) {
+	var zero [cacheRecSize]byte
+	w.store(ra, zero[:])
+	w.storeU64(ra+crOffOwner, owner)
+	w.storeU64(ra+crOffExtent, idx)
+	w.storeU64(ra+crOffType, uint64(tid))
+	var cc [8]byte
+	putU32(cc[:4], class)
+	putU32(cc[4:], count)
+	w.store(ra+crOffClass, cc[:])
+}
+
+// RefillDirect carves a fresh parked slab for (owner, tid, class)
+// without joining the caller's transaction: it briefly takes the heap
+// lease non-blockingly, pops an exact slab-order free block, and
+// persists the carve — zeroed slab header, cache record, and finally
+// the bmCached block-map byte — under ONE fence. Every store lands in
+// free or record space, so no in-flight undo log can cover it, and
+// the block-map byte is the atomic commit point: a crash anywhere
+// leaves either a free block (plus an unreferenced record, healed at
+// reclaim) or a fully parked slab.
+//
+// Only an exact-order block qualifies — splitting a larger block
+// rewrites multiple map bytes and needs transactional undo (use
+// RefillTx). Block 0 is skipped to preserve the fixed root offset of
+// fresh puddles. Returns nil when the heap lease is contended or no
+// exact block is free; the returned entry is already leased as ts.
+func (h *Heap) RefillDirect(ts, owner uint64, tid ptypes.TypeID, class uint32) *CacheEntry {
+	if !h.TryLease() {
+		return nil
+	}
+	defer h.Unlease()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	fl := &h.order[slabOrder]
+	idx, found := uint64(0), false
+	for i := fl.len() - 1; i >= 0; i-- {
+		if fl.items[i] != 0 {
+			idx, found = fl.items[i], true
+			break
+		}
+	}
+	if !found {
+		return nil
+	}
+	fl.remove(idx)
+	h.freeBlks -= 1 << slabOrder
+	rec := h.takeRec()
+	count := uint32((slabSize - slabHdrSize) / class)
+	base := h.blockAddr(idx)
+	bd := &batchDirect{dev: h.dev}
+	var hdr [slabHdrSize]byte
+	bd.store(base, hdr[:])
+	bd.storeU64(base+sOffTypeID, uint64(tid))
+	var w [8]byte
+	putU32(w[:4], slabMagic)
+	putU32(w[4:], class)
+	bd.store(base+sOffMagic, w[:])
+	putU32(w[:4], count)
+	bd.store(base+sOffElemCount, w[:4])
+	if rec >= 0 {
+		writeRecord(bd, h.recAddr(rec), owner, idx, tid, class, count)
+	}
+	bd.store(h.bmAddr(idx), []byte{bmStart | bmAlloc | bmSlab | bmCached | slabOrder})
+	bd.flush() // one fence commits the whole refill
+	e := h.newEntry(idx, rec, owner, tid, class, count)
+	e.leaseTS.Store(ts)
+	e.lease <- struct{}{} // born leased by the refilling transaction
+	h.parked[idx] = e
+	return e
+}
+
+// RefillTx carves a parked slab inside the caller's transaction: all
+// stores flow through m (undo-logged), so an abort or crash rolls the
+// carve back and Resync retires the entry. The caller must hold the
+// heap lease transactionally — this is the cold-start path when no
+// exact-order free block exists and the buddy allocator must split.
+// The returned entry is already leased as ts.
+func (h *Heap) RefillTx(m Mutator, ts, owner uint64, tid ptypes.TypeID, class uint32) (*CacheEntry, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	idx, err := h.allocBlock(m, slabOrder)
+	if err != nil {
+		return nil, err
+	}
+	rec := h.takeRec()
+	count := uint32((slabSize - slabHdrSize) / class)
+	base := h.blockAddr(idx)
+	m.Write(h.bmAddr(idx), []byte{bmStart | bmAlloc | bmSlab | bmCached | slabOrder})
+	var hdr [slabHdrSize]byte
+	m.Write(base, hdr[:])
+	m.WriteU64(base+sOffTypeID, uint64(tid))
+	var w [8]byte
+	putU32(w[:4], slabMagic)
+	putU32(w[4:], class)
+	m.Write(base+sOffMagic, w[:])
+	putU32(w[:4], count)
+	m.Write(base+sOffElemCount, w[:4])
+	if rec >= 0 {
+		writeRecord(mutatorRecWriter{m}, h.recAddr(rec), owner, idx, tid, class, count)
+	}
+	e := h.newEntry(idx, rec, owner, tid, class, count)
+	e.leaseTS.Store(ts)
+	e.lease <- struct{}{}
+	h.parked[idx] = e
+	return e, nil
+}
+
+// mutatorRecWriter adapts a Mutator to writeRecord's staging surface.
+type mutatorRecWriter struct{ m Mutator }
+
+func (w mutatorRecWriter) store(a pmem.Addr, d []byte)    { w.m.Write(a, d) }
+func (w mutatorRecWriter) storeU64(a pmem.Addr, v uint64) { w.m.WriteU64(a, v) }
+
+// AdoptParked steals an idle parked slab of (tid, class) for a new
+// owner — work-stealing for entries orphaned when their worker's
+// affinity record was dropped, and load balancing when the heap has
+// no free block to carve. The previous owner (if any) discovers the
+// theft by validating Owner() on next use. Returns the adopted entry
+// leased as ts, or nil.
+func (h *Heap) AdoptParked(ts, owner uint64, tid ptypes.TypeID, class uint32) *CacheEntry {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, e := range h.parked {
+		if e.tid != tid || e.class != class || !e.Live() {
+			continue
+		}
+		if !e.TryLeaseAs(ts) {
+			continue
+		}
+		if !e.Live() || e.freeN == 0 {
+			e.Unlease()
+			continue
+		}
+		e.owner.Store(owner)
+		if e.rec >= 0 {
+			// One persisted word re-stamps the record.
+			h.dev.StoreU64(h.recAddr(e.rec)+crOffOwner, owner)
+			h.dev.Persist(h.recAddr(e.rec)+crOffOwner, 8)
+		}
+		return e
+	}
+	return nil
+}
+
+// DonateBulk returns empty parked slabs to the shared free lists in
+// one leased visit: per slab one killed magic, one block-map byte and
+// one record clear, all batched under a single fence. Blocks go back
+// at slab order without buddy merging — a merge rewrites multiple map
+// bytes, breaking single-byte atomicity; later transactional frees
+// re-merge opportunistically. Caller holds every entry's lease;
+// leased says whether it already holds the heap lease (donation is
+// skipped entirely when the lease is contended — it is an
+// optimization, never required for correctness). Returns the number
+// of slabs donated; donated entries die.
+func (h *Heap) DonateBulk(entries []*CacheEntry, leased bool) int {
+	if !leased {
+		if !h.TryLease() {
+			return 0
+		}
+		defer h.Unlease()
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bd := &batchDirect{dev: h.dev}
+	var done []*CacheEntry
+	for _, e := range entries {
+		if e.h != h || !e.Live() || e.freeN != e.count {
+			continue
+		}
+		bd.store(e.slab+sOffMagic, []byte{0, 0, 0, 0})
+		bd.store(h.bmAddr(e.idx), []byte{bmStart | slabOrder})
+		if e.rec >= 0 {
+			bd.storeU64(h.recAddr(e.rec)+crOffOwner, 0)
+		}
+		done = append(done, e)
+	}
+	if len(done) == 0 {
+		return 0
+	}
+	bd.flush() // one fence commits the whole donation
+	for _, e := range done {
+		h.order[slabOrder].push(e.idx)
+		h.freeBlks += 1 << slabOrder
+		delete(h.parked, e.idx)
+		if e.rec >= 0 {
+			h.recUsed[e.rec] = false
+		}
+		e.alive.Store(false)
+	}
+	return len(done)
+}
+
+// UnparkFull demotes a fully allocated parked slab to an ordinary
+// slab: clearing bmCached (one byte) hands the slab back to the
+// shared-heap free path, and the record clear rides the same fence.
+// Called at commit only — mid-transaction the slab's bitmap bytes may
+// sit in the committing transaction's own undo log, but after the log
+// reset no in-flight log covers them, and the entry lease excludes
+// everyone else until the switch is published. The entry dies; its
+// census moves into the heap's liveObjs. A full slab joins no slab
+// index (nothing to allocate), exactly like a legacy full slab.
+func (h *Heap) UnparkFull(e *CacheEntry) bool {
+	if e.h != h || !e.Live() || e.freeN != 0 {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bd := &batchDirect{dev: h.dev}
+	bd.store(h.bmAddr(e.idx), []byte{bmStart | bmAlloc | bmSlab | slabOrder})
+	if e.rec >= 0 {
+		bd.storeU64(h.recAddr(e.rec)+crOffOwner, 0)
+	}
+	bd.flush()
+	delete(h.parked, e.idx)
+	if e.rec >= 0 {
+		h.recUsed[e.rec] = false
+	}
+	e.alive.Store(false)
+	h.liveObjs += uint64(e.liveN.Load())
+	e.liveN.Store(0)
+	return true
+}
+
+// ParkedAt returns the live cache entry owning the parked slab that
+// contains addr, or nil. The caller must lease the entry and recheck
+// Live() before trusting it (the entry can die concurrently).
+func (h *Heap) ParkedAt(addr pmem.Addr) *CacheEntry {
+	if addr < h.P.HeapBase() || addr >= h.P.Base+pmem.Addr(h.P.Size()) {
+		return nil
+	}
+	idx := h.blockIdx(addr) &^ ((1 << slabOrder) - 1)
+	h.mu.Lock()
+	e := h.parked[idx]
+	h.mu.Unlock()
+	if e == nil || !e.Live() {
+		return nil
+	}
+	return e
+}
+
+// ParkedSlabs reports how many slabs are parked (live worker caches)
+// or awaiting reclaim.
+func (h *Heap) ParkedSlabs() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.parked) + len(h.pending)
+}
+
+// scanParked reads a crash-orphaned parked slab's header (h.mu held).
+func (h *Heap) scanParked(idx uint64) pendingSlab {
+	base := h.blockAddr(idx)
+	ps := pendingSlab{idx: idx, rec: -1}
+	if h.dev.LoadU32(base+sOffMagic) != slabMagic {
+		return ps // torn carve: the refill fence never committed
+	}
+	ps.class = h.dev.LoadU32(base + sOffElemSize)
+	ps.count = h.dev.LoadU32(base + sOffElemCount)
+	ps.tid = ptypes.TypeID(h.dev.LoadU64(base + sOffTypeID))
+	if ps.class == 0 || ps.count == 0 || ps.count != uint32((slabSize-slabHdrSize)/ps.class) {
+		return ps
+	}
+	ps.ok = true
+	for w := uint32(0); w*64 < ps.count; w++ {
+		word := h.dev.LoadU64(base+sOffBitmap+pmem.Addr(w*8)) & wordMask(w, ps.count)
+		ps.live += uint32(bits.OnesCount64(word))
+	}
+	return ps
+}
+
+// ReclaimParked folds crash-orphaned parked slabs back into the heap:
+// slabs with live objects are demoted to ordinary slabs (clear
+// bmCached — allocation and free work on them again), empty or torn
+// ones are freed, and orphaned records are healed. Idempotent and
+// re-crash-safe: every step is an independent small write, and a
+// re-run resolves whatever subset persisted. Called with a Direct
+// mutator when a writable pool opens. Returns the number of slabs
+// reclaimed.
+func (h *Heap) ReclaimParked(m Mutator) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, ps := range h.pending {
+		b := h.dev.LoadU8(h.bmAddr(ps.idx))
+		if b&bmCached == 0 {
+			continue
+		}
+		base := h.blockAddr(ps.idx)
+		if ps.ok && ps.live > 0 {
+			m.Write(h.bmAddr(ps.idx), []byte{b &^ bmCached})
+			h.liveObjs += uint64(ps.live)
+			if ps.live < ps.count {
+				k := slabKey{ps.tid, ps.class}
+				h.slabs[k] = append(h.slabs[k], base)
+			}
+		} else {
+			m.Write(base+sOffMagic, []byte{0, 0, 0, 0})
+			m.Write(h.bmAddr(ps.idx), []byte{bmStart | slabOrder})
+			h.order[slabOrder].push(ps.idx)
+			h.freeBlks += 1 << slabOrder
+		}
+		if ps.rec >= 0 {
+			m.WriteU64(h.recAddr(ps.rec)+crOffOwner, 0)
+			h.recUsed[ps.rec] = false
+		}
+		n++
+	}
+	h.pending = h.pending[:0]
+	for _, slot := range h.healRecs {
+		m.WriteU64(h.recAddr(slot)+crOffOwner, 0)
+		h.recUsed[slot] = false
+	}
+	h.healRecs = h.healRecs[:0]
+	return n
+}

@@ -1,0 +1,100 @@
+package chaos
+
+import (
+	"testing"
+
+	"puddles/internal/core"
+	"puddles/internal/daemon"
+	"puddles/internal/pmem"
+	"puddles/internal/ptypes"
+)
+
+func TestAllocCacheChurnSweep(t *testing.T) {
+	res := runSweep(t, AllocCacheChurn(), 6000, 19)
+	t.Logf("alloc-cache-churn: %d probes, %d completed", res.Probes, res.Completed)
+}
+
+// TestAllocCacheCrashReclaim is the deterministic power-fail shape:
+// warm worker caches, pull the plug, reboot. Reopening the pool must
+// reclaim the orphaned parked slabs (counted on the device), keep the
+// committed census exact, and leave every heap valid and serving.
+func TestAllocCacheCrashReclaim(t *testing.T) {
+	dev := pmem.NewChaos(1 << 60) // track lines, never auto-fire
+	d, err := daemon.New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := core.ConnectLocal(d)
+	ti, err := c.RegisterType("chaos.reclaimnode", 48, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := c.CreatePool("reclaim", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var addrs []pmem.Addr
+	if err := c.Run(pool, func(tx *core.Tx) error {
+		addrs = addrs[:0]
+		for i := 0; i < 5; i++ {
+			a, err := tx.Alloc(ti.ID, 48)
+			if err != nil {
+				return err
+			}
+			addrs = append(addrs, a)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	parked := 0
+	for _, h := range pool.Heaps() {
+		parked += h.ParkedSlabs()
+	}
+	if parked == 0 {
+		t.Fatal("warmup left no parked slab — cache never engaged")
+	}
+
+	dev.CrashNow()
+	c.Close()
+
+	d2, err := daemon.New(dev)
+	if err != nil {
+		t.Fatalf("reboot: %v", err)
+	}
+	c2 := core.ConnectLocal(d2)
+	defer c2.Close()
+	pool2, err := c2.OpenPool("reclaim")
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if got := dev.Stats().ReclaimedSlabs; got == 0 {
+		t.Fatal("reopen reclaimed no parked slab")
+	}
+	if got := pool2.LiveObjects(); got != 5 {
+		t.Fatalf("census after reclaim = %d, want 5", got)
+	}
+	for i, h := range pool2.Heaps() {
+		if err := h.Validate(); err != nil {
+			t.Fatalf("heap %d after reclaim: %v", i, err)
+		}
+		if n := h.ParkedSlabs(); n != 0 {
+			t.Fatalf("heap %d: %d slabs still parked", i, n)
+		}
+	}
+	// The demoted slab serves ordinary frees and fresh cached allocs.
+	if err := c2.Run(pool2, func(tx *core.Tx) error {
+		for _, a := range addrs {
+			if err := tx.Free(a); err != nil {
+				return err
+			}
+		}
+		_, err := tx.Alloc(ptypes.IDOf("chaos.reclaimnode"), 48)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool2.LiveObjects(); got != 1 {
+		t.Fatalf("census = %d, want 1", got)
+	}
+}

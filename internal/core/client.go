@@ -81,6 +81,7 @@ type Client struct {
 	logInitMu     sync.Mutex
 	logShardsWant int // SetLogShards; 0 = auto
 	logCacheOff   atomic.Bool
+	allocCacheOff atomic.Bool // SetAllocCache ablation
 
 	// Worker-affinity hints: a sync.Pool of per-worker affinity
 	// records (log shard + last leased heap). See affinity.
@@ -123,11 +124,28 @@ type logShard struct {
 // one hint from first log/heap use until commit/abort.
 type affinity struct {
 	shard uint32 // log-shard selector (stable per worker)
+	id    uint64 // nonzero worker stamp for cache-record ownership
 
 	// NUMA-style heap affinity: the heap this worker last leased
-	// successfully, tried before the rotating-start probe.
+	// successfully, tried before the rotating-start probe. lastGen is
+	// the range-index generation when the hint was noted: if the index
+	// republished since (pool deleted/shrunk, puddle attached), the
+	// hint is revalidated before use.
 	lastPool *Pool
 	lastHeap *alloc.Heap
+	lastGen  uint64
+
+	// Per-worker allocation cache: one parked slab per (pool, type,
+	// class). Entries can die (donated, unparked, adopted away) at any
+	// commit; users validate Live() and Owner() before trusting one.
+	cache map[cacheKey]*alloc.CacheEntry
+}
+
+// cacheKey identifies one worker-cache slot.
+type cacheKey struct {
+	pool  *Pool
+	tid   ptypes.TypeID
+	class uint32
 }
 
 // getAffinity fetches a worker hint (fresh hints take the next shard
@@ -136,7 +154,8 @@ func (c *Client) getAffinity() *affinity {
 	if a, _ := c.affPool.Get().(*affinity); a != nil {
 		return a
 	}
-	return &affinity{shard: c.affSeq.Add(1) - 1}
+	v := c.affSeq.Add(1)
+	return &affinity{shard: v - 1, id: uint64(v)}
 }
 
 func (c *Client) putAffinity(a *affinity) {
@@ -145,16 +164,30 @@ func (c *Client) putAffinity(a *affinity) {
 	}
 }
 
-// heapFor returns the remembered heap when it belongs to pool p.
-func (a *affinity) heapFor(p *Pool) *alloc.Heap {
-	if a.lastPool == p {
-		return a.lastHeap
+// heapFor returns the remembered heap when it belongs to pool p and is
+// still reachable through the live range index. Without the generation
+// check a worker whose cached heap was detached (pool removed or
+// shrunk) would retry the dead heap first on every allocation; when
+// the index has republished since the hint was noted, the heap must
+// still resolve to itself by address or the hint is dropped.
+func (a *affinity) heapFor(c *Client, p *Pool) *alloc.Heap {
+	if a.lastPool != p || a.lastHeap == nil {
+		return nil
 	}
-	return nil
+	if gen := c.IndexGen(); gen != a.lastGen {
+		if _, h, ok := c.heapAt(a.lastHeap.P.HeapBase()); !ok || h != a.lastHeap {
+			a.lastPool, a.lastHeap = nil, nil
+			return nil
+		}
+		a.lastGen = gen
+	}
+	return a.lastHeap
 }
 
 // note remembers a successful lease+allocation on h.
-func (a *affinity) note(p *Pool, h *alloc.Heap) { a.lastPool, a.lastHeap = p, h }
+func (a *affinity) note(c *Client, p *Pool, h *alloc.Heap) {
+	a.lastPool, a.lastHeap, a.lastGen = p, h, c.IndexGen()
+}
 
 // forget drops a remembered heap that stopped serving us (full).
 func (a *affinity) forget(h *alloc.Heap) {
@@ -369,6 +402,20 @@ func (c *Client) buildPool(name string, resp *proto.Response) (*Pool, error) {
 	if p.root == nil {
 		return nil, fmt.Errorf("core: pool %q root puddle missing from grant", name)
 	}
+	// Recovery hook for the worker allocation caches: a crash leaves
+	// parked slabs on media with no live owner; fold them back into
+	// the heaps before the pool serves traffic. Read-only opens must
+	// not write — their orphans stay pending until a writable open.
+	if resp.Writable {
+		m := alloc.Direct{Dev: c.dev}
+		reclaimed := 0
+		for _, h := range p.snapshotHeaps() {
+			reclaimed += h.ReclaimParked(m)
+		}
+		if reclaimed > 0 {
+			c.dev.NoteReclaimedSlabs(uint64(reclaimed))
+		}
+	}
 	return p, nil
 }
 
@@ -394,9 +441,11 @@ func (p *Pool) attach(pd *puddle.Puddle) {
 	}
 }
 
-// indexHeap publishes a new index snapshot containing r: build a
-// fresh sorted copy, stamp the next generation, swap. The old
-// snapshot stays valid for readers mid-lookup.
+// indexHeap publishes a new index snapshot: given a pool and heap it
+// inserts r (fresh sorted copy, next generation, swap); given nils it
+// removes r (pool delete), bumping the generation so stale affinity
+// hints revalidate. The old snapshot stays valid for readers
+// mid-lookup.
 func (c *Client) indexHeap(r pmem.Range, p *Pool, h *alloc.Heap) {
 	c.idxMu.Lock()
 	defer c.idxMu.Unlock()
@@ -408,11 +457,24 @@ func (c *Client) indexHeap(r pmem.Range, p *Pool, h *alloc.Heap) {
 		prev = old.ranges
 		gen = old.gen + 1
 	}
-	i := sort.Search(len(prev), func(i int) bool { return prev[i].r.Start >= r.Start })
-	next := make([]heapRange, 0, len(prev)+1)
-	next = append(next, prev[:i]...)
-	next = append(next, heapRange{r: r, pool: p, heap: h})
-	next = append(next, prev[i:]...)
+	var next []heapRange
+	if h == nil {
+		next = make([]heapRange, 0, len(prev))
+		for _, hr := range prev {
+			if hr.r != r {
+				next = append(next, hr)
+			}
+		}
+		if len(next) == len(prev) {
+			return // nothing removed: keep the published generation
+		}
+	} else {
+		i := sort.Search(len(prev), func(i int) bool { return prev[i].r.Start >= r.Start })
+		next = make([]heapRange, 0, len(prev)+1)
+		next = append(next, prev[:i]...)
+		next = append(next, heapRange{r: r, pool: p, heap: h})
+		next = append(next, prev[i:]...)
+	}
 	c.rangeIdx.Store(&rangeIndex{gen: gen, ranges: next})
 }
 
@@ -437,10 +499,23 @@ func (c *Client) IndexGen() uint64 {
 	return 0
 }
 
-// Delete removes the pool from the daemon.
+// Delete removes the pool from the daemon and drops its heaps from
+// the client's address index, so stale worker-affinity hints can't
+// keep steering allocations at the detached heaps.
 func (p *Pool) Delete() error {
-	_, err := p.c.conn.RoundTrip(&proto.Request{Op: proto.OpDeletePool, Name: p.Name})
-	return err
+	if _, err := p.c.conn.RoundTrip(&proto.Request{Op: proto.OpDeletePool, Name: p.Name}); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	puds := make([]*puddle.Puddle, 0, len(p.heapByPud))
+	for pd := range p.heapByPud {
+		puds = append(puds, pd)
+	}
+	p.mu.Unlock()
+	for _, pd := range puds {
+		p.c.indexHeap(pd.Range(), nil, nil)
+	}
+	return nil
 }
 
 // Export serializes the pool into a relocatable container blob.
@@ -567,7 +642,7 @@ func (p *Pool) allocDirect(typeID ptypes.TypeID, size uint32, zero bool) (pmem.A
 	}
 	aff := p.c.getAffinity()
 	defer p.c.putAffinity(aff)
-	if h := aff.heapFor(p); h != nil && h.TryLease() {
+	if h := aff.heapFor(p.c, p); h != nil && h.TryLease() {
 		a, err := h.Alloc(m, typeID, size)
 		h.Unlease()
 		if err == nil {
@@ -589,7 +664,7 @@ func (p *Pool) allocDirect(typeID ptypes.TypeID, size uint32, zero bool) (pmem.A
 			a, err := h.Alloc(m, typeID, size)
 			h.Unlease()
 			if err == nil {
-				aff.note(p, h)
+				aff.note(p.c, p, h)
 				return finish(a), nil
 			}
 			if err != alloc.ErrNoSpace && err != alloc.ErrTooLarge {
@@ -611,7 +686,7 @@ func (p *Pool) allocDirect(typeID ptypes.TypeID, size uint32, zero bool) (pmem.A
 		if err != nil {
 			return 0, err
 		}
-		aff.note(p, grown)
+		aff.note(p.c, p, grown)
 		return finish(a), nil
 	}
 }
@@ -669,9 +744,32 @@ func (p *Pool) Free(addr pmem.Addr) error {
 	if !ok {
 		return alloc.ErrBadFree
 	}
-	h.Lease()
-	defer h.Unlease()
-	return h.Free(alloc.Direct{Dev: p.c.dev}, addr)
+	m := alloc.Direct{Dev: p.c.dev}
+	// The object may sit in a slab parked in some worker's allocation
+	// cache: free through the owning entry then (entry lease, not heap
+	// lease). The entry can die — or the slab park — between lookup
+	// and lease, so both paths revalidate and retry; the loop is
+	// bounded because each park/unpark transition needs a full foreign
+	// commit in between.
+	for attempt := 0; attempt < 4; attempt++ {
+		if e := h.ParkedAt(addr); e != nil {
+			e.Lease()
+			if !e.Live() {
+				e.Unlease()
+				continue
+			}
+			err := e.Free(m, addr)
+			e.Unlease()
+			return err
+		}
+		h.Lease()
+		err := h.Free(m, addr)
+		h.Unlease()
+		if err != alloc.ErrParked {
+			return err
+		}
+	}
+	return alloc.ErrParked
 }
 
 // Puddles returns the pool's member puddle handles.
@@ -682,6 +780,9 @@ func (p *Pool) Puddles() []*puddle.Puddle {
 	copy(out, p.puddles)
 	return out
 }
+
+// Heaps returns the pool's member heaps (diagnostics and tests).
+func (p *Pool) Heaps() []*alloc.Heap { return p.snapshotHeaps() }
 
 // LiveObjects sums live allocations across member heaps.
 func (p *Pool) LiveObjects() uint64 {
@@ -797,6 +898,13 @@ func (c *Client) ensureLogSpace() (*logState, error) {
 // fresh log puddle and registers it with the daemon.
 func (c *Client) SetLogCache(enabled bool) {
 	c.logCacheOff.Store(!enabled)
+}
+
+// SetAllocCache toggles the per-worker allocation caches (default
+// on). Disabling it is an ablation/baseline: every small Tx.Alloc
+// then crosses the shared heap lease, as before the caches existed.
+func (c *Client) SetAllocCache(enabled bool) {
+	c.allocCacheOff.Store(!enabled)
 }
 
 // acquireLog returns a cached or fresh registered log from the shard

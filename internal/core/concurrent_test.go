@@ -122,6 +122,9 @@ func TestConcurrentTransactions(t *testing.T) {
 // the pool grows a sibling puddle rather than convoying).
 func TestConcurrentAllocatorsSpread(t *testing.T) {
 	_, c := newSystem(t)
+	// The worker cache serves both transactions from one parked slab
+	// (no heap lease at all); this test pins the legacy spread path.
+	c.SetAllocCache(false)
 	ti, err := c.RegisterLayout("node", node{})
 	if err != nil {
 		t.Fatal(err)

@@ -17,6 +17,10 @@ import (
 // the pool.
 func twoHeapPool(t *testing.T, c *Client, name string) (*Pool, [2]*alloc.Heap) {
 	t.Helper()
+	// These tests pin down the shared-heap lease protocol; the worker
+	// allocation cache would satisfy both transactions from one slab
+	// without ever contending a heap lease, so switch it off.
+	c.SetAllocCache(false)
 	ti, err := c.RegisterLayout("dl.node", node{})
 	if err != nil {
 		t.Fatal(err)

@@ -64,6 +64,17 @@ type Tx struct {
 	// abort (or post-crash replay of several logs) would roll shared
 	// metadata bytes back underneath the survivor.
 	leases map[*alloc.Heap]*Pool
+	// entries are the worker-cache slabs this transaction owns (its
+	// own cache plus any foreign parked slab it freed into), held to
+	// commit/abort for exactly the same undo-log-disjointness reason
+	// as heap leases — at slab rather than heap granularity.
+	entries map[*alloc.CacheEntry]struct{}
+	// Batched allocation-cache counters, flushed to the device at
+	// commit/abort so the fast path writes no shared cachelines.
+	cacheHits      uint64
+	cacheMisses    uint64
+	cacheRefills   uint64
+	cacheDonations uint64
 	// ts is the wait-die age: smaller is older. Assigned at Begin and
 	// retained across Run's conflict retries, so a repeatedly-victimized
 	// transaction eventually becomes the oldest contender and wins.
@@ -355,6 +366,26 @@ func (t *Tx) holdsLease(h *alloc.Heap) bool {
 	return ok
 }
 
+// holdsEntry reports whether this transaction already owns e's lease.
+func (t *Tx) holdsEntry(e *alloc.CacheEntry) bool {
+	_, ok := t.entries[e]
+	return ok
+}
+
+// recordEntry notes ownership of an acquired cache-entry lease.
+func (t *Tx) recordEntry(e *alloc.CacheEntry) {
+	if t.entries == nil {
+		t.entries = make(map[*alloc.CacheEntry]struct{})
+	}
+	t.entries[e] = struct{}{}
+}
+
+// entangled reports whether this transaction holds any lease (heap or
+// cache entry) — the wait-die "may not wait on an older owner" test.
+func (t *Tx) entangled() bool {
+	return len(t.leases) > 0 || len(t.entries) > 0
+}
+
 // recordLease notes ownership of an acquired heap lease.
 func (t *Tx) recordLease(h *alloc.Heap, p *Pool) {
 	if t.leases == nil {
@@ -400,7 +431,7 @@ func (t *Tx) allocFromPool(typeID ptypes.TypeID, size uint32) (pmem.Addr, error)
 		}
 	}
 	aff := t.affinity()
-	if h := aff.heapFor(p); h != nil && !t.holdsLease(h) && h.TryLeaseAs(t.ts) {
+	if h := aff.heapFor(t.c, p); h != nil && !t.holdsLease(h) && h.TryLeaseAs(t.ts) {
 		a, err := h.Alloc(t, typeID, size)
 		if err == nil {
 			t.recordLease(h, p)
@@ -428,7 +459,7 @@ func (t *Tx) allocFromPool(typeID ptypes.TypeID, size uint32) (pmem.Addr, error)
 			if err == nil {
 				t.recordLease(h, p)
 				t.markHeap(h, p)
-				aff.note(p, h)
+				aff.note(t.c, p, h)
 				return a, nil
 			}
 			h.Unlease() // nothing was mutated on a failed alloc
@@ -452,7 +483,7 @@ func (t *Tx) allocFromPool(typeID ptypes.TypeID, size uint32) (pmem.Addr, error)
 		}
 		t.recordLease(grown, p)
 		t.markHeap(grown, p)
-		aff.note(p, grown)
+		aff.note(t.c, p, grown)
 		return a, nil
 	}
 }
@@ -496,7 +527,7 @@ func (t *Tx) leaseForFree(h *alloc.Heap, pool *Pool) error {
 			return nil
 		}
 		owner := h.LeaseOwnerTS()
-		if owner != 0 && owner < t.ts && len(t.leases) > 0 {
+		if owner != 0 && owner < t.ts && t.entangled() {
 			// Younger and entangled: die. Counted on the client and the
 			// device so workloads can observe free-order contention.
 			t.c.leaseConflicts.Add(1)
@@ -505,6 +536,33 @@ func (t *Tx) leaseForFree(h *alloc.Heap, pool *Pool) error {
 		}
 		if h.LeaseAsTimeout(t.ts, 200*time.Microsecond) {
 			t.recordLease(h, pool)
+			return nil
+		}
+		runtime.Gosched()
+	}
+}
+
+// leaseEntry acquires a cache entry's lease with the same wait-die
+// arbitration as leaseForFree — cache entries are just finer-grained
+// lease domains (one parked slab instead of one heap), so the same
+// deadlock argument applies unchanged.
+func (t *Tx) leaseEntry(e *alloc.CacheEntry) error {
+	if t.holdsEntry(e) {
+		return nil
+	}
+	for {
+		if e.TryLeaseAs(t.ts) {
+			t.recordEntry(e)
+			return nil
+		}
+		owner := e.LeaseOwnerTS()
+		if owner != 0 && owner < t.ts && t.entangled() {
+			t.c.leaseConflicts.Add(1)
+			t.c.dev.NoteLeaseConflict()
+			return ErrTxConflict
+		}
+		if e.LeaseAsTimeout(t.ts, 200*time.Microsecond) {
+			t.recordEntry(e)
 			return nil
 		}
 		runtime.Gosched()
@@ -524,6 +582,15 @@ func (t *Tx) Alloc(typeID ptypes.TypeID, size uint32) (pmem.Addr, error) {
 	if err := t.ensureLog(); err != nil {
 		return 0, err
 	}
+	if class, ok := alloc.ClassFor(size); ok && !t.c.allocCacheOff.Load() {
+		a, handled, err := t.cacheAlloc(typeID, class)
+		if err != nil {
+			return 0, err
+		}
+		if handled {
+			return a, nil
+		}
+	}
 	a, err := t.allocFromPool(typeID, size)
 	if err == nil && t.err != nil {
 		err = t.err
@@ -532,6 +599,120 @@ func (t *Tx) Alloc(typeID ptypes.TypeID, size uint32) (pmem.Addr, error) {
 		return 0, err
 	}
 	return a, nil
+}
+
+// cacheAlloc serves a small allocation from the worker's allocation
+// cache. The fast path costs one CAS (the entry lease, uncontended
+// except against a foreign free into the same slab) and one bitmap
+// word write — no heap lease, no probe. On a cold or exhausted cache
+// the slab is refilled from the shared heap under a single lease
+// acquisition; handled=false falls through to the legacy shared-heap
+// path (which can also grow the pool) and is counted as a miss.
+func (t *Tx) cacheAlloc(tid ptypes.TypeID, class uint32) (pmem.Addr, bool, error) {
+	aff := t.affinity()
+	key := cacheKey{pool: t.pool, tid: tid, class: class}
+	if e := aff.cache[key]; e != nil {
+		held := t.holdsEntry(e)
+		usable := e.Live() && e.Owner() == aff.id
+		if usable && !held {
+			if e.TryLeaseAs(t.ts) {
+				// Re-validate under the lease: the entry may have been
+				// donated or adopted between the check and the acquire.
+				if e.Live() && e.Owner() == aff.id {
+					t.recordEntry(e)
+				} else {
+					e.Unlease()
+					usable = false
+				}
+			} else {
+				// A foreign free holds the entry right now; refilling a
+				// fresh slab beats waiting on it.
+				usable = false
+			}
+		}
+		if usable {
+			if a, allocated := e.Alloc(t); allocated {
+				t.cacheHits++
+				return a, true, t.err
+			}
+			// Full: keep it leased so commit unparks it, refill below.
+		} else if !e.Live() || e.Owner() != aff.id {
+			delete(aff.cache, key)
+		}
+	}
+	if e := t.refillCache(tid, class); e != nil {
+		t.recordEntry(e)
+		if aff.cache == nil {
+			aff.cache = make(map[cacheKey]*alloc.CacheEntry)
+		}
+		aff.cache[key] = e
+		t.cacheRefills++
+		if a, allocated := e.Alloc(t); allocated {
+			return a, true, t.err
+		}
+	}
+	t.cacheMisses++
+	return 0, false, nil
+}
+
+// refillCache leases the shared heap once and carves a whole slab into
+// the worker's cache. Refill prefers the crash-atomic direct carve of
+// an exact free slab-order block (one fence, no undo log); when
+// fragmentation leaves none, it adopts an orphaned parked slab, and
+// only then falls back to a transactional carve that may split larger
+// blocks under an ordinary heap lease.
+func (t *Tx) refillCache(tid ptypes.TypeID, class uint32) *alloc.CacheEntry {
+	p := t.pool
+	aff := t.affinity()
+	hint := aff.heapFor(t.c, p)
+	if hint != nil {
+		if e := hint.RefillDirect(t.ts, aff.id, tid, class); e != nil {
+			return e
+		}
+	}
+	heaps := p.snapshotHeaps()
+	start := p.rotation()
+	for i := range heaps {
+		h := heaps[(start+i)%len(heaps)]
+		if h == hint {
+			continue
+		}
+		if e := h.RefillDirect(t.ts, aff.id, tid, class); e != nil {
+			aff.note(t.c, p, h)
+			return e
+		}
+	}
+	for i := range heaps {
+		h := heaps[(start+i)%len(heaps)]
+		if e := h.AdoptParked(t.ts, aff.id, tid, class); e != nil {
+			return e
+		}
+	}
+	for h, owner := range t.leases {
+		if owner != p {
+			continue
+		}
+		if e, err := h.RefillTx(t, t.ts, aff.id, tid, class); err == nil {
+			t.markHeap(h, p)
+			return e
+		}
+	}
+	for i := range heaps {
+		h := heaps[(start+i)%len(heaps)]
+		if t.holdsLease(h) || !h.TryLeaseAs(t.ts) {
+			continue
+		}
+		e, err := h.RefillTx(t, t.ts, aff.id, tid, class)
+		if err != nil {
+			h.Unlease() // a failed carve mutates nothing
+			continue
+		}
+		t.recordLease(h, p)
+		t.markHeap(h, p)
+		aff.note(t.c, p, h)
+		return e
+	}
+	return nil
 }
 
 // Free releases an object; the release is undone on abort. The owning
@@ -553,18 +734,46 @@ func (t *Tx) Free(addr pmem.Addr) error {
 	if !ok {
 		return alloc.ErrBadFree
 	}
-	if err := t.leaseForFree(h, pool); err != nil {
-		return err
+	// An object inside a parked (cache-owned) slab is freed under that
+	// slab's entry lease, not the heap lease: the owner may be filling
+	// the rest of the slab concurrently, and its bitmap bytes live in
+	// whichever in-flight undo log holds the entry. The loop is bounded
+	// because park/unpark transitions only happen at other transactions'
+	// commit points.
+	for attempt := 0; attempt < 4; attempt++ {
+		if e := h.ParkedAt(addr); e != nil {
+			if err := t.leaseEntry(e); err != nil {
+				return err
+			}
+			if !e.Live() {
+				continue // unparked or donated before we got the lease
+			}
+			err := e.Free(t, addr)
+			if err == nil && t.err != nil {
+				err = t.err
+			}
+			if err == nil {
+				t.cacheHits++
+			}
+			return err
+		}
+		if err := t.leaseForFree(h, pool); err != nil {
+			return err
+		}
+		err := h.Free(t, addr)
+		if err == nil && t.err != nil {
+			err = t.err
+		}
+		if err == alloc.ErrParked {
+			continue // parked between the lookup and the lease; use the entry
+		}
+		if err != nil {
+			return err
+		}
+		t.markHeap(h, pool)
+		return nil
 	}
-	err := h.Free(t, addr)
-	if err == nil && t.err != nil {
-		err = t.err
-	}
-	if err != nil {
-		return err
-	}
-	t.markHeap(h, pool)
-	return nil
+	return alloc.ErrParked
 }
 
 func (t *Tx) markHeap(h *alloc.Heap, pool *Pool) {
@@ -623,9 +832,79 @@ func (t *Tx) Commit() error {
 	t.log.log.Reset()
 	err := t.c.releaseLog(t.log)
 	t.log = nil
+	// Cache housekeeping (unpark/donate) runs after the log reset so
+	// the slab bytes it rewrites are no longer covered by any in-flight
+	// undo log, and before the leases drop so no rival can interleave.
+	t.finishCaches(true)
 	t.releaseLeases()
 	t.releaseAffinity()
 	return err
+}
+
+// finishCaches settles the transaction's cache entries at commit or
+// abort. On commit, slabs this transaction filled are unparked back to
+// ordinary slab bookkeeping, and slabs that have sat empty across two
+// consecutive commits are donated back to the shared heap in one bulk
+// release (a single lease acquisition covers the whole group). On
+// abort, each entry resynchronises its volatile view from the rolled-
+// back media. Either way the entry leases drop here, stale cache
+// mappings are pruned, and the batched counters flush to the device.
+func (t *Tx) finishCaches(committed bool) {
+	if t.entries == nil && t.cacheHits == 0 && t.cacheMisses == 0 && t.cacheRefills == 0 {
+		return
+	}
+	aff := t.affinity()
+	if committed {
+		var donate map[*alloc.Heap][]*alloc.CacheEntry
+		for e := range t.entries {
+			if !e.Live() {
+				continue
+			}
+			if e.Full() {
+				e.Heap().UnparkFull(e)
+				continue
+			}
+			if !e.Empty() {
+				e.ResetEmptyAge()
+			} else if e.Owner() == aff.id && e.BumpEmptyAge() >= 2 {
+				if donate == nil {
+					donate = make(map[*alloc.Heap][]*alloc.CacheEntry)
+				}
+				donate[e.Heap()] = append(donate[e.Heap()], e)
+			}
+		}
+		for h, group := range donate {
+			if n := h.DonateBulk(group, t.holdsLease(h)); n > 0 {
+				t.cacheDonations += uint64(n)
+			}
+		}
+	} else {
+		for e := range t.entries {
+			e.Resync()
+		}
+	}
+	for e := range t.entries {
+		e.Unlease()
+	}
+	t.entries = nil
+	for k, e := range aff.cache {
+		if !e.Live() || e.Owner() != aff.id {
+			delete(aff.cache, k)
+		}
+	}
+	dev := t.c.dev
+	if t.cacheHits > 0 {
+		dev.NoteCacheHits(t.cacheHits)
+	}
+	if t.cacheMisses > 0 {
+		dev.NoteCacheMisses(t.cacheMisses)
+	}
+	if t.cacheRefills > 0 {
+		dev.NoteCacheRefills(t.cacheRefills)
+	}
+	if t.cacheDonations > 0 {
+		dev.NoteSlabDonations(t.cacheDonations)
+	}
 }
 
 // Abort rolls the transaction back: undo entries replay in reverse
@@ -657,6 +936,7 @@ func (t *Tx) rollback() {
 	for h := range t.touched {
 		h.Rescan()
 	}
+	t.finishCaches(false)
 	t.releaseLeases()
 	t.releaseAffinity()
 }

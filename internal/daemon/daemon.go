@@ -1037,6 +1037,7 @@ func (d *Daemon) Stats() proto.Stats {
 	d.lsMu.Lock()
 	spaces := len(d.st.LogSpaces)
 	d.lsMu.Unlock()
+	devStats := d.dev.Stats()
 	return proto.Stats{
 		Pools:          pools,
 		Puddles:        puddles,
@@ -1057,6 +1058,12 @@ func (d *Daemon) Stats() proto.Stats {
 		CheckpointSeq:    d.ckptSeq.Load(),
 		CkptPauseTotalNs: d.ckptPauseTotal.Load(),
 		CkptPauseMaxNs:   d.ckptPauseMax.Load(),
+
+		CacheHits:      devStats.CacheHits,
+		CacheMisses:    devStats.CacheMisses,
+		CacheRefills:   devStats.CacheRefills,
+		SlabDonations:  devStats.SlabDonations,
+		ReclaimedSlabs: devStats.ReclaimedSlabs,
 	}
 }
 

@@ -210,6 +210,18 @@ type Stats struct {
 	OptimisticReads   uint64
 	OptimisticRetries uint64
 	LatchFallbacks    uint64
+
+	// Per-worker allocation-cache counters, maintained by the
+	// transaction runtime (core): allocs/frees served from a worker's
+	// parked slabs without touching the shared heap lease, small allocs
+	// that fell through to the shared heap, slabs carved into caches,
+	// empty cached slabs donated back in bulk, and parked slabs
+	// reclaimed by recovery when a writable pool reopened.
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheRefills   uint64
+	SlabDonations  uint64
+	ReclaimedSlabs uint64
 }
 
 // crashSignal is the panic payload raised when a crash point fires.
@@ -255,6 +267,11 @@ type Device struct {
 	optReads   atomic.Uint64
 	optRetries atomic.Uint64
 	latchFalls atomic.Uint64
+	cacheHits  atomic.Uint64
+	cacheMiss  atomic.Uint64
+	cacheRef   atomic.Uint64
+	slabDons   atomic.Uint64
+	slabRecl   atomic.Uint64
 
 	fenceDelay atomic.Int64 // ns each Fence blocks; 0 = free (default)
 }
@@ -290,8 +307,35 @@ func (d *Device) Stats() Stats {
 		OptimisticReads:   d.optReads.Load(),
 		OptimisticRetries: d.optRetries.Load(),
 		LatchFallbacks:    d.latchFalls.Load(),
+		CacheHits:         d.cacheHits.Load(),
+		CacheMisses:       d.cacheMiss.Load(),
+		CacheRefills:      d.cacheRef.Load(),
+		SlabDonations:     d.slabDons.Load(),
+		ReclaimedSlabs:    d.slabRecl.Load(),
 	}
 }
+
+// NoteCacheHits records n allocs/frees served from a worker's parked
+// slabs without touching the shared heap lease. Transactions batch
+// this at commit/abort to keep the alloc fast path free of shared
+// cacheline writes.
+func (d *Device) NoteCacheHits(n uint64) { d.cacheHits.Add(n) }
+
+// NoteCacheMisses records n small allocations that fell through the
+// worker cache to the shared heap.
+func (d *Device) NoteCacheMisses(n uint64) { d.cacheMiss.Add(n) }
+
+// NoteCacheRefills records n slabs carved from a shared heap into a
+// worker's allocation cache.
+func (d *Device) NoteCacheRefills(n uint64) { d.cacheRef.Add(n) }
+
+// NoteSlabDonations records n empty cached slabs donated back to a
+// heap's free lists in bulk.
+func (d *Device) NoteSlabDonations(n uint64) { d.slabDons.Add(n) }
+
+// NoteReclaimedSlabs records n parked slabs reclaimed by recovery
+// when a writable pool reopened.
+func (d *Device) NoteReclaimedSlabs(n uint64) { d.slabRecl.Add(n) }
 
 // NoteOptimisticReads records n validated (seqlock) read attempts.
 // Readers batch this to keep the hot path free of shared-cacheline

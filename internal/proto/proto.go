@@ -123,6 +123,12 @@ type Stats struct {
 	CheckpointSeq    uint64 // sequence the last committed checkpoint covers
 	CkptPauseTotalNs uint64 // cumulative exclusive quiesce time across checkpoints
 	CkptPauseMaxNs   uint64 // worst single checkpoint quiesce
+
+	CacheHits      uint64 // small allocs/frees served by worker caches
+	CacheMisses    uint64 // cacheable allocs that fell to the shared heap
+	CacheRefills   uint64 // slabs carved or adopted into worker caches
+	SlabDonations  uint64 // empty cached slabs bulk-returned to their heap
+	ReclaimedSlabs uint64 // crash-orphaned parked slabs folded back at reopen
 }
 
 // Response is the union of all response payloads. ID echoes the

@@ -32,6 +32,8 @@ var (
 	ckptJSON     = flag.String("ckptjson", "BENCH_5.json", "artifact path for the checkpoint-pause report")
 	ycsbreadJSON = flag.String("ycsbreadjson", "BENCH_6.json", "artifact path for the read-path sweep report")
 	allocmtJSON  = flag.String("allocmtjson", "BENCH_7.json", "artifact path for the allocator cache scaling report")
+	connmtJSON   = flag.String("connmtjson", "BENCH_8.json", "artifact path for the connection scaling report")
+	connMax      = flag.Int("connmax", 4096, "largest connection count in the connmt sweep")
 )
 
 type experiment struct {
@@ -60,6 +62,8 @@ func main() {
 		{"ckpt", "compaction pause vs registry size, legacy vs chunked checkpoints (emits -ckptjson artifact)", runCkpt},
 		{"ycsbread", "read-heavy YCSB B/C, latched vs seqlock reads (emits -ycsbreadjson artifact)", runYCSBRead},
 		{"allocmt", "alloc/free cache scaling + 32/64-worker YCSB A (emits -allocmtjson artifact)", runAllocMT},
+		{"connmt", "64-4096 real-socket connection scaling + restart chaos (emits -connmtjson artifact)", runConnMT},
+		{"connchaos", "daemon kill/restart churn under live TCP clients", runConnChaos},
 	}
 	want := flag.Arg(0)
 	if want == "" {

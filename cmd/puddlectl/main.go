@@ -9,6 +9,9 @@
 //
 //	puddlectl [-socket /tmp/puddled.sock] <command> [args]
 //
+// -socket also accepts a daemon URL ("unix:///path", "tcp://host:port"),
+// so a TCP-fronted daemon is administrable remotely.
+//
 // Commands:
 //
 //	stat                     daemon counters
@@ -27,23 +30,30 @@ import (
 	"net"
 	"os"
 
+	"puddles/internal/core"
 	"puddles/internal/proto"
 )
 
 func main() {
-	socket := flag.String("socket", "/tmp/puddled.sock", "puddled socket path")
+	socket := flag.String("socket", "/tmp/puddled.sock", "puddled socket path or URL (unix:///path, tcp://host:port)")
 	uid := flag.Uint("uid", 0, "credential uid")
 	gid := flag.Uint("gid", 0, "credential gid")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: puddlectl [-socket PATH] <stat|pools|types|export|import|delete|recover|shutdown> [args]")
+		fmt.Fprintln(os.Stderr, "usage: puddlectl [-socket PATH|URL] <stat|pools|types|export|import|delete|recover|shutdown> [args]")
 		os.Exit(2)
 	}
-	nc, err := net.Dial("unix", *socket)
+	network, address, err := core.ParseURL(*socket)
+	if err != nil {
+		fatal("%v", err)
+	}
+	nc, err := net.Dial(network, address)
 	if err != nil {
 		fatal("connecting to %s: %v", *socket, err)
 	}
-	c := proto.NewConn(nc)
+	// Credentials ride the session handshake (and OpHello for daemons
+	// that predate it).
+	c := proto.NewConnHello(nc, proto.Hello{UID: uint32(*uid), GID: uint32(*gid)})
 	defer c.Close()
 	if *uid != 0 || *gid != 0 {
 		if _, err := c.RoundTrip(&proto.Request{Op: proto.OpHello, UID: uint32(*uid), GID: uint32(*gid)}); err != nil {
@@ -83,6 +93,11 @@ func main() {
 			s.CacheHits, hitRate, s.CacheMisses, s.CacheRefills)
 		fmt.Printf("slab donations   %d (reclaimed after crash: %d)\n",
 			s.SlabDonations, s.ReclaimedSlabs)
+		fmt.Printf("active conns     %d\n", s.ActiveConns)
+		fmt.Printf("active sessions  %d\n", s.ActiveSessions)
+		fmt.Printf("accept errors    %d\n", s.AcceptErrors)
+		fmt.Printf("handshake rejects %d\n", s.HandshakeRejects)
+		fmt.Printf("session resumes  %d\n", s.SessionResumes)
 	case "pools":
 		resp := must(c, &proto.Request{Op: proto.OpListPools})
 		for _, n := range resp.Names {

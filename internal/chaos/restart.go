@@ -1,0 +1,179 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"puddles/internal/core"
+	"puddles/internal/daemon"
+	"puddles/internal/pmem"
+	"puddles/internal/proto"
+)
+
+// RestartResult summarizes a daemon kill/restart churn run.
+type RestartResult struct {
+	Restarts   int    // daemon generations killed and replaced
+	Clients    int    // concurrent clients
+	Acked      int    // operations acknowledged to some client
+	Unknown    int    // operations lost to ErrDisconnected (outcome unknown — allowed)
+	Reconnects uint64 // client reconnects observed
+	Resumes    uint64 // reconnects that resumed their session
+}
+
+// DaemonRestartChurn is the transport-layer chaos harness: clients
+// hammer the control plane over real TCP sockets while the daemon
+// process behind the address is repeatedly hard-killed (no checkpoint,
+// dirty reboot — a crashed puddled) and replaced by a successor on the
+// same address. The contract under test is the session transport's:
+//
+//   - every ACKNOWLEDGED create survives every restart (checked
+//     against the final daemon's pool list);
+//   - a non-acknowledged create may or may not exist, but the client
+//     must have been told so (ErrDisconnected), never given a fake ack;
+//   - every client ends the run reconnected and working.
+func DaemonRestartChurn(clients, restarts int) (RestartResult, error) {
+	res := RestartResult{Restarts: restarts, Clients: clients}
+	dev := pmem.New()
+	d, err := daemon.New(dev)
+	if err != nil {
+		return res, fmt.Errorf("boot: %w", err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	addr := l.Addr().String()
+	go d.Serve(l)
+
+	var (
+		ackMu sync.Mutex
+		acked []string // pool names acknowledged created and not acknowledged deleted
+		stop  atomic.Bool
+		wg    sync.WaitGroup
+		cls   = make([]*core.Client, clients)
+	)
+	for i := 0; i < clients; i++ {
+		cl, err := core.Dial("tcp://"+addr, dev)
+		if err != nil {
+			return res, fmt.Errorf("client %d dial: %w", i, err)
+		}
+		cls[i] = cl
+	}
+	var unknown atomic.Int64
+	for i, cl := range cls {
+		wg.Add(1)
+		go func(i int, cl *core.Client) {
+			defer wg.Done()
+			for n := 0; !stop.Load(); n++ {
+				name := fmt.Sprintf("churn-c%d-n%d", i, n)
+				_, err := cl.RoundTrip(&proto.Request{Op: proto.OpCreatePool, Name: name})
+				created := false
+				switch {
+				case err == nil:
+					created = true
+					ackMu.Lock()
+					acked = append(acked, name)
+					ackMu.Unlock()
+				case errors.Is(err, core.ErrDisconnected):
+					unknown.Add(1) // outcome unknown: acceptable, never counted as acked
+				}
+				// Delete most created pools (one in eight survives for
+				// the durability check) so the registry (and
+				// each dirty reboot's journal replay) stays bounded
+				// however long the churn runs. A delete whose outcome is
+				// unknown forfeits the durability claim for that name.
+				if created && n%8 != 0 {
+					_, derr := cl.RoundTrip(&proto.Request{Op: proto.OpDeletePool, Name: name})
+					if derr == nil || errors.Is(derr, core.ErrDisconnected) {
+						ackMu.Lock()
+						for j, a := range acked {
+							if a == name {
+								acked = append(acked[:j], acked[j+1:]...)
+								break
+							}
+						}
+						ackMu.Unlock()
+						if derr != nil {
+							unknown.Add(1)
+						}
+					}
+				}
+				// Interleave reads so reconnects also exercise the
+				// idempotent retry path, and pace the loop: the point is
+				// restarts under live traffic, not peak create rate.
+				cl.Nop()
+				time.Sleep(time.Millisecond)
+			}
+		}(i, cl)
+	}
+
+	for r := 0; r < restarts; r++ {
+		time.Sleep(20 * time.Millisecond)
+		d.Kill() // dirty: no checkpoint, journal replay on reboot
+		if d, err = daemon.New(dev); err != nil {
+			stop.Store(true)
+			wg.Wait()
+			return res, fmt.Errorf("reboot %d: %w", r, err)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if l, err = net.Listen("tcp", addr); err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				stop.Store(true)
+				wg.Wait()
+				return res, fmt.Errorf("rebind %d: %w", r, err)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		go d.Serve(l)
+	}
+	time.Sleep(20 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	res.Unknown = int(unknown.Load())
+
+	// Every client must end the run connected (one fresh op each).
+	for i, cl := range cls {
+		if err := cl.Nop(); err != nil {
+			return res, fmt.Errorf("client %d not reconnected after churn: %w", i, err)
+		}
+		res.Reconnects += cl.Reconnects()
+		res.Resumes += cl.SessionResumes()
+	}
+
+	// Every acknowledged create must be visible in the final daemon.
+	check, err := core.Dial("tcp://"+addr, dev)
+	if err != nil {
+		return res, fmt.Errorf("verify dial: %w", err)
+	}
+	resp, err := check.RoundTrip(&proto.Request{Op: proto.OpListPools})
+	if err != nil {
+		return res, fmt.Errorf("verify list: %w", err)
+	}
+	have := make(map[string]bool, len(resp.Names))
+	for _, n := range resp.Names {
+		have[n] = true
+	}
+	ackMu.Lock()
+	defer ackMu.Unlock()
+	res.Acked = len(acked)
+	for _, name := range acked {
+		if !have[name] {
+			return res, fmt.Errorf("acknowledged pool %q lost across restarts (acked %d, restarts %d)",
+				name, len(acked), restarts)
+		}
+	}
+	for _, cl := range cls {
+		cl.Close()
+	}
+	check.Close()
+	l.Close()
+	d.Drain(2 * time.Second)
+	return res, nil
+}

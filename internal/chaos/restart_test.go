@@ -1,0 +1,18 @@
+package chaos
+
+import "testing"
+
+func TestDaemonRestartChurn(t *testing.T) {
+	res, err := DaemonRestartChurn(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Acked == 0 {
+		t.Fatal("no operation ever acknowledged — the churn never ran")
+	}
+	if res.Reconnects == 0 {
+		t.Fatal("no client ever reconnected — the kills never bit")
+	}
+	t.Logf("restarts=%d clients=%d acked=%d unknown=%d reconnects=%d resumes=%d",
+		res.Restarts, res.Clients, res.Acked, res.Unknown, res.Reconnects, res.Resumes)
+}

@@ -55,7 +55,7 @@ var (
 // volatile arena, and mu, which now guards only the cold
 // import-session and fault-hook state.
 type Client struct {
-	conn  *proto.Conn
+	tr    transport // daemon connection (+ reconnect state; dial.go)
 	dev   *pmem.Device
 	types *ptypes.Registry
 
@@ -240,12 +240,12 @@ type txLog struct {
 // device the daemon manages (the DAX-mapping stand-in).
 func Connect(conn *proto.Conn, dev *pmem.Device) *Client {
 	c := &Client{
-		conn:    conn,
 		dev:     dev,
 		types:   ptypes.NewRegistry(),
 		imports: make(map[uint64]*importState),
 		armed:   make(map[pmem.Addr]*importPud),
 	}
+	c.tr.conn = conn
 	c.volatileAt.Store(uint64(daemon.VolatileBase))
 	return c
 }
@@ -256,26 +256,34 @@ func ConnectLocal(d *daemon.Daemon) *Client {
 }
 
 // Hello presents credentials to the daemon (simulated SO_PEERCRED).
+// The credentials also become what a reconnect re-presents in its
+// handshake, so a client that dropped privileges doesn't silently
+// regain them across a daemon restart.
 func (c *Client) Hello(uid, gid uint32) error {
-	_, err := c.conn.RoundTrip(&proto.Request{Op: proto.OpHello, UID: uid, GID: gid})
+	_, err := c.rt(&proto.Request{Op: proto.OpHello, UID: uid, GID: gid})
+	if err == nil {
+		c.tr.mu.Lock()
+		c.tr.hello.UID, c.tr.hello.GID = uid, gid
+		c.tr.mu.Unlock()
+	}
 	return err
 }
 
 // Nop performs a no-op round trip (daemon-primitive benchmarks, §5.1).
 func (c *Client) Nop() error {
-	_, err := c.conn.RoundTrip(&proto.Request{Op: proto.OpNop})
+	_, err := c.rt(&proto.Request{Op: proto.OpNop})
 	return err
 }
 
 // RoundTrip issues a raw protocol request (tools and benchmarks; the
 // typed methods cover normal use).
 func (c *Client) RoundTrip(req *proto.Request) (*proto.Response, error) {
-	return c.conn.RoundTrip(req)
+	return c.rt(req)
 }
 
 // Stats fetches daemon counters.
 func (c *Client) Stats() (proto.Stats, error) {
-	resp, err := c.conn.RoundTrip(&proto.Request{Op: proto.OpStat})
+	resp, err := c.rt(&proto.Request{Op: proto.OpStat})
 	if err != nil {
 		return proto.Stats{}, err
 	}
@@ -289,8 +297,11 @@ func (c *Client) Device() *pmem.Device { return c.dev }
 // Types returns the client's type-registry mirror.
 func (c *Client) Types() *ptypes.Registry { return c.types }
 
-// Close shuts the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close shuts the connection (and disables reconnection).
+func (c *Client) Close() error {
+	c.tr.closed.Store(true)
+	return c.tr.current().Close()
+}
 
 // RegisterType registers a pointer map with the daemon and mirrors it
 // locally (paper §4.2 "Pointer maps").
@@ -299,7 +310,7 @@ func (c *Client) RegisterType(name string, size uint32, ptrs []ptypes.PtrField) 
 	if err != nil {
 		return ptypes.TypeInfo{}, err
 	}
-	if _, err := c.conn.RoundTrip(&proto.Request{Op: proto.OpRegisterType, Type: ti}); err != nil {
+	if _, err := c.rt(&proto.Request{Op: proto.OpRegisterType, Type: ti}); err != nil {
 		return ptypes.TypeInfo{}, err
 	}
 	return ti, nil
@@ -318,7 +329,7 @@ func (c *Client) RegisterLayout(name string, sample any) (ptypes.TypeInfo, error
 // MirrorTypes pulls every registered pointer map from the daemon into
 // the local registry (used after opening pools created by others).
 func (c *Client) MirrorTypes() error {
-	resp, err := c.conn.RoundTrip(&proto.Request{Op: proto.OpListTypes})
+	resp, err := c.rt(&proto.Request{Op: proto.OpListTypes})
 	if err != nil {
 		return err
 	}
@@ -371,7 +382,7 @@ type Pool struct {
 // CreatePool creates a pool with the given UNIX-style mode (0 means
 // 0o600) and maps its root puddle.
 func (c *Client) CreatePool(name string, mode uint32) (*Pool, error) {
-	resp, err := c.conn.RoundTrip(&proto.Request{Op: proto.OpCreatePool, Name: name, Mode: mode})
+	resp, err := c.rt(&proto.Request{Op: proto.OpCreatePool, Name: name, Mode: mode})
 	if err != nil {
 		return nil, err
 	}
@@ -380,7 +391,7 @@ func (c *Client) CreatePool(name string, mode uint32) (*Pool, error) {
 
 // OpenPool opens an existing pool, mapping its puddles.
 func (c *Client) OpenPool(name string) (*Pool, error) {
-	resp, err := c.conn.RoundTrip(&proto.Request{Op: proto.OpOpenPool, Name: name})
+	resp, err := c.rt(&proto.Request{Op: proto.OpOpenPool, Name: name})
 	if err != nil {
 		return nil, err
 	}
@@ -503,7 +514,7 @@ func (c *Client) IndexGen() uint64 {
 // the client's address index, so stale worker-affinity hints can't
 // keep steering allocations at the detached heaps.
 func (p *Pool) Delete() error {
-	if _, err := p.c.conn.RoundTrip(&proto.Request{Op: proto.OpDeletePool, Name: p.Name}); err != nil {
+	if _, err := p.c.rt(&proto.Request{Op: proto.OpDeletePool, Name: p.Name}); err != nil {
 		return err
 	}
 	p.mu.Lock()
@@ -520,7 +531,7 @@ func (p *Pool) Delete() error {
 
 // Export serializes the pool into a relocatable container blob.
 func (p *Pool) Export() ([]byte, error) {
-	resp, err := p.c.conn.RoundTrip(&proto.Request{Op: proto.OpExportPool, Name: p.Name})
+	resp, err := p.c.rt(&proto.Request{Op: proto.OpExportPool, Name: p.Name})
 	if err != nil {
 		return nil, err
 	}
@@ -717,7 +728,7 @@ func (p *Pool) grow(heapsSeen int, size uint32) (*alloc.Heap, error) {
 }
 
 func (p *Pool) acquirePuddle(size uint64) (*puddle.Puddle, error) {
-	resp, err := p.c.conn.RoundTrip(&proto.Request{
+	resp, err := p.c.rt(&proto.Request{
 		Op: proto.OpGetNewPuddle, Pool: p.UUID, Size: size, Kind: uint64(puddle.KindData),
 	})
 	if err != nil {
@@ -846,7 +857,7 @@ func (c *Client) ensureLogSpace() (*logState, error) {
 		}
 	}
 	name := ".logs-" + uid.New().String()
-	resp, err := c.conn.RoundTrip(&proto.Request{Op: proto.OpCreatePool, Name: name, Mode: 0o600})
+	resp, err := c.rt(&proto.Request{Op: proto.OpCreatePool, Name: name, Mode: 0o600})
 	if err != nil {
 		return nil, err
 	}
@@ -854,7 +865,7 @@ func (c *Client) ensureLogSpace() (*logState, error) {
 	// deletes it (pool, puddles and any log-space registration go in
 	// one atomic daemon op) so retries don't accumulate orphans.
 	fail := func(err error) (*logState, error) {
-		_, _ = c.conn.RoundTrip(&proto.Request{Op: proto.OpDeletePool, Name: name})
+		_, _ = c.rt(&proto.Request{Op: proto.OpDeletePool, Name: name})
 		return nil, err
 	}
 	lp := &Pool{c: c, Name: name, UUID: resp.Pool, Writable: true}
@@ -866,7 +877,7 @@ func (c *Client) ensureLogSpace() (*logState, error) {
 	lp.puddles = append(lp.puddles, rootPd)
 	// Size the directory puddle to its shard count: one page of slots
 	// per shard keeps per-shard capacity roughly at the legacy level.
-	lsResp, err := c.conn.RoundTrip(&proto.Request{
+	lsResp, err := c.rt(&proto.Request{
 		Op: proto.OpGetNewPuddle, Pool: lp.UUID, Size: plog.SpaceSize(shards), Kind: uint64(puddle.KindLogSpace),
 	})
 	if err != nil {
@@ -880,7 +891,7 @@ func (c *Client) ensureLogSpace() (*logState, error) {
 	if err != nil {
 		return fail(err)
 	}
-	if _, err := c.conn.RoundTrip(&proto.Request{
+	if _, err := c.rt(&proto.Request{
 		Op: proto.OpRegLogSpace, UUID: lsResp.UUID, Shards: uint32(shards),
 	}); err != nil {
 		return fail(err)
@@ -945,7 +956,7 @@ func (c *Client) acquireLog(hint uint32) (*txLog, error) {
 	// cannot succeed, free it rather than orphaning 2 MiB per failed
 	// acquisition (best effort — a failed free only costs space).
 	fail := func(err error) (*txLog, error) {
-		_, _ = c.conn.RoundTrip(&proto.Request{Op: proto.OpFreePuddle, UUID: id})
+		_, _ = c.rt(&proto.Request{Op: proto.OpFreePuddle, UUID: id})
 		return nil, err
 	}
 	l, err := plog.FormatLog(c.dev, region)
@@ -970,7 +981,7 @@ func (c *Client) acquireLog(hint uint32) (*txLog, error) {
 
 // newLogRegion allocates a log puddle and returns its heap range.
 func (c *Client) newLogRegion(st *logState, size uint64) (pmem.Range, uid.UUID, error) {
-	resp, err := c.conn.RoundTrip(&proto.Request{
+	resp, err := c.rt(&proto.Request{
 		Op: proto.OpGetNewPuddle, Pool: st.pool.UUID, Size: size, Kind: uint64(puddle.KindLog),
 	})
 	if err != nil {
@@ -1030,7 +1041,7 @@ func (c *Client) unregisterLog(st *logState, l *txLog) error {
 	if !removed {
 		err = fmt.Errorf("log %v missing from log space shard %d", l.uuid, l.shard)
 	}
-	if _, rtErr := c.conn.RoundTrip(&proto.Request{Op: proto.OpFreePuddle, UUID: l.uuid}); rtErr != nil && err == nil {
+	if _, rtErr := c.rt(&proto.Request{Op: proto.OpFreePuddle, UUID: l.uuid}); rtErr != nil && err == nil {
 		err = rtErr
 	}
 	if err != nil {

@@ -1,0 +1,229 @@
+// Client-side transport: dialing the daemon by URL, and transparent
+// reconnect-with-resume so idempotent metadata operations survive a
+// daemon restart (the session layer makes the resumed connection the
+// same tenant it was before the restart).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"puddles/internal/pmem"
+	"puddles/internal/proto"
+)
+
+// ErrDisconnected wraps a transport failure on a non-idempotent
+// operation: the connection died with the outcome unknown, and
+// replaying the request could apply it twice. The client has already
+// reconnected (or tried to) by the time this surfaces — the caller
+// decides whether the operation is safe to reissue.
+var ErrDisconnected = errors.New("core: connection to daemon lost")
+
+// Reconnect backoff bounds: a restarting daemon is typically back
+// within a drain window, so retries start tight and the total budget
+// stays a few seconds — a client stuck longer than that should surface
+// the failure rather than hang.
+const (
+	redialBackoffMin = 10 * time.Millisecond
+	redialBackoffMax = 500 * time.Millisecond
+	redialBudget     = 8 * time.Second
+)
+
+// transport is the client's reconnectable view of its daemon
+// connection (zero value = fixed single connection, the Connect /
+// SelfConn path).
+type transport struct {
+	mu      sync.Mutex
+	conn    *proto.Conn
+	redial  func() (net.Conn, error) // nil = not reconnectable
+	hello   proto.Hello              // creds re-presented on reconnect
+	sessID  uint64                   // session to resume (from last handshake)
+	sessTok uint64
+	closed  atomic.Bool
+	redials atomic.Uint64 // successful reconnects
+	resumes atomic.Uint64 // reconnects that resumed the session
+}
+
+// ParseURL splits a daemon URL into a net.Dial network/address pair.
+// Accepted forms: "unix:///path/to.sock", "tcp://host:port", and a
+// bare filesystem path (read as a UNIX socket path).
+func ParseURL(s string) (network, address string, err error) {
+	switch {
+	case strings.HasPrefix(s, "unix://"):
+		return "unix", strings.TrimPrefix(s, "unix://"), nil
+	case strings.HasPrefix(s, "tcp://"):
+		return "tcp", strings.TrimPrefix(s, "tcp://"), nil
+	case strings.Contains(s, "://"):
+		return "", "", fmt.Errorf("core: unsupported daemon URL scheme in %q (want unix:// or tcp://)", s)
+	case s == "":
+		return "", "", errors.New("core: empty daemon URL")
+	default:
+		return "unix", s, nil
+	}
+}
+
+// Dial connects to a daemon at url ("unix:///path", "tcp://host:port",
+// or a bare socket path) with superuser credentials. dev must be the
+// device the daemon manages (the DAX-mapping stand-in).
+func Dial(url string, dev *pmem.Device) (*Client, error) {
+	return DialHello(url, dev, proto.Hello{})
+}
+
+// DialHello is Dial with explicit handshake contents — credentials,
+// and optionally a {Session, Token} pair to resume another client's
+// session. The returned client reconnects automatically: if the
+// connection dies mid-operation it redials with bounded backoff,
+// resumes its session, and retries idempotent requests; requests whose
+// replay could double-apply return an error wrapping ErrDisconnected
+// instead.
+func DialHello(url string, dev *pmem.Device, h proto.Hello) (*Client, error) {
+	network, address, err := ParseURL(url)
+	if err != nil {
+		return nil, err
+	}
+	redial := func() (net.Conn, error) { return net.Dial(network, address) }
+	nc, err := redial()
+	if err != nil {
+		return nil, fmt.Errorf("core: dialing %s://%s: %w", network, address, err)
+	}
+	conn := proto.NewConnHello(nc, h)
+	if err := conn.Handshake(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c := Connect(conn, dev)
+	c.tr.redial = redial
+	c.tr.hello = h
+	c.tr.sessID, c.tr.sessTok = conn.Session()
+	return c, nil
+}
+
+// current returns the live connection.
+func (t *transport) current() *proto.Conn {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.conn
+}
+
+// SessionID reports the transport session the client currently holds
+// (0 for non-handshaken legacy paths).
+func (c *Client) SessionID() uint64 {
+	c.tr.mu.Lock()
+	defer c.tr.mu.Unlock()
+	if c.tr.sessID != 0 {
+		return c.tr.sessID
+	}
+	id, _ := c.tr.conn.Session()
+	return id
+}
+
+// Reconnects reports how many times the client has re-established its
+// connection after a transport failure.
+func (c *Client) Reconnects() uint64 { return c.tr.redials.Load() }
+
+// SessionResumed reports how many reconnects re-attached the previous
+// session (vs falling back to a fresh one).
+func (c *Client) SessionResumes() uint64 { return c.tr.resumes.Load() }
+
+// idempotentOp reports whether op may be safely replayed after a
+// connection died with the outcome unknown. Reads and naturally
+// idempotent registrations qualify; anything that creates, frees, or
+// finalizes is excluded — replaying those could double-apply.
+func idempotentOp(op proto.Op) bool {
+	switch op {
+	case proto.OpNop, proto.OpHello, proto.OpOpenPool, proto.OpListPools,
+		proto.OpStat, proto.OpGetType, proto.OpListTypes,
+		proto.OpGetExistPuddle, proto.OpRegisterType,
+		proto.OpImportResolve, proto.OpImportMap:
+		return true
+	}
+	return false
+}
+
+// rt is the one RoundTrip gateway for every client operation. A
+// *RemoteError passes straight through (the daemon answered — the
+// transport is fine). A transport error triggers a reconnect: redial
+// with bounded backoff, resume the session, then retry the request if
+// it is idempotent — otherwise surface ErrDisconnected with the
+// reconnect already done, so the NEXT operation proceeds normally.
+func (c *Client) rt(req *proto.Request) (*proto.Response, error) {
+	conn := c.tr.current()
+	resp, err := conn.RoundTrip(req)
+	if err == nil {
+		return resp, nil
+	}
+	var re *proto.RemoteError
+	if errors.As(err, &re) {
+		return resp, err
+	}
+	if c.tr.redial == nil || c.tr.closed.Load() {
+		return resp, err
+	}
+	if rerr := c.reconnect(conn); rerr != nil {
+		return nil, fmt.Errorf("%w: %v failed (%v) and reconnect failed: %v", ErrDisconnected, req.Op, err, rerr)
+	}
+	if !idempotentOp(req.Op) {
+		return nil, fmt.Errorf("%w: outcome of %v unknown (reconnected; do not blindly retry)", ErrDisconnected, req.Op)
+	}
+	return c.tr.current().RoundTrip(req)
+}
+
+// reconnect re-establishes the connection unless another goroutine
+// already has (old is the connection the caller saw die). It redials
+// with doubling backoff inside a fixed budget and resumes the stored
+// session; a daemon that rejects the resume outright (a HandshakeError,
+// not a transport failure) gets one fallback attempt with a fresh
+// session under the same credentials.
+func (c *Client) reconnect(old *proto.Conn) error {
+	t := &c.tr
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conn != old {
+		return nil // a concurrent caller already reconnected
+	}
+	if t.closed.Load() {
+		return proto.ErrClosed
+	}
+	old.Close()
+	deadline := time.Now().Add(redialBudget)
+	backoff := redialBackoffMin
+	hello := t.hello
+	hello.Session, hello.Token = t.sessID, t.sessTok
+	for {
+		nc, err := t.redial()
+		if err == nil {
+			conn := proto.NewConnHello(nc, hello)
+			err = conn.Handshake()
+			if err == nil {
+				t.conn = conn
+				t.sessID, t.sessTok = conn.Session()
+				t.redials.Add(1)
+				if conn.Resumed() {
+					t.resumes.Add(1)
+				}
+				return nil
+			}
+			conn.Close()
+			var he *proto.HandshakeError
+			if errors.As(err, &he) && hello.Session != 0 {
+				// The daemon is up but refuses the resume (token expired,
+				// registry full of strangers). Keep the credentials, drop
+				// the session, and try once more as a fresh tenant.
+				hello.Session, hello.Token = 0, 0
+				continue
+			}
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > redialBackoffMax {
+			backoff = redialBackoffMax
+		}
+	}
+}

@@ -55,7 +55,7 @@ type ImportStats struct {
 // the rest map and rewrite on first access (call FinalizeImport to
 // complete the session and enable writes).
 func (c *Client) ImportPool(name string, blob []byte, lazy bool) (*Pool, error) {
-	resp, err := c.conn.RoundTrip(&proto.Request{Op: proto.OpImportPool, Name: name, Blob: blob})
+	resp, err := c.rt(&proto.Request{Op: proto.OpImportPool, Name: name, Blob: blob})
 	if err != nil {
 		return nil, err
 	}
@@ -120,7 +120,7 @@ func (p *Pool) FinalizeImport() error {
 			return err
 		}
 	}
-	resp, err := c.conn.RoundTrip(&proto.Request{Op: proto.OpImportDone, Session: st.id})
+	resp, err := c.rt(&proto.Request{Op: proto.OpImportDone, Session: st.id})
 	if err != nil {
 		return err
 	}
@@ -175,7 +175,7 @@ func (c *Client) mapAndRewrite(st *importState, ip *importPud) error {
 			c.mu.Unlock()
 			c.dev.RemoveFaultRange(ip.newAddr)
 		}
-		resp, err := c.conn.RoundTrip(&proto.Request{Op: proto.OpImportMap, Session: st.id, UUID: ip.uuid})
+		resp, err := c.rt(&proto.Request{Op: proto.OpImportMap, Session: st.id, UUID: ip.uuid})
 		if err != nil {
 			return err
 		}
@@ -208,7 +208,7 @@ func (c *Client) resolveTarget(st *importState, target pmem.Addr) (*importPud, e
 	if hit.newAddr != 0 {
 		return hit, nil
 	}
-	resp, err := c.conn.RoundTrip(&proto.Request{Op: proto.OpImportResolve, Session: st.id, Addr: uint64(target)})
+	resp, err := c.rt(&proto.Request{Op: proto.OpImportResolve, Session: st.id, Addr: uint64(target)})
 	if err != nil {
 		return nil, err
 	}

@@ -22,11 +22,13 @@ import (
 	"fmt"
 	"hash/crc64"
 	"log"
+	"net"
 	"runtime"
 	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"puddles/internal/addrspace"
 	"puddles/internal/alloc"
@@ -252,6 +254,28 @@ type Daemon struct {
 	legacySlotCap   uint64 // legacy slot byte budget (tests shrink it)
 	legacySlot      pmem.Addr
 
+	// Transport session layer (session.go). tenMu guards the tenant
+	// session registry; it nests like sessMu in the lock order (taken
+	// from the connection path with no other daemon lock held).
+	tenMu        sync.Mutex
+	tenants      map[uint64]*Session
+	connsMu      sync.Mutex // live connection set (drain bookkeeping)
+	conns        map[*connState]struct{}
+	lsnMu        sync.Mutex // listeners Serve is accepting on
+	listeners    []net.Listener
+	connWg       sync.WaitGroup // every handleConn in flight
+	stopAccept   atomic.Bool    // Serve loops return instead of accepting
+	activeConns  atomic.Int64   // post-handshake connections
+	acceptErrs   atomic.Uint64  // accept errors survived (EMFILE etc.)
+	hsRejects    atomic.Uint64  // handshakes refused
+	sessResumes  atomic.Uint64  // sessions re-attached by token
+	maxConns     int            // 0 = defaultMaxConns
+	maxSessions  int            // 0 = defaultMaxSessions
+	sessIdle     time.Duration  // 0 = defaultSessionIdle
+	connBufBytes int            // 0 = proto.DefaultBufBytes
+	doneCh       chan struct{}  // closed once the daemon is down
+	doneOnce     sync.Once
+
 	panicHook func(*proto.Request) // test hook: provoke handler panics
 }
 
@@ -310,11 +334,20 @@ func New(dev *pmem.Device, opts ...Option) (*Daemon, error) {
 		ckptChunk:     defaultCkptChunk,
 		ckptHalf:      pmem.MetaCkptSize / 2,
 		legacySlotCap: slotBytes,
+		tenants:       make(map[uint64]*Session),
+		conns:         make(map[*connState]struct{}),
+		doneCh:        make(chan struct{}),
 	}
 	d.jPrevDone = make(chan struct{})
 	close(d.jPrevDone) // the ticket chain starts settled
 	for _, o := range opts {
 		o(d)
+	}
+	if d.maxConns == 0 {
+		d.maxConns = defaultMaxConns
+	}
+	if d.maxSessions == 0 {
+		d.maxSessions = defaultMaxSessions
 	}
 	if err := d.boot(); err != nil {
 		return nil, err
@@ -424,6 +457,7 @@ func (d *Daemon) Shutdown() {
 	if d.closed.Swap(true) {
 		return
 	}
+	defer d.signalDone()
 	d.ckptMu.Lock() // wait out any in-flight checkpoint stream
 	defer d.ckptMu.Unlock()
 	d.opMu.Lock() // quiesce in-flight requests; they complete first
@@ -1064,6 +1098,12 @@ func (d *Daemon) Stats() proto.Stats {
 		CacheRefills:   devStats.CacheRefills,
 		SlabDonations:  devStats.SlabDonations,
 		ReclaimedSlabs: devStats.ReclaimedSlabs,
+
+		ActiveConns:      int(d.activeConns.Load()),
+		ActiveSessions:   d.SessionCount(),
+		AcceptErrors:     d.acceptErrs.Load(),
+		HandshakeRejects: d.hsRejects.Load(),
+		SessionResumes:   d.sessResumes.Load(),
 	}
 }
 

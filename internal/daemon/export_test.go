@@ -1,0 +1,5 @@
+package daemon
+
+// TemporaryAcceptErrForTest exposes the accept-loop error classifier
+// to the black-box transport tests.
+var TemporaryAcceptErrForTest = temporaryAcceptErr

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"puddles/internal/addrspace"
 	"puddles/internal/plog"
@@ -30,28 +31,73 @@ const (
 	connQueueDepth     = 32
 )
 
-// Serve accepts connections on l until it is closed. Each connection
-// gets its own read loop, response writer and dispatch worker pool, so
-// one client's requests pipeline against each other and against every
-// other client — nothing funnels through a daemon-global lock.
+// Accept-retry backoff bounds: a transient accept failure (EMFILE
+// under fan-in, a connection aborted in the backlog) must not kill the
+// accept loop — it retries with doubling sleeps capped where a stuck
+// fd limit costs one log line a second, not a dead daemon.
+const (
+	acceptBackoffMin = time.Millisecond
+	acceptBackoffMax = time.Second
+)
+
+// Serve accepts connections on l until the listener is closed or the
+// daemon drains. Each connection completes the session handshake and
+// then gets its own read loop, response writer and dispatch worker
+// pool, so one client's requests pipeline against each other and
+// against every other client — nothing funnels through a daemon-global
+// lock. Transient accept errors are survived with capped backoff
+// (AcceptErrors counts them); Serve returns nil after Drain/Detach —
+// on the Detach path the listener is woken by an accept deadline and
+// handed back intact (deadline cleared) for a successor to inherit.
 func (d *Daemon) Serve(l net.Listener) error {
+	d.lsnMu.Lock()
+	d.listeners = append(d.listeners, l)
+	d.lsnMu.Unlock()
+	backoff := acceptBackoffMin
 	for {
 		c, err := l.Accept()
 		if err != nil {
+			if d.stopAccept.Load() {
+				// Detach woke us with an immediate deadline; clear it so
+				// an inheriting daemon's Accept doesn't spin on it.
+				if dl, ok := l.(interface{ SetDeadline(time.Time) error }); ok {
+					dl.SetDeadline(time.Time{})
+				}
+				return nil
+			}
 			if errors.Is(err, net.ErrClosed) {
 				return nil
 			}
+			if temporaryAcceptErr(err) {
+				d.acceptErrs.Add(1)
+				d.logf("accept: %v (retrying in %v)", err, backoff)
+				time.Sleep(backoff)
+				if backoff *= 2; backoff > acceptBackoffMax {
+					backoff = acceptBackoffMax
+				}
+				continue
+			}
 			return err
 		}
-		go d.handleConn(proto.NewServerConn(c))
+		backoff = acceptBackoffMin
+		d.connWg.Add(1)
+		go func() {
+			defer d.connWg.Done()
+			d.handleConn(proto.NewServerConnBuf(c, d.connBufBytes))
+		}()
 	}
 }
 
 // SelfConn returns an in-process client connection (net.Pipe), the
-// test/benchmark stand-in for the UNIX domain socket.
+// test/benchmark stand-in for the UNIX domain socket. It goes through
+// the same handshake and session registry as a socket connection.
 func (d *Daemon) SelfConn() *proto.Conn {
 	client, server := net.Pipe()
-	go d.handleConn(proto.NewServerConn(server))
+	d.connWg.Add(1)
+	go func() {
+		defer d.connWg.Done()
+		d.handleConn(proto.NewServerConn(server))
+	}()
 	return proto.NewConn(client)
 }
 
@@ -66,18 +112,35 @@ func (d *Daemon) numConnWorkers() int {
 	return n
 }
 
-// handleConn pipelines one connection: the read loop snapshots the
-// connection's credentials per request and hands (request, response
-// slot) pairs to the workers; the writer drains the slots in request
-// order. An injected power failure (chaos testing) inside a handler
-// means the "machine" is gone: the worker reports a nil response and
-// the connection is torn down, so clients see a dead connection
-// exactly as they would a crashed daemon process. A non-crash handler
-// panic is confined to its request (see serveOne).
+// handleConn runs the session handshake, then pipelines one
+// connection: the read loop snapshots the connection's credentials per
+// request and hands (request, response slot) pairs to the workers; the
+// writer drains the slots in request order. An injected power failure
+// (chaos testing) inside a handler means the "machine" is gone: the
+// worker reports a nil response and the connection is torn down, so
+// clients see a dead connection exactly as they would a crashed daemon
+// process. A non-crash handler panic is confined to its request (see
+// serveOne).
 func (d *Daemon) handleConn(sc *proto.ServerConn) {
 	var killOnce sync.Once
 	kill := func() { killOnce.Do(func() { sc.Close() }) }
 	defer kill()
+
+	sess, err := d.handshake(sc)
+	if err != nil {
+		var he *proto.HandshakeError
+		if errors.As(err, &he) {
+			d.logf("conn: %v", err)
+		}
+		return
+	}
+	cs := &connState{sc: sc, sess: sess}
+	cs.lastReq.Store(time.Now().UnixNano())
+	d.registerConn(cs)
+	defer func() {
+		d.unregisterConn(cs)
+		d.detachSession(sess)
+	}()
 
 	type job struct {
 		req   *proto.Request
@@ -95,9 +158,12 @@ func (d *Daemon) handleConn(sc *proto.ServerConn) {
 			resp := <-ch
 			if resp == nil {
 				kill() // crash-injected power failure mid-request
+				cs.inflight.Add(-1)
 				continue
 			}
-			if err := sc.Send(resp); err != nil {
+			err := sc.Send(resp)
+			cs.inflight.Add(-1) // answered only once the bytes are out
+			if err != nil {
 				kill()
 			}
 		}
@@ -108,12 +174,12 @@ func (d *Daemon) handleConn(sc *proto.ServerConn) {
 		go func() {
 			defer wg.Done()
 			for j := range work {
-				j.ch <- d.serveOne(j.creds, j.req, kill)
+				j.ch <- d.serveOne(j.creds, sess, j.req, kill)
 			}
 		}()
 	}
 
-	creds := Superuser
+	creds := sess.Creds // handshake credentials; OpHello may override
 	for {
 		req, err := sc.Recv()
 		if err != nil {
@@ -122,6 +188,8 @@ func (d *Daemon) handleConn(sc *proto.ServerConn) {
 			}
 			break
 		}
+		cs.inflight.Add(1)
+		cs.lastReq.Store(time.Now().UnixNano())
 		ch := make(chan *proto.Response, 1)
 		if req.Op == proto.OpHello {
 			// Credentials apply to every request read after this one;
@@ -143,7 +211,7 @@ func (d *Daemon) handleConn(sc *proto.ServerConn) {
 // handler bug produces an error response and ticks DispatchPanics
 // instead of tearing down the connection loop; an injected crash
 // (pmem.IsCrash) returns nil, meaning the machine died.
-func (d *Daemon) serveOne(creds Creds, req *proto.Request, kill func()) (resp *proto.Response) {
+func (d *Daemon) serveOne(creds Creds, sess *Session, req *proto.Request, kill func()) (resp *proto.Response) {
 	defer func() {
 		if r := recover(); r != nil {
 			if pmem.IsCrash(r) {
@@ -157,12 +225,37 @@ func (d *Daemon) serveOne(creds Creds, req *proto.Request, kill func()) (resp *p
 			resp.ID = req.ID
 		}
 	}()
+	if sess != nil && req.SID != 0 && req.SID != sess.ID {
+		// A request stamped for a different session than the connection's
+		// handshake established is a confused (or malicious) client.
+		resp = fail("request session %d does not match connection session %d", req.SID, sess.ID)
+		resp.ID = req.ID
+		return resp
+	}
 	resp = d.dispatch(creds, req)
 	resp.ID = req.ID
+	if sess != nil && resp.Err == "" {
+		d.accountSession(sess, req)
+	}
 	// Opportunistic journal compaction runs here, after the response is
 	// built and with no daemon locks held.
 	d.maybeCompact()
 	return resp
+}
+
+// accountSession maintains per-session open-pool/grant accounting on
+// successful ops (operator visibility; see Session.Accounting).
+func (d *Daemon) accountSession(sess *Session, req *proto.Request) {
+	switch req.Op {
+	case proto.OpOpenPool, proto.OpCreatePool:
+		sess.notePoolOpen(req.Name)
+	case proto.OpDeletePool:
+		sess.notePoolGone(req.Name)
+	case proto.OpGetNewPuddle, proto.OpGetExistPuddle:
+		sess.noteGrant(1)
+	case proto.OpFreePuddle:
+		sess.noteGrant(-1)
+	}
 }
 
 func fail(format string, args ...any) *proto.Response {

@@ -1,0 +1,296 @@
+package daemon_test
+
+import (
+	"encoding/gob"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"puddles/internal/core"
+	"puddles/internal/daemon"
+	"puddles/internal/pmem"
+	"puddles/internal/proto"
+)
+
+// startTCPDaemon boots a daemon on an ephemeral TCP listener and
+// returns it with its device and address. The listener dies with the
+// test.
+func startTCPDaemon(t *testing.T, opts ...daemon.Option) (*daemon.Daemon, *pmem.Device, string) {
+	t.Helper()
+	dev := pmem.New()
+	d, err := daemon.New(dev, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go d.Serve(l)
+	return d, dev, l.Addr().String()
+}
+
+func dialHello(t *testing.T, addr string, h proto.Hello) *proto.Conn {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return proto.NewConnHello(nc, h)
+}
+
+func TestSessionResumeAcrossConnections(t *testing.T) {
+	d, _, addr := startTCPDaemon(t)
+
+	c1 := dialHello(t, addr, proto.Hello{UID: 7, GID: 7})
+	if err := c1.Handshake(); err != nil {
+		t.Fatal(err)
+	}
+	id, tok := c1.Session()
+	if id == 0 || tok == 0 {
+		t.Fatalf("session = %d/%d, want non-zero", id, tok)
+	}
+	if c1.Resumed() {
+		t.Fatal("fresh handshake reported Resumed")
+	}
+	c1.Close()
+
+	c2 := dialHello(t, addr, proto.Hello{UID: 7, GID: 7, Session: id, Token: tok})
+	if err := c2.Handshake(); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	defer c2.Close()
+	if !c2.Resumed() {
+		t.Fatal("resume not reported")
+	}
+	if id2, _ := c2.Session(); id2 != id {
+		t.Fatalf("resumed session %d, want %d", id2, id)
+	}
+	if n := d.SessionCount(); n != 1 {
+		t.Fatalf("SessionCount = %d, want 1 (resume must not mint)", n)
+	}
+	if got := d.Stats().SessionResumes; got != 1 {
+		t.Fatalf("SessionResumes = %d, want 1", got)
+	}
+}
+
+func TestSessionResumeRejections(t *testing.T) {
+	d, _, addr := startTCPDaemon(t)
+
+	c1 := dialHello(t, addr, proto.Hello{UID: 7, GID: 7})
+	if err := c1.Handshake(); err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	id, tok := c1.Session()
+
+	expectReject := func(h proto.Hello, wantSub string) {
+		t.Helper()
+		c := dialHello(t, addr, h)
+		defer c.Close()
+		err := c.Handshake()
+		var he *proto.HandshakeError
+		if !errors.As(err, &he) {
+			t.Fatalf("Handshake = %v, want HandshakeError", err)
+		}
+		if !strings.Contains(he.Msg, wantSub) {
+			t.Fatalf("reject %q, want substring %q", he.Msg, wantSub)
+		}
+	}
+	expectReject(proto.Hello{UID: 7, GID: 7, Session: id, Token: tok + 1}, "bad token")
+	expectReject(proto.Hello{UID: 8, GID: 8, Session: id, Token: tok}, "credential mismatch")
+	expectReject(proto.Hello{UID: 7, GID: 7, Session: id + 1}, "no token")
+	if got := d.Stats().HandshakeRejects; got != 3 {
+		t.Fatalf("HandshakeRejects = %d, want 3", got)
+	}
+}
+
+// TestSessionRemintAfterRestart: a daemon that has never seen a
+// {Session, Token} pair (it restarted; the registry is volatile)
+// re-mints the session under the presented ID so the client's identity
+// survives.
+func TestSessionRemintAfterRestart(t *testing.T) {
+	d, _, addr := startTCPDaemon(t)
+	c := dialHello(t, addr, proto.Hello{UID: 3, GID: 4, Session: 424242, Token: 99})
+	if err := c.Handshake(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.Resumed() {
+		t.Fatal("re-mint should report Resumed")
+	}
+	if id, tok := c.Session(); id != 424242 || tok != 99 {
+		t.Fatalf("re-minted session = %d/%d", id, tok)
+	}
+	s := d.LookupSession(424242)
+	if s == nil {
+		t.Fatal("re-minted session not registered")
+	}
+	if s.Creds != (daemon.Creds{UID: 3, GID: 4}) {
+		t.Fatalf("re-minted creds = %+v", s.Creds)
+	}
+}
+
+func TestMaxConnsRefusesAtHandshake(t *testing.T) {
+	d, _, addr := startTCPDaemon(t, daemon.WithMaxConns(1))
+	c1 := dialHello(t, addr, proto.Hello{})
+	defer c1.Close()
+	// A round trip guarantees the first connection is registered.
+	if _, err := c1.RoundTrip(&proto.Request{Op: proto.OpNop}); err != nil {
+		t.Fatal(err)
+	}
+	c2 := dialHello(t, addr, proto.Hello{})
+	defer c2.Close()
+	err := c2.Handshake()
+	var he *proto.HandshakeError
+	if !errors.As(err, &he) || !strings.Contains(he.Msg, "connection limit") {
+		t.Fatalf("second conn Handshake = %v, want connection-limit HandshakeError", err)
+	}
+	st := d.Stats()
+	if st.HandshakeRejects == 0 {
+		t.Fatal("HandshakeRejects not counted")
+	}
+	if st.ActiveConns != 1 {
+		t.Fatalf("ActiveConns = %d, want 1", st.ActiveConns)
+	}
+}
+
+func TestMaxSessionsCapsMintsNotResumes(t *testing.T) {
+	_, _, addr := startTCPDaemon(t, daemon.WithMaxSessions(1))
+	c1 := dialHello(t, addr, proto.Hello{UID: 5, GID: 5})
+	defer c1.Close()
+	if err := c1.Handshake(); err != nil {
+		t.Fatal(err)
+	}
+	id, tok := c1.Session()
+
+	c2 := dialHello(t, addr, proto.Hello{UID: 6, GID: 6})
+	defer c2.Close()
+	err := c2.Handshake()
+	var he *proto.HandshakeError
+	if !errors.As(err, &he) || !strings.Contains(he.Msg, "session limit") {
+		t.Fatalf("fresh session past cap = %v, want session-limit HandshakeError", err)
+	}
+
+	// Resuming the existing session does not mint and must pass.
+	c3 := dialHello(t, addr, proto.Hello{UID: 5, GID: 5, Session: id, Token: tok})
+	defer c3.Close()
+	if err := c3.Handshake(); err != nil {
+		t.Fatalf("resume under full registry: %v", err)
+	}
+}
+
+func TestSessionIdleReap(t *testing.T) {
+	d, _, addr := startTCPDaemon(t, daemon.WithSessionIdle(20*time.Millisecond))
+	c := dialHello(t, addr, proto.Hello{})
+	if err := c.Handshake(); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for d.SessionCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("idle session never reaped (count %d)", d.SessionCount())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestSessionAccounting(t *testing.T) {
+	d, _, addr := startTCPDaemon(t)
+	c := dialHello(t, addr, proto.Hello{})
+	defer c.Close()
+	created, err := c.RoundTrip(&proto.Request{Op: proto.OpCreatePool, Name: "acct"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RoundTrip(&proto.Request{Op: proto.OpGetNewPuddle, Pool: created.Pool}); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := c.Session()
+	s := d.LookupSession(id)
+	if s == nil {
+		t.Fatal("session not registered")
+	}
+	pools, grants := s.Accounting()
+	if pools != 1 || grants != 1 {
+		t.Fatalf("accounting = %d pools / %d grants, want 1/1", pools, grants)
+	}
+	if _, err := c.RoundTrip(&proto.Request{Op: proto.OpDeletePool, Name: "acct"}); err != nil {
+		t.Fatal(err)
+	}
+	if pools, _ = s.Accounting(); pools != 0 {
+		t.Fatalf("pools after delete = %d, want 0", pools)
+	}
+}
+
+// TestRequestSIDMismatchRejected forges a request stamped for a
+// different session than its connection's — something proto.Conn
+// cannot produce, so it speaks raw gob.
+func TestRequestSIDMismatchRejected(t *testing.T) {
+	_, _, addr := startTCPDaemon(t)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	enc := gob.NewEncoder(nc)
+	dec := gob.NewDecoder(nc)
+	if err := enc.Encode(&proto.Hello{Magic: proto.HandshakeMagic, Version: proto.ProtocolVersion}); err != nil {
+		t.Fatal(err)
+	}
+	var w proto.Welcome
+	if err := dec.Decode(&w); err != nil {
+		t.Fatal(err)
+	}
+	if w.Err != "" || w.Session == 0 {
+		t.Fatalf("welcome = %+v", w)
+	}
+	if err := enc.Encode(&proto.Request{ID: 1, Op: proto.OpNop, SID: w.Session + 1}); err != nil {
+		t.Fatal(err)
+	}
+	var resp proto.Response
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Err, "session") {
+		t.Fatalf("forged SID response = %+v, want session mismatch error", resp)
+	}
+}
+
+// TestPoolPermissionsPerSession: two sessions with different
+// credentials; the second must not chmod or delete the first's
+// restricted pool (session creds gate the control plane exactly as
+// OpHello creds did).
+func TestPoolPermissionsPerSession(t *testing.T) {
+	_, dev, addr := startTCPDaemon(t)
+	owner, err := core.Dial("tcp://"+addr, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer owner.Close()
+	if err := owner.Hello(100, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := owner.CreatePool("private", 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	other, err := core.DialHello("tcp://"+addr, dev, proto.Hello{UID: 200, GID: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if _, err := other.RoundTrip(&proto.Request{Op: proto.OpChmodPool, Name: "private", Mode: 0o777}); err == nil {
+		t.Fatal("foreign session chmodded a 0600 pool")
+	}
+	if _, err := other.RoundTrip(&proto.Request{Op: proto.OpDeletePool, Name: "private"}); err == nil {
+		t.Fatal("foreign session deleted a 0600 pool")
+	}
+	if _, err := owner.RoundTrip(&proto.Request{Op: proto.OpDeletePool, Name: "private"}); err != nil {
+		t.Fatalf("owner delete: %v", err)
+	}
+}

@@ -1,0 +1,229 @@
+package daemon_test
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"puddles/internal/core"
+	"puddles/internal/daemon"
+	"puddles/internal/pmem"
+	"puddles/internal/proto"
+)
+
+// TestServeOverTCP mirrors TestServeOverUnixSocket on the TCP front
+// end: same protocol, same daemon, a routable transport.
+func TestServeOverTCP(t *testing.T) {
+	dev := pmem.New()
+	d, err := daemon.New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- d.Serve(l) }()
+
+	dial := func() *proto.Conn {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return proto.NewConn(nc)
+	}
+	c1 := dial()
+	defer c1.Close()
+	c2 := dial()
+	defer c2.Close()
+
+	if _, err := c1.RoundTrip(&proto.Request{Op: proto.OpCreatePool, Name: "tcppool"}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c2.RoundTrip(&proto.Request{Op: proto.OpOpenPool, Name: "tcppool"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Addr == 0 {
+		t.Fatal("no grant over TCP")
+	}
+	// Full data-plane client over TCP (device shared in-process, as in
+	// the UNIX socket test).
+	cl := core.Connect(dial(), dev)
+	defer cl.Close()
+	ti, err := cl.RegisterType("tcp.node", 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := cl.OpenPool("tcppool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := pool.CreateRoot(ti.ID, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Run(pool, func(tx *core.Tx) error { return tx.SetU64(root, 9) }); err != nil {
+		t.Fatal(err)
+	}
+	if dev.LoadU64(root) != 9 {
+		t.Fatal("tx over TCP lost")
+	}
+
+	l.Close()
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve returned %v", err)
+	}
+}
+
+// TestRestartHandoff is the zero-downtime restart, in-process: daemon
+// one serves a listener, a client fires a burst of pipelined requests,
+// Detach drains WITHOUT closing the listener fd, daemon two adopts the
+// same listener, and the client transparently reconnects and resumes
+// its session. Every pipelined request must complete (drain waits for
+// in-flight work), and everything acknowledged before the restart must
+// be visible after it.
+func TestRestartHandoff(t *testing.T) {
+	dev := pmem.New()
+	d1, err := daemon.New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go d1.Serve(l)
+
+	cl, err := core.Dial("tcp://"+l.Addr().String(), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.CreatePool("handoff", 0o666); err != nil {
+		t.Fatal(err)
+	}
+	sid := cl.SessionID()
+	if sid == 0 {
+		t.Fatal("no session after dial")
+	}
+
+	// A burst of pipelined requests in flight while the drain starts:
+	// the drain's quiet window must let all of them complete.
+	const burst = 64
+	var wg sync.WaitGroup
+	errs := make([]error, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = cl.Nop()
+		}(i)
+	}
+	time.Sleep(5 * time.Millisecond) // let the burst hit the wire
+	if err := d1.Detach(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("pipelined request %d lost to drain: %v", i, err)
+		}
+	}
+
+	// Successor adopts the SAME listener (in-process stand-in for the
+	// fd handoff, which inherit's own test proves across exec).
+	d2, err := daemon.New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go d2.Serve(l)
+
+	// The next idempotent op rides the reconnect: redial, resume the
+	// session by token, retry.
+	pool, err := cl.OpenPool("handoff")
+	if err != nil {
+		t.Fatalf("op across restart: %v", err)
+	}
+	if pool == nil {
+		t.Fatal("acknowledged pool lost across restart")
+	}
+	if got := cl.Reconnects(); got != 1 {
+		t.Fatalf("Reconnects = %d, want 1", got)
+	}
+	if got := cl.SessionResumes(); got != 1 {
+		t.Fatalf("SessionResumes = %d, want 1", got)
+	}
+	if got := cl.SessionID(); got != sid {
+		t.Fatalf("session changed across restart: %d -> %d", sid, got)
+	}
+	if s := d2.LookupSession(sid); s == nil {
+		t.Fatal("successor daemon does not hold the resumed session")
+	}
+}
+
+// flakyListener fails the first N accepts with EMFILE — the classic
+// fd-exhaustion storm — then behaves.
+type flakyListener struct {
+	net.Listener
+	remaining atomic.Int32
+}
+
+func (f *flakyListener) Accept() (net.Conn, error) {
+	if f.remaining.Add(-1) >= 0 {
+		return nil, &net.OpError{Op: "accept", Net: "tcp", Err: syscall.EMFILE}
+	}
+	return f.Listener.Accept()
+}
+
+// TestAcceptBackoffSurvivesTransientErrors pins the accept-loop bugfix:
+// transient errors (EMFILE et al.) must not kill Serve — it backs off,
+// counts them, and keeps accepting.
+func TestAcceptBackoffSurvivesTransientErrors(t *testing.T) {
+	dev := pmem.New()
+	d, err := daemon.New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &flakyListener{Listener: inner}
+	fl.remaining.Store(3)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- d.Serve(fl) }()
+
+	nc, err := net.Dial("tcp", inner.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := proto.NewConn(nc)
+	defer c.Close()
+	if _, err := c.RoundTrip(&proto.Request{Op: proto.OpNop}); err != nil {
+		t.Fatalf("accept loop died on transient errors: %v", err)
+	}
+	if got := d.Stats().AcceptErrors; got < 3 {
+		t.Fatalf("AcceptErrors = %d, want >= 3", got)
+	}
+
+	inner.Close()
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve returned %v", err)
+	}
+}
+
+func TestTemporaryAcceptErrClassification(t *testing.T) {
+	if !daemon.TemporaryAcceptErrForTest(&net.OpError{Op: "accept", Err: syscall.EMFILE}) {
+		t.Fatal("EMFILE should be temporary")
+	}
+	if daemon.TemporaryAcceptErrForTest(net.ErrClosed) {
+		t.Fatal("ErrClosed must be fatal to the accept loop")
+	}
+}

@@ -1,0 +1,121 @@
+// Package inherit passes live listener sockets between daemon
+// generations for zero-downtime restart (LISTEN_FDS-style): the old
+// process exports its listeners as inherited file descriptors plus an
+// environment variable naming them, execs its successor, and exits;
+// the successor adopts the fds instead of binding anew, so the kernel
+// listen backlog carries connections across the restart gap and no
+// client ever sees connection-refused.
+package inherit
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// EnvVar names the inherited listeners: a comma-separated list of
+// "network" tokens (e.g. "unix,tcp"), one per fd starting at FirstFD.
+// The networks ride along so the successor can report what it adopted
+// without poking at the sockets.
+const EnvVar = "PUDDLED_FDS"
+
+// FirstFD is the fd number of the first inherited listener in the
+// child (after stdin/stdout/stderr), matching exec.Cmd.ExtraFiles.
+const FirstFD = 3
+
+// Listeners reports the listeners inherited from a parent process, in
+// the order the parent exported them. It returns (nil, nil) when the
+// environment carries none — the caller binds its own sockets.
+func Listeners() ([]net.Listener, error) {
+	val := os.Getenv(EnvVar)
+	if val == "" {
+		return nil, nil
+	}
+	os.Unsetenv(EnvVar) // consumed: a grandchild must not re-adopt stale fds
+	nets := strings.Split(val, ",")
+	out := make([]net.Listener, 0, len(nets))
+	for i, network := range nets {
+		fd := uintptr(FirstFD + i)
+		f := os.NewFile(fd, fmt.Sprintf("inherited-%s-%d", network, fd))
+		if f == nil {
+			return nil, fmt.Errorf("inherit: fd %d (%s) not open", fd, network)
+		}
+		l, err := net.FileListener(f)
+		f.Close() // FileListener dups; drop the original
+		if err != nil {
+			return nil, fmt.Errorf("inherit: adopting fd %d (%s): %w", fd, network, err)
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}
+
+// filer is implemented by *net.TCPListener and *net.UnixListener.
+type filer interface {
+	File() (*os.File, error)
+}
+
+// Export turns live listeners into the (files, env) pair a successor
+// needs: files go in exec.Cmd.ExtraFiles (becoming fds 3, 4, ... in
+// the child), env goes in its environment. The returned files are
+// dups — close them after the child starts.
+func Export(listeners []net.Listener) (files []*os.File, env string, err error) {
+	nets := make([]string, 0, len(listeners))
+	for _, l := range listeners {
+		fl, ok := l.(filer)
+		if !ok {
+			return nil, "", fmt.Errorf("inherit: listener %T cannot export an fd", l)
+		}
+		f, err := fl.File()
+		if err != nil {
+			return nil, "", fmt.Errorf("inherit: exporting %v: %w", l.Addr(), err)
+		}
+		files = append(files, f)
+		nets = append(nets, l.Addr().Network())
+	}
+	return files, EnvVar + "=" + strings.Join(nets, ","), nil
+}
+
+// Command builds the successor process: the current binary, the given
+// argv (without the program name), the inherited listener fds and
+// their environment marker. The caller starts it and exits once it is
+// running. Stdout/stderr pass through so the generations share a log
+// stream.
+func Command(args []string, listeners []net.Listener) (*exec.Cmd, []*os.File, error) {
+	files, env, err := Export(listeners)
+	if err != nil {
+		return nil, nil, err
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		for _, f := range files {
+			f.Close()
+		}
+		return nil, nil, fmt.Errorf("inherit: resolving executable: %w", err)
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), env)
+	cmd.ExtraFiles = files
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	return cmd, files, nil
+}
+
+// Generation reports this process's restart generation (0 for a
+// process started by an operator, parent+1 after each handoff) — log
+// decoration so interleaved generations are tellable apart.
+func Generation() int {
+	n, _ := strconv.Atoi(os.Getenv(genEnvVar))
+	return n
+}
+
+const genEnvVar = "PUDDLED_GENERATION"
+
+// GenerationEnv returns the environment entry stamping a child as the
+// next generation.
+func GenerationEnv() string {
+	return genEnvVar + "=" + strconv.Itoa(Generation()+1)
+}

@@ -1,0 +1,121 @@
+package inherit
+
+import (
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+func TestListenersEmptyEnv(t *testing.T) {
+	os.Unsetenv(EnvVar)
+	ls, err := Listeners()
+	if err != nil || ls != nil {
+		t.Fatalf("Listeners with no env = %v, %v", ls, err)
+	}
+}
+
+func TestGeneration(t *testing.T) {
+	os.Unsetenv(genEnvVar)
+	if g := Generation(); g != 0 {
+		t.Fatalf("fresh generation = %d", g)
+	}
+	if env := GenerationEnv(); env != genEnvVar+"=1" {
+		t.Fatalf("GenerationEnv = %q", env)
+	}
+}
+
+// TestExportAdoptAcrossExec is the real handoff: a TCP listener is
+// exported, a child process (this test binary re-exec'd) adopts it via
+// Listeners, the parent CLOSES its copy, and a fresh dial to the same
+// address is served by the child — the listening socket survived the
+// process boundary.
+func TestExportAdoptAcrossExec(t *testing.T) {
+	if os.Getenv("GO_INHERIT_HELPER") == "1" {
+		t.Skip("helper process")
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	cmd, files, err := func() (*exec.Cmd, []*os.File, error) {
+		files, env, err := Export([]net.Listener{l})
+		if err != nil {
+			return nil, nil, err
+		}
+		cmd := exec.Command(os.Args[0], "-test.run", "TestInheritHelperProcess", "-test.v")
+		cmd.Env = append(os.Environ(), env, "GO_INHERIT_HELPER=1")
+		cmd.ExtraFiles = files
+		return cmd, files, nil
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		f.Close() // child holds its own dups now
+	}
+	l.Close() // the parent's copy dies; the child's must keep serving
+
+	var conn net.Conn
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err = net.Dial("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dialing inherited listener: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, buf); err != nil || string(buf) != "pong" {
+		t.Fatalf("child reply = %q, %v", buf, err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("helper exited: %v", err)
+	}
+}
+
+// TestInheritHelperProcess is the child side of the handoff test; it
+// only runs re-exec'd with GO_INHERIT_HELPER=1.
+func TestInheritHelperProcess(t *testing.T) {
+	if os.Getenv("GO_INHERIT_HELPER") != "1" {
+		t.Skip("not the helper process")
+	}
+	ls, err := Listeners()
+	if err != nil {
+		t.Fatalf("adopting: %v", err)
+	}
+	if len(ls) != 1 {
+		t.Fatalf("adopted %d listeners, want 1", len(ls))
+	}
+	if Generation() != 0 {
+		// The parent did not stamp a generation env in this test.
+		t.Fatalf("generation = %d", Generation())
+	}
+	c, err := ls[0].Accept()
+	if err != nil {
+		t.Fatalf("accept on inherited fd: %v", err)
+	}
+	defer c.Close()
+	buf := make([]byte, 4)
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c, buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("read = %q, %v", buf, err)
+	}
+	if _, err := c.Write([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -12,6 +12,7 @@ package proto
 import (
 	"bufio"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -20,6 +21,56 @@ import (
 	"puddles/internal/ptypes"
 	"puddles/internal/uid"
 )
+
+// ErrClosed is the deterministic error every outstanding and future
+// RoundTrip fails with after a local Conn.Close — distinct from the
+// decode error the reader goroutine would otherwise race into, so
+// client retry logic can tell "we hung up" from "the peer died".
+var ErrClosed = errors.New("proto: connection closed")
+
+// --- handshake (session layer) ---
+
+// Handshake constants. Every connection must complete a Hello/Welcome
+// exchange before any request is dispatched: the magic rejects
+// non-protocol peers, the version gates wire compatibility, and the
+// credentials+resume token establish (or re-attach) the connection's
+// session. The exchange replaces the informal OpHello-as-first-request
+// convention (OpHello survives as a per-connection credential
+// override for tools).
+const (
+	// HandshakeMagic spells "PUDDLES1" (little-endian).
+	HandshakeMagic uint64 = 0x3153454c44445550
+	// ProtocolVersion is bumped on incompatible wire changes.
+	ProtocolVersion uint16 = 1
+)
+
+// Hello is the first frame a client writes on a new connection.
+type Hello struct {
+	Magic   uint64
+	Version uint16
+	UID     uint32 // credentials (simulated SO_PEERCRED)
+	GID     uint32
+	Session uint64 // session to resume (0 = start a new session)
+	Token   uint64 // resume proof for Session
+}
+
+// Welcome answers a Hello. A non-empty Err means the handshake was
+// rejected and the daemon is closing the connection.
+type Welcome struct {
+	Err     string
+	Version uint16 // daemon's protocol version
+	Session uint64 // the session this connection is attached to
+	Token   uint64 // present to resume the session after a reconnect
+	Resumed bool   // an existing session was re-attached
+}
+
+// HandshakeError is a handshake rejected by the daemon (bad magic,
+// version mismatch, session/connection caps, resume denial) — the
+// connection is dead, but unlike a transport error the daemon was
+// reachable, so reconnect logic should not retry the same handshake.
+type HandshakeError struct{ Msg string }
+
+func (e *HandshakeError) Error() string { return "proto: handshake rejected: " + e.Msg }
 
 // Op identifies a daemon operation.
 type Op uint16
@@ -86,6 +137,7 @@ type PuddleInfo struct {
 type Request struct {
 	Op      Op
 	ID      uint64
+	SID     uint64 // transport session (stamped by Conn from the handshake)
 	Name    string // pool name
 	UID     uint32 // credentials (Hello)
 	GID     uint32
@@ -129,6 +181,12 @@ type Stats struct {
 	CacheRefills   uint64 // slabs carved or adopted into worker caches
 	SlabDonations  uint64 // empty cached slabs bulk-returned to their heap
 	ReclaimedSlabs uint64 // crash-orphaned parked slabs folded back at reopen
+
+	ActiveConns      int    // live client connections (post-handshake)
+	ActiveSessions   int    // live sessions in the registry
+	AcceptErrors     uint64 // accept-loop errors survived (EMFILE etc.)
+	HandshakeRejects uint64 // connections refused at the handshake
+	SessionResumes   uint64 // sessions re-attached via a resume token
 }
 
 // Response is the union of all response payloads. ID echoes the
@@ -166,24 +224,105 @@ type Conn struct {
 	bw     *bufio.Writer
 	enc    *gob.Encoder
 
-	dec        *gob.Decoder // owned by the reader goroutine
+	dec        *gob.Decoder // owned by the reader goroutine (after handshake)
 	readerOnce sync.Once
+
+	// Handshake state. The Hello frame is written (and its Welcome
+	// read, synchronously — the reader goroutine starts only
+	// afterwards) before the first request; session/token/resumed are
+	// written once under hsOnce and read by RoundTrip after it.
+	hello   Hello
+	hsOnce  sync.Once
+	hsErr   error
+	session uint64
+	token   uint64
+	resumed bool
 
 	mu      sync.Mutex // guards pending and dead
 	pending map[uint64]chan *Response
 	dead    error
 }
 
-// NewConn wraps a network connection. Both directions are buffered:
-// large payloads (export containers) would otherwise rendezvous
-// through net.Pipe in many small chunks.
-func NewConn(c net.Conn) *Conn {
-	bw := bufio.NewWriterSize(c, 256<<10)
+// DefaultBufBytes is the per-direction buffer size of NewConn and
+// NewServerConn. Large payloads (export containers) would otherwise
+// rendezvous through net.Pipe in many small chunks; connection-count
+// sweeps use NewConnBuf with a smaller size so 4096 connections don't
+// cost 4096 × 512 KiB of idle buffer.
+const DefaultBufBytes = 256 << 10
+
+// NewConn wraps a network connection with default credentials
+// (superuser) and a fresh session. Both directions are buffered.
+func NewConn(c net.Conn) *Conn { return NewConnHello(c, Hello{}) }
+
+// NewConnHello wraps a network connection with an explicit handshake:
+// credentials and, to re-attach a previous session after a reconnect,
+// its resume token. Magic and Version are filled in automatically.
+func NewConnHello(c net.Conn, h Hello) *Conn { return NewConnBuf(c, h, DefaultBufBytes) }
+
+// NewConnBuf is NewConnHello with an explicit per-direction buffer
+// size.
+func NewConnBuf(c net.Conn, h Hello, bufBytes int) *Conn {
+	if bufBytes <= 0 {
+		bufBytes = DefaultBufBytes
+	}
+	h.Magic = HandshakeMagic
+	if h.Version == 0 {
+		h.Version = ProtocolVersion
+	}
+	bw := bufio.NewWriterSize(c, bufBytes)
 	return &Conn{
 		c: c, bw: bw, enc: gob.NewEncoder(bw),
-		dec:     gob.NewDecoder(bufio.NewReaderSize(c, 256<<10)),
+		dec:     gob.NewDecoder(bufio.NewReaderSize(c, bufBytes)),
+		hello:   h,
 		pending: make(map[uint64]chan *Response),
 	}
+}
+
+// Handshake completes the Hello/Welcome exchange if it has not run
+// yet. RoundTrip calls it implicitly; explicit calls let a dialer
+// validate the session before issuing requests. The first error is
+// sticky: a failed handshake kills the connection.
+func (c *Conn) Handshake() error {
+	c.hsOnce.Do(func() {
+		c.sendMu.Lock()
+		err := c.enc.Encode(&c.hello)
+		if err == nil {
+			err = c.bw.Flush()
+		}
+		c.sendMu.Unlock()
+		if err != nil {
+			c.hsErr = c.fail(fmt.Errorf("proto: handshake send: %w", err))
+			return
+		}
+		// The reader goroutine starts only after the handshake, so the
+		// decoder is ours to use synchronously here.
+		var w Welcome
+		if err := c.dec.Decode(&w); err != nil {
+			c.hsErr = c.fail(fmt.Errorf("proto: handshake recv: %w", err))
+			return
+		}
+		if w.Err != "" {
+			c.hsErr = c.fail(&HandshakeError{Msg: w.Err})
+			return
+		}
+		c.session, c.token, c.resumed = w.Session, w.Token, w.Resumed
+	})
+	return c.hsErr
+}
+
+// Session returns the session this connection is attached to and its
+// resume token (zero before a successful handshake). Passing them in
+// a later NewConnHello re-attaches the session.
+func (c *Conn) Session() (id, token uint64) {
+	c.Handshake()
+	return c.session, c.token
+}
+
+// Resumed reports whether the handshake re-attached an existing
+// session rather than starting a fresh one.
+func (c *Conn) Resumed() bool {
+	c.Handshake()
+	return c.resumed
 }
 
 // fail marks the connection dead (first error wins) and wakes every
@@ -237,9 +376,13 @@ func (c *Conn) readLoop() {
 // Request value may be shared by concurrent callers exactly as it
 // could under the old serialized Conn.
 func (c *Conn) RoundTrip(req *Request) (*Response, error) {
+	if err := c.Handshake(); err != nil {
+		return nil, err
+	}
 	c.readerOnce.Do(func() { go c.readLoop() })
 	wire := *req
 	wire.ID = c.nextID.Add(1)
+	wire.SID = c.session
 	ch := make(chan *Response, 1)
 	c.mu.Lock()
 	if c.dead != nil {
@@ -275,9 +418,15 @@ func (c *Conn) RoundTrip(req *Request) (*Response, error) {
 	return resp, nil
 }
 
-// Close closes the underlying connection; outstanding and future round
-// trips fail.
-func (c *Conn) Close() error { return c.c.Close() }
+// Close closes the underlying connection. Outstanding and future
+// round trips fail with ErrClosed (first error wins: if the peer
+// already died, the earlier error is preserved) rather than whatever
+// decode error the reader goroutine races into, so retry logic can
+// tell a local hangup from peer death.
+func (c *Conn) Close() error {
+	c.fail(ErrClosed)
+	return c.c.Close()
+}
 
 // RemoteError is an error reported by the daemon.
 type RemoteError struct {
@@ -300,9 +449,72 @@ type ServerConn struct {
 }
 
 // NewServerConn wraps an accepted connection.
-func NewServerConn(c net.Conn) *ServerConn {
-	bw := bufio.NewWriterSize(c, 256<<10)
-	return &ServerConn{c: c, bw: bw, enc: gob.NewEncoder(bw), dec: gob.NewDecoder(bufio.NewReaderSize(c, 256<<10))}
+func NewServerConn(c net.Conn) *ServerConn { return NewServerConnBuf(c, DefaultBufBytes) }
+
+// NewServerConnBuf is NewServerConn with an explicit per-direction
+// buffer size (connection-count sweeps shrink it).
+func NewServerConnBuf(c net.Conn, bufBytes int) *ServerConn {
+	if bufBytes <= 0 {
+		bufBytes = DefaultBufBytes
+	}
+	bw := bufio.NewWriterSize(c, bufBytes)
+	return &ServerConn{c: c, bw: bw, enc: gob.NewEncoder(bw), dec: gob.NewDecoder(bufio.NewReaderSize(c, bufBytes))}
+}
+
+// RecvHello reads the client's Hello frame. It does not validate —
+// the daemon decides how to answer (SendWelcome).
+func (s *ServerConn) RecvHello() (*Hello, error) {
+	var h Hello
+	if err := s.dec.Decode(&h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// SendWelcome answers the Hello (flushes immediately — the client
+// blocks on it before sending any request).
+func (s *ServerConn) SendWelcome(w *Welcome) error {
+	w.Version = ProtocolVersion
+	if err := s.enc.Encode(w); err != nil {
+		return err
+	}
+	return s.bw.Flush()
+}
+
+// CheckHello validates a Hello's magic and version, returning the
+// rejection message ("" = accept) a server should place in
+// Welcome.Err.
+func CheckHello(h *Hello) string {
+	if h.Magic != HandshakeMagic {
+		return fmt.Sprintf("bad magic %#x (not a puddles client?)", h.Magic)
+	}
+	if h.Version != ProtocolVersion {
+		return fmt.Sprintf("protocol version %d not supported (daemon speaks %d)", h.Version, ProtocolVersion)
+	}
+	return ""
+}
+
+// AcceptHello performs a minimal server-side handshake: read the
+// Hello, validate magic/version, attach the connection to session 1.
+// Hand-rolled test servers use it; the daemon runs its own session
+// registry instead.
+func (s *ServerConn) AcceptHello() (*Hello, error) {
+	h, err := s.RecvHello()
+	if err != nil {
+		return nil, err
+	}
+	if msg := CheckHello(h); msg != "" {
+		s.SendWelcome(&Welcome{Err: msg})
+		return nil, &HandshakeError{Msg: msg}
+	}
+	sid := h.Session
+	if sid == 0 {
+		sid = 1
+	}
+	if err := s.SendWelcome(&Welcome{Session: sid, Token: 1, Resumed: h.Session != 0}); err != nil {
+		return nil, err
+	}
+	return h, nil
 }
 
 // Recv reads the next request (io.EOF when the peer hangs up).

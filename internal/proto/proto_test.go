@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"errors"
 	"io"
 	"net"
 	"sync"
@@ -18,6 +19,9 @@ func echoServer(t *testing.T, handle func(*Request) *Response) *Conn {
 	go func() {
 		sc := NewServerConn(server)
 		defer sc.Close()
+		if _, err := sc.AcceptHello(); err != nil {
+			return
+		}
 		for {
 			req, err := sc.Recv()
 			if err != nil {
@@ -134,6 +138,9 @@ func TestOutOfOrderResponses(t *testing.T) {
 	go func() {
 		sc := NewServerConn(server)
 		defer sc.Close()
+		if _, err := sc.AcceptHello(); err != nil {
+			return
+		}
 		var held *Request
 		for {
 			req, err := sc.Recv()
@@ -199,6 +206,9 @@ func TestUnmatchedResponseFailsConn(t *testing.T) {
 	go func() {
 		sc := NewServerConn(server)
 		defer sc.Close()
+		if _, err := sc.AcceptHello(); err != nil {
+			return
+		}
 		for {
 			req, err := sc.Recv()
 			if err != nil {
@@ -223,6 +233,9 @@ func TestCloseFailsOutstanding(t *testing.T) {
 	client, server := net.Pipe()
 	go func() {
 		sc := NewServerConn(server)
+		if _, err := sc.AcceptHello(); err != nil {
+			return
+		}
 		for { // swallow requests, never answer
 			if _, err := sc.Recv(); err != nil {
 				return
@@ -256,6 +269,104 @@ func TestServerRecvEOF(t *testing.T) {
 	client.Close()
 	if _, err := sc.Recv(); err != io.EOF && err == nil {
 		t.Fatalf("Recv on closed peer = %v", err)
+	}
+}
+
+// TestHandshakeSession: the implicit handshake attaches a session and
+// surfaces its ID/token; a resume Hello is marked Resumed.
+func TestHandshakeSession(t *testing.T) {
+	c := echoServer(t, func(req *Request) *Response {
+		return &Response{Session: req.SID}
+	})
+	if err := c.Handshake(); err != nil {
+		t.Fatal(err)
+	}
+	id, tok := c.Session()
+	if id == 0 || tok == 0 {
+		t.Fatalf("session = %d token = %d", id, tok)
+	}
+	if c.Resumed() {
+		t.Fatal("fresh handshake reported Resumed")
+	}
+	// Requests carry the session ID.
+	resp, err := c.RoundTrip(&Request{Op: OpNop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Session != id {
+		t.Fatalf("request SID = %d, want %d", resp.Session, id)
+	}
+}
+
+// TestHandshakeVersionReject: a server speaking a different protocol
+// version rejects the connection with a HandshakeError, and the error
+// is sticky.
+func TestHandshakeVersionReject(t *testing.T) {
+	client, server := net.Pipe()
+	go func() {
+		sc := NewServerConn(server)
+		defer sc.Close()
+		sc.AcceptHello()
+	}()
+	c := NewConnHello(client, Hello{Version: ProtocolVersion + 1})
+	defer c.Close()
+	_, err := c.RoundTrip(&Request{Op: OpNop})
+	var he *HandshakeError
+	if !errors.As(err, &he) {
+		t.Fatalf("err = %T %v, want HandshakeError", err, err)
+	}
+	if _, err := c.RoundTrip(&Request{Op: OpNop}); !errors.As(err, &he) {
+		t.Fatalf("rejection not sticky: %v", err)
+	}
+}
+
+func TestCheckHello(t *testing.T) {
+	if msg := CheckHello(&Hello{Magic: HandshakeMagic, Version: ProtocolVersion}); msg != "" {
+		t.Fatalf("valid hello rejected: %s", msg)
+	}
+	if msg := CheckHello(&Hello{Magic: 7, Version: ProtocolVersion}); msg == "" {
+		t.Fatal("bad magic accepted")
+	}
+	if msg := CheckHello(&Hello{Magic: HandshakeMagic, Version: 99}); msg == "" {
+		t.Fatal("bad version accepted")
+	}
+}
+
+// TestCloseErrClosed: a local Close fails outstanding AND future round
+// trips with ErrClosed specifically, not a raced decode error.
+func TestCloseErrClosed(t *testing.T) {
+	client, server := net.Pipe()
+	go func() {
+		sc := NewServerConn(server)
+		if _, err := sc.AcceptHello(); err != nil {
+			return
+		}
+		for { // swallow requests, never answer
+			if _, err := sc.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	c := NewConn(client)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.RoundTrip(&Request{Op: OpNop})
+		errc <- err
+	}()
+	for {
+		c.mu.Lock()
+		n := len(c.pending)
+		c.mu.Unlock()
+		if n > 0 {
+			break
+		}
+	}
+	c.Close()
+	if err := <-errc; !errors.Is(err, ErrClosed) {
+		t.Fatalf("outstanding round trip after Close = %v, want ErrClosed", err)
+	}
+	if _, err := c.RoundTrip(&Request{Op: OpNop}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("future round trip after Close = %v, want ErrClosed", err)
 	}
 }
 

@@ -258,7 +258,9 @@ func ConnectLocal(d *daemon.Daemon) *Client {
 // Hello presents credentials to the daemon (simulated SO_PEERCRED).
 // The credentials also become what a reconnect re-presents in its
 // handshake, so a client that dropped privileges doesn't silently
-// regain them across a daemon restart.
+// regain them across a daemon restart; the daemon rebinds the session
+// to them as well, so the session still resumes under the new
+// credentials instead of failing the resume on a credential mismatch.
 func (c *Client) Hello(uid, gid uint32) error {
 	_, err := c.rt(&proto.Request{Op: proto.OpHello, UID: uid, GID: gid})
 	if err == nil {

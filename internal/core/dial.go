@@ -179,29 +179,52 @@ func (c *Client) rt(req *proto.Request) (*proto.Response, error) {
 // session; a daemon that rejects the resume outright (a HandshakeError,
 // not a transport failure) gets one fallback attempt with a fresh
 // session under the same credentials.
+//
+// The transport lock is held only to snapshot the handshake state and
+// to swap the new connection in — never across a dial or a backoff
+// sleep — so Close() interrupts an in-progress reconnect (checked each
+// lap) instead of queueing behind the whole redial budget, and so do
+// all other transport operations. Concurrent callers may both dial;
+// the first to swap wins and the loser's connection is closed.
 func (c *Client) reconnect(old *proto.Conn) error {
 	t := &c.tr
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.conn != old {
+		t.mu.Unlock()
 		return nil // a concurrent caller already reconnected
 	}
 	if t.closed.Load() {
+		t.mu.Unlock()
 		return proto.ErrClosed
 	}
+	hello := t.hello
+	hello.Session, hello.Token = t.sessID, t.sessTok
+	t.mu.Unlock()
 	old.Close()
 	deadline := time.Now().Add(redialBudget)
 	backoff := redialBackoffMin
-	hello := t.hello
-	hello.Session, hello.Token = t.sessID, t.sessTok
 	for {
+		if t.closed.Load() {
+			return proto.ErrClosed
+		}
 		nc, err := t.redial()
 		if err == nil {
 			conn := proto.NewConnHello(nc, hello)
 			err = conn.Handshake()
 			if err == nil {
+				t.mu.Lock()
+				if t.closed.Load() || t.conn != old {
+					closed := t.closed.Load()
+					t.mu.Unlock()
+					conn.Close() // client closed, or a concurrent reconnect won
+					if closed {
+						return proto.ErrClosed
+					}
+					return nil
+				}
 				t.conn = conn
 				t.sessID, t.sessTok = conn.Session()
+				t.mu.Unlock()
 				t.redials.Add(1)
 				if conn.Resumed() {
 					t.resumes.Add(1)

@@ -147,6 +147,38 @@ func TestReconnectNonIdempotentSurfacesErrDisconnected(t *testing.T) {
 	}
 }
 
+// TestCloseInterruptsReconnect: Close() aborts an in-progress redial
+// loop promptly. The transport lock is not held across the dial
+// budget, so Close neither blocks behind the loop nor waits for the
+// full 8s budget to expire against a daemon that is never coming back.
+func TestCloseInterruptsReconnect(t *testing.T) {
+	r := startRestartable(t)
+	cl, err := core.Dial("tcp://"+r.addr, r.dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Nop(); err != nil {
+		t.Fatal(err)
+	}
+	r.d.Kill() // nobody rebinds the address: every redial is refused
+	errc := make(chan error, 1)
+	go func() { errc <- cl.Nop() }()  // drives the reconnect loop
+	time.Sleep(50 * time.Millisecond) // let the redial loop start
+	start := time.Now()
+	cl.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("op against a dead daemon succeeded")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reconnect loop ignored Close")
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("Close blocked %v behind the redial loop", el)
+	}
+}
+
 // TestClosedClientDoesNotReconnect: Close disables the redial loop —
 // a closed client fails fast instead of dialing a daemon it was told
 // to leave alone.

@@ -259,9 +259,11 @@ type Daemon struct {
 	// from the connection path with no other daemon lock held).
 	tenMu        sync.Mutex
 	tenants      map[uint64]*Session
-	connsMu      sync.Mutex // live connection set (drain bookkeeping)
+	connsMu      sync.Mutex // live + pre-handshake connection sets
 	conns        map[*connState]struct{}
-	lsnMu        sync.Mutex // listeners Serve is accepting on
+	hsConns      map[*proto.ServerConn]struct{} // accepted, handshake not yet done
+	connsDown    bool                           // closeConns ran; late arrivals hang up
+	lsnMu        sync.Mutex                     // listeners Serve is accepting on
 	listeners    []net.Listener
 	connWg       sync.WaitGroup // every handleConn in flight
 	stopAccept   atomic.Bool    // Serve loops return instead of accepting
@@ -272,6 +274,7 @@ type Daemon struct {
 	maxConns     int            // 0 = defaultMaxConns
 	maxSessions  int            // 0 = defaultMaxSessions
 	sessIdle     time.Duration  // 0 = defaultSessionIdle
+	hsTimeout    time.Duration  // 0 = defaultHandshakeTimeout
 	connBufBytes int            // 0 = proto.DefaultBufBytes
 	doneCh       chan struct{}  // closed once the daemon is down
 	doneOnce     sync.Once

@@ -126,8 +126,16 @@ func (d *Daemon) handleConn(sc *proto.ServerConn) {
 	kill := func() { killOnce.Do(func() { sc.Close() }) }
 	defer kill()
 
+	// The connection is reachable by drain/kill from the moment it is
+	// accepted: tracked pre-handshake here, promoted to the live set by
+	// registerConn once the session is up. A peer that never completes
+	// the handshake is bounded by the handshake deadline and can be
+	// hung up by closeConns at any time — it cannot park this goroutine
+	// past connWg.Wait.
+	d.trackHandshake(sc)
 	sess, err := d.handshake(sc)
 	if err != nil {
+		d.untrackHandshake(sc)
 		var he *proto.HandshakeError
 		if errors.As(err, &he) {
 			d.logf("conn: %v", err)
@@ -179,7 +187,7 @@ func (d *Daemon) handleConn(sc *proto.ServerConn) {
 		}()
 	}
 
-	creds := sess.Creds // handshake credentials; OpHello may override
+	creds := sess.credentials() // handshake credentials; OpHello may override
 	for {
 		req, err := sc.Recv()
 		if err != nil {
@@ -193,8 +201,11 @@ func (d *Daemon) handleConn(sc *proto.ServerConn) {
 		ch := make(chan *proto.Response, 1)
 		if req.Op == proto.OpHello {
 			// Credentials apply to every request read after this one;
-			// the ack still flows through the writer, in order.
+			// the ack still flows through the writer, in order. The
+			// session follows the override (see Session.setCreds), so a
+			// reconnect presenting the new credentials still resumes.
 			creds = Creds{UID: req.UID, GID: req.GID}
+			sess.setCreds(creds)
 			ch <- &proto.Response{ID: req.ID}
 			ordered <- ch
 			continue

@@ -37,6 +37,26 @@ type Session struct {
 	lastSeen  time.Time      // last detach (idle reaping is for conns==0)
 }
 
+// credentials returns the session's current credentials.
+func (s *Session) credentials() Creds {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Creds
+}
+
+// setCreds rebinds the session's credentials. OpHello's per-connection
+// credential override propagates here so a reconnect that re-presents
+// the post-Hello credentials still resumes the session — without this
+// the resume would die on a credential mismatch and the client would
+// silently fall back to a fresh identity. Credentials are
+// client-asserted in this simulated-SO_PEERCRED model, so this is no
+// weaker than the handshake that set them.
+func (s *Session) setCreds(c Creds) {
+	s.mu.Lock()
+	s.Creds = c
+	s.mu.Unlock()
+}
+
 // notePoolOpen records a successful pool open/create on the session.
 func (s *Session) notePoolOpen(name string) {
 	s.mu.Lock()
@@ -78,6 +98,11 @@ const (
 	defaultMaxConns    = 8192
 	defaultMaxSessions = 4096
 	defaultSessionIdle = 5 * time.Minute
+	// defaultHandshakeTimeout bounds the Hello/Welcome exchange on an
+	// accepted connection. A peer that connects and never speaks (nc,
+	// a port scanner) would otherwise park its handler goroutine in
+	// RecvHello indefinitely, holding a connection slot.
+	defaultHandshakeTimeout = 10 * time.Second
 )
 
 // WithMaxConns caps concurrent post-handshake connections; excess
@@ -93,6 +118,16 @@ func WithSessionIdle(idle time.Duration) Option {
 	return func(d *Daemon) {
 		if idle > 0 {
 			d.sessIdle = idle
+		}
+	}
+}
+
+// WithHandshakeTimeout bounds how long an accepted connection may
+// take to complete the session handshake (default 10s).
+func WithHandshakeTimeout(to time.Duration) Option {
+	return func(d *Daemon) {
+		if to > 0 {
+			d.hsTimeout = to
 		}
 	}
 }
@@ -121,6 +156,14 @@ func rand64() uint64 {
 // a fresh one under the session cap. It returns the session (nil with
 // a logged reject if the connection was refused).
 func (d *Daemon) handshake(sc *proto.ServerConn) (*Session, error) {
+	// The whole exchange runs under a deadline (cleared on success): a
+	// peer that connects and never sends its Hello must be cut loose,
+	// not hold a handler goroutine in RecvHello forever.
+	to := d.hsTimeout
+	if to <= 0 {
+		to = defaultHandshakeTimeout
+	}
+	sc.SetDeadline(time.Now().Add(to))
 	h, err := sc.RecvHello()
 	if err != nil {
 		return nil, err
@@ -133,18 +176,28 @@ func (d *Daemon) handshake(sc *proto.ServerConn) (*Session, error) {
 	if msg := proto.CheckHello(h); msg != "" {
 		return reject(msg)
 	}
-	if max := d.maxConns; max > 0 && int(d.activeConns.Load()) >= max {
+	// Reserve the connection slot atomically at check time: N racing
+	// handshakes each claim their own increment, so they cannot all
+	// pass a check against a counter bumped only later. The
+	// reservation transfers to the registered connState on success
+	// (unregisterConn releases it) and is released on every failure
+	// path below.
+	if n := d.activeConns.Add(1); d.maxConns > 0 && n > int64(d.maxConns) {
+		d.activeConns.Add(-1)
 		return reject("connection limit reached")
 	}
 	creds := Creds{UID: h.UID, GID: h.GID}
 	sess, resumed, msg := d.attachSession(h, creds)
 	if msg != "" {
+		d.activeConns.Add(-1)
 		return reject(msg)
 	}
 	if err := sc.SendWelcome(&proto.Welcome{Session: sess.ID, Token: sess.Token, Resumed: resumed}); err != nil {
 		d.detachSession(sess)
+		d.activeConns.Add(-1)
 		return nil, err
 	}
+	sc.SetDeadline(time.Time{})
 	return sess, nil
 }
 
@@ -264,14 +317,48 @@ type connState struct {
 // that drains feel instant to an operator.
 const drainQuietWindow = 50 * time.Millisecond
 
+// trackHandshake registers a connection still mid-handshake so
+// drain/kill can hang it up: until the handshake completes the conn
+// is not in d.conns, and without this set a peer parked in RecvHello
+// would be unreachable by closeConns — connWg.Wait would block until
+// the handshake deadline (or forever, before there was one).
+func (d *Daemon) trackHandshake(sc *proto.ServerConn) {
+	d.connsMu.Lock()
+	if d.hsConns == nil {
+		d.hsConns = make(map[*proto.ServerConn]struct{})
+	}
+	d.hsConns[sc] = struct{}{}
+	down := d.connsDown
+	d.connsMu.Unlock()
+	if down {
+		sc.Close() // closeConns already swept; don't outlive the drain
+	}
+}
+
+// untrackHandshake drops a connection whose handshake failed (a
+// successful handshake moves it to the live set via registerConn).
+func (d *Daemon) untrackHandshake(sc *proto.ServerConn) {
+	d.connsMu.Lock()
+	delete(d.hsConns, sc)
+	d.connsMu.Unlock()
+}
+
+// registerConn promotes a connection from the pre-handshake set to
+// the live set in one critical section, so a concurrent closeConns
+// cannot slip between the two and miss it. The connection slot itself
+// was reserved in handshake (activeConns); unregisterConn releases it.
 func (d *Daemon) registerConn(cs *connState) {
 	d.connsMu.Lock()
+	delete(d.hsConns, cs.sc)
 	if d.conns == nil {
 		d.conns = make(map[*connState]struct{})
 	}
 	d.conns[cs] = struct{}{}
+	down := d.connsDown
 	d.connsMu.Unlock()
-	d.activeConns.Add(1)
+	if down {
+		cs.sc.Close() // drain already swept; unwind the read loop now
+	}
 }
 
 func (d *Daemon) unregisterConn(cs *connState) {
@@ -298,16 +385,27 @@ func (d *Daemon) settled(now time.Time) bool {
 }
 
 // closeConns hangs up every live connection (their handleConn loops
-// unwind on the closed socket).
+// unwind on the closed socket) and every connection still
+// mid-handshake. It also latches connsDown, so a connection racing
+// from accept or handshake into either set hangs itself up — the
+// daemon is shutting down either way, the flag is never cleared.
 func (d *Daemon) closeConns() {
 	d.connsMu.Lock()
+	d.connsDown = true
 	conns := make([]*connState, 0, len(d.conns))
 	for cs := range d.conns {
 		conns = append(conns, cs)
 	}
+	pre := make([]*proto.ServerConn, 0, len(d.hsConns))
+	for sc := range d.hsConns {
+		pre = append(pre, sc)
+	}
 	d.connsMu.Unlock()
 	for _, cs := range conns {
 		cs.sc.Close()
+	}
+	for _, sc := range pre {
+		sc.Close()
 	}
 }
 

@@ -4,7 +4,9 @@ import (
 	"encoding/gob"
 	"errors"
 	"net"
+	"os"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -155,6 +157,120 @@ func TestMaxConnsRefusesAtHandshake(t *testing.T) {
 	}
 	if st.ActiveConns != 1 {
 		t.Fatalf("ActiveConns = %d, want 1", st.ActiveConns)
+	}
+}
+
+// TestDrainWithPreHandshakeConn: a peer that connects and never sends
+// its Hello must not hold Drain hostage — pre-handshake connections
+// are tracked and hung up alongside the live set, so connWg.Wait
+// cannot block on a goroutine parked in RecvHello.
+func TestDrainWithPreHandshakeConn(t *testing.T) {
+	d, _, addr := startTCPDaemon(t)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	// Let the daemon accept and park the handler in RecvHello.
+	time.Sleep(20 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		d.Drain(200 * time.Millisecond)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain hung on a pre-handshake connection")
+	}
+}
+
+// TestHandshakeDeadline: a silent peer is hung up once the handshake
+// deadline passes, freeing its handler goroutine and connection slot.
+func TestHandshakeDeadline(t *testing.T) {
+	_, _, addr := startTCPDaemon(t, daemon.WithHandshakeTimeout(50*time.Millisecond))
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	_, err = nc.Read(make([]byte, 1))
+	if err == nil || errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("silent connection read = %v, want daemon hangup", err)
+	}
+}
+
+// TestMaxConnsNotOversubscribedUnderRace: concurrent handshakes must
+// not collectively slip past the cap — the slot is reserved atomically
+// at check time, not after the handshake completes.
+func TestMaxConnsNotOversubscribedUnderRace(t *testing.T) {
+	d, _, addr := startTCPDaemon(t, daemon.WithMaxConns(4))
+	const dialers = 32
+	var wg sync.WaitGroup
+	admitted := make([]*proto.Conn, dialers)
+	for i := range admitted {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			nc, err := net.Dial("tcp", addr)
+			if err != nil {
+				return
+			}
+			c := proto.NewConnHello(nc, proto.Hello{})
+			if c.Handshake() != nil {
+				c.Close()
+				return
+			}
+			admitted[i] = c
+		}(i)
+	}
+	wg.Wait()
+	live := 0
+	for _, c := range admitted {
+		if c != nil {
+			live++
+			defer c.Close()
+		}
+	}
+	if live > 4 {
+		t.Fatalf("%d connections admitted past a cap of 4", live)
+	}
+	if got := d.Stats().ActiveConns; got > 4 {
+		t.Fatalf("ActiveConns = %d, want <= 4", got)
+	}
+}
+
+// TestHelloRebindsSessionCredentials: OpHello's credential override
+// follows through to the session, so a reconnect presenting the
+// post-Hello credentials resumes it (before the fix the resume died on
+// a credential mismatch and the client silently lost its identity).
+func TestHelloRebindsSessionCredentials(t *testing.T) {
+	_, _, addr := startTCPDaemon(t)
+	c1 := dialHello(t, addr, proto.Hello{UID: 7, GID: 7})
+	if err := c1.Handshake(); err != nil {
+		t.Fatal(err)
+	}
+	id, tok := c1.Session()
+	if _, err := c1.RoundTrip(&proto.Request{Op: proto.OpHello, UID: 9, GID: 9}); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+
+	c2 := dialHello(t, addr, proto.Hello{UID: 9, GID: 9, Session: id, Token: tok})
+	if err := c2.Handshake(); err != nil {
+		t.Fatalf("resume with post-Hello creds: %v", err)
+	}
+	defer c2.Close()
+	if !c2.Resumed() {
+		t.Fatal("resume not reported")
+	}
+	// The handshake-time credentials no longer match the session.
+	c3 := dialHello(t, addr, proto.Hello{UID: 7, GID: 7, Session: id, Token: tok})
+	defer c3.Close()
+	var he *proto.HandshakeError
+	if err := c3.Handshake(); !errors.As(err, &he) || !strings.Contains(he.Msg, "credential mismatch") {
+		t.Fatalf("resume with pre-Hello creds = %v, want credential-mismatch reject", err)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"puddles/internal/ptypes"
 	"puddles/internal/uid"
@@ -460,6 +461,12 @@ func NewServerConnBuf(c net.Conn, bufBytes int) *ServerConn {
 	bw := bufio.NewWriterSize(c, bufBytes)
 	return &ServerConn{c: c, bw: bw, enc: gob.NewEncoder(bw), dec: gob.NewDecoder(bufio.NewReaderSize(c, bufBytes))}
 }
+
+// SetDeadline sets the read/write deadline on the underlying
+// connection. The daemon bounds the handshake with it (a peer that
+// connects and never speaks must not pin a handler goroutine) and
+// clears it once the session is established.
+func (s *ServerConn) SetDeadline(t time.Time) error { return s.c.SetDeadline(t) }
 
 // RecvHello reads the client's Hello frame. It does not validate —
 // the daemon decides how to answer (SendWelcome).

@@ -34,6 +34,7 @@ var (
 	allocmtJSON  = flag.String("allocmtjson", "BENCH_7.json", "artifact path for the allocator cache scaling report")
 	connmtJSON   = flag.String("connmtjson", "BENCH_8.json", "artifact path for the connection scaling report")
 	connMax      = flag.Int("connmax", 4096, "largest connection count in the connmt sweep")
+	fencesJSON   = flag.String("fencesjson", "BENCH_9.json", "artifact path for the commit-discipline fence report")
 )
 
 type experiment struct {
@@ -64,6 +65,7 @@ func main() {
 		{"allocmt", "alloc/free cache scaling + 32/64-worker YCSB A (emits -allocmtjson artifact)", runAllocMT},
 		{"connmt", "64-4096 real-socket connection scaling + restart chaos (emits -connmtjson artifact)", runConnMT},
 		{"connchaos", "daemon kill/restart churn under live TCP clients", runConnChaos},
+		{"fences", "undo vs MOD-shadow commit fences, O(1) checkpoint capture, arena spill (emits -fencesjson artifact)", runFences},
 	}
 	want := flag.Arg(0)
 	if want == "" {

@@ -36,8 +36,8 @@ import (
 
 func main() {
 	socket := flag.String("socket", "/tmp/puddled.sock", "puddled socket path or URL (unix:///path, tcp://host:port)")
-	uid := flag.Uint("uid", 0, "credential uid")
-	gid := flag.Uint("gid", 0, "credential gid")
+	uid := flag.Uint("uid", uint(os.Getuid()), "credential uid (must match the socket peer on UNIX sockets)")
+	gid := flag.Uint("gid", uint(os.Getgid()), "credential gid")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: puddlectl [-socket PATH|URL] <stat|pools|types|export|import|delete|recover|shutdown> [args]")
@@ -80,6 +80,7 @@ func main() {
 		fmt.Printf("journal bytes    %d\n", s.JournalBytes)
 		fmt.Printf("checkpoints      %d (seq %d, %d chunks, %d bytes)\n",
 			s.Checkpoints, s.CheckpointSeq, s.CheckpointChunks, s.CheckpointBytes)
+		fmt.Printf("ckpt spills      %d (registry gen %d)\n", s.CheckpointSpills, s.RegistryGen)
 		avg := uint64(0)
 		if s.Checkpoints > 0 {
 			avg = s.CkptPauseTotalNs / s.Checkpoints
@@ -98,6 +99,7 @@ func main() {
 		fmt.Printf("accept errors    %d\n", s.AcceptErrors)
 		fmt.Printf("handshake rejects %d\n", s.HandshakeRejects)
 		fmt.Printf("session resumes  %d\n", s.SessionResumes)
+		fmt.Printf("pool cap rejects %d\n", s.PoolCapRejects)
 	case "pools":
 		resp := must(c, &proto.Request{Op: proto.OpListPools})
 		for _, n := range resp.Names {

@@ -1,0 +1,12 @@
+package chaos
+
+import "testing"
+
+// TestShadowChurnSweep power-fails the shadow-structure commit
+// pipeline at swept offsets: mid path-copy, mid root publish, mid
+// limbo reclaim. Any recovered state that is not a committed prefix,
+// or any leaked shadow slot, is a violation.
+func TestShadowChurnSweep(t *testing.T) {
+	res := runSweep(t, ShadowChurn(64), 4000, 7)
+	t.Logf("shadow-churn: %d probes, %d completed", res.Probes, res.Completed)
+}

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -68,10 +69,11 @@ func ParseURL(s string) (network, address string, err error) {
 }
 
 // Dial connects to a daemon at url ("unix:///path", "tcp://host:port",
-// or a bare socket path) with superuser credentials. dev must be the
+// or a bare socket path) with the calling process's real credentials
+// (verified against SO_PEERCRED on UNIX sockets). dev must be the
 // device the daemon manages (the DAX-mapping stand-in).
 func Dial(url string, dev *pmem.Device) (*Client, error) {
-	return DialHello(url, dev, proto.Hello{})
+	return DialHello(url, dev, proto.Hello{UID: uint32(os.Getuid()), GID: uint32(os.Getgid())})
 }
 
 // DialHello is Dial with explicit handshake contents — credentials,

@@ -16,19 +16,23 @@
 // CRC-guarded chunks with journal-style terminator scanning. The
 // protocol:
 //
-//   - Quiesce (exclusive opMu, brief): capture stable copies of the
-//     entities dirtied since the last checkpoint (tracked piggyback on
-//     journal records — see markDirty), and switch journal appends to
-//     the standby region. This is O(dirty), not O(state), and does no
-//     gob encoding or device writes.
+//   - Quiesce (exclusive opMu, O(1)): swap out the pending delta list
+//     (pre-encoded journal records accumulated by markDirty), capture
+//     the counter block, and switch journal appends to the standby
+//     region. No gob encoding, no device writes, no state copying —
+//     the registry itself is a copy-on-write image (d.img) that the
+//     plan phase never touches, so the pause is independent of
+//     registry size.
 //
-//   - Stream (request path running): gob-encode the captured records
-//     into chunks and append them to the chain. Each chunk persists
-//     payload+terminator before publishing its header; the checkpoint
-//     as a whole becomes visible only when its final commit chunk
-//     lands, so a crash mid-stream leaves the previous committed chain
-//     intact — and the retired journal region, still readable, carries
-//     the entries the failed checkpoint would have covered.
+//   - Stream (request path running): compose the next immutable image
+//     from the committed image plus the captured deltas, gob-encode
+//     the records into chunks, and append them to the chain. Each
+//     chunk persists payload+terminator before publishing its header;
+//     the checkpoint as a whole becomes visible only when its final
+//     commit chunk lands, so a crash mid-stream leaves the previous
+//     committed chain intact — and the retired journal region, still
+//     readable, carries the entries the failed checkpoint would have
+//     covered.
 //
 //   - Full checkpoints start a new chain in the OTHER half — slot
 //     selection alternates away from the half holding the last valid
@@ -41,12 +45,16 @@
 // increments, then folds in both journal regions in base order.
 //
 // Chunks spill across a 32 MiB half instead of having to fit one slot,
-// so the old 8 MiB whole-state ceiling is gone; the quiesce pause is
-// bounded by the operation rate between checkpoints, not by registry
-// size (benchrunner ckpt measures exactly this).
+// so the old 8 MiB whole-state ceiling is gone; and a FULL image that
+// outgrows even its own half writes a ckJump chunk and continues in
+// the dead region of the other half (spill chunk kinds, ckSFull..),
+// so a large registry cannot wedge compaction either. The quiesce
+// pause is O(1) — independent of both the registry size and the dirty
+// set (benchrunner ckpt and fences measure exactly this).
 package daemon
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc64"
@@ -76,6 +84,27 @@ const (
 	ckFull   uint32 = 1 // first chunk of a full checkpoint: reset composed state
 	ckRecs   uint32 = 2 // entity records (gob jbatch)
 	ckCommit uint32 = 3 // checkpoint commit marker (gob ckptTrailer)
+	ckJump   uint32 = 4 // cross-half continuation: payload is the target offset
+
+	// Spill-region chunk kinds: the same stream states as 1–3, branded
+	// so a from-zero scan of a half NEVER walks into another chain's
+	// spill extent (it terminates on kind ≥ ckSFull), and a jump-follow
+	// accepts ONLY them. Without the brand, a dead chain's head whose
+	// tail terminator was overwritten by a later chain's spill would
+	// compose a frankenstate from two different checkpoint lineages.
+	ckSFull   uint32 = 5
+	ckSRecs   uint32 = 6
+	ckSCommit uint32 = 7
+
+	// ckJumpPayload is the jump chunk payload: u64 target offset in the
+	// other half (the seq/gen of the spilling checkpoint ride in the
+	// chunk header and must match the first chunk at the target).
+	ckJumpPayload = 8
+
+	// ckJumpNeed is the arena room a jump chunk occupies; full
+	// checkpoints reserve it below their head-half limit so the jump
+	// always fits when the image overflows.
+	ckJumpNeed = ckHdrSize + ckJumpPayload + ckHdrSize
 
 	// defaultCkptChunk is the target payload size of one streamed chunk.
 	defaultCkptChunk = 256 << 10
@@ -85,11 +114,13 @@ const (
 	maxChainIncs = 64
 )
 
-// errCkptFull is returned when a checkpoint does not fit its arena
-// half. An incremental checkpoint retries as a full one in the other
-// half; a full checkpoint hitting this means the state has outgrown
-// the arena (32 MiB of gob — four times the old slot ceiling).
-var errCkptFull = errors.New("daemon: checkpoint arena half full")
+// errCkptFull is returned when a checkpoint does not fit the arena
+// room available to it. An incremental checkpoint retries as a full
+// one; a full checkpoint hitting this means the state has outgrown
+// BOTH halves combined minus the live chain's extents — full images
+// larger than one half spill across the arena (see ckptWriter) instead
+// of wedging at the old 32 MiB half ceiling.
+var errCkptFull = errors.New("daemon: checkpoint arena full")
 
 // ckptTrailer is the commit chunk payload.
 type ckptTrailer struct {
@@ -98,71 +129,74 @@ type ckptTrailer struct {
 
 // chainState is the volatile view of the committed checkpoint chain.
 // Guarded by ckptMu (plus exclusive opMu at plan time; boot is
-// single-threaded).
+// single-threaded). A chain occupies a head extent [0, headEnd) in its
+// half and, when its full image overflowed that half, a spill extent
+// [spillStart, …) in the OTHER half reached through a ckJump chunk;
+// increments then append in the spill extent.
 type chainState struct {
-	half int    // arena half holding the chain; -1 = none (legacy/fresh image)
-	seq  uint64 // sequence the chain's last commit covers
-	gen  uint64 // generation of the chain's last commit (sequence tie-break)
-	tail uint64 // append offset in the half for the next increment
-	incs int    // committed increments since the chain's full checkpoint
+	half       int    // arena half holding the chain head; -1 = none (legacy/fresh image)
+	seq        uint64 // sequence the chain's last commit covers
+	gen        uint64 // generation of the chain's last commit (sequence tie-break)
+	tail       uint64 // next-append offset (in half, or in 1-half when spilled)
+	incs       int    // committed increments since the chain's full checkpoint
+	headEnd    uint64 // committed bytes in the head half [0, headEnd)
+	spilled    bool   // the chain continues in the other half
+	spillStart uint64 // start of the spill extent in 1-half (valid when spilled)
 }
 
-// dirtyKey names one entity for incremental-checkpoint tracking.
-type dirtyKey struct {
-	kind recKind
-	key  string
-}
-
-// lazyRec is one captured entity record: the quiesce phase stores a
-// stable value (a snapshot copy, or a pointer to an immutable record)
-// and the streaming phase gob-encodes it with the request path
-// running.
-type lazyRec struct {
-	kind recKind
-	key  string
-	del  bool
-	val  any
+// regImage is one immutable copy-on-write generation of the metadata
+// registry (the PR 6 range-index pattern applied to the daemon): a
+// composed state whose records are never mutated after Store, so the
+// streaming phase gob-encodes them with zero locks and the request
+// path running. Published behind Daemon.img under ckptMu.
+type regImage struct {
+	st  *state
+	gen uint64
 }
 
 // ckptPlan is everything the streaming phase needs, captured under the
-// quiesce.
+// quiesce. With the COW image, capture is O(1): swap out the pending
+// delta records and the counter block — no entity is read or copied.
 type ckptPlan struct {
-	full  bool
-	recs  []lazyRec
-	seq   uint64                // d.seq at quiesce: the sequence this checkpoint covers
-	gen   uint64                // commit generation (chain.gen + 1)
-	half  int                   // target arena half
-	tail  uint64                // starting offset within the half
-	incs  int                   // chain increment count after this checkpoint commits
-	dirty map[dirtyKey]struct{} // swapped-out dirty set; merged back on failure
-	ctrs  counters              // counter block captured by this plan
+	full   bool
+	deltas []entRec // pre-encoded journal records since the image; merged back on failure
+	seq    uint64   // d.seq at quiesce: the sequence this checkpoint covers
+	gen    uint64   // commit generation (chain.gen + 1)
+	half   int      // half the stream starts in (full: the new head half)
+	tail   uint64   // starting offset within half
+	incs   int      // chain increment count after this checkpoint commits
+	ctrs   counters // counter block captured by this plan
+
+	headLimit  uint64 // hard stop in half (a live spill may cap it)
+	canSpill   bool   // fulls may continue into the other half
+	spillMin   uint64 // first dead byte of 1-half (live chain's end there)
+	spillKinds bool   // already in a spill extent: write ckS* kinds
 }
 
 func (d *Daemon) ckptHalfBase(half int) pmem.Addr {
 	return pmem.MetaCkptBase + pmem.Addr(uint64(half)*d.ckptHalf)
 }
 
-// markDirty records that the entities in recs changed since the last
-// checkpoint, so the next incremental checkpoint re-captures them.
-// Membership deltas dirty their pool (the checkpoint captures whole
-// pool records); marking a superset is always safe — it only costs
-// checkpoint bytes.
+// markDirty accumulates the (already gob-encoded, immutable) records
+// of one durable journal batch as deltas on top of the committed
+// registry image. The caller still holds the locks of every entity
+// named in recs — the same guarantee that orders the journal — so the
+// pending list replays per entity in journal order.
 func (d *Daemon) markDirty(recs []entRec) {
 	if d.legacyCkpt {
 		return // whole-state checkpoints need no tracking
 	}
-	d.dirtyMu.Lock()
-	for _, r := range recs {
-		k := dirtyKey{kind: r.Kind, key: r.Key}
-		switch r.Kind {
-		case recPoolLink, recPoolUnlink:
-			k = dirtyKey{kind: recPool, key: r.Key}
-		case recTypes, recCounters:
-			k.key = ""
-		}
-		d.dirty[k] = struct{}{}
+	d.pendMu.Lock()
+	d.pending = append(d.pending, recs...)
+	d.pendMu.Unlock()
+}
+
+// RegistryGen returns the generation of the committed registry image.
+func (d *Daemon) RegistryGen() uint64 {
+	if img := d.img.Load(); img != nil {
+		return img.gen
 	}
-	d.dirtyMu.Unlock()
+	return 0
 }
 
 // clone returns a copy safe to encode while the original keeps
@@ -174,36 +208,51 @@ func (s *ImportSession) clone() *ImportSession {
 }
 
 // planCheckpoint is the quiesce phase: decide full vs incremental,
-// capture stable copies of the records to stream, swap out the dirty
-// set and (when allowed and safe) switch journal appends to the
-// standby region. The caller holds ckptMu and either holds opMu
-// exclusively or is the single boot goroutine; nothing here encodes
-// gob or touches the arena, so the exclusive hold stays short and
-// independent of registry size on the incremental path.
+// swap out the pending delta records, capture the counter block and
+// (when allowed and safe) switch journal appends to the standby
+// region. The caller holds ckptMu and either holds opMu exclusively or
+// is the single boot goroutine. With the COW image this is O(1) —
+// full checkpoints included: no entity is read, copied or encoded
+// under the quiesce, so the exclusive pause is independent of registry
+// size on BOTH paths (the ckpt and fences benchmarks measure this).
 func (d *Daemon) planCheckpoint(wantFull, allowSwitch bool) *ckptPlan {
 	p := &ckptPlan{seq: d.seq, gen: d.chain.gen + 1}
 	p.full = wantFull || d.forceFull || d.chain.half < 0 ||
 		d.chain.incs >= maxChainIncs || d.chain.tail > d.ckptHalf-d.ckptHalf/4
 	if p.full {
-		// Alternate away from the half holding the last valid chain —
-		// never overwrite the only committed checkpoint in place.
+		// Alternate away from the half holding the last valid chain
+		// head — never overwrite the only committed checkpoint in
+		// place. The head extent is capped by the live chain's spill
+		// (if it has one, it sits in our half); our own spill may use
+		// the other half beyond the live chain's committed bytes.
 		p.half = 0
 		if d.chain.half == 0 {
 			p.half = 1
 		}
 		p.tail, p.incs = 0, 0
+		p.headLimit = d.ckptHalf
+		p.canSpill = true
+		if d.chain.half >= 0 {
+			if d.chain.spilled {
+				p.headLimit = d.chain.spillStart
+				p.spillMin = d.chain.headEnd
+			} else {
+				p.spillMin = d.chain.tail
+			}
+		}
 	} else {
 		p.half, p.tail, p.incs = d.chain.half, d.chain.tail, d.chain.incs+1
+		p.headLimit = d.ckptHalf
+		if d.chain.spilled {
+			// The chain's cursor lives in its spill extent.
+			p.half = 1 - d.chain.half
+			p.spillKinds = true
+		}
 	}
-	d.dirtyMu.Lock()
-	p.dirty = d.dirty
-	d.dirty = make(map[dirtyKey]struct{})
-	d.dirtyMu.Unlock()
-	if p.full {
-		p.recs = d.captureAll()
-	} else {
-		p.recs = d.captureDirty(p.dirty)
-	}
+	d.pendMu.Lock()
+	p.deltas = d.pending
+	d.pending = nil
+	d.pendMu.Unlock()
 	p.ctrs = *d.countersVal()
 	// Switch appends to the standby journal so the retired region's
 	// tail is reclaimed once this checkpoint commits. Safe only when
@@ -217,90 +266,141 @@ func (d *Daemon) planCheckpoint(wantFull, allowSwitch bool) *ckptPlan {
 	return p
 }
 
-// captureAll captures every entity for a full checkpoint. Mutable
-// records (pools, sessions, the type list) are copied; immutable ones
-// (puddles, log spaces) are captured by pointer. This is the O(state)
-// part of a full checkpoint's quiesce — a shallow copy, with all gob
-// encoding deferred to the streaming phase.
-func (d *Daemon) captureAll() []lazyRec {
-	recs := make([]lazyRec, 0,
-		len(d.st.Pools)+len(d.st.Puddles)+len(d.st.LogSpaces)+len(d.st.Sessions)+2)
-	for name, p := range d.st.Pools {
-		p.mu.Lock()
-		snap := p.snapshot()
-		p.mu.Unlock()
-		recs = append(recs, lazyRec{kind: recPool, key: name, val: snap})
+// cloneState deep-copies the mutable records of st into a fresh image
+// state (puddle and log-space records are immutable after creation and
+// shared by pointer). Boot-only, single-threaded — live PoolRecs are
+// snapshotted without their locks.
+func cloneState(src *state) *state {
+	dst := newState()
+	dst.Seq = src.Seq
+	dst.NextSession = src.NextSession
+	dst.Recoveries = src.Recoveries
+	dst.LogsReplayed = src.LogsReplayed
+	dst.EntriesApplied = src.EntriesApplied
+	dst.Imports = src.Imports
+	for name, p := range src.Pools {
+		dst.Pools[name] = p.snapshot()
 	}
-	for u, rec := range d.st.Puddles {
-		recs = append(recs, lazyRec{kind: recPuddle, key: uuidKey(u), val: rec})
+	for u, rec := range src.Puddles {
+		dst.Puddles[u] = rec
 	}
-	for u, ls := range d.st.LogSpaces {
-		recs = append(recs, lazyRec{kind: recLogSpace, key: uuidKey(u), val: ls})
+	for u, ls := range src.LogSpaces {
+		dst.LogSpaces[u] = ls
 	}
-	for id, s := range d.st.Sessions {
-		recs = append(recs, lazyRec{kind: recSession, key: strconv.FormatUint(id, 10), val: s.clone()})
+	for id, s := range src.Sessions {
+		dst.Sessions[id] = s.clone()
 	}
-	recs = append(recs,
-		lazyRec{kind: recTypes, val: append([]ptypes.TypeInfo(nil), d.st.Types...)},
-		lazyRec{kind: recCounters, val: d.countersVal()})
-	return recs
+	dst.Types = append([]ptypes.TypeInfo(nil), src.Types...)
+	return dst
 }
 
-// captureDirty captures the current value (or tombstone) of every
-// dirty entity for an incremental checkpoint. Counters are always
-// included — they are tiny and recovery mutates them without
-// journaling.
-func (d *Daemon) captureDirty(dirty map[dirtyKey]struct{}) []lazyRec {
-	recs := make([]lazyRec, 0, len(dirty)+1)
-	for k := range dirty {
-		switch k.kind {
+// composeImage builds the next registry image: a fresh state whose
+// maps start as shallow copies of prev (sharing the immutable records)
+// and then absorb the delta records in order. Records decoded from
+// delta blobs are fresh values; a pool touched by a membership delta
+// is cloned before mutation, so prev is never written — it stays a
+// valid published image throughout.
+func composeImage(prev *state, deltas []entRec, seq uint64) *state {
+	next := newState()
+	next.Seq = seq
+	next.NextSession = prev.NextSession
+	next.Recoveries = prev.Recoveries
+	next.LogsReplayed = prev.LogsReplayed
+	next.EntriesApplied = prev.EntriesApplied
+	next.Imports = prev.Imports
+	for name, p := range prev.Pools {
+		next.Pools[name] = p
+	}
+	for u, rec := range prev.Puddles {
+		next.Puddles[u] = rec
+	}
+	for u, ls := range prev.LogSpaces {
+		next.LogSpaces[u] = ls
+	}
+	for id, s := range prev.Sessions {
+		next.Sessions[id] = s
+	}
+	next.Types = prev.Types
+	cloned := make(map[string]bool)
+	for _, r := range deltas {
+		switch r.Kind {
+		case recPoolLink, recPoolUnlink:
+			pool := next.Pools[r.Key]
+			u, ok := keyUUID(string(r.Blob))
+			if pool == nil || !ok {
+				continue
+			}
+			if !cloned[r.Key] {
+				pool = pool.snapshot()
+				next.Pools[r.Key] = pool
+				cloned[r.Key] = true
+			}
+			if r.Kind == recPoolLink {
+				pool.Puddles = append(pool.Puddles, u)
+				continue
+			}
+			for i, pu := range pool.Puddles {
+				if pu == u {
+					pool.Puddles = append(pool.Puddles[:i], pool.Puddles[i+1:]...)
+					break
+				}
+			}
 		case recPool:
-			if p := d.st.Pools[k.key]; p != nil {
-				p.mu.Lock()
-				snap := p.snapshot()
-				p.mu.Unlock()
-				recs = append(recs, lazyRec{kind: recPool, key: k.key, val: snap})
-			} else {
-				recs = append(recs, lazyRec{kind: recPool, key: k.key, del: true})
-			}
-		case recPuddle:
-			u, ok := keyUUID(k.key)
-			if !ok {
-				continue
-			}
-			if rec := d.st.Puddles[u]; rec != nil {
-				recs = append(recs, lazyRec{kind: recPuddle, key: k.key, val: rec})
-			} else {
-				recs = append(recs, lazyRec{kind: recPuddle, key: k.key, del: true})
-			}
-		case recLogSpace:
-			u, ok := keyUUID(k.key)
-			if !ok {
-				continue
-			}
-			if ls := d.st.LogSpaces[u]; ls != nil {
-				recs = append(recs, lazyRec{kind: recLogSpace, key: k.key, val: ls})
-			} else {
-				recs = append(recs, lazyRec{kind: recLogSpace, key: k.key, del: true})
-			}
-		case recSession:
-			id, err := strconv.ParseUint(k.key, 10, 64)
-			if err != nil {
-				continue
-			}
-			if s := d.st.Sessions[id]; s != nil {
-				recs = append(recs, lazyRec{kind: recSession, key: k.key, val: s.clone()})
-			} else {
-				recs = append(recs, lazyRec{kind: recSession, key: k.key, del: true})
-			}
-		case recTypes:
-			recs = append(recs, lazyRec{kind: recTypes, val: append([]ptypes.TypeInfo(nil), d.st.Types...)})
-		case recCounters:
-			// always appended below
+			// A whole-record replacement makes the entry freshly owned.
+			cloned[r.Key] = !r.Del
+			applyBatchTo(next, &jbatch{Recs: []entRec{r}})
+		default:
+			applyBatchTo(next, &jbatch{Recs: []entRec{r}})
 		}
 	}
-	recs = append(recs, lazyRec{kind: recCounters, val: d.countersVal()})
-	return recs
+	return next
+}
+
+// dedupDeltas drops superseded delta records for an incremental
+// checkpoint: per entity the last whole-record put/tombstone wins, and
+// membership deltas survive only when no later whole-pool record
+// covers them. Order is preserved — replay composes link deltas onto
+// the pool record exactly as the journal did.
+func dedupDeltas(recs []entRec) []entRec {
+	type ek struct {
+		kind recKind
+		key  string
+	}
+	keep := make([]bool, len(recs))
+	n := 0
+	seen := make(map[ek]bool)
+	for i := len(recs) - 1; i >= 0; i-- {
+		r := recs[i]
+		switch r.Kind {
+		case recPoolLink, recPoolUnlink:
+			if !seen[ek{recPool, r.Key}] {
+				keep[i] = true
+				n++
+			}
+		case recTypes, recCounters:
+			k := ek{r.Kind, ""}
+			if !seen[k] {
+				keep[i], seen[k] = true, true
+				n++
+			}
+		default:
+			k := ek{r.Kind, r.Key}
+			if !seen[k] {
+				keep[i], seen[k] = true, true
+				n++
+			}
+		}
+	}
+	if n == len(recs) {
+		return recs
+	}
+	out := make([]entRec, 0, n)
+	for i, r := range recs {
+		if keep[i] {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // writeChunk appends one chunk to a chain: payload and trailing
@@ -333,12 +433,135 @@ func (d *Daemon) writeChunk(half int, off uint64, kind uint32, seq, gen uint64, 
 	return off + uint64(ckHdrSize) + uint64(len(payload)), nil
 }
 
-// streamCheckpoint is the streaming phase: encode the captured records
-// into chunks, append them to the planned chain position, and commit.
-// The caller holds ckptMu; the request path may be running — nothing
-// here touches live daemon state.
+// ckptWriter appends chunks within the extents a plan budgeted. A
+// full checkpoint that overflows its head half buffers the remaining
+// chunks (including the commit), then finish() writes a ckJump chunk
+// (room for which is reserved under the head limit) and lands the
+// buffered chunks RIGHT-JUSTIFIED against the end of the other half,
+// using the spill chunk kinds. Right justification matters: the spill
+// occupies only the far end of the other half, so the NEXT full
+// checkpoint — whose head must start at that half's offset zero — has
+// the maximum possible head room. A left-justified spill sitting just
+// past the dead chain's tail would leave the next full a few hundred
+// bytes of head and wedge compaction permanently; right-justified,
+// the arena un-wedges as soon as live+new images fit it again.
+// Anything overflowing without spill permission is errCkptFull.
+type ckptWriter struct {
+	d          *Daemon
+	half       int
+	off        uint64
+	limit      uint64
+	seq, gen   uint64
+	spillKinds bool
+	canSpill   bool
+	spillMin   uint64 // lowest dead byte in the other half (live chain end)
+
+	buffering bool
+	buf       []spillChunk
+
+	spilled    bool
+	headEnd    uint64
+	spillStart uint64
+	tail       uint64
+}
+
+type spillChunk struct {
+	kind    uint32
+	payload []byte
+}
+
+func (w *ckptWriter) write(kind uint32, payload []byte) error {
+	if w.buffering {
+		w.buf = append(w.buf, spillChunk{kind, payload})
+		return nil
+	}
+	need := uint64(ckHdrSize) + uint64(len(payload)) + ckHdrSize
+	limit := w.limit
+	if w.canSpill {
+		limit -= ckJumpNeed // the jump must always fit after the last data chunk
+	}
+	if w.off+need > limit {
+		if !w.canSpill {
+			return errCkptFull
+		}
+		w.buffering = true
+		w.buf = append(w.buf, spillChunk{kind, payload})
+		return nil
+	}
+	k := kind
+	if w.spillKinds {
+		k += ckSFull - ckFull
+	}
+	gen := uint64(0)
+	if kind == ckCommit {
+		gen = w.gen
+	}
+	next, err := w.d.writeChunk(w.half, w.off, k, w.seq, gen, payload)
+	if err != nil {
+		return err
+	}
+	w.off = next
+	return nil
+}
+
+// finish lands any buffered spill and reports the chain extents. The
+// commit chunk is always the last write(), so nothing in the spill —
+// least of all the commit — is visible before every byte persisted.
+func (w *ckptWriter) finish() error {
+	if !w.buffering {
+		w.tail, w.headEnd, w.spilled = w.off, w.off, false
+		return nil
+	}
+	total := uint64(ckHdrSize) // trailing terminator after the last chunk
+	for _, c := range w.buf {
+		total += uint64(ckHdrSize) + uint64(len(c.payload))
+	}
+	if total > w.d.ckptHalf {
+		return errCkptFull
+	}
+	spillOff := w.d.ckptHalf - total
+	if spillOff < w.spillMin {
+		return errCkptFull // would overwrite the live chain's bytes
+	}
+	jp := make([]byte, ckJumpPayload)
+	binary.LittleEndian.PutUint64(jp, spillOff)
+	next, err := w.d.writeChunk(w.half, w.off, ckJump, w.seq, w.gen, jp)
+	if err != nil {
+		return err
+	}
+	w.headEnd = next
+	w.d.ckptSpills.Add(1)
+	o := spillOff
+	for i, c := range w.buf {
+		gen := uint64(0)
+		// The first spill chunk carries the seq+gen brand the boot scan
+		// verifies against the jump header; the commit carries gen always.
+		if i == 0 || c.kind == ckCommit {
+			gen = w.gen
+		}
+		o, err = w.d.writeChunk(1-w.half, o, c.kind+(ckSFull-ckFull), w.seq, gen, c.payload)
+		if err != nil {
+			return err
+		}
+	}
+	w.spilled, w.spillStart, w.tail = true, spillOff, o
+	return nil
+}
+
+// streamCheckpoint is the streaming phase: compose the next registry
+// image from the committed image plus the plan's deltas, encode the
+// records into chunks, append them to the planned chain position, and
+// commit. The caller holds ckptMu; the request path may be running —
+// nothing here reads live daemon state: every record encoded belongs
+// to an immutable image or is a pre-encoded journal delta.
 func (d *Daemon) streamCheckpoint(p *ckptPlan) error {
-	off := p.tail
+	img := d.img.Load()
+	next := composeImage(img.st, p.deltas, p.seq)
+	w := &ckptWriter{
+		d: d, half: p.half, off: p.tail, limit: p.headLimit,
+		seq: p.seq, gen: p.gen, spillKinds: p.spillKinds,
+		canSpill: p.canSpill, spillMin: p.spillMin,
+	}
 	kind := ckRecs
 	if p.full {
 		kind = ckFull // first chunk resets the composed state at boot
@@ -353,54 +576,90 @@ func (d *Daemon) streamCheckpoint(p *ckptPlan) error {
 		if err != nil {
 			panic(fmt.Sprintf("daemon: encoding checkpoint chunk: %v", err))
 		}
-		next, werr := d.writeChunk(p.half, off, kind, p.seq, 0, payload)
-		if werr != nil {
+		if werr := w.write(kind, payload); werr != nil {
 			return werr
 		}
-		off = next
 		kind = ckRecs
 		buf, bufBytes = nil, 0
 		return nil
 	}
-	for _, lr := range p.recs {
-		var er entRec
-		if lr.del {
-			er = delRec(lr.kind, lr.key)
-		} else {
-			er = putRec(lr.kind, lr.key, lr.val)
-		}
+	emit := func(er entRec) error {
 		buf = append(buf, er)
 		bufBytes += len(er.Blob) + len(er.Key) + 16
 		if bufBytes >= d.ckptChunk {
-			if err := flush(); err != nil {
+			return flush()
+		}
+		return nil
+	}
+	if p.full {
+		for name, pr := range next.Pools {
+			if err := emit(putRec(recPool, name, pr)); err != nil {
+				return err
+			}
+		}
+		for u, rec := range next.Puddles {
+			if err := emit(putRec(recPuddle, uuidKey(u), rec)); err != nil {
+				return err
+			}
+		}
+		for u, ls := range next.LogSpaces {
+			if err := emit(putRec(recLogSpace, uuidKey(u), ls)); err != nil {
+				return err
+			}
+		}
+		for id, s := range next.Sessions {
+			if err := emit(putRec(recSession, strconv.FormatUint(id, 10), s)); err != nil {
+				return err
+			}
+		}
+		if err := emit(putRec(recTypes, "", next.Types)); err != nil {
+			return err
+		}
+	} else {
+		for _, er := range dedupDeltas(p.deltas) {
+			if er.Kind == recCounters {
+				continue // superseded by the plan's capture, emitted below
+			}
+			if err := emit(er); err != nil {
 				return err
 			}
 		}
 	}
-	if err := flush(); err != nil {
+	// Counters stream last and unconditionally (recovery mutates them
+	// without journaling), which also guarantees a full checkpoint of
+	// an empty registry still opens its section.
+	if err := emit(putRec(recCounters, "", &p.ctrs)); err != nil {
 		return err
 	}
-	if p.full && kind == ckFull {
-		// Zero records captured (empty registry): still open the
-		// section so the commit resets the composed state.
-		payload, _ := gobBytes(&jbatch{})
-		next, err := d.writeChunk(p.half, off, ckFull, p.seq, 0, payload)
-		if err != nil {
-			return err
-		}
-		off = next
+	if err := flush(); err != nil {
+		return err
 	}
 	trailer, err := gobBytes(&ckptTrailer{Full: p.full})
 	if err != nil {
 		panic(fmt.Sprintf("daemon: encoding checkpoint trailer: %v", err))
 	}
-	next, err := d.writeChunk(p.half, off, ckCommit, p.seq, p.gen, trailer)
-	if err != nil {
+	if err := w.write(ckCommit, trailer); err != nil {
 		return err
 	}
-	// Committed: the chain now covers p.seq and the captured counters.
-	d.chain = chainState{half: p.half, seq: p.seq, gen: p.gen, tail: next, incs: p.incs}
+	if err := w.finish(); err != nil {
+		return err
+	}
+	// Committed: the chain now covers p.seq and the captured counters,
+	// and the composed image becomes the published registry generation.
+	cs := chainState{seq: p.seq, gen: p.gen, incs: p.incs, tail: w.tail}
+	if p.full {
+		cs.half = p.half
+		cs.spilled, cs.spillStart, cs.headEnd = w.spilled, w.spillStart, w.headEnd
+	} else {
+		cs.half = d.chain.half
+		cs.spilled, cs.spillStart, cs.headEnd = d.chain.spilled, d.chain.spillStart, d.chain.headEnd
+		if !d.chain.spilled {
+			cs.headEnd = w.tail
+		}
+	}
+	d.chain = cs
 	d.chainCounters = p.ctrs
+	d.img.Store(&regImage{st: next, gen: p.gen})
 	if p.full {
 		d.forceFull = false
 	}
@@ -410,17 +669,21 @@ func (d *Daemon) streamCheckpoint(p *ckptPlan) error {
 }
 
 // abandonCheckpoint unwinds a failed streaming phase: the captured
-// dirty set merges back (those entities are still uncovered), the
-// failure is counted, and — when an increment ran out of chain space —
-// the next compaction is told to go full in the other half. The plan
-// phase had no other side effects: d.seq was never bumped, so journal
-// sequencing is unperturbed.
+// deltas merge back IN FRONT of anything the request path accumulated
+// since the plan (journal order must be preserved), the failure is
+// counted, and — when an increment ran out of chain space — the next
+// compaction is told to go full in the other half. The plan phase had
+// no other side effects: d.seq was never bumped and the committed
+// image was never replaced, so journal sequencing is unperturbed.
 func (d *Daemon) abandonCheckpoint(p *ckptPlan, err error) {
-	d.dirtyMu.Lock()
-	for k := range p.dirty {
-		d.dirty[k] = struct{}{}
+	if len(p.deltas) > 0 {
+		d.pendMu.Lock()
+		merged := make([]entRec, 0, len(p.deltas)+len(d.pending))
+		merged = append(merged, p.deltas...)
+		merged = append(merged, d.pending...)
+		d.pending = merged
+		d.pendMu.Unlock()
 	}
-	d.dirtyMu.Unlock()
 	d.persistErrs.Add(1)
 	if errors.Is(err, errCkptFull) && !p.full {
 		d.forceFull = true
@@ -429,31 +692,64 @@ func (d *Daemon) abandonCheckpoint(p *ckptPlan, err error) {
 	d.logf("checkpoint: %v", err)
 }
 
+// scanResult is one half's committed chain as recovered by scanHalf:
+// the composed state plus the chain's physical extent (including a
+// spill continuation in the other half, if the full section jumped).
+type scanResult struct {
+	st         *state
+	gen        uint64
+	incs       int
+	tail       uint64 // end of committed bytes (spill half if spilled)
+	headEnd    uint64 // end of committed bytes in the head half
+	spilled    bool
+	spillStart uint64 // first spill byte in the other half
+}
+
 // scanHalf reads one arena half's checkpoint chain: a full section
-// (opened by a ckFull chunk) followed by committed increments. Chunks
-// after the last commit — a checkpoint that was still streaming at
-// the crash — are ignored; any torn chunk ends the scan exactly like
-// a torn journal entry.
-func (d *Daemon) scanHalf(half int) (st *state, gen, tail uint64, incs int, ok bool) {
+// (opened by a ckFull chunk) followed by committed increments. The
+// full section may end in a ckJump chunk, continuing with spill-kind
+// chunks in the other half; the first chunk after a jump must carry
+// the jumping checkpoint's seq+gen brand, so a dead head half can
+// never stitch onto another chain's live spill (generations are
+// strictly monotonic across commits). Chunks after the last commit —
+// a checkpoint that was still streaming at the crash — are ignored;
+// any torn chunk, out-of-place kind, or second jump ends the scan
+// exactly like a torn journal entry.
+func (d *Daemon) scanHalf(half int) (scanResult, bool) {
 	var (
-		off      uint64
-		cur      *state
-		curGen   uint64
-		curTail  uint64
-		curIncs  int
-		pending  []*jbatch
-		pendFull bool
-		opened   bool // a ckFull chunk has been seen (chains start full)
+		sr         scanResult
+		h          = half
+		off        uint64
+		cur        *state
+		pending    []*jbatch
+		pendFull   bool
+		opened     bool // a ckFull chunk has been seen (chains start full)
+		inSpill    bool
+		jumped     bool
+		verify     bool // next chunk must brand-match the jump
+		jSeq, jGen uint64
+		headEnd    uint64 // offset after the jump chunk in the head half
+		spillStart uint64
 	)
 scan:
 	for {
 		if off+ckHdrSize > d.ckptHalf {
 			break
 		}
-		base := d.ckptHalfBase(half) + pmem.Addr(off)
+		base := d.ckptHalfBase(h) + pmem.Addr(off)
 		n := uint64(d.dev.LoadU32(base))
 		kind := d.dev.LoadU32(base + 4)
-		if n == 0 || off+ckHdrSize+n > d.ckptHalf || kind < ckFull || kind > ckCommit {
+		if n == 0 || off+ckHdrSize+n > d.ckptHalf {
+			break
+		}
+		if inSpill {
+			if kind < ckSFull || kind > ckSCommit {
+				break // ran off the spill into foreign or dead bytes
+			}
+			kind -= ckSFull - ckFull
+		} else if kind < ckFull || kind > ckJump {
+			// Spill kinds at a from-zero scan position belong to some
+			// other chain's spill extent, not to this chain.
 			break
 		}
 		payload := make([]byte, n)
@@ -462,6 +758,28 @@ scan:
 			break
 		}
 		seq := d.dev.LoadU64(base + 16)
+		genHdr := d.dev.LoadU64(base + 24)
+		if verify {
+			if seq != jSeq || genHdr != jGen {
+				break // stale spill from a different checkpoint lineage
+			}
+			verify = false
+		}
+		if kind == ckJump {
+			if !opened || jumped || n != ckJumpPayload {
+				break
+			}
+			headEnd = off + ckHdrSize + n
+			spillStart = binary.LittleEndian.Uint64(payload)
+			if spillStart >= d.ckptHalf {
+				break
+			}
+			h = 1 - half
+			off = spillStart
+			inSpill, jumped, verify = true, true, true
+			jSeq, jGen = seq, genHdr
+			continue
+		}
 		switch kind {
 		case ckFull:
 			pending, pendFull, opened = nil, true, true
@@ -481,27 +799,34 @@ scan:
 			}
 			if pendFull {
 				cur = newState()
-				curIncs = 0
+				sr.incs = 0
 			} else {
 				if cur == nil {
 					break scan
 				}
-				curIncs++
+				sr.incs++
 			}
 			for _, b := range pending {
 				applyBatchTo(cur, b)
 			}
 			cur.Seq = seq
-			curGen = d.dev.LoadU64(base + 24)
+			sr.gen = genHdr
 			pending, pendFull = nil, false
-			curTail = off + ckHdrSize + n
+			sr.tail = off + ckHdrSize + n
+			sr.spilled = inSpill
+			if inSpill {
+				sr.headEnd, sr.spillStart = headEnd, spillStart
+			} else {
+				sr.headEnd = sr.tail
+			}
 		}
 		off += ckHdrSize + n
 	}
 	if cur == nil {
-		return nil, 0, 0, 0, false
+		return scanResult{}, false
 	}
-	return cur, curGen, curTail, curIncs, true
+	sr.st = cur
+	return sr, true
 }
 
 func newState() *state {
@@ -601,9 +926,20 @@ func (d *Daemon) CompactNow() (time.Duration, error) {
 	return d.compactCycle(true)
 }
 
+// CheckpointFull forces one FULL checkpoint cycle — the whole registry
+// image streams into the other arena half, spilling across both halves
+// if it outgrows one. The wedge regression test uses it to prove an
+// oversized registry can still compact.
+func (d *Daemon) CheckpointFull() (time.Duration, error) {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	d.forceFull = true
+	return d.compactCycle(true)
+}
+
 // counterOnlyQuiescent reports whether a new checkpoint would add
 // nothing over the committed chain: no journal appends since its
-// commit (sequence equality), no dirty entities, and — because
+// commit (sequence equality), no pending deltas, and — because
 // recovery mutates counters without journaling — an unchanged counter
 // block. When it holds, a quiescent boot or shutdown can skip its
 // checkpoint entirely (zero chunks written); previously the
@@ -614,9 +950,9 @@ func (d *Daemon) counterOnlyQuiescent() bool {
 	if d.legacyCkpt || d.chain.half < 0 || d.seq != d.chain.seq {
 		return false
 	}
-	d.dirtyMu.Lock()
-	clean := len(d.dirty) == 0
-	d.dirtyMu.Unlock()
+	d.pendMu.Lock()
+	clean := len(d.pending) == 0
+	d.pendMu.Unlock()
 	return clean && *d.countersVal() == d.chainCounters
 }
 

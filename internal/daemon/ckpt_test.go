@@ -323,6 +323,98 @@ func TestCompactionUnderLoad(t *testing.T) {
 	}
 }
 
+// TestFullCheckpointSpillsAcrossHalves regresses the full-image
+// wedge: before cross-half spilling, a registry whose FULL checkpoint
+// image outgrew one arena half could never complete a full checkpoint
+// again — every attempt died with errCkptFull the moment the registry
+// crossed the half boundary, even though the live chain was tiny and
+// nearly the whole arena sat dead. Now the head half ends in a jump
+// chunk and the image continues right-justified in the dead region of
+// the other half. The spilled chain must recompose across dirty
+// reboots (the boot scan follows the jump); a boot whose own full
+// cannot fit next to the live spilled chain defers it instead of
+// failing; and once the registry shrinks, a full fits in the head
+// room the right-justified spill preserved — the arena un-wedges.
+func TestFullCheckpointSpillsAcrossHalves(t *testing.T) {
+	// 64 KiB halves: 150 pool+puddle pairs are a ~100 KiB image —
+	// bigger than one half, comfortably inside the 128 KiB arena.
+	arena := []Option{WithCheckpointArena(128 << 10), WithCheckpointChunkBytes(2 << 10)}
+	const pools = 150
+	dev := pmem.New()
+	d, err := New(dev, arena...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.SelfConn()
+	for i := 0; i < pools; i++ {
+		resp := rt(t, c, &proto.Request{Op: proto.OpCreatePool, Name: fmt.Sprintf("wedge-%03d", i)})
+		rt(t, c, &proto.Request{Op: proto.OpGetNewPuddle, Pool: resp.Pool, Size: puddle.MinSize})
+	}
+	if _, err := d.CheckpointFull(); err != nil {
+		t.Fatalf("full checkpoint of an oversized registry: %v", err)
+	}
+	if d.ckptSpills.Load() == 0 {
+		t.Fatal("registry image fit one half — spill path not exercised, grow the registry")
+	}
+	st := rt(t, c, &proto.Request{Op: proto.OpStat}).Stats
+	if st.CheckpointSpills == 0 || st.RegistryGen == 0 {
+		t.Fatalf("spill/generation stats not surfaced: spills=%d gen=%d", st.CheckpointSpills, st.RegistryGen)
+	}
+	rt(t, c, &proto.Request{Op: proto.OpCreatePool, Name: "journal-only"})
+	c.Close() // dirty: boot must jump-follow the spilled chain
+
+	d2, err := New(dev, arena...)
+	if err != nil {
+		t.Fatalf("reboot over spilled chain: %v", err)
+	}
+	c2 := d2.SelfConn()
+	defer c2.Close()
+	for _, i := range []int{0, pools / 2, pools - 1} {
+		opened := rt(t, c2, &proto.Request{Op: proto.OpOpenPool, Name: fmt.Sprintf("wedge-%03d", i)})
+		if len(opened.Puddles) != 2 {
+			t.Fatalf("wedge-%03d has %d puddles, want 2", i, len(opened.Puddles))
+		}
+	}
+	rt(t, c2, &proto.Request{Op: proto.OpOpenPool, Name: "journal-only"})
+	if got := rt(t, c2, &proto.Request{Op: proto.OpStat}).Stats.Pools; got != pools+1 {
+		t.Fatalf("pools after spilled reboot = %d, want %d", got, pools+1)
+	}
+	if err := d2.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	// The boot-time full could not fit next to the ~100 KiB live chain
+	// (the arena holds two images only while they sum under 128 KiB),
+	// so it must have been deferred — not failed — leaving forceFull up.
+	if !d2.forceFull {
+		t.Fatal("oversized boot checkpoint neither committed nor deferred")
+	}
+	// Shrink the registry below the head room the right-justified
+	// spill preserved; the deferred full now fits and un-wedges the
+	// arena. A left-justified spill would have left a few hundred
+	// bytes of head room here and wedged forever.
+	for i := 20; i < pools; i++ {
+		rt(t, c2, &proto.Request{Op: proto.OpDeletePool, Name: fmt.Sprintf("wedge-%03d", i)})
+	}
+	if _, err := d2.CheckpointFull(); err != nil {
+		t.Fatalf("full checkpoint after shrink (arena still wedged): %v", err)
+	}
+	c2.Close() // dirty again: compose the fresh chain over the dead spill
+
+	d3, err := New(dev, arena...)
+	if err != nil {
+		t.Fatalf("second reboot: %v", err)
+	}
+	c3 := d3.SelfConn()
+	defer c3.Close()
+	if got := rt(t, c3, &proto.Request{Op: proto.OpStat}).Stats.Pools; got != 21 {
+		t.Fatalf("pools after shrink cycle = %d, want 21", got)
+	}
+	rt(t, c3, &proto.Request{Op: proto.OpOpenPool, Name: "journal-only"})
+	if err := d3.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestQuiescentRebootWritesZeroChunks regresses the counters-only
 // checkpoint fast path: a reboot cycle in which nothing happened —
 // no journal appends, no dirty entities, no recovery — must stream

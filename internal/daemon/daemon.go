@@ -19,6 +19,7 @@ package daemon
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"hash/crc64"
 	"log"
@@ -68,7 +69,8 @@ const (
 
 var crcTable = crc64.MakeTable(crc64.ECMA)
 
-// Creds identify a client (simulated SO_PEERCRED; DESIGN.md §2).
+// Creds identify a client (SO_PEERCRED-verified on UNIX sockets,
+// client-asserted elsewhere; DESIGN.md §2).
 type Creds struct{ UID, GID uint32 }
 
 // Superuser credentials bypass permission checks.
@@ -213,13 +215,17 @@ type Daemon struct {
 
 	// Checkpoint state (ckpt.go). ckptMu serializes checkpoint writers
 	// and is acquired BEFORE opMu (maybeCompact try-locks it, then
-	// quiesces); chain and forceFull are guarded by it. dirty is the
-	// set of entities changed since the last checkpoint capture.
+	// quiesces); chain and forceFull are guarded by it. img is the
+	// committed copy-on-write registry generation (immutable once
+	// stored — the PR 6 range-index pattern applied to the daemon);
+	// pending holds the pre-encoded journal records appended since the
+	// image's generation, in per-entity journal order.
 	ckptMu    sync.Mutex
 	chain     chainState
 	forceFull bool
-	dirtyMu   sync.Mutex
-	dirty     map[dirtyKey]struct{}
+	img       atomic.Pointer[regImage]
+	pendMu    sync.Mutex
+	pending   []entRec
 	// chainCounters is the counter block the committed chain covers —
 	// set when a commit lands and when a chain is composed at boot.
 	// Counters mutate without journal appends, so sequence equality
@@ -241,6 +247,7 @@ type Daemon struct {
 	ckptCount      atomic.Uint64 // committed checkpoints (full + incremental)
 	ckptChunks     atomic.Uint64 // chunks streamed into the arena
 	ckptBytes      atomic.Uint64 // bytes streamed into the arena
+	ckptSpills     atomic.Uint64 // full images that crossed into the other half
 	ckptSeq        atomic.Uint64 // seq of the last committed checkpoint
 	ckptPauseTotal atomic.Uint64 // cumulative exclusive quiesce ns
 	ckptPauseMax   atomic.Uint64 // worst single quiesce ns
@@ -257,27 +264,29 @@ type Daemon struct {
 	// Transport session layer (session.go). tenMu guards the tenant
 	// session registry; it nests like sessMu in the lock order (taken
 	// from the connection path with no other daemon lock held).
-	tenMu        sync.Mutex
-	tenants      map[uint64]*Session
-	connsMu      sync.Mutex // live + pre-handshake connection sets
-	conns        map[*connState]struct{}
-	hsConns      map[*proto.ServerConn]struct{} // accepted, handshake not yet done
-	connsDown    bool                           // closeConns ran; late arrivals hang up
-	lsnMu        sync.Mutex                     // listeners Serve is accepting on
-	listeners    []net.Listener
-	connWg       sync.WaitGroup // every handleConn in flight
-	stopAccept   atomic.Bool    // Serve loops return instead of accepting
-	activeConns  atomic.Int64   // post-handshake connections
-	acceptErrs   atomic.Uint64  // accept errors survived (EMFILE etc.)
-	hsRejects    atomic.Uint64  // handshakes refused
-	sessResumes  atomic.Uint64  // sessions re-attached by token
-	maxConns     int            // 0 = defaultMaxConns
-	maxSessions  int            // 0 = defaultMaxSessions
-	sessIdle     time.Duration  // 0 = defaultSessionIdle
-	hsTimeout    time.Duration  // 0 = defaultHandshakeTimeout
-	connBufBytes int            // 0 = proto.DefaultBufBytes
-	doneCh       chan struct{}  // closed once the daemon is down
-	doneOnce     sync.Once
+	tenMu              sync.Mutex
+	tenants            map[uint64]*Session
+	connsMu            sync.Mutex // live + pre-handshake connection sets
+	conns              map[*connState]struct{}
+	hsConns            map[*proto.ServerConn]struct{} // accepted, handshake not yet done
+	connsDown          bool                           // closeConns ran; late arrivals hang up
+	lsnMu              sync.Mutex                     // listeners Serve is accepting on
+	listeners          []net.Listener
+	connWg             sync.WaitGroup // every handleConn in flight
+	stopAccept         atomic.Bool    // Serve loops return instead of accepting
+	activeConns        atomic.Int64   // post-handshake connections
+	acceptErrs         atomic.Uint64  // accept errors survived (EMFILE etc.)
+	hsRejects          atomic.Uint64  // handshakes refused
+	sessResumes        atomic.Uint64  // sessions re-attached by token
+	poolCapRejects     atomic.Uint64  // pool opens refused by the per-session cap
+	maxConns           int            // 0 = defaultMaxConns
+	maxSessions        int            // 0 = defaultMaxSessions
+	maxPoolsPerSession int            // 0 = unlimited
+	sessIdle           time.Duration  // 0 = defaultSessionIdle
+	hsTimeout          time.Duration  // 0 = defaultHandshakeTimeout
+	connBufBytes       int            // 0 = proto.DefaultBufBytes
+	doneCh             chan struct{}  // closed once the daemon is down
+	doneOnce           sync.Once
 
 	panicHook func(*proto.Request) // test hook: provoke handler panics
 }
@@ -319,6 +328,18 @@ func WithCheckpointChunkBytes(n int) Option {
 	}
 }
 
+// WithCheckpointArena caps the checkpoint arena at n bytes — two
+// halves of n/2 (default and maximum pmem.MetaCkptSize). Tests shrink
+// it so a modest registry exercises the cross-half spill path that a
+// production image only hits past 32 MiB of metadata.
+func WithCheckpointArena(n uint64) Option {
+	return func(d *Daemon) {
+		if n >= 4<<10 && n <= pmem.MetaCkptSize {
+			d.ckptHalf = n / 2
+		}
+	}
+}
+
 // New boots a daemon on dev: it restores the metadata snapshot,
 // replays registered logs if the previous run ended in a dirty
 // shutdown, and marks the device in-use. It must run before any
@@ -331,7 +352,6 @@ func New(dev *pmem.Device, opts ...Option) (*Daemon, error) {
 		staging:       addrspace.NewManagerRange(StagingBase, stagingSize),
 		types:         ptypes.NewRegistry(),
 		jBase:         pmem.MetaJournal0,
-		dirty:         make(map[dirtyKey]struct{}),
 		chain:         chainState{half: -1},
 		journalCap:    pmem.MetaJournalSize,
 		ckptChunk:     defaultCkptChunk,
@@ -395,6 +415,12 @@ func (d *Daemon) boot() error {
 			d.logf("boot: applied %d journal batches on top of checkpoint %d", n, d.st.Seq)
 		}
 	}
+	// Seed the COW registry image with the composed state. Every
+	// mutation from here on (recovery included) journals through
+	// appendBatch, whose records accumulate in d.pending as the deltas
+	// on top of this generation — so checkpoints never have to read
+	// live records again.
+	d.img.Store(&regImage{st: cloneState(&d.st), gen: d.chain.gen})
 	// Rebuild the in-memory reservation indexes.
 	for _, p := range d.st.Puddles {
 		if _, err := d.space.ReserveAt(pmem.Addr(p.Addr), p.Size, p.UUID.String()); err != nil {
@@ -443,7 +469,20 @@ func (d *Daemon) boot() error {
 		return nil
 	}
 	if err := d.checkpointSync(true); err != nil {
-		return err
+		if !errors.Is(err, errCkptFull) {
+			return err
+		}
+		// The arena cannot hold the live chain AND a fresh full image —
+		// the registry is near arena capacity. Not fatal: the previous
+		// chain plus the intact journals (NOT reset below) still compose
+		// this exact state, so serve on and retry the full once the
+		// registry shrinks. forceFull stays up so no incremental streams
+		// in the meantime: pending only tracks post-boot deltas, the
+		// journal-replayed entries live in the boot image alone, and an
+		// increment over the stale chain would miss them.
+		d.forceFull = true
+		d.logf("boot checkpoint deferred: %v", err)
+		return nil
 	}
 	if !d.legacyCkpt {
 		// The legacy writer reset journal 0 itself (old daemons did not
@@ -529,10 +568,14 @@ func (d *Daemon) loadMeta() error {
 	d.chain = chainState{half: -1}
 	d.legacySlot = 0
 	for half := 0; half < 2; half++ {
-		st, gen, tail, incs, ok := d.scanHalf(half)
-		if ok && better(st.Seq, gen) {
-			best, bestSeq, bestGen, found = st, st.Seq, gen, true
-			d.chain = chainState{half: half, seq: st.Seq, gen: gen, tail: tail, incs: incs}
+		sr, ok := d.scanHalf(half)
+		if ok && better(sr.st.Seq, sr.gen) {
+			best, bestSeq, bestGen, found = sr.st, sr.st.Seq, sr.gen, true
+			d.chain = chainState{
+				half: half, seq: sr.st.Seq, gen: sr.gen, tail: sr.tail,
+				incs: sr.incs, headEnd: sr.headEnd,
+				spilled: sr.spilled, spillStart: sr.spillStart,
+			}
 			d.legacySlot = 0
 		}
 	}
@@ -1093,6 +1136,8 @@ func (d *Daemon) Stats() proto.Stats {
 		CheckpointChunks: d.ckptChunks.Load(),
 		CheckpointBytes:  d.ckptBytes.Load(),
 		CheckpointSeq:    d.ckptSeq.Load(),
+		CheckpointSpills: d.ckptSpills.Load(),
+		RegistryGen:      d.RegistryGen(),
 		CkptPauseTotalNs: d.ckptPauseTotal.Load(),
 		CkptPauseMaxNs:   d.ckptPauseMax.Load(),
 
@@ -1107,6 +1152,7 @@ func (d *Daemon) Stats() proto.Stats {
 		AcceptErrors:     d.acceptErrs.Load(),
 		HandshakeRejects: d.hsRejects.Load(),
 		SessionResumes:   d.sessResumes.Load(),
+		PoolCapRejects:   d.poolCapRejects.Load(),
 	}
 }
 

@@ -1,0 +1,34 @@
+//go:build linux
+
+package daemon
+
+import (
+	"net"
+	"syscall"
+)
+
+// peerCreds returns the kernel-attested identity of the peer on a
+// UNIX-domain socket (SO_PEERCRED) and ok=true. Every other transport
+// — TCP, in-process net.Pipe — carries no kernel-verified identity:
+// ok=false and the caller falls back to trusting the asserted Hello,
+// exactly the pre-SO_PEERCRED behavior.
+func peerCreds(c net.Conn) (Creds, bool) {
+	uc, isUnix := c.(*net.UnixConn)
+	if !isUnix {
+		return Creds{}, false
+	}
+	raw, err := uc.SyscallConn()
+	if err != nil {
+		return Creds{}, false
+	}
+	var (
+		cred *syscall.Ucred
+		serr error
+	)
+	if err := raw.Control(func(fd uintptr) {
+		cred, serr = syscall.GetsockoptUcred(int(fd), syscall.SOL_SOCKET, syscall.SO_PEERCRED)
+	}); err != nil || serr != nil || cred == nil {
+		return Creds{}, false
+	}
+	return Creds{UID: cred.Uid, GID: cred.Gid}, true
+}

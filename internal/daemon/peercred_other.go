@@ -1,0 +1,10 @@
+//go:build !linux
+
+package daemon
+
+import "net"
+
+// peerCreds: SO_PEERCRED is Linux-only. On other platforms no
+// transport carries kernel-attested identity, so the asserted Hello
+// credentials are trusted as-is (the simulated-SO_PEERCRED model).
+func peerCreds(net.Conn) (Creds, bool) { return Creds{}, false }

@@ -1,0 +1,99 @@
+package daemon_test
+
+import (
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"puddles/internal/daemon"
+	"puddles/internal/pmem"
+	"puddles/internal/proto"
+)
+
+// TestPeerCredVerification: on a UNIX-domain socket the daemon checks
+// the asserted Hello credentials against the kernel's SO_PEERCRED
+// answer. The honest identity (proto.NewConn defaults to the real
+// uid/gid) passes; a forged one is rejected at the handshake with a
+// HandshakeError, and an OpHello re-assertion of foreign credentials
+// is refused mid-connection.
+func TestPeerCredVerification(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("SO_PEERCRED verification is linux-only")
+	}
+	dev := pmem.New()
+	d, err := daemon.New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock := filepath.Join(t.TempDir(), "pc.sock")
+	l, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go d.Serve(l)
+
+	dial := func() net.Conn {
+		nc, err := net.Dial("unix", sock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nc
+	}
+	me := uint32(os.Getuid())
+	myGID := uint32(os.Getgid())
+
+	// Honest identity passes.
+	c := proto.NewConn(dial())
+	defer c.Close()
+	if _, err := c.RoundTrip(&proto.Request{Op: proto.OpListPools}); err != nil {
+		t.Fatalf("honest identity refused: %v", err)
+	}
+
+	// Forged handshake identity is rejected as a HandshakeError.
+	bad := proto.NewConnHello(dial(), proto.Hello{UID: me + 12345, GID: myGID})
+	defer bad.Close()
+	_, err = bad.RoundTrip(&proto.Request{Op: proto.OpListPools})
+	var he *proto.HandshakeError
+	if !errors.As(err, &he) {
+		t.Fatalf("forged uid: err = %v, want HandshakeError", err)
+	}
+	if !strings.Contains(he.Msg, "mismatch") {
+		t.Fatalf("forged uid rejected with %q, want credential mismatch", he.Msg)
+	}
+
+	// Forged GID alone is just as rejected.
+	badGID := proto.NewConnHello(dial(), proto.Hello{UID: me, GID: myGID + 7})
+	defer badGID.Close()
+	if _, err := badGID.RoundTrip(&proto.Request{Op: proto.OpListPools}); !errors.As(err, &he) {
+		t.Fatalf("forged gid: err = %v, want HandshakeError", err)
+	}
+
+	// OpHello cannot re-assert foreign credentials mid-connection...
+	if _, err := c.RoundTrip(&proto.Request{Op: proto.OpHello, UID: me + 1, GID: myGID}); err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("OpHello forge: err = %v, want credential mismatch", err)
+	}
+	// ...but re-asserting the real identity is fine, and the
+	// connection keeps working.
+	if _, err := c.RoundTrip(&proto.Request{Op: proto.OpHello, UID: me, GID: myGID}); err != nil {
+		t.Fatalf("OpHello honest: %v", err)
+	}
+	if _, err := c.RoundTrip(&proto.Request{Op: proto.OpListPools}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The rejects are visible in the stats.
+	sc := d.SelfConn()
+	defer sc.Close()
+	st, err := sc.RoundTrip(&proto.Request{Op: proto.OpStat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats.HandshakeRejects < 2 {
+		t.Fatalf("HandshakeRejects = %+v, want >= 2", st.Stats)
+	}
+}

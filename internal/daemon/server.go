@@ -98,7 +98,10 @@ func (d *Daemon) SelfConn() *proto.Conn {
 		defer d.connWg.Done()
 		d.handleConn(proto.NewServerConn(server))
 	}()
-	return proto.NewConn(client)
+	// In-process pipe: no kernel-attested peer, explicit superuser —
+	// SelfConn is the daemon talking to itself (tools, tests), not a
+	// tenant whose identity needs verifying.
+	return proto.NewConnHello(client, proto.Hello{})
 }
 
 func (d *Daemon) numConnWorkers() int {
@@ -204,7 +207,19 @@ func (d *Daemon) handleConn(sc *proto.ServerConn) {
 			// the ack still flows through the writer, in order. The
 			// session follows the override (see Session.setCreds), so a
 			// reconnect presenting the new credentials still resumes.
-			creds = Creds{UID: req.UID, GID: req.GID}
+			// The same SO_PEERCRED rule as the handshake applies: a
+			// kernel-attested transport cannot re-assert someone else's
+			// identity mid-connection.
+			next := Creds{UID: req.UID, GID: req.GID}
+			if pc, ok := peerCreds(sc.NetConn()); ok && pc != next {
+				d.hsRejects.Add(1)
+				ch <- &proto.Response{ID: req.ID, Err: fmt.Sprintf(
+					"daemon: peer credential mismatch (socket %d:%d, hello %d:%d)",
+					pc.UID, pc.GID, next.UID, next.GID)}
+				ordered <- ch
+				continue
+			}
+			creds = next
 			sess.setCreds(creds)
 			ch <- &proto.Response{ID: req.ID}
 			ordered <- ch
@@ -240,6 +255,17 @@ func (d *Daemon) serveOne(creds Creds, sess *Session, req *proto.Request, kill f
 		// A request stamped for a different session than the connection's
 		// handshake established is a confused (or malicious) client.
 		resp = fail("request session %d does not match connection session %d", req.SID, sess.ID)
+		resp.ID = req.ID
+		return resp
+	}
+	// The per-session open-pool cap is enforced here, before dispatch:
+	// accountSession's count is authoritative for the session across
+	// all its connections, so a capped tenant cannot widen its pool
+	// set by spreading opens over reconnects.
+	if sess != nil && (req.Op == proto.OpOpenPool || req.Op == proto.OpCreatePool) &&
+		sess.poolCapExceeded(req.Name, d.maxPoolsPerSession) {
+		d.poolCapRejects.Add(1)
+		resp = fail("%s (%d pools open)", proto.PoolLimitMsg, d.maxPoolsPerSession)
 		resp.ID = req.ID
 		return resp
 	}

@@ -3,6 +3,7 @@ package daemon
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -22,9 +23,10 @@ import (
 //
 // Sessions are deliberately volatile — a restarted daemon re-mints a
 // presented session under its original ID (the token is the client's
-// proof; credentials are client-asserted in this simulated-SO_PEERCRED
-// model, exactly like OpHello before it) — so the registry adds no
-// journal traffic on the connection path.
+// proof; credentials are client-asserted, verified against the
+// kernel's SO_PEERCRED answer on UNIX-domain sockets and trusted
+// as-is on transports with no attested peer) — so the registry adds
+// no journal traffic on the connection path.
 type Session struct {
 	ID    uint64
 	Token uint64
@@ -74,6 +76,22 @@ func (s *Session) notePoolGone(name string) {
 	s.mu.Unlock()
 }
 
+// poolCapExceeded reports whether opening pool name would push the
+// session past max distinct open pools (0 = unlimited). A pool the
+// session already holds open is always re-openable — the cap bounds
+// breadth, not open-call count.
+func (s *Session) poolCapExceeded(name string, max int) bool {
+	if max <= 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, open := s.openPools[name]; open {
+		return false
+	}
+	return len(s.openPools) >= max
+}
+
 // noteGrant adjusts the session's outstanding puddle-grant count.
 func (s *Session) noteGrant(delta int) {
 	s.mu.Lock()
@@ -111,6 +129,13 @@ func WithMaxConns(n int) Option { return func(d *Daemon) { d.maxConns = n } }
 
 // WithMaxSessions caps live sessions in the registry.
 func WithMaxSessions(n int) Option { return func(d *Daemon) { d.maxSessions = n } }
+
+// WithMaxPoolsPerSession caps how many distinct pools one session may
+// hold open concurrently (0 = unlimited). An open/create past the cap
+// is refused with the typed proto.PoolLimitMsg error (PoolCapRejects
+// counts them); re-opening a pool the session already holds never
+// counts against the cap.
+func WithMaxPoolsPerSession(n int) Option { return func(d *Daemon) { d.maxPoolsPerSession = n } }
 
 // WithSessionIdle sets how long a session with no attached connection
 // survives before it is reaped (its resume token stops working).
@@ -175,6 +200,15 @@ func (d *Daemon) handshake(sc *proto.ServerConn) (*Session, error) {
 	}
 	if msg := proto.CheckHello(h); msg != "" {
 		return reject(msg)
+	}
+	// On transports with a kernel-attested peer (UNIX sockets,
+	// SO_PEERCRED) the asserted credentials must match the socket's
+	// real ones — a forged Hello is rejected before it can reach any
+	// permission check. Other transports fall back to trusting the
+	// Hello (the simulated-SO_PEERCRED model).
+	if pc, ok := peerCreds(sc.NetConn()); ok && (pc.UID != h.UID || pc.GID != h.GID) {
+		return reject(fmt.Sprintf("peer credential mismatch (socket %d:%d, hello %d:%d)",
+			pc.UID, pc.GID, h.UID, h.GID))
 	}
 	// Reserve the connection slot atomically at check time: N racing
 	// handshakes each claim their own increment, so they cannot all

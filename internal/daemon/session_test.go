@@ -410,3 +410,67 @@ func TestPoolPermissionsPerSession(t *testing.T) {
 		t.Fatalf("owner delete: %v", err)
 	}
 }
+
+// TestMaxPoolsPerSession: the per-session open-pool cap refuses the
+// N+1th distinct pool with the typed proto.PoolLimitMsg error, does
+// not count re-opens of already-held pools, frees headroom on delete,
+// and follows the session across reconnects (the cap is per tenant,
+// not per connection).
+func TestMaxPoolsPerSession(t *testing.T) {
+	d, _, addr := startTCPDaemon(t, daemon.WithMaxPoolsPerSession(2))
+
+	c1 := dialHello(t, addr, proto.Hello{UID: 7, GID: 7})
+	defer c1.Close()
+	for _, name := range []string{"a", "b"} {
+		if _, err := c1.RoundTrip(&proto.Request{Op: proto.OpCreatePool, Name: name}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Third distinct pool: typed refusal, nothing created.
+	_, err := c1.RoundTrip(&proto.Request{Op: proto.OpCreatePool, Name: "c"})
+	if !proto.IsPoolLimit(err) {
+		t.Fatalf("third pool: err = %v, want pool-limit refusal", err)
+	}
+	if resp, err := c1.RoundTrip(&proto.Request{Op: proto.OpListPools}); err != nil {
+		t.Fatal(err)
+	} else {
+		for _, n := range resp.Names {
+			if n == "c" {
+				t.Fatal("refused pool exists")
+			}
+		}
+	}
+	// Re-opening a held pool does not count against the cap.
+	if _, err := c1.RoundTrip(&proto.Request{Op: proto.OpOpenPool, Name: "a"}); err != nil {
+		t.Fatalf("re-open within cap: %v", err)
+	}
+	if got := d.Stats().PoolCapRejects; got != 1 {
+		t.Fatalf("PoolCapRejects = %d, want 1", got)
+	}
+
+	// The cap rides the session: a reconnect resuming the same session
+	// inherits the open-pool set and stays capped...
+	id, tok := c1.Session()
+	c2 := dialHello(t, addr, proto.Hello{UID: 7, GID: 7, Session: id, Token: tok})
+	defer c2.Close()
+	if _, err := c2.RoundTrip(&proto.Request{Op: proto.OpCreatePool, Name: "d"}); !proto.IsPoolLimit(err) {
+		t.Fatalf("resumed session past cap: err = %v", err)
+	}
+	// ...while a fresh session has its own headroom.
+	c3 := dialHello(t, addr, proto.Hello{UID: 8, GID: 8})
+	defer c3.Close()
+	if _, err := c3.RoundTrip(&proto.Request{Op: proto.OpCreatePool, Name: "e"}); err != nil {
+		t.Fatalf("fresh session: %v", err)
+	}
+
+	// Deleting a pool frees cap headroom.
+	if _, err := c1.RoundTrip(&proto.Request{Op: proto.OpDeletePool, Name: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.RoundTrip(&proto.Request{Op: proto.OpCreatePool, Name: "f"}); err != nil {
+		t.Fatalf("after delete: %v", err)
+	}
+	if got := d.Stats().PoolCapRejects; got != 2 {
+		t.Fatalf("PoolCapRejects = %d, want 2", got)
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,7 +51,7 @@ const (
 type Hello struct {
 	Magic   uint64
 	Version uint16
-	UID     uint32 // credentials (simulated SO_PEERCRED)
+	UID     uint32 // credentials (verified against SO_PEERCRED on UNIX sockets)
 	GID     uint32
 	Session uint64 // session to resume (0 = start a new session)
 	Token   uint64 // resume proof for Session
@@ -176,6 +178,8 @@ type Stats struct {
 	CheckpointSeq    uint64 // sequence the last committed checkpoint covers
 	CkptPauseTotalNs uint64 // cumulative exclusive quiesce time across checkpoints
 	CkptPauseMaxNs   uint64 // worst single checkpoint quiesce
+	CheckpointSpills uint64 // full images that overflowed into the other arena half
+	RegistryGen      uint64 // committed copy-on-write registry image generation
 
 	CacheHits      uint64 // small allocs/frees served by worker caches
 	CacheMisses    uint64 // cacheable allocs that fell to the shared heap
@@ -188,6 +192,7 @@ type Stats struct {
 	AcceptErrors     uint64 // accept-loop errors survived (EMFILE etc.)
 	HandshakeRejects uint64 // connections refused at the handshake
 	SessionResumes   uint64 // sessions re-attached via a resume token
+	PoolCapRejects   uint64 // pool opens refused by the per-session cap
 }
 
 // Response is the union of all response payloads. ID echoes the
@@ -251,9 +256,15 @@ type Conn struct {
 // cost 4096 × 512 KiB of idle buffer.
 const DefaultBufBytes = 256 << 10
 
-// NewConn wraps a network connection with default credentials
-// (superuser) and a fresh session. Both directions are buffered.
-func NewConn(c net.Conn) *Conn { return NewConnHello(c, Hello{}) }
+// NewConn wraps a network connection with the calling process's real
+// credentials and a fresh session. Both directions are buffered. The
+// real identity matters on UNIX sockets, where the daemon verifies the
+// asserted credentials against SO_PEERCRED and rejects forgeries; use
+// NewConnHello to assert explicit (test) identities over transports
+// that carry no kernel-attested peer.
+func NewConn(c net.Conn) *Conn {
+	return NewConnHello(c, Hello{UID: uint32(os.Getuid()), GID: uint32(os.Getgid())})
+}
 
 // NewConnHello wraps a network connection with an explicit handshake:
 // credentials and, to re-attach a previous session after a reconnect,
@@ -439,6 +450,17 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("puddled: %v: %s", e.Op, e.Msg)
 }
 
+// PoolLimitMsg prefixes the daemon's refusal of a pool open that
+// would exceed the per-session open-pool cap (WithMaxPoolsPerSession).
+const PoolLimitMsg = "session pool limit reached"
+
+// IsPoolLimit reports whether err is that typed refusal, so clients
+// can tell "close something first" from a hard failure.
+func IsPoolLimit(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && strings.HasPrefix(re.Msg, PoolLimitMsg)
+}
+
 // ServerConn is the daemon side of a connection. Recv is owned by the
 // connection's read loop and Send by its response writer — one
 // goroutine per direction, so neither needs a lock.
@@ -467,6 +489,11 @@ func NewServerConnBuf(c net.Conn, bufBytes int) *ServerConn {
 // connects and never speaks must not pin a handler goroutine) and
 // clears it once the session is established.
 func (s *ServerConn) SetDeadline(t time.Time) error { return s.c.SetDeadline(t) }
+
+// NetConn exposes the underlying transport connection so the daemon
+// can read kernel-attested peer identity (SO_PEERCRED on UNIX-domain
+// sockets) during the handshake.
+func (s *ServerConn) NetConn() net.Conn { return s.c }
 
 // RecvHello reads the client's Hello frame. It does not validate —
 // the daemon decides how to answer (SendWelcome).

@@ -1,0 +1,241 @@
+package structures
+
+import (
+	"math/rand"
+	"testing"
+
+	"puddles/internal/baselines/puddleslib"
+	"puddles/internal/kvstore"
+)
+
+func shadowEnv(t *testing.T) *puddleslib.Lib {
+	t.Helper()
+	pl, err := puddleslib.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pl.Close() })
+	return pl
+}
+
+func TestShadowMapPutGetDelete(t *testing.T) {
+	pl := shadowEnv(t)
+	m, err := NewShadowMap(pl.Client(), pl.Pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 600
+	model := make(map[uint64]uint64, n)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < n; i++ {
+		k := rng.Uint64() % 1000
+		v := rng.Uint64()
+		if err := m.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+		model[k] = v
+	}
+	if m.Len() != len(model) {
+		t.Fatalf("Len = %d, want %d", m.Len(), len(model))
+	}
+	for k, v := range model {
+		got, ok := m.Get(k)
+		if !ok || got != v {
+			t.Fatalf("Get(%d) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+	if _, ok := m.Get(1 << 60); ok {
+		t.Fatal("Get on absent key succeeded")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Delete half, including some absent keys.
+	for k := range model {
+		if k%2 == 0 {
+			ok, err := m.Delete(k)
+			if err != nil || !ok {
+				t.Fatalf("Delete(%d) = %v,%v", k, ok, err)
+			}
+			delete(model, k)
+		}
+	}
+	if ok, err := m.Delete(1 << 60); err != nil || ok {
+		t.Fatalf("Delete absent = %v,%v", ok, err)
+	}
+	if m.Len() != len(model) {
+		t.Fatalf("after delete Len = %d, want %d", m.Len(), len(model))
+	}
+	seen := map[uint64]uint64{}
+	m.Walk(func(k, v uint64) bool { seen[k] = v; return true })
+	if len(seen) != len(model) {
+		t.Fatalf("Walk saw %d, want %d", len(seen), len(model))
+	}
+	for k, v := range model {
+		if seen[k] != v {
+			t.Fatalf("Walk[%d] = %d, want %d", k, seen[k], v)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShadowMapReopen(t *testing.T) {
+	pl := shadowEnv(t)
+	m, err := NewShadowMap(pl.Client(), pl.Pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 300; i++ {
+		if err := m.Put(i, i*3+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 300; i += 3 {
+		if _, err := m.Delete(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Sync()
+	m2, err := OpenShadowMap(pl.Client(), pl.Pool(), m.Desc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Len() != m.Len() {
+		t.Fatalf("reopened Len = %d, want %d", m2.Len(), m.Len())
+	}
+	for i := uint64(0); i < 300; i++ {
+		want, wantOK := m.Get(i)
+		got, ok := m2.Get(i)
+		if ok != wantOK || got != want {
+			t.Fatalf("reopened Get(%d) = %d,%v want %d,%v", i, got, ok, want, wantOK)
+		}
+	}
+	if err := m2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The reopened handle keeps working (fresh free list is sound).
+	for i := uint64(1000); i < 1100; i++ {
+		if err := m2.Put(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShadowQueueFIFO(t *testing.T) {
+	pl := shadowEnv(t)
+	q, err := NewShadowQueue(pl.Client(), pl.Pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := q.Dequeue(); err != nil || ok {
+		t.Fatalf("Dequeue empty = %v,%v", ok, err)
+	}
+	for i := uint64(1); i <= 500; i++ {
+		if err := q.Enqueue(i * 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Len() != 500 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 200; i++ {
+		v, ok, err := q.Dequeue()
+		if err != nil || !ok || v != i*7 {
+			t.Fatalf("Dequeue = %d,%v,%v want %d", v, ok, err, i*7)
+		}
+	}
+	// Interleave to exercise desc churn across the wrap.
+	for i := uint64(501); i <= 600; i++ {
+		if err := q.Enqueue(i * 7); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := q.Dequeue(); err != nil || !ok {
+			t.Fatalf("Dequeue = %v,%v", ok, err)
+		}
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	q.Sync()
+	q2, err := OpenShadowQueue(pl.Client(), pl.Pool(), q.Desc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := q2.Values(), q.Values(); len(got) != len(want) {
+		t.Fatalf("reopened Values len %d, want %d", len(got), len(want))
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Values[%d] = %d, want %d", i, got[i], want[i])
+			}
+		}
+	}
+	if err := q2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Drain fully through the reopened handle.
+	for q2.Len() > 0 {
+		if _, ok, err := q2.Dequeue(); err != nil || !ok {
+			t.Fatalf("drain = %v,%v", ok, err)
+		}
+	}
+	if err := q2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShadowFencesPerOp is the fence-accounting regression: a shadow
+// map update must average ≤ 2 fences/op (one shadow barrier, plus
+// amortized extent carves) while the undo-log kvstore pays ≥ 3
+// (per-append log fence, commit stage 1, commit-point persist, log
+// reset persist).
+func TestShadowFencesPerOp(t *testing.T) {
+	const n = 512
+
+	pl := shadowEnv(t)
+	m, err := NewShadowMap(pl.Client(), pl.Pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := pl.Device()
+	base := dev.Stats().Fences
+	for i := uint64(0); i < n; i++ {
+		if err := m.Put(i, i^0xdead); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shadowFences := dev.Stats().Fences - base
+	if shadowFences > 2*n {
+		t.Fatalf("shadow map: %d fences for %d puts (> 2/op)", shadowFences, n)
+	}
+
+	pl2 := shadowEnv(t)
+	kv, err := kvstore.New(pl2, kvstore.Options{Buckets: 256, ValueSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev2 := pl2.Device()
+	base2 := dev2.Stats().Fences
+	val := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	for i := uint64(0); i < n; i++ {
+		if err := kv.Put(i, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	undoFences := dev2.Stats().Fences - base2
+	if undoFences < 3*n {
+		t.Fatalf("undo kvstore: %d fences for %d puts (< 3/op — accounting drifted?)", undoFences, n)
+	}
+	if shadowFences >= undoFences {
+		t.Fatalf("shadow (%d) not cheaper than undo (%d)", shadowFences, undoFences)
+	}
+	t.Logf("fences/op: shadow %.2f, undo %.2f", float64(shadowFences)/n, float64(undoFences)/n)
+}

@@ -1,0 +1,350 @@
+package structures
+
+import (
+	"fmt"
+
+	"puddles/internal/core"
+	"puddles/internal/pmem"
+)
+
+// ShadowMap is a persistent uint64→uint64 hash-trie (fanout 4, two
+// key bits per level, low bits first) committed with the shadow
+// discipline: every Put/Delete path-copies the touched spine into
+// free slots and publishes the new root with one fence + one atomic
+// root store. Leaves off the copied spine are structure-shared
+// between versions, so an update allocates O(depth) slots.
+//
+// Node layout (64-byte slots):
+//
+//	internal: [0] kind  [1..4] child slot addrs
+//	leaf:     [0] kind  [1] key  [2] value
+type ShadowMap struct {
+	s *shadowCore
+}
+
+// NewShadowMap allocates an empty map descriptor in pool.
+func NewShadowMap(c *core.Client, pool *core.Pool) (*ShadowMap, error) {
+	s, err := newShadowCore(c, pool, descMagicMap)
+	if err != nil {
+		return nil, err
+	}
+	return &ShadowMap{s: s}, nil
+}
+
+// OpenShadowMap rebinds a descriptor after a crash or reopen,
+// recomputing the free list from root reachability.
+func OpenShadowMap(c *core.Client, pool *core.Pool, desc pmem.Addr) (*ShadowMap, error) {
+	s, err := openShadowCore(c, pool, desc, descMagicMap)
+	if err != nil {
+		return nil, err
+	}
+	m := &ShadowMap{s: s}
+	reach := make(map[pmem.Addr]bool)
+	count := 0
+	if err := m.mark(pmem.Addr(s.dev.LoadU64(desc+8)), reach, &count, 0); err != nil {
+		return nil, err
+	}
+	s.recoverFree(reach)
+	s.count = count
+	return m, nil
+}
+
+// Desc returns the persistent descriptor address (store it in a pool
+// root to find the map again).
+func (m *ShadowMap) Desc() pmem.Addr { return m.s.desc }
+
+// Len returns the number of committed keys.
+func (m *ShadowMap) Len() int {
+	m.s.mu.RLock()
+	defer m.s.mu.RUnlock()
+	return m.s.count
+}
+
+// Sync fences the latest root publish down and recycles limbo slots.
+func (m *ShadowMap) Sync() { m.s.sync() }
+
+func nodeKind(dev *pmem.Device, a pmem.Addr) (int, error) {
+	w := dev.LoadU64(a)
+	if w&^uint64(nodeKindMask) != nodeBrand {
+		return 0, fmt.Errorf("%w: slot %#x is not a shadow node", ErrShadowCorrupt, uint64(a))
+	}
+	return int(w & nodeKindMask), nil
+}
+
+func (m *ShadowMap) mark(a pmem.Addr, reach map[pmem.Addr]bool, count *int, shift uint) error {
+	if a == 0 {
+		return nil
+	}
+	if reach[a] {
+		return nil // structure-shared subtree already visited
+	}
+	if shift > 62 {
+		return fmt.Errorf("%w: trie deeper than the key width", ErrShadowCorrupt)
+	}
+	k, err := nodeKind(m.s.dev, a)
+	if err != nil {
+		return err
+	}
+	reach[a] = true
+	switch k {
+	case snLeaf:
+		*count++
+		return nil
+	case snInternal:
+		for i := 0; i < 4; i++ {
+			c := pmem.Addr(m.s.dev.LoadU64(a + 8 + pmem.Addr(8*i)))
+			if err := m.mark(c, reach, count, shift+2); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: kind %d in map trie", ErrShadowCorrupt, k)
+	}
+}
+
+// Get returns the committed value for key.
+func (m *ShadowMap) Get(key uint64) (uint64, bool) {
+	m.s.mu.RLock()
+	defer m.s.mu.RUnlock()
+	dev := m.s.dev
+	a := pmem.Addr(dev.LoadU64(m.s.desc + 8))
+	for shift := uint(0); a != 0; shift += 2 {
+		switch dev.LoadU64(a) & nodeKindMask {
+		case snLeaf:
+			if dev.LoadU64(a+8) == key {
+				return dev.LoadU64(a + 16), true
+			}
+			return 0, false
+		default:
+			a = pmem.Addr(dev.LoadU64(a + 8 + pmem.Addr(8*((key>>shift)&3))))
+		}
+	}
+	return 0, false
+}
+
+// Walk visits every committed pair; fn returning false stops early.
+func (m *ShadowMap) Walk(fn func(key, val uint64) bool) {
+	m.s.mu.RLock()
+	defer m.s.mu.RUnlock()
+	m.walk(pmem.Addr(m.s.dev.LoadU64(m.s.desc+8)), fn)
+}
+
+func (m *ShadowMap) walk(a pmem.Addr, fn func(key, val uint64) bool) bool {
+	if a == 0 {
+		return true
+	}
+	dev := m.s.dev
+	if dev.LoadU64(a)&nodeKindMask == snLeaf {
+		return fn(dev.LoadU64(a+8), dev.LoadU64(a+16))
+	}
+	for i := 0; i < 4; i++ {
+		if !m.walk(pmem.Addr(dev.LoadU64(a+8+pmem.Addr(8*i))), fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Put inserts or replaces key. One shadow commit: path copy, one
+// fence, one root store.
+func (m *ShadowMap) Put(key, val uint64) error {
+	s := m.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var p pend
+	inserted := false
+	err := s.c.RunShadow(s.pool, func(st *core.ShadowTx) error {
+		s.reset(&p)
+		inserted = false
+		root := pmem.Addr(s.dev.LoadU64(s.desc + 8))
+		nr, ins, err := m.putNode(st, &p, root, key, val, 0)
+		if err != nil {
+			return err
+		}
+		inserted = ins
+		return st.Publish(s.desc+8, uint64(nr))
+	})
+	if err != nil {
+		return err
+	}
+	delta := 0
+	if inserted {
+		delta = 1
+	}
+	s.settle(&p, delta)
+	return nil
+}
+
+func (m *ShadowMap) putNode(st *core.ShadowTx, p *pend, a pmem.Addr, key, val uint64, shift uint) (pmem.Addr, bool, error) {
+	s := m.s
+	if a == 0 {
+		n, err := s.take(st, p)
+		if err != nil {
+			return 0, false, err
+		}
+		writeLeaf(st, n, key, val)
+		return n, true, nil
+	}
+	if s.dev.LoadU64(a)&nodeKindMask == snLeaf {
+		old := s.dev.LoadU64(a + 8)
+		if old == key {
+			n, err := s.take(st, p)
+			if err != nil {
+				return 0, false, err
+			}
+			writeLeaf(st, n, key, val)
+			p.retired = append(p.retired, a)
+			return n, false, nil
+		}
+		// Split: reuse the existing leaf (structure sharing) under a
+		// fresh internal chain down to the first diverging 2-bit slot.
+		d := shift
+		for (old>>d)&3 == (key>>d)&3 {
+			d += 2
+		}
+		nl, err := s.take(st, p)
+		if err != nil {
+			return 0, false, err
+		}
+		writeLeaf(st, nl, key, val)
+		cur, err := s.take(st, p)
+		if err != nil {
+			return 0, false, err
+		}
+		var kids [4]pmem.Addr
+		kids[(old>>d)&3] = a
+		kids[(key>>d)&3] = nl
+		writeInternal(st, cur, kids)
+		for d > shift {
+			d -= 2
+			up, err := s.take(st, p)
+			if err != nil {
+				return 0, false, err
+			}
+			kids = [4]pmem.Addr{}
+			kids[(key>>d)&3] = cur
+			writeInternal(st, up, kids)
+			cur = up
+		}
+		return cur, true, nil
+	}
+	idx := (key >> shift) & 3
+	child := pmem.Addr(s.dev.LoadU64(a + 8 + pmem.Addr(8*idx)))
+	nc, ins, err := m.putNode(st, p, child, key, val, shift+2)
+	if err != nil {
+		return 0, false, err
+	}
+	n, err := s.take(st, p)
+	if err != nil {
+		return 0, false, err
+	}
+	var kids [4]pmem.Addr
+	for i := 0; i < 4; i++ {
+		kids[i] = pmem.Addr(s.dev.LoadU64(a + 8 + pmem.Addr(8*i)))
+	}
+	kids[idx] = nc
+	writeInternal(st, n, kids)
+	p.retired = append(p.retired, a)
+	return n, ins, nil
+}
+
+// Delete removes key, reporting whether it was present.
+func (m *ShadowMap) Delete(key uint64) (bool, error) {
+	s := m.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	root := pmem.Addr(s.dev.LoadU64(s.desc + 8))
+	if root == 0 {
+		return false, nil
+	}
+	var p pend
+	found := false
+	err := s.c.RunShadow(s.pool, func(st *core.ShadowTx) error {
+		s.reset(&p)
+		nr, ok, err := m.delNode(st, &p, root, key, 0)
+		if err != nil {
+			return err
+		}
+		found = ok
+		if !ok {
+			return nil // absent: commit as a no-op, publish nothing
+		}
+		return st.Publish(s.desc+8, uint64(nr))
+	})
+	if err != nil {
+		return false, err
+	}
+	if found {
+		s.settle(&p, -1)
+	}
+	return found, nil
+}
+
+func (m *ShadowMap) delNode(st *core.ShadowTx, p *pend, a pmem.Addr, key uint64, shift uint) (pmem.Addr, bool, error) {
+	s := m.s
+	if a == 0 {
+		return 0, false, nil
+	}
+	if s.dev.LoadU64(a)&nodeKindMask == snLeaf {
+		if s.dev.LoadU64(a+8) != key {
+			return a, false, nil
+		}
+		p.retired = append(p.retired, a)
+		return 0, true, nil
+	}
+	idx := (key >> shift) & 3
+	child := pmem.Addr(s.dev.LoadU64(a + 8 + pmem.Addr(8*idx)))
+	nc, ok, err := m.delNode(st, p, child, key, shift+2)
+	if err != nil || !ok {
+		return a, ok, err
+	}
+	var kids [4]pmem.Addr
+	empty := nc == 0
+	for i := 0; i < 4; i++ {
+		kids[i] = pmem.Addr(s.dev.LoadU64(a + 8 + pmem.Addr(8*i)))
+		if i != int(idx) && kids[i] != 0 {
+			empty = false
+		}
+	}
+	kids[idx] = nc
+	p.retired = append(p.retired, a)
+	if empty {
+		return 0, true, nil
+	}
+	n, err := s.take(st, p)
+	if err != nil {
+		return 0, false, err
+	}
+	writeInternal(st, n, kids)
+	return n, true, nil
+}
+
+// Validate checks the slot census: reachable + free + limbo must
+// account for every slot in the extent chain exactly once.
+func (m *ShadowMap) Validate() error {
+	m.s.mu.RLock()
+	defer m.s.mu.RUnlock()
+	reach := make(map[pmem.Addr]bool)
+	count := 0
+	if err := m.mark(pmem.Addr(m.s.dev.LoadU64(m.s.desc+8)), reach, &count, 0); err != nil {
+		return err
+	}
+	if count != m.s.count {
+		return fmt.Errorf("%w: volatile count %d, trie holds %d", ErrShadowCorrupt, m.s.count, count)
+	}
+	return m.s.census(reach)
+}
+
+func writeLeaf(st *core.ShadowTx, a pmem.Addr, key, val uint64) {
+	st.StoreU64(a, nodeBrand|snLeaf)
+	st.StoreU64(a+8, key)
+	st.StoreU64(a+16, val)
+}
+
+func writeInternal(st *core.ShadowTx, a pmem.Addr, kids [4]pmem.Addr) {
+	st.StoreU64(a, nodeBrand|snInternal)
+	for i, k := range kids {
+		st.StoreU64(a+8+pmem.Addr(8*i), uint64(k))
+	}
+}

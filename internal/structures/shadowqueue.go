@@ -1,0 +1,220 @@
+package structures
+
+import (
+	"fmt"
+
+	"puddles/internal/core"
+	"puddles/internal/pmem"
+)
+
+// ShadowQueue is a persistent FIFO committed with the shadow
+// discipline. The queue state (head, tail, length) lives in a single
+// 64-byte descriptor node that every operation replaces wholesale, so
+// one atomic root store flips the whole queue between versions.
+//
+// Enqueue writes the next pointer of the committed tail node early —
+// before the fence — which is benign: the old descriptor's length
+// field bounds every traversal, so the old version never dereferences
+// that link, and the new version only becomes reachable after the
+// fence has hardened it.
+//
+// Node layout (64-byte slots):
+//
+//	qdesc: [0] kind  [1] head  [2] tail  [3] len
+//	qnode: [0] kind  [1] value [2] next
+type ShadowQueue struct {
+	s *shadowCore
+}
+
+// NewShadowQueue allocates an empty queue descriptor in pool.
+func NewShadowQueue(c *core.Client, pool *core.Pool) (*ShadowQueue, error) {
+	s, err := newShadowCore(c, pool, descMagicQueue)
+	if err != nil {
+		return nil, err
+	}
+	return &ShadowQueue{s: s}, nil
+}
+
+// OpenShadowQueue rebinds a descriptor after a crash or reopen.
+func OpenShadowQueue(c *core.Client, pool *core.Pool, desc pmem.Addr) (*ShadowQueue, error) {
+	s, err := openShadowCore(c, pool, desc, descMagicQueue)
+	if err != nil {
+		return nil, err
+	}
+	q := &ShadowQueue{s: s}
+	reach := make(map[pmem.Addr]bool)
+	n, err := q.mark(reach)
+	if err != nil {
+		return nil, err
+	}
+	s.recoverFree(reach)
+	s.count = n
+	return q, nil
+}
+
+// Desc returns the persistent descriptor address.
+func (q *ShadowQueue) Desc() pmem.Addr { return q.s.desc }
+
+// Len returns the committed queue length.
+func (q *ShadowQueue) Len() int {
+	q.s.mu.RLock()
+	defer q.s.mu.RUnlock()
+	return q.s.count
+}
+
+// Sync fences the latest root publish down and recycles limbo slots.
+func (q *ShadowQueue) Sync() { q.s.sync() }
+
+// mark walks the committed version: the qdesc, then exactly len nodes
+// from head (the last node's next link is never read — it may be a
+// pre-fence store for a version that never committed).
+func (q *ShadowQueue) mark(reach map[pmem.Addr]bool) (int, error) {
+	dev := q.s.dev
+	qd := pmem.Addr(dev.LoadU64(q.s.desc + 8))
+	if qd == 0 {
+		return 0, nil
+	}
+	if k, err := nodeKind(dev, qd); err != nil {
+		return 0, err
+	} else if k != snQDesc {
+		return 0, fmt.Errorf("%w: queue root kind %d", ErrShadowCorrupt, k)
+	}
+	reach[qd] = true
+	n := int(dev.LoadU64(qd + 24))
+	a := pmem.Addr(dev.LoadU64(qd + 8))
+	for i := 0; i < n; i++ {
+		if a == 0 {
+			return 0, fmt.Errorf("%w: queue chain ends after %d of %d nodes", ErrShadowCorrupt, i, n)
+		}
+		if k, err := nodeKind(dev, a); err != nil {
+			return 0, err
+		} else if k != snQNode {
+			return 0, fmt.Errorf("%w: queue node kind %d", ErrShadowCorrupt, k)
+		}
+		if reach[a] {
+			return 0, fmt.Errorf("%w: queue chain loops at %#x", ErrShadowCorrupt, uint64(a))
+		}
+		reach[a] = true
+		if i < n-1 {
+			a = pmem.Addr(dev.LoadU64(a + 16))
+		}
+	}
+	return n, nil
+}
+
+// Values returns the committed contents head-first.
+func (q *ShadowQueue) Values() []uint64 {
+	q.s.mu.RLock()
+	defer q.s.mu.RUnlock()
+	dev := q.s.dev
+	qd := pmem.Addr(dev.LoadU64(q.s.desc + 8))
+	if qd == 0 {
+		return nil
+	}
+	n := int(dev.LoadU64(qd + 24))
+	out := make([]uint64, 0, n)
+	a := pmem.Addr(dev.LoadU64(qd + 8))
+	for i := 0; i < n; i++ {
+		out = append(out, dev.LoadU64(a+8))
+		if i < n-1 {
+			a = pmem.Addr(dev.LoadU64(a + 16))
+		}
+	}
+	return out
+}
+
+// Enqueue appends v in one shadow commit.
+func (q *ShadowQueue) Enqueue(v uint64) error {
+	s := q.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var p pend
+	err := s.c.RunShadow(s.pool, func(st *core.ShadowTx) error {
+		s.reset(&p)
+		dev := s.dev
+		old := pmem.Addr(dev.LoadU64(s.desc + 8))
+		qn, err := s.take(st, &p)
+		if err != nil {
+			return err
+		}
+		st.StoreU64(qn, nodeBrand|snQNode)
+		st.StoreU64(qn+8, v)
+		st.StoreU64(qn+16, 0)
+		nd, err := s.take(st, &p)
+		if err != nil {
+			return err
+		}
+		if old == 0 {
+			writeQDesc(st, nd, qn, qn, 1)
+		} else {
+			head := dev.LoadU64(old + 8)
+			tail := pmem.Addr(dev.LoadU64(old + 16))
+			n := dev.LoadU64(old + 24)
+			st.StoreU64(tail+16, uint64(qn)) // benign early link (see doc)
+			writeQDesc(st, nd, pmem.Addr(head), qn, n+1)
+			p.retired = append(p.retired, old)
+		}
+		return st.Publish(s.desc+8, uint64(nd))
+	})
+	if err != nil {
+		return err
+	}
+	s.settle(&p, 1)
+	return nil
+}
+
+// Dequeue pops the head in one shadow commit; ok is false when empty.
+func (q *ShadowQueue) Dequeue() (val uint64, ok bool, err error) {
+	s := q.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dev := s.dev
+	old := pmem.Addr(dev.LoadU64(s.desc + 8))
+	if old == 0 || dev.LoadU64(old+24) == 0 {
+		return 0, false, nil
+	}
+	var p pend
+	err = s.c.RunShadow(s.pool, func(st *core.ShadowTx) error {
+		s.reset(&p)
+		head := pmem.Addr(dev.LoadU64(old + 8))
+		n := dev.LoadU64(old + 24)
+		val = dev.LoadU64(head + 8)
+		p.retired = append(p.retired, old, head)
+		if n == 1 {
+			return st.Publish(s.desc+8, 0)
+		}
+		nd, err := s.take(st, &p)
+		if err != nil {
+			return err
+		}
+		writeQDesc(st, nd, pmem.Addr(dev.LoadU64(head+16)), pmem.Addr(dev.LoadU64(old+16)), n-1)
+		return st.Publish(s.desc+8, uint64(nd))
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	s.settle(&p, -1)
+	return val, true, nil
+}
+
+// Validate checks the slot census against the committed chain.
+func (q *ShadowQueue) Validate() error {
+	q.s.mu.RLock()
+	defer q.s.mu.RUnlock()
+	reach := make(map[pmem.Addr]bool)
+	n, err := q.mark(reach)
+	if err != nil {
+		return err
+	}
+	if n != q.s.count {
+		return fmt.Errorf("%w: volatile count %d, chain holds %d", ErrShadowCorrupt, q.s.count, n)
+	}
+	return q.s.census(reach)
+}
+
+func writeQDesc(st *core.ShadowTx, a, head, tail pmem.Addr, n uint64) {
+	st.StoreU64(a, nodeBrand|snQDesc)
+	st.StoreU64(a+8, uint64(head))
+	st.StoreU64(a+16, uint64(tail))
+	st.StoreU64(a+24, n)
+}

@@ -35,6 +35,7 @@ var (
 	connmtJSON   = flag.String("connmtjson", "BENCH_8.json", "artifact path for the connection scaling report")
 	connMax      = flag.Int("connmax", 4096, "largest connection count in the connmt sweep")
 	fencesJSON   = flag.String("fencesjson", "BENCH_9.json", "artifact path for the commit-discipline fence report")
+	migrateJSON  = flag.String("migratejson", "BENCH_10.json", "artifact path for the live-migration pause report")
 )
 
 type experiment struct {
@@ -66,6 +67,7 @@ func main() {
 		{"connmt", "64-4096 real-socket connection scaling + restart chaos (emits -connmtjson artifact)", runConnMT},
 		{"connchaos", "daemon kill/restart churn under live TCP clients", runConnChaos},
 		{"fences", "undo vs MOD-shadow commit fences, O(1) checkpoint capture, arena spill (emits -fencesjson artifact)", runFences},
+		{"migrate", "live-migration quiesce pause vs pool size under a sustained writer (emits -migratejson artifact)", runMigrate},
 	}
 	want := flag.Arg(0)
 	if want == "" {

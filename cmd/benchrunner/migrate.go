@@ -1,0 +1,196 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"puddles/internal/core"
+	"puddles/internal/daemon"
+	"puddles/internal/pmem"
+	"puddles/internal/proto"
+)
+
+// migrate: live pool migration pause vs pool size. Iterative pre-copy
+// ships the bulk of the pool while a writer keeps committing; only the
+// final quiesce (freeze → drain → last delta → cede) stops the world.
+// The claim under test: the pause tracks one round's dirt — the
+// writer's working set — not the pool, so growing the pool an order of
+// magnitude leaves the pause flat and ms-scale while snapshot bytes
+// and total time grow linearly. Each point migrates a pool of N
+// puddles between two TCP daemons under a sustained single-writer
+// load and reads the daemon's own MigReport; the sweep is emitted to
+// -migratejson (default BENCH_10.json).
+
+type migratePoint struct {
+	Puddles       int     `json:"puddles"`
+	PoolMB        float64 `json:"pool_mb"`
+	Rounds        int     `json:"delta_rounds"`
+	SnapshotMB    float64 `json:"snapshot_mb"`
+	DeltaKB       float64 `json:"delta_kb"`
+	FinalKB       float64 `json:"final_quiesce_kb"`
+	PauseMs       float64 `json:"pause_ms"`
+	TotalMs       float64 `json:"total_ms"`
+	WriterOps     uint64  `json:"writer_ops"`
+	MovesFollowed uint64  `json:"client_moves_followed"`
+}
+
+type migrateReport struct {
+	Benchmark string         `json:"benchmark"`
+	Results   []migratePoint `json:"results"`
+}
+
+func runMigrate() error {
+	report := migrateReport{Benchmark: "live_migration_pause"}
+	header := []string{"puddles", "pool", "rounds", "snapshot", "final delta", "pause", "total"}
+	var rows [][]string
+	for _, grants := range []int{1, 8, 32} {
+		pt, err := migratePoint1(grants)
+		if err != nil {
+			return fmt.Errorf("%d puddles: %w", grants, err)
+		}
+		report.Results = append(report.Results, pt)
+		rows = append(rows, []string{
+			fmt.Sprint(pt.Puddles),
+			fmt.Sprintf("%.0fMiB", pt.PoolMB),
+			fmt.Sprint(pt.Rounds),
+			fmt.Sprintf("%.0fMiB", pt.SnapshotMB),
+			fmt.Sprintf("%.1fKiB", pt.FinalKB),
+			fmt.Sprintf("%.2fms", pt.PauseMs),
+			fmt.Sprintf("%.1fms", pt.TotalMs),
+		})
+	}
+	table(header, rows)
+	first, last := report.Results[0], report.Results[len(report.Results)-1]
+	fmt.Printf("pool grew %.0fx, pause %.2fms -> %.2fms (stop-the-world tracks the writer's dirt, not pool size)\n",
+		last.PoolMB/first.PoolMB, first.PauseMs, last.PauseMs)
+	blob, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*migrateJSON, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *migrateJSON)
+	return nil
+}
+
+func migratePoint1(grants int) (migratePoint, error) {
+	fail := func(err error) (migratePoint, error) { return migratePoint{}, err }
+	srcDev, tgtDev := pmem.New(), pmem.New()
+	l1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	defer l1.Close()
+	l2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	defer l2.Close()
+	url1 := "tcp://" + l1.Addr().String()
+	url2 := "tcp://" + l2.Addr().String()
+	src, err := daemon.New(srcDev)
+	if err != nil {
+		return fail(err)
+	}
+	tgt, err := daemon.New(tgtDev)
+	if err != nil {
+		return fail(err)
+	}
+	go src.Serve(l1)
+	go tgt.Serve(l2)
+
+	cl, err := core.Dial(url1, srcDev)
+	if err != nil {
+		return fail(err)
+	}
+	defer cl.Close()
+	cl.RegisterPeerDevice(url2, tgtDev)
+	ti, err := cl.RegisterType("mig.slots", 8, nil)
+	if err != nil {
+		return fail(err)
+	}
+	pool, err := cl.CreatePool("mig", 0o666)
+	if err != nil {
+		return fail(err)
+	}
+	const slots = 512
+	root, err := pool.CreateRoot(ti.ID, slots*8)
+	if err != nil {
+		return fail(err)
+	}
+	// Inflate the pool: cold bulk allocations force extra puddle
+	// grants, growing the bytes the snapshot must ship without growing
+	// the writer's working set.
+	for len(pool.Puddles()) < grants+1 {
+		if _, err := pool.Malloc(ti.ID, 256<<10); err != nil {
+			return fail(fmt.Errorf("inflate: %w", err))
+		}
+	}
+	var poolBytes uint64
+	for _, pd := range pool.Puddles() {
+		poolBytes += pd.Size()
+	}
+
+	// Sustained writer: one hot working set of 512 slots, dirtied for
+	// the whole migration (and transparently following the move).
+	var ops atomic.Uint64
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		var seq uint64
+		for {
+			select {
+			case <-stop:
+				done <- nil
+				return
+			default:
+			}
+			seq++
+			slot := root + pmem.Addr((seq%slots)*8)
+			if err := cl.Run(pool, func(tx *core.Tx) error { return tx.SetU64(slot, seq) }); err != nil {
+				done <- err
+				return
+			}
+			ops.Add(1)
+		}
+	}()
+	time.Sleep(30 * time.Millisecond) // dirty a steady working set first
+
+	nc, err := net.Dial("tcp", l1.Addr().String())
+	if err != nil {
+		return fail(err)
+	}
+	mig := proto.NewConnHello(nc, proto.Hello{})
+	if err := mig.Handshake(); err != nil {
+		return fail(err)
+	}
+	defer mig.Close()
+	resp, err := mig.RoundTrip(&proto.Request{Op: proto.OpMigratePool, Name: "mig", Target: url2})
+	if err != nil {
+		return fail(fmt.Errorf("migrate: %w", err))
+	}
+	time.Sleep(10 * time.Millisecond) // let the writer land at the target
+	close(stop)
+	if err := <-done; err != nil {
+		return fail(fmt.Errorf("writer: %w", err))
+	}
+
+	r := resp.Report
+	return migratePoint{
+		Puddles:       grants + 1, // data grants + the root puddle
+		PoolMB:        float64(poolBytes) / (1 << 20),
+		Rounds:        r.Rounds,
+		SnapshotMB:    float64(r.SnapshotBytes) / (1 << 20),
+		DeltaKB:       float64(r.DeltaBytes) / (1 << 10),
+		FinalKB:       float64(r.FinalBytes) / (1 << 10),
+		PauseMs:       float64(r.PauseNs) / 1e6,
+		TotalMs:       float64(r.TotalNs) / 1e6,
+		WriterOps:     ops.Load(),
+		MovesFollowed: cl.MovesFollowed(),
+	}, nil
+}

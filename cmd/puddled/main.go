@@ -23,6 +23,7 @@
 package main
 
 import (
+	"crypto/tls"
 	"flag"
 	"fmt"
 	"log"
@@ -51,6 +52,11 @@ func main() {
 		maxConns     = flag.Int("max-conns", 0, "concurrent client connection cap (0 = default, -1 = unlimited)")
 		maxSessions  = flag.Int("max-sessions", 0, "live session cap (0 = default, -1 = unlimited)")
 		sessionIdle  = flag.Duration("session-idle", 0, "idle timeout for detached sessions (0 = default)")
+		maxGrants    = flag.Int("max-grants-per-session", 0, "outstanding puddle grants per session (0 = unlimited)")
+		maxBytes     = flag.Uint64("max-bytes-per-session", 0, "cumulative carved bytes per session (0 = unlimited)")
+		tlsCert      = flag.String("tls-cert", "", "PEM certificate; with -tls-key, wraps the TCP front end in TLS (tcps://)")
+		tlsKey       = flag.String("tls-key", "", "PEM private key for -tls-cert")
+		advertise    = flag.String("advertise", "", "URL peers reach this daemon at (tcp://host:port or tcps://...), enables acting as a migration source with warm standby")
 		verbose      = flag.Bool("v", false, "log client operations")
 	)
 	flag.Parse()
@@ -67,9 +73,22 @@ func main() {
 		daemon.WithMaxConns(*maxConns),
 		daemon.WithMaxSessions(*maxSessions),
 		daemon.WithSessionIdle(*sessionIdle),
+		daemon.WithMaxGrantsPerSession(*maxGrants),
+		daemon.WithMaxBytesPerSession(*maxBytes),
 	}
 	if *legacyCkpt {
 		opts = append(opts, daemon.WithLegacyCheckpoints())
+	}
+	if *advertise != "" {
+		opts = append(opts, daemon.WithAdvertiseURL(*advertise))
+	}
+	var tlsConf *tls.Config
+	if *tlsCert != "" || *tlsKey != "" {
+		cert, err := tls.LoadX509KeyPair(*tlsCert, *tlsKey)
+		if err != nil {
+			logger.Fatalf("loading TLS keypair: %v", err)
+		}
+		tlsConf = &tls.Config{Certificates: []tls.Certificate{cert}}
 	}
 	if *verbose {
 		opts = append(opts, daemon.WithLogger(logger))
@@ -110,6 +129,10 @@ func main() {
 			if err != nil {
 				logger.Fatalf("listen tcp %s: %v", *tcpAddr, err)
 			}
+			if tlsConf != nil {
+				l = tls.NewListener(l, tlsConf)
+				logger.Printf("TLS enabled on %s", *tcpAddr)
+			}
 			listeners = append(listeners, l)
 		}
 		if len(listeners) == 0 {
@@ -124,6 +147,16 @@ func main() {
 			}
 		}(l)
 	}
+
+	// Drive any in-flight migrations the previous run left behind to
+	// exactly one owner, and restart replication streams. Runs after
+	// the front ends are up (resolution dials migration peers, who may
+	// need to dial back).
+	go func() {
+		if n := d.ResolveMigrations(); n > 0 {
+			logger.Printf("%d migration(s) unresolved (peer unreachable); affected pools stay frozen until a recover pass", n)
+		}
+	}()
 
 	// Periodic image sync: bounds data loss to the sync interval if the
 	// host dies (the simulated medium itself is process memory).

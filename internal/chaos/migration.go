@@ -1,0 +1,271 @@
+package chaos
+
+// Migration churn: power-fail the source daemon, the target daemon, or
+// both at a chosen phase of a live pool migration, reboot the
+// survivors' bytes, run the persisted-record resolution protocol, and
+// check the two safety properties the migration design promises:
+//
+//  1. Exactly one daemon owns the pool afterwards (the other refuses
+//     with a moved tombstone, a not-found, or an unresolved refusal
+//     that clears once resolution runs).
+//  2. Every value written and acknowledged BEFORE the migration began
+//     is intact at whichever daemon owns the pool.
+//
+// The phases correspond to the source-side migPhase hook points:
+// "snapshot" (full copy shipped), "delta" (first dirty round shipped),
+// "pre-commit" (commitSent persisted, commit not yet sent) and
+// "post-commit" (target acked the commit, cede not yet persisted).
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"puddles/internal/core"
+	"puddles/internal/daemon"
+	"puddles/internal/pmem"
+	"puddles/internal/proto"
+)
+
+// MigrationPhases lists the crash-injection points in stream order.
+var MigrationPhases = []string{"snapshot", "delta", "pre-commit", "post-commit"}
+
+// MigrationVictims lists which machine(s) lose power at the phase.
+var MigrationVictims = []string{"source", "target", "both"}
+
+// MigrationOutcome reports how one churn run resolved.
+type MigrationOutcome struct {
+	Phase, Victim string
+	// Owner is "source" or "target" — whichever daemon answered
+	// OpOpenPool after reboot and resolution.
+	Owner string
+	// MigrateErr is what the migration driver observed (nil when the
+	// injected crash landed after the operation completed).
+	MigrateErr error
+}
+
+const churnSlots = 32
+
+// MigrationChurn runs one two-daemon migration with a power failure
+// injected at the given phase on the given victim(s), then reboots
+// both machines on their original addresses, resolves, and verifies
+// single ownership and data integrity. seed drives the chaos devices'
+// randomized volatile-line resolution.
+func MigrationChurn(phase, victim string, seed int64) (MigrationOutcome, error) {
+	out := MigrationOutcome{Phase: phase, Victim: victim}
+
+	srcDev := pmem.NewChaos(seed)
+	tgtDev := pmem.NewChaos(seed + 1)
+
+	l1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return out, err
+	}
+	l2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		l1.Close()
+		return out, err
+	}
+	url1 := "tcp://" + l1.Addr().String()
+	url2 := "tcp://" + l2.Addr().String()
+
+	// The hook runs on the source daemon's migrating goroutine. A
+	// source crash fires synchronously (the scratch store is the armed
+	// event); a target crash arms and fires at the target's next
+	// persist — the next frame or the commit itself. The scratch lives
+	// in the last line of the device, far above the carve region.
+	const scratch = pmem.MaxAddr - 64
+	hook := func(p string) {
+		if p != phase {
+			return
+		}
+		if victim == "target" || victim == "both" {
+			tgtDev.CrashAtEvent(tgtDev.Events() + 1)
+		}
+		if victim == "source" || victim == "both" {
+			srcDev.CrashAtEvent(srcDev.Events() + 1)
+			srcDev.StoreU64(scratch, 1)
+		}
+	}
+	src, err := daemon.New(srcDev, daemon.WithMigrationHook(hook))
+	if err != nil {
+		l1.Close()
+		l2.Close()
+		return out, fmt.Errorf("source boot: %w", err)
+	}
+	tgt, err := daemon.New(tgtDev)
+	if err != nil {
+		l1.Close()
+		l2.Close()
+		return out, fmt.Errorf("target boot: %w", err)
+	}
+	go src.Serve(l1)
+	go tgt.Serve(l2)
+
+	// Seed the pool with acknowledged data through a real client.
+	cl, err := core.Dial(url1, srcDev)
+	if err != nil {
+		l1.Close()
+		l2.Close()
+		return out, err
+	}
+	ti, err := cl.RegisterType("churn.cell", 8, nil)
+	if err != nil {
+		return out, err
+	}
+	pool, err := cl.CreatePool("churn", 0o666)
+	if err != nil {
+		return out, err
+	}
+	root, err := pool.CreateRoot(ti.ID, churnSlots*8)
+	if err != nil {
+		return out, err
+	}
+	for i := 0; i < churnSlots; i++ {
+		slot := root + pmem.Addr(i*8)
+		v := uint64(i)*1000 + 7
+		if err := cl.Run(pool, func(tx *core.Tx) error { return tx.SetU64(slot, v) }); err != nil {
+			return out, fmt.Errorf("seed write %d: %w", i, err)
+		}
+	}
+	cl.Close()
+
+	// Drive the migration as superuser. Any result is legal here — an
+	// error, a dead connection, or even success (a post-commit target
+	// crash can land after the whole operation finished). Ownership is
+	// what the rest of the function checks.
+	mc, err := dialSuper(url1)
+	if err != nil {
+		return out, err
+	}
+	_, out.MigrateErr = mc.RoundTrip(&proto.Request{
+		Op: proto.OpMigratePool, Name: "churn", Target: url2,
+	})
+	mc.Close()
+
+	// Power-fail both machines (strictly harsher than failing only the
+	// victim) and reboot on the same addresses, so the persisted
+	// records' URLs still resolve.
+	l1.Close()
+	l2.Close()
+	time.Sleep(20 * time.Millisecond) // let confined daemon goroutines unwind
+	srcDev.CrashAtEvent(0)
+	tgtDev.CrashAtEvent(0)
+	srcDev.CrashNow()
+	tgtDev.CrashNow()
+
+	src2, err := daemon.New(srcDev)
+	if err != nil {
+		return out, fmt.Errorf("source reboot: %w", err)
+	}
+	tgt2, err := daemon.New(tgtDev)
+	if err != nil {
+		return out, fmt.Errorf("target reboot: %w", err)
+	}
+	l1b, err := net.Listen("tcp", l1.Addr().String())
+	if err != nil {
+		return out, fmt.Errorf("rebind source: %w", err)
+	}
+	defer l1b.Close()
+	l2b, err := net.Listen("tcp", l2.Addr().String())
+	if err != nil {
+		return out, fmt.Errorf("rebind target: %w", err)
+	}
+	defer l2b.Close()
+	go src2.Serve(l1b)
+	go tgt2.Serve(l2b)
+
+	if n := src2.ResolveMigrations(); n != 0 {
+		return out, fmt.Errorf("source left %d migrations unresolved", n)
+	}
+	if n := tgt2.ResolveMigrations(); n != 0 {
+		return out, fmt.Errorf("target left %d migrations unresolved", n)
+	}
+
+	// Exactly one daemon must answer OpOpenPool (probed on a raw
+	// protocol connection — a full client would transparently follow
+	// the moved tombstone and mask a split brain); the pre-migration
+	// values must all be intact at that daemon.
+	srcOwns, srcRefusal, err := probeOwner(url1)
+	if err != nil {
+		return out, fmt.Errorf("probe source: %w", err)
+	}
+	tgtOwns, tgtRefusal, err := probeOwner(url2)
+	if err != nil {
+		return out, fmt.Errorf("probe target: %w", err)
+	}
+	switch {
+	case srcOwns && tgtOwns:
+		return out, fmt.Errorf("split brain: both daemons own the pool")
+	case !srcOwns && !tgtOwns:
+		return out, fmt.Errorf("lost pool: neither daemon owns it (source: %v; target: %v)",
+			srcRefusal, tgtRefusal)
+	case srcOwns:
+		out.Owner = "source"
+		return out, verifySlots(url1, srcDev)
+	default:
+		out.Owner = "target"
+		return out, verifySlots(url2, tgtDev)
+	}
+}
+
+// dialSuper opens a superuser protocol connection to a tcp:// daemon.
+func dialSuper(url string) (*proto.Conn, error) {
+	nc, err := net.Dial("tcp", url[len("tcp://"):])
+	if err != nil {
+		return nil, err
+	}
+	c := proto.NewConnHello(nc, proto.Hello{})
+	if err := c.Handshake(); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// probeOwner asks one daemon, over a raw protocol connection, whether
+// it serves the churn pool. A remote refusal (moved tombstone, unknown
+// pool, unresolved) means "does not own"; a transport failure is a
+// harness error.
+func probeOwner(url string) (owns bool, refusal, err error) {
+	c, err := dialSuper(url)
+	if err != nil {
+		return false, nil, err
+	}
+	defer c.Close()
+	_, rerr := c.RoundTrip(&proto.Request{Op: proto.OpOpenPool, Name: "churn"})
+	if rerr == nil {
+		return true, nil, nil
+	}
+	var re *proto.RemoteError
+	if errors.As(rerr, &re) {
+		return false, rerr, nil
+	}
+	return false, nil, rerr
+}
+
+// verifySlots opens the churn pool through a full client at the owner
+// and checks every seeded value on its device.
+func verifySlots(url string, dev *pmem.Device) error {
+	c, err := core.Dial(url, dev)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	pool, err := c.OpenPool("churn")
+	if err != nil {
+		return fmt.Errorf("owner refused open: %w", err)
+	}
+	root, err := pool.Root()
+	if err != nil {
+		return fmt.Errorf("owner has pool but no root: %w", err)
+	}
+	for i := 0; i < churnSlots; i++ {
+		want := uint64(i)*1000 + 7
+		if got := dev.LoadU64(root + pmem.Addr(i*8)); got != want {
+			return fmt.Errorf("slot %d = %d, want %d", i, got, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package chaos
+
+import "testing"
+
+// TestMigrationChurn sweeps the full phase × victim matrix: a power
+// failure at every migration phase, on the source, the target, and
+// both at once. Every run must resolve to exactly one owner with all
+// acknowledged data intact.
+func TestMigrationChurn(t *testing.T) {
+	seed := int64(1)
+	for _, phase := range MigrationPhases {
+		for _, victim := range MigrationVictims {
+			phase, victim := phase, victim
+			s := seed
+			seed += 2
+			t.Run(phase+"/"+victim, func(t *testing.T) {
+				out, err := MigrationChurn(phase, victim, s)
+				if err != nil {
+					t.Fatalf("churn %s/%s: %v", phase, victim, err)
+				}
+				t.Logf("owner=%s migrateErr=%v", out.Owner, out.MigrateErr)
+			})
+		}
+	}
+}

@@ -68,10 +68,10 @@ func TestCacheAllocFastPath(t *testing.T) {
 	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	if got := c.dev.Stats().CacheRefills; got == 0 {
+	if got := c.device().Stats().CacheRefills; got == 0 {
 		t.Fatal("first small alloc did not refill a worker cache")
 	}
-	hits := c.dev.Stats().CacheHits
+	hits := c.device().Stats().CacheHits
 	tx = c.Begin(pool)
 	a2, err := tx.Alloc(ti.ID, nodeSz)
 	if err != nil {
@@ -80,7 +80,7 @@ func TestCacheAllocFastPath(t *testing.T) {
 	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	if got := c.dev.Stats().CacheHits; got != hits+1 {
+	if got := c.device().Stats().CacheHits; got != hits+1 {
 		t.Fatalf("CacheHits = %d, want %d (second alloc should hit)", got, hits+1)
 	}
 	// Both objects came from the same parked slab.
@@ -221,7 +221,7 @@ func TestEmptyCacheDonation(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if got := c.dev.Stats().SlabDonations; got == 0 {
+	if got := c.device().Stats().SlabDonations; got == 0 {
 		t.Fatal("empty cached slab was never donated")
 	}
 	parked := 0
@@ -262,7 +262,7 @@ func TestSetAllocCacheAblation(t *testing.T) {
 	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	s := c.dev.Stats()
+	s := c.device().Stats()
 	if s.CacheHits != 0 || s.CacheRefills != 0 {
 		t.Fatalf("cache counters moved with the cache off: %+v", s)
 	}

@@ -55,9 +55,20 @@ var (
 // volatile arena, and mu, which now guards only the cold
 // import-session and fault-hook state.
 type Client struct {
-	tr    transport // daemon connection (+ reconnect state; dial.go)
-	dev   *pmem.Device
+	tr transport // daemon connection (+ reconnect state; dial.go)
+	// devP is the device backing the CURRENT daemon: a migration
+	// redirect (followMove) may swap both the connection and the device
+	// when the new owner manages different "DAX-mapped" memory. Loaded
+	// once per operation via device().
+	devP  atomic.Pointer[pmem.Device]
 	types *ptypes.Registry
+
+	// peers maps daemon URLs to their devices, so a pool-moved
+	// redirect to a registered peer can swap the client's device view
+	// along with the connection (RegisterPeerDevice).
+	peersMu sync.Mutex
+	peers   map[string]*pmem.Device
+	moves   atomic.Uint64 // pool-moved redirects followed
 
 	mu         sync.Mutex
 	imports    map[uint64]*importState
@@ -240,15 +251,36 @@ type txLog struct {
 // device the daemon manages (the DAX-mapping stand-in).
 func Connect(conn *proto.Conn, dev *pmem.Device) *Client {
 	c := &Client{
-		dev:     dev,
 		types:   ptypes.NewRegistry(),
 		imports: make(map[uint64]*importState),
 		armed:   make(map[pmem.Addr]*importPud),
 	}
+	c.devP.Store(dev)
 	c.tr.conn = conn
 	c.volatileAt.Store(uint64(daemon.VolatileBase))
 	return c
 }
+
+// device returns the device backing the current daemon connection.
+func (c *Client) device() *pmem.Device { return c.devP.Load() }
+
+// RegisterPeerDevice tells the client which device a peer daemon URL
+// manages, so a pool-moved redirect to that daemon can swap the
+// client's memory view along with its connection. Unregistered
+// targets keep the current device (correct when every daemon shares
+// one physical device, e.g. daemons over the same DAX mapping).
+func (c *Client) RegisterPeerDevice(url string, dev *pmem.Device) {
+	c.peersMu.Lock()
+	if c.peers == nil {
+		c.peers = make(map[string]*pmem.Device)
+	}
+	c.peers[url] = dev
+	c.peersMu.Unlock()
+}
+
+// MovesFollowed reports how many pool-moved redirects this client has
+// followed.
+func (c *Client) MovesFollowed() uint64 { return c.moves.Load() }
 
 // ConnectLocal boots an in-process connection to d.
 func ConnectLocal(d *daemon.Daemon) *Client {
@@ -294,7 +326,7 @@ func (c *Client) Stats() (proto.Stats, error) {
 
 // Device exposes the underlying device for raw data access — puddles
 // hold native pointers, so any code (PM-aware or not) can follow them.
-func (c *Client) Device() *pmem.Device { return c.dev }
+func (c *Client) Device() *pmem.Device { return c.device() }
 
 // Types returns the client's type-registry mirror.
 func (c *Client) Types() *ptypes.Registry { return c.types }
@@ -403,7 +435,7 @@ func (c *Client) OpenPool(name string) (*Pool, error) {
 func (c *Client) buildPool(name string, resp *proto.Response) (*Pool, error) {
 	p := &Pool{c: c, Name: name, UUID: resp.Pool, Writable: resp.Writable}
 	for _, info := range resp.Puddles {
-		pd, err := puddle.Open(c.dev, pmem.Addr(info.Addr))
+		pd, err := puddle.Open(c.device(), pmem.Addr(info.Addr))
 		if err != nil {
 			return nil, fmt.Errorf("core: mapping puddle %v: %w", info.UUID, err)
 		}
@@ -420,13 +452,13 @@ func (c *Client) buildPool(name string, resp *proto.Response) (*Pool, error) {
 	// the heaps before the pool serves traffic. Read-only opens must
 	// not write — their orphans stay pending until a writable open.
 	if resp.Writable {
-		m := alloc.Direct{Dev: c.dev}
+		m := alloc.Direct{Dev: c.device()}
 		reclaimed := 0
 		for _, h := range p.snapshotHeaps() {
 			reclaimed += h.ReclaimParked(m)
 		}
 		if reclaimed > 0 {
-			c.dev.NoteReclaimedSlabs(uint64(reclaimed))
+			c.device().NoteReclaimedSlabs(uint64(reclaimed))
 		}
 	}
 	return p, nil
@@ -531,6 +563,87 @@ func (p *Pool) Delete() error {
 	return nil
 }
 
+// Refresh re-resolves the pool against the (possibly new) daemon and
+// rebuilds every member handle on the current device: after a live
+// migration the pool's puddles live at new addresses on a new owner,
+// and the rt gateway has already re-pointed the client there. Old
+// index ranges are dropped first so stale affinity hints and cache
+// entries can't steer writes at the abandoned copy.
+func (p *Pool) Refresh() error {
+	// growMu serializes concurrent refreshes (several transactions can
+	// trip over the same move at once); each rebuild is idempotent, so
+	// losers simply redo the work against the same grant.
+	p.growMu.Lock()
+	defer p.growMu.Unlock()
+	resp, err := p.c.rt(&proto.Request{Op: proto.OpOpenPool, Name: p.Name})
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	oldPuds := p.puddles
+	p.mu.Unlock()
+	for _, pd := range oldPuds {
+		if pd.Kind() == puddle.KindData {
+			p.c.indexHeap(pd.Range(), nil, nil)
+		}
+	}
+	p.mu.Lock()
+	p.puddles, p.heaps, p.heapByPud, p.root = nil, nil, nil, nil
+	p.UUID = resp.Pool
+	p.Writable = resp.Writable
+	p.mu.Unlock()
+	for _, info := range resp.Puddles {
+		pd, err := puddle.Open(p.c.device(), pmem.Addr(info.Addr))
+		if err != nil {
+			return fmt.Errorf("core: re-mapping puddle %v: %w", info.UUID, err)
+		}
+		p.attach(pd)
+		if info.UUID == resp.UUID {
+			p.mu.Lock()
+			p.root = pd
+			p.mu.Unlock()
+		}
+	}
+	p.mu.Lock()
+	ok := p.root != nil
+	p.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: pool %q root puddle missing from refresh grant", p.Name)
+	}
+	// The migrated copy can carry parked cache slabs whose owners died
+	// with the source daemon; fold them back in exactly like a fresh
+	// writable open does.
+	if resp.Writable {
+		m := alloc.Direct{Dev: p.c.device()}
+		reclaimed := 0
+		for _, h := range p.snapshotHeaps() {
+			reclaimed += h.ReclaimParked(m)
+		}
+		if reclaimed > 0 {
+			p.c.device().NoteReclaimedSlabs(uint64(reclaimed))
+		}
+	}
+	return nil
+}
+
+// ownsHeap reports whether h is currently one of the pool's member
+// heaps. Cache entries and affinity hints can outlive a Refresh; this
+// is the validity check that keeps them from allocating into a heap
+// the pool no longer owns.
+func (p *Pool) ownsHeap(h *alloc.Heap) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.heapByPud != nil && h != nil && p.heapByPud[h.P] == h
+}
+
+// rootPuddle snapshots the pool's current root handle (nil only
+// transiently while Refresh rebuilds membership).
+func (p *Pool) rootPuddle() *puddle.Puddle {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.root
+}
+
 // Export serializes the pool into a relocatable container blob.
 func (p *Pool) Export() ([]byte, error) {
 	resp, err := p.c.rt(&proto.Request{Op: proto.OpExportPool, Name: p.Name})
@@ -560,12 +673,12 @@ func (p *Pool) CreateRoot(typeID ptypes.TypeID, size uint32) (pmem.Addr, error) 
 	if tid, _ := root.RootType(); tid != 0 {
 		return 0, ErrHasRoot
 	}
-	addr, err := h.AllocLarge(alloc.Direct{Dev: p.c.dev}, typeID, size)
+	addr, err := h.AllocLarge(alloc.Direct{Dev: p.c.device()}, typeID, size)
 	if err != nil {
 		return 0, err
 	}
-	p.c.dev.Zero(addr, int(size))
-	p.c.dev.Persist(addr, int(size))
+	p.c.device().Zero(addr, int(size))
+	p.c.device().Persist(addr, int(size))
 	root.SetRootType(uint64(typeID), size)
 	return addr, nil
 }
@@ -645,11 +758,11 @@ func (p *Pool) Malloc(typeID ptypes.TypeID, size uint32) (pmem.Addr, error) {
 // behind (or deadlock with) a long-running transaction when a sibling
 // heap can serve it.
 func (p *Pool) allocDirect(typeID ptypes.TypeID, size uint32, zero bool) (pmem.Addr, error) {
-	m := alloc.Direct{Dev: p.c.dev}
+	m := alloc.Direct{Dev: p.c.device()}
 	finish := func(a pmem.Addr) pmem.Addr {
 		if zero {
-			p.c.dev.Zero(a, int(size))
-			p.c.dev.Persist(a, int(size))
+			p.c.device().Zero(a, int(size))
+			p.c.device().Persist(a, int(size))
 		}
 		return a
 	}
@@ -736,7 +849,7 @@ func (p *Pool) acquirePuddle(size uint64) (*puddle.Puddle, error) {
 	if err != nil {
 		return nil, err
 	}
-	pd, err := puddle.Open(p.c.dev, pmem.Addr(resp.Addr))
+	pd, err := puddle.Open(p.c.device(), pmem.Addr(resp.Addr))
 	if err != nil {
 		return nil, err
 	}
@@ -757,7 +870,7 @@ func (p *Pool) Free(addr pmem.Addr) error {
 	if !ok {
 		return alloc.ErrBadFree
 	}
-	m := alloc.Direct{Dev: p.c.dev}
+	m := alloc.Direct{Dev: p.c.device()}
 	// The object may sit in a slab parked in some worker's allocation
 	// cache: free through the owning entry then (entry lease, not heap
 	// lease). The entry can die — or the slab park — between lookup
@@ -871,7 +984,7 @@ func (c *Client) ensureLogSpace() (*logState, error) {
 		return nil, err
 	}
 	lp := &Pool{c: c, Name: name, UUID: resp.Pool, Writable: true}
-	rootPd, err := puddle.Open(c.dev, pmem.Addr(resp.Addr))
+	rootPd, err := puddle.Open(c.device(), pmem.Addr(resp.Addr))
 	if err != nil {
 		return fail(err)
 	}
@@ -885,7 +998,7 @@ func (c *Client) ensureLogSpace() (*logState, error) {
 	if err != nil {
 		return fail(err)
 	}
-	lsPd, err := puddle.Open(c.dev, pmem.Addr(lsResp.Addr))
+	lsPd, err := puddle.Open(c.device(), pmem.Addr(lsResp.Addr))
 	if err != nil {
 		return fail(err)
 	}
@@ -961,7 +1074,7 @@ func (c *Client) acquireLog(hint uint32) (*txLog, error) {
 		_, _ = c.rt(&proto.Request{Op: proto.OpFreePuddle, UUID: id})
 		return nil, err
 	}
-	l, err := plog.FormatLog(c.dev, region)
+	l, err := plog.FormatLog(c.device(), region)
 	if err != nil {
 		return fail(err)
 	}
@@ -989,7 +1102,7 @@ func (c *Client) newLogRegion(st *logState, size uint64) (pmem.Range, uid.UUID, 
 	if err != nil {
 		return pmem.Range{}, uid.Nil, err
 	}
-	pd, err := puddle.Open(c.dev, pmem.Addr(resp.Addr))
+	pd, err := puddle.Open(c.device(), pmem.Addr(resp.Addr))
 	if err != nil {
 		return pmem.Range{}, uid.Nil, err
 	}

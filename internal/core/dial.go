@@ -5,6 +5,7 @@
 package core
 
 import (
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"net"
@@ -51,21 +52,43 @@ type transport struct {
 }
 
 // ParseURL splits a daemon URL into a net.Dial network/address pair.
-// Accepted forms: "unix:///path/to.sock", "tcp://host:port", and a
-// bare filesystem path (read as a UNIX socket path).
+// Accepted forms: "unix:///path/to.sock", "tcp://host:port",
+// "tcps://host:port" (TLS over TCP), and a bare filesystem path (read
+// as a UNIX socket path). The "tcps" network is dialed through
+// dialNet, not net.Dial.
 func ParseURL(s string) (network, address string, err error) {
 	switch {
 	case strings.HasPrefix(s, "unix://"):
 		return "unix", strings.TrimPrefix(s, "unix://"), nil
 	case strings.HasPrefix(s, "tcp://"):
 		return "tcp", strings.TrimPrefix(s, "tcp://"), nil
+	case strings.HasPrefix(s, "tcps://"):
+		return "tcps", strings.TrimPrefix(s, "tcps://"), nil
 	case strings.Contains(s, "://"):
-		return "", "", fmt.Errorf("core: unsupported daemon URL scheme in %q (want unix:// or tcp://)", s)
+		return "", "", fmt.Errorf("core: unsupported daemon URL scheme in %q (want unix://, tcp:// or tcps://)", s)
 	case s == "":
 		return "", "", errors.New("core: empty daemon URL")
 	default:
 		return "unix", s, nil
 	}
+}
+
+// DialNet dials one parsed (network, address) pair — the raw-socket
+// counterpart of Dial for control-plane tools that speak the protocol
+// directly (puddlectl).
+func DialNet(network, address string) (net.Conn, error) {
+	return dialNet(network, address)
+}
+
+// dialNet dials one parsed (network, address) pair. TLS connections
+// skip certificate verification: deployments run daemon transport on
+// a private network and TLS supplies wire privacy, not peer identity
+// (there is no PKI to verify against).
+func dialNet(network, address string) (net.Conn, error) {
+	if network == "tcps" {
+		return tls.Dial("tcp", address, &tls.Config{InsecureSkipVerify: true})
+	}
+	return net.Dial(network, address)
 }
 
 // Dial connects to a daemon at url ("unix:///path", "tcp://host:port",
@@ -88,7 +111,7 @@ func DialHello(url string, dev *pmem.Device, h proto.Hello) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	redial := func() (net.Conn, error) { return net.Dial(network, address) }
+	redial := func() (net.Conn, error) { return dialNet(network, address) }
 	nc, err := redial()
 	if err != nil {
 		return nil, fmt.Errorf("core: dialing %s://%s: %w", network, address, err)
@@ -149,11 +172,33 @@ func idempotentOp(op proto.Op) bool {
 
 // rt is the one RoundTrip gateway for every client operation. A
 // *RemoteError passes straight through (the daemon answered — the
-// transport is fine). A transport error triggers a reconnect: redial
-// with bounded backoff, resume the session, then retry the request if
-// it is idempotent — otherwise surface ErrDisconnected with the
-// reconnect already done, so the NEXT operation proceeds normally.
+// transport is fine) — except the typed pool-moved refusal, which
+// carries the new owner's URL: the client re-dials the new owner,
+// swaps its device view if the target is a registered peer, and
+// retries the request there, so migrations are transparent at this
+// layer. A transport error triggers a reconnect: redial with bounded
+// backoff, resume the session, then retry the request if it is
+// idempotent — otherwise surface ErrDisconnected with the reconnect
+// already done, so the NEXT operation proceeds normally.
 func (c *Client) rt(req *proto.Request) (*proto.Response, error) {
+	// Bounded redirect loop: a moved pool answers once with its new
+	// home; chains (A→B→C) resolve in as many hops.
+	for hops := 0; ; hops++ {
+		resp, err := c.rtOnce(req)
+		if err == nil || hops >= 3 {
+			return resp, err
+		}
+		target, moved := proto.PoolMovedTarget(err)
+		if !moved {
+			return resp, err
+		}
+		if ferr := c.followMove(target); ferr != nil {
+			return nil, fmt.Errorf("core: pool moved to %s but redirect failed: %w", target, ferr)
+		}
+	}
+}
+
+func (c *Client) rtOnce(req *proto.Request) (*proto.Response, error) {
 	conn := c.tr.current()
 	resp, err := conn.RoundTrip(req)
 	if err == nil {
@@ -251,4 +296,54 @@ func (c *Client) reconnect(old *proto.Conn) error {
 			backoff = redialBackoffMax
 		}
 	}
+}
+
+// followMove re-points the client at a pool's new owner: dial the
+// target URL with the client's current credentials (a fresh session —
+// the old session belongs to the old daemon), swap the transport, and
+// swap the device view when the target is a registered peer. The
+// sharded log space is dropped too: its hidden pool lives on the old
+// daemon, so the next transaction sets a fresh one up against the new
+// owner (the old daemon reaps the orphan with its session).
+//
+// Pools opened before the move still hold puddle handles into the old
+// device; Pool.Refresh rebuilds them (Client.Run does it
+// automatically when a transaction trips over the moved pool).
+func (c *Client) followMove(url string) error {
+	network, address, err := ParseURL(url)
+	if err != nil {
+		return err
+	}
+	c.tr.mu.Lock()
+	hello := c.tr.hello
+	c.tr.mu.Unlock()
+	hello.Session, hello.Token = 0, 0
+	nc, err := dialNet(network, address)
+	if err != nil {
+		return err
+	}
+	conn := proto.NewConnHello(nc, hello)
+	if err := conn.Handshake(); err != nil {
+		conn.Close()
+		return err
+	}
+	c.peersMu.Lock()
+	peerDev := c.peers[url]
+	c.peersMu.Unlock()
+	c.tr.mu.Lock()
+	old := c.tr.conn
+	c.tr.conn = conn
+	c.tr.redial = func() (net.Conn, error) { return dialNet(network, address) }
+	c.tr.hello = hello
+	c.tr.sessID, c.tr.sessTok = conn.Session()
+	c.tr.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	if peerDev != nil {
+		c.devP.Store(peerDev)
+	}
+	c.logSt.Store(nil) // next transaction re-creates the log space remotely
+	c.moves.Add(1)
+	return nil
 }

@@ -92,7 +92,7 @@ func (c *Client) ImportPool(name string, blob []byte, lazy bool) (*Pool, error) 
 		return nil, err
 	}
 	pool := &Pool{c: c, Name: name, UUID: st.poolUUID, Writable: false, imported: st}
-	rootPd, err := puddle.Open(c.dev, root.newAddr)
+	rootPd, err := puddle.Open(c.device(), root.newAddr)
 	if err != nil {
 		return nil, fmt.Errorf("core: opening imported root: %w", err)
 	}
@@ -173,7 +173,7 @@ func (c *Client) mapAndRewrite(st *importState, ip *importPud) error {
 			delete(c.armed, ip.newAddr)
 			delete(c.armedOwner, ip)
 			c.mu.Unlock()
-			c.dev.RemoveFaultRange(ip.newAddr)
+			c.device().RemoveFaultRange(ip.newAddr)
 		}
 		resp, err := c.rt(&proto.Request{Op: proto.OpImportMap, Session: st.id, UUID: ip.uuid})
 		if err != nil {
@@ -222,9 +222,9 @@ func (c *Client) resolveTarget(st *importState, target pmem.Addr) (*importPud, e
 		c.armedSession(hit, st)
 		if !c.hookArmed {
 			c.hookArmed = true
-			c.dev.ArmFaultHook(c.onFault)
+			c.device().ArmFaultHook(c.onFault)
 		}
-		c.dev.AddFaultRange(pmem.Range{Start: hit.newAddr, End: hit.newAddr + pmem.Addr(hit.size)})
+		c.device().AddFaultRange(pmem.Range{Start: hit.newAddr, End: hit.newAddr + pmem.Addr(hit.size)})
 	}
 	c.mu.Unlock()
 	return hit, nil
@@ -251,7 +251,7 @@ func (c *Client) onFault(start pmem.Addr) {
 		delete(c.armedOwner, ip)
 	}
 	c.mu.Unlock()
-	c.dev.RemoveFaultRange(start)
+	c.device().RemoveFaultRange(start)
 	if !ok || st == nil {
 		return
 	}
@@ -273,7 +273,7 @@ func (c *Client) rewritePuddle(st *importState, ip *importPud) error {
 	if ip.kind != puddle.KindData {
 		return nil
 	}
-	pd, err := puddle.Open(c.dev, ip.newAddr)
+	pd, err := puddle.Open(c.device(), ip.newAddr)
 	if err != nil {
 		return fmt.Errorf("core: opening mapped import puddle: %w", err)
 	}
@@ -289,7 +289,7 @@ func (c *Client) rewritePuddle(st *importState, ip *importPud) error {
 				break
 			}
 			slot := o.Addr + pmem.Addr(pf.Offset)
-			ptr := pmem.Addr(c.dev.LoadU64(slot))
+			ptr := pmem.Addr(c.device().LoadU64(slot))
 			if ptr == 0 {
 				continue
 			}
@@ -303,7 +303,7 @@ func (c *Client) rewritePuddle(st *importState, ip *importPud) error {
 			}
 			nv := target.newAddr + (ptr - target.old.Start)
 			if nv != ptr {
-				c.dev.StoreU64(slot, uint64(nv))
+				c.device().StoreU64(slot, uint64(nv))
 				st.ptrsRewr++
 			}
 		}
@@ -312,7 +312,7 @@ func (c *Client) rewritePuddle(st *importState, ip *importPud) error {
 	if rewriteErr != nil {
 		return rewriteErr
 	}
-	c.dev.Persist(ip.newAddr, int(ip.size))
+	c.device().Persist(ip.newAddr, int(ip.size))
 	return nil
 }
 

@@ -62,13 +62,13 @@ func (s *ShadowTx) Free(addr pmem.Addr) error { return s.t.Free(addr) }
 // Store writes shadow data: a plain store into memory nothing
 // committed can reach, made durable by commit's single fence.
 func (s *ShadowTx) Store(addr pmem.Addr, data []byte) {
-	s.t.c.dev.Store(addr, data)
+	s.t.c.device().Store(addr, data)
 	s.note(addr, len(data))
 }
 
 // StoreU64 writes an 8-byte shadow value.
 func (s *ShadowTx) StoreU64(addr pmem.Addr, v uint64) {
-	s.t.c.dev.StoreU64(addr, v)
+	s.t.c.device().StoreU64(addr, v)
 	s.note(addr, 8)
 }
 
@@ -102,7 +102,7 @@ func (s *ShadowTx) Commit() error {
 	if s.t.done {
 		return ErrTxDone
 	}
-	dev := s.t.c.dev
+	dev := s.t.c.device()
 	var err error
 	if s.t.Pending() {
 		// The wrapped tx logged something (extent carve): register the
@@ -145,7 +145,7 @@ func (c *Client) RunShadow(pool *Pool, fn func(st *ShadowTx) error) error {
 		err := c.runShadowOnce(pool, fn, ts)
 		if errors.Is(err, ErrTxConflict) {
 			c.leaseRetries.Add(1)
-			c.dev.NoteLeaseRetry()
+			c.device().NoteLeaseRetry()
 			backoff := time.Duration(attempt+1) * 250 * time.Microsecond
 			if backoff > 2*time.Millisecond {
 				backoff = 2 * time.Millisecond

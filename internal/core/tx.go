@@ -12,6 +12,7 @@ import (
 	"puddles/internal/plog"
 	"puddles/internal/pmem"
 	"puddles/internal/ptypes"
+	"puddles/internal/puddle"
 )
 
 // Libtx: PMDK-style failure-atomic transactions over the Puddles log
@@ -32,6 +33,13 @@ var (
 	// ages into the winner; manual Begin/Commit users should Abort and
 	// retry themselves.
 	ErrTxConflict = errors.New("core: transaction lease conflict (wait-die victim, retry)")
+	// ErrPoolMoved means the transaction's pool has been migrated to
+	// another daemon (its root puddle carries FreezeMoved). Client.Run
+	// recovers automatically: it refreshes the pool — the rt gateway has
+	// already followed the redirect to the new owner — and re-executes
+	// fn against the migrated copy. Manual Begin/Commit users should
+	// call Pool.Refresh and retry themselves.
+	ErrPoolMoved = errors.New("core: pool migrated to another daemon")
 )
 
 // txClock issues the wait-die timestamps: strictly increasing, so
@@ -81,6 +89,13 @@ type Tx struct {
 	ts   uint64
 	done bool
 	err  error
+	// entered is the pool root puddle whose on-media active-transaction
+	// count this transaction bumped (nil when the quiesce gate was not
+	// armed at first write). The puddle handle — not the pool — is
+	// retained so the matching decrement lands on exactly the counter
+	// that was incremented even if a concurrent Refresh swaps the
+	// pool's membership underneath us.
+	entered *puddle.Puddle
 	// aff is the worker-affinity hint held for the transaction's
 	// lifetime: it selects the log shard and remembers the last leased
 	// heap. Fetched lazily so a TX NOP touches no pool.
@@ -130,11 +145,23 @@ func (c *Client) beginTS(pool *Pool, ts uint64) *Tx {
 // past the waiter's poll period and the waiter always gets through.
 func (c *Client) Run(pool *Pool, fn func(tx *Tx) error) (err error) {
 	ts := txClock.Add(1)
+	moves := 0
 	for attempt := 0; ; attempt++ {
 		err := c.runOnce(pool, fn, ts)
+		if errors.Is(err, ErrPoolMoved) && pool != nil && moves < 3 {
+			// The pool migrated out from under the transaction. The rt
+			// gateway inside Refresh follows the typed redirect to the
+			// new owner; the rebuilt handles point at the migrated copy
+			// and fn re-executes there from scratch.
+			moves++
+			if rerr := pool.Refresh(); rerr != nil {
+				return fmt.Errorf("%w (pool refresh after move failed: %v)", err, rerr)
+			}
+			continue
+		}
 		if errors.Is(err, ErrTxConflict) {
 			c.leaseRetries.Add(1)
-			c.dev.NoteLeaseRetry()
+			c.device().NoteLeaseRetry()
 			backoff := time.Duration(attempt+1) * 250 * time.Microsecond
 			if backoff > 2*time.Millisecond {
 				backoff = 2 * time.Millisecond
@@ -181,6 +208,14 @@ func (t *Tx) ensureLog() error {
 		if err := t.pool.writableCheck(); err != nil {
 			return err
 		}
+		// Migration quiesce gate. Checked only when some migration or
+		// replication epoch is armed on this device, so the common case
+		// costs one atomic load and no pool traffic.
+		if t.entered == nil && t.c.device().QuiesceArmed() {
+			if err := t.enterPool(); err != nil {
+				return err
+			}
+		}
 	}
 	l, err := t.c.acquireLog(t.affinity().shard)
 	if err != nil {
@@ -189,6 +224,48 @@ func (t *Tx) ensureLog() error {
 	t.log = l
 	t.log.log.SetRange(plog.RangeUndoOnly[0], plog.RangeUndoOnly[1])
 	return nil
+}
+
+// enterPool registers this transaction in the pool's on-media
+// active-transaction count so the migration engine's final-delta
+// quiesce can drain in-flight writers. The increment-then-recheck
+// dance closes the race with a concurrently landing freeze: if the
+// freeze word flipped between our read and our bump, the bump is
+// undone and we wait (quiesce) or bail (moved) instead of writing
+// into a pool that is being — or has been — handed off.
+func (t *Tx) enterPool() error {
+	root := t.pool.rootPuddle()
+	if root == nil {
+		return ErrPoolMoved // membership mid-rebuild: refresh and retry
+	}
+	for {
+		switch root.Freeze() {
+		case puddle.FreezeMoved:
+			return ErrPoolMoved
+		case puddle.FreezeQuiesce:
+			time.Sleep(50 * time.Microsecond)
+			continue
+		}
+		root.Dev.AddU64(root.ActiveTxAddr(), 1)
+		if f := root.Freeze(); f != puddle.FreezeNone {
+			root.Dev.AddU64(root.ActiveTxAddr(), ^uint64(0))
+			if f == puddle.FreezeMoved {
+				return ErrPoolMoved
+			}
+			time.Sleep(50 * time.Microsecond)
+			continue
+		}
+		t.entered = root
+		return nil
+	}
+}
+
+// exitPool undoes enterPool at commit or abort.
+func (t *Tx) exitPool() {
+	if t.entered != nil {
+		t.entered.Dev.AddU64(t.entered.ActiveTxAddr(), ^uint64(0))
+		t.entered = nil
+	}
 }
 
 func (t *Tx) grow() plog.GrowFunc {
@@ -222,7 +299,7 @@ func (t *Tx) Add(addr pmem.Addr, size int) error {
 			return err
 		}
 		old := make([]byte, g.Size())
-		t.c.dev.Load(g.Start, old)
+		t.c.device().Load(g.Start, old)
 		if err := t.log.log.Append(plog.Entry{
 			Addr: g.Start, Seq: plog.SeqUndo, Order: plog.OrderBackward, Data: old,
 		}, t.grow()); err != nil {
@@ -281,7 +358,7 @@ func (t *Tx) AddVolatile(addr pmem.Addr, size int) error {
 		return err
 	}
 	old := make([]byte, size)
-	t.c.dev.Load(addr, old)
+	t.c.device().Load(addr, old)
 	return t.log.log.Append(plog.Entry{
 		Addr: addr, Seq: plog.SeqUndo, Order: plog.OrderBackward,
 		Flags: plog.FlagVolatile, Data: old,
@@ -322,7 +399,7 @@ func (t *Tx) Set(addr pmem.Addr, data []byte) error {
 	if err := t.Add(addr, len(data)); err != nil {
 		return err
 	}
-	t.c.dev.Store(addr, data)
+	t.c.device().Store(addr, data)
 	return nil
 }
 
@@ -331,7 +408,7 @@ func (t *Tx) SetU64(addr pmem.Addr, v uint64) error {
 	if err := t.Add(addr, 8); err != nil {
 		return err
 	}
-	t.c.dev.StoreU64(addr, v)
+	t.c.device().StoreU64(addr, v)
 	return nil
 }
 
@@ -531,7 +608,7 @@ func (t *Tx) leaseForFree(h *alloc.Heap, pool *Pool) error {
 			// Younger and entangled: die. Counted on the client and the
 			// device so workloads can observe free-order contention.
 			t.c.leaseConflicts.Add(1)
-			t.c.dev.NoteLeaseConflict()
+			t.c.device().NoteLeaseConflict()
 			return ErrTxConflict
 		}
 		if h.LeaseAsTimeout(t.ts, 200*time.Microsecond) {
@@ -558,7 +635,7 @@ func (t *Tx) leaseEntry(e *alloc.CacheEntry) error {
 		owner := e.LeaseOwnerTS()
 		if owner != 0 && owner < t.ts && t.entangled() {
 			t.c.leaseConflicts.Add(1)
-			t.c.dev.NoteLeaseConflict()
+			t.c.device().NoteLeaseConflict()
 			return ErrTxConflict
 		}
 		if e.LeaseAsTimeout(t.ts, 200*time.Microsecond) {
@@ -613,7 +690,11 @@ func (t *Tx) cacheAlloc(tid ptypes.TypeID, class uint32) (pmem.Addr, bool, error
 	key := cacheKey{pool: t.pool, tid: tid, class: class}
 	if e := aff.cache[key]; e != nil {
 		held := t.holdsEntry(e)
-		usable := e.Live() && e.Owner() == aff.id
+		// The ownsHeap check invalidates entries that survived a
+		// Pool.Refresh: after a migration the cached slab belongs to a
+		// heap the pool no longer owns, and allocating from it would
+		// write into the abandoned copy.
+		usable := e.Live() && e.Owner() == aff.id && t.pool.ownsHeap(e.Heap())
 		if usable && !held {
 			if e.TryLeaseAs(t.ts) {
 				// Re-validate under the lease: the entry may have been
@@ -636,7 +717,7 @@ func (t *Tx) cacheAlloc(tid ptypes.TypeID, class uint32) (pmem.Addr, bool, error
 				return a, true, t.err
 			}
 			// Full: keep it leased so commit unparks it, refill below.
-		} else if !e.Live() || e.Owner() != aff.id {
+		} else if !e.Live() || e.Owner() != aff.id || !t.pool.ownsHeap(e.Heap()) {
 			delete(aff.cache, key)
 		}
 	}
@@ -798,11 +879,12 @@ func (t *Tx) Commit() error {
 		return t.err
 	}
 	if t.log == nil {
+		t.exitPool()
 		t.releaseLeases()
 		t.releaseAffinity()
 		return nil // TX NOP: nothing logged, nothing to do
 	}
-	dev := t.c.dev
+	dev := t.c.device()
 	// Stage 1: make every undo-logged location (and fresh payload)
 	// durable. All ranges funnel through one write-combining FlushSet,
 	// so a transaction that touched many fields of one cacheline — or
@@ -836,6 +918,9 @@ func (t *Tx) Commit() error {
 	// the slab bytes it rewrites are no longer covered by any in-flight
 	// undo log, and before the leases drop so no rival can interleave.
 	t.finishCaches(true)
+	// The quiesce exit comes after the commit is fully applied so the
+	// migration engine's drain implies "all acked work is on media".
+	t.exitPool()
 	t.releaseLeases()
 	t.releaseAffinity()
 	return err
@@ -892,7 +977,7 @@ func (t *Tx) finishCaches(committed bool) {
 			delete(aff.cache, k)
 		}
 	}
-	dev := t.c.dev
+	dev := t.c.device()
 	if t.cacheHits > 0 {
 		dev.NoteCacheHits(t.cacheHits)
 	}
@@ -920,6 +1005,7 @@ func (t *Tx) Abort() {
 
 func (t *Tx) rollback() {
 	if t.log == nil {
+		t.exitPool()
 		t.releaseLeases()
 		t.releaseAffinity()
 		return
@@ -937,6 +1023,7 @@ func (t *Tx) rollback() {
 		h.Rescan()
 	}
 	t.finishCaches(false)
+	t.exitPool()
 	t.releaseLeases()
 	t.releaseAffinity()
 }

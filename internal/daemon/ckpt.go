@@ -290,6 +290,23 @@ func cloneState(src *state) *state {
 	for id, s := range src.Sessions {
 		dst.Sessions[id] = s.clone()
 	}
+	// Migration records are immutable after their journal append (every
+	// phase change writes a fresh record), so sharing by pointer is safe.
+	for u, m := range src.MigsOut {
+		dst.MigsOut[u] = m
+	}
+	for name, m := range src.Moved {
+		dst.Moved[name] = m
+	}
+	for u, m := range src.MigsDone {
+		dst.MigsDone[u] = m
+	}
+	for name, s := range src.Standbys {
+		dst.Standbys[name] = s
+	}
+	for name, r := range src.Replicas {
+		dst.Replicas[name] = r
+	}
 	dst.Types = append([]ptypes.TypeInfo(nil), src.Types...)
 	return dst
 }
@@ -319,6 +336,21 @@ func composeImage(prev *state, deltas []entRec, seq uint64) *state {
 	}
 	for id, s := range prev.Sessions {
 		next.Sessions[id] = s
+	}
+	for u, m := range prev.MigsOut {
+		next.MigsOut[u] = m
+	}
+	for name, m := range prev.Moved {
+		next.Moved[name] = m
+	}
+	for u, m := range prev.MigsDone {
+		next.MigsDone[u] = m
+	}
+	for name, s := range prev.Standbys {
+		next.Standbys[name] = s
+	}
+	for name, r := range prev.Replicas {
+		next.Replicas[name] = r
 	}
 	next.Types = prev.Types
 	cloned := make(map[string]bool)
@@ -612,6 +644,31 @@ func (d *Daemon) streamCheckpoint(p *ckptPlan) error {
 				return err
 			}
 		}
+		for u, m := range next.MigsOut {
+			if err := emit(putRec(recMigOut, uuidKey(u), m)); err != nil {
+				return err
+			}
+		}
+		for name, m := range next.Moved {
+			if err := emit(putRec(recMoved, name, m)); err != nil {
+				return err
+			}
+		}
+		for u, m := range next.MigsDone {
+			if err := emit(putRec(recMigDone, uuidKey(u), m)); err != nil {
+				return err
+			}
+		}
+		for name, s := range next.Standbys {
+			if err := emit(putRec(recStandby, name, s)); err != nil {
+				return err
+			}
+		}
+		for name, r := range next.Replicas {
+			if err := emit(putRec(recReplica, name, r)); err != nil {
+				return err
+			}
+		}
 		if err := emit(putRec(recTypes, "", next.Types)); err != nil {
 			return err
 		}
@@ -835,6 +892,11 @@ func newState() *state {
 		Puddles:   make(map[uid.UUID]*PuddleRec),
 		LogSpaces: make(map[uid.UUID]*LogSpaceRec),
 		Sessions:  make(map[uint64]*ImportSession),
+		MigsOut:   make(map[uid.UUID]*MigOutRec),
+		Moved:     make(map[string]*MovedRec),
+		MigsDone:  make(map[uid.UUID]*MigDoneRec),
+		Standbys:  make(map[string]*StandbyRec),
+		Replicas:  make(map[string]*ReplicaRec),
 	}
 }
 

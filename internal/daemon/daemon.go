@@ -167,6 +167,15 @@ type state struct {
 	Sessions    map[uint64]*ImportSession
 	NextSession uint64
 
+	// Live-migration registries (migrate.go). All five maps may be nil
+	// on images written by older daemon generations; loadMeta and
+	// newState materialize them.
+	MigsOut  map[uid.UUID]*MigOutRec  // source-side in-flight migrations
+	Moved    map[string]*MovedRec     // ceded pools -> new owner URL
+	MigsDone map[uid.UUID]*MigDoneRec // adopted migrations (idempotent commit)
+	Standbys map[string]*StandbyRec   // warm-standby copies held here
+	Replicas map[string]*ReplicaRec   // pools owned here with a standby to feed
+
 	Recoveries     uint64
 	LogsReplayed   uint64
 	EntriesApplied uint64
@@ -288,6 +297,28 @@ type Daemon struct {
 	doneCh             chan struct{}  // closed once the daemon is down
 	doneOnce           sync.Once
 
+	// Live migration + warm-standby replication (migrate.go).
+	migMu     sync.Mutex          // inbound transfer registry
+	migsIn    map[uid.UUID]*migIn // in-flight inbound migrations (volatile)
+	advertise string              // this daemon's URL, as peers should dial it
+	migHook   func(phase string)  // test hook: fire at migration phases
+	replMu    sync.Mutex          // replicator goroutine + dirty-map registry
+	replStop  map[string]chan struct{}
+	replMaps  map[string][]*pmem.DirtyMap
+	replEvery time.Duration // replication round interval; 0 = default
+
+	migsOutN        atomic.Uint64 // pools migrated away
+	migsInN         atomic.Uint64 // pools adopted
+	migAborts       atomic.Uint64 // migrations aborted
+	replSyncs       atomic.Uint64 // standby delta rounds shipped
+	replBytes       atomic.Uint64 // bytes shipped to standbys
+	failovers       atomic.Uint64 // standbys promoted
+	grantCapRejects atomic.Uint64 // grants refused by the per-session grant cap
+	byteCapRejects  atomic.Uint64 // grants refused by the per-session byte cap
+
+	maxGrantsPerSession int    // 0 = unlimited
+	maxBytesPerSession  uint64 // 0 = unlimited
+
 	panicHook func(*proto.Request) // test hook: provoke handler panics
 }
 
@@ -389,13 +420,8 @@ func (d *Daemon) boot() error {
 	firstBoot := magic != sbMagic
 	if firstBoot {
 		d.chain = chainState{half: -1} // no committed chain yet
-		d.st = state{
-			Pools:       make(map[string]*PoolRec),
-			Puddles:     make(map[uid.UUID]*PuddleRec),
-			LogSpaces:   make(map[uid.UUID]*LogSpaceRec),
-			Sessions:    make(map[uint64]*ImportSession),
-			NextSession: 1,
-		}
+		d.st = *newState()
+		d.st.NextSession = 1
 		d.dev.StoreU64(metaBase+sbOffMag, sbMagic)
 		d.dev.StoreU64(metaBase+sbOffDirt, 0)
 		d.dev.Persist(metaBase, 16)
@@ -440,6 +466,13 @@ func (d *Daemon) boot() error {
 			}
 		}
 	}
+	// Standby copies are not in st.Puddles but own real address ranges.
+	if err := d.reserveStandbys(); err != nil {
+		return err
+	}
+	// Moved tombstones and in-flight migrations mean attached clients
+	// must check freeze words; arm the quiesce gate before serving.
+	d.armIfMigrating()
 	for _, ti := range d.st.Types {
 		if err := d.types.Put(ti); err != nil {
 			return fmt.Errorf("daemon: restoring type %q: %w", ti.Name, err)
@@ -602,6 +635,21 @@ func (d *Daemon) loadMeta() error {
 	}
 	if d.st.Sessions == nil {
 		d.st.Sessions = make(map[uint64]*ImportSession)
+	}
+	if d.st.MigsOut == nil {
+		d.st.MigsOut = make(map[uid.UUID]*MigOutRec)
+	}
+	if d.st.Moved == nil {
+		d.st.Moved = make(map[string]*MovedRec)
+	}
+	if d.st.MigsDone == nil {
+		d.st.MigsDone = make(map[uid.UUID]*MigDoneRec)
+	}
+	if d.st.Standbys == nil {
+		d.st.Standbys = make(map[string]*StandbyRec)
+	}
+	if d.st.Replicas == nil {
+		d.st.Replicas = make(map[string]*ReplicaRec)
 	}
 	return nil
 }
@@ -1153,6 +1201,15 @@ func (d *Daemon) Stats() proto.Stats {
 		HandshakeRejects: d.hsRejects.Load(),
 		SessionResumes:   d.sessResumes.Load(),
 		PoolCapRejects:   d.poolCapRejects.Load(),
+		GrantCapRejects:  d.grantCapRejects.Load(),
+		ByteCapRejects:   d.byteCapRejects.Load(),
+
+		MigrationsOut:   d.migsOutN.Load(),
+		MigrationsIn:    d.migsInN.Load(),
+		MigrationAborts: d.migAborts.Load(),
+		ReplicaSyncs:    d.replSyncs.Load(),
+		ReplicaBytes:    d.replBytes.Load(),
+		Failovers:       d.failovers.Load(),
 	}
 }
 

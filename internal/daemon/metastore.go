@@ -99,6 +99,19 @@ const (
 	// composes them onto the checkpointed pool record in order.
 	recPoolLink
 	recPoolUnlink
+	// Migration records (migrate.go). recMigOut is a source-side
+	// in-flight migration keyed by raw migration UUID; recMoved is the
+	// tombstone a ceded pool leaves behind (key: pool name, value: the
+	// new owner's URL); recMigDone marks an adopted migration at the
+	// target (key: raw migration UUID) so a re-sent commit is
+	// idempotent; recStandby is a retained warm-standby copy (key: pool
+	// name); recReplica is the owner's obligation to keep shipping
+	// deltas to a standby (key: pool name).
+	recMigOut
+	recMoved
+	recMigDone
+	recStandby
+	recReplica
 )
 
 // entRec is one per-entity record inside a journal batch: a full
@@ -626,6 +639,59 @@ func applyBatchTo(st *state, b *jbatch) {
 					pool.Puddles = append(pool.Puddles[:i], pool.Puddles[i+1:]...)
 					break
 				}
+			}
+		case recMigOut:
+			u, ok := keyUUID(r.Key)
+			if !ok {
+				continue
+			}
+			if r.Del {
+				delete(st.MigsOut, u)
+				continue
+			}
+			var m MigOutRec
+			if gobValue(r.Blob, &m) == nil {
+				st.MigsOut[u] = &m
+			}
+		case recMoved:
+			if r.Del {
+				delete(st.Moved, r.Key)
+				continue
+			}
+			var m MovedRec
+			if gobValue(r.Blob, &m) == nil {
+				st.Moved[r.Key] = &m
+			}
+		case recMigDone:
+			u, ok := keyUUID(r.Key)
+			if !ok {
+				continue
+			}
+			if r.Del {
+				delete(st.MigsDone, u)
+				continue
+			}
+			var m MigDoneRec
+			if gobValue(r.Blob, &m) == nil {
+				st.MigsDone[u] = &m
+			}
+		case recStandby:
+			if r.Del {
+				delete(st.Standbys, r.Key)
+				continue
+			}
+			var s StandbyRec
+			if gobValue(r.Blob, &s) == nil {
+				st.Standbys[r.Key] = &s
+			}
+		case recReplica:
+			if r.Del {
+				delete(st.Replicas, r.Key)
+				continue
+			}
+			var rp ReplicaRec
+			if gobValue(r.Blob, &rp) == nil {
+				st.Replicas[r.Key] = &rp
 			}
 		case recTypes:
 			var ts []ptypes.TypeInfo

@@ -1,0 +1,84 @@
+package daemon_test
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"puddles/internal/daemon"
+	"puddles/internal/pmem"
+	"puddles/internal/proto"
+	"puddles/internal/puddle"
+)
+
+// TestSessionGrantAndByteQuotas drives both per-session quotas to
+// their typed refusals: the grant cap rejects the N+1th outstanding
+// puddle grant, and the byte cap rejects further carving even after a
+// free returns a grant slot (bytes meter cumulative carve pressure).
+func TestSessionGrantAndByteQuotas(t *testing.T) {
+	dev := pmem.New()
+	d, err := daemon.New(dev,
+		daemon.WithMaxGrantsPerSession(2),
+		daemon.WithMaxBytesPerSession(3*puddle.DefaultSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go d.Serve(l)
+
+	nc, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := proto.NewConnHello(nc, proto.Hello{UID: 7, GID: 7})
+	if err := c.Handshake(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	presp, err := c.RoundTrip(&proto.Request{Op: proto.OpCreatePool, Name: "quota"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two grants fill the cap.
+	var puds []proto.Response
+	for i := 0; i < 2; i++ {
+		r, err := c.RoundTrip(&proto.Request{Op: proto.OpGetNewPuddle, Pool: presp.Pool})
+		if err != nil {
+			t.Fatalf("grant %d: %v", i, err)
+		}
+		puds = append(puds, *r)
+	}
+	// The third is refused with the typed grant-limit error.
+	_, err = c.RoundTrip(&proto.Request{Op: proto.OpGetNewPuddle, Pool: presp.Pool})
+	if err == nil || !proto.IsQuotaLimit(err) {
+		t.Fatalf("grant over cap: got %v, want typed quota refusal", err)
+	}
+	if !strings.Contains(err.Error(), proto.GrantLimitMsg) {
+		t.Fatalf("refusal %v does not carry %q", err, proto.GrantLimitMsg)
+	}
+
+	// Freeing returns a grant slot — but the byte account is cumulative
+	// (CreatePool + 2 grants = 3×DefaultSize, the byte cap), so the next
+	// carve trips the byte limit instead.
+	if _, err := c.RoundTrip(&proto.Request{Op: proto.OpFreePuddle, UUID: puds[1].UUID}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.RoundTrip(&proto.Request{Op: proto.OpGetNewPuddle, Pool: presp.Pool})
+	if err == nil || !proto.IsQuotaLimit(err) {
+		t.Fatalf("carve over byte cap: got %v, want typed quota refusal", err)
+	}
+	if !strings.Contains(err.Error(), proto.ByteLimitMsg) {
+		t.Fatalf("refusal %v does not carry %q", err, proto.ByteLimitMsg)
+	}
+
+	st := d.Stats()
+	if st.GrantCapRejects != 1 || st.ByteCapRejects != 1 {
+		t.Fatalf("counters: GrantCapRejects=%d ByteCapRejects=%d, want 1/1",
+			st.GrantCapRejects, st.ByteCapRejects)
+	}
+}

@@ -269,6 +269,23 @@ func (d *Daemon) serveOne(creds Creds, sess *Session, req *proto.Request, kill f
 		resp.ID = req.ID
 		return resp
 	}
+	// Per-session grant and byte quotas, enforced at the same
+	// pre-dispatch point for the same reason: the session's count is
+	// authoritative across all its connections.
+	if sess != nil && (req.Op == proto.OpGetNewPuddle || req.Op == proto.OpGetExistPuddle) &&
+		sess.grantCapExceeded(d.maxGrantsPerSession) {
+		d.grantCapRejects.Add(1)
+		resp = fail("%s (%d grants outstanding)", proto.GrantLimitMsg, d.maxGrantsPerSession)
+		resp.ID = req.ID
+		return resp
+	}
+	if sess != nil && (req.Op == proto.OpGetNewPuddle || req.Op == proto.OpCreatePool) &&
+		sess.byteCapExceeded(grantBytes(req), d.maxBytesPerSession) {
+		d.byteCapRejects.Add(1)
+		resp = fail("%s (%d bytes granted, cap %d)", proto.ByteLimitMsg, sess.bytesGrantedNow(), d.maxBytesPerSession)
+		resp.ID = req.ID
+		return resp
+	}
 	resp = d.dispatch(creds, req)
 	resp.ID = req.ID
 	if sess != nil && resp.Err == "" {
@@ -290,9 +307,24 @@ func (d *Daemon) accountSession(sess *Session, req *proto.Request) {
 		sess.notePoolGone(req.Name)
 	case proto.OpGetNewPuddle, proto.OpGetExistPuddle:
 		sess.noteGrant(1)
+		if req.Op == proto.OpGetNewPuddle {
+			sess.noteBytes(grantBytes(req))
+		}
 	case proto.OpFreePuddle:
 		sess.noteGrant(-1)
 	}
+	if req.Op == proto.OpCreatePool {
+		sess.noteBytes(grantBytes(req))
+	}
+}
+
+// grantBytes is the backing size a request asks the daemon to carve:
+// what the per-session byte quota meters.
+func grantBytes(req *proto.Request) uint64 {
+	if req.Size != 0 {
+		return req.Size
+	}
+	return puddle.DefaultSize
 }
 
 func fail(format string, args ...any) *proto.Response {
@@ -323,6 +355,18 @@ func (d *Daemon) dispatch(creds Creds, req *proto.Request) *proto.Response {
 		return &proto.Response{}
 	case proto.OpRecoverNow:
 		return d.opRecoverNow()
+	case proto.OpMigratePool:
+		// The source engine runs for seconds and must not pin opMu
+		// across checkpoints; it takes opMu.RLock around each mutation
+		// step itself (migrate.go).
+		return d.opMigratePool(creds, req)
+	case proto.OpResolveMig:
+		// Resolution dials peers and takes opMu per step, like the
+		// migration engine — dispatch outside the opMu hold.
+		if resp := requireSuper(creds); resp != nil {
+			return resp
+		}
+		return &proto.Response{Size: uint64(d.ResolveMigrations())}
 	}
 	d.opMu.RLock()
 	defer d.opMu.RUnlock()
@@ -370,6 +414,20 @@ func (d *Daemon) dispatch(creds Creds, req *proto.Request) *proto.Response {
 		return d.opImportDone(creds, req)
 	case proto.OpStat:
 		return &proto.Response{Stats: d.Stats()}
+	case proto.OpMigrateBegin:
+		return d.opMigrateBegin(creds, req)
+	case proto.OpMigrateChunk, proto.OpMigrateDelta:
+		return d.opMigrateFrame(creds, req)
+	case proto.OpMigrateCommit:
+		return d.opMigrateCommit(creds, req)
+	case proto.OpMigrateAbort:
+		return d.opMigrateAbort(creds, req)
+	case proto.OpReplicaAttach:
+		return d.opReplicaAttach(creds, req)
+	case proto.OpReplicaAck:
+		return d.opReplicaAck(creds, req)
+	case proto.OpFailover:
+		return d.opFailover(creds, req)
 	default:
 		return fail("unknown op %v", req.Op)
 	}
@@ -413,6 +471,11 @@ func (d *Daemon) opCreatePool(creds Creds, req *proto.Request) *proto.Response {
 	}
 	if d.poolByName(req.Name) != nil {
 		return fail("pool %q already exists", req.Name)
+	}
+	// A moved tombstone or a standby copy reserves the name: creating a
+	// fresh pool under it would fork the identity.
+	if resp := d.movedResp(req.Name); resp != nil {
+		return resp
 	}
 	mode := req.Mode
 	if mode == 0 {
@@ -480,7 +543,15 @@ func (d *Daemon) unlinkPoolLocked(pool *PoolRec) {
 func (d *Daemon) opOpenPool(creds Creds, req *proto.Request) *proto.Response {
 	pool := d.poolByName(req.Name)
 	if pool == nil {
+		// Ceded pools answer with the typed pool-moved refusal so
+		// clients re-dial the new owner transparently.
+		if resp := d.movedResp(req.Name); resp != nil {
+			return resp
+		}
 		return fail("pool %q not found", req.Name)
+	}
+	if resp := d.unresolvedResp(req.Name); resp != nil {
+		return resp
 	}
 	if !checkPerm(creds, pool, false) {
 		return fail("permission denied reading pool %q", req.Name)
@@ -514,6 +585,9 @@ func (d *Daemon) opOpenPool(creds Creds, req *proto.Request) *proto.Response {
 func (d *Daemon) opDeletePool(creds Creds, req *proto.Request) *proto.Response {
 	pool := d.poolByName(req.Name)
 	if pool == nil {
+		if resp := d.movedResp(req.Name); resp != nil {
+			return resp
+		}
 		return fail("pool %q not found", req.Name)
 	}
 	if !checkPerm(creds, pool, true) {
@@ -526,6 +600,11 @@ func (d *Daemon) opDeletePool(creds Creds, req *proto.Request) *proto.Response {
 	d.poolsMu.RUnlock()
 	if !current {
 		return fail("pool %q not found", req.Name)
+	}
+	// Inside pool.mu: totally ordered against beginOutbound's manifest
+	// snapshot + MigOutRec publication.
+	if resp := d.migBlocked(req.Name); resp != nil {
+		return resp
 	}
 	// Persist the tombstones FIRST, then remove from the maps. While
 	// pool.mu is held no same-pool mutation (puddle create/free,
@@ -585,6 +664,9 @@ func (d *Daemon) opChmodPool(creds Creds, req *proto.Request) *proto.Response {
 	}
 	pool.mu.Lock()
 	defer pool.mu.Unlock()
+	if resp := d.migBlocked(req.Name); resp != nil {
+		return resp
+	}
 	old := pool.Mode
 	pool.Mode = req.Mode
 	if resp := d.persistOrFail(pool.rec()); resp != nil {
@@ -640,6 +722,15 @@ func (d *Daemon) opGetNewPuddle(creds Creds, req *proto.Request) *proto.Response
 		d.space.Release(pmem.Addr(rec.Addr))
 		return fail("pool %q not found", pool.Name)
 	}
+	d.poolsMu.Unlock()
+	// Membership is frozen while the pool migrates: the manifest the
+	// target reserved against must stay complete (checked under
+	// pool.mu, totally ordered with beginOutbound).
+	if resp := d.migBlocked(pool.Name); resp != nil {
+		d.space.Release(pmem.Addr(rec.Addr))
+		return resp
+	}
+	d.poolsMu.Lock()
 	d.st.Puddles[rec.UUID] = rec
 	d.poolsMu.Unlock()
 	pool.Puddles = append(pool.Puddles, rec.UUID)
@@ -695,6 +786,9 @@ func (d *Daemon) opFreePuddle(creds Creds, req *proto.Request) *proto.Response {
 	d.poolsMu.RUnlock()
 	if !current {
 		return fail("puddle %v not found", req.UUID)
+	}
+	if resp := d.migBlocked(pool.Name); resp != nil {
+		return resp
 	}
 	// Persist first, remove after (see opDeletePool): pool.mu keeps any
 	// same-pool mutation out until the free is durable, so the failure

@@ -32,11 +32,12 @@ type Session struct {
 	Token uint64
 	Creds Creds
 
-	mu        sync.Mutex
-	openPools map[string]int // per-session open-pool counts (by name)
-	grants    int            // outstanding puddle grants
-	conns     int            // attached connections
-	lastSeen  time.Time      // last detach (idle reaping is for conns==0)
+	mu           sync.Mutex
+	openPools    map[string]int // per-session open-pool counts (by name)
+	grants       int            // outstanding puddle grants
+	bytesGranted uint64         // backing bytes carved for this session
+	conns        int            // attached connections
+	lastSeen     time.Time      // last detach (idle reaping is for conns==0)
 }
 
 // credentials returns the session's current credentials.
@@ -102,6 +103,44 @@ func (s *Session) noteGrant(delta int) {
 	s.mu.Unlock()
 }
 
+// grantCapExceeded reports whether one more puddle grant would push
+// the session past max outstanding grants (0 = unlimited).
+func (s *Session) grantCapExceeded(max int) bool {
+	if max <= 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.grants >= max
+}
+
+// noteBytes adds carved backing bytes to the session's account.
+// Bytes are not returned on free: the cap meters cumulative carve
+// pressure, the resource the daemon actually cannot reclaim cheaply.
+func (s *Session) noteBytes(n uint64) {
+	s.mu.Lock()
+	s.bytesGranted += n
+	s.mu.Unlock()
+}
+
+// byteCapExceeded reports whether carving n more bytes would push the
+// session past max (0 = unlimited).
+func (s *Session) byteCapExceeded(n, max uint64) bool {
+	if max == 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytesGranted+n > max
+}
+
+// bytesGrantedNow returns the session's current byte account.
+func (s *Session) bytesGrantedNow() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytesGranted
+}
+
 // Accounting returns the session's open-pool and grant counts.
 func (s *Session) Accounting() (pools, grants int) {
 	s.mu.Lock()
@@ -136,6 +175,20 @@ func WithMaxSessions(n int) Option { return func(d *Daemon) { d.maxSessions = n 
 // counts them); re-opening a pool the session already holds never
 // counts against the cap.
 func WithMaxPoolsPerSession(n int) Option { return func(d *Daemon) { d.maxPoolsPerSession = n } }
+
+// WithMaxGrantsPerSession caps a session's outstanding puddle grants
+// (0 = unlimited). A grant past the cap is refused with the typed
+// proto.GrantLimitMsg error (GrantCapRejects counts them); freeing a
+// puddle returns its grant.
+func WithMaxGrantsPerSession(n int) Option { return func(d *Daemon) { d.maxGrantsPerSession = n } }
+
+// WithMaxBytesPerSession caps the cumulative backing bytes one
+// session may have carved (pool creates + new puddles; 0 =
+// unlimited). Refusals carry the typed proto.ByteLimitMsg error
+// (ByteCapRejects counts them). The account is cumulative — frees do
+// not refund it — because carve pressure, not residency, is what the
+// operator is bounding.
+func WithMaxBytesPerSession(n uint64) Option { return func(d *Daemon) { d.maxBytesPerSession = n } }
 
 // WithSessionIdle sets how long a session with no attached connection
 // survives before it is reaped (its resume token stops working).

@@ -257,6 +257,10 @@ type Device struct {
 	hookRanges []Range
 	hookFn     FaultHandler
 
+	// Dirty-chunk tracking + migration quiesce gate (dirty.go).
+	track        dirtyTracker
+	quiesceArmed atomic.Int64
+
 	flushes    atomic.Uint64
 	fences     atomic.Uint64
 	crashes    atomic.Uint64
@@ -570,6 +574,9 @@ func (d *Device) loadChaos(addr Addr, buf []byte) {
 // flushed and fenced.
 func (d *Device) Store(addr Addr, data []byte) {
 	d.checkFault(addr, len(data))
+	if d.track.armed.Load() {
+		d.noteDirty(addr, len(data))
+	}
 	if d.mode == Chaos {
 		d.mu.Lock()
 		d.storeChaos(addr, data)
@@ -772,9 +779,10 @@ func (d *Device) LoadU64(addr Addr) uint64 {
 }
 
 // StoreU64 writes a little-endian uint64 at addr. An aligned
-// fast-mode store is a single atomic word store.
+// fast-mode store is a single atomic word store. When dirty tracking
+// is armed the store falls through to Store so migrations see it.
 func (d *Device) StoreU64(addr Addr, v uint64) {
-	if d.mode == Fast && !d.hookArmed.Load() {
+	if d.mode == Fast && !d.hookArmed.Load() && !d.track.armed.Load() {
 		off := int(addr & chunkMask)
 		if off+8 <= ChunkSize {
 			c := d.chunkFor(addr, true)
@@ -817,7 +825,7 @@ func (d *Device) LoadU32(addr Addr) uint32 {
 
 // StoreU32 writes a little-endian uint32 at addr.
 func (d *Device) StoreU32(addr Addr, v uint32) {
-	if d.mode == Fast && !d.hookArmed.Load() {
+	if d.mode == Fast && !d.hookArmed.Load() && !d.track.armed.Load() {
 		off := int(addr & chunkMask)
 		if off+4 <= ChunkSize {
 			var b [4]byte
@@ -829,6 +837,52 @@ func (d *Device) StoreU32(addr Addr, v uint32) {
 	var b [4]byte
 	binary.LittleEndian.PutUint32(b[:], v)
 	d.Store(addr, b[:])
+}
+
+// CASU64 atomically compares-and-swaps the aligned little-endian
+// uint64 at addr. Fast mode maps to one CAS on the backing word, so
+// concurrent clients sharing the device (the DAX model) get a real
+// atomic primitive; chaos mode serializes under the overlay lock.
+// The migration quiesce protocol builds its on-media transaction
+// counter out of this.
+func (d *Device) CASU64(addr Addr, old, new uint64) bool {
+	if addr&7 != 0 {
+		panic(fmt.Sprintf("pmem: CASU64 at unaligned address %#x", uint64(addr)))
+	}
+	d.checkFault(addr, 8)
+	if d.track.armed.Load() {
+		d.noteDirty(addr, 8)
+	}
+	if d.mode == Chaos {
+		d.mu.Lock()
+		var b [8]byte
+		d.loadChaos(addr, b[:])
+		if binary.LittleEndian.Uint64(b[:]) != old {
+			d.mu.Unlock()
+			return false
+		}
+		binary.LittleEndian.PutUint64(b[:], new)
+		d.storeChaos(addr, b[:])
+		fire := d.tickLocked()
+		d.mu.Unlock()
+		if fire {
+			d.fireCrash()
+		}
+		return true
+	}
+	c := d.chunkFor(addr, true)
+	return atomic.CompareAndSwapUint64(&c[int(addr&chunkMask)>>3], old, new)
+}
+
+// AddU64 atomically adds delta to the aligned uint64 at addr (use
+// two's complement for subtraction) and returns the new value.
+func (d *Device) AddU64(addr Addr, delta uint64) uint64 {
+	for {
+		old := d.LoadU64(addr)
+		if d.CASU64(addr, old, old+delta) {
+			return old + delta
+		}
+	}
 }
 
 // LoadU16 reads a little-endian uint16 at addr.

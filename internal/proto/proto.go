@@ -103,6 +103,18 @@ const (
 	OpChmodPool                // change a pool's permission bits
 	OpRecoverNow               // force a recovery pass (tests)
 	OpShutdown                 // graceful shutdown (marks clean)
+
+	// Live migration + warm-standby replication (ROADMAP direction 5).
+	OpMigratePool   // operator → source: migrate Name to Target URL
+	OpMigrateBegin  // source → target: manifest; target reserves + assigns addresses
+	OpMigrateChunk  // source → target: one CRC-guarded snapshot chunk frame
+	OpMigrateDelta  // source → target: one CRC-guarded dirty-chunk frame
+	OpMigrateCommit // source → target: adopt the pool (idempotent; the commit point)
+	OpMigrateAbort  // source → target: discard a non-committed migration
+	OpReplicaAttach // owner → standby: open a replication stream for a pool
+	OpReplicaAck    // owner → standby: epoch barrier after a delta round
+	OpFailover      // operator → standby: promote the retained copy to owner
+	OpResolveMig    // operator → daemon: retry resolution of in-flight migrations
 )
 
 var opNames = map[Op]string{
@@ -116,6 +128,11 @@ var opNames = map[Op]string{
 	OpImportMap: "ImportMap", OpImportDone: "ImportDone", OpStat: "Stat",
 	OpChmodPool:  "ChmodPool",
 	OpRecoverNow: "RecoverNow", OpShutdown: "Shutdown",
+	OpMigratePool: "MigratePool", OpMigrateBegin: "MigrateBegin",
+	OpMigrateChunk: "MigrateChunk", OpMigrateDelta: "MigrateDelta",
+	OpMigrateCommit: "MigrateCommit", OpMigrateAbort: "MigrateAbort",
+	OpReplicaAttach: "ReplicaAttach", OpReplicaAck: "ReplicaAck",
+	OpFailover: "Failover", OpResolveMig: "ResolveMig",
 }
 
 func (o Op) String() string {
@@ -155,6 +172,19 @@ type Request struct {
 	Blob    []byte
 	Session uint64
 	Shards  uint32 // log-space shard count (RegLogSpace); 0 = legacy/1
+	Target  string // destination daemon URL (MigratePool, ReplicaAttach)
+	CRC     uint64 // CRC64 guard over Blob (MigrateChunk/MigrateDelta frames)
+}
+
+// MigReport summarizes one completed migration (returned in the
+// MigratePool response and surfaced by benchrunner migrate).
+type MigReport struct {
+	Rounds        int    // dirty-delta rounds before convergence
+	SnapshotBytes uint64 // full pre-copy bytes streamed while serving writes
+	DeltaBytes    uint64 // dirty bytes re-sent across all rounds + the final delta
+	FinalBytes    uint64 // bytes shipped inside the final quiesce window
+	PauseNs       uint64 // final quiesce: freeze set → ownership ceded
+	TotalNs       uint64 // whole migration, begin → commit
 }
 
 // Stats mirrors the daemon's counters.
@@ -193,6 +223,15 @@ type Stats struct {
 	HandshakeRejects uint64 // connections refused at the handshake
 	SessionResumes   uint64 // sessions re-attached via a resume token
 	PoolCapRejects   uint64 // pool opens refused by the per-session cap
+	GrantCapRejects  uint64 // puddle grants refused by the per-session grant cap
+	ByteCapRejects   uint64 // puddle grants refused by the per-session byte cap
+
+	MigrationsOut   uint64 // pools this daemon migrated away (ownership ceded)
+	MigrationsIn    uint64 // pools this daemon adopted from a peer
+	MigrationAborts uint64 // migrations aborted (error or crash recovery)
+	ReplicaSyncs    uint64 // warm-standby delta rounds shipped
+	ReplicaBytes    uint64 // bytes shipped to warm standbys
+	Failovers       uint64 // standby pools promoted to owner
 }
 
 // Response is the union of all response payloads. ID echoes the
@@ -213,6 +252,7 @@ type Response struct {
 	Blob     []byte
 	Session  uint64
 	Stats    Stats
+	Report   MigReport // MigratePool result
 }
 
 // Conn is a pipelined client connection: any number of goroutines may
@@ -459,6 +499,66 @@ const PoolLimitMsg = "session pool limit reached"
 func IsPoolLimit(err error) bool {
 	var re *RemoteError
 	return errors.As(err, &re) && strings.HasPrefix(re.Msg, PoolLimitMsg)
+}
+
+// GrantLimitMsg prefixes the daemon's refusal of a puddle grant that
+// would exceed the per-session grant cap (WithMaxGrantsPerSession).
+const GrantLimitMsg = "session grant limit reached"
+
+// ByteLimitMsg prefixes the daemon's refusal of a puddle grant that
+// would exceed the per-session granted-byte cap
+// (WithMaxBytesPerSession).
+const ByteLimitMsg = "session byte limit reached"
+
+// IsQuotaLimit reports whether err is any per-session quota refusal
+// (pool, grant, or byte cap): the client should shed load or close
+// resources, not retry blindly.
+func IsQuotaLimit(err error) bool {
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		return false
+	}
+	return strings.HasPrefix(re.Msg, PoolLimitMsg) ||
+		strings.HasPrefix(re.Msg, GrantLimitMsg) ||
+		strings.HasPrefix(re.Msg, ByteLimitMsg)
+}
+
+// PoolMovedMsg prefixes the refusal a daemon answers for a pool whose
+// ownership migrated away; the rest of the message is the new owner's
+// URL. core.Dial's reconnect gateway parses it and transparently
+// re-dials the target.
+const PoolMovedMsg = "pool moved to "
+
+// PoolMovedTarget extracts the new-owner URL from a pool-moved
+// refusal ("", false when err is something else).
+func PoolMovedTarget(err error) (string, bool) {
+	var re *RemoteError
+	if !errors.As(err, &re) || !strings.HasPrefix(re.Msg, PoolMovedMsg) {
+		return "", false
+	}
+	return strings.TrimPrefix(re.Msg, PoolMovedMsg), true
+}
+
+// MigUnknownMsg is the target's answer to a MigrateCommit (or frame)
+// for a migration it has no record of — the source must abort and
+// keep the pool. After a target crash mid-stream this is what makes
+// the commit-resolution protocol converge on exactly one owner.
+const MigUnknownMsg = "unknown migration"
+
+// IsMigUnknown reports whether err is that answer.
+func IsMigUnknown(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && strings.HasPrefix(re.Msg, MigUnknownMsg)
+}
+
+// MigUnresolvedMsg prefixes refusals for a pool frozen by a crashed
+// migration whose outcome is not yet resolved against the target.
+const MigUnresolvedMsg = "pool migration unresolved"
+
+// IsMigUnresolved reports whether err is that refusal.
+func IsMigUnresolved(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && strings.HasPrefix(re.Msg, MigUnresolvedMsg)
 }
 
 // ServerConn is the daemon side of a connection. Recv is owned by the

@@ -64,6 +64,8 @@ const (
 	offRootType = 64
 	offRootSize = 72
 	offFlags    = 80
+	offFreeze   = 88 // migration freeze state (root puddle only)
+	offActiveTx = 96 // on-media active-transaction count (root puddle only)
 	// BlockMapOff is where the allocator block map begins within the
 	// header. One byte per BlockSize heap block.
 	BlockMapOff = 128
@@ -200,6 +202,37 @@ func (p *Puddle) Flags() uint64 { return p.Dev.LoadU64(p.Base + offFlags) }
 func (p *Puddle) SetFlags(f uint64) {
 	p.Dev.StoreU64(p.Base+offFlags, f)
 	p.Dev.Persist(p.Base+offFlags, 8)
+}
+
+// Migration freeze states, stored in the root puddle's freeze word.
+// Clients write pool data directly on the shared device (the DAX
+// model), so the per-pool quiesce barrier for live migration lives on
+// media where every mapper can see it: transactions bump the active
+// count on entry and drop it after their commit is durable; the
+// migration engine sets FreezeQuiesce, waits for the count to drain,
+// ships the final delta, and leaves FreezeMoved behind so resuming
+// writers learn the pool now lives elsewhere.
+const (
+	FreezeNone    uint64 = 0 // pool serves writes normally
+	FreezeQuiesce uint64 = 1 // final-delta quiesce: new transactions wait
+	FreezeMoved   uint64 = 2 // ownership ceded: transactions must redirect
+)
+
+// FreezeAddr returns the address of the pool freeze word (meaningful
+// on a pool's root puddle).
+func (p *Puddle) FreezeAddr() pmem.Addr { return p.Base + offFreeze }
+
+// ActiveTxAddr returns the address of the on-media active-transaction
+// counter (meaningful on a pool's root puddle).
+func (p *Puddle) ActiveTxAddr() pmem.Addr { return p.Base + offActiveTx }
+
+// Freeze reads the pool freeze word.
+func (p *Puddle) Freeze() uint64 { return p.Dev.LoadU64(p.Base + offFreeze) }
+
+// SetFreeze persists the pool freeze word.
+func (p *Puddle) SetFreeze(v uint64) {
+	p.Dev.StoreU64(p.Base+offFreeze, v)
+	p.Dev.Persist(p.Base+offFreeze, 8)
 }
 
 // SetBase retargets the handle after the puddle's contents were moved

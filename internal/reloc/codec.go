@@ -18,7 +18,11 @@ import (
 
 const containerMagic = 0x31505845_4c445550 // "PUDLEXP1"
 
-func (c *Container) encodeBinary(w io.Writer) error {
+// encodeBinary writes the container. content, when non-nil, supplies
+// puddle i's Size bytes directly into w in place of the materialized
+// Content slice — the streaming path (EncodeStream) large-pool
+// exports and migration use so the whole image never sits in memory.
+func (c *Container) encodeBinary(w io.Writer, content func(i int, w io.Writer) error) error {
 	var scratch [8]byte
 	wU64 := func(v uint64) error {
 		binary.LittleEndian.PutUint64(scratch[:], v)
@@ -72,7 +76,7 @@ func (c *Container) encodeBinary(w io.Writer) error {
 	if err := wU64(uint64(len(c.Puddles))); err != nil {
 		return err
 	}
-	for _, p := range c.Puddles {
+	for i, p := range c.Puddles {
 		if _, err := w.Write(p.UUID[:]); err != nil {
 			return err
 		}
@@ -84,6 +88,12 @@ func (c *Container) encodeBinary(w io.Writer) error {
 		}
 		if err := wU64(p.Kind); err != nil {
 			return err
+		}
+		if content != nil {
+			if err := content(i, w); err != nil {
+				return err
+			}
+			continue
 		}
 		if uint64(len(p.Content)) != p.Size {
 			return fmt.Errorf("reloc: puddle content/size mismatch")

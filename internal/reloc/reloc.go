@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"puddles/internal/pmem"
 	"puddles/internal/ptypes"
@@ -52,7 +53,21 @@ var (
 // Encode writes the container to w in a raw binary format (see
 // codec.go): puddle contents verbatim, no per-object serialization.
 func (c *Container) Encode(w io.Writer) error {
-	return c.encodeBinary(w)
+	return c.encodeBinary(w, nil)
+}
+
+// EncodeStream writes the container, pulling each puddle's content
+// through the supplied callback instead of a materialized Content
+// slice: content(i, w) must write exactly Puddles[i].Size bytes (for
+// example straight off the device in chunk-sized reads). Large-pool
+// export and the migration snapshot path use this so an export never
+// holds the whole pool image in memory; the byte stream is identical
+// to Encode's.
+func (c *Container) EncodeStream(w io.Writer, content func(i int, w io.Writer) error) error {
+	if content == nil {
+		return c.encodeBinary(w, nil)
+	}
+	return c.encodeBinary(w, content)
 }
 
 // EncodeBytes returns the encoded container.
@@ -127,4 +142,52 @@ func (c *Container) FindByOldAddr(addr pmem.Addr) int {
 		}
 	}
 	return -1
+}
+
+// Move records one puddle's relocation: the address range it occupied
+// in the source space and the base it was placed at in the target.
+type Move struct {
+	Old pmem.Range
+	New pmem.Addr
+}
+
+// AddrMap translates source-space addresses to target-space addresses
+// across a set of relocated puddles — the §4.2 pointer-rewrite rule
+// factored out so the offline import cascade and the live-migration
+// adopt path share one translation.
+type AddrMap struct {
+	moves []Move
+}
+
+// NewAddrMap builds a translation over moves (sorted by old base).
+func NewAddrMap(moves []Move) *AddrMap {
+	m := &AddrMap{moves: append([]Move(nil), moves...)}
+	sort.Slice(m.moves, func(i, j int) bool { return m.moves[i].Old.Start < m.moves[j].Old.Start })
+	return m
+}
+
+// Identity reports whether every puddle kept its address — no
+// pointer rewriting is needed at all.
+func (m *AddrMap) Identity() bool {
+	for _, mv := range m.moves {
+		if mv.Old.Start != mv.New {
+			return false
+		}
+	}
+	return true
+}
+
+// Translate maps a source-space address into the target space. The
+// second result is false when addr lies in no relocated puddle (the
+// pointer crosses out of the migrated set and must be left alone).
+func (m *AddrMap) Translate(addr pmem.Addr) (pmem.Addr, bool) {
+	i := sort.Search(len(m.moves), func(i int) bool { return m.moves[i].Old.Start > addr })
+	if i == 0 {
+		return 0, false
+	}
+	mv := m.moves[i-1]
+	if !mv.Old.Contains(addr) {
+		return 0, false
+	}
+	return mv.New + (addr - mv.Old.Start), true
 }

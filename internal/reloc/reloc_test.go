@@ -2,6 +2,7 @@ package reloc
 
 import (
 	"bytes"
+	"io"
 	"testing"
 	"testing/quick"
 
@@ -109,5 +110,51 @@ func TestQuickContentRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestEncodeStreamByteEquality pins the contract EncodeStream
+// documents: the streamed byte sequence is identical to Encode's,
+// whatever chunking the content callback uses.
+func TestEncodeStreamByteEquality(t *testing.T) {
+	c := sample()
+	for i := range c.Puddles {
+		for j := range c.Puddles[i].Content {
+			c.Puddles[i].Content[j] = byte(i*31 + j)
+		}
+	}
+	var plain bytes.Buffer
+	if err := c.Encode(&plain); err != nil {
+		t.Fatal(err)
+	}
+	var streamed bytes.Buffer
+	err := c.EncodeStream(&streamed, func(i int, w io.Writer) error {
+		// Deliberately awkward chunking: odd sizes, many writes.
+		src := c.Puddles[i].Content
+		for off := 0; off < len(src); {
+			n := 977
+			if off+n > len(src) {
+				n = len(src) - off
+			}
+			if _, err := w.Write(src[off : off+n]); err != nil {
+				return err
+			}
+			off += n
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), streamed.Bytes()) {
+		t.Fatalf("EncodeStream diverged from Encode (%d vs %d bytes)", streamed.Len(), plain.Len())
+	}
+	// And the streamed form decodes back to the same container.
+	got, err := DecodeBytes(streamed.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Puddles[1].Content, c.Puddles[1].Content) {
+		t.Fatal("streamed content corrupted")
 	}
 }
